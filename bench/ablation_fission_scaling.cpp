@@ -1,0 +1,80 @@
+// Ablation: fission scaling curve — throughput vs replica count for one
+// bottleneck operator, model vs simulator, for a stateless operator (ideal
+// linear scaling up to the source rate) and a partitioned-stateful one with
+// skewed keys (scaling flattens at mu / p_max, the Alg. 2 "mitigated"
+// regime).  This is the per-operator view behind Definition 1
+// (n_opt = ceil(rho)).
+//
+// Flags: --duration=SEC --max-replicas=N
+#include <iostream>
+
+#include "core/key_partitioning.hpp"
+#include "core/steady_state.hpp"
+#include "harness/args.hpp"
+#include "harness/table.hpp"
+#include "sim/des.hpp"
+
+namespace {
+
+ss::Topology make_pipeline(ss::StateKind state, const ss::KeyDistribution& keys) {
+  ss::Topology::Builder b;
+  b.add_operator("src", 1e-3);  // 1000/s
+  ss::OperatorSpec work;
+  work.name = "work";
+  work.service_time = 6e-3;  // rho = 6 at full source rate
+  work.state = state;
+  work.keys = keys;
+  b.add_operator(std::move(work));
+  b.add_operator("sink", 0.05e-3);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  return b.build();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using ss::harness::Table;
+  const ss::harness::Args args(argc, argv);
+  const double duration = args.get_double("duration", 120.0);
+  const int max_replicas = static_cast<int>(args.get_int("max-replicas", 10));
+
+  std::cout << "== Ablation: fission scaling (throughput vs replicas) ==\n"
+            << "bottleneck: mu = 166.7/s, source = 1000/s, n_opt = ceil(rho) = 6\n\n";
+
+  const ss::KeyDistribution skewed = ss::KeyDistribution::zipf(100, 1.4);
+  const ss::Topology stateless = make_pipeline(ss::StateKind::kStateless, {});
+  const ss::Topology partitioned =
+      make_pipeline(ss::StateKind::kPartitionedStateful, skewed);
+
+  Table table({"replicas", "stateless model", "stateless sim", "partitioned model",
+               "partitioned sim", "p_max"});
+  for (int n = 1; n <= max_replicas; ++n) {
+    ss::ReplicationPlan stateless_plan;
+    stateless_plan.replicas = {1, n, 1};
+
+    const ss::KeyPartition part = ss::partition_keys(skewed, n);
+    ss::ReplicationPlan partitioned_plan;
+    partitioned_plan.replicas = {1, part.replicas, 1};
+    partitioned_plan.max_share = {0.0, part.max_share, 0.0};
+
+    ss::sim::SimOptions options;
+    options.duration = duration;
+    options.replication = stateless_plan;
+    const double stateless_sim = ss::sim::simulate(stateless, options).throughput;
+    options.replication = partitioned_plan;
+    options.partitions = {ss::KeyPartition{}, part, ss::KeyPartition{}};
+    const double partitioned_sim = ss::sim::simulate(partitioned, options).throughput;
+
+    table.add_row({std::to_string(n),
+                   Table::num(ss::steady_state(stateless, stateless_plan).throughput(), 1),
+                   Table::num(stateless_sim, 1),
+                   Table::num(ss::steady_state(partitioned, partitioned_plan).throughput(), 1),
+                   Table::num(partitioned_sim, 1), Table::num(part.max_share, 3)});
+  }
+  table.print(std::cout);
+  std::cout << "\nreading: the stateless curve is linear in n until the source rate caps\n"
+               "it at n_opt = 6; the partitioned curve flattens once n * p_max stops\n"
+               "shrinking — the heaviest key becomes the floor (Alg. 2 lines 13-23)\n";
+  return 0;
+}

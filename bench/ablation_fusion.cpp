@@ -1,0 +1,103 @@
+// Ablation (DESIGN.md): the utilization-ranked fusion candidate policy of
+// §4.1 against a random-legal-sub-graph baseline.
+//
+// For every testbed topology with under-utilized operators, both policies
+// pick one fusion.  We report how often the chosen fusion preserves
+// throughput (no new bottleneck), and how many actors it saves (members
+// fused into one).  Ranking by utilization should dominate the random
+// choice on both axes: it targets exactly the operators whose idle time is
+// pure scheduling overhead.
+//
+// Flags: --topologies=N --seed=S
+#include <algorithm>
+#include <iostream>
+
+#include "core/fusion.hpp"
+#include "gen/workload.hpp"
+#include "harness/args.hpp"
+#include "harness/table.hpp"
+
+namespace {
+
+/// Random policy: random seed vertex, grow a random legal group up to 3
+/// members (no utilization information).
+std::optional<ss::FusionSpec> random_fusion(const ss::Topology& t, ss::Rng& rng) {
+  for (int attempt = 0; attempt < 50; ++attempt) {
+    const auto seed =
+        static_cast<ss::OpIndex>(rng.rand_int(1, static_cast<int>(t.num_operators()) - 1));
+    std::vector<ss::OpIndex> members{seed};
+    for (int grow = 0; grow < 2; ++grow) {
+      std::vector<ss::OpIndex> frontier;
+      for (ss::OpIndex m : members) {
+        for (const ss::Edge& e : t.out_edges(m)) frontier.push_back(e.to);
+      }
+      if (frontier.empty()) break;
+      const ss::OpIndex pick = frontier[static_cast<std::size_t>(
+          rng.rand_int(0, static_cast<int>(frontier.size()) - 1))];
+      if (std::find(members.begin(), members.end(), pick) != members.end()) continue;
+      members.push_back(pick);
+    }
+    ss::FusionSpec spec{members, {}};
+    if (members.size() >= 2 && ss::check_fusion_legal(t, spec).empty()) return spec;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using ss::harness::Table;
+  const ss::harness::Args args(argc, argv);
+  const int topologies = static_cast<int>(args.get_int("topologies", 50));
+  const std::uint64_t seed = static_cast<std::uint64_t>(args.get_int("seed", 2018));
+
+  std::cout << "== Ablation: utilization-ranked fusion candidates vs random legal fusions ==\n\n";
+
+  const auto testbed = ss::make_testbed(seed, topologies);
+  ss::Rng rng(seed ^ 0xf00d);
+
+  int ranked_applicable = 0;
+  int ranked_safe = 0;
+  int ranked_actors_saved = 0;
+  int random_applicable = 0;
+  int random_safe = 0;
+  int random_actors_saved = 0;
+
+  for (const ss::Topology& t : testbed) {
+    const ss::SteadyStateResult rates = ss::steady_state(t);
+
+    const auto candidates = ss::suggest_fusion_candidates(t, rates, {});
+    if (!candidates.empty()) {
+      ++ranked_applicable;
+      const ss::FusionResult result = ss::apply_fusion(t, candidates.front().spec);
+      if (!result.introduces_bottleneck &&
+          result.throughput_after >= result.throughput_before * (1 - 1e-6)) {
+        ++ranked_safe;
+        ranked_actors_saved +=
+            static_cast<int>(candidates.front().spec.members.size()) - 1;
+      }
+    }
+
+    if (auto spec = random_fusion(t, rng)) {
+      ++random_applicable;
+      const ss::FusionResult result = ss::apply_fusion(t, *spec);
+      if (!result.introduces_bottleneck &&
+          result.throughput_after >= result.throughput_before * (1 - 1e-6)) {
+        ++random_safe;
+        random_actors_saved += static_cast<int>(spec->members.size()) - 1;
+      }
+    }
+  }
+
+  Table table({"policy", "found a fusion", "throughput-safe", "actors saved (safe fusions)"});
+  table.add_row({"utilization-ranked (SpinStreams)", std::to_string(ranked_applicable),
+                 std::to_string(ranked_safe), std::to_string(ranked_actors_saved)});
+  table.add_row({"random legal sub-graph", std::to_string(random_applicable),
+                 std::to_string(random_safe), std::to_string(random_actors_saved)});
+  table.print(std::cout);
+
+  std::cout << "\nreading: the ranked policy only proposes fusions predicted safe, so its\n"
+               "safe-rate should be ~100%; random fusions regularly merge busy operators\n"
+               "and would have degraded throughput had the tool not checked first\n";
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Ablation: what fusion actually buys — and what it costs.
+//
+// Fusion serializes its members, so it can never *raise* the throughput of
+// an already-healthy pipeline; its benefits are fewer actors (threads,
+// mailboxes) and lower end-to-end latency, because each item pays the
+// per-hop scheduling/communication overhead once instead of once per
+// member (paper §2: fusion "saves communication latency and reduces
+// scheduling overhead").  The risk is exactly Table 2's: the summed
+// service time plus overhead can saturate.  This bench sweeps the per-hop
+// overhead h on an over-decomposed five-stage tail and reports, for the
+// fine-grained and the fused version: throughput, end-to-end sojourn
+// (DES, Little's law), and the number of servers — showing the regime
+// where fusion is free and better (small h) and the crossover where the
+// fused operator saturates and SpinStreams would raise the Table 2 alert.
+//
+// Flags: --duration=SEC
+#include <iostream>
+
+#include "core/fusion.hpp"
+#include "core/steady_state.hpp"
+#include "harness/args.hpp"
+#include "harness/table.hpp"
+#include "sim/des.hpp"
+
+namespace {
+
+double total_sojourn(const ss::sim::SimResult& sim, const ss::Topology& t) {
+  double total = 0.0;
+  for (ss::OpIndex i = 0; i < t.num_operators(); ++i) {
+    if (i == t.source()) continue;
+    total += sim.ops[i].mean_sojourn;
+  }
+  return total;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using ss::harness::Table;
+  const ss::harness::Args args(argc, argv);
+  const double duration = args.get_double("duration", 100.0);
+
+  // src (1 ms -> 1000 t/s) feeding five 0.1 ms micro-operators: each stage
+  // is 10% utilized — the over-decomposed shape fusion exists for.
+  ss::Topology::Builder b;
+  b.add_operator("src", 1.0e-3);
+  for (int i = 0; i < 5; ++i) {
+    b.add_operator("stage" + std::to_string(i), 0.1e-3);
+    b.add_edge(static_cast<ss::OpIndex>(i), static_cast<ss::OpIndex>(i + 1));
+  }
+  const ss::Topology fine = b.build();
+  const ss::FusionSpec spec{{1, 2, 3, 4, 5}, "tail"};
+  const ss::FusionResult fusion = ss::apply_fusion(fine, spec);
+  const ss::Topology& fused = fusion.topology;
+
+  std::cout << "== Ablation: fusion vs per-hop overhead ==\n"
+            << "five 0.1 ms stages at 1000 tuples/s; fused service time "
+            << Table::num(fusion.service_time * 1e3, 2)
+            << " ms; servers: 6 fine-grained vs 2 fused\n\n";
+
+  Table table({"hop overhead (us)", "fine t/s", "fused t/s", "fine latency (ms)",
+               "fused latency (ms)", "latency saved"});
+  for (double overhead_us : {0.0, 20.0, 100.0, 300.0, 500.0, 700.0}) {
+    ss::sim::SimOptions options;
+    options.duration = duration;
+    options.hop_overhead = overhead_us * 1e-6;
+    // Deterministic service: these are fixed-cost operators (the threaded
+    // runtime's timed waits).  Under high-variance laws the fused
+    // operator's higher utilization adds queueing that can offset the hop
+    // savings — run with exponential to see that regime.
+    options.law = ss::sim::ServiceLaw::deterministic();
+    const ss::sim::SimResult fine_sim = ss::sim::simulate(fine, options);
+    const ss::sim::SimResult fused_sim = ss::sim::simulate(fused, options);
+    const double fine_latency = total_sojourn(fine_sim, fine);
+    const double fused_latency = total_sojourn(fused_sim, fused);
+    table.add_row({Table::num(overhead_us, 0), Table::num(fine_sim.throughput, 1),
+                   Table::num(fused_sim.throughput, 1), Table::num(fine_latency * 1e3, 2),
+                   Table::num(fused_latency * 1e3, 2),
+                   Table::num((1.0 - fused_latency / fine_latency) * 100.0, 0) + "%"});
+  }
+  table.print(std::cout);
+  std::cout
+      << "\nreading: with no hop cost the versions tie (0.5 ms of work either\n"
+         "way, minus pipelining).  As the per-hop cost grows, the fused actor\n"
+         "pays it once per item instead of five times: same throughput, several\n"
+         "times lower latency, a third of the actors.  Past ~500 us the fused\n"
+         "operator's summed service time crosses the source period and it\n"
+         "saturates while the fine-grained version still ingests everything —\n"
+         "exactly the situation the tool's Alg. 1 re-check catches before\n"
+         "committing a fusion (Table 2's alert)\n";
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Ablation (DESIGN.md): the KeyPartitioning heuristic of Algorithm 2.
+//
+// Compares the greedy LPT assignment against the naive `key mod n` hash
+// split across key skews, reporting the achieved max share p_max (the
+// quantity that decides whether a partitioned bottleneck is removed,
+// Alg. 2 lines 13-23) and the resulting operator capacity relative to a
+// perfect 1/n split.
+//
+// Flags: --keys=N
+#include <iostream>
+
+#include "core/key_partitioning.hpp"
+#include "harness/args.hpp"
+#include "harness/table.hpp"
+
+namespace {
+
+/// p_max of the naive modulo split.
+double modulo_max_share(const ss::KeyDistribution& keys, int replicas) {
+  std::vector<double> load(static_cast<std::size_t>(replicas), 0.0);
+  for (std::size_t k = 0; k < keys.num_keys(); ++k) {
+    load[k % static_cast<std::size_t>(replicas)] += keys.probability(k);
+  }
+  double best = 0.0;
+  for (double v : load) best = std::max(best, v);
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using ss::harness::Table;
+  const ss::harness::Args args(argc, argv);
+  const auto keys = static_cast<std::size_t>(args.get_int("keys", 1000));
+
+  std::cout << "== Ablation: KeyPartitioning (greedy LPT) vs modulo hashing ==\n"
+            << "key domain: " << keys << " keys, Zipf skew alpha varies\n\n";
+
+  Table table({"alpha", "replicas", "ideal 1/n", "p_max LPT", "p_max mod", "capacity gain"});
+  for (double alpha : {0.1, 0.3, 0.6, 0.9, 1.2, 1.5}) {
+    for (int n : {4, 16}) {
+      const ss::KeyDistribution dist = ss::KeyDistribution::zipf(keys, alpha);
+      const ss::KeyPartition lpt = ss::partition_keys(dist, n);
+      const double naive = modulo_max_share(dist, n);
+      // Operator capacity is mu / p_max: smaller p_max = more capacity.
+      table.add_row({Table::num(alpha, 1), std::to_string(n), Table::num(1.0 / n, 4),
+                     Table::num(lpt.max_share, 4), Table::num(naive, 4),
+                     Table::num(naive / lpt.max_share, 2) + "x"});
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nreading: 'capacity gain' is the extra effective service capacity the\n"
+               "LPT split gives a partitioned-stateful bottleneck over modulo hashing;\n"
+               "at high skew both converge to the heaviest key's share (the hard floor)\n";
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Extension experiment (DESIGN.md): validation of the latency estimator
+// (core/latency.hpp) against the discrete-event simulator.
+//
+// A single M/M/1-like stage is swept across utilizations and a multi-stage
+// pipeline is checked end to end: the simulator measures per-operator
+// sojourn times via Little's law; the model predicts them from the Alg. 1
+// rates.  Agreement should be tight for rho < 0.9 and bounded by the
+// finite-buffer cap at saturation.
+//
+// Flags: --duration=SEC
+#include <iostream>
+
+#include "core/latency.hpp"
+#include "harness/args.hpp"
+#include "harness/table.hpp"
+#include "sim/des.hpp"
+
+int main(int argc, char** argv) {
+  using ss::harness::Table;
+  const ss::harness::Args args(argc, argv);
+  const double duration = args.get_double("duration", 150.0);
+
+  std::cout << "== Extension: latency model vs simulated sojourn times ==\n\n";
+
+  // --- utilization sweep on one queue ------------------------------------
+  Table sweep({"rho", "model W (ms)", "simulated W (ms)", "rel.error"});
+  for (double rho : {0.2, 0.4, 0.6, 0.8, 0.9, 0.95}) {
+    ss::Topology::Builder b;
+    b.add_operator("src", 1e-3 / rho);   // arrival rate = rho * mu
+    b.add_operator("queue", 1e-3);       // mu = 1000/s
+    b.add_edge(0, 1);
+    const ss::Topology t = b.build();
+
+    const ss::SteadyStateResult rates = ss::steady_state(t);
+    const ss::LatencyEstimate model = ss::estimate_latency(t, rates);
+    ss::sim::SimOptions options;
+    options.duration = duration;
+    const ss::sim::SimResult sim = ss::sim::simulate(t, options);
+
+    sweep.add_row({Table::num(rho, 2), Table::num(model.response[1] * 1e3),
+                   Table::num(sim.ops[1].mean_sojourn * 1e3),
+                   Table::percent(ss::harness::relative_error(model.response[1],
+                                                              sim.ops[1].mean_sojourn))});
+  }
+  sweep.print(std::cout);
+
+  // --- end-to-end pipeline ------------------------------------------------
+  ss::Topology::Builder b;
+  b.add_operator("src", 1.2e-3);
+  b.add_operator("parse", 0.6e-3);
+  b.add_operator("score", 0.9e-3);
+  b.add_operator("store", 0.4e-3);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(2, 3);
+  const ss::Topology pipeline = b.build();
+  const ss::SteadyStateResult rates = ss::steady_state(pipeline);
+  const ss::LatencyEstimate model = ss::estimate_latency(pipeline, rates);
+  ss::sim::SimOptions options;
+  options.duration = duration;
+  const ss::sim::SimResult sim = ss::sim::simulate(pipeline, options);
+  double simulated_e2e = 0.0;
+  for (ss::OpIndex i = 1; i < pipeline.num_operators(); ++i) {
+    simulated_e2e += sim.ops[i].mean_sojourn;
+  }
+  std::cout << "\npipeline end-to-end: model "
+            << Table::num((model.end_to_end - model.response[0]) * 1e3)
+            << " ms vs simulated " << Table::num(simulated_e2e * 1e3)
+            << " ms (excluding source generation time)\n"
+            << "reading: M/M/1 estimates track the simulator into high utilization;\n"
+               "at saturation the finite buffer caps the real wait where the open\n"
+               "formula would diverge\n";
+  return 0;
+}

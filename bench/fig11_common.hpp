@@ -1,0 +1,92 @@
+// Shared machinery for the Table 1 / Table 2 fusion benches: the Fig. 11
+// six-operator example topology and the before/after fusion report.
+//
+// Edge probabilities are the exact values that reproduce every cell of the
+// paper's Tables 1-2 (see DESIGN.md): 1->2 (0.7), 1->3 (0.3), 2->6 (1),
+// 3->4 (2/3), 3->5 (1/3), 4->5 (0.25), 4->6 (0.75), 5->6 (1).
+#pragma once
+
+#include <iostream>
+#include <vector>
+
+#include "core/fusion.hpp"
+#include "core/steady_state.hpp"
+#include "core/topology.hpp"
+#include "harness/args.hpp"
+#include "harness/experiment.hpp"
+#include "harness/table.hpp"
+
+namespace fig11 {
+
+inline ss::Topology topology(const std::vector<double>& service_ms) {
+  ss::Topology::Builder b;
+  const char* names[] = {"op1", "op2", "op3", "op4", "op5", "op6"};
+  for (int i = 0; i < 6; ++i) b.add_operator(names[i], service_ms[i] * 1e-3);
+  b.add_edge(0, 1, 0.7);
+  b.add_edge(0, 2, 0.3);
+  b.add_edge(1, 5, 1.0);
+  b.add_edge(2, 3, 2.0 / 3.0);
+  b.add_edge(2, 4, 1.0 / 3.0);
+  b.add_edge(3, 4, 0.25);
+  b.add_edge(3, 5, 0.75);
+  b.add_edge(4, 5, 1.0);
+  return b.build();
+}
+
+/// Prints one topology block in the layout of the paper's Tables 1-2:
+/// per-operator mu^-1 / delta^-1 / rho plus predicted and measured
+/// throughput.
+inline void print_block(const char* title, const ss::Topology& t,
+                        const ss::harness::MeasureOptions& options) {
+  using ss::harness::Table;
+  const ss::SteadyStateResult analysis = ss::steady_state(t);
+  const double measured =
+      ss::harness::measure(t, ss::runtime::Deployment{}, options).throughput;
+
+  std::cout << title << "\n";
+  std::vector<std::string> header{"metric"};
+  for (ss::OpIndex i = 0; i < t.num_operators(); ++i) header.push_back(t.op(i).name);
+  Table table(std::move(header));
+
+  std::vector<std::string> mu{"mu^-1 (ms)"};
+  std::vector<std::string> delta{"delta^-1 (ms)"};
+  std::vector<std::string> rho{"rho"};
+  for (ss::OpIndex i = 0; i < t.num_operators(); ++i) {
+    mu.push_back(Table::num(t.op(i).service_time * 1e3, 2));
+    const double departure = analysis.rates[i].departure;
+    delta.push_back(departure > 0.0 ? Table::num(1e3 / departure, 2) : "-");
+    rho.push_back(Table::num(analysis.rates[i].utilization, 2));
+  }
+  table.add_row(std::move(mu)).add_row(std::move(delta)).add_row(std::move(rho));
+  table.print(std::cout);
+  std::cout << "throughput: " << Table::num(analysis.throughput(), 0) << " (predicted)  "
+            << Table::num(measured, 0) << " (measured)\n\n";
+}
+
+/// Runs the whole Table 1 / Table 2 experiment for the given service times.
+inline int run(int argc, char** argv, const std::vector<double>& service_ms,
+               const char* banner, const char* paper_note) {
+  const ss::harness::Args args(argc, argv);
+  ss::harness::MeasureOptions options;
+  options.engine = ss::harness::engine_from_string(args.get("engine", "threads"));
+  options.sim_duration = args.get_double("sim-duration", 300.0);
+  options.real_duration = args.get_double("real-duration", 2.5);
+
+  std::cout << banner << "\n\n";
+  const ss::Topology original = topology(service_ms);
+  print_block("-- original topology --", original, options);
+
+  const ss::FusionSpec spec{{2, 3, 4}, "F"};
+  const ss::FusionResult fusion = ss::apply_fusion(original, spec);
+  std::cout << "fusing {op3, op4, op5}: predicted service time of F = "
+            << ss::harness::Table::num(fusion.service_time * 1e3, 2) << " ms\n"
+            << (fusion.introduces_bottleneck
+                    ? "ALERT: the fusion would introduce a bottleneck (performance impaired)\n\n"
+                    : "the fusion is feasible: no new bottleneck predicted\n\n");
+
+  print_block("-- topology after fusion --", fusion.topology, options);
+  std::cout << paper_note << "\n";
+  return 0;
+}
+
+}  // namespace fig11

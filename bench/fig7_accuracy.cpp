@@ -1,0 +1,71 @@
+// Figure 7 (paper §5.2): accuracy of the backpressure model on the
+// 50-topology random testbed.
+//
+//   7a: predicted vs measured throughput per topology,
+//   7b: relative prediction error per topology (paper: < 3% on average).
+//
+// The "measured" engine defaults to the discrete-event BAS simulator; pass
+// --engine=threads to run the real actor runtime instead (wall-clock bound:
+// ~real-duration seconds per topology).
+//
+// Flags: --topologies=N --seed=S --engine=sim|threads --sim-duration=SEC
+//        --real-duration=SEC --law=exp|det|normal|lognormal
+#include <iostream>
+
+#include "core/steady_state.hpp"
+#include "gen/workload.hpp"
+#include "harness/args.hpp"
+#include "harness/experiment.hpp"
+#include "harness/table.hpp"
+
+namespace {
+
+ss::sim::ServiceLaw law_from_string(const std::string& name) {
+  if (name == "exp") return ss::sim::ServiceLaw::exponential();
+  if (name == "det") return ss::sim::ServiceLaw::deterministic();
+  if (name == "normal") return ss::sim::ServiceLaw::normal();
+  if (name == "lognormal") return ss::sim::ServiceLaw::lognormal();
+  throw ss::Error("unknown law '" + name + "'");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using ss::harness::Table;
+  const ss::harness::Args args(argc, argv);
+  const int topologies = static_cast<int>(args.get_int("topologies", 50));
+  const std::uint64_t seed = static_cast<std::uint64_t>(args.get_int("seed", 2018));
+
+  ss::harness::MeasureOptions options;
+  options.engine = ss::harness::engine_from_string(args.get("engine", "sim"));
+  options.sim_duration = args.get_double("sim-duration", 200.0);
+  options.real_duration = args.get_double("real-duration", 2.0);
+  options.law = law_from_string(args.get("law", "exp"));
+
+  std::cout << "== Figure 7: accuracy of the SpinStreams backpressure model ==\n"
+            << "testbed: " << topologies << " random topologies (Alg. 5), seed " << seed
+            << ", engine "
+            << (options.engine == ss::harness::Engine::kSim ? "sim (DES)" : "threads (actors)")
+            << "\n\n";
+
+  const auto testbed = ss::make_testbed(seed, topologies);
+
+  Table table({"topology", "|V|", "|E|", "predicted (t/s)", "measured (t/s)", "rel.error"});
+  std::vector<double> errors;
+  for (std::size_t i = 0; i < testbed.size(); ++i) {
+    const ss::Topology& t = testbed[i];
+    const ss::harness::Comparison cmp =
+        ss::harness::compare_throughput(t, ss::runtime::Deployment{}, options);
+    errors.push_back(cmp.error);
+    table.add_row({std::to_string(i + 1), std::to_string(t.num_operators()),
+                   std::to_string(t.num_edges()), Table::num(cmp.predicted, 1),
+                   Table::num(cmp.measured, 1), Table::percent(cmp.error)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nsummary (Fig. 7b): mean error " << Table::percent(ss::harness::mean(errors))
+            << ", stddev " << Table::percent(ss::harness::stddev(errors)) << ", max "
+            << Table::percent(ss::harness::max_value(errors)) << "\n"
+            << "paper reference: relative error below ~3% on average\n";
+  return 0;
+}

@@ -1,0 +1,113 @@
+// Micro-benchmarks of the cost-model algorithms: Algorithm 1 scaling with
+// topology size (validating the O(|V| * |E|) claim of Proposition 3.4),
+// Algorithm 2, Algorithm 3, and the graph utilities they rest on.
+#include <benchmark/benchmark.h>
+
+#include "core/bottleneck.hpp"
+#include "core/fusion.hpp"
+#include "core/paths.hpp"
+#include "core/steady_state.hpp"
+#include "gen/workload.hpp"
+
+namespace {
+
+/// Random topology with exactly `vertices` operators (unit selectivity to
+/// isolate the algorithmic cost).
+ss::Topology sized_topology(int vertices, std::uint64_t seed) {
+  ss::Rng rng(seed);
+  const ss::TopologyShape shape =
+      ss::random_shape(rng, vertices, static_cast<int>((vertices - 1) * 1.2));
+  ss::WorkloadOptions options;
+  options.unit_selectivity = true;
+  return ss::assign_workload(shape, rng, options);
+}
+
+void BM_SteadyState(benchmark::State& state) {
+  const ss::Topology t = sized_topology(static_cast<int>(state.range(0)), 99);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ss::steady_state(t));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_SteadyState)->RangeMultiplier(2)->Range(8, 256)->Complexity();
+
+void BM_BottleneckElimination(benchmark::State& state) {
+  const ss::Topology t = sized_topology(static_cast<int>(state.range(0)), 77);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ss::eliminate_bottlenecks(t));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_BottleneckElimination)->RangeMultiplier(2)->Range(8, 256)->Complexity();
+
+void BM_TopologicalSort(benchmark::State& state) {
+  const ss::Topology t = sized_topology(static_cast<int>(state.range(0)), 55);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ss::topological_sort(t.num_operators(), t.edges()));
+  }
+}
+BENCHMARK(BM_TopologicalSort)->Range(8, 256);
+
+void BM_ArrivalCoefficients(benchmark::State& state) {
+  const ss::Topology t = sized_topology(static_cast<int>(state.range(0)), 33);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ss::arrival_coefficients(t));
+  }
+}
+BENCHMARK(BM_ArrivalCoefficients)->Range(8, 256);
+
+/// Fig. 11 fusion primitives on the paper's example.
+ss::Topology fig11() {
+  ss::Topology::Builder b;
+  const char* names[] = {"op1", "op2", "op3", "op4", "op5", "op6"};
+  const double ms[] = {1.0, 1.2, 0.7, 2.0, 1.5, 0.2};
+  for (int i = 0; i < 6; ++i) b.add_operator(names[i], ms[i] * 1e-3);
+  b.add_edge(0, 1, 0.7);
+  b.add_edge(0, 2, 0.3);
+  b.add_edge(1, 5, 1.0);
+  b.add_edge(2, 3, 2.0 / 3.0);
+  b.add_edge(2, 4, 1.0 / 3.0);
+  b.add_edge(3, 4, 0.25);
+  b.add_edge(3, 5, 0.75);
+  b.add_edge(4, 5, 1.0);
+  return b.build();
+}
+
+void BM_FusionServiceTime(benchmark::State& state) {
+  const ss::Topology t = fig11();
+  const ss::FusionSpec spec{{2, 3, 4}, {}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ss::fusion_service_time(t, spec));
+  }
+}
+BENCHMARK(BM_FusionServiceTime);
+
+void BM_ApplyFusion(benchmark::State& state) {
+  const ss::Topology t = fig11();
+  const ss::FusionSpec spec{{2, 3, 4}, "F"};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ss::apply_fusion(t, spec));
+  }
+}
+BENCHMARK(BM_ApplyFusion);
+
+void BM_KeyPartitioning(benchmark::State& state) {
+  const ss::KeyDistribution keys =
+      ss::KeyDistribution::zipf(static_cast<std::size_t>(state.range(0)), 1.2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ss::partition_keys(keys, 8));
+  }
+}
+BENCHMARK(BM_KeyPartitioning)->Range(64, 4096);
+
+void BM_RandomTopologyGeneration(benchmark::State& state) {
+  ss::Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ss::random_topology(rng));
+  }
+}
+BENCHMARK(BM_RandomTopologyGeneration);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,71 @@
+// The profiling table: service time per input tuple of every one of the 20
+// real-world operators (paper §5.1 profiles its operators the same way
+// before feeding the measurements to the cost models).  One benchmark per
+// catalog implementation, driven through the public OperatorLogic
+// interface.
+#include <benchmark/benchmark.h>
+
+#include "gen/rng.hpp"
+#include "ops/registry.hpp"
+
+namespace {
+
+ss::runtime::Tuple synthetic_tuple(ss::Rng& rng, std::int64_t id) {
+  ss::runtime::Tuple t;
+  t.id = id;
+  t.key = static_cast<std::int64_t>(rng.next_u64() >> 48);
+  t.ts = static_cast<double>(id) * 1e-3;
+  for (double& f : t.f) f = rng.next_double();
+  return t;
+}
+
+class NullCollector final : public ss::runtime::Collector {
+ public:
+  void emit(const ss::runtime::Tuple& t) override {
+    benchmark::DoNotOptimize(t);
+    ++emitted;
+  }
+  void emit_to(ss::OpIndex, const ss::runtime::Tuple& t) override { emit(t); }
+  std::uint64_t emitted = 0;
+};
+
+void BM_Operator(benchmark::State& state, const std::string& impl) {
+  ss::OperatorSpec spec;
+  spec.name = impl;
+  spec.impl = impl;
+  spec.service_time = 1e-3;  // irrelevant for real logic
+  const auto& entry = ss::ops::catalog_entry(impl);
+  if (entry.windowed) spec.selectivity.input = 10.0;  // window slide 10
+  if (entry.impl == "flatmap_expand") spec.selectivity.output = 2.0;
+  if (entry.impl == "sampler") spec.selectivity.output = 0.25;
+
+  auto logic = ss::ops::make_logic(0, spec);
+  NullCollector out;
+  ss::Rng rng(42);
+  std::int64_t id = 0;
+  // Prime windows/state so the steady-state cost is measured.
+  for (int i = 0; i < 2000; ++i) logic->process(synthetic_tuple(rng, id++), 0, out);
+
+  for (auto _ : state) {
+    const ss::OpIndex side = id % 2 == 0 ? 0u : 1u;  // alternate join sides
+    logic->process(synthetic_tuple(rng, id), side, out);
+    ++id;
+  }
+  state.counters["out/in"] = benchmark::Counter(
+      static_cast<double>(out.emitted) / static_cast<double>(id), benchmark::Counter::kDefaults);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (const auto& entry : ss::ops::catalog()) {
+    benchmark::RegisterBenchmark(("BM_Op/" + entry.impl).c_str(),
+                                 [impl = entry.impl](benchmark::State& state) {
+                                   BM_Operator(state, impl);
+                                 });
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

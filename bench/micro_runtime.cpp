@@ -1,0 +1,106 @@
+// Micro-benchmarks of the runtime substrate: mailbox operations (the cost
+// of one actor hop), routing decisions, and end-to-end pipeline hops
+// through the engine — the overheads operator fusion exists to remove.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <thread>
+
+#include "runtime/engine.hpp"
+#include "runtime/mailbox.hpp"
+#include "runtime/routing.hpp"
+#include "runtime/synthetic.hpp"
+
+namespace {
+
+using namespace std::chrono_literals;
+using ss::runtime::Mailbox;
+using ss::runtime::Message;
+using ss::runtime::Tuple;
+
+void BM_MailboxSendReceive(benchmark::State& state) {
+  Mailbox box(64);
+  const Message m = Message::data(Tuple{}, 0, 1);
+  Message out;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(box.send(m, 1s));
+    benchmark::DoNotOptimize(box.receive(out));
+  }
+}
+BENCHMARK(BM_MailboxSendReceive);
+
+void BM_MailboxPingPongThreads(benchmark::State& state) {
+  // Producer thread + benchmark thread: the cross-thread hop cost.
+  Mailbox request(64);
+  Mailbox response(64);
+  std::thread echo([&] {
+    Message m;
+    while (request.receive(m)) {
+      if (m.kind == Message::Kind::kShutdown) break;
+      response.send_unbounded(m);
+    }
+  });
+  const Message m = Message::data(Tuple{}, 0, 1);
+  Message out;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(request.send(m, 1s));
+    benchmark::DoNotOptimize(response.receive(out));
+  }
+  request.send_unbounded(Message::shutdown());
+  echo.join();
+}
+BENCHMARK(BM_MailboxPingPongThreads);
+
+void BM_EdgeRouterChoose(benchmark::State& state) {
+  ss::Topology::Builder b;
+  b.add_operator("src", 1e-3);
+  for (int i = 0; i < 4; ++i) {
+    b.add_operator("d" + std::to_string(i), 1e-3);
+    b.add_edge(0, static_cast<ss::OpIndex>(i + 1), 0.25);
+  }
+  const ss::Topology t = b.build();
+  ss::runtime::EdgeRouter router(t, 0);
+  ss::Rng rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(router.choose(rng));
+  }
+}
+BENCHMARK(BM_EdgeRouterChoose);
+
+void BM_ReplicaSelectorByKey(benchmark::State& state) {
+  ss::KeyPartition partition = ss::partition_keys(ss::KeyDistribution::zipf(1024, 0.5), 8);
+  auto selector = ss::runtime::ReplicaSelector::by_key(partition);
+  ss::Rng rng(7);
+  std::int64_t key = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(selector.select(key++, rng));
+  }
+}
+BENCHMARK(BM_ReplicaSelectorByKey);
+
+/// Full engine: N-stage pipeline of pass-through synthetic operators with
+/// near-zero service time; reports tuples/second through the whole chain,
+/// i.e. the per-hop actor overhead fusion removes.
+void BM_EnginePipelineHops(benchmark::State& state) {
+  const auto stages = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    ss::Topology::Builder b;
+    b.add_operator("src", 1e-6);
+    for (int i = 0; i < stages; ++i) {
+      b.add_operator("s" + std::to_string(i), 1e-7);
+      b.add_edge(static_cast<ss::OpIndex>(i), static_cast<ss::OpIndex>(i + 1));
+    }
+    const ss::Topology t = b.build();
+    constexpr std::int64_t kItems = 20000;
+    ss::runtime::Engine engine(t, ss::runtime::Deployment{},
+                               ss::runtime::synthetic_factory(0.0, kItems), {});
+    const auto stats = engine.run_until_complete(std::chrono::duration<double>(60.0));
+    state.counters["tuples/s"] =
+        benchmark::Counter(static_cast<double>(kItems) / stats.total_seconds);
+  }
+}
+BENCHMARK(BM_EnginePipelineHops)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

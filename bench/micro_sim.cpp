@@ -1,0 +1,57 @@
+// Micro-benchmarks of the discrete-event simulator: event throughput on a
+// pipeline and on a paper-scale random topology, across service laws.
+// These numbers justify using the DES as the measured engine for the
+// 50-topology sweeps (see DESIGN.md).
+#include <benchmark/benchmark.h>
+
+#include "gen/workload.hpp"
+#include "sim/des.hpp"
+
+namespace {
+
+ss::Topology pipeline(int stages) {
+  ss::Topology::Builder b;
+  b.add_operator("src", 1e-3);
+  for (int i = 0; i < stages; ++i) {
+    b.add_operator("s" + std::to_string(i), 0.5e-3);
+    b.add_edge(static_cast<ss::OpIndex>(i), static_cast<ss::OpIndex>(i + 1));
+  }
+  return b.build();
+}
+
+void run_sim(benchmark::State& state, const ss::Topology& t, ss::sim::ServiceLaw law) {
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    ss::sim::SimOptions options;
+    options.duration = 20.0;
+    options.law = law;
+    const ss::sim::SimResult result = ss::sim::simulate(t, options);
+    events += result.events;
+    benchmark::DoNotOptimize(result.throughput);
+  }
+  state.counters["events/s"] =
+      benchmark::Counter(static_cast<double>(events), benchmark::Counter::kIsRate);
+}
+
+void BM_DesPipelineExponential(benchmark::State& state) {
+  run_sim(state, pipeline(static_cast<int>(state.range(0))),
+          ss::sim::ServiceLaw::exponential());
+}
+BENCHMARK(BM_DesPipelineExponential)->Arg(4)->Arg(16)->Unit(benchmark::kMillisecond);
+
+void BM_DesPipelineDeterministic(benchmark::State& state) {
+  run_sim(state, pipeline(static_cast<int>(state.range(0))),
+          ss::sim::ServiceLaw::deterministic());
+}
+BENCHMARK(BM_DesPipelineDeterministic)->Arg(4)->Arg(16)->Unit(benchmark::kMillisecond);
+
+void BM_DesRandomTopology(benchmark::State& state) {
+  ss::Rng rng(static_cast<std::uint64_t>(state.range(0)));
+  const ss::Topology t = ss::random_topology(rng);
+  run_sim(state, t, ss::sim::ServiceLaw::exponential());
+}
+BENCHMARK(BM_DesRandomTopology)->Arg(1)->Arg(2)->Arg(3)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,93 @@
+// IoT / environmental-monitoring scenario (paper §1 motivates exactly this
+// class of applications): a fine-grained analytics tail that is over-
+// decomposed, which operator *fusion* cleans up.
+//
+// Topology:
+//   sensors -> clamp -> wma (smoothing window) -> win_max -> topk -> dashboard
+//
+// The windowed tail operators are heavily under-utilized (the smoothing
+// window's slide divides the rate by 10), so SpinStreams proposes fusing
+// them; the example shows the candidate ranking, applies the best fusion,
+// and verifies on the runtime that throughput is unharmed while three
+// actors become one.
+//
+// Build and run:  ./build/examples/iot_monitoring
+#include <chrono>
+#include <iostream>
+
+#include "core/optimizer.hpp"
+#include "ops/registry.hpp"
+#include "runtime/engine.hpp"
+
+int main() {
+  ss::Topology::Builder builder;
+  ss::OperatorSpec sensors;
+  sensors.name = "sensors";
+  sensors.service_time = 0.8e-3;  // ~1250 readings/s
+  sensors.impl = "source";
+  builder.add_operator(std::move(sensors));
+
+  const auto add = [&](const char* name, const char* impl, double service_ms,
+                       ss::Selectivity sel = {}) {
+    ss::OperatorSpec spec;
+    spec.name = name;
+    spec.impl = impl;
+    spec.service_time = service_ms * 1e-3;
+    spec.selectivity = sel;
+    spec.state = ss::StateKind::kStateful;  // global windows in this app
+    if (std::string(impl) == "clamp") spec.state = ss::StateKind::kStateless;
+    return builder.add_operator(std::move(spec));
+  };
+  const ss::OpIndex clamp = add("clamp", "clamp", 0.1);
+  const ss::OpIndex wma = add("smooth", "wma", 0.7, ss::Selectivity{10.0, 1.0});
+  const ss::OpIndex wmax = add("peak", "win_max", 0.6);
+  const ss::OpIndex topk = add("topk", "topk", 1.2, ss::Selectivity{1.0, 3.0});
+  const ss::OpIndex dash = add("dashboard", "sink", 0.05);
+  builder.add_edge(0, clamp);
+  builder.add_edge(clamp, wma);
+  builder.add_edge(wma, wmax);
+  builder.add_edge(wmax, topk);
+  builder.add_edge(topk, dash);
+  const ss::Topology topology = builder.build();
+
+  ss::Optimizer tool(topology, "iot-monitoring");
+  std::cout << "-- static analysis --\n" << tool.report() << '\n';
+
+  // Ask the tool for fusion candidates, ranked by utilization (§4.1).
+  const auto candidates = tool.fusion_candidates();
+  std::cout << "fusion candidates (ranked by mean utilization):\n";
+  for (const auto& candidate : candidates) {
+    std::cout << "  {";
+    for (std::size_t i = 0; i < candidate.spec.members.size(); ++i) {
+      std::cout << (i ? ", " : "") << topology.op(candidate.spec.members[i]).name;
+    }
+    std::cout << "}  mean rho " << candidate.mean_utilization << ", fused service time "
+              << candidate.service_time * 1e3 << " ms\n";
+  }
+  if (candidates.empty()) {
+    std::cout << "  (none - nothing is under-utilized)\n";
+    return 0;
+  }
+
+  const ss::FusionResult fusion = tool.try_fusion(candidates.front().spec);
+  std::cout << "\n-- after fusing the best candidate --\n" << tool.report() << '\n';
+
+  // Execute original vs fused on the actor runtime with the real operator
+  // implementations resolved from the registry.
+  const auto run = [](const ss::Topology& t, const std::vector<ss::FusionSpec>& fusions) {
+    ss::runtime::Deployment deployment;
+    deployment.fusions = fusions;
+    ss::runtime::Engine engine(t, deployment, ss::runtime::synthetic_factory(), {});
+    return engine.run_for(std::chrono::duration<double>(2.0)).source_rate;
+  };
+  const double before = run(topology, {});
+  // Equivalent executions: run the *original* topology with the fused
+  // members executed by one meta actor (Alg. 4)...
+  const double fused_meta = run(topology, {candidates.front().spec});
+  std::cout << "measured throughput: original actors " << before << " tuples/s, fused meta actor "
+            << fused_meta << " tuples/s\n"
+            << "actors saved by fusion: " << candidates.front().spec.members.size() - 1 << '\n'
+            << "predicted after fusion: " << fusion.throughput_after << " tuples/s ("
+            << (fusion.introduces_bottleneck ? "bottleneck!" : "no bottleneck") << ")\n";
+  return 0;
+}

@@ -1,0 +1,148 @@
+// Network-monitoring scenario exercising the two-input band join (the
+// heaviest operator of the paper's testbed) and the multi-source support:
+// two independent probe streams are unified under a fictitious source
+// (paper §3.1's workaround), band-joined on their timestamps, and the
+// match stream is aggregated.
+//
+// Topology (after the fictitious source is added):
+//                __source__
+//               /          |
+//         probe_a      probe_b      (two measurement vantage points)
+//               |          |
+//              band_join            (|latency_a - latency_b| <= band)
+//                 |
+//             win_quantile          (p95 of the latency skew)
+//                 |
+//               alarms
+//
+// Build and run:  ./build/examples/netflow_join
+#include <atomic>
+#include <chrono>
+#include <iostream>
+
+#include "core/optimizer.hpp"
+#include "ops/join.hpp"
+#include "ops/windowed.hpp"
+#include "runtime/engine.hpp"
+
+namespace {
+
+using ss::runtime::Collector;
+using ss::runtime::OperatorLogic;
+using ss::runtime::SourceLogic;
+using ss::runtime::Tuple;
+
+/// The unified probe source: emits measurements tagged for probe A or B
+/// (f[3] = 0/1); the runtime's probabilistic routing sends each to the
+/// right branch per the fictitious source's edge probabilities, but to
+/// keep the example deterministic we route explicitly downstream.
+class ProbeFeed final : public SourceLogic {
+ public:
+  ProbeFeed(std::int64_t count, std::uint64_t seed) : count_(count), rng_(seed) {}
+  bool next(Tuple& out) override {
+    if (next_id_ >= count_) return false;
+    out = Tuple{};
+    out.id = next_id_++;
+    out.key = out.id % 64;                       // flow id
+    out.f[0] = 10.0 + 2.0 * rng_.next_double();  // measured latency (ms)
+    return true;
+  }
+
+ private:
+  std::int64_t count_;
+  std::int64_t next_id_ = 0;
+  ss::Rng rng_;
+};
+
+/// Adds per-vantage-point measurement noise.
+class VantagePoint final : public OperatorLogic {
+ public:
+  explicit VantagePoint(double bias, std::uint64_t seed) : bias_(bias), rng_(seed) {}
+  void process(const Tuple& item, ss::OpIndex, Collector& out) override {
+    Tuple t = item;
+    t.f[0] += bias_ + 0.02 * rng_.next_double();
+    out.emit(t);
+  }
+  std::unique_ptr<OperatorLogic> clone() const override {
+    return std::make_unique<VantagePoint>(bias_, rng_.next_u64());
+  }
+
+ private:
+  double bias_;
+  mutable ss::Rng rng_;
+};
+
+class AlarmSink final : public OperatorLogic {
+ public:
+  explicit AlarmSink(std::atomic<std::int64_t>* count) : count_(count) {}
+  void process(const Tuple& item, ss::OpIndex, Collector& out) override {
+    count_->fetch_add(1);
+    out.emit(item);
+  }
+  std::unique_ptr<OperatorLogic> clone() const override {
+    return std::make_unique<AlarmSink>(count_);
+  }
+
+ private:
+  std::atomic<std::int64_t>* count_;
+};
+
+}  // namespace
+
+int main() {
+  // Two probe streams; add_fictitious_source unifies them (paper §3.1).
+  ss::Topology::Builder builder;
+  const ss::OpIndex probe_a = builder.add_operator("probe_a", 0.4e-3);
+  const ss::OpIndex probe_b = builder.add_operator("probe_b", 0.5e-3);
+  ss::OperatorSpec join_spec;
+  join_spec.name = "skew_join";
+  join_spec.service_time = 1.2e-3;
+  join_spec.state = ss::StateKind::kStateful;
+  join_spec.selectivity = ss::Selectivity{1.0, 1.2};  // profiled match rate
+  const ss::OpIndex join = builder.add_operator(std::move(join_spec));
+  ss::OperatorSpec quant;
+  quant.name = "p95_skew";
+  quant.impl = "win_quantile";
+  quant.service_time = 0.8e-3;
+  quant.state = ss::StateKind::kStateful;
+  quant.selectivity = ss::Selectivity{10.0, 1.0};
+  const ss::OpIndex p95 = builder.add_operator(std::move(quant));
+  const ss::OpIndex alarms = builder.add_operator("alarms", 0.05e-3);
+  builder.add_edge(probe_a, join);
+  builder.add_edge(probe_b, join);
+  builder.add_edge(join, p95);
+  builder.add_edge(p95, alarms);
+  builder.add_fictitious_source(0.25e-3, "probes");
+  const ss::Topology topology = builder.build();
+
+  ss::Optimizer tool(topology, "netflow");
+  std::cout << "-- static analysis (multi-source unified by a fictitious root) --\n"
+            << tool.report() << '\n';
+
+  // Execute with the real operator logics (join sides distinguished by the
+  // upstream operator id the runtime passes to process()).
+  static constexpr std::int64_t kProbes = 20000;
+  std::atomic<std::int64_t> alarm_count{0};
+  ss::runtime::AppFactory factory;
+  factory.source = [](ss::OpIndex, const ss::OperatorSpec&) {
+    return std::make_unique<ProbeFeed>(kProbes, 11);
+  };
+  factory.logic = [&](ss::OpIndex op, const ss::OperatorSpec& spec)
+      -> std::unique_ptr<OperatorLogic> {
+    if (op == 0) return std::make_unique<VantagePoint>(0.00, 21);
+    if (op == 1) return std::make_unique<VantagePoint>(0.05, 22);
+    if (op == 2) return std::make_unique<ss::ops::BandJoin>(128, 0.1);
+    if (op == 3) return std::make_unique<ss::ops::WinQuantile>(1000, 10, 0.95);
+    if (op == 4) return std::make_unique<AlarmSink>(&alarm_count);
+    (void)spec;
+    return nullptr;
+  };
+
+  ss::runtime::Engine engine(topology, ss::runtime::Deployment{}, factory, {});
+  const auto stats = engine.run_until_complete(std::chrono::duration<double>(120.0));
+  std::cout << ss::runtime::format_stats(topology, stats);
+  std::cout << "join matches: " << stats.ops[join].emitted << " from "
+            << stats.ops[join].processed << " probe measurements; " << alarm_count.load()
+            << " p95 skew updates reached the alarm stage\n";
+  return stats.ops[join].processed > 0 && alarm_count.load() > 0 ? 0 : 1;
+}

@@ -1,0 +1,423 @@
+#include "cli/cli.hpp"
+
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "core/bottleneck.hpp"
+#include "core/codegen.hpp"
+#include "core/error.hpp"
+#include "core/fusion.hpp"
+#include "core/latency.hpp"
+#include "core/optimizer.hpp"
+#include "core/profile.hpp"
+#include "core/validate.hpp"
+#include "gen/workload.hpp"
+#include "harness/args.hpp"
+#include "harness/experiment.hpp"
+#include "harness/profiler.hpp"
+#include "harness/table.hpp"
+#include "ops/registry.hpp"
+#include "runtime/engine.hpp"
+#include "sim/des.hpp"
+#include "xmlio/topology_xml.hpp"
+
+namespace ss::cli {
+
+namespace {
+
+using harness::Args;
+using harness::Table;
+
+constexpr const char* kUsage = R"(spinstreams — static optimization tool for stream processing topologies
+
+usage: spinstreams <command> <topology.xml> [flags]
+
+commands:
+  validate <file>                    check the description (all issues listed)
+  analyze <file> [--latency]         steady-state analysis (Alg. 1)
+  optimize <file> [--max-replicas=N] [--save-xml=OUT]
+                                     bottleneck elimination (Alg. 2)
+  auto <file> [--max-replicas=N] [--no-fusion] [--out=FILE]
+                                     fission + every safe fusion, optional codegen
+  candidates <file> [--threshold=R]  fusion suggestions ranked by utilization
+  fuse <file> --members=a,b,c [--multi] [--name=F]
+                                     evaluate a fusion (Alg. 3 / Fig. 2 ext.)
+  simulate <file> [--duration=S] [--optimize] [--shedding]
+                                     discrete-event simulation vs the model
+  run <file> [--seconds=S] [--optimize]
+                                     execute on the actor runtime
+  codegen <file> [--max-replicas=N] [--out=FILE] [--run-seconds=S]
+                                     generate a C++ program for the deployment
+  whatif <file> --set op=ms[,op=ms...] [--replicas=op=n,...]
+                                     re-run the analysis under hypothetical
+                                     service times / replica counts
+  profile <file> [--items=N] [--save-xml=OUT]
+                                     measure the real operator implementations
+                                     and re-annotate the description (§4.1)
+  generate [--seed=S] [--out=FILE]   random testbed topology (Alg. 5) as XML
+  help                               this text
+)";
+
+Topology load(const Args& args) {
+  require(!args.positional().empty(), "expected a topology XML file argument");
+  return xml::load_topology_file(args.positional().front());
+}
+
+/// Resolves "--members=a,b,c" (names or indices) against the topology.
+FusionSpec parse_members(const Topology& t, const Args& args) {
+  const std::string csv = args.get("members");
+  require(!csv.empty(), "fuse: --members=a,b,c is required");
+  FusionSpec spec;
+  std::istringstream in(csv);
+  std::string token;
+  while (std::getline(in, token, ',')) {
+    if (auto index = t.find(token)) {
+      spec.members.push_back(*index);
+    } else {
+      try {
+        spec.members.push_back(static_cast<OpIndex>(std::stoul(token)));
+      } catch (const std::exception&) {
+        throw Error("fuse: unknown operator '" + token + "'");
+      }
+    }
+  }
+  spec.fused_name = args.get("name", "");
+  return spec;
+}
+
+int cmd_validate(const Args& args, std::ostream& out) {
+  // Load through the DOM (not load_topology) so *all* issues are reported.
+  std::ifstream in(args.positional().front());
+  require(in.good(), "cannot open '" + args.positional().front() + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const Topology t = xml::load_topology(buffer.str());  // throws on hard errors
+  const ValidationReport report = validate_draft(t.operators(), t.edges());
+  out << (report.issues.empty() ? "OK: the description satisfies all constraints\n"
+                                : report.to_string());
+  return report.ok() ? 0 : 1;
+}
+
+int cmd_analyze(const Args& args, std::ostream& out) {
+  const Topology t = load(args);
+  const SteadyStateResult rates = steady_state(t);
+  out << format_analysis(t, rates);
+  if (args.has("latency")) {
+    const LatencyEstimate latency = estimate_latency(t, rates);
+    Table table({"operator", "response (ms)", "window delay (ms)", "to sink (ms)"});
+    for (OpIndex i = 0; i < t.num_operators(); ++i) {
+      table.add_row({t.op(i).name, Table::num(latency.response[i] * 1e3),
+                     Table::num(latency.window_delay[i] * 1e3),
+                     Table::num(latency.to_sink[i] * 1e3)});
+    }
+    table.print(out);
+    out << "estimated end-to-end latency: " << Table::num(latency.end_to_end * 1e3)
+        << " ms\n";
+  }
+  return 0;
+}
+
+int cmd_optimize(const Args& args, std::ostream& out) {
+  const Topology t = load(args);
+  BottleneckOptions options;
+  if (args.has("max-replicas")) {
+    options.max_total_replicas = static_cast<int>(args.get_int("max-replicas", 0));
+  }
+  const BottleneckResult result = eliminate_bottlenecks(t, options);
+  out << format_analysis(t, result.analysis, result.plan);
+  out << "total replicas: " << result.total_replicas << " (+" << result.additional_replicas
+      << "), " << (result.reaches_ideal ? "reaches the ideal throughput" : "still limited by: ");
+  for (OpIndex op : result.unresolved) out << "'" << t.op(op).name << "' ";
+  out << '\n';
+  const std::string save = args.get("save-xml", "");
+  if (!save.empty()) {
+    xml::save_topology_file(t, save, "optimized");
+    out << "description written to " << save << '\n';
+  }
+  return 0;
+}
+
+int cmd_auto(const Args& args, std::ostream& out) {
+  const Topology t = load(args);
+  AutoOptimizeOptions options;
+  if (args.has("max-replicas")) {
+    options.bottleneck.max_total_replicas = static_cast<int>(args.get_int("max-replicas", 0));
+  }
+  options.enable_fusion = !args.has("no-fusion");
+  const AutoOptimizeResult result = auto_optimize(t, options);
+
+  out << format_analysis(t, result.analysis, result.plan);
+  out << "replicas added: " << result.additional_replicas
+      << (result.reaches_ideal ? " (reaches the ideal throughput)" : " (still limited)")
+      << "\n";
+  if (result.fusions.empty()) {
+    out << "no safe fusion found\n";
+  } else {
+    out << "fusions applied (" << result.actors_saved_by_fusion << " actors saved):\n";
+    for (const FusionSpec& fusion : result.fusions) {
+      out << "  {";
+      for (std::size_t i = 0; i < fusion.members.size(); ++i) {
+        out << (i ? ", " : "") << t.op(fusion.members[i]).name;
+      }
+      out << "}\n";
+    }
+  }
+  const std::string path = args.get("out", "");
+  if (!path.empty()) {
+    CodegenOptions codegen;
+    codegen.app_name = args.positional().front();
+    std::ofstream file(path);
+    require(file.good(), "cannot write '" + path + "'");
+    file << generate_runtime_source(t, result.plan, result.fusions, codegen);
+    out << "generated program written to " << path << "\n";
+  }
+  return 0;
+}
+
+int cmd_candidates(const Args& args, std::ostream& out) {
+  const Topology t = load(args);
+  FusionSuggestOptions options;
+  options.utilization_threshold = args.get_double("threshold", 0.5);
+  const auto candidates = suggest_fusion_candidates(t, steady_state(t), options);
+  if (candidates.empty()) {
+    out << "no fusion candidates below utilization " << options.utilization_threshold << '\n';
+    return 0;
+  }
+  Table table({"members", "mean rho", "fused service (ms)"});
+  for (const FusionCandidate& candidate : candidates) {
+    std::string members;
+    for (OpIndex m : candidate.spec.members) {
+      if (!members.empty()) members += ',';
+      members += t.op(m).name;
+    }
+    table.add_row({members, Table::num(candidate.mean_utilization),
+                   Table::num(candidate.service_time * 1e3)});
+  }
+  table.print(out);
+  return 0;
+}
+
+int cmd_fuse(const Args& args, std::ostream& out) {
+  const Topology t = load(args);
+  const FusionSpec spec = parse_members(t, args);
+  const FusionResult result =
+      args.has("multi") ? apply_fusion_multi(t, spec) : apply_fusion(t, spec);
+  out << "fused service time: " << Table::num(result.service_time * 1e3) << " ms\n"
+      << "throughput: " << Table::num(result.throughput_before, 1) << " -> "
+      << Table::num(result.throughput_after, 1) << " tuples/s\n";
+  if (result.introduces_bottleneck) {
+    out << "ALERT: this fusion introduces a bottleneck (performance impaired)\n";
+  } else {
+    out << "the fusion is feasible (no new bottleneck)\n";
+  }
+  out << format_analysis(result.topology, result.analysis);
+  return result.introduces_bottleneck ? 1 : 0;
+}
+
+int cmd_simulate(const Args& args, std::ostream& out) {
+  const Topology t = load(args);
+  runtime::Deployment deployment;
+  if (args.has("optimize")) {
+    const BottleneckResult result = eliminate_bottlenecks(t);
+    deployment.replication = result.plan;
+    deployment.partitions = result.partitions;
+  }
+  sim::SimOptions options;
+  options.duration = args.get_double("duration", 120.0);
+  options.shedding = args.has("shedding");
+  options.replication = deployment.replication;
+  options.partitions = deployment.partitions;
+  const sim::SimResult result = sim::simulate(t, options);
+  const double predicted = steady_state(t, deployment.replication).throughput();
+
+  Table table({"operator", "arrival/s", "departure/s", "busy", "sojourn (ms)", "shed"});
+  for (OpIndex i = 0; i < t.num_operators(); ++i) {
+    table.add_row({t.op(i).name, Table::num(result.ops[i].arrival_rate, 1),
+                   Table::num(result.ops[i].departure_rate, 1),
+                   Table::percent(result.ops[i].busy_fraction, 0),
+                   Table::num(result.ops[i].mean_sojourn * 1e3),
+                   std::to_string(result.ops[i].shed)});
+  }
+  table.print(out);
+  out << "simulated throughput: " << Table::num(result.throughput, 1)
+      << " tuples/s, model predicts " << Table::num(predicted, 1) << " (error "
+      << Table::percent(harness::relative_error(predicted, result.throughput)) << ")\n";
+  return 0;
+}
+
+int cmd_run(const Args& args, std::ostream& out) {
+  const Topology t = load(args);
+  runtime::Deployment deployment;
+  if (args.has("optimize")) {
+    const BottleneckResult result = eliminate_bottlenecks(t);
+    deployment.replication = result.plan;
+    deployment.partitions = result.partitions;
+  }
+  runtime::Engine engine(t, deployment, ops::make_logic_factory(t), {});
+  const runtime::RunStats stats = engine.run_for(
+      std::chrono::duration<double>(args.get_double("seconds", 5.0)));
+  out << runtime::format_stats(t, stats);
+  return 0;
+}
+
+int cmd_codegen(const Args& args, std::ostream& out) {
+  const Topology t = load(args);
+  BottleneckOptions options;
+  if (args.has("max-replicas")) {
+    options.max_total_replicas = static_cast<int>(args.get_int("max-replicas", 0));
+  }
+  const BottleneckResult result = eliminate_bottlenecks(t, options);
+  CodegenOptions codegen;
+  codegen.app_name = args.positional().front();
+  codegen.run_seconds = args.get_double("run-seconds", 10.0);
+  const std::string source = generate_runtime_source(t, result.plan, {}, codegen);
+  const std::string path = args.get("out", "");
+  if (path.empty()) {
+    out << source;
+  } else {
+    std::ofstream file(path);
+    require(file.good(), "cannot write '" + path + "'");
+    file << source;
+    out << "generated program written to " << path << '\n';
+  }
+  return 0;
+}
+
+/// Parses "name=value,name=value" pairs against operator names.
+std::vector<std::pair<OpIndex, double>> parse_assignments(const Topology& t,
+                                                          const std::string& csv,
+                                                          const char* flag) {
+  std::vector<std::pair<OpIndex, double>> result;
+  std::istringstream in(csv);
+  std::string token;
+  while (std::getline(in, token, ',')) {
+    const auto eq = token.find('=');
+    require(eq != std::string::npos,
+            std::string(flag) + ": expected name=value, got '" + token + "'");
+    const std::string name = token.substr(0, eq);
+    const auto index = t.find(name);
+    require(index.has_value(), std::string(flag) + ": unknown operator '" + name + "'");
+    result.emplace_back(*index, std::stod(token.substr(eq + 1)));
+  }
+  return result;
+}
+
+int cmd_whatif(const Args& args, std::ostream& out) {
+  const Topology original = load(args);
+  const SteadyStateResult before = steady_state(original);
+
+  // Hypothetical service times (milliseconds).
+  Topology::Builder builder;
+  std::vector<double> new_times(original.num_operators(), -1.0);
+  for (const auto& [op, ms] : parse_assignments(original, args.get("set", ""), "--set")) {
+    require(ms > 0.0, "--set: service times must be positive");
+    new_times[op] = ms * 1e-3;
+  }
+  for (OpIndex i = 0; i < original.num_operators(); ++i) {
+    OperatorSpec spec = original.op(i);
+    if (new_times[i] > 0.0) spec.service_time = new_times[i];
+    builder.add_operator(std::move(spec));
+  }
+  for (const Edge& e : original.edges()) builder.add_edge(e.from, e.to, e.probability);
+  const Topology changed = builder.build();
+
+  // Hypothetical replica counts.
+  ReplicationPlan plan;
+  plan.replicas.assign(changed.num_operators(), 1);
+  for (const auto& [op, n] :
+       parse_assignments(original, args.get("replicas", ""), "--replicas")) {
+    require(n >= 1.0, "--replicas: counts must be >= 1");
+    plan.replicas[op] = static_cast<int>(n);
+  }
+
+  const SteadyStateResult after = steady_state(changed, plan);
+  out << "-- current --\n" << format_analysis(original, before) << "\n-- what-if --\n"
+      << format_analysis(changed, after, plan);
+  const double delta = after.throughput() - before.throughput();
+  out << "throughput change: " << (delta >= 0 ? "+" : "") << Table::num(delta, 1)
+      << " tuples/s (" << Table::num(100.0 * delta / before.throughput(), 1) << "%)\n";
+  return 0;
+}
+
+int cmd_profile(const Args& args, std::ostream& out) {
+  const Topology declared = load(args);
+  const int items = static_cast<int>(args.get_int("items", 2000));
+  const ProfileData profile = harness::profile_topology(declared, items);
+  require(!profile.operators.empty(),
+          "profile: no operator names a known implementation (impl=...)");
+  const Topology annotated = annotate_with_profile(declared, profile);
+
+  Table table({"operator", "declared (us)", "measured (us)", "measured out/in"});
+  for (OpIndex i = 0; i < declared.num_operators(); ++i) {
+    auto it = profile.operators.find(declared.op(i).name);
+    if (it == profile.operators.end()) continue;
+    table.add_row({declared.op(i).name, Table::num(declared.op(i).service_time * 1e6, 1),
+                   Table::num(it->second.service_time * 1e6, 3),
+                   Table::num(it->second.selectivity.output / it->second.selectivity.input,
+                              3)});
+  }
+  table.print(out);
+  out << "re-annotated analysis:\n" << format_analysis(annotated, steady_state(annotated));
+  const std::string save = args.get("save-xml", "");
+  if (!save.empty()) {
+    xml::save_topology_file(annotated, save, "profiled");
+    out << "annotated description written to " << save << '\n';
+  }
+  return 0;
+}
+
+int cmd_generate(const Args& args, std::ostream& out) {
+  Rng rng(static_cast<std::uint64_t>(args.get_int("seed", 1)));
+  const Topology t = random_topology(rng);
+  const std::string xml_text = xml::save_topology(t, "generated");
+  const std::string path = args.get("out", "");
+  if (path.empty()) {
+    out << xml_text;
+  } else {
+    std::ofstream file(path);
+    require(file.good(), "cannot write '" + path + "'");
+    file << xml_text;
+    out << "topology with " << t.num_operators() << " operators written to " << path << '\n';
+  }
+  return 0;
+}
+
+}  // namespace
+
+const char* usage() { return kUsage; }
+
+int run_cli(int argc, const char* const* argv, std::ostream& out, std::ostream& err) {
+  if (argc < 2) {
+    err << kUsage;
+    return 2;
+  }
+  const std::string command = argv[1];
+  const Args args(argc - 1, argv + 1);
+  try {
+    if (command == "help" || command == "--help") {
+      out << kUsage;
+      return 0;
+    }
+    if (command == "validate") return cmd_validate(args, out);
+    if (command == "analyze") return cmd_analyze(args, out);
+    if (command == "optimize") return cmd_optimize(args, out);
+    if (command == "auto") return cmd_auto(args, out);
+    if (command == "candidates") return cmd_candidates(args, out);
+    if (command == "fuse") return cmd_fuse(args, out);
+    if (command == "simulate") return cmd_simulate(args, out);
+    if (command == "run") return cmd_run(args, out);
+    if (command == "codegen") return cmd_codegen(args, out);
+    if (command == "profile") return cmd_profile(args, out);
+    if (command == "whatif") return cmd_whatif(args, out);
+    if (command == "generate") return cmd_generate(args, out);
+    err << "unknown command '" << command << "'\n\n" << kUsage;
+    return 2;
+  } catch (const Error& e) {
+    err << "error: " << e.what() << '\n';
+    return 1;
+  }
+}
+
+}  // namespace ss::cli

@@ -1,0 +1,29 @@
+// The SpinStreams command-line tool (the headless equivalent of the paper's
+// GUI workflow, Fig. 5): import an XML topology, inspect and optimize it,
+// simulate or execute it, and generate code.
+//
+// Commands (see usage() or run `spinstreams help`):
+//   validate    check a description against the §3.1 constraints
+//   analyze     steady-state analysis (Alg. 1), optional latency estimates
+//   optimize    bottleneck elimination (Alg. 2), optional replica budget
+//   candidates  ranked fusion suggestions (§4.1)
+//   fuse        evaluate/apply a fusion (Alg. 3; --multi for Fig. 2 groups)
+//   simulate    run the DES and compare against the model
+//   run         execute on the actor runtime (real operator impls)
+//   codegen     emit a C++ program for the optimized deployment
+//   generate    produce a random testbed topology (Alg. 5) as XML
+#pragma once
+
+#include <iosfwd>
+
+namespace ss::cli {
+
+/// Entry point used by tools/spinstreams.cpp and by the tests.  Writes
+/// human output to `out` and diagnostics to `err`; returns a process exit
+/// code (0 success, 1 user error, 2 usage).
+int run_cli(int argc, const char* const* argv, std::ostream& out, std::ostream& err);
+
+/// The usage text.
+const char* usage();
+
+}  // namespace ss::cli

@@ -1,0 +1,158 @@
+#include "core/bottleneck.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "core/error.hpp"
+
+namespace ss {
+
+namespace {
+constexpr double kRhoTolerance = 1e-9;
+
+/// Recomputes the key partition of every replicated partitioned-stateful
+/// operator for the replica counts in `plan`, updating plan.max_share and
+/// `partitions`.
+void refresh_partitions(const Topology& t, ReplicationPlan& plan,
+                        std::vector<KeyPartition>& partitions) {
+  for (OpIndex i = 0; i < t.num_operators(); ++i) {
+    if (t.op(i).state != StateKind::kPartitionedStateful) continue;
+    if (plan.replicas_of(i) <= 1) {
+      plan.max_share[i] = 0.0;
+      partitions[i] = KeyPartition{};
+      continue;
+    }
+    KeyPartition part = partition_keys(t.op(i).keys, plan.replicas_of(i));
+    plan.replicas[i] = part.replicas;
+    plan.max_share[i] = part.max_share;
+    partitions[i] = std::move(part);
+  }
+}
+}  // namespace
+
+ReplicationPlan apply_replica_budget(const Topology& t, const ReplicationPlan& plan,
+                                     int max_total) {
+  const std::size_t n = t.num_operators();
+  require(max_total >= 1, "apply_replica_budget: budget must be positive");
+  const int total = plan.total_replicas(n);
+  if (total <= max_total) return plan;
+
+  const double r = static_cast<double>(max_total) / static_cast<double>(total);
+  ReplicationPlan scaled;
+  scaled.replicas.assign(n, 1);
+  scaled.max_share.assign(n, 0.0);
+  for (OpIndex i = 0; i < n; ++i) {
+    scaled.replicas[i] =
+        std::max(1, static_cast<int>(std::llround(plan.replicas_of(i) * r)));
+  }
+
+  // Rounding can leave the plan a few units above the budget; shave single
+  // replicas off the most replicated operators (paper §3.2: "adjustments of
+  // few units").  When even all-ones exceeds the budget nothing more can be
+  // done: one replica per operator is the floor.
+  while (scaled.total_replicas(n) > max_total) {
+    OpIndex victim = kInvalidOp;
+    for (OpIndex i = 0; i < n; ++i) {
+      if (scaled.replicas[i] > 1 &&
+          (victim == kInvalidOp || scaled.replicas[i] > scaled.replicas[victim])) {
+        victim = i;
+      }
+    }
+    if (victim == kInvalidOp) break;
+    --scaled.replicas[victim];
+  }
+  return scaled;
+}
+
+BottleneckResult eliminate_bottlenecks(const Topology& t, const BottleneckOptions& options) {
+  const std::size_t n = t.num_operators();
+  const OpIndex source = t.source();
+  const std::vector<OpIndex>& order = t.topological_order();
+
+  BottleneckResult result;
+  result.plan.replicas.assign(n, 1);
+  result.plan.max_share.assign(n, 0.0);
+  result.partitions.assign(n, KeyPartition{});
+
+  double source_delta = ideal_source_rate(t);
+  std::vector<double> delta(n, 0.0);
+
+  // Guard mirroring steady_state(): every restart permanently lowers the
+  // source rate, so restarts are bounded by the number of operators.
+  int restarts = 0;
+  const int max_restarts = static_cast<int>(2 * n + 8);
+
+  bool done = false;
+  while (!done) {
+    done = true;
+    delta.assign(n, 0.0);
+    delta[source] = source_delta;
+
+    for (std::size_t pos = 1; pos < order.size() && done; ++pos) {
+      const OpIndex i = order[pos];
+      const OperatorSpec& op = t.op(i);
+      double lambda = 0.0;
+      for (const Edge& e : t.in_edges(i)) lambda += delta[e.from] * e.probability;
+
+      double capacity = op.service_rate() / result.plan.max_share_of(i);
+      double rho = lambda / capacity;
+      if (rho > 1.0 + kRhoTolerance) {
+        switch (op.state) {
+          case StateKind::kStateless: {
+            // Definition 1: n_opt = ceil(rho) of the *sequential* operator.
+            const int needed =
+                static_cast<int>(std::ceil(lambda / op.service_rate() - kRhoTolerance));
+            result.plan.replicas[i] = std::max(result.plan.replicas[i], needed);
+            result.plan.max_share[i] = 0.0;
+            break;
+          }
+          case StateKind::kPartitionedStateful: {
+            const int needed =
+                static_cast<int>(std::ceil(lambda / op.service_rate() - kRhoTolerance));
+            KeyPartition part = partition_keys(op.keys, needed);
+            result.plan.replicas[i] = part.replicas;
+            result.plan.max_share[i] = part.max_share;
+            result.partitions[i] = std::move(part);
+            const double new_rho = lambda * result.plan.max_share[i] / op.service_rate();
+            if (new_rho > 1.0 + kRhoTolerance) {
+              // Keys too skewed: mitigated, not removed (Alg. 2 lines 17-20).
+              require(restarts++ < max_restarts, "eliminate_bottlenecks: no convergence");
+              source_delta /= new_rho;
+              done = false;
+              continue;
+            }
+            break;
+          }
+          case StateKind::kStateful: {
+            // Fission impossible; correct the source (Alg. 2 lines 24-28).
+            require(restarts++ < max_restarts, "eliminate_bottlenecks: no convergence");
+            source_delta /= rho;
+            done = false;
+            continue;
+          }
+        }
+      }
+      capacity = op.service_rate() / result.plan.max_share_of(i);
+      delta[i] = std::min(lambda, capacity) * op.selectivity.rate_gain();
+    }
+  }
+
+  // Hold-off replication: enforce the user's global budget, then re-derive
+  // the achievable key shares for the reduced replica counts.
+  if (options.max_total_replicas &&
+      result.plan.total_replicas(n) > *options.max_total_replicas) {
+    result.plan = apply_replica_budget(t, result.plan, *options.max_total_replicas);
+    refresh_partitions(t, result.plan, result.partitions);
+  }
+
+  result.analysis = steady_state(t, result.plan);
+  result.unresolved = result.analysis.bottlenecks;
+  result.total_replicas = result.plan.total_replicas(n);
+  result.additional_replicas = result.total_replicas - static_cast<int>(n);
+  result.reaches_ideal =
+      result.analysis.source_rate >= ideal_source_rate(t) * (1.0 - 1e-6);
+  return result;
+}
+
+}  // namespace ss

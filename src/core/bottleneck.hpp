@@ -1,0 +1,65 @@
+// Bottleneck elimination via operator fission (paper §3.2, Alg. 2) and the
+// hold-off replication budget.
+//
+// The algorithm walks the topology in topological order like Alg. 1; when a
+// vertex saturates it reacts by state class:
+//   * stateless            -> replicate with n = ceil(rho) (Definition 1),
+//   * partitioned-stateful -> KeyPartitioning(); if the achievable max key
+//                             share still saturates the operator, the
+//                             bottleneck is only mitigated and the source is
+//                             corrected (Thm 3.2),
+//   * stateful             -> cannot replicate; correct the source.
+//
+// If the user supplies a global replica budget Nmax smaller than the total
+// the algorithm chose, every replication degree is scaled by r = Nmax/N
+// (hold-off replication) with small integer adjustments, and the analysis is
+// re-run under the reduced plan.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/key_partitioning.hpp"
+#include "core/steady_state.hpp"
+#include "core/topology.hpp"
+
+namespace ss {
+
+/// Options of the bottleneck-elimination phase.
+struct BottleneckOptions {
+  /// Maximum total number of replicas across the topology (paper §3.2
+  /// "hold-off replication"); nullopt = unbounded.
+  std::optional<int> max_total_replicas;
+};
+
+/// Result of Algorithm 2.
+struct BottleneckResult {
+  /// Final replication plan (replicas and, for partitioned-stateful
+  /// operators, the achieved max key share).
+  ReplicationPlan plan;
+  /// Steady-state rates under `plan` (a full Alg. 1 run).
+  SteadyStateResult analysis;
+  /// Key-to-replica assignments for partitioned-stateful operators that were
+  /// replicated; indexed by operator, empty for the rest.
+  std::vector<KeyPartition> partitions;
+  /// Operators that remain bottlenecks (stateful, or partitioned with too
+  /// skewed keys, or re-saturated after the hold-off scaling).
+  std::vector<OpIndex> unresolved;
+  /// Total replicas used by `plan`.
+  int total_replicas = 0;
+  /// Replicas added w.r.t. the sequential topology (n_i - 1 summed).
+  int additional_replicas = 0;
+  /// True when the plan lets the topology ingest at the source's own rate.
+  bool reaches_ideal = false;
+};
+
+/// Runs Algorithm 2 on `t`.
+BottleneckResult eliminate_bottlenecks(const Topology& t, const BottleneckOptions& options = {});
+
+/// Scales `plan` to respect `max_total` replicas in total: every degree is
+/// multiplied by r = max_total / total and rounded, keeping each >= 1, then
+/// adjusted by single units (largest first) until the budget holds.
+/// Exposed for testing; eliminate_bottlenecks() applies it automatically.
+ReplicationPlan apply_replica_budget(const Topology& t, const ReplicationPlan& plan, int max_total);
+
+}  // namespace ss

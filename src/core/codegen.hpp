@@ -1,0 +1,43 @@
+// Code generation (paper §4.2, the SS2Akka analogue).
+//
+// Once the user settles on an optimized version, SpinStreams generates the
+// program that runs it on the target SPS.  Our target SPS is the bundled
+// ss::runtime actor engine: the generated translation unit rebuilds the
+// topology, the replication plan and the fusion groups, resolves operator
+// implementations through ss::ops::Registry (by the `impl` field of each
+// OperatorSpec, falling back to profile-faithful synthetic operators), and
+// runs the engine for a configurable duration printing measured rates.
+//
+// The emitted source is plain C++20 against the public headers of this
+// repository, so it can be dropped into examples/ and compiled as-is;
+// examples/generated_pipeline.cpp is exactly such an artifact.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/fusion.hpp"
+#include "core/steady_state.hpp"
+#include "core/topology.hpp"
+
+namespace ss {
+
+struct CodegenOptions {
+  /// Name used in the banner and main() comment.
+  std::string app_name = "spinstreams_app";
+  /// How long the generated program runs before printing statistics.
+  double run_seconds = 10.0;
+  /// Mailbox capacity configured in the generated engine.
+  std::size_t mailbox_capacity = 64;
+  /// Send timeout (seconds) after which an item is dropped (paper §5.1 uses
+  /// five seconds).
+  double send_timeout_seconds = 5.0;
+};
+
+/// Emits a complete C++ translation unit executing `t` under `plan` with the
+/// given fusion groups on the ss::runtime engine.
+std::string generate_runtime_source(const Topology& t, const ReplicationPlan& plan,
+                                    const std::vector<FusionSpec>& fusions,
+                                    const CodegenOptions& options = {});
+
+}  // namespace ss

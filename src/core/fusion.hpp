@@ -1,0 +1,120 @@
+// Operator fusion (paper §3.3, Alg. 3).
+//
+// A legal fusion sub-graph has a unique front-end vertex (the only member
+// receiving edges from outside), every member reachable from the front-end
+// inside the sub-graph, and its contraction keeps the topology acyclic.
+// The fused operator's service time is the probability-weighted sum of the
+// service times along all paths through the sub-graph (Definition 2 /
+// Algorithm 3); with the §3.4 extensions each member's contribution is
+// compounded by the selectivity rate gains of its predecessors, which
+// reduces to the paper's formula when all selectivities are one.
+//
+// apply_fusion() produces the re-designed topology: members are replaced by
+// one operator, parallel external edges are merged and their joint
+// probabilities computed from the relative flow they carry.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/steady_state.hpp"
+#include "core/topology.hpp"
+
+namespace ss {
+
+/// A fusion request: the sub-graph members (any order, deduplicated).
+struct FusionSpec {
+  std::vector<OpIndex> members;
+  /// Name of the resulting operator; empty derives "F(a+b+...)".
+  std::string fused_name;
+};
+
+/// Why a FusionSpec is illegal, as a human-readable message; empty == legal.
+std::string check_fusion_legal(const Topology& t, const FusionSpec& spec);
+
+/// Expected service time of the fused operator per item entering its
+/// front-end (Algorithm 3 with memoization; O(|Vsub| + |Esub|)).
+/// Throws ss::Error when the spec is illegal.
+double fusion_service_time(const Topology& t, const FusionSpec& spec);
+
+/// Expected number of items leaving the sub-graph per item entering the
+/// front-end; this becomes the fused operator's output selectivity (1 under
+/// unit member selectivities).
+double fusion_output_gain(const Topology& t, const FusionSpec& spec);
+
+/// Result of applying a fusion to a topology.
+struct FusionResult {
+  Topology topology;           ///< re-designed topology
+  OpIndex fused_index = 0;     ///< index of the new operator
+  double service_time = 0.0;   ///< its predicted service time (seconds)
+  /// old index -> new index; members map to fused_index.
+  std::vector<OpIndex> remap;
+  /// Steady-state analysis of the new topology (Alg. 1 re-run, paper §3.3).
+  SteadyStateResult analysis;
+  /// True when the fused operator saturates, i.e. the fusion would impair
+  /// performance (the tool warns the user, cf. Table 2).
+  bool introduces_bottleneck = false;
+  /// Predicted throughput before/after, for the user-facing report.
+  double throughput_before = 0.0;
+  double throughput_after = 0.0;
+};
+
+/// Applies the fusion and evaluates it.  Throws ss::Error on illegal specs.
+FusionResult apply_fusion(const Topology& t, const FusionSpec& spec);
+
+/// A ranked fusion suggestion (paper §4.1: candidates are proposed after the
+/// steady-state analysis, ranked by utilization).
+struct FusionCandidate {
+  FusionSpec spec;
+  double mean_utilization = 0.0;   ///< mean rho of members (rank key, low first)
+  double service_time = 0.0;       ///< predicted fused service time
+  bool introduces_bottleneck = false;
+};
+
+struct FusionSuggestOptions {
+  /// Only operators with rho below this threshold seed/extend candidates.
+  double utilization_threshold = 0.5;
+  /// Maximum number of candidates returned.
+  std::size_t max_candidates = 8;
+  /// Minimum members per candidate.
+  std::size_t min_members = 2;
+};
+
+/// Greedily grows legal sub-graphs of under-utilized operators and ranks
+/// them by mean utilization (ascending), dropping any whose fusion would
+/// introduce a bottleneck.
+std::vector<FusionCandidate> suggest_fusion_candidates(const Topology& t,
+                                                       const SteadyStateResult& rates,
+                                                       const FusionSuggestOptions& options = {});
+
+// ---------------------------------------------------------------------
+// Multi-entry fusion (extension).
+//
+// The paper's motivating scenario (§2, Fig. 2) fuses OP4 and OP5 even
+// though *both* receive items from outside the sub-graph: an item entering
+// at member m executes m's logic and continues from there (the runtime
+// meta actor already implements exactly that).  The §3.3 cost model is
+// restricted to single-front-end sub-graphs; this extension generalizes it
+// by weighting each entry member with its share of the external arrival
+// flow, which Alg. 1 provides.  With a single front-end it reduces to the
+// paper's formula.
+// ---------------------------------------------------------------------
+
+/// Legality of a multi-entry fusion: >= 2 members, source excluded, every
+/// member reachable (within the sub-graph) from some member with external
+/// input, and the contraction acyclic — this last check is load-bearing
+/// here, unlike in the single-front-end case.  Empty string == legal.
+std::string check_fusion_legal_multi(const Topology& t, const FusionSpec& spec);
+
+/// Expected service time per item entering the fused operator, weighting
+/// each entry point by its steady-state share of the external arrivals.
+double fusion_service_time_multi(const Topology& t, const FusionSpec& spec,
+                                 const SteadyStateResult& rates);
+
+/// Applies a multi-entry fusion: external in-edges from one origin to
+/// several members are merged (their flow enters the single fused
+/// operator), external out-edges merge per destination as usual, and the
+/// fused service time comes from fusion_service_time_multi.
+FusionResult apply_fusion_multi(const Topology& t, const FusionSpec& spec);
+
+}  // namespace ss

@@ -1,0 +1,43 @@
+#include "core/key_distribution.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "core/error.hpp"
+
+namespace ss {
+
+KeyDistribution::KeyDistribution(std::vector<double> frequencies)
+    : probabilities_(std::move(frequencies)) {
+  require(!probabilities_.empty(), "KeyDistribution: empty frequency vector");
+  double total = 0.0;
+  for (double f : probabilities_) {
+    require(f >= 0.0, "KeyDistribution: negative frequency");
+    total += f;
+  }
+  require(total > 0.0, "KeyDistribution: frequencies sum to zero");
+  for (double& f : probabilities_) f /= total;
+}
+
+KeyDistribution KeyDistribution::uniform(std::size_t num_keys) {
+  require(num_keys > 0, "KeyDistribution::uniform: num_keys must be > 0");
+  return KeyDistribution(std::vector<double>(num_keys, 1.0));
+}
+
+KeyDistribution KeyDistribution::zipf(std::size_t num_keys, double alpha) {
+  require(num_keys > 0, "KeyDistribution::zipf: num_keys must be > 0");
+  require(alpha > 0.0, "KeyDistribution::zipf: alpha must be > 0");
+  std::vector<double> freq(num_keys);
+  for (std::size_t k = 0; k < num_keys; ++k) {
+    freq[k] = 1.0 / std::pow(static_cast<double>(k + 1), alpha);
+  }
+  return KeyDistribution(std::move(freq));
+}
+
+double KeyDistribution::max_probability() const {
+  if (probabilities_.empty()) return 0.0;
+  return *std::max_element(probabilities_.begin(), probabilities_.end());
+}
+
+}  // namespace ss

@@ -1,0 +1,52 @@
+// Key frequency distributions for partitioned-stateful operators (paper §3.2).
+//
+// A partitioned-stateful operator routes each item to a replica according to
+// a partitioning-key attribute.  How well fission works on such an operator
+// depends on the key frequency distribution: the most loaded replica receives
+// a fraction p_max of the stream, and the operator remains a bottleneck when
+// p_max * lambda > mu.  SpinStreams therefore carries the measured (or
+// assumed) key frequencies in the topology description.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace ss {
+
+/// Discrete probability distribution over the key domain of a
+/// partitioned-stateful operator.  Frequencies are normalized on
+/// construction; keys are identified by their index.
+class KeyDistribution {
+ public:
+  KeyDistribution() = default;
+
+  /// Builds from raw (not necessarily normalized) non-negative frequencies.
+  /// Throws ss::Error if `frequencies` is empty, contains a negative value,
+  /// or sums to zero.
+  explicit KeyDistribution(std::vector<double> frequencies);
+
+  /// Uniform distribution over `num_keys` keys.
+  static KeyDistribution uniform(std::size_t num_keys);
+
+  /// Zipf (power-law) distribution with scaling exponent `alpha` > 0 over
+  /// `num_keys` keys; frequency of key k is proportional to 1/(k+1)^alpha.
+  /// The paper generates key skew this way (§5.3).
+  static KeyDistribution zipf(std::size_t num_keys, double alpha);
+
+  [[nodiscard]] std::size_t num_keys() const { return probabilities_.size(); }
+  [[nodiscard]] bool empty() const { return probabilities_.empty(); }
+
+  /// Normalized frequency of key `k`.
+  [[nodiscard]] double probability(std::size_t k) const { return probabilities_.at(k); }
+
+  [[nodiscard]] const std::vector<double>& probabilities() const { return probabilities_; }
+
+  /// Largest single-key frequency; a lower bound on p_max for any
+  /// partitioning into replicas.
+  [[nodiscard]] double max_probability() const;
+
+ private:
+  std::vector<double> probabilities_;
+};
+
+}  // namespace ss

@@ -1,0 +1,37 @@
+// KeyPartitioning() heuristic of Algorithm 2 (paper §3.2).
+//
+// For a partitioned-stateful bottleneck with utilization rho, fission wants
+// ceil(rho) replicas, each owning a subset of the key domain.  The input
+// stream cannot be split better than the key frequencies allow, so the
+// heuristic assigns keys to replicas trying to make the most loaded replica
+// receive a fraction of items as close as possible to 1/n.  We use greedy
+// longest-processing-time (LPT) assignment: keys sorted by decreasing
+// frequency, each placed on the currently least-loaded replica — the classic
+// 4/3-approximation for makespan, which is what [Gedik, VLDBJ'14] style
+// partitioning functions approximate as well.
+#pragma once
+
+#include <vector>
+
+#include "core/key_distribution.hpp"
+
+namespace ss {
+
+/// Outcome of partitioning a key domain over replicas.
+struct KeyPartition {
+  /// replica_of_key[k] is the replica index (0-based) owning key k.
+  std::vector<int> replica_of_key;
+  /// Number of replicas actually used (<= requested; a replica may end up
+  /// empty when keys are fewer or extremely skewed, empty replicas are
+  /// dropped).
+  int replicas = 1;
+  /// Fraction of the input stream received by the most loaded replica.
+  double max_share = 1.0;
+};
+
+/// Partitions `keys` over (at most) `requested_replicas` replicas with the
+/// greedy LPT heuristic.  Throws ss::Error if the distribution is empty or
+/// requested_replicas < 1.
+KeyPartition partition_keys(const KeyDistribution& keys, int requested_replicas);
+
+}  // namespace ss

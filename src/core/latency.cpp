@@ -1,0 +1,62 @@
+#include "core/latency.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ss {
+
+namespace {
+// Treat rho above this as saturated: the M/M/1 formula diverges while the
+// real system is bounded by the finite buffer.
+constexpr double kSaturationThreshold = 0.99;
+}  // namespace
+
+LatencyEstimate estimate_latency(const Topology& t, const SteadyStateResult& rates,
+                                 const ReplicationPlan& plan, std::size_t buffer_capacity) {
+  const std::size_t n = t.num_operators();
+  assert(rates.rates.size() == n);
+
+  LatencyEstimate estimate;
+  estimate.response.assign(n, 0.0);
+  estimate.window_delay.assign(n, 0.0);
+  estimate.to_sink.assign(n, 0.0);
+
+  for (OpIndex i = 0; i < n; ++i) {
+    const OperatorSpec& op = t.op(i);
+    const OperatorRates& r = rates.rates[i];
+    const double mu = op.service_rate();
+    const int replicas = plan.replicas_of(i);
+
+    if (i == t.source()) {
+      estimate.response[i] = op.service_time;  // generation time only
+    } else if (r.utilization >= kSaturationThreshold) {
+      // Full buffer ahead of the item, then its own service.
+      estimate.response[i] = (static_cast<double>(buffer_capacity) + 1.0) / mu;
+    } else {
+      // Per-replica M/M/1: each replica sees lambda / n.
+      const double lambda_per_replica = r.arrival / static_cast<double>(replicas);
+      estimate.response[i] = 1.0 / (mu - std::min(lambda_per_replica, mu * 0.999));
+    }
+
+    // Windowed buffering: a result carries items that waited up to a full
+    // slide; on average half a slide's worth of inter-arrival times.
+    if (op.selectivity.input > 1.0 && r.arrival > 0.0) {
+      estimate.window_delay[i] = (op.selectivity.input - 1.0) / (2.0 * r.arrival);
+    }
+  }
+
+  // Backward pass over the topological order for remaining latency.
+  const auto& order = t.topological_order();
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const OpIndex i = *it;
+    double downstream = 0.0;
+    for (const Edge& e : t.out_edges(i)) {
+      downstream += e.probability * estimate.to_sink[e.to];
+    }
+    estimate.to_sink[i] = estimate.response[i] + estimate.window_delay[i] + downstream;
+  }
+  estimate.end_to_end = estimate.to_sink[t.source()];
+  return estimate;
+}
+
+}  // namespace ss

@@ -1,0 +1,50 @@
+// Latency estimation on top of the steady-state analysis (extension).
+//
+// The paper's models target throughput; its introduction names latency as
+// the other first-class metric.  This module derives per-operator response
+// times from the Alg. 1 rates with standard queueing approximations:
+//
+//   * non-saturated operator (rho < 1): M/M/1 response time per replica,
+//       W = 1 / (mu - lambda / n),
+//   * saturated operator (rho ~ 1): the buffer stays full under BAS, so an
+//       admitted item waits for a full buffer drain plus its own service,
+//       W = (B + 1) / mu.
+//
+// End-to-end latency follows the routing probabilities: the expected
+// remaining latency from operator i is
+//   L(i) = W(i) + sum_j p(i,j) L(j),
+// and the topology's expected source-to-sink latency is L(source).
+//
+// These are *estimates*: the M/M/1 step assumes Poisson-ish arrivals and
+// exponential service, and windowed operators add buffering delay (items
+// wait for the slide boundary) that is reported separately as
+// window_delay = (input_selectivity - 1) / (2 * lambda) per such operator.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/steady_state.hpp"
+#include "core/topology.hpp"
+
+namespace ss {
+
+struct LatencyEstimate {
+  /// Expected response time (queueing + service) per operator, seconds.
+  std::vector<double> response;
+  /// Expected window-buffering delay per operator (0 for non-windowed).
+  std::vector<double> window_delay;
+  /// Expected remaining latency from each operator to a sink.
+  std::vector<double> to_sink;
+  /// Expected end-to-end latency of one item, source to sink, seconds.
+  double end_to_end = 0.0;
+};
+
+/// Estimates latencies for `t` under the rates of a prior steady_state()
+/// run (which must come from the same topology and replication plan).
+/// `buffer_capacity` is the mailbox bound B of the runtime configuration.
+LatencyEstimate estimate_latency(const Topology& t, const SteadyStateResult& rates,
+                                 const ReplicationPlan& plan = {},
+                                 std::size_t buffer_capacity = 64);
+
+}  // namespace ss

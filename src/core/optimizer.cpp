@@ -1,0 +1,105 @@
+#include "core/optimizer.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+namespace ss {
+
+Optimizer::Optimizer(Topology topology, std::string label) {
+  versions_.push_back(TopologyVersion{std::move(label), std::move(topology), {}});
+}
+
+SteadyStateResult Optimizer::analyze() const {
+  return steady_state(current().topology, current().plan);
+}
+
+BottleneckResult Optimizer::eliminate_bottlenecks(const BottleneckOptions& options) {
+  BottleneckResult result = ss::eliminate_bottlenecks(current().topology, options);
+  TopologyVersion version;
+  version.label = current().label + "+fission";
+  version.topology = current().topology;
+  version.plan = result.plan;
+  versions_.push_back(std::move(version));
+  return result;
+}
+
+std::vector<FusionCandidate> Optimizer::fusion_candidates(
+    const FusionSuggestOptions& options) const {
+  return suggest_fusion_candidates(current().topology, analyze(), options);
+}
+
+FusionResult Optimizer::try_fusion(const FusionSpec& spec, bool force) {
+  FusionResult result = apply_fusion(current().topology, spec);
+  if (!result.introduces_bottleneck || force) {
+    TopologyVersion version;
+    version.label = current().label + "+fusion";
+    version.topology = result.topology;
+    version.plan = {};  // fusion starts from a sequential mapping again
+    versions_.push_back(std::move(version));
+  }
+  return result;
+}
+
+std::string Optimizer::report() const {
+  return format_analysis(current().topology, analyze(), current().plan);
+}
+
+AutoOptimizeResult auto_optimize(const Topology& t, const AutoOptimizeOptions& options) {
+  AutoOptimizeResult result;
+
+  // Phase 1: fission (Alg. 2).
+  const BottleneckResult fission = eliminate_bottlenecks(t, options.bottleneck);
+  result.plan = fission.plan;
+  result.partitions = fission.partitions;
+  result.analysis = fission.analysis;
+  result.additional_replicas = fission.additional_replicas;
+  result.reaches_ideal = fission.reaches_ideal;
+  if (!options.enable_fusion) return result;
+
+  // Phase 2: fusion of what is still sequential and under-utilized.
+  // Candidates come from the post-fission rates so utilizations reflect
+  // the replicated capacities; a candidate is accepted when it is
+  // throughput-safe and none of its members were replicated (fused members
+  // must stay sequential, paper §4.2) or already taken by another group.
+  std::vector<bool> taken(t.num_operators(), false);
+  const auto candidates =
+      suggest_fusion_candidates(t, fission.analysis, options.fusion);
+  for (const FusionCandidate& candidate : candidates) {
+    bool eligible = true;
+    for (OpIndex m : candidate.spec.members) {
+      if (taken[m] || result.plan.replicas_of(m) > 1) {
+        eligible = false;
+        break;
+      }
+    }
+    if (!eligible || candidate.introduces_bottleneck) continue;
+    for (OpIndex m : candidate.spec.members) taken[m] = true;
+    result.fusions.push_back(candidate.spec);
+    result.actors_saved_by_fusion += static_cast<int>(candidate.spec.members.size()) - 1;
+  }
+  return result;
+}
+
+std::string format_analysis(const Topology& t, const SteadyStateResult& rates,
+                            const ReplicationPlan& plan) {
+  std::ostringstream out;
+  out << std::fixed;
+  out << std::setw(18) << std::left << "operator" << std::right << std::setw(12) << "mu^-1(ms)"
+      << std::setw(15) << "delta^-1(ms)" << std::setw(8) << "rho" << std::setw(6) << "n"
+      << std::setw(14) << "state" << '\n';
+  for (OpIndex i = 0; i < t.num_operators(); ++i) {
+    const OperatorSpec& op = t.op(i);
+    const OperatorRates& r = rates.rates[i];
+    out << std::setw(18) << std::left << op.name << std::right << std::setprecision(2)
+        << std::setw(12) << op.service_time * 1e3 << std::setw(15)
+        << (r.departure > 0.0 ? 1e3 / r.departure : 0.0) << std::setw(8) << r.utilization
+        << std::setw(6) << plan.replicas_of(i) << std::setw(14) << to_string(op.state);
+    if (r.was_bottleneck) out << "  <- bottleneck";
+    out << '\n';
+  }
+  out << std::setprecision(1) << "predicted throughput: " << rates.throughput()
+      << " tuples/s (restarts: " << rates.restarts << ")\n";
+  return out.str();
+}
+
+}  // namespace ss

@@ -1,0 +1,99 @@
+// The SpinStreams tool facade (paper §4).
+//
+// Mirrors the workflow of the GUI: import a topology, run the steady-state
+// analysis, ask for bottleneck elimination, try fusions (with candidates
+// ranked by utilization), and keep the prototyped versions of the topology
+// for later code generation.  All the heavy lifting lives in
+// steady_state/bottleneck/fusion; this class provides the user-facing
+// orchestration and report formatting.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/bottleneck.hpp"
+#include "core/fusion.hpp"
+#include "core/steady_state.hpp"
+#include "core/topology.hpp"
+
+namespace ss {
+
+/// One prototyped version of the application kept by the tool.
+struct TopologyVersion {
+  std::string label;
+  Topology topology;
+  ReplicationPlan plan;  ///< replication chosen for this version (empty = sequential)
+};
+
+class Optimizer {
+ public:
+  /// Imports a topology (the constructor validates nothing beyond what
+  /// Topology::Builder already enforced; `label` names the initial version).
+  explicit Optimizer(Topology topology, std::string label = "imported");
+
+  /// The currently selected version.
+  [[nodiscard]] const TopologyVersion& current() const { return versions_.back(); }
+  [[nodiscard]] const std::vector<TopologyVersion>& versions() const { return versions_; }
+
+  /// Steady-state analysis of the current version (Alg. 1).
+  [[nodiscard]] SteadyStateResult analyze() const;
+
+  /// Runs bottleneck elimination (Alg. 2) on the current version and commits
+  /// the parallelized version.  Returns the full result.
+  BottleneckResult eliminate_bottlenecks(const BottleneckOptions& options = {});
+
+  /// Fusion candidates for the current version, ranked by utilization.
+  [[nodiscard]] std::vector<FusionCandidate> fusion_candidates(
+      const FusionSuggestOptions& options = {}) const;
+
+  /// Evaluates a fusion on the current version.  When the fusion does not
+  /// introduce a bottleneck (or `force` is set) the fused version is
+  /// committed; otherwise the current version is kept and only the report is
+  /// returned (the tool "generates an alert", §5.4).
+  FusionResult try_fusion(const FusionSpec& spec, bool force = false);
+
+  /// Human-readable report of the current version in the style of the
+  /// paper's Tables 1-2: per-operator service time, departure time,
+  /// utilization and replicas, plus the predicted throughput.
+  [[nodiscard]] std::string report() const;
+
+ private:
+  std::vector<TopologyVersion> versions_;
+};
+
+/// One-shot automatic optimization (the paper leaves fusion selection to
+/// the user, §5.4; this is the natural "automatize the operator fusion
+/// process" future-work item of §7): run bottleneck elimination, then
+/// greedily accept every non-overlapping fusion candidate that is
+/// throughput-safe and whose members were not replicated.  The result is a
+/// complete deployment for the *original* topology: replication plan, key
+/// partitions, and fusion groups executable by the runtime's meta actors.
+struct AutoOptimizeOptions {
+  BottleneckOptions bottleneck{};
+  FusionSuggestOptions fusion{};
+  /// Skip the fusion phase entirely.
+  bool enable_fusion = true;
+};
+
+struct AutoOptimizeResult {
+  ReplicationPlan plan;
+  std::vector<KeyPartition> partitions;
+  std::vector<FusionSpec> fusions;
+  /// Analysis of the deployment (replication capacities; fusion does not
+  /// change predicted rates when every accepted fusion is safe).
+  SteadyStateResult analysis;
+  /// Actors of the sequential topology minus actors after optimization
+  /// (replicas and emitter/collector pairs added, fused members merged).
+  int actors_saved_by_fusion = 0;
+  int additional_replicas = 0;
+  bool reaches_ideal = false;
+};
+
+AutoOptimizeResult auto_optimize(const Topology& t, const AutoOptimizeOptions& options = {});
+
+/// Formats an analysis as the paper's Tables 1-2 do (mu^-1, delta^-1, rho per
+/// operator in milliseconds plus throughput in tuples/s).
+std::string format_analysis(const Topology& t, const SteadyStateResult& rates,
+                            const ReplicationPlan& plan = {});
+
+}  // namespace ss

@@ -1,0 +1,67 @@
+#include "core/paths.hpp"
+
+#include "core/error.hpp"
+
+namespace ss {
+
+namespace {
+
+std::vector<double> coefficients_impl(const Topology& t, bool with_selectivity) {
+  std::vector<double> coeff(t.num_operators(), 0.0);
+  coeff[t.source()] = 1.0;
+  for (OpIndex u : t.topological_order()) {
+    double outflow = coeff[u];
+    if (with_selectivity) outflow *= t.op(u).selectivity.rate_gain();
+    for (const Edge& e : t.out_edges(u)) {
+      coeff[e.to] += outflow * e.probability;
+    }
+  }
+  return coeff;
+}
+
+void enumerate_rec(const Topology& t, OpIndex at, OpIndex to, Path& current,
+                   std::vector<Path>& result, std::size_t max_paths) {
+  current.push_back(at);
+  if (at == to) {
+    require(result.size() < max_paths, "enumerate_paths: path count exceeds limit");
+    result.push_back(current);
+  } else {
+    for (const Edge& e : t.out_edges(at)) {
+      enumerate_rec(t, e.to, to, current, result, max_paths);
+    }
+  }
+  current.pop_back();
+}
+
+}  // namespace
+
+std::vector<double> arrival_coefficients(const Topology& t) {
+  return coefficients_impl(t, /*with_selectivity=*/false);
+}
+
+std::vector<double> arrival_coefficients_with_selectivity(const Topology& t) {
+  return coefficients_impl(t, /*with_selectivity=*/true);
+}
+
+std::vector<Path> enumerate_paths(const Topology& t, OpIndex from, OpIndex to,
+                                  std::size_t max_paths) {
+  require(from < t.num_operators() && to < t.num_operators(),
+          "enumerate_paths: vertex out of range");
+  std::vector<Path> result;
+  Path current;
+  enumerate_rec(t, from, to, current, result, max_paths);
+  return result;
+}
+
+double path_probability(const Topology& t, const Path& path) {
+  require(!path.empty(), "path_probability: empty path");
+  double p = 1.0;
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    double edge_p = t.edge_probability(path[i], path[i + 1]);
+    require(edge_p > 0.0, "path_probability: path uses a non-existent edge");
+    p *= edge_p;
+  }
+  return p;
+}
+
+}  // namespace ss

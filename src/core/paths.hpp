@@ -1,0 +1,39 @@
+// Path machinery behind Theorem 3.2 and Proposition 3.5.
+//
+// The arrival rate of an operator under no backpressure is
+//   lambda_i = delta_1 * sum over paths source->i of prod of edge probs
+// (Eq. 1 of the paper).  The per-path sums collapse to a single topological
+// pass, which is how the closed forms are computed here; explicit path
+// enumeration is also provided for reporting and testing.
+#pragma once
+
+#include <vector>
+
+#include "core/topology.hpp"
+
+namespace ss {
+
+/// A path as the sequence of visited operator indices.
+using Path = std::vector<OpIndex>;
+
+/// Coefficient sum_{pi in P(i)} prod_{(u,v) in pi} p(u,v) for every vertex,
+/// i.e. the fraction of source departures that reach each operator when no
+/// operator is saturated (unit selectivities).  Source coefficient is 1.
+std::vector<double> arrival_coefficients(const Topology& t);
+
+/// Same as arrival_coefficients but compounding each traversed operator's
+/// selectivity rate gain (out/in), so coefficient_i * delta_source is the
+/// arrival rate under the §3.4 extensions.
+std::vector<double> arrival_coefficients_with_selectivity(const Topology& t);
+
+/// Enumerates all distinct paths from `from` to `to` (inclusive), up to
+/// `max_paths`; throws ss::Error if the bound would be exceeded.  Worst-case
+/// exponential, as the paper notes — fine for the tens-of-operators graphs
+/// streaming topologies actually have.
+std::vector<Path> enumerate_paths(const Topology& t, OpIndex from, OpIndex to,
+                                  std::size_t max_paths = 1u << 20);
+
+/// Probability of a concrete path: product of its edge probabilities.
+double path_probability(const Topology& t, const Path& path);
+
+}  // namespace ss

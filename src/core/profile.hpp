@@ -1,0 +1,40 @@
+// Profile-driven annotation of topologies (paper §4.1).
+//
+// SpinStreams is driven by profile measurements: per-operator processing
+// times and selectivities, and per-edge traffic counts collected by running
+// the application as-is for a while (the paper cites Mammut/DiSL as the
+// collection layer; this repo's ss::harness::Profiler plays that role for
+// the bundled C++ operators).  This module merges such measurements into an
+// existing topology description, producing the annotated topology the cost
+// models consume.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "core/topology.hpp"
+
+namespace ss {
+
+/// Measured characteristics of one operator.
+struct OperatorProfile {
+  double service_time = 0.0;  ///< seconds per input item; <= 0 keeps current
+  Selectivity selectivity{};  ///< measured in/out selectivity
+  bool has_selectivity = false;
+};
+
+/// A bundle of profile measurements, keyed by operator name.
+struct ProfileData {
+  std::map<std::string, OperatorProfile> operators;
+  /// Observed item counts per edge (from-name, to-name); used to re-derive
+  /// routing probabilities by normalizing per origin.
+  std::map<std::pair<std::string, std::string>, double> edge_counts;
+};
+
+/// Returns a copy of `t` with service times, selectivities and edge
+/// probabilities replaced by the profiled values where present.  Unknown
+/// operator names in the profile throw ss::Error (they indicate a mismatch
+/// between the profiled binary and the description).
+Topology annotate_with_profile(const Topology& t, const ProfileData& profile);
+
+}  // namespace ss

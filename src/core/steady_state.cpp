@@ -1,0 +1,124 @@
+#include "core/steady_state.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "core/error.hpp"
+
+namespace ss {
+
+namespace {
+// Numerical slack: after a correction the recomputed utilization of the
+// corrected operator is exactly 1 up to floating-point drift; treating
+// rho in (1, 1+eps] as saturated-but-not-bottleneck keeps Alg. 1 finite.
+constexpr double kRhoTolerance = 1e-9;
+}  // namespace
+
+ReplicationPlan ReplicationPlan::uniform(std::size_t n, int replica_count) {
+  ReplicationPlan plan;
+  plan.replicas.assign(n, replica_count);
+  return plan;
+}
+
+int ReplicationPlan::replicas_of(OpIndex i) const {
+  if (i >= replicas.size()) return 1;
+  return std::max(1, replicas[i]);
+}
+
+double ReplicationPlan::max_share_of(OpIndex i) const {
+  if (i < max_share.size() && max_share[i] > 0.0) return max_share[i];
+  return 1.0 / static_cast<double>(replicas_of(i));
+}
+
+int ReplicationPlan::total_replicas(std::size_t n) const {
+  int total = 0;
+  for (OpIndex i = 0; i < n; ++i) total += replicas_of(i);
+  return total;
+}
+
+double ideal_source_rate(const Topology& t) {
+  const OperatorSpec& src = t.op(t.source());
+  return src.service_rate() * src.selectivity.rate_gain();
+}
+
+SteadyStateResult steady_state(const Topology& t, const ReplicationPlan& plan) {
+  const std::size_t n = t.num_operators();
+  const OpIndex source = t.source();
+  const std::vector<OpIndex>& order = t.topological_order();
+  assert(!order.empty() && order.front() == source);
+
+  SteadyStateResult result;
+  result.rates.assign(n, OperatorRates{});
+
+  // Effective capacity of every operator under the replication plan.
+  std::vector<double> capacity(n);
+  for (OpIndex i = 0; i < n; ++i) {
+    capacity[i] = t.op(i).service_rate() / plan.max_share_of(i);
+    result.rates[i].capacity = capacity[i];
+  }
+
+  std::vector<bool> flagged(n, false);
+
+  // delta_1 starts at the source's own generation rate (Alg. 1 line 1) and
+  // is only ever lowered by corrections (Theorem 3.2).
+  double source_delta = capacity[source] * t.op(source).selectivity.rate_gain();
+
+  // Each restart strictly lowers source_delta and pins one more operator at
+  // rho = 1, so n restarts bound the loop (Propositions 3.3-3.4).  The +n
+  // slack absorbs tolerance-boundary repeats.
+  const int max_restarts = static_cast<int>(2 * n + 8);
+  bool done = false;
+  std::vector<double> delta(n, 0.0);
+  while (!done) {
+    done = true;
+    delta.assign(n, 0.0);
+    delta[source] = source_delta;
+    result.rates[source].arrival = source_delta / t.op(source).selectivity.rate_gain();
+    result.rates[source].utilization =
+        result.rates[source].arrival / capacity[source];
+    result.rates[source].departure = source_delta;
+
+    for (std::size_t pos = 1; pos < order.size(); ++pos) {
+      const OpIndex i = order[pos];
+      double lambda = 0.0;
+      for (const Edge& e : t.in_edges(i)) lambda += delta[e.from] * e.probability;
+      const double rho = lambda / capacity[i];
+      result.rates[i].arrival = lambda;
+      result.rates[i].utilization = std::min(rho, 1.0);
+      if (rho > 1.0 + kRhoTolerance) {
+        // Bottleneck: lower the source rate by 1/rho and restart (Thm 3.2).
+        require(result.restarts < max_restarts,
+                "steady_state: correction loop did not converge (numerical issue)");
+        source_delta /= rho;
+        ++result.restarts;
+        if (!flagged[i]) {
+          flagged[i] = true;
+          result.bottlenecks.push_back(i);
+          result.rates[i].was_bottleneck = true;
+        }
+        done = false;
+        break;
+      }
+      const double served = std::min(lambda, capacity[i]);
+      delta[i] = served * t.op(i).selectivity.rate_gain();
+      result.rates[i].departure = delta[i];
+    }
+
+    if (done) {
+      result.source_rate = source_delta;
+      result.sink_rate = 0.0;
+      for (OpIndex s : t.sinks()) result.sink_rate += delta[s];
+    }
+  }
+
+  // Invariant 3.1 at fixpoint: every operator has rho <= 1.
+#ifndef NDEBUG
+  for (const OperatorRates& r : result.rates) {
+    assert(r.utilization <= 1.0 + kRhoTolerance);
+  }
+#endif
+  return result;
+}
+
+}  // namespace ss

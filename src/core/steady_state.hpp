@@ -1,0 +1,81 @@
+// Steady-state throughput analysis under backpressure (paper §3.1, Alg. 1).
+//
+// Given the topology (service rates, routing probabilities, selectivities)
+// the analysis labels every operator with its steady-state arrival rate
+// lambda, utilization rho and departure rate delta, honouring the
+// Blocking-After-Service semantics: whenever a visited operator is saturated
+// (rho > 1) the source departure rate is lowered by 1/rho (Theorem 3.2) and
+// the traversal restarts, so that at fixpoint every operator has rho <= 1
+// (Invariant 3.1).
+//
+// The same routine also evaluates *parallelized* topologies: a per-operator
+// replica count and (for partitioned-stateful operators) the maximum key
+// share p_max of the most loaded replica turn into an effective capacity
+//   capacity_i = mu_i / p_max_i          with p_max_i = 1/n_i by default,
+// which is exactly how Alg. 2 reasons about fission.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/topology.hpp"
+
+namespace ss {
+
+/// Per-operator replication configuration fed into the analysis.
+struct ReplicationPlan {
+  /// Number of replicas per operator; empty means all ones.
+  std::vector<int> replicas;
+  /// Fraction of the stream hitting the most loaded replica; empty means
+  /// 1/replicas (perfect split).  Entries <= 0 also mean "perfect split".
+  std::vector<double> max_share;
+
+  static ReplicationPlan none() { return {}; }
+  static ReplicationPlan uniform(std::size_t n, int replicas);
+
+  [[nodiscard]] int replicas_of(OpIndex i) const;
+  [[nodiscard]] double max_share_of(OpIndex i) const;
+  /// Total replica count over `n` operators (operators not listed count 1).
+  [[nodiscard]] int total_replicas(std::size_t n) const;
+};
+
+/// Steady-state rates of one operator.
+struct OperatorRates {
+  double arrival = 0.0;      ///< lambda: items entering per second
+  double utilization = 0.0;  ///< rho = lambda / capacity
+  double departure = 0.0;    ///< delta: results leaving per second (all edges)
+  double capacity = 0.0;     ///< effective service capacity (mu / p_max)
+  bool was_bottleneck = false;  ///< triggered a source correction at some visit
+};
+
+/// Result of Algorithm 1.
+struct SteadyStateResult {
+  std::vector<OperatorRates> rates;
+  /// Corrected departure rate of the source = ingest throughput (tuples/s).
+  double source_rate = 0.0;
+  /// Sum of sink departure rates; equals source_rate under unit
+  /// selectivities (Proposition 3.5).
+  double sink_rate = 0.0;
+  /// Operators that forced a correction, in discovery order (may repeat
+  /// conceptually; stored deduplicated).
+  std::vector<OpIndex> bottlenecks;
+  /// Number of traversal restarts performed.
+  int restarts = 0;
+
+  [[nodiscard]] bool has_bottleneck() const { return !bottlenecks.empty(); }
+  /// Predicted throughput as the paper reports it (tuples ingested per
+  /// second at the source).
+  [[nodiscard]] double throughput() const { return source_rate; }
+};
+
+/// Runs Algorithm 1 (with the §3.4 selectivity extensions) on `t`,
+/// optionally under a replication plan.  O(|V| * |E|) worst case
+/// (Proposition 3.4).
+SteadyStateResult steady_state(const Topology& t, const ReplicationPlan& plan = {});
+
+/// Throughput the topology would reach if nothing saturated: the source's
+/// generation rate (times its selectivity gain).  Useful as the "ideal"
+/// reference in the evaluation (§5.3).
+double ideal_source_rate(const Topology& t);
+
+}  // namespace ss

@@ -1,0 +1,152 @@
+// The flow-graph model of a streaming application (paper §3.1).
+//
+// A topology is a rooted acyclic directed graph: vertices are operators,
+// edges are unidirectional streams annotated with a routing probability
+// (every result leaves on exactly one out-edge, chosen with that
+// probability).  A valid topology has a single source, every vertex
+// reachable from it, and out-edge probabilities summing to one.
+//
+// Topology is immutable after Builder::build(); all analyses (steady-state,
+// bottleneck elimination, fusion) consume it by const reference and produce
+// result objects or new topologies.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/key_distribution.hpp"
+#include "core/types.hpp"
+
+namespace ss {
+
+/// Static description of one operator: everything the cost models need.
+struct OperatorSpec {
+  /// Human-readable unique name (used in reports, XML and code generation).
+  std::string name;
+
+  /// Average service time per input item, in seconds (the inverse of the
+  /// service rate mu).  For the source this is the inter-generation time.
+  double service_time = 1.0;
+
+  /// State classification driving the fission options (paper §3.2).
+  StateKind state = StateKind::kStateless;
+
+  /// Input/output selectivity (paper §3.4); {1,1} for map-like operators.
+  Selectivity selectivity{};
+
+  /// Key frequency distribution; meaningful only for partitioned-stateful
+  /// operators (empty otherwise).
+  KeyDistribution keys{};
+
+  /// Logical operator type (a key into ss::ops::Registry); optional, used
+  /// by code generation and the testbed generator.
+  std::string impl{};
+
+  [[nodiscard]] double service_rate() const { return 1.0 / service_time; }
+};
+
+/// Directed edge with routing probability.
+struct Edge {
+  OpIndex from = kInvalidOp;
+  OpIndex to = kInvalidOp;
+  double probability = 1.0;
+};
+
+/// Immutable rooted-acyclic-flow-graph; see file comment.
+class Topology {
+ public:
+  class Builder;
+
+  /// An empty topology; only useful as a placeholder to assign into
+  /// (result structs default-construct one).  Every built topology has at
+  /// least one operator.
+  Topology() = default;
+
+  [[nodiscard]] std::size_t num_operators() const { return ops_.size(); }
+  [[nodiscard]] std::size_t num_edges() const { return edges_.size(); }
+
+  [[nodiscard]] const OperatorSpec& op(OpIndex i) const { return ops_.at(i); }
+  [[nodiscard]] const std::vector<OperatorSpec>& operators() const { return ops_; }
+  [[nodiscard]] const std::vector<Edge>& edges() const { return edges_; }
+
+  /// Out-edges of `i` in insertion order.
+  [[nodiscard]] const std::vector<Edge>& out_edges(OpIndex i) const { return out_.at(i); }
+  /// In-edges of `i` in insertion order.
+  [[nodiscard]] const std::vector<Edge>& in_edges(OpIndex i) const { return in_.at(i); }
+
+  /// The unique source vertex (no input edges).
+  [[nodiscard]] OpIndex source() const { return source_; }
+  /// All vertices without out-edges.
+  [[nodiscard]] const std::vector<OpIndex>& sinks() const { return sinks_; }
+
+  [[nodiscard]] OpRole role(OpIndex i) const;
+
+  /// A topological ordering starting at the source (computed at build time).
+  [[nodiscard]] const std::vector<OpIndex>& topological_order() const { return topo_order_; }
+
+  /// Probability of edge (from, to); zero if the edge does not exist.
+  [[nodiscard]] double edge_probability(OpIndex from, OpIndex to) const;
+
+  /// True if an edge (from, to) exists.
+  [[nodiscard]] bool has_edge(OpIndex from, OpIndex to) const;
+
+  /// Index of the operator with the given name, if any.
+  [[nodiscard]] std::optional<OpIndex> find(const std::string& name) const;
+
+ private:
+  friend class Builder;
+
+  std::vector<OperatorSpec> ops_;
+  std::vector<Edge> edges_;
+  std::vector<std::vector<Edge>> out_;
+  std::vector<std::vector<Edge>> in_;
+  std::vector<OpIndex> topo_order_;
+  std::vector<OpIndex> sinks_;
+  OpIndex source_ = kInvalidOp;
+};
+
+/// Incremental construction of a Topology.  build() validates the structural
+/// constraints of paper §3.1 and throws ss::Error on violation.
+class Topology::Builder {
+ public:
+  /// Adds an operator and returns its index.  Names must be unique.
+  OpIndex add_operator(OperatorSpec spec);
+
+  /// Convenience overload for the common case.
+  OpIndex add_operator(std::string name, double service_time,
+                       StateKind state = StateKind::kStateless,
+                       Selectivity selectivity = {});
+
+  /// Adds an edge with routing probability (default 1.0).  Probabilities of
+  /// all out-edges of a vertex must sum to 1 at build() time.
+  Builder& add_edge(OpIndex from, OpIndex to, double probability = 1.0);
+
+  /// Rescales the out-edge probabilities of every vertex to sum to one.
+  /// Useful when edge annotations come from measured frequencies.
+  Builder& normalize_probabilities();
+
+  /// If the graph has multiple roots, adds a zero-cost fictitious source
+  /// connected to every root with probabilities proportional to the roots'
+  /// service rates (paper §3.1 suggests this workaround for multi-source
+  /// graphs).  `service_time` is the inter-generation time of the combined
+  /// source.  No-op when the graph already has a single root.
+  Builder& add_fictitious_source(double service_time, const std::string& name = "__source__");
+
+  [[nodiscard]] std::size_t num_operators() const { return ops_.size(); }
+
+  /// Validates and produces the immutable topology.  Throws ss::Error
+  /// describing the first violated constraint.
+  [[nodiscard]] Topology build() const;
+
+ private:
+  std::vector<OperatorSpec> ops_;
+  std::vector<Edge> edges_;
+};
+
+/// Returns a topological order of `edges` over `n` vertices, or std::nullopt
+/// if the graph has a cycle (Kahn's algorithm; stable: ties broken by index).
+std::optional<std::vector<OpIndex>> topological_sort(std::size_t n, const std::vector<Edge>& edges);
+
+}  // namespace ss

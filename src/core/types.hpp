@@ -1,0 +1,57 @@
+// Fundamental vocabulary types of the SpinStreams cost model (paper §3).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace ss {
+
+/// Index of an operator (vertex) inside a Topology.  Dense, 0-based; by
+/// convention index 0 is the unique source after validation.
+using OpIndex = std::uint32_t;
+
+inline constexpr OpIndex kInvalidOp = static_cast<OpIndex>(-1);
+
+/// State classification of an operator (paper §3.2).
+///
+/// The class decides which optimizations apply: stateless operators can be
+/// replicated freely (shuffle routing), partitioned-stateful ones can be
+/// replicated by splitting the key domain, stateful ones cannot be
+/// replicated at all and only backpressure correction applies.
+enum class StateKind : std::uint8_t {
+  kStateless,
+  kPartitionedStateful,
+  kStateful,
+};
+
+/// Returns the canonical lower-case name used in the XML format.
+std::string to_string(StateKind kind);
+
+/// Parses the canonical name produced by to_string(StateKind).
+StateKind state_kind_from_string(const std::string& name);
+
+/// Selectivity parameters of an operator (paper §3.4).
+///
+/// `input` is the average number of items consumed before one result is
+/// emitted (sliding-window operators have input selectivity equal to the
+/// window slide).  `output` is the average number of results produced per
+/// consumed item (flatmap-like operators have output selectivity > 1,
+/// filters have output selectivity < 1).  Plain map-like operators use
+/// {1, 1}.  The departure rate of an operator becomes
+///   delta = min(lambda, n * mu) * output / input.
+struct Selectivity {
+  double input = 1.0;
+  double output = 1.0;
+
+  [[nodiscard]] double rate_gain() const { return output / input; }
+  bool operator==(const Selectivity&) const = default;
+};
+
+/// Role of a vertex in the flow graph.
+enum class OpRole : std::uint8_t {
+  kSource,  ///< no input edges; generates the stream
+  kInner,   ///< has both input and output edges
+  kSink,    ///< no output edges; absorbs results
+};
+
+}  // namespace ss

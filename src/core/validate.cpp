@@ -1,0 +1,156 @@
+#include "core/validate.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace ss {
+
+namespace {
+constexpr double kProbabilityTolerance = 1e-6;
+
+void add_error(ValidationReport& report, std::string message) {
+  report.issues.push_back({ValidationIssue::Severity::kError, std::move(message)});
+}
+
+void add_warning(ValidationReport& report, std::string message) {
+  report.issues.push_back({ValidationIssue::Severity::kWarning, std::move(message)});
+}
+}  // namespace
+
+bool ValidationReport::ok() const { return error_count() == 0; }
+
+std::size_t ValidationReport::error_count() const {
+  std::size_t n = 0;
+  for (const auto& issue : issues) {
+    if (issue.severity == ValidationIssue::Severity::kError) ++n;
+  }
+  return n;
+}
+
+std::size_t ValidationReport::warning_count() const { return issues.size() - error_count(); }
+
+std::string ValidationReport::to_string() const {
+  std::ostringstream out;
+  for (const auto& issue : issues) {
+    if (issue.severity == ValidationIssue::Severity::kError) out << "error: " << issue.message << '\n';
+  }
+  for (const auto& issue : issues) {
+    if (issue.severity == ValidationIssue::Severity::kWarning) {
+      out << "warning: " << issue.message << '\n';
+    }
+  }
+  return out.str();
+}
+
+ValidationReport validate_draft(const std::vector<OperatorSpec>& ops,
+                                const std::vector<Edge>& edges) {
+  ValidationReport report;
+  if (ops.empty()) {
+    add_error(report, "topology must contain at least one operator");
+    return report;
+  }
+  const std::size_t n = ops.size();
+
+  std::unordered_set<std::string> names;
+  for (const OperatorSpec& op : ops) {
+    if (op.name.empty()) add_error(report, "operator with empty name");
+    if (!names.insert(op.name).second) add_error(report, "duplicate operator name '" + op.name + "'");
+    if (op.service_time <= 0.0) {
+      add_error(report, "operator '" + op.name + "' has non-positive service time");
+    }
+    if (op.selectivity.input <= 0.0 || op.selectivity.output <= 0.0) {
+      add_error(report, "operator '" + op.name + "' has non-positive selectivity");
+    }
+    if (op.state == StateKind::kPartitionedStateful && op.keys.empty()) {
+      add_error(report, "partitioned-stateful operator '" + op.name + "' lacks a key distribution");
+    }
+    if (op.state != StateKind::kPartitionedStateful && !op.keys.empty()) {
+      add_warning(report, "operator '" + op.name + "' carries a key distribution but is " +
+                              ss::to_string(op.state));
+    }
+  }
+
+  std::unordered_set<std::uint64_t> seen_edges;
+  std::vector<double> out_sum(n, 0.0);
+  std::vector<std::size_t> out_count(n, 0);
+  std::vector<std::size_t> in_count(n, 0);
+  bool endpoints_ok = true;
+  for (const Edge& e : edges) {
+    if (e.from >= n || e.to >= n) {
+      add_error(report, "edge endpoint out of range");
+      endpoints_ok = false;
+      continue;
+    }
+    if (e.from == e.to) add_error(report, "self-loop on operator '" + ops[e.from].name + "'");
+    const std::uint64_t key = (static_cast<std::uint64_t>(e.from) << 32) | e.to;
+    if (!seen_edges.insert(key).second) {
+      add_error(report,
+                "duplicate edge '" + ops[e.from].name + "' -> '" + ops[e.to].name + "'");
+    }
+    if (e.probability <= 0.0 || e.probability > 1.0 + kProbabilityTolerance) {
+      add_error(report, "edge '" + ops[e.from].name + "' -> '" + ops[e.to].name +
+                            "' has probability outside (0, 1]");
+    }
+    out_sum[e.from] += e.probability;
+    ++out_count[e.from];
+    ++in_count[e.to];
+  }
+  if (!endpoints_ok) return report;
+
+  for (OpIndex i = 0; i < n; ++i) {
+    if (out_count[i] == 0) continue;
+    if (std::abs(out_sum[i] - 1.0) > kProbabilityTolerance * static_cast<double>(out_count[i] + 1)) {
+      add_error(report, "out-edge probabilities of '" + ops[i].name + "' sum to " +
+                            std::to_string(out_sum[i]) + ", expected 1.0");
+    }
+  }
+
+  std::vector<OpIndex> roots;
+  for (OpIndex i = 0; i < n; ++i) {
+    if (in_count[i] == 0) roots.push_back(i);
+  }
+  if (roots.empty()) {
+    add_error(report, "no source vertex: every operator has an input edge (cycle)");
+  } else if (roots.size() > 1) {
+    std::string msg = "multiple sources:";
+    for (OpIndex r : roots) msg += " '" + ops[r].name + "'";
+    add_error(report, msg + "; add a fictitious source");
+  }
+
+  auto order = topological_sort(n, edges);
+  if (!order) add_error(report, "the graph contains a cycle");
+
+  if (roots.size() == 1 && order) {
+    std::vector<bool> reachable(n, false);
+    std::vector<std::vector<OpIndex>> adjacency(n);
+    for (const Edge& e : edges) adjacency[e.from].push_back(e.to);
+    std::vector<OpIndex> stack{roots[0]};
+    reachable[roots[0]] = true;
+    while (!stack.empty()) {
+      OpIndex u = stack.back();
+      stack.pop_back();
+      for (OpIndex v : adjacency[u]) {
+        if (!reachable[v]) {
+          reachable[v] = true;
+          stack.push_back(v);
+        }
+      }
+    }
+    for (OpIndex i = 0; i < n; ++i) {
+      if (!reachable[i]) {
+        add_error(report, "operator '" + ops[i].name + "' is not reachable from the source");
+      }
+    }
+    // Sinks with selectivity annotations that can never matter.
+    for (OpIndex i = 0; i < n; ++i) {
+      if (out_count[i] == 0 && ops[i].selectivity.output != 1.0) {
+        add_warning(report, "sink '" + ops[i].name + "' has output selectivity != 1 (unused)");
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace ss

@@ -1,0 +1,44 @@
+// Non-throwing structural validation of topology drafts.
+//
+// Topology::Builder::build() throws on the first violation; tools (XML
+// import, the GUI-equivalent CLI front-ends) often want the complete list of
+// problems instead.  This module re-runs the same checks and reports all of
+// them.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/topology.hpp"
+
+namespace ss {
+
+/// One detected constraint violation.
+struct ValidationIssue {
+  enum class Severity { kError, kWarning };
+  Severity severity = Severity::kError;
+  std::string message;
+};
+
+/// Outcome of validating an operator/edge draft.
+struct ValidationReport {
+  std::vector<ValidationIssue> issues;
+
+  [[nodiscard]] bool ok() const;
+  [[nodiscard]] std::size_t error_count() const;
+  [[nodiscard]] std::size_t warning_count() const;
+  /// All messages joined by newlines (errors first).
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Validates a draft graph (operators + edges) against the paper §3.1
+/// constraints: non-empty, unique names, positive service times, valid edge
+/// endpoints, no self-loops or duplicate edges, single source, acyclic,
+/// all vertices reachable from the source, out-probabilities summing to 1,
+/// key distributions present on partitioned-stateful operators.
+/// Warnings flag suspicious-but-legal inputs (e.g. probability 1 fan-out of
+/// size one with probability < 1 after normalization hints).
+ValidationReport validate_draft(const std::vector<OperatorSpec>& ops,
+                                const std::vector<Edge>& edges);
+
+}  // namespace ss

@@ -1,0 +1,71 @@
+#include "gen/random_topology.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace ss {
+
+int TopologyShape::in_degree(int v) const {
+  int n = 0;
+  for (const auto& [from, to] : edges) {
+    (void)from;
+    if (to == v) ++n;
+  }
+  return n;
+}
+
+int TopologyShape::out_degree(int v) const {
+  int n = 0;
+  for (const auto& [from, to] : edges) {
+    (void)to;
+    if (from == v) ++n;
+  }
+  return n;
+}
+
+TopologyShape random_shape(Rng& rng, int num_vertices, int num_edges) {
+  const int v = num_vertices;
+  require(v >= 2, "random_shape: need at least two vertices");
+  require(num_edges <= v * (v - 1) / 2, "random_shape: too many edges");
+  require(num_edges >= v - 1, "random_shape: too few edges");
+
+  TopologyShape shape;
+  shape.num_vertices = v;
+  std::set<std::pair<int, int>> edges;
+
+  // Phase 1: every vertex except the last gets one forward out-edge, so the
+  // vertex numbering is a topological order by construction.
+  for (int i = 0; i <= v - 2; ++i) {
+    edges.emplace(i, rng.rand_int(i + 1, v - 1));
+  }
+  // Phase 2: random forward edges up to the requested count.
+  while (static_cast<int>(edges.size()) < num_edges) {
+    const int u = rng.rand_int(0, v - 1);
+    const int w = rng.rand_int(0, v - 1);
+    if (u < w) edges.emplace(u, w);
+  }
+  // Repair: any vertex (other than 0) left without input edges is linked
+  // from the source, which may exceed num_edges slightly (paper §5.1).
+  std::vector<bool> has_input(static_cast<std::size_t>(v), false);
+  for (const auto& [from, to] : edges) {
+    (void)from;
+    has_input[static_cast<std::size_t>(to)] = true;
+  }
+  for (int i = 1; i < v; ++i) {
+    if (!has_input[static_cast<std::size_t>(i)]) edges.emplace(0, i);
+  }
+
+  shape.edges.assign(edges.begin(), edges.end());
+  return shape;
+}
+
+TopologyShape random_shape(Rng& rng, const ShapeOptions& options) {
+  const int v = rng.rand_int(options.min_vertices, options.max_vertices);
+  const double beta = rng.rand_double(options.beta_min, options.beta_max);
+  int e = static_cast<int>(std::llround((v - 1) * beta));
+  e = std::clamp(e, v - 1, v * (v - 1) / 2);
+  return random_shape(rng, v, e);
+}
+
+}  // namespace ss

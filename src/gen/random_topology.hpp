@@ -1,0 +1,42 @@
+// Random topology *shapes* per the paper's Algorithm 5.
+//
+// Vertices are numbered 0..V-1; the numbering is a topological order of the
+// generated DAG and vertex 0 is the source.  Phase 1 gives every vertex
+// i < V-1 a forward edge, phase 2 adds random forward edges up to the
+// requested count, and the repair phase connects any input-less vertex to
+// the source (which can push the edge count slightly above E, as the paper
+// notes).
+#pragma once
+
+#include <vector>
+
+#include "core/error.hpp"
+#include "gen/rng.hpp"
+
+namespace ss {
+
+/// A bare DAG shape: V vertices and directed edges (from < to).
+struct TopologyShape {
+  int num_vertices = 0;
+  std::vector<std::pair<int, int>> edges;
+
+  [[nodiscard]] int in_degree(int v) const;
+  [[nodiscard]] int out_degree(int v) const;
+};
+
+/// Algorithm 5 with explicit vertex/edge counts.  Throws ss::Error when E
+/// is outside [V-1, V(V-1)/2] ("too few edges"/"too many edges").
+TopologyShape random_shape(Rng& rng, int num_vertices, int num_edges);
+
+/// Paper-scale draw: V uniform in [min_vertices, max_vertices], expected
+/// edges E = (V-1) * beta with the connecting factor beta uniform in
+/// [beta_min, beta_max] (defaults are the paper's §5.1 choices).
+struct ShapeOptions {
+  int min_vertices = 2;
+  int max_vertices = 20;
+  double beta_min = 1.0;
+  double beta_max = 1.2;
+};
+TopologyShape random_shape(Rng& rng, const ShapeOptions& options = {});
+
+}  // namespace ss

@@ -1,0 +1,78 @@
+// Deterministic PRNG used everywhere randomness is needed.
+//
+// xoshiro256** seeded via splitmix64: fast, high quality, and — unlike
+// std::mt19937 with distribution objects — bit-reproducible across standard
+// library implementations, which keeps testbed topologies and simulation
+// runs identical everywhere.
+#pragma once
+
+#include <cstdint>
+
+namespace ss {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) {
+    // splitmix64 expansion of the seed into the four lanes.
+    std::uint64_t x = seed;
+    for (auto& lane : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      lane = z ^ (z >> 31);
+    }
+  }
+
+  /// Raw 64 random bits (xoshiro256**).
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [lo, hi] (inclusive), the paper's randInt(a, b).
+  int rand_int(int lo, int hi) {
+    if (hi <= lo) return lo;
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    // Unbiased rejection sampling (Lemire-style bounded draw).
+    std::uint64_t x = next_u64();
+    __uint128_t m = static_cast<__uint128_t>(x) * span;
+    auto low = static_cast<std::uint64_t>(m);
+    if (low < span) {
+      const std::uint64_t threshold = (0ULL - span) % span;
+      while (low < threshold) {
+        x = next_u64();
+        m = static_cast<__uint128_t>(x) * span;
+        low = static_cast<std::uint64_t>(m);
+      }
+    }
+    return lo + static_cast<int>(m >> 64);
+  }
+
+  /// Uniform double in [lo, hi).
+  double rand_double(double lo, double hi) { return lo + (hi - lo) * next_double(); }
+
+  /// True with probability p.
+  bool bernoulli(double p) { return next_double() < p; }
+
+  /// Derives an independent child generator (for per-actor streams).
+  Rng split() { return Rng(next_u64() ^ 0xd1b54a32d192ed03ULL); }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+  std::uint64_t state_[4];
+};
+
+}  // namespace ss

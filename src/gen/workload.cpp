@@ -1,0 +1,137 @@
+#include "gen/workload.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "core/error.hpp"
+#include "gen/zipf.hpp"
+#include "ops/registry.hpp"
+
+namespace ss {
+
+namespace {
+
+/// Picks a catalog entry legal for a vertex with the given in-degree.
+const ops::CatalogEntry& pick_entry(Rng& rng, int in_degree) {
+  const auto& entries = ops::catalog();
+  while (true) {
+    const auto& e = entries[static_cast<std::size_t>(
+        rng.rand_int(0, static_cast<int>(entries.size()) - 1))];
+    if (e.requires_multi_input && in_degree < 2) continue;
+    return e;
+  }
+}
+
+}  // namespace
+
+Topology assign_workload(const TopologyShape& shape, Rng& rng, const WorkloadOptions& options) {
+  require(shape.num_vertices >= 2, "assign_workload: shape needs at least two vertices");
+
+  const int v = shape.num_vertices;
+  std::vector<int> in_degree(static_cast<std::size_t>(v), 0);
+  std::vector<int> out_degree(static_cast<std::size_t>(v), 0);
+  for (const auto& [from, to] : shape.edges) {
+    ++out_degree[static_cast<std::size_t>(from)];
+    ++in_degree[static_cast<std::size_t>(to)];
+  }
+
+  Topology::Builder builder;
+  double fastest_rate = 0.0;
+
+  // Vertex 0 is the source; its pace is fixed after all operators are
+  // drawn, so reserve a placeholder spec first.
+  OperatorSpec source;
+  source.name = "source";
+  source.service_time = 1.0;  // placeholder, finalized below
+  source.impl = "source";
+
+  std::vector<OperatorSpec> specs;
+  specs.push_back(source);
+
+  for (int i = 1; i < v; ++i) {
+    const ops::CatalogEntry& entry = pick_entry(rng, in_degree[static_cast<std::size_t>(i)]);
+    OperatorSpec spec;
+    spec.name = "op" + std::to_string(i) + "_" + entry.impl;
+    spec.impl = entry.impl;
+    spec.service_time = rng.rand_double(entry.service_min, entry.service_max);
+    fastest_rate = std::max(fastest_rate, spec.service_rate());
+
+    // State classification: windowed partitionable operators are sometimes
+    // kept stateful to model non-parallelizable logic (§5.3).
+    spec.state = entry.state;
+    if (entry.can_be_partitioned) {
+      if (entry.state == StateKind::kPartitionedStateful ||
+          !rng.bernoulli(options.stateful_fraction)) {
+        spec.state = StateKind::kPartitionedStateful;
+      } else {
+        spec.state = StateKind::kStateful;
+      }
+    }
+    if (spec.state == StateKind::kPartitionedStateful) {
+      const int keys = rng.rand_int(options.keys_min, options.keys_max);
+      const double alpha = rng.rand_double(options.key_alpha_min, options.key_alpha_max);
+      spec.keys = KeyDistribution::zipf(static_cast<std::size_t>(keys), alpha);
+    }
+
+    if (!options.unit_selectivity) {
+      if (entry.windowed && !options.slides.empty()) {
+        const int slide = options.slides[static_cast<std::size_t>(
+            rng.rand_int(0, static_cast<int>(options.slides.size()) - 1))];
+        spec.selectivity.input = static_cast<double>(slide);
+      }
+      spec.selectivity.output = rng.rand_double(entry.out_sel_min, entry.out_sel_max);
+    }
+    specs.push_back(std::move(spec));
+  }
+
+  // Source pace: 33% faster than the fastest operator (§5.3), so that
+  // bottlenecks exist and backpressure is exercised in every topology.
+  specs[0].service_time = 1.0 / (fastest_rate * options.source_speedup);
+
+  for (OperatorSpec& spec : specs) builder.add_operator(std::move(spec));
+
+  // Routing probabilities: single out-edges get 1, fan-outs a shuffled Zipf
+  // vector with random skew (§5.1).
+  std::vector<std::vector<int>> fan_out(static_cast<std::size_t>(v));
+  for (const auto& [from, to] : shape.edges) {
+    fan_out[static_cast<std::size_t>(from)].push_back(to);
+  }
+  for (int u = 0; u < v; ++u) {
+    auto& targets = fan_out[static_cast<std::size_t>(u)];
+    if (targets.empty()) continue;
+    std::sort(targets.begin(), targets.end());
+    std::vector<double> probs;
+    if (targets.size() == 1) {
+      probs.push_back(1.0);
+    } else {
+      const double alpha = rng.rand_double(options.zipf_alpha_min, options.zipf_alpha_max);
+      probs = shuffled_zipf_probabilities(targets.size(), alpha, rng);
+    }
+    for (std::size_t k = 0; k < targets.size(); ++k) {
+      builder.add_edge(static_cast<OpIndex>(u), static_cast<OpIndex>(targets[k]), probs[k]);
+    }
+  }
+
+  return builder.build();
+}
+
+Topology random_topology(Rng& rng, const ShapeOptions& shape_options,
+                         const WorkloadOptions& workload_options) {
+  const TopologyShape shape = random_shape(rng, shape_options);
+  return assign_workload(shape, rng, workload_options);
+}
+
+std::vector<Topology> make_testbed(std::uint64_t seed, int count,
+                                   const ShapeOptions& shape_options,
+                                   const WorkloadOptions& workload_options) {
+  Rng rng(seed);
+  std::vector<Topology> testbed;
+  testbed.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    Rng topology_rng = rng.split();
+    testbed.push_back(random_topology(topology_rng, shape_options, workload_options));
+  }
+  return testbed;
+}
+
+}  // namespace ss

@@ -1,0 +1,57 @@
+// Full testbed generation (paper §5.1): turn a random shape into an
+// annotated topology by assigning real-world operators from the catalog,
+// drawing profiled service times, marking state classes, generating Zipf
+// key distributions for partitioned-stateful operators and Zipf routing
+// probabilities for fan-outs, and pacing the source 33% faster than the
+// fastest operator so every topology has bottlenecks (§5.3).
+#pragma once
+
+#include "core/topology.hpp"
+#include "gen/random_topology.hpp"
+#include "gen/rng.hpp"
+
+namespace ss {
+
+struct WorkloadOptions {
+  /// Source rate = fastest operator service rate * source_speedup.
+  double source_speedup = 1.33;
+  /// Zipf scaling exponent range for edge probabilities (alpha > 1, random
+  /// per fan-out, §5.1).
+  double zipf_alpha_min = 1.05;
+  double zipf_alpha_max = 2.5;
+  /// Key skew of partitioned-stateful operators: milder than the edge skew
+  /// (§5.3 only requires "a random ZipF law"; near-uniform domains are what
+  /// lets KeyPartitioning remove bottlenecks, as the paper observes it
+  /// always did in the testbed).
+  double key_alpha_min = 0.05;
+  double key_alpha_max = 0.5;
+  /// Key-domain size range of partitioned-stateful operators.
+  int keys_min = 500;
+  int keys_max = 5000;
+  /// Probability that a partitionable operator is nevertheless marked
+  /// stateful ("to mimic cases where operators cannot be parallelized",
+  /// §5.3); rare, so that most topologies fully parallelize (43/50 in the
+  /// paper).
+  double stateful_fraction = 0.015;
+  /// Window slides drawn for windowed operators (the paper uses windows of
+  /// 1000/5000/10000 tuples sliding every 1/10/50 items).
+  std::vector<int> slides{1, 10, 50};
+  /// When true, selectivities are forced to 1 (the base model of §3.1);
+  /// when false, windowed/flatmap/filter selectivities apply (§3.4).
+  bool unit_selectivity = false;
+};
+
+/// Assigns operators and annotations to `shape`.
+Topology assign_workload(const TopologyShape& shape, Rng& rng, const WorkloadOptions& options = {});
+
+/// One-call testbed topology: random shape + workload.
+Topology random_topology(Rng& rng, const ShapeOptions& shape_options = {},
+                         const WorkloadOptions& workload_options = {});
+
+/// The 50-topology testbed of the paper's evaluation, derived
+/// deterministically from `seed`.
+std::vector<Topology> make_testbed(std::uint64_t seed, int count = 50,
+                                   const ShapeOptions& shape_options = {},
+                                   const WorkloadOptions& workload_options = {});
+
+}  // namespace ss

@@ -1,0 +1,50 @@
+#include "gen/zipf.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/error.hpp"
+
+namespace ss {
+
+std::vector<double> zipf_probabilities(std::size_t n, double alpha) {
+  require(n > 0, "zipf_probabilities: n must be > 0");
+  require(alpha > 0.0, "zipf_probabilities: alpha must be > 0");
+  std::vector<double> p(n);
+  double total = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    p[k] = 1.0 / std::pow(static_cast<double>(k + 1), alpha);
+    total += p[k];
+  }
+  for (double& v : p) v /= total;
+  return p;
+}
+
+ZipfSampler::ZipfSampler(std::size_t n, double alpha)
+    : probabilities_(zipf_probabilities(n, alpha)), cdf_(n) {
+  double running = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    running += probabilities_[k];
+    cdf_[k] = running;
+  }
+  cdf_.back() = 1.0;  // guard against floating-point undershoot
+}
+
+std::size_t ZipfSampler::sample(Rng& rng) const {
+  const double u = rng.next_double();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) --it;
+  return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+std::vector<double> shuffled_zipf_probabilities(std::size_t n, double alpha, Rng& rng) {
+  std::vector<double> p = zipf_probabilities(n, alpha);
+  // Fisher-Yates with the repo PRNG for reproducibility.
+  for (std::size_t i = n; i > 1; --i) {
+    const auto j = static_cast<std::size_t>(rng.rand_int(0, static_cast<int>(i - 1)));
+    std::swap(p[i - 1], p[j]);
+  }
+  return p;
+}
+
+}  // namespace ss

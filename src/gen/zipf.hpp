@@ -1,0 +1,37 @@
+// Zipf (power-law) sampling and probability vectors (paper §5.1, §5.3).
+//
+// The testbed assigns edge probabilities and key frequencies from Zipf laws
+// with a random scaling exponent alpha > 1 so distributions of different
+// skewness are exercised.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "gen/rng.hpp"
+
+namespace ss {
+
+/// Normalized Zipf probability vector over `n` ranks: p(k) ~ 1/(k+1)^alpha.
+std::vector<double> zipf_probabilities(std::size_t n, double alpha);
+
+/// Draws one rank in [0, n) from a Zipf law (inverse-CDF on the normalized
+/// vector; O(n) setup in the sampler, O(log n) per draw).
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double alpha);
+
+  [[nodiscard]] std::size_t sample(Rng& rng) const;
+  [[nodiscard]] const std::vector<double>& probabilities() const { return probabilities_; }
+
+ private:
+  std::vector<double> probabilities_;
+  std::vector<double> cdf_;
+};
+
+/// Returns a shuffled Zipf probability vector: ranks are randomly permuted
+/// so the heavy item is not always the first (used for edge probabilities,
+/// where the heavy out-edge should be a random one).
+std::vector<double> shuffled_zipf_probabilities(std::size_t n, double alpha, Rng& rng);
+
+}  // namespace ss

@@ -1,0 +1,44 @@
+#include "harness/args.hpp"
+
+#include <cstdlib>
+
+namespace ss::harness {
+
+Args::Args(int argc, const char* const* argv) {
+  if (argc > 0) program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    arg.erase(0, 2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[arg] = argv[++i];
+    } else {
+      values_[arg] = "true";
+    }
+  }
+}
+
+bool Args::has(const std::string& key) const { return values_.count(key) > 0; }
+
+std::string Args::get(const std::string& key, const std::string& fallback) const {
+  auto it = values_.find(key);
+  return it == values_.end() ? fallback : it->second;
+}
+
+long Args::get_int(const std::string& key, long fallback) const {
+  auto it = values_.find(key);
+  return it == values_.end() ? fallback : std::strtol(it->second.c_str(), nullptr, 10);
+}
+
+double Args::get_double(const std::string& key, double fallback) const {
+  auto it = values_.find(key);
+  return it == values_.end() ? fallback : std::strtod(it->second.c_str(), nullptr);
+}
+
+}  // namespace ss::harness

@@ -1,0 +1,31 @@
+// Minimal CLI flag parsing for the bench/example binaries.
+//
+// Supports --key=value, --key value and boolean --flag forms; anything else
+// is a positional argument.  Unknown flags are kept so binaries can print
+// them in --help diagnostics.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ss::harness {
+
+class Args {
+ public:
+  Args(int argc, const char* const* argv);
+
+  [[nodiscard]] bool has(const std::string& key) const;
+  [[nodiscard]] std::string get(const std::string& key, const std::string& fallback = "") const;
+  [[nodiscard]] long get_int(const std::string& key, long fallback) const;
+  [[nodiscard]] double get_double(const std::string& key, double fallback) const;
+  [[nodiscard]] const std::vector<std::string>& positional() const { return positional_; }
+  [[nodiscard]] const std::string& program() const { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace ss::harness

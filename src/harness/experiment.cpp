@@ -1,0 +1,59 @@
+#include "harness/experiment.hpp"
+
+#include "core/error.hpp"
+#include "harness/table.hpp"
+#include "runtime/engine.hpp"
+
+namespace ss::harness {
+
+Engine engine_from_string(const std::string& name) {
+  if (name == "sim") return Engine::kSim;
+  if (name == "threads") return Engine::kThreads;
+  throw Error("unknown engine '" + name + "' (expected 'sim' or 'threads')");
+}
+
+Measured measure(const Topology& t, const runtime::Deployment& deployment,
+                 const MeasureOptions& options) {
+  Measured result;
+  if (options.engine == Engine::kSim) {
+    sim::SimOptions sim_options;
+    sim_options.duration = options.sim_duration;
+    sim_options.buffer_capacity = options.buffer_capacity;
+    sim_options.law = options.law;
+    sim_options.seed = options.seed;
+    sim_options.replication = deployment.replication;
+    sim_options.partitions = deployment.partitions;
+    const sim::SimResult sim = sim::simulate(t, sim_options);
+    result.throughput = sim.throughput;
+    for (const auto& op : sim.ops) {
+      result.departure_rates.push_back(op.departure_rate);
+      result.arrival_rates.push_back(op.arrival_rate);
+    }
+    return result;
+  }
+
+  runtime::EngineConfig config;
+  config.mailbox_capacity = options.buffer_capacity;
+  config.seed = options.seed;
+  runtime::Engine engine(t, deployment, runtime::synthetic_factory(), config);
+  const runtime::RunStats stats =
+      engine.run_for(std::chrono::duration<double>(options.real_duration));
+  result.throughput = stats.source_rate;
+  for (const auto& op : stats.ops) {
+    result.departure_rates.push_back(op.departure_rate);
+    result.arrival_rates.push_back(op.arrival_rate);
+  }
+  return result;
+}
+
+Comparison compare_throughput(const Topology& t, const runtime::Deployment& deployment,
+                              const MeasureOptions& options) {
+  Comparison cmp;
+  ReplicationPlan plan = deployment.replication;
+  cmp.predicted = steady_state(t, plan).throughput();
+  cmp.measured = measure(t, deployment, options).throughput;
+  cmp.error = relative_error(cmp.predicted, cmp.measured);
+  return cmp;
+}
+
+}  // namespace ss::harness

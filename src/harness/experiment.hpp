@@ -1,0 +1,63 @@
+// Predicted-vs-measured experiment plumbing shared by the fig* benches.
+//
+// The "measured" side can come from either engine:
+//   * kSim     — the discrete-event BAS simulator (default; sweeps the
+//                whole 50-topology testbed in seconds on one core), or
+//   * kThreads — the real actor runtime with timed-wait operators (the
+//                configuration closest to the paper's Akka runs; wall-clock
+//                bound, used for spot validation).
+// See DESIGN.md §2 for why both are faithful stand-ins for the paper's
+// 24-core Akka deployment.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/steady_state.hpp"
+#include "core/topology.hpp"
+#include "runtime/plan.hpp"
+#include "sim/des.hpp"
+
+namespace ss::harness {
+
+enum class Engine { kSim, kThreads };
+
+/// Parses "sim"/"threads" (CLI --engine values).
+Engine engine_from_string(const std::string& name);
+
+struct MeasureOptions {
+  Engine engine = Engine::kSim;
+  /// Simulated seconds (kSim).
+  double sim_duration = 200.0;
+  /// Service law for the simulator.
+  sim::ServiceLaw law = sim::ServiceLaw::exponential();
+  /// Wall-clock seconds per topology (kThreads).
+  double real_duration = 2.0;
+  /// Mailbox/buffer capacity.
+  std::size_t buffer_capacity = 64;
+  std::uint64_t seed = 7;
+};
+
+/// Measured steady-state rates of one run.
+struct Measured {
+  double throughput = 0.0;               ///< source departure rate (tuples/s)
+  std::vector<double> departure_rates;   ///< per logical operator
+  std::vector<double> arrival_rates;
+};
+
+/// Runs `t` under `deployment` on the chosen engine and returns rates.
+Measured measure(const Topology& t, const runtime::Deployment& deployment,
+                 const MeasureOptions& options);
+
+/// Predicted + measured + relative error for one topology.
+struct Comparison {
+  double predicted = 0.0;
+  double measured = 0.0;
+  double error = 0.0;  ///< |predicted - measured| / measured
+};
+
+/// Full fig-7-style comparison of an unoptimized (or replicated) topology.
+Comparison compare_throughput(const Topology& t, const runtime::Deployment& deployment,
+                              const MeasureOptions& options);
+
+}  // namespace ss::harness

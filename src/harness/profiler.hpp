@@ -1,0 +1,31 @@
+// Operator profiling (paper §4.1): measure the average service time and the
+// observed output selectivity of an OperatorLogic on synthetic tuples.
+// This plays the role of the Mammut/DiSL instrumentation the paper relies
+// on to obtain the cost-model inputs.
+#pragma once
+
+#include <cstdint>
+
+#include "core/profile.hpp"
+#include "core/topology.hpp"
+#include "runtime/operator.hpp"
+
+namespace ss::harness {
+
+struct LogicProfile {
+  double seconds_per_item = 0.0;  ///< mean wall time of process() per input
+  double outputs_per_input = 0.0; ///< observed output selectivity
+};
+
+/// Feeds `items` synthetic tuples (seeded) through the logic and measures.
+/// Window/selectivity behaviour is captured naturally: emissions are
+/// counted, waits are real.
+LogicProfile profile_logic(runtime::OperatorLogic& logic, int items, std::uint64_t seed = 1);
+
+/// Profiles every operator of `t` that names a known implementation and
+/// returns the ProfileData ready for annotate_with_profile().  Operators
+/// with empty/synthetic impls are skipped (their spec already *is* the
+/// profile).
+ProfileData profile_topology(const Topology& t, int items_per_operator = 2000);
+
+}  // namespace ss::harness

@@ -1,0 +1,82 @@
+#include "harness/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace ss::harness {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+Table& Table::add_row(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+std::string Table::num(double value, int precision) {
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(precision) << value;
+  return out.str();
+}
+
+std::string Table::percent(double fraction, int precision) {
+  return num(fraction * 100.0, precision) + "%";
+}
+
+void Table::print(std::ostream& out) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  const auto print_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      out << (c == 0 ? "" : "  ") << std::setw(static_cast<int>(widths[c])) << cells[c];
+    }
+    out << '\n';
+  };
+  print_row(headers_);
+  std::size_t total = headers_.size() > 0 ? 2 * (headers_.size() - 1) : 0;
+  for (std::size_t w : widths) total += w;
+  out << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string Table::to_string() const {
+  std::ostringstream out;
+  print(out);
+  return out.str();
+}
+
+double mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double total = 0.0;
+  for (double v : values) total += v;
+  return total / static_cast<double>(values.size());
+}
+
+double stddev(const std::vector<double>& values) {
+  if (values.size() < 2) return 0.0;
+  const double m = mean(values);
+  double sq = 0.0;
+  for (double v : values) sq += (v - m) * (v - m);
+  return std::sqrt(sq / static_cast<double>(values.size()));
+}
+
+double max_value(const std::vector<double>& values) {
+  double best = 0.0;
+  for (double v : values) best = std::max(best, v);
+  return best;
+}
+
+double relative_error(double predicted, double measured) {
+  if (measured == 0.0) return predicted == 0.0 ? 0.0 : 1.0;
+  return std::abs(predicted - measured) / measured;
+}
+
+}  // namespace ss::harness

@@ -1,0 +1,42 @@
+// Column-aligned ASCII table/series output for the bench binaries, which
+// regenerate the paper's figures as printable series.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ss::harness {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  Table& add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with `precision` decimals.
+  static std::string num(double value, int precision = 2);
+  /// Formats a ratio as a percentage string ("3.25%").
+  static std::string percent(double fraction, int precision = 2);
+
+  void print(std::ostream& out) const;
+  [[nodiscard]] std::string to_string() const;
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Mean of a sample.
+double mean(const std::vector<double>& values);
+/// Population standard deviation of a sample.
+double stddev(const std::vector<double>& values);
+/// Maximum element (0 for empty input).
+double max_value(const std::vector<double>& values);
+
+/// |predicted - measured| / measured — the relative error the paper plots
+/// in Figures 7b and 8.
+double relative_error(double predicted, double measured);
+
+}  // namespace ss::harness

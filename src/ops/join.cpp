@@ -1,0 +1,28 @@
+#include "ops/join.hpp"
+
+#include <cmath>
+
+namespace ss::ops {
+
+void BandJoin::process(const Tuple& item, OpIndex from, Collector& out) {
+  if (left_from_ == kInvalidOp) left_from_ = from;
+  const bool is_left = (from == left_from_);
+  std::deque<Tuple>& own = is_left ? left_ : right_;
+  const std::deque<Tuple>& other = is_left ? right_ : left_;
+
+  own.push_back(item);
+  if (own.size() > window_length_) own.pop_front();
+
+  for (const Tuple& match : other) {
+    if (std::abs(match.f[0] - item.f[0]) <= band_) {
+      // Merged result: probe tuple's identity, matched value in f[2],
+      // matched key in f[3] (as a numeric payload).
+      Tuple result = item;
+      result.f[2] = match.f[0];
+      result.f[3] = static_cast<double>(match.key);
+      out.emit(result);
+    }
+  }
+}
+
+}  // namespace ss::ops

@@ -1,0 +1,46 @@
+// Band join over count-based windows (paper §5.1: "join operators
+// performing band-join predicates on count-based windows").
+//
+// The operator has two input streams, distinguished by the logical upstream
+// operator id the runtime passes to process().  Each side keeps a
+// count-based window; an arriving tuple is matched against the opposite
+// window with the band predicate |a.f[0] - b.f[0]| <= band, emitting one
+// merged tuple per match (data-dependent output selectivity).
+#pragma once
+
+#include <deque>
+#include <memory>
+
+#include "core/types.hpp"
+#include "runtime/operator.hpp"
+
+namespace ss::ops {
+
+using runtime::Collector;
+using runtime::OperatorLogic;
+using runtime::Tuple;
+
+class BandJoin final : public OperatorLogic {
+ public:
+  explicit BandJoin(std::size_t window_length = 256, double band = 0.05)
+      : window_length_(window_length), band_(band) {}
+
+  void process(const Tuple& item, OpIndex from, Collector& out) override;
+  [[nodiscard]] std::unique_ptr<OperatorLogic> clone() const override {
+    return std::make_unique<BandJoin>(window_length_, band_);
+  }
+
+  [[nodiscard]] std::size_t window_length() const { return window_length_; }
+  [[nodiscard]] double band() const { return band_; }
+
+ private:
+  std::size_t window_length_;
+  double band_;
+  // The first upstream id observed becomes the left side; any other id is
+  // the right side (the runtime guarantees stable `from` values).
+  OpIndex left_from_ = kInvalidOp;
+  std::deque<Tuple> left_;
+  std::deque<Tuple> right_;
+};
+
+}  // namespace ss::ops

@@ -1,0 +1,92 @@
+// Partitioned-stateful operators: per-key state, safely replicable by
+// splitting the key domain (paper §2, §3.2).  Each replica only ever sees a
+// subset of the keys, so per-replica hash maps are the state partitions.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "runtime/operator.hpp"
+
+namespace ss::ops {
+
+using runtime::Collector;
+using runtime::OperatorLogic;
+using runtime::Tuple;
+
+/// f[1] <- number of tuples seen for this key so far.
+class KeyedCounter final : public OperatorLogic {
+ public:
+  void process(const Tuple& item, OpIndex, Collector& out) override {
+    Tuple t = item;
+    t.f[1] = static_cast<double>(++counts_[t.key]);
+    out.emit(t);
+  }
+  [[nodiscard]] std::unique_ptr<OperatorLogic> clone() const override {
+    return std::make_unique<KeyedCounter>();
+  }
+
+ private:
+  std::unordered_map<std::int64_t, std::uint64_t> counts_;
+};
+
+/// f[1] <- running sum of f[0] for this key.
+class KeyedRunningSum final : public OperatorLogic {
+ public:
+  void process(const Tuple& item, OpIndex, Collector& out) override {
+    Tuple t = item;
+    t.f[1] = (sums_[t.key] += t.f[0]);
+    out.emit(t);
+  }
+  [[nodiscard]] std::unique_ptr<OperatorLogic> clone() const override {
+    return std::make_unique<KeyedRunningSum>();
+  }
+
+ private:
+  std::unordered_map<std::int64_t, double> sums_;
+};
+
+/// f[1] <- running mean of f[0] for this key.
+class KeyedAverage final : public OperatorLogic {
+ public:
+  void process(const Tuple& item, OpIndex, Collector& out) override {
+    State& s = state_[item.key];
+    s.sum += item.f[0];
+    ++s.count;
+    Tuple t = item;
+    t.f[1] = s.sum / static_cast<double>(s.count);
+    out.emit(t);
+  }
+  [[nodiscard]] std::unique_ptr<OperatorLogic> clone() const override {
+    return std::make_unique<KeyedAverage>();
+  }
+
+ private:
+  struct State {
+    double sum = 0.0;
+    std::uint64_t count = 0;
+  };
+  std::unordered_map<std::int64_t, State> state_;
+};
+
+/// Forwards a tuple only the first time its (key, bucketized f[0]) pair is
+/// seen: per-key duplicate suppression (output selectivity < 1).
+class KeyedDistinct final : public OperatorLogic {
+ public:
+  explicit KeyedDistinct(double bucket_width = 0.1) : bucket_width_(bucket_width) {}
+  void process(const Tuple& item, OpIndex, Collector& out) override {
+    const auto bucket = static_cast<std::int64_t>(item.f[0] / bucket_width_);
+    if (seen_[item.key].insert(bucket).second) out.emit(item);
+  }
+  [[nodiscard]] std::unique_ptr<OperatorLogic> clone() const override {
+    return std::make_unique<KeyedDistinct>(bucket_width_);
+  }
+
+ private:
+  double bucket_width_;
+  std::unordered_map<std::int64_t, std::unordered_set<std::int64_t>> seen_;
+};
+
+}  // namespace ss::ops

@@ -1,0 +1,52 @@
+// Per-key state adapter: lifts any OperatorLogic into its keyed variant.
+//
+// A windowed aggregate like Wma keeps one global window; wrapping it in
+// PerKey gives one window *per key*, which is exactly what makes such an
+// operator partitioned-stateful (paper §2: "stateful ones having a
+// partitionable state"): replicas own disjoint key subsets, and each key's
+// state lives in exactly one replica.  The testbed's "partitioned windowed"
+// operators are PerKey-lifted instances of the global aggregates.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+
+#include "runtime/operator.hpp"
+
+namespace ss::ops {
+
+class PerKey final : public runtime::OperatorLogic {
+ public:
+  using InnerFactory = std::function<std::unique_ptr<runtime::OperatorLogic>()>;
+
+  /// `factory` creates the state of one key on first touch.
+  explicit PerKey(InnerFactory factory) : factory_(std::move(factory)) {}
+
+  void process(const runtime::Tuple& item, OpIndex from, runtime::Collector& out) override {
+    auto it = states_.find(item.key);
+    if (it == states_.end()) it = states_.emplace(item.key, factory_()).first;
+    it->second->process(item, from, out);
+  }
+
+  void on_finish(runtime::Collector& out) override {
+    // Flush every key's pending state (e.g. partial windows).
+    for (auto& [key, logic] : states_) {
+      (void)key;
+      logic->on_finish(out);
+    }
+  }
+
+  [[nodiscard]] std::unique_ptr<runtime::OperatorLogic> clone() const override {
+    return std::make_unique<PerKey>(factory_);  // fresh, empty key map
+  }
+
+  /// Number of distinct keys touched so far (observability/testing).
+  [[nodiscard]] std::size_t keys_touched() const { return states_.size(); }
+
+ private:
+  InnerFactory factory_;
+  std::unordered_map<std::int64_t, std::unique_ptr<runtime::OperatorLogic>> states_;
+};
+
+}  // namespace ss::ops

@@ -1,0 +1,59 @@
+// Operator registry: the catalog of the 20 real-world operators the paper's
+// testbed draws from (§5.1), their structural constraints and profiled
+// service-time ranges, plus factories resolving an OperatorSpec::impl name
+// to an executable OperatorLogic.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/topology.hpp"
+#include "runtime/engine.hpp"
+#include "runtime/operator.hpp"
+
+namespace ss::ops {
+
+/// One catalog entry describing a reusable operator implementation.
+struct CatalogEntry {
+  /// Registry key, stored in OperatorSpec::impl.
+  std::string impl;
+  /// Default state classification (workload generation may mark windowed
+  /// operators as partitioned-stateful when can_be_partitioned).
+  StateKind state = StateKind::kStateless;
+  /// Uses count-based windows: input selectivity = window slide.
+  bool windowed = false;
+  /// Keyed state that admits fission by key-domain splitting.
+  bool can_be_partitioned = false;
+  /// Requires at least two input edges (joins).
+  bool requires_multi_input = false;
+  /// Profiled service-time range in seconds (paper: hundreds of
+  /// microseconds to hundreds of milliseconds).
+  double service_min = 1e-4;
+  double service_max = 1e-3;
+  /// Output selectivity range (results per production event).
+  double out_sel_min = 1.0;
+  double out_sel_max = 1.0;
+};
+
+/// The 20-operator catalog.
+const std::vector<CatalogEntry>& catalog();
+
+/// Entry lookup by impl name; throws ss::Error when unknown.
+const CatalogEntry& catalog_entry(const std::string& impl);
+
+/// True if `impl` names a known operator.
+bool is_known_impl(const std::string& impl);
+
+/// Instantiates the implementation named by spec.impl, deriving window
+/// parameters from the spec's input selectivity.  Throws ss::Error for
+/// unknown names.  An empty impl or "synthetic" yields a profile-faithful
+/// synthetic operator; "meta" is rejected (fusion groups are executed by
+/// the runtime, not instantiated directly).
+std::unique_ptr<runtime::OperatorLogic> make_logic(OpIndex op, const OperatorSpec& spec);
+
+/// AppFactory for the engine: synthetic paced source + make_logic per
+/// operator (the code-generation target, cf. core/codegen.hpp).
+runtime::AppFactory make_logic_factory(const Topology& topology);
+
+}  // namespace ss::ops

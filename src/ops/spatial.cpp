@@ -1,0 +1,36 @@
+#include "ops/spatial.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace ss::ops {
+
+namespace {
+bool dominates(const Tuple& a, const Tuple& b) {
+  return a.f[0] >= b.f[0] && a.f[1] >= b.f[1] && (a.f[0] > b.f[0] || a.f[1] > b.f[1]);
+}
+}  // namespace
+
+void Skyline::emit_skyline(Collector& out) {
+  const auto& items = window_.contents();
+  for (const Tuple& candidate : items) {
+    bool dominated = false;
+    for (const Tuple& other : items) {
+      if (dominates(other, candidate)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) out.emit(candidate);
+  }
+}
+
+void TopK::emit_topk(Collector& out) {
+  std::vector<Tuple> items(window_.contents().begin(), window_.contents().end());
+  const std::size_t k = std::min(k_, items.size());
+  std::partial_sort(items.begin(), items.begin() + static_cast<std::ptrdiff_t>(k), items.end(),
+                    [](const Tuple& a, const Tuple& b) { return a.f[0] > b.f[0]; });
+  for (std::size_t i = 0; i < k; ++i) out.emit(items[i]);
+}
+
+}  // namespace ss::ops

@@ -1,0 +1,61 @@
+// Spatial window queries (paper §5.1: "spatial queries, i.e. skyline and
+// top-k"): multi-result window operators whose output selectivity depends on
+// the data.
+#pragma once
+
+#include <memory>
+
+#include "ops/window.hpp"
+#include "runtime/operator.hpp"
+
+namespace ss::ops {
+
+using runtime::Collector;
+using runtime::OperatorLogic;
+using runtime::Tuple;
+
+/// 2-D skyline over (f[0], f[1]): per slide, emits the tuples of the window
+/// that are not dominated (a dominates b iff a.f[0] >= b.f[0] and
+/// a.f[1] >= b.f[1] with at least one strict).  Classic block-nested-loop
+/// skyline — O(n^2) worst case, the expensive operator of the testbed.
+class Skyline final : public OperatorLogic {
+ public:
+  Skyline(std::size_t length = 1000, std::size_t slide = 50) : window_(length, slide) {}
+  void process(const Tuple& item, OpIndex, Collector& out) override {
+    if (window_.push(item)) emit_skyline(out);
+  }
+  void on_finish(Collector& out) override {
+    if (window_.has_pending() && !window_.empty()) emit_skyline(out);
+  }
+  [[nodiscard]] std::unique_ptr<OperatorLogic> clone() const override {
+    return std::make_unique<Skyline>(window_.length(), window_.slide());
+  }
+
+ private:
+  void emit_skyline(Collector& out);
+  CountWindow window_;
+};
+
+/// Top-k by f[0] over the window: per slide emits the k largest tuples in
+/// descending order (output selectivity up to k per slide).
+class TopK final : public OperatorLogic {
+ public:
+  TopK(std::size_t length = 1000, std::size_t slide = 50, std::size_t k = 5)
+      : window_(length, slide), k_(k) {}
+  void process(const Tuple& item, OpIndex, Collector& out) override {
+    if (window_.push(item)) emit_topk(out);
+  }
+  void on_finish(Collector& out) override {
+    if (window_.has_pending() && !window_.empty()) emit_topk(out);
+  }
+  [[nodiscard]] std::unique_ptr<OperatorLogic> clone() const override {
+    return std::make_unique<TopK>(window_.length(), window_.slide(), k_);
+  }
+
+ private:
+  void emit_topk(Collector& out);
+  CountWindow window_;
+  std::size_t k_;
+};
+
+}  // namespace ss::ops

@@ -1,0 +1,34 @@
+#include "ops/stateless.hpp"
+
+#include <cmath>
+
+namespace ss::ops {
+
+void MapMath::process(const Tuple& item, OpIndex, Collector& out) {
+  Tuple t = item;
+  double x = t.f[0];
+  for (int i = 0; i < rounds_; ++i) {
+    x = std::sin(x) * std::exp(-x * x) + std::log1p(std::abs(x));
+  }
+  t.f[1] = x;
+  out.emit(t);
+}
+
+Enrich::Enrich(std::size_t table_size) : table_(table_size == 0 ? 1 : table_size) {
+  // Deterministic pseudo-reference data: a fixed hash of the slot index.
+  for (std::size_t i = 0; i < table_.size(); ++i) {
+    const auto h = (i * 2654435761u) & 0xffffu;
+    table_[i] = static_cast<double>(h) / 65535.0;
+  }
+}
+
+void Enrich::process(const Tuple& item, OpIndex, Collector& out) {
+  Tuple t = item;
+  const auto n = static_cast<std::int64_t>(table_.size());
+  std::int64_t slot = t.key % n;
+  if (slot < 0) slot += n;
+  t.f[3] = table_[static_cast<std::size_t>(slot)];
+  out.emit(t);
+}
+
+}  // namespace ss::ops

@@ -1,0 +1,153 @@
+// Stateless tuple-at-a-time operators (paper §5.1: "filters and maps, which
+// apply transformations on a tuple-by-tuple basis").
+//
+// Field conventions: f[0] is the primary measurement, f[1] a derived value,
+// f[2] auxiliary, f[3] enrichment payload.  All operators are deterministic
+// functions of the input (plus an explicit seed for Sampler), so replicas
+// are trivially safe.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "gen/rng.hpp"
+#include "runtime/operator.hpp"
+
+namespace ss::ops {
+
+using runtime::Collector;
+using runtime::OperatorLogic;
+using runtime::Tuple;
+
+/// Drops tuples whose f[0] is below `threshold` (output selectivity < 1).
+class Filter final : public OperatorLogic {
+ public:
+  explicit Filter(double threshold = 0.5) : threshold_(threshold) {}
+  void process(const Tuple& item, OpIndex, Collector& out) override {
+    if (item.f[0] >= threshold_) out.emit(item);
+  }
+  [[nodiscard]] std::unique_ptr<OperatorLogic> clone() const override {
+    return std::make_unique<Filter>(threshold_);
+  }
+
+ private:
+  double threshold_;
+};
+
+/// f[0] <- a * f[0] + b (unit conversion, normalization...).
+class MapAffine final : public OperatorLogic {
+ public:
+  MapAffine(double a = 2.0, double b = 1.0) : a_(a), b_(b) {}
+  void process(const Tuple& item, OpIndex, Collector& out) override {
+    Tuple t = item;
+    t.f[0] = a_ * t.f[0] + b_;
+    out.emit(t);
+  }
+  [[nodiscard]] std::unique_ptr<OperatorLogic> clone() const override {
+    return std::make_unique<MapAffine>(a_, b_);
+  }
+
+ private:
+  double a_;
+  double b_;
+};
+
+/// f[1] <- iterated transcendental of f[0]; `rounds` tunes the CPU cost
+/// (a stand-in for feature extraction / scoring kernels).
+class MapMath final : public OperatorLogic {
+ public:
+  explicit MapMath(int rounds = 16) : rounds_(rounds) {}
+  void process(const Tuple& item, OpIndex, Collector& out) override;
+  [[nodiscard]] std::unique_ptr<OperatorLogic> clone() const override {
+    return std::make_unique<MapMath>(rounds_);
+  }
+
+ private:
+  int rounds_;
+};
+
+/// Emits `factor` copies of each input, with f[2] set to the copy ordinal
+/// (output selectivity = factor).
+class FlatMapExpand final : public OperatorLogic {
+ public:
+  explicit FlatMapExpand(int factor = 2) : factor_(factor) {}
+  void process(const Tuple& item, OpIndex, Collector& out) override {
+    for (int i = 0; i < factor_; ++i) {
+      Tuple t = item;
+      t.f[2] = static_cast<double>(i);
+      out.emit(t);
+    }
+  }
+  [[nodiscard]] std::unique_ptr<OperatorLogic> clone() const override {
+    return std::make_unique<FlatMapExpand>(factor_);
+  }
+
+ private:
+  int factor_;
+};
+
+/// Keeps f[0] and clears the remaining attributes (column projection).
+class Projection final : public OperatorLogic {
+ public:
+  void process(const Tuple& item, OpIndex, Collector& out) override {
+    Tuple t = item;
+    t.f[1] = t.f[2] = t.f[3] = 0.0;
+    out.emit(t);
+  }
+  [[nodiscard]] std::unique_ptr<OperatorLogic> clone() const override {
+    return std::make_unique<Projection>();
+  }
+};
+
+/// Forwards each tuple with probability `rate` (probabilistic load
+/// reduction; output selectivity = rate).
+class Sampler final : public OperatorLogic {
+ public:
+  explicit Sampler(double rate = 0.25, std::uint64_t seed = 7) : rate_(rate), rng_(seed) {}
+  void process(const Tuple& item, OpIndex, Collector& out) override {
+    if (rng_.bernoulli(rate_)) out.emit(item);
+  }
+  [[nodiscard]] std::unique_ptr<OperatorLogic> clone() const override {
+    return std::make_unique<Sampler>(rate_, rng_.next_u64());
+  }
+
+ private:
+  double rate_;
+  mutable Rng rng_;
+};
+
+/// Joins each tuple against a static reference table by key:
+/// f[3] <- table[key mod table_size] (dimension-table enrichment).
+class Enrich final : public OperatorLogic {
+ public:
+  explicit Enrich(std::size_t table_size = 1024);
+  void process(const Tuple& item, OpIndex, Collector& out) override;
+  [[nodiscard]] std::unique_ptr<OperatorLogic> clone() const override {
+    return std::make_unique<Enrich>(table_.size());
+  }
+
+ private:
+  std::vector<double> table_;
+};
+
+/// Clamps f[0] into [lo, hi] (sensor range sanitation).
+class Clamp final : public OperatorLogic {
+ public:
+  Clamp(double lo = 0.0, double hi = 1.0) : lo_(lo), hi_(hi) {}
+  void process(const Tuple& item, OpIndex, Collector& out) override {
+    Tuple t = item;
+    if (t.f[0] < lo_) t.f[0] = lo_;
+    if (t.f[0] > hi_) t.f[0] = hi_;
+    out.emit(t);
+  }
+  [[nodiscard]] std::unique_ptr<OperatorLogic> clone() const override {
+    return std::make_unique<Clamp>(lo_, hi_);
+  }
+
+ private:
+  double lo_;
+  double hi_;
+};
+
+}  // namespace ss::ops

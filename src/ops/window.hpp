@@ -1,0 +1,59 @@
+// Count-based sliding windows (paper §3.4, §5.1).
+//
+// The paper's windowed operators use count-based windows of length w sliding
+// every s items: the operator's input selectivity is exactly s (one result
+// per s new items once the window is primed).  CountWindow keeps the last w
+// tuples and reports when a slide boundary is crossed.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+
+#include "core/error.hpp"
+#include "runtime/tuple.hpp"
+
+namespace ss::ops {
+
+class CountWindow {
+ public:
+  CountWindow(std::size_t length, std::size_t slide) : length_(length), slide_(slide) {
+    require(length > 0 && slide > 0, "CountWindow: length and slide must be positive");
+  }
+
+  /// Inserts one tuple; returns true when a window result is due (every
+  /// `slide` insertions once at least one tuple is buffered; the first
+  /// trigger fires as soon as `slide` items arrived, matching the partial
+  /// window semantics streaming systems commonly use).
+  bool push(const runtime::Tuple& t) {
+    buffer_.push_back(t);
+    if (buffer_.size() > length_) buffer_.pop_front();
+    if (++since_slide_ >= slide_) {
+      since_slide_ = 0;
+      return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] const std::deque<runtime::Tuple>& contents() const { return buffer_; }
+  [[nodiscard]] std::size_t size() const { return buffer_.size(); }
+  [[nodiscard]] bool empty() const { return buffer_.empty(); }
+  [[nodiscard]] std::size_t length() const { return length_; }
+  [[nodiscard]] std::size_t slide() const { return slide_; }
+
+  /// True when items arrived after the last slide trigger (a partial tail
+  /// worth flushing at end-of-stream).
+  [[nodiscard]] bool has_pending() const { return since_slide_ > 0; }
+
+  void clear() {
+    buffer_.clear();
+    since_slide_ = 0;
+  }
+
+ private:
+  std::size_t length_;
+  std::size_t slide_;
+  std::deque<runtime::Tuple> buffer_;
+  std::size_t since_slide_ = 0;
+};
+
+}  // namespace ss::ops

@@ -1,0 +1,59 @@
+#include "ops/windowed.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace ss::ops {
+
+void Wma::emit_aggregate(const Tuple& latest, Collector& out) {
+  const auto& items = window().contents();
+  double weighted = 0.0;
+  double total_weight = 0.0;
+  double w = 1.0;
+  for (const Tuple& t : items) {  // oldest -> newest, weights 1..n
+    weighted += w * t.f[0];
+    total_weight += w;
+    w += 1.0;
+  }
+  Tuple result = latest;
+  result.f[1] = total_weight > 0.0 ? weighted / total_weight : 0.0;
+  out.emit(result);
+}
+
+void WinSum::emit_aggregate(const Tuple& latest, Collector& out) {
+  double sum = 0.0;
+  for (const Tuple& t : window().contents()) sum += t.f[0];
+  Tuple result = latest;
+  result.f[1] = sum;
+  out.emit(result);
+}
+
+void WinMax::emit_aggregate(const Tuple& latest, Collector& out) {
+  double best = -1e300;
+  for (const Tuple& t : window().contents()) best = std::max(best, t.f[0]);
+  Tuple result = latest;
+  result.f[1] = best;
+  out.emit(result);
+}
+
+void WinMin::emit_aggregate(const Tuple& latest, Collector& out) {
+  double best = 1e300;
+  for (const Tuple& t : window().contents()) best = std::min(best, t.f[0]);
+  Tuple result = latest;
+  result.f[1] = best;
+  out.emit(result);
+}
+
+void WinQuantile::emit_aggregate(const Tuple& latest, Collector& out) {
+  std::vector<double> values;
+  values.reserve(window().size());
+  for (const Tuple& t : window().contents()) values.push_back(t.f[0]);
+  const auto rank = static_cast<std::size_t>(q_ * static_cast<double>(values.size() - 1));
+  std::nth_element(values.begin(), values.begin() + static_cast<std::ptrdiff_t>(rank),
+                   values.end());
+  Tuple result = latest;
+  result.f[1] = values[rank];
+  out.emit(result);
+}
+
+}  // namespace ss::ops

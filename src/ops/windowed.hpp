@@ -1,0 +1,112 @@
+// Count-based sliding-window aggregations (paper §5.1: "stateful operators
+// based on count-based windows for aggregation tasks, i.e. weighted moving
+// average, sum, max, min and quantiles").
+//
+// Every operator here consumes each input (buffering it) and emits one
+// aggregate per window slide: its input selectivity equals the slide s.
+// Aggregates write their value into f[1] of a copy of the latest tuple.
+#pragma once
+
+#include <memory>
+
+#include "ops/window.hpp"
+#include "runtime/operator.hpp"
+
+namespace ss::ops {
+
+using runtime::Collector;
+using runtime::OperatorLogic;
+using runtime::Tuple;
+
+/// Common machinery: buffer into a CountWindow, call aggregate() per slide,
+/// flush the partial tail at end-of-stream.
+class WindowedAggregate : public OperatorLogic {
+ public:
+  WindowedAggregate(std::size_t length, std::size_t slide) : window_(length, slide) {}
+
+  void process(const Tuple& item, OpIndex, Collector& out) final {
+    if (window_.push(item)) emit_aggregate(item, out);
+  }
+  void on_finish(Collector& out) final {
+    if (window_.has_pending() && !window_.empty()) {
+      emit_aggregate(window_.contents().back(), out);
+    }
+  }
+
+ protected:
+  /// Computes the aggregate of the current window contents into f[1] of a
+  /// copy of `latest` (may emit more than once, e.g. Skyline overrides the
+  /// emission entirely).
+  virtual void emit_aggregate(const Tuple& latest, Collector& out) = 0;
+
+  [[nodiscard]] const CountWindow& window() const { return window_; }
+
+ private:
+  CountWindow window_;
+};
+
+/// Weighted moving average of f[0] (linear weights, recent items heavier).
+class Wma final : public WindowedAggregate {
+ public:
+  Wma(std::size_t length = 1000, std::size_t slide = 10) : WindowedAggregate(length, slide) {}
+  [[nodiscard]] std::unique_ptr<OperatorLogic> clone() const override {
+    return std::make_unique<Wma>(window().length(), window().slide());
+  }
+
+ protected:
+  void emit_aggregate(const Tuple& latest, Collector& out) override;
+};
+
+/// Sum of f[0] over the window.
+class WinSum final : public WindowedAggregate {
+ public:
+  WinSum(std::size_t length = 1000, std::size_t slide = 10) : WindowedAggregate(length, slide) {}
+  [[nodiscard]] std::unique_ptr<OperatorLogic> clone() const override {
+    return std::make_unique<WinSum>(window().length(), window().slide());
+  }
+
+ protected:
+  void emit_aggregate(const Tuple& latest, Collector& out) override;
+};
+
+/// Maximum of f[0] over the window.
+class WinMax final : public WindowedAggregate {
+ public:
+  WinMax(std::size_t length = 1000, std::size_t slide = 10) : WindowedAggregate(length, slide) {}
+  [[nodiscard]] std::unique_ptr<OperatorLogic> clone() const override {
+    return std::make_unique<WinMax>(window().length(), window().slide());
+  }
+
+ protected:
+  void emit_aggregate(const Tuple& latest, Collector& out) override;
+};
+
+/// Minimum of f[0] over the window.
+class WinMin final : public WindowedAggregate {
+ public:
+  WinMin(std::size_t length = 1000, std::size_t slide = 10) : WindowedAggregate(length, slide) {}
+  [[nodiscard]] std::unique_ptr<OperatorLogic> clone() const override {
+    return std::make_unique<WinMin>(window().length(), window().slide());
+  }
+
+ protected:
+  void emit_aggregate(const Tuple& latest, Collector& out) override;
+};
+
+/// q-quantile (0 < q < 1) of f[0] over the window via nth_element.
+class WinQuantile final : public WindowedAggregate {
+ public:
+  WinQuantile(std::size_t length = 1000, std::size_t slide = 10, double q = 0.95)
+      : WindowedAggregate(length, slide), q_(q) {}
+  [[nodiscard]] std::unique_ptr<OperatorLogic> clone() const override {
+    return std::make_unique<WinQuantile>(window().length(), window().slide(), q_);
+  }
+
+ protected:
+  void emit_aggregate(const Tuple& latest, Collector& out) override;
+
+ private:
+  double q_;
+};
+
+}  // namespace ss::ops

@@ -1,0 +1,69 @@
+// Monotonic time helpers and the precise timed wait used by synthetic
+// operators.
+//
+// Synthetic workloads realize a profiled service time as a *timed wait*
+// rather than CPU burn: blocked/sleeping threads do not contend for cores,
+// so all rate relationships (mu, lambda, rho, backpressure) survive on
+// machines with fewer cores than actors — see DESIGN.md.  sleep_for alone
+// overshoots by tens of microseconds at millisecond scale, so the wait
+// sleeps for most of the interval and spins the short residue on the
+// monotonic clock.
+#pragma once
+
+#include <chrono>
+#include <thread>
+
+namespace ss::runtime {
+
+using Clock = std::chrono::steady_clock;
+
+/// Seconds elapsed between two steady_clock points.
+inline double seconds_between(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+/// Waits for `seconds` with microsecond-level accuracy.
+inline void precise_wait(double seconds) {
+  if (seconds <= 0.0) return;
+  const auto deadline = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                           std::chrono::duration<double>(seconds));
+  // Leave ~120us for the spin phase; below that the kernel timer slack
+  // dominates and sleeping would overshoot.
+  constexpr auto kSpinSlack = std::chrono::microseconds(120);
+  const auto sleep_until = deadline - kSpinSlack;
+  if (sleep_until > Clock::now()) std::this_thread::sleep_until(sleep_until);
+  while (Clock::now() < deadline) {
+    // short spin; yield keeps single-core hosts responsive
+    std::this_thread::yield();
+  }
+}
+
+/// Timed wait with drift compensation.
+///
+/// On an oversubscribed machine every sleep/spin overshoots a little
+/// (scheduler quanta, timer slack); uncorrected, that bias compounds into
+/// service rates measurably below the profiled ones.  PacedWaiter keeps a
+/// running debt of extra time already spent and discounts it from later
+/// waits, so the long-run average interval converges to exactly the
+/// requested service time.
+class PacedWaiter {
+ public:
+  void wait(double seconds) {
+    if (seconds <= 0.0) return;
+    const double effective = seconds - debt_;
+    if (effective <= 0.0) {
+      debt_ -= seconds;  // still repaying earlier overshoot
+      return;
+    }
+    const auto start = Clock::now();
+    precise_wait(effective);
+    debt_ = seconds_between(start, Clock::now()) - effective;
+  }
+
+  [[nodiscard]] double debt() const { return debt_; }
+
+ private:
+  double debt_ = 0.0;
+};
+
+}  // namespace ss::runtime

@@ -1,0 +1,484 @@
+#include "runtime/engine.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <set>
+#include <exception>
+#include <unordered_map>
+
+#include "core/error.hpp"
+#include "runtime/clock.hpp"
+#include "runtime/synthetic.hpp"
+
+namespace ss::runtime {
+
+AppFactory synthetic_factory(double time_scale, std::int64_t max_items) {
+  AppFactory factory;
+  factory.source = [time_scale, max_items](OpIndex op, const OperatorSpec& spec) {
+    return std::make_unique<SyntheticSource>(spec, 0x9e3779b9u + op, time_scale, max_items);
+  };
+  factory.logic = [time_scale](OpIndex op, const OperatorSpec& spec) {
+    return std::make_unique<SyntheticOperator>(spec, 0xa076'1d64'78bd'642fULL + op, time_scale);
+  };
+  return factory;
+}
+
+// ---------------------------------------------------------------- ActorState
+
+struct Engine::ActorState {
+  ActorState(ActorSpec s, std::size_t mailbox_capacity, OverflowPolicy policy, Rng r)
+      : spec(std::move(s)), mailbox(mailbox_capacity, policy), rng(r) {}
+
+  struct PendingItem {
+    OpIndex member;
+    Tuple tuple;
+    OpIndex from;
+  };
+
+  ActorSpec spec;
+  Mailbox mailbox;
+  Rng rng;
+  std::unique_ptr<OperatorLogic> logic;    // worker / replica
+  std::unique_ptr<SourceLogic> source;     // source
+  std::vector<std::unique_ptr<OperatorLogic>> member_logic;  // meta
+  std::unordered_map<OpIndex, std::size_t> member_pos;       // meta
+  std::deque<PendingItem> pending;                           // meta work list
+  ReplicaSelector selector;                // emitter
+  std::vector<int> replica_targets;        // emitter
+  int collector_actor = -1;                // replica
+  std::vector<double> key_cdf;             // emitter of partitioned op
+  // --- order-preserving collection (EngineConfig::preserve_replica_order)
+  std::int64_t next_seq = 0;               // emitter: stamp for the next input
+  std::int64_t current_seq = -1;           // replica: seq of the input in flight
+  std::int64_t expected_seq = 0;           // collector: next seq to release
+  std::map<std::int64_t, std::vector<Message>> held;  // collector: buffered results
+  std::set<std::int64_t> completed;        // collector: seq marks received
+};
+
+// ---------------------------------------------------------------- Collectors
+
+/// Results of a plain operator (or the source, or a collector actor): the
+/// engine routes them to the destination's entry actor.
+class Engine::RouteCollector final : public Collector {
+ public:
+  RouteCollector(Engine& engine, OpIndex op, Rng& rng) : engine_(engine), op_(op), rng_(rng) {}
+
+  void emit(const Tuple& t) override {
+    if (engine_.route_result(op_, kInvalidOp, t, rng_)) engine_.board_.add_emitted(op_);
+  }
+  void emit_to(OpIndex target, const Tuple& t) override {
+    if (engine_.route_result(op_, target, t, rng_)) engine_.board_.add_emitted(op_);
+  }
+
+ private:
+  Engine& engine_;
+  OpIndex op_;
+  Rng& rng_;
+};
+
+/// Results of a replica: forwarded to the collector actor, which performs
+/// the logical routing (and the emitted-counting) for the whole operator.
+class Engine::ReplicaCollector final : public Collector {
+ public:
+  ReplicaCollector(Engine& engine, OpIndex op, int collector_actor, std::int64_t seq = -1)
+      : engine_(engine), op_(op), collector_actor_(collector_actor), seq_(seq) {}
+
+  void emit(const Tuple& t) override { forward(kInvalidOp, t); }
+  void emit_to(OpIndex target, const Tuple& t) override { forward(target, t); }
+
+ private:
+  void forward(OpIndex target, const Tuple& t) {
+    Message m = Message::data(t, op_, target);
+    m.seq = seq_;  // results inherit the seq of the input that produced them
+    engine_.send_to_actor(collector_actor_, m);
+  }
+
+  Engine& engine_;
+  OpIndex op_;
+  int collector_actor_;
+  std::int64_t seq_;
+};
+
+/// Results of a fused member (Algorithm 4): stay inside the meta actor when
+/// the destination is a member of the same group, leave otherwise.
+class Engine::MetaCollector final : public Collector {
+ public:
+  MetaCollector(Engine& engine, ActorState& state, OpIndex member)
+      : engine_(engine), state_(state), member_(member) {}
+
+  void emit(const Tuple& t) override {
+    deliver(engine_.routers_[member_].choose(state_.rng), t);
+  }
+  void emit_to(OpIndex target, const Tuple& t) override { deliver(target, t); }
+
+ private:
+  void deliver(OpIndex dest, const Tuple& t) {
+    if (dest == kInvalidOp) {  // member is a sink: the result leaves the system
+      engine_.board_.add_emitted(member_);
+      return;
+    }
+    const int group = engine_.graph_.group_of[member_];
+    if (engine_.graph_.group_of[dest] == group) {
+      state_.pending.push_back(ActorState::PendingItem{dest, t, member_});
+      engine_.board_.add_emitted(member_);
+      return;
+    }
+    if (engine_.route_result(member_, dest, t, state_.rng)) {
+      engine_.board_.add_emitted(member_);
+    }
+  }
+
+  Engine& engine_;
+  ActorState& state_;
+  OpIndex member_;
+};
+
+// ---------------------------------------------------------------- Engine
+
+Engine::Engine(const Topology& t, Deployment deployment, AppFactory factory,
+               EngineConfig config)
+    : topology_(t),
+      deployment_(std::move(deployment)),
+      factory_(std::move(factory)),
+      config_(config),
+      graph_(ActorGraph::build(t, deployment_)),
+      board_(t.num_operators()) {
+  require(factory_.source != nullptr && factory_.logic != nullptr,
+          "Engine: AppFactory must provide both source and logic factories");
+
+  routers_.reserve(t.num_operators());
+  for (OpIndex i = 0; i < t.num_operators(); ++i) routers_.emplace_back(t, i);
+
+  Rng master(config_.seed);
+  actors_.reserve(graph_.num_actors());
+  for (const ActorSpec& spec : graph_.actors) {
+    auto state = std::make_unique<ActorState>(spec, config_.mailbox_capacity,
+                                              config_.overflow, master.split());
+    const OperatorSpec& op = topology_.op(spec.op);
+    switch (spec.kind) {
+      case ActorKind::kSource:
+        state->source = factory_.source(spec.op, op);
+        break;
+      case ActorKind::kWorker:
+      case ActorKind::kReplica:
+        state->logic = factory_.logic(spec.op, op);
+        break;
+      case ActorKind::kEmitter: {
+        state->replica_targets = spec.downstream;  // exactly the replica ids
+        const int n = static_cast<int>(state->replica_targets.size());
+        if (op.state == StateKind::kPartitionedStateful) {
+          KeyPartition partition;
+          if (spec.op < deployment_.partitions.size() &&
+              !deployment_.partitions[spec.op].replica_of_key.empty()) {
+            partition = deployment_.partitions[spec.op];
+          } else {
+            partition = partition_keys(op.keys, n);
+          }
+          require(partition.replicas == n,
+                  "Engine: partition map of '" + op.name + "' disagrees with replica count");
+          state->selector = ReplicaSelector::by_key(std::move(partition));
+          if (config_.assign_keys_at_emitter) {
+            double running = 0.0;
+            for (std::size_t k = 0; k < op.keys.num_keys(); ++k) {
+              running += op.keys.probability(k);
+              state->key_cdf.push_back(running);
+            }
+            if (!state->key_cdf.empty()) state->key_cdf.back() = 1.0;
+          }
+        } else {
+          state->selector = ReplicaSelector::round_robin(n);
+        }
+        break;
+      }
+      case ActorKind::kCollector:
+        break;
+      case ActorKind::kMeta: {
+        for (std::size_t p = 0; p < spec.members.size(); ++p) {
+          const OpIndex m = spec.members[p];
+          state->member_logic.push_back(factory_.logic(m, topology_.op(m)));
+          state->member_pos.emplace(m, p);
+        }
+        break;
+      }
+    }
+    // Replica actors forward to the collector: by construction the single
+    // downstream entry of a replica is the collector actor.
+    if (spec.kind == ActorKind::kReplica) state->collector_actor = spec.downstream.front();
+    actors_.push_back(std::move(state));
+  }
+}
+
+Engine::~Engine() { join_threads(); }
+
+bool Engine::send_to_actor(int actor_id, const Message& m) {
+  const auto timeout =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(config_.send_timeout);
+  return actors_[static_cast<std::size_t>(actor_id)]->mailbox.send(m, timeout);
+}
+
+bool Engine::route_result(OpIndex op, OpIndex target, const Tuple& tuple, Rng& rng) {
+  if (target == kInvalidOp) {
+    target = routers_[op].choose(rng);
+    if (target == kInvalidOp) return true;  // sink: the result leaves the system
+  } else {
+    require(routers_[op].is_destination(target),
+            "emit_to: '" + topology_.op(target).name + "' is not a downstream neighbor of '" +
+                topology_.op(op).name + "'");
+  }
+  const Message m = Message::data(tuple, op, target);
+  return send_to_actor(graph_.entry[target], m);
+}
+
+void Engine::release_ordered(ActorState& st) {
+  // Release buffered results of consecutive completed sequence numbers.
+  while (st.completed.count(st.expected_seq) > 0) {
+    auto it = st.held.find(st.expected_seq);
+    if (it != st.held.end()) {
+      for (const Message& m : it->second) {
+        if (route_result(st.spec.op, m.target, m.tuple, st.rng)) {
+          board_.add_emitted(st.spec.op);
+        }
+      }
+      st.held.erase(it);
+    }
+    st.completed.erase(st.expected_seq);
+    ++st.expected_seq;
+  }
+}
+
+void Engine::run_meta(std::size_t id, OpIndex member, const Tuple& tuple, OpIndex from) {
+  ActorState& st = *actors_[id];
+  st.pending.push_back(ActorState::PendingItem{member, tuple, from});
+  while (!st.pending.empty()) {
+    ActorState::PendingItem item = st.pending.front();
+    st.pending.pop_front();
+    board_.add_processed(item.member);
+    MetaCollector out(*this, st, item.member);
+    st.member_logic[st.member_pos.at(item.member)]->process(item.tuple, item.from, out);
+  }
+}
+
+void Engine::finish_actor(std::size_t id) {
+  ActorState& st = *actors_[id];
+  switch (st.spec.kind) {
+    case ActorKind::kWorker: {
+      RouteCollector out(*this, st.spec.op, st.rng);
+      st.logic->on_finish(out);
+      break;
+    }
+    case ActorKind::kReplica: {
+      ReplicaCollector out(*this, st.spec.op, st.collector_actor);
+      st.logic->on_finish(out);
+      break;
+    }
+    case ActorKind::kMeta: {
+      // Flush members upstream-first so window tails cascade downstream.
+      for (OpIndex m : st.spec.members) {
+        MetaCollector out(*this, st, m);
+        st.member_logic[st.member_pos.at(m)]->on_finish(out);
+        while (!st.pending.empty()) {
+          ActorState::PendingItem item = st.pending.front();
+          st.pending.pop_front();
+          board_.add_processed(item.member);
+          MetaCollector inner(*this, st, item.member);
+          st.member_logic[st.member_pos.at(item.member)]->process(item.tuple, item.from, inner);
+        }
+      }
+      break;
+    }
+    case ActorKind::kCollector: {
+      // Release anything still held (inputs whose marks raced the drain),
+      // in sequence order.
+      for (auto& [seq, messages] : st.held) {
+        (void)seq;
+        for (const Message& m : messages) {
+          if (route_result(st.spec.op, m.target, m.tuple, st.rng)) {
+            board_.add_emitted(st.spec.op);
+          }
+        }
+      }
+      st.held.clear();
+      break;
+    }
+    case ActorKind::kSource:
+    case ActorKind::kEmitter:
+      break;
+  }
+  // Propagate end-of-stream: one token per outgoing channel.
+  for (int target : st.spec.downstream) {
+    actors_[static_cast<std::size_t>(target)]->mailbox.send_unbounded(Message::shutdown());
+  }
+}
+
+void Engine::actor_loop(std::size_t id) {
+  ActorState& st = *actors_[id];
+  const OpIndex op = st.spec.op;
+  int shutdowns = 0;
+  Message msg;
+  while (st.mailbox.receive(msg)) {
+    if (msg.kind == Message::Kind::kShutdown) {
+      if (++shutdowns >= st.spec.incoming_channels) break;
+      continue;
+    }
+    switch (st.spec.kind) {
+      case ActorKind::kWorker: {
+        board_.add_processed(op);
+        RouteCollector out(*this, op, st.rng);
+        st.logic->process(msg.tuple, msg.from, out);
+        break;
+      }
+      case ActorKind::kReplica: {
+        board_.add_processed(op);
+        st.current_seq = msg.seq;
+        ReplicaCollector out(*this, op, st.collector_actor, msg.seq);
+        st.logic->process(msg.tuple, msg.from, out);
+        if (msg.seq >= 0) {
+          // Tell the collector this input is fully processed so it can
+          // release the next sequence number.
+          actors_[static_cast<std::size_t>(st.collector_actor)]->mailbox.send_unbounded(
+              Message::seq_mark(msg.seq));
+        }
+        break;
+      }
+      case ActorKind::kEmitter: {
+        if (!st.key_cdf.empty()) {
+          // Synthetic mode: draw the key this item carries from the
+          // operator's key distribution so replica loads realize the exact
+          // shares the cost model assumed.
+          const double u = st.rng.next_double();
+          auto it = std::lower_bound(st.key_cdf.begin(), st.key_cdf.end(), u);
+          if (it == st.key_cdf.end()) --it;
+          msg.tuple.key = static_cast<std::int64_t>(it - st.key_cdf.begin());
+        }
+        if (config_.preserve_replica_order) msg.seq = st.next_seq++;
+        const int r = st.selector.select(msg.tuple.key, st.rng);
+        send_to_actor(st.replica_targets[static_cast<std::size_t>(r)], msg);
+        break;
+      }
+      case ActorKind::kCollector: {
+        // msg carries an un-routed (or explicitly targeted) result of `op`,
+        // or a seq mark when order-preserving collection is on.
+        if (msg.kind == Message::Kind::kSeqMark) {
+          st.completed.insert(msg.seq);
+          release_ordered(st);
+        } else if (msg.seq < 0) {
+          if (route_result(op, msg.target, msg.tuple, st.rng)) board_.add_emitted(op);
+        } else {
+          st.held[msg.seq].push_back(msg);
+          release_ordered(st);
+        }
+        break;
+      }
+      case ActorKind::kMeta:
+        run_meta(id, msg.target, msg.tuple, msg.from);
+        break;
+      case ActorKind::kSource:
+        break;  // sources have no inbound data
+    }
+  }
+  finish_actor(id);
+}
+
+void Engine::source_loop(std::size_t id) {
+  ActorState& st = *actors_[id];
+  const OpIndex op = st.spec.op;
+  RouteCollector out(*this, op, st.rng);
+  Tuple tuple;
+  while (!stop_.load(std::memory_order_relaxed)) {
+    if (!st.source->next(tuple)) break;
+    board_.add_processed(op);
+    out.emit(tuple);
+  }
+  finish_actor(id);
+}
+
+void Engine::start_threads() {
+  require(!started_, "Engine: run() can only be called once per instance");
+  started_ = true;
+  run_start_ = Clock::now();
+  active_actors_.store(static_cast<int>(actors_.size()));
+  threads_.reserve(actors_.size());
+  for (std::size_t id = 0; id < actors_.size(); ++id) {
+    threads_.emplace_back([this, id] {
+      try {
+        if (actors_[id]->spec.kind == ActorKind::kSource) {
+          source_loop(id);
+        } else {
+          actor_loop(id);
+        }
+      } catch (const std::exception& e) {
+        // No exception may cross a thread boundary: record the first
+        // failure, stop the run, and unblock neighbours so the drain
+        // completes; run_for()/run_until_complete() rethrow after join.
+        {
+          std::lock_guard lock(failure_mutex_);
+          if (first_failure_.empty()) {
+            first_failure_ = "actor '" + actors_[id]->spec.name + "': " + e.what();
+          }
+        }
+        stop_.store(true);
+        actors_[id]->mailbox.close();
+        for (int target : actors_[id]->spec.downstream) {
+          actors_[static_cast<std::size_t>(target)]->mailbox.send_unbounded(
+              Message::shutdown());
+        }
+      }
+      if (active_actors_.fetch_sub(1) == 1) {
+        std::lock_guard lock(done_mutex_);
+        done_cv_.notify_all();
+      }
+    });
+  }
+}
+
+void Engine::join_threads() {
+  for (std::thread& thread : threads_) {
+    if (thread.joinable()) thread.join();
+  }
+  threads_.clear();
+}
+
+RunStats Engine::run_for(std::chrono::duration<double> duration) {
+  start_threads();
+  const double total = duration.count();
+  const double warmup = total * config_.warmup_fraction;
+  std::this_thread::sleep_for(std::chrono::duration<double>(warmup));
+  const CounterSnapshot begin = board_.snapshot(seconds_between(run_start_, Clock::now()));
+  std::this_thread::sleep_for(std::chrono::duration<double>(total - warmup));
+  const CounterSnapshot end = board_.snapshot(seconds_between(run_start_, Clock::now()));
+  stop_.store(true);
+  join_threads();
+  const double wall = seconds_between(run_start_, Clock::now());
+  const CounterSnapshot final_totals = board_.snapshot(wall);
+  std::uint64_t dropped = 0;
+  for (const auto& actor : actors_) dropped += actor->mailbox.dropped();
+  {
+    std::lock_guard lock(failure_mutex_);
+    require(first_failure_.empty(), "engine run failed: " + first_failure_);
+  }
+  return make_run_stats(topology_, begin, end, final_totals, wall, dropped);
+}
+
+RunStats Engine::run_until_complete(std::chrono::duration<double> max_duration) {
+  start_threads();
+  const CounterSnapshot begin = board_.snapshot(0.0);
+  {
+    std::unique_lock lock(done_mutex_);
+    if (!done_cv_.wait_for(lock, max_duration, [this] { return active_actors_.load() == 0; })) {
+      stop_.store(true);
+    }
+  }
+  join_threads();
+  const double wall = seconds_between(run_start_, Clock::now());
+  const CounterSnapshot end = board_.snapshot(wall);
+  std::uint64_t dropped = 0;
+  for (const auto& actor : actors_) dropped += actor->mailbox.dropped();
+  {
+    std::lock_guard lock(failure_mutex_);
+    require(first_failure_.empty(), "engine run failed: " + first_failure_);
+  }
+  return make_run_stats(topology_, begin, end, end, wall, dropped);
+}
+
+}  // namespace ss::runtime

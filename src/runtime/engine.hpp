@@ -1,0 +1,120 @@
+// The actor engine: builds the actor graph of a deployment, runs one thread
+// per actor (the configuration the paper evaluates in §5.1), measures
+// steady-state rates, and drains the topology deterministically on stop.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/topology.hpp"
+#include "runtime/clock.hpp"
+#include "runtime/mailbox.hpp"
+#include "runtime/metrics.hpp"
+#include "runtime/operator.hpp"
+#include "runtime/plan.hpp"
+#include "runtime/routing.hpp"
+
+namespace ss::runtime {
+
+struct EngineConfig {
+  /// Mailbox capacity of every actor (Akka BoundedMailbox equivalent).
+  std::size_t mailbox_capacity = 64;
+  /// Blocking-send timeout after which an item is dropped; the paper uses
+  /// five seconds, far above any service time, so drops never happen.
+  std::chrono::duration<double> send_timeout{5.0};
+  /// Fraction of a run_for() duration treated as warmup before the
+  /// steady-state measurement window opens.
+  double warmup_fraction = 0.3;
+  /// Seed for routing/selection randomness.
+  std::uint64_t seed = 42;
+  /// When true, the emitter of a partitioned-stateful operator samples the
+  /// tuple key from the operator's key distribution (synthetic workloads);
+  /// when false the tuple's own key is hashed through the partition map.
+  bool assign_keys_at_emitter = true;
+  /// Full-mailbox behaviour: backpressure (default, what the cost models
+  /// assume) or load shedding (drop-newest; an alternative §2 discusses).
+  OverflowPolicy overflow = OverflowPolicy::kBlockAfterService;
+  /// When true, collectors of replicated operators release results in the
+  /// order the inputs entered the emitter (paper §2: "proper approaches
+  /// for item scheduling and collection, to preserve the sequential
+  /// ordering").  Costs one marker message per input item.
+  bool preserve_replica_order = false;
+};
+
+/// Produces the processing logic of each logical operator.
+struct AppFactory {
+  std::function<std::unique_ptr<SourceLogic>(OpIndex, const OperatorSpec&)> source;
+  std::function<std::unique_ptr<OperatorLogic>(OpIndex, const OperatorSpec&)> logic;
+};
+
+/// Factory realizing every operator synthetically from its profiled spec
+/// (timed-wait service, statistical selectivity).  `max_items < 0` means an
+/// unbounded source cut off by the run duration.
+AppFactory synthetic_factory(double time_scale = 1.0, std::int64_t max_items = -1);
+
+class Engine {
+ public:
+  Engine(const Topology& t, Deployment deployment, AppFactory factory, EngineConfig config = {});
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Runs for `duration`, measuring rates in the post-warmup window, then
+  /// stops the source and drains.  Callable once per Engine instance.
+  /// If any operator logic threw, the run is aborted and the first error
+  /// is rethrown as ss::Error after all threads joined.
+  RunStats run_for(std::chrono::duration<double> duration);
+
+  /// Runs until the source ends by itself (finite SourceLogic) or
+  /// `max_duration` elapses; measures over the whole run.
+  RunStats run_until_complete(std::chrono::duration<double> max_duration);
+
+  [[nodiscard]] const ActorGraph& graph() const { return graph_; }
+
+ private:
+  struct ActorState;
+
+  void start_threads();
+  void join_threads();
+  void actor_loop(std::size_t id);
+  void source_loop(std::size_t id);
+  void finish_actor(std::size_t id);
+  bool send_to_actor(int actor_id, const Message& m);
+  /// Routes a result of logical operator `op` (explicit `target` or
+  /// probabilistic when kInvalidOp) and delivers it; returns true when the
+  /// result was delivered (or absorbed at a sink edge).
+  bool route_result(OpIndex op, OpIndex target, const Tuple& tuple, Rng& rng);
+  void run_meta(std::size_t id, OpIndex member, const Tuple& tuple, OpIndex from);
+  void release_ordered(ActorState& st);
+
+  class RouteCollector;
+  class ReplicaCollector;
+  class MetaCollector;
+
+  Topology topology_;
+  Deployment deployment_;
+  AppFactory factory_;
+  EngineConfig config_;
+  ActorGraph graph_;
+  StatsBoard board_;
+  std::vector<EdgeRouter> routers_;  // per logical operator
+  std::vector<std::unique_ptr<ActorState>> actors_;
+  std::vector<std::thread> threads_;
+  std::atomic<bool> stop_{false};
+  std::atomic<int> active_actors_{0};
+  std::mutex failure_mutex_;
+  std::string first_failure_;  ///< first actor exception message, if any
+  std::mutex done_mutex_;
+  std::condition_variable done_cv_;
+  Clock::time_point run_start_{};
+  bool started_ = false;
+};
+
+}  // namespace ss::runtime

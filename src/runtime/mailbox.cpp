@@ -1,0 +1,74 @@
+#include "runtime/mailbox.hpp"
+
+namespace ss::runtime {
+
+bool Mailbox::send(const Message& m, std::chrono::nanoseconds timeout) {
+  std::unique_lock lock(mutex_);
+  if (policy_ == OverflowPolicy::kShedNewest) {
+    if (!closed_ && queue_.size() >= capacity_) {
+      ++dropped_;  // shedding: discard instead of exerting backpressure
+      return false;
+    }
+  } else if (!not_full_.wait_for(lock, timeout,
+                                 [&] { return closed_ || queue_.size() < capacity_; })) {
+    ++dropped_;  // timed out while full: the item is discarded (paper §5.1)
+    return false;
+  }
+  if (closed_) return false;
+  queue_.push_back(m);
+  lock.unlock();
+  not_empty_.notify_one();
+  return true;
+}
+
+void Mailbox::send_unbounded(const Message& m) {
+  {
+    std::lock_guard lock(mutex_);
+    if (closed_) return;
+    queue_.push_back(m);
+  }
+  not_empty_.notify_one();
+}
+
+bool Mailbox::receive(Message& out) {
+  std::unique_lock lock(mutex_);
+  not_empty_.wait(lock, [&] { return closed_ || !queue_.empty(); });
+  if (queue_.empty()) return false;  // closed and drained
+  out = queue_.front();
+  queue_.pop_front();
+  lock.unlock();
+  not_full_.notify_one();
+  return true;
+}
+
+bool Mailbox::try_receive(Message& out) {
+  {
+    std::lock_guard lock(mutex_);
+    if (queue_.empty()) return false;
+    out = queue_.front();
+    queue_.pop_front();
+  }
+  not_full_.notify_one();
+  return true;
+}
+
+void Mailbox::close() {
+  {
+    std::lock_guard lock(mutex_);
+    closed_ = true;
+  }
+  not_full_.notify_all();
+  not_empty_.notify_all();
+}
+
+std::size_t Mailbox::size() const {
+  std::lock_guard lock(mutex_);
+  return queue_.size();
+}
+
+std::uint64_t Mailbox::dropped() const {
+  std::lock_guard lock(mutex_);
+  return dropped_;
+}
+
+}  // namespace ss::runtime

@@ -1,0 +1,74 @@
+// Bounded blocking mailbox with Blocking-After-Service semantics.
+//
+// This is the C++ equivalent of the Akka BoundedMailbox configuration the
+// paper evaluates (§5.1): a fixed-capacity MPSC queue whose send() blocks
+// the producer while the buffer is full — that blocking *is* the
+// backpressure the cost models capture — and gives up after a timeout, in
+// which case the item is dropped (the paper sets the timeout high enough,
+// five seconds, that drops never happen in practice).
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+
+#include "runtime/message.hpp"
+
+namespace ss::runtime {
+
+/// What a full mailbox does to a new item (paper §2): block the sender
+/// (backpressure, the semantics the cost models capture) or discard the
+/// item immediately (load shedding, which trades loss for liveness).
+enum class OverflowPolicy : std::uint8_t {
+  kBlockAfterService,
+  kShedNewest,
+};
+
+class Mailbox {
+ public:
+  explicit Mailbox(std::size_t capacity,
+                   OverflowPolicy policy = OverflowPolicy::kBlockAfterService)
+      : capacity_(capacity == 0 ? 1 : capacity), policy_(policy) {}
+
+  Mailbox(const Mailbox&) = delete;
+  Mailbox& operator=(const Mailbox&) = delete;
+
+  /// Enqueues `m`.  Under kBlockAfterService, blocks while full (BAS) and
+  /// returns false only if `timeout` expired or the mailbox was closed;
+  /// under kShedNewest a full mailbox discards the item immediately.
+  bool send(const Message& m, std::chrono::nanoseconds timeout);
+
+  /// Enqueues bypassing the capacity bound (used for shutdown tokens so a
+  /// drain can never deadlock behind a full buffer).
+  void send_unbounded(const Message& m);
+
+  /// Dequeues into `out`, blocking while empty.  Returns false once the
+  /// mailbox is closed *and* drained.
+  bool receive(Message& out);
+
+  /// Non-blocking variant; returns false when empty right now.
+  bool try_receive(Message& out);
+
+  /// Wakes all waiters; send() starts failing, receive() drains then stops.
+  void close();
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+  /// Items dropped on send timeout since construction.
+  [[nodiscard]] std::uint64_t dropped() const;
+
+ private:
+  const std::size_t capacity_;
+  const OverflowPolicy policy_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<Message> queue_;
+  bool closed_ = false;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace ss::runtime

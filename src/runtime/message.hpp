@@ -1,0 +1,54 @@
+// Mailbox messages: data items routed between actors, plus the shutdown
+// control token used to drain the topology at the end of a run.
+#pragma once
+
+#include <cstdint>
+
+#include "core/types.hpp"
+#include "runtime/tuple.hpp"
+
+namespace ss::runtime {
+
+struct Message {
+  enum class Kind : std::uint8_t {
+    kData,      ///< a tuple travelling an edge of the logical topology
+    kShutdown,  ///< end-of-stream marker counted per upstream channel
+    kSeqMark,   ///< "input #seq fully processed" marker from a replica to
+                ///< its collector (order-preserving collection only)
+  };
+
+  Kind kind = Kind::kData;
+  Tuple tuple{};
+  /// Logical operator that produced the tuple (joins and fused
+  /// meta-operators dispatch on it).
+  OpIndex from = kInvalidOp;
+  /// Logical operator the tuple is headed to (meta-operators start
+  /// execution at this member, cf. Alg. 4 and the Fig. 2 semantics).
+  OpIndex target = kInvalidOp;
+  /// Sequence number stamped by an order-preserving emitter; -1 when
+  /// ordering is off.  Results inherit the seq of the input that produced
+  /// them so the collector can release them in input order.
+  std::int64_t seq = -1;
+
+  static Message data(const Tuple& t, OpIndex from, OpIndex target) {
+    Message m;
+    m.kind = Kind::kData;
+    m.tuple = t;
+    m.from = from;
+    m.target = target;
+    return m;
+  }
+  static Message shutdown() {
+    Message m;
+    m.kind = Kind::kShutdown;
+    return m;
+  }
+  static Message seq_mark(std::int64_t seq) {
+    Message m;
+    m.kind = Kind::kSeqMark;
+    m.seq = seq;
+    return m;
+  }
+};
+
+}  // namespace ss::runtime

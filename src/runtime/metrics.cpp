@@ -1,0 +1,62 @@
+#include "runtime/metrics.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+namespace ss::runtime {
+
+CounterSnapshot StatsBoard::snapshot(double at_seconds) const {
+  CounterSnapshot snap;
+  snap.at_seconds = at_seconds;
+  snap.processed.reserve(counters_.size());
+  snap.emitted.reserve(counters_.size());
+  for (const OpCounters& c : counters_) {
+    snap.processed.push_back(c.processed.load(std::memory_order_relaxed));
+    snap.emitted.push_back(c.emitted.load(std::memory_order_relaxed));
+  }
+  return snap;
+}
+
+RunStats make_run_stats(const Topology& t, const CounterSnapshot& begin,
+                        const CounterSnapshot& end, const CounterSnapshot& final_totals,
+                        double total_seconds, std::uint64_t dropped) {
+  RunStats stats;
+  stats.total_seconds = total_seconds;
+  stats.dropped = dropped;
+  stats.measured_seconds = end.at_seconds - begin.at_seconds;
+  const double window = stats.measured_seconds > 0.0 ? stats.measured_seconds : 1.0;
+
+  stats.ops.resize(t.num_operators());
+  for (OpIndex i = 0; i < t.num_operators(); ++i) {
+    OperatorStats& op = stats.ops[i];
+    op.processed = final_totals.processed[i];
+    op.emitted = final_totals.emitted[i];
+    op.arrival_rate =
+        static_cast<double>(end.processed[i] - begin.processed[i]) / window;
+    op.departure_rate = static_cast<double>(end.emitted[i] - begin.emitted[i]) / window;
+  }
+  // Ingest throughput is the source departure rate at steady state (§5.2).
+  stats.source_rate = stats.ops[t.source()].departure_rate;
+  for (OpIndex s : t.sinks()) stats.sink_rate += stats.ops[s].departure_rate;
+  return stats;
+}
+
+std::string format_stats(const Topology& t, const RunStats& stats) {
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(1);
+  out << std::setw(18) << std::left << "operator" << std::right << std::setw(12) << "processed"
+      << std::setw(12) << "emitted" << std::setw(14) << "arrival/s" << std::setw(14)
+      << "departure/s" << '\n';
+  for (OpIndex i = 0; i < t.num_operators(); ++i) {
+    const OperatorStats& op = stats.ops[i];
+    out << std::setw(18) << std::left << t.op(i).name << std::right << std::setw(12)
+        << op.processed << std::setw(12) << op.emitted << std::setw(14) << op.arrival_rate
+        << std::setw(14) << op.departure_rate << '\n';
+  }
+  out << "measured throughput: " << stats.source_rate << " tuples/s over "
+      << stats.measured_seconds << " s (total run " << stats.total_seconds << " s, dropped "
+      << stats.dropped << ")\n";
+  return out.str();
+}
+
+}  // namespace ss::runtime

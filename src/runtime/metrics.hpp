@@ -1,0 +1,75 @@
+// Measurement plumbing: per-logical-operator counters and the steady-state
+// rate window used to report measured throughput (paper §5: throughput is
+// the source departure rate at steady state, after a warmup period).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/topology.hpp"
+
+namespace ss::runtime {
+
+/// Lock-free counters shared by all actors of one logical operator
+/// (replicas and meta-group members included).
+struct OpCounters {
+  std::atomic<std::uint64_t> processed{0};  ///< input items consumed
+  std::atomic<std::uint64_t> emitted{0};    ///< results produced
+};
+
+/// Snapshot of every operator's counters at one instant.
+struct CounterSnapshot {
+  std::vector<std::uint64_t> processed;
+  std::vector<std::uint64_t> emitted;
+  double at_seconds = 0.0;
+};
+
+/// Measured steady-state rates of one logical operator.
+struct OperatorStats {
+  std::uint64_t processed = 0;  ///< total over the whole run
+  std::uint64_t emitted = 0;
+  double arrival_rate = 0.0;    ///< items/s inside the measurement window
+  double departure_rate = 0.0;  ///< results/s inside the measurement window
+};
+
+/// Result of one engine run.
+struct RunStats {
+  std::vector<OperatorStats> ops;
+  double measured_seconds = 0.0;  ///< length of the steady-state window
+  double total_seconds = 0.0;     ///< wall time of the whole run
+  double source_rate = 0.0;       ///< measured ingest throughput (tuples/s)
+  double sink_rate = 0.0;         ///< combined sink departure rate
+  std::uint64_t dropped = 0;      ///< items lost to send timeouts (should be 0)
+};
+
+/// Shared counter board; one entry per logical operator.
+class StatsBoard {
+ public:
+  explicit StatsBoard(std::size_t num_ops) : counters_(num_ops) {}
+
+  void add_processed(OpIndex op) {
+    counters_[op].processed.fetch_add(1, std::memory_order_relaxed);
+  }
+  void add_emitted(OpIndex op) {
+    counters_[op].emitted.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] CounterSnapshot snapshot(double at_seconds) const;
+  [[nodiscard]] std::size_t size() const { return counters_.size(); }
+
+ private:
+  // deque-free fixed vector: OpCounters is non-movable, so construct in place
+  std::vector<OpCounters> counters_;
+};
+
+/// Derives steady-state rates from two snapshots.
+RunStats make_run_stats(const Topology& t, const CounterSnapshot& begin,
+                        const CounterSnapshot& end, const CounterSnapshot& final_totals,
+                        double total_seconds, std::uint64_t dropped);
+
+/// Human-readable table of measured rates (mirrors core's format_analysis).
+std::string format_stats(const Topology& t, const RunStats& stats);
+
+}  // namespace ss::runtime

@@ -1,0 +1,66 @@
+// The operator programming interface executed by actors (paper §4.2).
+//
+// This is the SS2Akka analogue: users implement OperatorLogic (the
+// operatorFunction() of the paper), the runtime decides which actor executes
+// it, how results are routed, and how replicas/meta-operators wrap it.  A
+// logic instance is owned by exactly one actor, so implementations need no
+// synchronization — the same guarantee Akka gives actor state.
+#pragma once
+
+#include <memory>
+
+#include "core/types.hpp"
+#include "runtime/tuple.hpp"
+
+namespace ss::runtime {
+
+/// Sink for results produced by an operator invocation.
+class Collector {
+ public:
+  virtual ~Collector() = default;
+
+  /// Emits a result; the runtime picks the out-edge (probabilistically,
+  /// per the topology's routing annotations).
+  virtual void emit(const Tuple& t) = 0;
+
+  /// Emits a result to a specific downstream logical operator; `target`
+  /// must be an out-neighbor in the topology.  For content-based routing
+  /// (e.g. alert vs. archive branches in the examples).
+  virtual void emit_to(OpIndex target, const Tuple& t) = 0;
+};
+
+/// User-defined processing logic of one logical operator.
+class OperatorLogic {
+ public:
+  virtual ~OperatorLogic() = default;
+
+  /// Called once by the executing actor before the first item.
+  virtual void on_start() {}
+
+  /// Processes one input item.  `from` is the logical upstream operator the
+  /// item came from (joins use it to tell their two inputs apart).  Emit
+  /// zero, one or many results through `out`.
+  virtual void process(const Tuple& item, OpIndex from, Collector& out) = 0;
+
+  /// Called once when the input streams are exhausted; may flush pending
+  /// state (e.g. a partial window).
+  virtual void on_finish(Collector& out) { (void)out; }
+
+  /// Fresh instance with the same configuration and empty state; used to
+  /// give every replica its own state partition.
+  [[nodiscard]] virtual std::unique_ptr<OperatorLogic> clone() const = 0;
+};
+
+/// Source logics additionally produce the stream: the runtime calls next()
+/// in a loop from the source actor until it returns false or the run stops.
+class SourceLogic {
+ public:
+  virtual ~SourceLogic() = default;
+
+  /// Produces the next item into `out`; returns false at end-of-stream
+  /// (infinite sources simply always return true and are cut off by the
+  /// run duration).
+  virtual bool next(Tuple& out) = 0;
+};
+
+}  // namespace ss::runtime

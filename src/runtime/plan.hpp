@@ -1,0 +1,80 @@
+// Mapping from the logical topology (plus optimizer decisions) to the actor
+// graph executed by the engine (paper §4.2, Fig. 6: actors are *executors*
+// of logical operators).
+//
+//   * plain operator                -> one worker actor
+//   * replicated operator (fission) -> emitter + N replicas + collector
+//   * fused sub-graph (fusion)      -> one meta actor running Alg. 4
+//
+// The actor graph also fixes the shutdown protocol: every actor knows how
+// many incoming channels it has and forwards one end-of-stream token per
+// outgoing channel once all of its inputs finished, so topologies drain
+// deterministically without losing in-flight items.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/fusion.hpp"
+#include "core/key_partitioning.hpp"
+#include "core/steady_state.hpp"
+#include "core/topology.hpp"
+
+namespace ss::runtime {
+
+/// Everything the optimizer decided about how to deploy a topology.
+struct Deployment {
+  ReplicationPlan replication;
+  std::vector<FusionSpec> fusions;
+  /// Key-to-replica maps for partitioned-stateful operators (indexed by
+  /// logical operator); missing/empty entries are derived automatically.
+  std::vector<KeyPartition> partitions;
+};
+
+enum class ActorKind : std::uint8_t {
+  kSource,     ///< generates the stream (logical source operator)
+  kWorker,     ///< executes one unreplicated logical operator
+  kEmitter,    ///< distributes items to the replicas of one operator
+  kReplica,    ///< one replica of a replicated operator
+  kCollector,  ///< merges replica outputs and performs the logical routing
+  kMeta,       ///< executes a fused sub-graph (Algorithm 4)
+};
+
+/// Static description of one actor.
+struct ActorSpec {
+  ActorKind kind = ActorKind::kWorker;
+  /// Owning logical operator (front-end member for kMeta).
+  OpIndex op = kInvalidOp;
+  /// Replica ordinal for kReplica, -1 otherwise.
+  int replica = -1;
+  /// Fused members in topological order (kMeta only).
+  std::vector<OpIndex> members;
+  std::string name;
+  /// Target actor ids, one entry per outgoing channel (shutdown tokens are
+  /// sent per channel; duplicates are meaningful).
+  std::vector<int> downstream;
+  /// Number of incoming channels (expected shutdown tokens).
+  int incoming_channels = 0;
+};
+
+/// The complete actor-level deployment of a topology.
+class ActorGraph {
+ public:
+  /// Validates `deployment` against `t` (legal fusions, disjoint groups,
+  /// no replication of the source or of fused members) and builds the
+  /// graph.  Throws ss::Error on violations.
+  static ActorGraph build(const Topology& t, const Deployment& deployment);
+
+  std::vector<ActorSpec> actors;
+  /// Logical operator -> actor receiving its input items.
+  std::vector<int> entry;
+  /// Logical operator -> actor emitting its results.
+  std::vector<int> exit;
+  /// Logical operator -> index into Deployment::fusions, or -1.
+  std::vector<int> group_of;
+  int source_actor = -1;
+
+  [[nodiscard]] std::size_t num_actors() const { return actors.size(); }
+};
+
+}  // namespace ss::runtime

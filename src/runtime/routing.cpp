@@ -1,0 +1,90 @@
+#include "runtime/routing.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/error.hpp"
+
+namespace ss::runtime {
+
+EdgeRouter::EdgeRouter(const Topology& t, OpIndex op) {
+  double running = 0.0;
+  for (const Edge& e : t.out_edges(op)) {
+    targets_.push_back(e.to);
+    running += e.probability;
+    cdf_.push_back(running);
+  }
+  if (!cdf_.empty()) cdf_.back() = 1.0;  // absorb floating-point undershoot
+}
+
+OpIndex EdgeRouter::choose(Rng& rng) const {
+  if (targets_.empty()) return kInvalidOp;
+  if (targets_.size() == 1) return targets_[0];
+  const double u = rng.next_double();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) --it;
+  return targets_[static_cast<std::size_t>(it - cdf_.begin())];
+}
+
+bool EdgeRouter::is_destination(OpIndex target) const {
+  return std::find(targets_.begin(), targets_.end(), target) != targets_.end();
+}
+
+ReplicaSelector ReplicaSelector::round_robin(int replicas) {
+  require(replicas >= 1, "ReplicaSelector: need at least one replica");
+  ReplicaSelector s;
+  s.mode_ = Mode::kRoundRobin;
+  s.replicas_ = replicas;
+  return s;
+}
+
+ReplicaSelector ReplicaSelector::by_key(KeyPartition partition) {
+  require(!partition.replica_of_key.empty(), "ReplicaSelector: empty partition map");
+  ReplicaSelector s;
+  s.mode_ = Mode::kByKey;
+  s.replicas_ = partition.replicas;
+  s.partition_ = std::move(partition);
+  return s;
+}
+
+ReplicaSelector ReplicaSelector::by_share(std::vector<double> shares) {
+  require(!shares.empty(), "ReplicaSelector: empty share vector");
+  ReplicaSelector s;
+  s.mode_ = Mode::kByShare;
+  s.replicas_ = static_cast<int>(shares.size());
+  double total = 0.0;
+  for (double v : shares) total += v;
+  require(total > 0.0, "ReplicaSelector: shares sum to zero");
+  double running = 0.0;
+  for (double v : shares) {
+    running += v / total;
+    s.share_cdf_.push_back(running);
+  }
+  s.share_cdf_.back() = 1.0;
+  return s;
+}
+
+int ReplicaSelector::select(std::int64_t key, Rng& rng) {
+  switch (mode_) {
+    case Mode::kRoundRobin: {
+      const int r = next_;
+      next_ = (next_ + 1) % replicas_;
+      return r;
+    }
+    case Mode::kByKey: {
+      const auto n = static_cast<std::int64_t>(partition_.replica_of_key.size());
+      std::int64_t k = key % n;
+      if (k < 0) k += n;
+      return partition_.replica_of_key[static_cast<std::size_t>(k)];
+    }
+    case Mode::kByShare: {
+      const double u = rng.next_double();
+      auto it = std::lower_bound(share_cdf_.begin(), share_cdf_.end(), u);
+      if (it == share_cdf_.end()) --it;
+      return static_cast<int>(it - share_cdf_.begin());
+    }
+  }
+  return 0;
+}
+
+}  // namespace ss::runtime

@@ -1,0 +1,69 @@
+// Routing tables used by actors when an operator emits a result.
+//
+// Probabilistic routing mirrors the model's edge annotations: every result
+// leaves on exactly one out-edge chosen with the edge probability (paper
+// §3.1).  Replica selection covers the emitter actors introduced by fission:
+// round-robin for stateless operators, key-based (or share-weighted, for
+// synthetic workloads) for partitioned-stateful ones (paper §4.2).
+#pragma once
+
+#include <vector>
+
+#include "core/key_partitioning.hpp"
+#include "core/topology.hpp"
+#include "gen/rng.hpp"
+
+namespace ss::runtime {
+
+/// Chooses the logical destination of a result of one operator.
+class EdgeRouter {
+ public:
+  EdgeRouter() = default;
+  EdgeRouter(const Topology& t, OpIndex op);
+
+  /// True when the operator has at least one out-edge.
+  [[nodiscard]] bool has_destinations() const { return !targets_.empty(); }
+
+  /// Draws a destination according to the edge probabilities.
+  [[nodiscard]] OpIndex choose(Rng& rng) const;
+
+  /// True if `target` is a legal destination (an out-neighbor).
+  [[nodiscard]] bool is_destination(OpIndex target) const;
+
+ private:
+  std::vector<OpIndex> targets_;
+  std::vector<double> cdf_;
+};
+
+/// Chooses the replica of a replicated operator for one input item.
+class ReplicaSelector {
+ public:
+  ReplicaSelector() = default;
+
+  /// Round-robin over `replicas` (stateless fission, shuffle routing).
+  static ReplicaSelector round_robin(int replicas);
+
+  /// Key-based selection through the optimizer's partition map; tuples carry
+  /// their key, the map gives the owning replica.
+  static ReplicaSelector by_key(KeyPartition partition);
+
+  /// Share-weighted random selection: replica r receives `shares[r]` of the
+  /// stream.  Used by synthetic workloads to realize the exact load split
+  /// the cost model assumed.
+  static ReplicaSelector by_share(std::vector<double> shares);
+
+  [[nodiscard]] int replicas() const { return replicas_; }
+
+  /// Picks a replica for a tuple with key `key`.
+  int select(std::int64_t key, Rng& rng);
+
+ private:
+  enum class Mode { kRoundRobin, kByKey, kByShare };
+  Mode mode_ = Mode::kRoundRobin;
+  int replicas_ = 1;
+  int next_ = 0;  // round-robin cursor
+  KeyPartition partition_;
+  std::vector<double> share_cdf_;
+};
+
+}  // namespace ss::runtime

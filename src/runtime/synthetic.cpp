@@ -1,0 +1,75 @@
+#include "runtime/synthetic.hpp"
+
+#include <cmath>
+
+#include "runtime/clock.hpp"
+
+namespace ss::runtime {
+
+SyntheticOperator::SyntheticOperator(const OperatorSpec& spec, std::uint64_t seed,
+                                     double time_scale)
+    : service_time_(spec.service_time * time_scale),
+      selectivity_(spec.selectivity),
+      seed_(seed),
+      time_scale_(time_scale),
+      rng_(seed) {}
+
+void SyntheticOperator::process(const Tuple& item, OpIndex from, Collector& out) {
+  (void)from;
+  waiter_.wait(service_time_);
+  last_item_ = item;
+  has_pending_ = true;
+  // One production event per `input` items consumed (window-slide style).
+  input_credit_ += 1.0;
+  while (input_credit_ >= selectivity_.input) {
+    input_credit_ -= selectivity_.input;
+    produce(item, out);
+    has_pending_ = false;
+  }
+}
+
+void SyntheticOperator::produce(const Tuple& item, Collector& out) {
+  // `output` results per production event; fractional part statistically.
+  double quota = selectivity_.output;
+  while (quota >= 1.0) {
+    out.emit(item);
+    quota -= 1.0;
+  }
+  if (quota > 0.0 && rng_.bernoulli(quota)) out.emit(item);
+}
+
+void SyntheticOperator::on_finish(Collector& out) {
+  // Flush a partially filled window so short finite runs do not lose the
+  // tail (only when something was consumed since the last result).
+  if (selectivity_.input > 1.0 && has_pending_ && input_credit_ > 0.0) {
+    produce(last_item_, out);
+    input_credit_ = 0.0;
+    has_pending_ = false;
+  }
+}
+
+std::unique_ptr<OperatorLogic> SyntheticOperator::clone() const {
+  OperatorSpec spec;
+  spec.name = "synthetic";
+  spec.service_time = service_time_ / time_scale_;
+  spec.selectivity = selectivity_;
+  // Derive a distinct stream per replica so Bernoulli draws decorrelate.
+  const std::uint64_t child_seed = seed_ + (++clones_) * 0x5851f42d4c957f2dULL;
+  return std::make_unique<SyntheticOperator>(spec, child_seed, time_scale_);
+}
+
+SyntheticSource::SyntheticSource(const OperatorSpec& spec, std::uint64_t seed,
+                                 double time_scale, std::int64_t max_items)
+    : service_time_(spec.service_time * time_scale), rng_(seed), max_items_(max_items) {}
+
+bool SyntheticSource::next(Tuple& out) {
+  if (max_items_ >= 0 && next_id_ >= max_items_) return false;
+  waiter_.wait(service_time_);
+  out.id = next_id_++;
+  out.key = static_cast<std::int64_t>(rng_.next_u64() >> 1);
+  out.ts = static_cast<double>(out.id) * service_time_;
+  for (double& f : out.f) f = rng_.next_double();
+  return true;
+}
+
+}  // namespace ss::runtime

@@ -1,0 +1,25 @@
+// The data item flowing through the runtime.
+//
+// The paper's operators work on tuples: records of attributes.  We use a
+// small fixed-size POD so items are cheap to copy through mailboxes; four
+// numeric fields cover every bundled operator (filters, arithmetic maps,
+// windowed aggregates, 2-D skylines, band joins on one attribute...).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace ss::runtime {
+
+struct Tuple {
+  /// Monotonic sequence number assigned by the source.
+  std::int64_t id = 0;
+  /// Partitioning key (meaningful to partitioned-stateful operators).
+  std::int64_t key = 0;
+  /// Event timestamp, seconds since the run started.
+  double ts = 0.0;
+  /// Generic numeric attributes; meaning is operator-defined.
+  std::array<double, 4> f{};
+};
+
+}  // namespace ss::runtime

@@ -1,0 +1,325 @@
+#include "sim/des.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <queue>
+#include <tuple>
+
+#include "core/error.hpp"
+#include "runtime/routing.hpp"
+
+namespace ss::sim {
+
+namespace {
+
+struct Server {
+  OpIndex op = kInvalidOp;
+  bool is_source = false;
+  std::size_t queue_len = 0;        ///< occupancy of the bounded input queue
+  double queue_integral = 0.0;      ///< time-weighted occupancy (Little's law)
+  double queue_since = 0.0;         ///< last time queue_len changed
+  bool busy = false;
+  bool blocked = false;             ///< waiting for space downstream (BAS)
+  double busy_since = 0.0;
+  std::vector<int> pending;         ///< destination servers awaiting the push
+  std::size_t pending_pos = 0;
+  double input_credit = 0.0;        ///< toward the next production event
+  std::deque<int> waiters;          ///< servers blocked on THIS queue
+};
+
+struct Event {
+  double time;
+  std::uint64_t seq;
+  int server;
+  bool operator>(const Event& other) const {
+    return std::tie(time, seq) > std::tie(other.time, other.seq);
+  }
+};
+
+class Simulation {
+ public:
+  Simulation(const Topology& t, const SimOptions& options)
+      : topology_(t), options_(options), rng_(options.seed) {
+    build_servers();
+    for (OpIndex i = 0; i < t.num_operators(); ++i) routers_.emplace_back(t, i);
+  }
+
+  SimResult run();
+
+ private:
+  void build_servers();
+  void schedule_service(int sid, double now);
+  void complete_service(int sid, double now);
+  void attempt_flush(int sid, double now);
+  void try_start(int sid, double now);
+  int resolve_destination(OpIndex dest_op);
+  void produce(Server& s, double now);
+  void count_emitted(OpIndex op) { ++emitted_[op]; }
+  void maybe_snapshot(double now);
+  /// Accrues the time-weighted queue occupancy up to `now`, clipped to the
+  /// measurement window; call immediately BEFORE changing queue_len.
+  void account_queue(Server& s, double now) {
+    const double lo = std::max(s.queue_since, warmup_at_);
+    const double hi = std::min(now, options_.duration);
+    if (hi > lo) s.queue_integral += (hi - lo) * static_cast<double>(s.queue_len);
+    s.queue_since = now;
+  }
+
+  const Topology& topology_;
+  const SimOptions& options_;
+  Rng rng_;
+
+  std::vector<Server> servers_;
+  std::vector<int> base_server_;        // op -> first server id
+  std::vector<int> replica_count_;      // op -> replicas
+  std::vector<int> rr_cursor_;          // op -> round-robin state
+  std::vector<std::vector<double>> share_cdf_;  // op -> replica share cdf
+  std::vector<runtime::EdgeRouter> routers_;
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> heap_;
+  std::uint64_t seq_ = 0;
+
+  std::vector<std::uint64_t> consumed_;
+  std::vector<std::uint64_t> emitted_;
+  std::vector<std::uint64_t> warm_consumed_;
+  std::vector<std::uint64_t> warm_emitted_;
+  std::vector<double> busy_time_;       // per op, inside the window
+  std::vector<std::uint64_t> shed_;     // per op
+  bool snapped_ = false;
+  double warmup_at_ = 0.0;
+};
+
+void Simulation::build_servers() {
+  const std::size_t n = topology_.num_operators();
+  base_server_.assign(n, -1);
+  replica_count_.assign(n, 1);
+  rr_cursor_.assign(n, 0);
+  share_cdf_.assign(n, {});
+  consumed_.assign(n, 0);
+  emitted_.assign(n, 0);
+  busy_time_.assign(n, 0.0);
+  shed_.assign(n, 0);
+
+  for (OpIndex i = 0; i < n; ++i) {
+    const OperatorSpec& op = topology_.op(i);
+    int replicas = options_.replication.replicas_of(i);
+    if (i == topology_.source()) {
+      require(replicas == 1, "simulate: the source cannot be replicated");
+    }
+    if (replicas > 1 && op.state == StateKind::kPartitionedStateful) {
+      KeyPartition partition;
+      if (i < options_.partitions.size() &&
+          !options_.partitions[i].replica_of_key.empty()) {
+        partition = options_.partitions[i];
+      } else {
+        partition = partition_keys(op.keys, replicas);
+      }
+      replicas = partition.replicas;
+      // Per-replica load shares realized by the key split.
+      std::vector<double> load(static_cast<std::size_t>(replicas), 0.0);
+      for (std::size_t k = 0; k < partition.replica_of_key.size(); ++k) {
+        load[static_cast<std::size_t>(partition.replica_of_key[k])] +=
+            op.keys.probability(k);
+      }
+      double running = 0.0;
+      for (double share : load) {
+        running += share;
+        share_cdf_[i].push_back(running);
+      }
+      if (!share_cdf_[i].empty()) share_cdf_[i].back() = 1.0;
+    }
+    replica_count_[i] = replicas;
+    base_server_[i] = static_cast<int>(servers_.size());
+    for (int r = 0; r < replicas; ++r) {
+      Server s;
+      s.op = i;
+      s.is_source = (i == topology_.source());
+      servers_.push_back(std::move(s));
+    }
+  }
+}
+
+int Simulation::resolve_destination(OpIndex dest_op) {
+  const int replicas = replica_count_[dest_op];
+  if (replicas == 1) return base_server_[dest_op];
+  if (!share_cdf_[dest_op].empty()) {
+    // Partitioned-stateful: share-weighted draw = the key-hash split.
+    const double u = rng_.next_double();
+    const auto& cdf = share_cdf_[dest_op];
+    auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+    if (it == cdf.end()) --it;
+    return base_server_[dest_op] + static_cast<int>(it - cdf.begin());
+  }
+  // Stateless: round-robin, like the runtime's emitter.
+  const int r = rr_cursor_[dest_op];
+  rr_cursor_[dest_op] = (r + 1) % replicas;
+  return base_server_[dest_op] + r;
+}
+
+void Simulation::schedule_service(int sid, double now) {
+  Server& s = servers_[static_cast<std::size_t>(sid)];
+  s.busy = true;
+  s.busy_since = now;
+  const double mean = topology_.op(s.op).service_time;
+  // hop_overhead models the cost of receiving one item through a mailbox;
+  // sources generate without an input hop.
+  const double overhead = s.is_source ? 0.0 : options_.hop_overhead;
+  heap_.push(Event{now + options_.law.sample(mean, rng_) + overhead, seq_++, sid});
+}
+
+void Simulation::produce(Server& s, double now) {
+  (void)now;
+  const Selectivity& sel = topology_.op(s.op).selectivity;
+  s.input_credit += 1.0;
+  while (s.input_credit >= sel.input) {
+    s.input_credit -= sel.input;
+    double quota = sel.output;
+    int results = static_cast<int>(quota);
+    quota -= results;
+    if (quota > 0.0 && rng_.bernoulli(quota)) ++results;
+    for (int k = 0; k < results; ++k) {
+      const OpIndex dest = routers_[s.op].choose(rng_);
+      if (dest == kInvalidOp) {
+        count_emitted(s.op);  // sink: the result leaves the system
+      } else {
+        s.pending.push_back(resolve_destination(dest));
+      }
+    }
+  }
+}
+
+void Simulation::complete_service(int sid, double now) {
+  Server& s = servers_[static_cast<std::size_t>(sid)];
+  ++consumed_[s.op];
+  // Busy time clipped to the measurement window.
+  const double lo = std::max(s.busy_since, warmup_at_);
+  const double hi = std::min(now, options_.duration);
+  if (hi > lo) busy_time_[s.op] += hi - lo;
+  s.busy = false;
+  produce(s, now);
+  attempt_flush(sid, now);
+}
+
+void Simulation::attempt_flush(int sid, double now) {
+  Server& s = servers_[static_cast<std::size_t>(sid)];
+  while (s.pending_pos < s.pending.size()) {
+    const int dest_id = s.pending[s.pending_pos];
+    Server& dest = servers_[static_cast<std::size_t>(dest_id)];
+    if (dest.queue_len >= options_.buffer_capacity) {
+      if (options_.shedding) {
+        // Load shedding: discard the item; the sender never stalls.
+        ++shed_[s.op];
+        ++s.pending_pos;
+        continue;
+      }
+      // BAS: block until the destination pops an item.
+      if (!s.blocked) {
+        s.blocked = true;
+        dest.waiters.push_back(sid);
+      }
+      return;
+    }
+    account_queue(dest, now);
+    ++dest.queue_len;
+    count_emitted(s.op);
+    ++s.pending_pos;
+    try_start(dest_id, now);
+  }
+  s.pending.clear();
+  s.pending_pos = 0;
+  s.blocked = false;
+  if (s.is_source) {
+    if (now < options_.duration) schedule_service(sid, now);
+  } else {
+    try_start(sid, now);
+  }
+}
+
+void Simulation::try_start(int sid, double now) {
+  Server& s = servers_[static_cast<std::size_t>(sid)];
+  if (s.busy || s.blocked || s.is_source || s.queue_len == 0) return;
+  account_queue(s, now);
+  --s.queue_len;
+  // Mark the server busy *before* admitting a waiter: the waiter's flush
+  // can re-enter try_start on this very server, and the busy flag is what
+  // stops it from starting a second concurrent service.
+  schedule_service(sid, now);
+  // A slot freed: admit the longest-waiting blocked sender.
+  if (!s.waiters.empty()) {
+    const int waiter = s.waiters.front();
+    s.waiters.pop_front();
+    servers_[static_cast<std::size_t>(waiter)].blocked = false;
+    attempt_flush(waiter, now);
+  }
+}
+
+void Simulation::maybe_snapshot(double now) {
+  if (!snapped_ && now >= warmup_at_) {
+    warm_consumed_ = consumed_;
+    warm_emitted_ = emitted_;
+    snapped_ = true;
+  }
+}
+
+SimResult Simulation::run() {
+  warmup_at_ = options_.duration * options_.warmup_fraction;
+  SimResult result;
+
+  // Kick off the source.
+  schedule_service(base_server_[topology_.source()], 0.0);
+
+  while (!heap_.empty()) {
+    const Event ev = heap_.top();
+    if (ev.time > options_.duration) break;
+    heap_.pop();
+    maybe_snapshot(ev.time);
+    ++result.events;
+    complete_service(ev.server, ev.time);
+  }
+  if (!snapped_) maybe_snapshot(warmup_at_);  // degenerate ultra-short runs
+
+  const double window = options_.duration - warmup_at_;
+  const std::size_t n = topology_.num_operators();
+  result.ops.resize(n);
+  for (OpIndex i = 0; i < n; ++i) {
+    SimOperatorStats& stats = result.ops[i];
+    stats.consumed = consumed_[i];
+    stats.emitted = emitted_[i];
+    stats.arrival_rate =
+        static_cast<double>(consumed_[i] - warm_consumed_[i]) / window;
+    stats.departure_rate =
+        static_cast<double>(emitted_[i] - warm_emitted_[i]) / window;
+    stats.busy_fraction = busy_time_[i] / (window * replica_count_[i]);
+    stats.shed = shed_[i];
+    result.shed += shed_[i];
+    // Little's law: mean items in system (queued + in service) over the
+    // arrival rate gives the mean per-item sojourn at this operator.
+    double queue_integral = 0.0;
+    for (int r = 0; r < replica_count_[i]; ++r) {
+      Server& server = servers_[static_cast<std::size_t>(base_server_[i] + r)];
+      account_queue(server, options_.duration);  // close the last interval
+      queue_integral += server.queue_integral;
+    }
+    stats.mean_queue = queue_integral / window;
+    const double in_system = stats.mean_queue + busy_time_[i] / window;
+    if (stats.arrival_rate > 0.0 && i != topology_.source()) {
+      stats.mean_sojourn = in_system / stats.arrival_rate;
+    }
+  }
+  result.throughput = result.ops[topology_.source()].departure_rate;
+  for (OpIndex s : topology_.sinks()) result.sink_rate += result.ops[s].departure_rate;
+  result.sim_time = options_.duration;
+  return result;
+}
+
+}  // namespace
+
+SimResult simulate(const Topology& t, const SimOptions& options) {
+  require(options.duration > 0.0, "simulate: duration must be positive");
+  require(options.warmup_fraction >= 0.0 && options.warmup_fraction < 1.0,
+          "simulate: warmup_fraction must be in [0, 1)");
+  Simulation sim(t, options);
+  return sim.run();
+}
+
+}  // namespace ss::sim

@@ -1,0 +1,85 @@
+// Discrete-event simulator of the finite-buffer BAS queueing network.
+//
+// This is an *independent implementation of the mechanism* the cost models
+// abstract (bounded buffers, Blocking-After-Service, probabilistic routing,
+// selectivity, replica splitting), so comparing Alg. 1 predictions against
+// simulated rates is a genuine accuracy experiment — the role Akka plays in
+// the paper's evaluation, at a scale a 1-core container can sweep: millions
+// of events per second, 50 topologies in seconds (see DESIGN.md on this
+// substitution).
+//
+// Model, mirroring the threaded runtime:
+//   * every replica of every operator is a server with a bounded FIFO input
+//     queue; the source is a server with no input that generates items;
+//   * a server takes an item, serves it for law.sample(mean), then pushes
+//     each produced result into the chosen destination queue; if a queue is
+//     full the server BLOCKS until the destination pops an item (BAS);
+//   * input selectivity s: one production event per s consumed items;
+//     output selectivity: floor + Bernoulli(fraction) results per event;
+//   * replicated operators split round-robin (stateless) or by key share
+//     (partitioned-stateful), exactly like the runtime's emitter.
+#pragma once
+
+#include <vector>
+
+#include "core/key_partitioning.hpp"
+#include "core/steady_state.hpp"
+#include "core/topology.hpp"
+#include "sim/distributions.hpp"
+
+namespace ss::sim {
+
+struct SimOptions {
+  /// Simulated seconds.
+  double duration = 300.0;
+  /// Fraction of the duration discarded as warmup before rates are measured.
+  double warmup_fraction = 0.3;
+  /// Input-queue capacity of every server (Akka BoundedMailbox size).
+  std::size_t buffer_capacity = 64;
+  /// Service-time law applied to every operator (mean = profiled time).
+  ServiceLaw law = ServiceLaw::exponential();
+  std::uint64_t seed = 1;
+  /// Optional fission plan (replicas and, for partitioned-stateful
+  /// operators, the key shares realized through `partitions`).
+  ReplicationPlan replication{};
+  /// Key partitions per operator (derived automatically when absent).
+  std::vector<KeyPartition> partitions{};
+  /// When true, a full destination queue sheds (discards) the new item
+  /// instead of blocking the sender (paper §2's load-shedding alternative;
+  /// the cost models assume the default BAS behaviour).
+  bool shedding = false;
+  /// Fixed per-item overhead added to every server's service time: the
+  /// scheduling/communication cost of one actor hop.  The paper's §3.1
+  /// folds this into the profiled service time ("the communication latency
+  /// spent to send the result"); exposing it separately lets the fusion
+  /// ablation measure what merging operators actually saves.
+  double hop_overhead = 0.0;
+};
+
+/// Measured steady-state behaviour of one logical operator.
+struct SimOperatorStats {
+  std::uint64_t consumed = 0;  ///< items served (whole run)
+  std::uint64_t emitted = 0;   ///< results delivered (whole run)
+  double arrival_rate = 0.0;   ///< items/s in the measurement window
+  double departure_rate = 0.0; ///< results/s in the measurement window
+  double busy_fraction = 0.0;  ///< fraction of window time spent serving
+  std::uint64_t shed = 0;      ///< results this operator lost to shedding
+  double mean_queue = 0.0;     ///< time-averaged input-queue occupancy
+  /// Mean time an item spends at this operator (queueing + service),
+  /// derived from the queue integral via Little's law: W = L / lambda.
+  double mean_sojourn = 0.0;
+};
+
+struct SimResult {
+  std::vector<SimOperatorStats> ops;
+  double throughput = 0.0;   ///< source departure rate in the window
+  double sink_rate = 0.0;    ///< combined sink departure rate
+  double sim_time = 0.0;     ///< simulated seconds actually run
+  std::uint64_t events = 0;  ///< processed simulation events
+  std::uint64_t shed = 0;    ///< total items discarded by load shedding
+};
+
+/// Runs the simulation.  Deterministic for a given (topology, options).
+SimResult simulate(const Topology& t, const SimOptions& options = {});
+
+}  // namespace ss::sim

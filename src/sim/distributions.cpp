@@ -1,0 +1,46 @@
+#include "sim/distributions.hpp"
+
+#include <cmath>
+
+namespace ss::sim {
+
+namespace {
+constexpr double kFloor = 1e-12;
+
+/// Standard normal via Box-Muller on the repo PRNG (keeps runs
+/// bit-reproducible across platforms, unlike std::normal_distribution).
+double standard_normal(Rng& rng) {
+  double u1 = rng.next_double();
+  if (u1 <= 0.0) u1 = 1e-300;
+  const double u2 = rng.next_double();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  return r * std::cos(6.283185307179586 * u2);
+}
+}  // namespace
+
+double ServiceLaw::sample(double mean, Rng& rng) const {
+  switch (kind) {
+    case Kind::kDeterministic:
+      return mean;
+    case Kind::kExponential: {
+      double u = rng.next_double();
+      if (u <= 0.0) u = 1e-300;
+      return std::max(kFloor, -mean * std::log(u));
+    }
+    case Kind::kNormal: {
+      const double x = mean + cv * mean * standard_normal(rng);
+      return std::max(kFloor, x);
+    }
+    case Kind::kLogNormal: {
+      // Parameterize so the distribution's mean equals `mean`:
+      // sigma^2 = ln(1 + cv^2), mu = ln(mean) - sigma^2/2.
+      const double sigma2 = std::log(1.0 + cv * cv);
+      const double mu = std::log(mean) - sigma2 / 2.0;
+      const double x = std::exp(mu + std::sqrt(sigma2) * standard_normal(rng));
+      return std::max(kFloor, x);
+    }
+  }
+  return mean;
+}
+
+}  // namespace ss::sim

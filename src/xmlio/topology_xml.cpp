@@ -1,0 +1,139 @@
+#include "xmlio/topology_xml.hpp"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "core/error.hpp"
+#include "xmlio/xml.hpp"
+
+namespace ss::xml {
+
+namespace {
+
+/// Serializes a double with enough digits to round-trip exactly.
+std::string fmt(double value) {
+  std::ostringstream out;
+  out.precision(17);
+  out << value;
+  return out.str();
+}
+
+double time_unit_factor(const std::string& unit) {
+  if (unit == "s") return 1.0;
+  if (unit == "ms") return 1e-3;
+  if (unit == "us") return 1e-6;
+  if (unit == "ns") return 1e-9;
+  throw Error("topology xml: unknown time-unit '" + unit + "' (expected s/ms/us/ns)");
+}
+
+KeyDistribution parse_keys(const XmlNode& keys) {
+  if (keys.has_attr("values")) {
+    std::istringstream in(keys.attr("values"));
+    std::vector<double> values;
+    double v = 0.0;
+    while (in >> v) values.push_back(v);
+    require(!values.empty(), "topology xml: <keys values=...> must list frequencies");
+    return KeyDistribution(values);
+  }
+  const auto count = static_cast<std::size_t>(keys.attr_double("count"));
+  const std::string distribution = keys.attr("distribution", "uniform");
+  if (distribution == "uniform") return KeyDistribution::uniform(count);
+  if (distribution == "zipf") return KeyDistribution::zipf(count, keys.attr_double("alpha", 1.5));
+  throw Error("topology xml: unknown key distribution '" + distribution + "'");
+}
+
+}  // namespace
+
+Topology load_topology(const std::string& xml_text) {
+  const XmlNode root = parse_xml(xml_text);
+  require(root.name == "topology",
+          "topology xml: root element must be <topology>, got <" + root.name + ">");
+
+  Topology::Builder builder;
+  std::map<std::string, OpIndex> index_of;
+  for (const XmlNode* op_node : root.children_named("operator")) {
+    OperatorSpec spec;
+    spec.name = op_node->require_attr("name");
+    const double factor = time_unit_factor(op_node->attr("time-unit", "ms"));
+    spec.service_time = op_node->attr_double("service-time") * factor;
+    spec.state = state_kind_from_string(op_node->attr("state", "stateless"));
+    spec.selectivity.input = op_node->attr_double("input-selectivity", 1.0);
+    spec.selectivity.output = op_node->attr_double("output-selectivity", 1.0);
+    spec.impl = op_node->attr("impl", "");
+    if (const XmlNode* keys = op_node->child("keys")) spec.keys = parse_keys(*keys);
+    const std::string name = spec.name;
+    index_of[name] = builder.add_operator(std::move(spec));
+  }
+
+  for (const XmlNode* edge : root.children_named("edge")) {
+    const std::string from = edge->require_attr("from");
+    const std::string to = edge->require_attr("to");
+    require(index_of.count(from) > 0, "topology xml: edge from unknown operator '" + from + "'");
+    require(index_of.count(to) > 0, "topology xml: edge to unknown operator '" + to + "'");
+    builder.add_edge(index_of[from], index_of[to], edge->attr_double("probability", 1.0));
+  }
+  return builder.build();
+}
+
+Topology load_topology_file(const std::string& path) {
+  std::ifstream in(path);
+  require(in.good(), "topology xml: cannot open '" + path + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return load_topology(buffer.str());
+}
+
+std::string save_topology(const Topology& t, const std::string& app_name) {
+  XmlNode root;
+  root.name = "topology";
+  root.attributes["name"] = app_name;
+
+  for (OpIndex i = 0; i < t.num_operators(); ++i) {
+    const OperatorSpec& op = t.op(i);
+    XmlNode node;
+    node.name = "operator";
+    node.attributes["name"] = op.name;
+    node.attributes["service-time"] = fmt(op.service_time * 1e3);
+    node.attributes["time-unit"] = "ms";
+    node.attributes["state"] = to_string(op.state);
+    if (op.selectivity.input != 1.0) {
+      node.attributes["input-selectivity"] = fmt(op.selectivity.input);
+    }
+    if (op.selectivity.output != 1.0) {
+      node.attributes["output-selectivity"] = fmt(op.selectivity.output);
+    }
+    if (!op.impl.empty()) node.attributes["impl"] = op.impl;
+    if (!op.keys.empty()) {
+      XmlNode keys;
+      keys.name = "keys";
+      std::ostringstream values;
+      values.precision(17);
+      for (std::size_t k = 0; k < op.keys.num_keys(); ++k) {
+        if (k > 0) values << ' ';
+        values << op.keys.probability(k);
+      }
+      keys.attributes["values"] = values.str();
+      node.children.push_back(std::move(keys));
+    }
+    root.children.push_back(std::move(node));
+  }
+  for (const Edge& e : t.edges()) {
+    XmlNode edge;
+    edge.name = "edge";
+    edge.attributes["from"] = t.op(e.from).name;
+    edge.attributes["to"] = t.op(e.to).name;
+    edge.attributes["probability"] = fmt(e.probability);
+    root.children.push_back(std::move(edge));
+  }
+  return write_xml(root);
+}
+
+void save_topology_file(const Topology& t, const std::string& path,
+                        const std::string& app_name) {
+  std::ofstream out(path);
+  require(out.good(), "topology xml: cannot write '" + path + "'");
+  out << save_topology(t, app_name);
+}
+
+}  // namespace ss::xml

@@ -1,0 +1,293 @@
+#include "xmlio/xml.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <sstream>
+
+#include "core/error.hpp"
+
+namespace ss::xml {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view input) : input_(input) {}
+
+  XmlNode parse_document() {
+    skip_misc();
+    require(!at_end(), "xml: document has no root element");
+    XmlNode root = parse_element();
+    skip_misc();
+    require(at_end(), err("trailing content after the root element"));
+    return root;
+  }
+
+ private:
+  [[nodiscard]] bool at_end() const { return pos_ >= input_.size(); }
+  [[nodiscard]] char peek() const { return input_[pos_]; }
+  [[nodiscard]] bool starts_with(std::string_view prefix) const {
+    return input_.substr(pos_, prefix.size()) == prefix;
+  }
+
+  char advance() {
+    const char c = input_[pos_++];
+    if (c == '\n') ++line_;
+    return c;
+  }
+
+  void skip(std::size_t n) {
+    for (std::size_t i = 0; i < n && !at_end(); ++i) advance();
+  }
+
+  [[nodiscard]] std::string err(const std::string& message) const {
+    return "xml (line " + std::to_string(line_) + "): " + message;
+  }
+
+  void skip_whitespace() {
+    while (!at_end() && std::isspace(static_cast<unsigned char>(peek()))) advance();
+  }
+
+  /// Whitespace, comments and processing instructions / declarations.
+  void skip_misc() {
+    while (true) {
+      skip_whitespace();
+      if (starts_with("<!--")) {
+        skip(4);
+        while (!at_end() && !starts_with("-->")) advance();
+        require(!at_end(), err("unterminated comment"));
+        skip(3);
+      } else if (starts_with("<?")) {
+        while (!at_end() && !starts_with("?>")) advance();
+        require(!at_end(), err("unterminated processing instruction"));
+        skip(2);
+      } else if (starts_with("<!DOCTYPE")) {
+        while (!at_end() && peek() != '>') advance();
+        require(!at_end(), err("unterminated DOCTYPE"));
+        advance();
+      } else {
+        return;
+      }
+    }
+  }
+
+  [[nodiscard]] static bool is_name_char(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '-' || c == '.' ||
+           c == ':';
+  }
+
+  std::string parse_name() {
+    std::string name;
+    while (!at_end() && is_name_char(peek())) name.push_back(advance());
+    require(!name.empty(), err("expected a name"));
+    return name;
+  }
+
+  std::string decode_entities(const std::string& raw) {
+    std::string out;
+    out.reserve(raw.size());
+    for (std::size_t i = 0; i < raw.size(); ++i) {
+      if (raw[i] != '&') {
+        out.push_back(raw[i]);
+        continue;
+      }
+      const auto semi = raw.find(';', i);
+      require(semi != std::string::npos, err("unterminated entity"));
+      const std::string entity = raw.substr(i + 1, semi - i - 1);
+      if (entity == "amp") {
+        out.push_back('&');
+      } else if (entity == "lt") {
+        out.push_back('<');
+      } else if (entity == "gt") {
+        out.push_back('>');
+      } else if (entity == "quot") {
+        out.push_back('"');
+      } else if (entity == "apos") {
+        out.push_back('\'');
+      } else if (!entity.empty() && entity[0] == '#') {
+        const long code = std::strtol(entity.c_str() + 1, nullptr, entity[1] == 'x' ? 16 : 10);
+        require(code > 0 && code < 128, err("unsupported character reference &" + entity + ";"));
+        out.push_back(static_cast<char>(code));
+      } else {
+        throw Error(err("unknown entity &" + entity + ";"));
+      }
+      i = semi;
+    }
+    return out;
+  }
+
+  std::string parse_attr_value() {
+    require(!at_end() && (peek() == '"' || peek() == '\''), err("expected a quoted value"));
+    const char quote = advance();
+    std::string raw;
+    while (!at_end() && peek() != quote) raw.push_back(advance());
+    require(!at_end(), err("unterminated attribute value"));
+    advance();  // closing quote
+    return decode_entities(raw);
+  }
+
+  XmlNode parse_element() {
+    require(peek() == '<', err("expected '<'"));
+    advance();
+    XmlNode node;
+    node.name = parse_name();
+
+    // Attributes.
+    while (true) {
+      skip_whitespace();
+      require(!at_end(), err("unterminated start tag <" + node.name));
+      if (peek() == '>' || starts_with("/>")) break;
+      const std::string key = parse_name();
+      skip_whitespace();
+      require(!at_end() && peek() == '=', err("expected '=' after attribute '" + key + "'"));
+      advance();
+      skip_whitespace();
+      require(node.attributes.emplace(key, parse_attr_value()).second,
+              err("duplicate attribute '" + key + "'"));
+    }
+    if (starts_with("/>")) {
+      skip(2);
+      return node;
+    }
+    advance();  // '>'
+
+    // Content.
+    std::string text;
+    while (true) {
+      require(!at_end(), err("unterminated element <" + node.name + ">"));
+      if (starts_with("</")) {
+        skip(2);
+        const std::string closing = parse_name();
+        require(closing == node.name,
+                err("mismatched closing tag </" + closing + "> for <" + node.name + ">"));
+        skip_whitespace();
+        require(!at_end() && peek() == '>', err("malformed closing tag"));
+        advance();
+        break;
+      }
+      if (starts_with("<!--")) {
+        skip(4);
+        while (!at_end() && !starts_with("-->")) advance();
+        require(!at_end(), err("unterminated comment"));
+        skip(3);
+      } else if (peek() == '<') {
+        node.children.push_back(parse_element());
+      } else {
+        text.push_back(advance());
+      }
+    }
+
+    // Trim and decode the character data.
+    const auto first = text.find_first_not_of(" \t\r\n");
+    if (first != std::string::npos) {
+      const auto last = text.find_last_not_of(" \t\r\n");
+      node.text = decode_entities(text.substr(first, last - first + 1));
+    }
+    return node;
+  }
+
+  std::string_view input_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+};
+
+void write_node(const XmlNode& node, std::ostringstream& out, int depth) {
+  const std::string indent(static_cast<std::size_t>(depth) * 2, ' ');
+  out << indent << '<' << node.name;
+  for (const auto& [key, value] : node.attributes) {
+    out << ' ' << key << "=\"" << escape_text(value) << '"';
+  }
+  if (node.children.empty() && node.text.empty()) {
+    out << "/>\n";
+    return;
+  }
+  out << '>';
+  if (!node.text.empty()) out << escape_text(node.text);
+  if (!node.children.empty()) {
+    out << '\n';
+    for (const XmlNode& child : node.children) write_node(child, out, depth + 1);
+    out << indent;
+  }
+  out << "</" << node.name << ">\n";
+}
+
+}  // namespace
+
+const XmlNode* XmlNode::child(const std::string& child_name) const {
+  for (const XmlNode& c : children) {
+    if (c.name == child_name) return &c;
+  }
+  return nullptr;
+}
+
+std::vector<const XmlNode*> XmlNode::children_named(const std::string& child_name) const {
+  std::vector<const XmlNode*> result;
+  for (const XmlNode& c : children) {
+    if (c.name == child_name) result.push_back(&c);
+  }
+  return result;
+}
+
+bool XmlNode::has_attr(const std::string& key) const { return attributes.count(key) > 0; }
+
+std::string XmlNode::attr(const std::string& key, const std::string& fallback) const {
+  auto it = attributes.find(key);
+  return it == attributes.end() ? fallback : it->second;
+}
+
+double XmlNode::attr_double(const std::string& key) const {
+  const std::string value = require_attr(key);
+  char* end = nullptr;
+  const double parsed = std::strtod(value.c_str(), &end);
+  require(end != value.c_str() && *end == '\0',
+          "xml: attribute '" + key + "' of <" + name + "> is not a number: '" + value + "'");
+  return parsed;
+}
+
+double XmlNode::attr_double(const std::string& key, double fallback) const {
+  return has_attr(key) ? attr_double(key) : fallback;
+}
+
+std::string XmlNode::require_attr(const std::string& key) const {
+  auto it = attributes.find(key);
+  require(it != attributes.end(), "xml: <" + name + "> requires attribute '" + key + "'");
+  return it->second;
+}
+
+XmlNode parse_xml(std::string_view input) { return Parser(input).parse_document(); }
+
+std::string write_xml(const XmlNode& node) {
+  std::ostringstream out;
+  out << "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n";
+  write_node(node, out, 0);
+  return out.str();
+}
+
+std::string escape_text(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (char c : raw) {
+    switch (c) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      case '"':
+        out += "&quot;";
+        break;
+      case '\'':
+        out += "&apos;";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace ss::xml

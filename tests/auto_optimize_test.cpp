@@ -1,0 +1,104 @@
+// Tests of the one-shot automatic optimization (fission + every safe
+// fusion) and its execution as a combined deployment.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+
+#include "core/optimizer.hpp"
+#include "runtime/engine.hpp"
+
+namespace ss {
+namespace {
+
+constexpr double kMs = 1e-3;
+
+// src -> heavy (needs replicas) -> tail_a -> tail_b (idle pair worth fusing)
+Topology mixed_pipeline() {
+  Topology::Builder b;
+  b.add_operator("src", 1.0 * kMs);
+  b.add_operator("heavy", 2.6 * kMs);
+  b.add_operator("tail_a", 0.2 * kMs);
+  b.add_operator("tail_b", 0.3 * kMs);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(2, 3);
+  return b.build();
+}
+
+TEST(AutoOptimize, CombinesFissionAndFusion) {
+  const AutoOptimizeResult result = auto_optimize(mixed_pipeline());
+  EXPECT_EQ(result.plan.replicas_of(1), 3);  // ceil(2.6)
+  EXPECT_TRUE(result.reaches_ideal);
+  ASSERT_EQ(result.fusions.size(), 1u);
+  std::vector<OpIndex> members = result.fusions[0].members;
+  std::sort(members.begin(), members.end());
+  EXPECT_EQ(members, (std::vector<OpIndex>{2, 3}));
+  EXPECT_EQ(result.actors_saved_by_fusion, 1);
+  EXPECT_NEAR(result.analysis.throughput(), 1000.0, 1e-6);
+}
+
+TEST(AutoOptimize, FusionCanBeDisabled) {
+  AutoOptimizeOptions options;
+  options.enable_fusion = false;
+  const AutoOptimizeResult result = auto_optimize(mixed_pipeline(), options);
+  EXPECT_TRUE(result.fusions.empty());
+  EXPECT_EQ(result.plan.replicas_of(1), 3);
+}
+
+TEST(AutoOptimize, NeverFusesReplicatedOperators) {
+  const AutoOptimizeResult result = auto_optimize(mixed_pipeline());
+  for (const FusionSpec& fusion : result.fusions) {
+    for (OpIndex m : fusion.members) {
+      EXPECT_EQ(result.plan.replicas_of(m), 1) << "fused member was replicated";
+    }
+  }
+}
+
+TEST(AutoOptimize, FusionGroupsAreDisjoint) {
+  // A longer idle tail: whatever groups are chosen must not overlap.
+  Topology::Builder b;
+  b.add_operator("src", 1.0 * kMs);
+  b.add_operator("a", 0.1 * kMs);
+  b.add_operator("b", 0.1 * kMs);
+  b.add_operator("c", 0.1 * kMs);
+  b.add_operator("d", 0.1 * kMs);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(2, 3);
+  b.add_edge(3, 4);
+  const AutoOptimizeResult result = auto_optimize(b.build());
+  std::vector<bool> seen(5, false);
+  for (const FusionSpec& fusion : result.fusions) {
+    for (OpIndex m : fusion.members) {
+      EXPECT_FALSE(seen[m]) << "operator in two groups";
+      seen[m] = true;
+    }
+  }
+  EXPECT_FALSE(result.fusions.empty());
+}
+
+TEST(AutoOptimize, RespectsReplicaBudget) {
+  AutoOptimizeOptions options;
+  options.bottleneck.max_total_replicas = 5;
+  const AutoOptimizeResult result = auto_optimize(mixed_pipeline(), options);
+  EXPECT_LE(result.plan.total_replicas(4), 5);
+}
+
+TEST(AutoOptimize, DeploymentExecutesOnTheEngine) {
+  Topology t = mixed_pipeline();
+  const AutoOptimizeResult result = auto_optimize(t);
+
+  runtime::Deployment deployment;
+  deployment.replication = result.plan;
+  deployment.partitions = result.partitions;
+  deployment.fusions = result.fusions;
+  runtime::Engine engine(t, deployment, runtime::synthetic_factory(), {});
+  const runtime::RunStats stats =
+      engine.run_for(std::chrono::duration<double>(2.0));
+  EXPECT_NEAR(stats.source_rate, 1000.0, 0.12 * 1000.0);
+  EXPECT_EQ(stats.dropped, 0u);
+}
+
+}  // namespace
+}  // namespace ss

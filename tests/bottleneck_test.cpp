@@ -1,0 +1,239 @@
+// Unit tests for Algorithm 2 (bottleneck elimination): optimal replication
+// degrees, key-partitioning limits, stateful fallbacks, and the hold-off
+// replication budget of §3.2.
+#include "core/bottleneck.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+#include "core/key_partitioning.hpp"
+#include "core/topology.hpp"
+
+namespace ss {
+namespace {
+
+constexpr double kMs = 1e-3;
+
+// --------------------------------------------------------- KeyPartitioning
+
+TEST(KeyPartitioning, UniformKeysSplitEvenly) {
+  KeyPartition p = partition_keys(KeyDistribution::uniform(100), 4);
+  EXPECT_EQ(p.replicas, 4);
+  EXPECT_NEAR(p.max_share, 0.25, 0.01);
+  for (int r : p.replica_of_key) {
+    EXPECT_GE(r, 0);
+    EXPECT_LT(r, 4);
+  }
+}
+
+TEST(KeyPartitioning, HeavyKeyBoundsTheSplit) {
+  // One key carries 60%: no partitioning can push p_max below 0.6.
+  KeyPartition p = partition_keys(KeyDistribution({0.6, 0.2, 0.1, 0.1}), 3);
+  EXPECT_NEAR(p.max_share, 0.6, 1e-12);
+  // LPT puts the heavy key alone and balances the rest.
+  EXPECT_EQ(p.replicas, 3);
+}
+
+TEST(KeyPartitioning, FewerKeysThanReplicas) {
+  KeyPartition p = partition_keys(KeyDistribution::uniform(2), 5);
+  EXPECT_EQ(p.replicas, 2);
+  EXPECT_NEAR(p.max_share, 0.5, 1e-12);
+  EXPECT_EQ(p.replica_of_key.size(), 2u);
+}
+
+TEST(KeyPartitioning, SingleReplicaTakesAll) {
+  KeyPartition p = partition_keys(KeyDistribution::uniform(10), 1);
+  EXPECT_EQ(p.replicas, 1);
+  EXPECT_NEAR(p.max_share, 1.0, 1e-12);
+}
+
+TEST(KeyPartitioning, RejectsBadInput) {
+  EXPECT_THROW((void)partition_keys(KeyDistribution(), 2), Error);
+  EXPECT_THROW((void)partition_keys(KeyDistribution::uniform(4), 0), Error);
+}
+
+TEST(KeyPartitioning, LptBeatsNaiveRoundRobinOnSkew) {
+  // Zipf(1.5) over 20 keys: greedy LPT must achieve p_max close to the
+  // theoretical floor max(heaviest key, 1/n).
+  KeyDistribution keys = KeyDistribution::zipf(20, 1.5);
+  KeyPartition p = partition_keys(keys, 4);
+  const double floor_share = std::max(keys.max_probability(), 0.25);
+  EXPECT_LT(p.max_share, floor_share * 1.35);
+  EXPECT_GE(p.max_share, floor_share - 1e-12);
+}
+
+// ------------------------------------------------------------ Algorithm 2
+
+Topology stateless_bottleneck() {
+  Topology::Builder b;
+  b.add_operator("src", 1.0 * kMs);
+  b.add_operator("slow", 3.5 * kMs);  // rho = 3.5 -> 4 replicas
+  b.add_operator("sink", 0.1 * kMs);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  return b.build();
+}
+
+TEST(BottleneckElimination, StatelessGetsCeilRhoReplicas) {
+  BottleneckResult result = eliminate_bottlenecks(stateless_bottleneck());
+  EXPECT_EQ(result.plan.replicas_of(1), 4);  // ceil(3.5)
+  EXPECT_TRUE(result.reaches_ideal);
+  EXPECT_TRUE(result.unresolved.empty());
+  EXPECT_NEAR(result.analysis.throughput(), 1000.0, 1e-6);
+  EXPECT_EQ(result.total_replicas, 1 + 4 + 1);
+  EXPECT_EQ(result.additional_replicas, 3);
+}
+
+TEST(BottleneckElimination, NoBottleneckNoReplicas) {
+  Topology::Builder b;
+  b.add_operator("src", 2.0 * kMs);
+  b.add_operator("fast", 0.5 * kMs);
+  b.add_edge(0, 1);
+  BottleneckResult result = eliminate_bottlenecks(b.build());
+  EXPECT_EQ(result.additional_replicas, 0);
+  EXPECT_TRUE(result.reaches_ideal);
+}
+
+TEST(BottleneckElimination, StatefulBottleneckCannotBeRemoved) {
+  Topology::Builder b;
+  b.add_operator("src", 1.0 * kMs);
+  b.add_operator("state", 4.0 * kMs, StateKind::kStateful);
+  b.add_edge(0, 1);
+  BottleneckResult result = eliminate_bottlenecks(b.build());
+  EXPECT_EQ(result.plan.replicas_of(1), 1);
+  EXPECT_FALSE(result.reaches_ideal);
+  ASSERT_EQ(result.unresolved.size(), 1u);
+  EXPECT_EQ(result.unresolved[0], 1u);
+  // Throughput capped by backpressure at the stateful rate.
+  EXPECT_NEAR(result.analysis.throughput(), 250.0, 1e-6);
+}
+
+TEST(BottleneckElimination, PartitionedWithMildSkewIsRemoved) {
+  Topology::Builder b;
+  b.add_operator("src", 1.0 * kMs);
+  OperatorSpec agg;
+  agg.name = "agg";
+  agg.service_time = 2.5 * kMs;  // rho = 2.5 -> 3 replicas wanted
+  agg.state = StateKind::kPartitionedStateful;
+  agg.keys = KeyDistribution::uniform(300);
+  b.add_operator(std::move(agg));
+  b.add_edge(0, 1);
+  BottleneckResult result = eliminate_bottlenecks(b.build());
+  EXPECT_EQ(result.plan.replicas_of(1), 3);
+  EXPECT_TRUE(result.reaches_ideal);
+  EXPECT_FALSE(result.partitions[1].replica_of_key.empty());
+  EXPECT_LE(result.plan.max_share_of(1), 1.0 / 2.5 + 0.01);
+}
+
+TEST(BottleneckElimination, PartitionedWithHeavyKeyOnlyMitigates) {
+  // The paper's example: n_opt = 3 but 50% of items share one key -> the
+  // bottleneck is mitigated, not removed, and the source is corrected.
+  Topology::Builder b;
+  b.add_operator("src", 1.0 * kMs);
+  OperatorSpec agg;
+  agg.name = "agg";
+  agg.service_time = 2.5 * kMs;
+  agg.state = StateKind::kPartitionedStateful;
+  std::vector<double> freq{0.5};
+  for (int i = 0; i < 25; ++i) freq.push_back(0.02);
+  agg.keys = KeyDistribution(freq);
+  b.add_operator(std::move(agg));
+  b.add_edge(0, 1);
+  BottleneckResult result = eliminate_bottlenecks(b.build());
+  EXPECT_FALSE(result.reaches_ideal);
+  EXPECT_EQ(result.unresolved.size(), 1u);
+  // p_max = 0.5 -> capacity 800/s -> throughput 800/s instead of 1000.
+  EXPECT_NEAR(result.analysis.throughput(), 400.0 / 0.5, 1e-6);
+}
+
+TEST(BottleneckElimination, DownstreamOfStatefulBottleneckNotOverReplicated) {
+  // stateful bottleneck throttles the flow; a slow stateless op behind it
+  // must be sized for the *throttled* rate, not the nominal one.
+  Topology::Builder b;
+  b.add_operator("src", 1.0 * kMs);
+  b.add_operator("state", 2.0 * kMs, StateKind::kStateful);  // caps at 500/s
+  b.add_operator("slowmap", 4.0 * kMs);                      // at 500/s: rho = 2
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  BottleneckResult result = eliminate_bottlenecks(b.build());
+  EXPECT_EQ(result.plan.replicas_of(2), 2);  // not ceil(1000/250) = 4
+  EXPECT_NEAR(result.analysis.throughput(), 500.0, 1e-6);
+}
+
+TEST(BottleneckElimination, SelectivityAwareSizing) {
+  // flatmap doubles the rate; downstream sized for 2x source rate.
+  Topology::Builder b;
+  b.add_operator("src", 1.0 * kMs);
+  b.add_operator("flatmap", 0.4 * kMs, StateKind::kStateless, Selectivity{1.0, 2.0});
+  b.add_operator("work", 1.0 * kMs);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  BottleneckResult result = eliminate_bottlenecks(b.build());
+  EXPECT_EQ(result.plan.replicas_of(2), 2);  // lambda = 2000/s, mu = 1000/s
+  EXPECT_TRUE(result.reaches_ideal);
+}
+
+// --------------------------------------------------------------- hold-off
+
+Topology two_bottlenecks() {
+  Topology::Builder b;
+  b.add_operator("src", 1.0 * kMs);
+  b.add_operator("slow_a", 6.0 * kMs);  // wants 6
+  b.add_operator("slow_b", 4.0 * kMs);  // wants 4
+  b.add_operator("sink", 0.1 * kMs);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(2, 3);
+  return b.build();
+}
+
+TEST(HoldOffReplication, UnboundedUsesOptimalDegrees) {
+  BottleneckResult result = eliminate_bottlenecks(two_bottlenecks());
+  EXPECT_EQ(result.plan.replicas_of(1), 6);
+  EXPECT_EQ(result.plan.replicas_of(2), 4);
+  EXPECT_TRUE(result.reaches_ideal);
+}
+
+TEST(HoldOffReplication, BudgetScalesDegreesProportionally) {
+  BottleneckOptions options;
+  options.max_total_replicas = 9;  // optimal needs 6+4+2 = 12
+  BottleneckResult result = eliminate_bottlenecks(two_bottlenecks(), options);
+  EXPECT_LE(result.total_replicas, 9);
+  // Proportional de-scalability (Fig. 10): throughput degrades roughly by
+  // the budget ratio rather than collapsing.
+  EXPECT_LT(result.analysis.throughput(), 1000.0);
+  EXPECT_GT(result.analysis.throughput(), 500.0);
+  EXPECT_FALSE(result.reaches_ideal);
+}
+
+TEST(HoldOffReplication, GenerousBudgetChangesNothing) {
+  BottleneckOptions options;
+  options.max_total_replicas = 100;
+  BottleneckResult result = eliminate_bottlenecks(two_bottlenecks(), options);
+  EXPECT_EQ(result.plan.replicas_of(1), 6);
+  EXPECT_EQ(result.plan.replicas_of(2), 4);
+}
+
+TEST(HoldOffReplication, ApplyBudgetDirectly) {
+  Topology t = two_bottlenecks();
+  ReplicationPlan plan;
+  plan.replicas = {1, 6, 4, 1};
+  ReplicationPlan scaled = apply_replica_budget(t, plan, 8);
+  EXPECT_LE(scaled.total_replicas(4), 8);
+  for (OpIndex i = 0; i < 4; ++i) EXPECT_GE(scaled.replicas_of(i), 1);
+  // Ratios roughly preserved: slow_a keeps more replicas than slow_b.
+  EXPECT_GE(scaled.replicas_of(1), scaled.replicas_of(2));
+  EXPECT_THROW((void)apply_replica_budget(t, plan, 0), Error);
+}
+
+TEST(HoldOffReplication, BudgetBelowOperatorCountDegradesToSequential) {
+  Topology t = two_bottlenecks();
+  ReplicationPlan plan;
+  plan.replicas = {1, 6, 4, 1};
+  ReplicationPlan scaled = apply_replica_budget(t, plan, 2);
+  // One replica per operator is the floor; the budget cannot go lower.
+  EXPECT_EQ(scaled.total_replicas(4), 4);
+}
+
+}  // namespace
+}  // namespace ss

@@ -1,0 +1,211 @@
+// Tests of the spinstreams CLI: every command exercised against a
+// temporary XML description, exit codes and key output fragments checked.
+#include "cli/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace ss::cli {
+namespace {
+
+constexpr const char* kTopologyXml = R"(<?xml version="1.0"?>
+<topology name="t">
+  <operator name="src"  impl="source" service-time="1"   time-unit="ms"/>
+  <operator name="slow" impl="map_affine" service-time="2.5" time-unit="ms"/>
+  <operator name="tail_a" impl="clamp" service-time="0.2" time-unit="ms"/>
+  <operator name="tail_b" impl="sink" service-time="0.3" time-unit="ms"/>
+  <edge from="src" to="slow"/>
+  <edge from="slow" to="tail_a"/>
+  <edge from="tail_a" to="tail_b"/>
+</topology>
+)";
+
+class CliTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "/cli_topology.xml";
+    std::ofstream file(path_);
+    file << kTopologyXml;
+  }
+
+  /// Runs the CLI with the given arguments (file path appended when
+  /// `with_file`), returning {exit code, stdout, stderr}.
+  std::tuple<int, std::string, std::string> run(std::vector<std::string> argv,
+                                                bool with_file = true) {
+    argv.insert(argv.begin(), "spinstreams");
+    if (with_file) argv.insert(argv.begin() + 2, path_);
+    std::vector<const char*> raw;
+    raw.reserve(argv.size());
+    for (const std::string& a : argv) raw.push_back(a.c_str());
+    std::ostringstream out;
+    std::ostringstream err;
+    const int code = run_cli(static_cast<int>(raw.size()), raw.data(), out, err);
+    return {code, out.str(), err.str()};
+  }
+
+  std::string path_;
+};
+
+TEST_F(CliTest, HelpAndUnknownCommand) {
+  auto [code, out, err] = run({"help"}, false);
+  EXPECT_EQ(code, 0);
+  EXPECT_NE(out.find("usage:"), std::string::npos);
+
+  auto [bad_code, bad_out, bad_err] = run({"frobnicate"}, false);
+  EXPECT_EQ(bad_code, 2);
+  EXPECT_NE(bad_err.find("unknown command"), std::string::npos);
+}
+
+TEST_F(CliTest, NoArgumentsPrintsUsage) {
+  const char* argv[] = {"spinstreams"};
+  std::ostringstream out;
+  std::ostringstream err;
+  EXPECT_EQ(run_cli(1, argv, out, err), 2);
+  EXPECT_NE(err.str().find("usage:"), std::string::npos);
+}
+
+TEST_F(CliTest, Validate) {
+  auto [code, out, err] = run({"validate"});
+  EXPECT_EQ(code, 0) << err;
+  EXPECT_NE(out.find("OK"), std::string::npos);
+}
+
+TEST_F(CliTest, ValidateMissingFile) {
+  auto [code, out, err] = run({"validate", "/nonexistent/x.xml"}, false);
+  EXPECT_EQ(code, 1);
+  EXPECT_NE(err.find("error:"), std::string::npos);
+}
+
+TEST_F(CliTest, AnalyzeReportsBottleneck) {
+  auto [code, out, err] = run({"analyze"});
+  EXPECT_EQ(code, 0) << err;
+  EXPECT_NE(out.find("slow"), std::string::npos);
+  EXPECT_NE(out.find("bottleneck"), std::string::npos);
+  EXPECT_NE(out.find("400.0 tuples/s"), std::string::npos);  // 1000/2.5
+}
+
+TEST_F(CliTest, AnalyzeWithLatency) {
+  auto [code, out, err] = run({"analyze", "--latency"});
+  EXPECT_EQ(code, 0) << err;
+  EXPECT_NE(out.find("end-to-end latency"), std::string::npos);
+}
+
+TEST_F(CliTest, OptimizeAddsReplicas) {
+  auto [code, out, err] = run({"optimize"});
+  EXPECT_EQ(code, 0) << err;
+  EXPECT_NE(out.find("total replicas: 6 (+2)"), std::string::npos) << out;
+  EXPECT_NE(out.find("reaches the ideal"), std::string::npos);
+}
+
+TEST_F(CliTest, OptimizeWithBudget) {
+  auto [code, out, err] = run({"optimize", "--max-replicas=5"});
+  EXPECT_EQ(code, 0) << err;
+  EXPECT_NE(out.find("total replicas: 5"), std::string::npos) << out;
+}
+
+TEST_F(CliTest, CandidatesListsIdleTail) {
+  auto [code, out, err] = run({"candidates", "--threshold=0.6"});
+  EXPECT_EQ(code, 0) << err;
+  EXPECT_NE(out.find("tail_a,tail_b"), std::string::npos) << out;
+}
+
+TEST_F(CliTest, FuseByNames) {
+  auto [code, out, err] = run({"fuse", "--members=tail_a,tail_b", "--name=tail"});
+  EXPECT_EQ(code, 0) << err;
+  EXPECT_NE(out.find("fused service time: 0.50 ms"), std::string::npos) << out;
+  EXPECT_NE(out.find("feasible"), std::string::npos);
+}
+
+TEST_F(CliTest, FuseRejectsUnknownMember) {
+  auto [code, out, err] = run({"fuse", "--members=ghost,tail_b"});
+  EXPECT_EQ(code, 1);
+  EXPECT_NE(err.find("unknown operator"), std::string::npos);
+}
+
+TEST_F(CliTest, FuseAlertExitCode) {
+  // Fusing src's busy successor with the tail saturates: exit code 1.
+  auto [code, out, err] = run({"fuse", "--members=slow,tail_a,tail_b"});
+  EXPECT_EQ(code, 1) << out;
+  EXPECT_NE(out.find("ALERT"), std::string::npos);
+}
+
+TEST_F(CliTest, SimulateComparesToModel) {
+  auto [code, out, err] = run({"simulate", "--duration=40"});
+  EXPECT_EQ(code, 0) << err;
+  EXPECT_NE(out.find("model predicts 400.0"), std::string::npos) << out;
+  EXPECT_NE(out.find("error"), std::string::npos);
+}
+
+TEST_F(CliTest, SimulateOptimized) {
+  auto [code, out, err] = run({"simulate", "--duration=40", "--optimize"});
+  EXPECT_EQ(code, 0) << err;
+  EXPECT_NE(out.find("model predicts 1000.0"), std::string::npos) << out;
+}
+
+TEST_F(CliTest, CodegenWritesProgram) {
+  const std::string out_path = ::testing::TempDir() + "/cli_generated.cpp";
+  auto [code, out, err] = run({"codegen", "--out=" + out_path});
+  EXPECT_EQ(code, 0) << err;
+  std::ifstream file(out_path);
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+  EXPECT_NE(buffer.str().find("int main()"), std::string::npos);
+  EXPECT_NE(buffer.str().find("ss::runtime::Engine"), std::string::npos);
+}
+
+TEST_F(CliTest, AutoOptimizeEndToEnd) {
+  const std::string out_path = ::testing::TempDir() + "/cli_auto.cpp";
+  auto [code, out, err] = run({"auto", "--out=" + out_path});
+  EXPECT_EQ(code, 0) << err;
+  EXPECT_NE(out.find("replicas added: 2"), std::string::npos) << out;
+  EXPECT_NE(out.find("fusions applied"), std::string::npos) << out;
+  EXPECT_NE(out.find("tail_a"), std::string::npos);
+  std::ifstream file(out_path);
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+  EXPECT_NE(buffer.str().find("deployment.fusions.push_back"), std::string::npos);
+}
+
+TEST_F(CliTest, WhatIfExploresHypotheticals) {
+  // Halving the bottleneck's service time doubles the predicted rate.
+  auto [code, out, err] = run({"whatif", "--set=slow=1.25"});
+  EXPECT_EQ(code, 0) << err;
+  EXPECT_NE(out.find("-- what-if --"), std::string::npos);
+  EXPECT_NE(out.find("800.0 tuples/s"), std::string::npos) << out;
+  EXPECT_NE(out.find("+400.0 tuples/s (100.0%)"), std::string::npos) << out;
+
+  // Replicas instead of faster code.
+  auto [rcode, rout, rerr] = run({"whatif", "--replicas=slow=3"});
+  EXPECT_EQ(rcode, 0) << rerr;
+  EXPECT_NE(rout.find("1000.0 tuples/s"), std::string::npos) << rout;
+
+  auto [bad, bout, berr] = run({"whatif", "--set=ghost=1"});
+  EXPECT_EQ(bad, 1);
+  EXPECT_NE(berr.find("unknown operator"), std::string::npos);
+}
+
+TEST_F(CliTest, ProfileReplacesDeclaredTimes) {
+  const std::string out_path = ::testing::TempDir() + "/cli_profiled.xml";
+  auto [code, out, err] = run({"profile", "--items=500", "--save-xml=" + out_path});
+  EXPECT_EQ(code, 0) << err;
+  EXPECT_NE(out.find("measured (us)"), std::string::npos);
+  EXPECT_NE(out.find("re-annotated analysis"), std::string::npos);
+  // The annotated description must load and validate.
+  auto [vcode, vout, verr] = run({"validate", out_path}, false);
+  EXPECT_EQ(vcode, 0) << verr;
+}
+
+TEST_F(CliTest, GenerateProducesLoadableXml) {
+  const std::string out_path = ::testing::TempDir() + "/cli_random.xml";
+  auto [code, out, err] = run({"generate", "--seed=9", "--out=" + out_path}, false);
+  EXPECT_EQ(code, 0) << err;
+  // The generated description must round-trip through validate.
+  auto [vcode, vout, verr] = run({"validate", out_path}, false);
+  EXPECT_EQ(vcode, 0) << verr;
+}
+
+}  // namespace
+}  // namespace ss::cli

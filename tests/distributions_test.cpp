@@ -1,0 +1,78 @@
+// Tests of the simulator's service-time laws: correct means, correct
+// shapes (variance), positivity, and determinism per seed.
+#include "sim/distributions.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace ss::sim {
+namespace {
+
+struct Moments {
+  double mean = 0.0;
+  double variance = 0.0;
+};
+
+Moments sample_moments(const ServiceLaw& law, double mean, int draws, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> values;
+  values.reserve(static_cast<std::size_t>(draws));
+  for (int i = 0; i < draws; ++i) values.push_back(law.sample(mean, rng));
+  Moments m;
+  for (double v : values) m.mean += v;
+  m.mean /= draws;
+  for (double v : values) m.variance += (v - m.mean) * (v - m.mean);
+  m.variance /= draws;
+  return m;
+}
+
+constexpr int kDraws = 200000;
+constexpr double kMean = 2.5e-3;
+
+TEST(ServiceLaw, DeterministicIsExact) {
+  const ServiceLaw law = ServiceLaw::deterministic();
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) EXPECT_DOUBLE_EQ(law.sample(kMean, rng), kMean);
+}
+
+TEST(ServiceLaw, ExponentialMeanAndVariance) {
+  const Moments m = sample_moments(ServiceLaw::exponential(), kMean, kDraws, 7);
+  EXPECT_NEAR(m.mean, kMean, 0.02 * kMean);
+  // Exponential: variance = mean^2.
+  EXPECT_NEAR(m.variance, kMean * kMean, 0.06 * kMean * kMean);
+}
+
+TEST(ServiceLaw, NormalMeanAndCv) {
+  const Moments m = sample_moments(ServiceLaw::normal(0.2), kMean, kDraws, 11);
+  EXPECT_NEAR(m.mean, kMean, 0.02 * kMean);
+  EXPECT_NEAR(std::sqrt(m.variance) / m.mean, 0.2, 0.02);
+}
+
+TEST(ServiceLaw, LogNormalMeanAndCv) {
+  // Parameterized so the distribution mean equals the requested mean.
+  const Moments m = sample_moments(ServiceLaw::lognormal(0.5), kMean, kDraws, 13);
+  EXPECT_NEAR(m.mean, kMean, 0.03 * kMean);
+  EXPECT_NEAR(std::sqrt(m.variance) / m.mean, 0.5, 0.05);
+}
+
+TEST(ServiceLaw, SamplesAreAlwaysPositive) {
+  for (const ServiceLaw& law :
+       {ServiceLaw::exponential(), ServiceLaw::normal(1.5), ServiceLaw::lognormal(2.0)}) {
+    Rng rng(17);
+    for (int i = 0; i < 20000; ++i) {
+      ASSERT_GT(law.sample(kMean, rng), 0.0);
+    }
+  }
+}
+
+TEST(ServiceLaw, DeterministicPerSeed) {
+  const ServiceLaw law = ServiceLaw::lognormal(0.7);
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_DOUBLE_EQ(law.sample(kMean, a), law.sample(kMean, b));
+}
+
+}  // namespace
+}  // namespace ss::sim

@@ -1,0 +1,336 @@
+// Integration tests of the actor engine: exact item accounting on finite
+// streams, fission and fusion execution semantics (Alg. 4), selectivity
+// realization, backpressure, and measured-vs-predicted throughput.
+#include "runtime/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+
+#include "core/error.hpp"
+#include "core/steady_state.hpp"
+#include "runtime/synthetic.hpp"
+
+namespace ss::runtime {
+namespace {
+
+using namespace std::chrono_literals;
+using std::chrono::duration;
+
+/// Emits `count` tuples as fast as possible (ids 0..count-1).
+class BurstSource final : public SourceLogic {
+ public:
+  explicit BurstSource(std::int64_t count) : count_(count) {}
+  bool next(Tuple& out) override {
+    if (next_id_ >= count_) return false;
+    out = Tuple{};
+    out.id = next_id_++;
+    out.key = out.id;
+    return true;
+  }
+
+ private:
+  std::int64_t count_;
+  std::int64_t next_id_ = 0;
+};
+
+/// Forwards every item unchanged, optionally recording what it saw.
+class PassThrough final : public OperatorLogic {
+ public:
+  explicit PassThrough(std::atomic<std::int64_t>* seen = nullptr) : seen_(seen) {}
+  void process(const Tuple& item, OpIndex, Collector& out) override {
+    if (seen_ != nullptr) seen_->fetch_add(1);
+    out.emit(item);
+  }
+  std::unique_ptr<OperatorLogic> clone() const override {
+    return std::make_unique<PassThrough>(seen_);
+  }
+
+ private:
+  std::atomic<std::int64_t>* seen_;
+};
+
+/// Adds `delta` to f[0]; used to verify fused sequential composition.
+class AddConstant final : public OperatorLogic {
+ public:
+  explicit AddConstant(double delta) : delta_(delta) {}
+  void process(const Tuple& item, OpIndex, Collector& out) override {
+    Tuple t = item;
+    t.f[0] += delta_;
+    out.emit(t);
+  }
+  std::unique_ptr<OperatorLogic> clone() const override {
+    return std::make_unique<AddConstant>(delta_);
+  }
+
+ private:
+  double delta_;
+};
+
+/// Terminal logic recording the f[0] sum and count of everything received.
+class RecordingSink final : public OperatorLogic {
+ public:
+  RecordingSink(std::atomic<std::int64_t>* count, std::atomic<std::int64_t>* sum_milli)
+      : count_(count), sum_milli_(sum_milli) {}
+  void process(const Tuple& item, OpIndex, Collector& out) override {
+    count_->fetch_add(1);
+    sum_milli_->fetch_add(static_cast<std::int64_t>(item.f[0] * 1000.0 + 0.5));
+    out.emit(item);  // sinks' emissions are absorbed and counted as departures
+  }
+  std::unique_ptr<OperatorLogic> clone() const override {
+    return std::make_unique<RecordingSink>(count_, sum_milli_);
+  }
+
+ private:
+  std::atomic<std::int64_t>* count_;
+  std::atomic<std::int64_t>* sum_milli_;
+};
+
+Topology pipeline(std::initializer_list<const char*> names) {
+  Topology::Builder b;
+  OpIndex prev = kInvalidOp;
+  for (const char* name : names) {
+    OpIndex cur = b.add_operator(name, 1e-6);
+    if (prev != kInvalidOp) b.add_edge(prev, cur);
+    prev = cur;
+  }
+  return b.build();
+}
+
+EngineConfig fast_config() {
+  EngineConfig cfg;
+  cfg.mailbox_capacity = 64;
+  cfg.send_timeout = duration<double>(5.0);
+  return cfg;
+}
+
+TEST(Engine, FiniteStreamFlowsExactly) {
+  Topology t = pipeline({"src", "a", "b", "sink"});
+  static constexpr std::int64_t kItems = 2000;
+  AppFactory factory;
+  factory.source = [](OpIndex, const OperatorSpec&) {
+    return std::make_unique<BurstSource>(kItems);
+  };
+  factory.logic = [](OpIndex, const OperatorSpec&) { return std::make_unique<PassThrough>(); };
+
+  Engine engine(t, Deployment{}, factory, fast_config());
+  RunStats stats = engine.run_until_complete(duration<double>(30.0));
+  EXPECT_EQ(stats.dropped, 0u);
+  for (OpIndex i = 0; i < t.num_operators(); ++i) {
+    EXPECT_EQ(stats.ops[i].processed, static_cast<std::uint64_t>(kItems)) << "op " << i;
+    EXPECT_EQ(stats.ops[i].emitted, static_cast<std::uint64_t>(kItems)) << "op " << i;
+  }
+}
+
+TEST(Engine, ProbabilisticRoutingSplitsTraffic) {
+  Topology::Builder b;
+  b.add_operator("src", 1e-6);
+  b.add_operator("left", 1e-6);
+  b.add_operator("right", 1e-6);
+  b.add_edge(0, 1, 0.25);
+  b.add_edge(0, 2, 0.75);
+  Topology t = b.build();
+
+  static constexpr std::int64_t kItems = 20000;
+  AppFactory factory;
+  factory.source = [](OpIndex, const OperatorSpec&) {
+    return std::make_unique<BurstSource>(kItems);
+  };
+  factory.logic = [](OpIndex, const OperatorSpec&) { return std::make_unique<PassThrough>(); };
+
+  Engine engine(t, Deployment{}, factory, fast_config());
+  RunStats stats = engine.run_until_complete(duration<double>(30.0));
+  EXPECT_EQ(stats.ops[1].processed + stats.ops[2].processed,
+            static_cast<std::uint64_t>(kItems));
+  EXPECT_NEAR(static_cast<double>(stats.ops[1].processed), 0.25 * kItems, 0.03 * kItems);
+  EXPECT_NEAR(static_cast<double>(stats.ops[2].processed), 0.75 * kItems, 0.03 * kItems);
+}
+
+TEST(Engine, FissionProcessesEverythingOnce) {
+  Topology t = pipeline({"src", "work", "sink"});
+  static constexpr std::int64_t kItems = 5000;
+  std::atomic<std::int64_t> seen{0};
+  AppFactory factory;
+  factory.source = [](OpIndex, const OperatorSpec&) {
+    return std::make_unique<BurstSource>(kItems);
+  };
+  factory.logic = [&seen](OpIndex op, const OperatorSpec&) -> std::unique_ptr<OperatorLogic> {
+    if (op == 1) return std::make_unique<PassThrough>(&seen);
+    return std::make_unique<PassThrough>();
+  };
+
+  Deployment d;
+  d.replication.replicas = {1, 4, 1};
+  Engine engine(t, d, factory, fast_config());
+  RunStats stats = engine.run_until_complete(duration<double>(30.0));
+  EXPECT_EQ(seen.load(), kItems);  // all replicas together see each item once
+  EXPECT_EQ(stats.ops[1].processed, static_cast<std::uint64_t>(kItems));
+  EXPECT_EQ(stats.ops[2].processed, static_cast<std::uint64_t>(kItems));
+  EXPECT_EQ(stats.dropped, 0u);
+}
+
+TEST(Engine, PartitionedFissionRoutesByKey) {
+  // Two replicas, keys 0..3 with explicit partition {0,1}->r0, {2,3}->r1.
+  Topology::Builder b;
+  b.add_operator("src", 1e-6);
+  OperatorSpec agg;
+  agg.name = "agg";
+  agg.service_time = 1e-6;
+  agg.state = StateKind::kPartitionedStateful;
+  agg.keys = KeyDistribution::uniform(4);
+  b.add_operator(std::move(agg));
+  b.add_operator("sink", 1e-6);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  Topology t = b.build();
+
+  static constexpr std::int64_t kItems = 8000;
+  AppFactory factory;
+  factory.source = [](OpIndex, const OperatorSpec&) {
+    return std::make_unique<BurstSource>(kItems);
+  };
+  factory.logic = [](OpIndex, const OperatorSpec&) { return std::make_unique<PassThrough>(); };
+
+  Deployment d;
+  d.replication.replicas = {1, 2, 1};
+  d.replication.max_share = {0.0, 0.5, 0.0};
+  d.partitions.resize(3);
+  d.partitions[1].replica_of_key = {0, 0, 1, 1};
+  d.partitions[1].replicas = 2;
+  d.partitions[1].max_share = 0.5;
+
+  EngineConfig cfg = fast_config();
+  Engine engine(t, d, factory, cfg);
+  RunStats stats = engine.run_until_complete(duration<double>(30.0));
+  EXPECT_EQ(stats.ops[1].processed, static_cast<std::uint64_t>(kItems));
+  EXPECT_EQ(stats.ops[2].processed, static_cast<std::uint64_t>(kItems));
+}
+
+TEST(Engine, FusionComposesMemberLogicsSequentially) {
+  // src -> add(+1) -> add(+10) -> sink, with the two adders fused: every
+  // tuple must still gain exactly +11 (semantic equivalence, §2).
+  Topology t = pipeline({"src", "add1", "add10", "sink"});
+  static constexpr std::int64_t kItems = 3000;
+  std::atomic<std::int64_t> count{0};
+  std::atomic<std::int64_t> sum_milli{0};
+  AppFactory factory;
+  factory.source = [](OpIndex, const OperatorSpec&) {
+    return std::make_unique<BurstSource>(kItems);
+  };
+  factory.logic = [&](OpIndex op, const OperatorSpec&) -> std::unique_ptr<OperatorLogic> {
+    if (op == 1) return std::make_unique<AddConstant>(1.0);
+    if (op == 2) return std::make_unique<AddConstant>(10.0);
+    return std::make_unique<RecordingSink>(&count, &sum_milli);
+  };
+
+  Deployment d;
+  d.fusions.push_back(FusionSpec{{1, 2}, "adders"});
+  Engine engine(t, d, factory, fast_config());
+  RunStats stats = engine.run_until_complete(duration<double>(30.0));
+  EXPECT_EQ(count.load(), kItems);
+  EXPECT_EQ(sum_milli.load(), kItems * 11000);
+  // Member counters remain per logical operator inside the meta actor.
+  EXPECT_EQ(stats.ops[1].processed, static_cast<std::uint64_t>(kItems));
+  EXPECT_EQ(stats.ops[2].processed, static_cast<std::uint64_t>(kItems));
+}
+
+TEST(Engine, SyntheticSelectivityShapesRates) {
+  // window(input selectivity 10) -> expander(output selectivity 2):
+  // sink receives ~ items/10*2.
+  Topology::Builder b;
+  b.add_operator("src", 1e-6);
+  b.add_operator("window", 1e-6, StateKind::kStateful, Selectivity{10.0, 1.0});
+  b.add_operator("expand", 1e-6, StateKind::kStateless, Selectivity{1.0, 2.0});
+  b.add_operator("sink", 1e-6);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(2, 3);
+  Topology t = b.build();
+
+  static constexpr std::int64_t kItems = 10000;
+  AppFactory factory = synthetic_factory(/*time_scale=*/0.0, /*max_items=*/kItems);
+  Engine engine(t, Deployment{}, factory, fast_config());
+  RunStats stats = engine.run_until_complete(duration<double>(30.0));
+  EXPECT_NEAR(static_cast<double>(stats.ops[1].emitted), kItems / 10.0, 2.0);
+  EXPECT_NEAR(static_cast<double>(stats.ops[3].processed), kItems / 10.0 * 2.0, 8.0);
+}
+
+TEST(Engine, BackpressureThrottlesSourceToBottleneckRate) {
+  // src 2ms, slow 8ms: the model predicts 125 tuples/s; the measured rate
+  // must match within ~12% (timing noise on shared CI hardware).
+  Topology::Builder b;
+  b.add_operator("src", 2e-3);
+  b.add_operator("slow", 8e-3);
+  b.add_operator("sink", 0.05e-3);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  Topology t = b.build();
+
+  Engine engine(t, Deployment{}, synthetic_factory(), fast_config());
+  RunStats stats = engine.run_for(duration<double>(2.0));
+  const double predicted = steady_state(t).throughput();
+  EXPECT_NEAR(stats.source_rate, predicted, 0.12 * predicted);
+  EXPECT_EQ(stats.dropped, 0u);
+}
+
+TEST(Engine, FissionRestoresIdealThroughputUnderLoad) {
+  // slow op replicated 4x should let the source run at full pace again.
+  Topology::Builder b;
+  b.add_operator("src", 2e-3);
+  b.add_operator("slow", 6e-3);
+  b.add_operator("sink", 0.05e-3);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  Topology t = b.build();
+
+  Deployment d;
+  d.replication.replicas = {1, 4, 1};
+  Engine engine(t, d, synthetic_factory(), fast_config());
+  RunStats stats = engine.run_for(duration<double>(2.0));
+  const double predicted = steady_state(t, d.replication).throughput();  // 500/s
+  EXPECT_NEAR(stats.source_rate, predicted, 0.12 * predicted);
+}
+
+TEST(Engine, RunForStopsAnInfiniteSource) {
+  Topology t = pipeline({"src", "sink"});
+  Engine engine(t, Deployment{}, synthetic_factory(/*time_scale=*/1.0), fast_config());
+  // src service time 1us -> very fast; just verify the run terminates and
+  // measures something sensible.
+  RunStats stats = engine.run_for(duration<double>(0.4));
+  EXPECT_GT(stats.ops[0].processed, 0u);
+  EXPECT_GE(stats.total_seconds, 0.4);
+}
+
+TEST(Engine, RunUntilCompleteTimesOutOnInfiniteSource) {
+  Topology t = pipeline({"src", "sink"});
+  AppFactory factory;
+  factory.source = [](OpIndex, const OperatorSpec& spec) {
+    return std::make_unique<SyntheticSource>(spec, 1, 1.0, /*max_items=*/-1);
+  };
+  factory.logic = [](OpIndex, const OperatorSpec&) { return std::make_unique<PassThrough>(); };
+  Topology::Builder b;  // source with 1ms pace so the watchdog matters
+  b.add_operator("src", 1e-3);
+  b.add_operator("sink", 1e-6);
+  b.add_edge(0, 1);
+  Engine engine(b.build(), Deployment{}, factory, fast_config());
+  const auto start = std::chrono::steady_clock::now();
+  RunStats stats = engine.run_until_complete(duration<double>(0.3));
+  const auto elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  EXPECT_LT(elapsed, 5.0);
+  EXPECT_GT(stats.ops[0].processed, 0u);
+}
+
+TEST(Engine, EngineRunsOnlyOnce) {
+  Topology t = pipeline({"src", "sink"});
+  AppFactory factory;
+  factory.source = [](OpIndex, const OperatorSpec&) { return std::make_unique<BurstSource>(10); };
+  factory.logic = [](OpIndex, const OperatorSpec&) { return std::make_unique<PassThrough>(); };
+  Engine engine(t, Deployment{}, factory, fast_config());
+  (void)engine.run_until_complete(duration<double>(10.0));
+  EXPECT_THROW((void)engine.run_until_complete(duration<double>(1.0)), ss::Error);
+}
+
+}  // namespace
+}  // namespace ss::runtime

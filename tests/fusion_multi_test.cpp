@@ -1,0 +1,233 @@
+// Tests of the multi-entry fusion extension: the paper's Fig. 2 motivating
+// scenario (fusing OP4 and OP5, which both receive external input), its
+// cost model, its legality rules, and its execution semantics on the actor
+// engine (items entering at OP5 must skip OP4's logic).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+
+#include "core/error.hpp"
+#include "core/fusion.hpp"
+#include "runtime/engine.hpp"
+
+namespace ss {
+namespace {
+
+constexpr double kMs = 1e-3;
+
+// The five-operator topology of paper Fig. 2:
+//   OP1 -> OP2 (0.5), OP1 -> OP4 (0.5); OP2 -> OP3 (0.5), OP2 -> OP5 (0.5);
+//   OP3 -> OP4; OP4 -> OP5; OP5 is the sink.
+// Fusing {OP4, OP5}: items from OP1/OP3 run OP4 then OP5, items from OP2
+// run only OP5.
+Topology fig2_topology() {
+  Topology::Builder b;
+  b.add_operator("op1", 1.0 * kMs);
+  b.add_operator("op2", 1.0 * kMs);
+  b.add_operator("op3", 1.0 * kMs);
+  b.add_operator("op4", 0.5 * kMs);
+  b.add_operator("op5", 0.3 * kMs);
+  b.add_edge(0, 1, 0.5);
+  b.add_edge(0, 3, 0.5);
+  b.add_edge(1, 2, 0.5);
+  b.add_edge(1, 4, 0.5);
+  b.add_edge(2, 3, 1.0);
+  b.add_edge(3, 4, 1.0);
+  return b.build();
+}
+
+TEST(MultiEntryFusion, Fig2SubGraphIsLegalOnlyUnderTheExtension) {
+  Topology t = fig2_topology();
+  const FusionSpec spec{{3, 4}, "op45"};
+  // The single-front-end rule of §3.3 rejects it...
+  EXPECT_NE(check_fusion_legal(t, spec), "");
+  // ...the multi-entry extension accepts it (Fig. 2 semantics).
+  EXPECT_EQ(check_fusion_legal_multi(t, spec), "");
+}
+
+TEST(MultiEntryFusion, ServiceTimeWeightsEntriesByFlow) {
+  Topology t = fig2_topology();
+  const SteadyStateResult rates = steady_state(t);
+  // Flow into OP4: from OP1 0.5 + from OP3 0.25 = 0.75; into OP5 external:
+  // from OP2 0.25.  Entry shares: 0.75 and 0.25.
+  // T = 0.75 * (T4 + T5) + 0.25 * T5 = 0.75 * 0.8 + 0.25 * 0.3 = 0.675 ms.
+  const double fused = fusion_service_time_multi(t, FusionSpec{{3, 4}, {}}, rates);
+  EXPECT_NEAR(fused, 0.675 * kMs, 1e-9);
+}
+
+TEST(MultiEntryFusion, ReducesToSingleFrontEndFormula) {
+  // On a single-front-end sub-graph both models must agree exactly.
+  Topology::Builder b;
+  b.add_operator("src", 1.0 * kMs);
+  b.add_operator("a", 1.0 * kMs);
+  b.add_operator("b", 2.0 * kMs);
+  b.add_operator("c", 0.5 * kMs);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2, 0.25);
+  b.add_edge(1, 3, 0.75);
+  b.add_edge(2, 3, 1.0);
+  Topology t = b.build();
+  const FusionSpec spec{{1, 2, 3}, {}};
+  const double single = fusion_service_time(t, spec);
+  const double multi = fusion_service_time_multi(t, spec, steady_state(t));
+  EXPECT_NEAR(single, multi, 1e-12);
+}
+
+TEST(MultiEntryFusion, ApplyBuildsMergedTopology) {
+  Topology t = fig2_topology();
+  FusionResult result = apply_fusion_multi(t, FusionSpec{{3, 4}, "op45"});
+  const Topology& fused = result.topology;
+  ASSERT_EQ(fused.num_operators(), 4u);
+  ASSERT_TRUE(fused.find("op45").has_value());
+  // In-edges: op1 -> op45 (0.5), op2 -> op45 (0.5), op3 -> op45 (1.0).
+  EXPECT_NEAR(fused.edge_probability(result.remap[0], result.fused_index), 0.5, 1e-12);
+  EXPECT_NEAR(fused.edge_probability(result.remap[1], result.fused_index), 0.5, 1e-12);
+  EXPECT_NEAR(fused.edge_probability(result.remap[2], result.fused_index), 1.0, 1e-12);
+  // The fused operator is the only sink now.
+  ASSERT_EQ(fused.sinks().size(), 1u);
+  EXPECT_EQ(fused.sinks()[0], result.fused_index);
+  EXPECT_FALSE(result.introduces_bottleneck);
+  EXPECT_NEAR(result.throughput_after, result.throughput_before, 1e-6);
+}
+
+TEST(MultiEntryFusion, DetectsIntroducedBottleneck) {
+  // Make OP4/OP5 slow enough that the merged operator saturates.
+  Topology::Builder b;
+  b.add_operator("op1", 1.0 * kMs);
+  b.add_operator("op2", 1.0 * kMs);
+  b.add_operator("op4", 1.3 * kMs);
+  b.add_operator("op5", 0.9 * kMs);
+  b.add_edge(0, 1, 0.5);
+  b.add_edge(0, 2, 0.5);
+  b.add_edge(1, 3, 1.0);
+  b.add_edge(2, 3, 1.0);
+  Topology t = b.build();
+  FusionResult result = apply_fusion_multi(t, FusionSpec{{2, 3}, "F"});
+  // Entry shares 0.5/0.5: T = 0.5*(1.3+0.9) + 0.5*0.9 = 1.55 ms; the fused
+  // operator receives the full stream (1000/s) -> rho = 1.55: bottleneck.
+  EXPECT_TRUE(result.introduces_bottleneck);
+  EXPECT_NEAR(result.throughput_after, 1000.0 / 1.55, 1e-6);
+}
+
+TEST(MultiEntryFusion, RejectsReentrantPaths) {
+  // a -> x -> b with both a, b in the group: the contraction would cycle.
+  Topology::Builder b;
+  b.add_operator("src", 1.0 * kMs);
+  b.add_operator("a", 1.0 * kMs);
+  b.add_operator("x", 1.0 * kMs);
+  b.add_operator("b", 1.0 * kMs);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2, 0.5);
+  b.add_edge(1, 3, 0.5);
+  b.add_edge(2, 3);
+  Topology t = b.build();
+  const std::string why = check_fusion_legal_multi(t, FusionSpec{{1, 3}, {}});
+  EXPECT_NE(why.find("cycle"), std::string::npos) << why;
+}
+
+TEST(MultiEntryFusion, RejectsDegenerateSpecs) {
+  Topology t = fig2_topology();
+  EXPECT_NE(check_fusion_legal_multi(t, FusionSpec{{3}, {}}), "");
+  EXPECT_NE(check_fusion_legal_multi(t, FusionSpec{{0, 1}, {}}), "");  // source
+  EXPECT_THROW((void)apply_fusion_multi(t, FusionSpec{{3}, {}}), Error);
+}
+
+// ------------------------------------------------------- runtime semantics
+
+using runtime::Collector;
+using runtime::OperatorLogic;
+using runtime::SourceLogic;
+using runtime::Tuple;
+
+class TaggingLogic final : public OperatorLogic {
+ public:
+  TaggingLogic(double tag, int slot) : tag_(tag), slot_(slot) {}
+  void process(const Tuple& item, OpIndex, Collector& out) override {
+    Tuple t = item;
+    t.f[static_cast<std::size_t>(slot_)] += tag_;
+    out.emit(t);
+  }
+  std::unique_ptr<OperatorLogic> clone() const override {
+    return std::make_unique<TaggingLogic>(tag_, slot_);
+  }
+
+ private:
+  double tag_;
+  int slot_;
+};
+
+class FinalCounter final : public OperatorLogic {
+ public:
+  FinalCounter(std::atomic<std::int64_t>* with_op4, std::atomic<std::int64_t>* without_op4)
+      : with_op4_(with_op4), without_op4_(without_op4) {}
+  void process(const Tuple& item, OpIndex, Collector& out) override {
+    (item.f[1] > 0.5 ? with_op4_ : without_op4_)->fetch_add(1);
+    out.emit(item);
+  }
+  std::unique_ptr<OperatorLogic> clone() const override {
+    return std::make_unique<FinalCounter>(with_op4_, without_op4_);
+  }
+
+ private:
+  std::atomic<std::int64_t>* with_op4_;
+  std::atomic<std::int64_t>* without_op4_;
+};
+
+class Burst final : public SourceLogic {
+ public:
+  explicit Burst(std::int64_t n) : n_(n) {}
+  bool next(Tuple& out) override {
+    if (i_ >= n_) return false;
+    out = Tuple{};
+    out.id = i_++;
+    return true;
+  }
+
+ private:
+  std::int64_t n_;
+  std::int64_t i_ = 0;
+};
+
+TEST(MultiEntryFusion, EngineExecutesFig2Semantics) {
+  // src -> a (0.5) -> op5 path, src -> op4 (0.5) -> op5: fuse {op4, op5}.
+  // Items routed via a must NOT receive op4's tag (they enter at op5).
+  Topology::Builder b;
+  b.add_operator("src", 1e-6);
+  b.add_operator("a", 1e-6);
+  b.add_operator("op4", 1e-6);
+  b.add_operator("op5", 1e-6);
+  b.add_operator("sink", 1e-6);
+  b.add_edge(0, 1, 0.5);
+  b.add_edge(0, 2, 0.5);
+  b.add_edge(1, 3, 1.0);  // a -> op5 directly (external entry at op5)
+  b.add_edge(2, 3, 1.0);  // op4 -> op5 (internal once fused)
+  b.add_edge(3, 4, 1.0);
+  Topology t = b.build();
+
+  static constexpr std::int64_t kItems = 10000;
+  std::atomic<std::int64_t> with_op4{0};
+  std::atomic<std::int64_t> without_op4{0};
+  runtime::AppFactory factory;
+  factory.source = [](OpIndex, const OperatorSpec&) { return std::make_unique<Burst>(kItems); };
+  factory.logic = [&](OpIndex op, const OperatorSpec&) -> std::unique_ptr<OperatorLogic> {
+    if (op == 1) return std::make_unique<TaggingLogic>(0.0, 2);   // pass-through
+    if (op == 2) return std::make_unique<TaggingLogic>(1.0, 1);   // op4 marks f[1]
+    if (op == 3) return std::make_unique<TaggingLogic>(1.0, 3);   // op5 marks f[3]
+    return std::make_unique<FinalCounter>(&with_op4, &without_op4);
+  };
+
+  runtime::Deployment deployment;
+  deployment.fusions.push_back(FusionSpec{{2, 3}, "op45"});
+  runtime::Engine engine(t, deployment, factory, {});
+  (void)engine.run_until_complete(std::chrono::duration<double>(30.0));
+
+  EXPECT_EQ(with_op4.load() + without_op4.load(), kItems);
+  // ~half the items went through op4 first, ~half skipped it.
+  EXPECT_NEAR(static_cast<double>(with_op4.load()), kItems / 2.0, 0.05 * kItems);
+  EXPECT_NEAR(static_cast<double>(without_op4.load()), kItems / 2.0, 0.05 * kItems);
+  EXPECT_GT(without_op4.load(), 0);  // entry-at-op5 items really skip op4
+}
+
+}  // namespace
+}  // namespace ss

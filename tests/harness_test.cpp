@@ -1,0 +1,126 @@
+// Tests of the experiment harness: CLI args, table formatting, stats
+// helpers, and the predicted-vs-measured comparison plumbing on both
+// engines (a miniature Figure 7 as an integration test).
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+#include "gen/workload.hpp"
+#include "harness/args.hpp"
+#include "harness/experiment.hpp"
+#include "harness/table.hpp"
+
+namespace ss::harness {
+namespace {
+
+// -------------------------------------------------------------------- Args
+
+TEST(Args, ParsesAllForms) {
+  // NB: a bare `--flag` greedily consumes a following non-flag token, so
+  // positionals go before flags (or use --key=value exclusively).
+  const char* argv[] = {"prog",        "positional", "--alpha=1.5", "--name",
+                        "zed",         "--count",    "42",          "--flag"};
+  Args args(8, argv);
+  EXPECT_EQ(args.program(), "prog");
+  EXPECT_DOUBLE_EQ(args.get_double("alpha", 0.0), 1.5);
+  EXPECT_EQ(args.get("name"), "zed");
+  EXPECT_TRUE(args.has("flag"));
+  EXPECT_EQ(args.get("flag"), "true");
+  EXPECT_EQ(args.get_int("count", 0), 42);
+  ASSERT_EQ(args.positional().size(), 1u);
+  EXPECT_EQ(args.positional()[0], "positional");
+}
+
+TEST(Args, FallbacksForMissingKeys) {
+  const char* argv[] = {"prog"};
+  Args args(1, argv);
+  EXPECT_EQ(args.get("missing", "dflt"), "dflt");
+  EXPECT_EQ(args.get_int("missing", 7), 7);
+  EXPECT_DOUBLE_EQ(args.get_double("missing", 2.5), 2.5);
+  EXPECT_FALSE(args.has("missing"));
+}
+
+// ------------------------------------------------------------------- Table
+
+TEST(Table, AlignsColumnsAndPads) {
+  Table table({"name", "value"});
+  table.add_row({"x", "1"});
+  table.add_row({"longer_name"});  // short rows are padded
+  const std::string text = table.to_string();
+  EXPECT_NE(text.find("name"), std::string::npos);
+  EXPECT_NE(text.find("longer_name"), std::string::npos);
+  EXPECT_EQ(table.rows(), 2u);
+  // Header separator present.
+  EXPECT_NE(text.find("----"), std::string::npos);
+}
+
+TEST(Table, NumberFormatting) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(2.0, 0), "2");
+  EXPECT_EQ(Table::percent(0.0325), "3.25%");
+}
+
+TEST(Stats, MeanStdDevMax) {
+  const std::vector<double> values{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(values), 2.5);
+  EXPECT_NEAR(stddev(values), 1.118, 1e-3);
+  EXPECT_DOUBLE_EQ(max_value(values), 4.0);
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(stddev({1.0}), 0.0);
+}
+
+TEST(Stats, RelativeError) {
+  EXPECT_DOUBLE_EQ(relative_error(110.0, 100.0), 0.1);
+  EXPECT_DOUBLE_EQ(relative_error(90.0, 100.0), 0.1);
+  EXPECT_DOUBLE_EQ(relative_error(0.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(relative_error(5.0, 0.0), 1.0);
+}
+
+// -------------------------------------------------------------- experiment
+
+TEST(Experiment, EngineParsing) {
+  EXPECT_EQ(engine_from_string("sim"), Engine::kSim);
+  EXPECT_EQ(engine_from_string("threads"), Engine::kThreads);
+  EXPECT_THROW((void)engine_from_string("gpu"), Error);
+}
+
+TEST(Experiment, SimComparisonTracksModelOnRandomTopologies) {
+  // Mini Figure 7: five random topologies, DES engine, errors must stay
+  // within a few percent of the Alg. 1 prediction.
+  Rng rng(4242);
+  MeasureOptions options;
+  options.sim_duration = 120.0;
+  for (int i = 0; i < 5; ++i) {
+    const Topology t = random_topology(rng);
+    const Comparison cmp = compare_throughput(t, runtime::Deployment{}, options);
+    EXPECT_GT(cmp.measured, 0.0);
+    EXPECT_LT(cmp.error, 0.12) << "topology " << i << ": predicted " << cmp.predicted
+                               << " measured " << cmp.measured;
+  }
+}
+
+TEST(Experiment, ThreadsEngineMeasuresSmallTopology) {
+  Topology::Builder b;
+  b.add_operator("src", 2e-3);
+  b.add_operator("slow", 6e-3);
+  b.add_edge(0, 1);
+  const Topology t = b.build();
+
+  MeasureOptions options;
+  options.engine = Engine::kThreads;
+  options.real_duration = 1.2;
+  const Comparison cmp = compare_throughput(t, runtime::Deployment{}, options);
+  EXPECT_NEAR(cmp.predicted, 1000.0 / 6.0, 1e-6);
+  EXPECT_LT(cmp.error, 0.15);
+}
+
+TEST(Experiment, MeasuredRatesCoverEveryOperator) {
+  Rng rng(7);
+  const Topology t = random_topology(rng);
+  const Measured measured = measure(t, runtime::Deployment{}, {});
+  EXPECT_EQ(measured.departure_rates.size(), t.num_operators());
+  EXPECT_EQ(measured.arrival_rates.size(), t.num_operators());
+  EXPECT_GT(measured.throughput, 0.0);
+}
+
+}  // namespace
+}  // namespace ss::harness

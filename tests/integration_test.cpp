@@ -1,0 +1,145 @@
+// End-to-end integration tests of the full SpinStreams workflow across
+// modules: profile -> annotate -> analyze -> optimize -> (simulate AND
+// execute) -> codegen, plus model-vs-both-engines agreement on optimized
+// random topologies (a miniature of the whole evaluation pipeline).
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "core/bottleneck.hpp"
+#include "core/codegen.hpp"
+#include "core/fusion.hpp"
+#include "core/latency.hpp"
+#include "core/profile.hpp"
+#include "gen/workload.hpp"
+#include "harness/experiment.hpp"
+#include "harness/profiler.hpp"
+#include "ops/registry.hpp"
+#include "runtime/engine.hpp"
+#include "sim/des.hpp"
+#include "xmlio/topology_xml.hpp"
+
+namespace ss {
+namespace {
+
+TEST(Integration, ProfileAnnotateOptimizeSimulate) {
+  // A pipeline of REAL operators whose declared service times are bogus;
+  // the profiler must fix them and the optimizer then work off reality.
+  Topology::Builder b;
+  b.add_operator("src", 50e-6);
+  OperatorSpec math;
+  math.name = "score";
+  math.impl = "map_math";
+  math.service_time = 99.0;  // bogus: profiling will replace it
+  b.add_operator(std::move(math));
+  OperatorSpec cheap;
+  cheap.name = "clamp";
+  cheap.impl = "clamp";
+  cheap.service_time = 99.0;
+  b.add_operator(std::move(cheap));
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  Topology declared = b.build();
+
+  const ProfileData profile = harness::profile_topology(declared, 2000);
+  Topology annotated = annotate_with_profile(declared, profile);
+  EXPECT_LT(annotated.op(1).service_time, 1.0);
+  EXPECT_LT(annotated.op(2).service_time, annotated.op(1).service_time);
+
+  // The model and the simulator must agree on the annotated topology.
+  const double predicted = steady_state(annotated).throughput();
+  sim::SimOptions options;
+  options.duration = 60.0;
+  const sim::SimResult sim = sim::simulate(annotated, options);
+  EXPECT_NEAR(sim.throughput, predicted, 0.08 * predicted);
+}
+
+TEST(Integration, XmlRoundTripPreservesAnalyses) {
+  Rng rng(77);
+  const Topology original = random_topology(rng);
+  const Topology reloaded = xml::load_topology(xml::save_topology(original));
+  const SteadyStateResult a = steady_state(original);
+  const SteadyStateResult b = steady_state(reloaded);
+  EXPECT_NEAR(a.throughput(), b.throughput(), 1e-6 * (1.0 + a.throughput()));
+  const BottleneckResult fa = eliminate_bottlenecks(original);
+  const BottleneckResult fb = eliminate_bottlenecks(reloaded);
+  EXPECT_EQ(fa.total_replicas, fb.total_replicas);
+}
+
+class OptimizedAgreement : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(OptimizedAgreement, ModelTracksSimulatorAfterFission) {
+  Rng rng(GetParam());
+  const Topology t = random_topology(rng);
+  const BottleneckResult result = eliminate_bottlenecks(t);
+
+  runtime::Deployment deployment;
+  deployment.replication = result.plan;
+  deployment.partitions = result.partitions;
+  harness::MeasureOptions options;
+  options.sim_duration = 150.0;
+  const harness::Comparison cmp = harness::compare_throughput(t, deployment, options);
+  EXPECT_LT(cmp.error, 0.12) << "predicted " << cmp.predicted << " measured " << cmp.measured;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OptimizedAgreement, ::testing::Values(11u, 22u, 33u, 44u));
+
+TEST(Integration, ThreadedEngineMatchesModelOnOptimizedPipeline) {
+  // Fission + fusion together on the real actor runtime.
+  Topology::Builder b;
+  b.add_operator("src", 2e-3);
+  b.add_operator("heavy", 5e-3);   // needs 3 replicas at 500/s
+  b.add_operator("tail_a", 0.3e-3);
+  b.add_operator("tail_b", 0.4e-3);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(2, 3);
+  Topology t = b.build();
+
+  const BottleneckResult fission = eliminate_bottlenecks(t);
+  runtime::Deployment deployment;
+  deployment.replication = fission.plan;
+  deployment.fusions.push_back(FusionSpec{{2, 3}, "tail"});
+
+  runtime::Engine engine(t, deployment, runtime::synthetic_factory(), {});
+  const runtime::RunStats stats = engine.run_for(std::chrono::duration<double>(2.0));
+  EXPECT_NEAR(stats.source_rate, 500.0, 0.12 * 500.0);
+  EXPECT_EQ(stats.dropped, 0u);
+  // Member counters stay per logical operator inside the fused actor.
+  EXPECT_GT(stats.ops[2].processed, 0u);
+  EXPECT_GT(stats.ops[3].processed, 0u);
+}
+
+TEST(Integration, CodegenReflectsOptimizedDeployment) {
+  Rng rng(5);
+  const Topology t = random_topology(rng);
+  const BottleneckResult result = eliminate_bottlenecks(t);
+  const std::string source = generate_runtime_source(t, result.plan, {});
+  // The replica vector of the plan is embedded verbatim.
+  std::string expected = "plan.replicas = {";
+  expected += std::to_string(result.plan.replicas_of(0));
+  EXPECT_NE(source.find(expected), std::string::npos) << expected;
+  for (OpIndex i = 0; i < t.num_operators(); ++i) {
+    EXPECT_NE(source.find('"' + t.op(i).name + '"'), std::string::npos);
+  }
+}
+
+TEST(Integration, LatencyDropsAfterFission) {
+  Topology::Builder b;
+  b.add_operator("src", 1.05e-3);  // rho of work just under saturation
+  b.add_operator("work", 1e-3);
+  b.add_edge(0, 1);
+  Topology t = b.build();
+
+  const SteadyStateResult before_rates = steady_state(t);
+  const LatencyEstimate before = estimate_latency(t, before_rates);
+
+  ReplicationPlan plan;
+  plan.replicas = {1, 2};
+  const SteadyStateResult after_rates = steady_state(t, plan);
+  const LatencyEstimate after = estimate_latency(t, after_rates, plan);
+  EXPECT_LT(after.end_to_end, before.end_to_end);
+}
+
+}  // namespace
+}  // namespace ss

@@ -1,0 +1,112 @@
+// Tests of the latency-estimation extension: M/M/1 response times,
+// saturation capping, window buffering delay, path-weighted end-to-end
+// composition, and agreement with queueing-theory ground truths.
+#include "core/latency.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/topology.hpp"
+
+namespace ss {
+namespace {
+
+constexpr double kMs = 1e-3;
+
+TEST(Latency, SingleQueueMatchesMm1) {
+  // Source at 500/s into a 1 ms server: rho = 0.5, W = 1/(1000-500) = 2 ms.
+  Topology::Builder b;
+  b.add_operator("src", 2.0 * kMs);
+  b.add_operator("q", 1.0 * kMs);
+  b.add_edge(0, 1);
+  Topology t = b.build();
+  SteadyStateResult rates = steady_state(t);
+  LatencyEstimate est = estimate_latency(t, rates);
+  EXPECT_NEAR(est.response[1], 2.0 * kMs, 1e-9);
+  EXPECT_NEAR(est.end_to_end, (2.0 + 2.0) * kMs, 1e-9);
+}
+
+TEST(Latency, ResponseGrowsWithUtilization) {
+  double previous = 0.0;
+  for (double source_ms : {4.0, 2.0, 1.3, 1.05}) {
+    Topology::Builder b;
+    b.add_operator("src", source_ms * kMs);
+    b.add_operator("q", 1.0 * kMs);
+    b.add_edge(0, 1);
+    Topology t = b.build();
+    LatencyEstimate est = estimate_latency(t, steady_state(t));
+    EXPECT_GT(est.response[1], previous);
+    previous = est.response[1];
+  }
+}
+
+TEST(Latency, SaturatedOperatorCappedByBuffer) {
+  // Bottleneck: rho = 1 after correction -> W = (B+1)/mu, not infinity.
+  Topology::Builder b;
+  b.add_operator("src", 1.0 * kMs);
+  b.add_operator("slow", 4.0 * kMs);
+  b.add_edge(0, 1);
+  Topology t = b.build();
+  SteadyStateResult rates = steady_state(t);
+  LatencyEstimate est = estimate_latency(t, rates, {}, /*buffer_capacity=*/16);
+  EXPECT_NEAR(est.response[1], 17.0 * 4.0 * kMs, 1e-9);
+}
+
+TEST(Latency, ReplicasReduceResponse) {
+  Topology::Builder b;
+  b.add_operator("src", 1.0 * kMs);
+  b.add_operator("work", 2.0 * kMs);
+  b.add_edge(0, 1);
+  Topology t = b.build();
+
+  ReplicationPlan plan;
+  plan.replicas = {1, 4};
+  SteadyStateResult rates = steady_state(t, plan);
+  LatencyEstimate est = estimate_latency(t, rates, plan);
+  // Per replica: lambda = 250/s, mu = 500/s -> W = 4 ms (vs saturation
+  // without fission).
+  EXPECT_NEAR(est.response[1], 4.0 * kMs, 1e-9);
+}
+
+TEST(Latency, PathWeightedEndToEnd) {
+  // Fork: fast branch (p=0.8) and slow branch (p=0.2); end-to-end is the
+  // probability-weighted mix.
+  Topology::Builder b;
+  b.add_operator("src", 2.0 * kMs);
+  b.add_operator("fast", 0.5 * kMs);
+  b.add_operator("slow", 1.0 * kMs);
+  b.add_edge(0, 1, 0.8);
+  b.add_edge(0, 2, 0.2);
+  Topology t = b.build();
+  SteadyStateResult rates = steady_state(t);
+  LatencyEstimate est = estimate_latency(t, rates);
+  const double expected =
+      est.response[0] + 0.8 * est.response[1] + 0.2 * est.response[2];
+  EXPECT_NEAR(est.end_to_end, expected, 1e-12);
+}
+
+TEST(Latency, WindowedOperatorsReportBufferingDelay) {
+  Topology::Builder b;
+  b.add_operator("src", 1.0 * kMs);
+  b.add_operator("window", 0.2 * kMs, StateKind::kStateful, Selectivity{10.0, 1.0});
+  b.add_edge(0, 1);
+  Topology t = b.build();
+  SteadyStateResult rates = steady_state(t);
+  LatencyEstimate est = estimate_latency(t, rates);
+  // (s-1)/(2*lambda) = 9 / 2000 = 4.5 ms of average slide wait.
+  EXPECT_NEAR(est.window_delay[1], 4.5 * kMs, 1e-9);
+  EXPECT_DOUBLE_EQ(est.window_delay[0], 0.0);
+  EXPECT_GT(est.end_to_end, est.window_delay[1]);
+}
+
+TEST(Latency, SourceContributesGenerationTimeOnly) {
+  Topology::Builder b;
+  b.add_operator("src", 3.0 * kMs);
+  b.add_operator("sink", 0.1 * kMs);
+  b.add_edge(0, 1);
+  Topology t = b.build();
+  LatencyEstimate est = estimate_latency(t, steady_state(t));
+  EXPECT_NEAR(est.response[0], 3.0 * kMs, 1e-12);
+}
+
+}  // namespace
+}  // namespace ss

@@ -1,0 +1,153 @@
+// Unit tests for the bounded blocking mailbox (BAS semantics, send timeout,
+// shutdown tokens bypassing the bound, close/drain behaviour).
+#include "runtime/mailbox.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+namespace ss::runtime {
+namespace {
+
+using namespace std::chrono_literals;
+
+Message data_msg(std::int64_t id) {
+  Tuple t;
+  t.id = id;
+  return Message::data(t, 0, 1);
+}
+
+TEST(Mailbox, SendReceiveRoundTrip) {
+  Mailbox box(4);
+  EXPECT_TRUE(box.send(data_msg(7), 1s));
+  Message out;
+  ASSERT_TRUE(box.receive(out));
+  EXPECT_EQ(out.tuple.id, 7);
+  EXPECT_EQ(out.kind, Message::Kind::kData);
+}
+
+TEST(Mailbox, PreservesFifoOrder) {
+  Mailbox box(16);
+  for (int i = 0; i < 10; ++i) ASSERT_TRUE(box.send(data_msg(i), 1s));
+  Message out;
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(box.receive(out));
+    EXPECT_EQ(out.tuple.id, i);
+  }
+}
+
+TEST(Mailbox, SendTimesOutWhenFull) {
+  Mailbox box(2);
+  ASSERT_TRUE(box.send(data_msg(0), 10ms));
+  ASSERT_TRUE(box.send(data_msg(1), 10ms));
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_FALSE(box.send(data_msg(2), 50ms));  // full: blocks then drops
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_GE(elapsed, 45ms);
+  EXPECT_EQ(box.dropped(), 1u);
+  EXPECT_EQ(box.size(), 2u);
+}
+
+TEST(Mailbox, BlockedSenderResumesWhenSlotFrees) {
+  Mailbox box(1);
+  ASSERT_TRUE(box.send(data_msg(0), 1s));
+  std::thread producer([&] { EXPECT_TRUE(box.send(data_msg(1), 5s)); });
+  std::this_thread::sleep_for(20ms);  // let the producer block (BAS)
+  Message out;
+  ASSERT_TRUE(box.receive(out));
+  EXPECT_EQ(out.tuple.id, 0);
+  producer.join();
+  ASSERT_TRUE(box.receive(out));
+  EXPECT_EQ(out.tuple.id, 1);
+  EXPECT_EQ(box.dropped(), 0u);
+}
+
+TEST(Mailbox, UnboundedSendBypassesCapacity) {
+  Mailbox box(1);
+  ASSERT_TRUE(box.send(data_msg(0), 10ms));
+  box.send_unbounded(Message::shutdown());  // must not block even when full
+  EXPECT_EQ(box.size(), 2u);
+}
+
+TEST(Mailbox, ReceiverBlocksUntilMessageArrives) {
+  Mailbox box(4);
+  Message out;
+  std::thread producer([&] {
+    std::this_thread::sleep_for(20ms);
+    EXPECT_TRUE(box.send(data_msg(42), 1s));
+  });
+  ASSERT_TRUE(box.receive(out));  // blocks until the producer delivers
+  EXPECT_EQ(out.tuple.id, 42);
+  producer.join();
+}
+
+TEST(Mailbox, CloseDrainsThenStops) {
+  Mailbox box(4);
+  ASSERT_TRUE(box.send(data_msg(1), 1s));
+  ASSERT_TRUE(box.send(data_msg(2), 1s));
+  box.close();
+  Message out;
+  EXPECT_TRUE(box.receive(out));
+  EXPECT_TRUE(box.receive(out));
+  EXPECT_FALSE(box.receive(out));  // closed and drained
+}
+
+TEST(Mailbox, CloseRejectsFurtherSends) {
+  Mailbox box(4);
+  box.close();
+  EXPECT_FALSE(box.send(data_msg(1), 10ms));
+}
+
+TEST(Mailbox, CloseWakesBlockedSender) {
+  Mailbox box(1);
+  ASSERT_TRUE(box.send(data_msg(0), 1s));
+  std::thread producer([&] { EXPECT_FALSE(box.send(data_msg(1), 5s)); });
+  std::this_thread::sleep_for(20ms);
+  box.close();
+  producer.join();  // returns promptly rather than waiting the 5s timeout
+}
+
+TEST(Mailbox, ConcurrentProducersDeliverEverything) {
+  Mailbox box(8);
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 250;
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&box, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(box.send(data_msg(p * kPerProducer + i), std::chrono::seconds(10)));
+      }
+    });
+  }
+  std::vector<bool> seen(kProducers * kPerProducer, false);
+  Message out;
+  for (int i = 0; i < kProducers * kPerProducer; ++i) {
+    ASSERT_TRUE(box.receive(out));
+    seen[static_cast<std::size_t>(out.tuple.id)] = true;
+  }
+  for (std::thread& t : producers) t.join();
+  for (bool b : seen) EXPECT_TRUE(b);
+  EXPECT_EQ(box.dropped(), 0u);
+}
+
+TEST(Mailbox, TryReceiveNonBlocking) {
+  Mailbox box(4);
+  Message out;
+  EXPECT_FALSE(box.try_receive(out));
+  ASSERT_TRUE(box.send(data_msg(5), 1s));
+  EXPECT_TRUE(box.try_receive(out));
+  EXPECT_EQ(out.tuple.id, 5);
+}
+
+TEST(Mailbox, ZeroCapacityIsClampedToOne) {
+  Mailbox box(0);
+  EXPECT_EQ(box.capacity(), 1u);
+  EXPECT_TRUE(box.send(data_msg(1), 10ms));
+  EXPECT_FALSE(box.send(data_msg(2), 10ms));
+}
+
+}  // namespace
+}  // namespace ss::runtime

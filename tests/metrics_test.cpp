@@ -1,0 +1,107 @@
+// Tests of the measurement plumbing: StatsBoard counters/snapshots,
+// make_run_stats windowing, and the human-readable stats formatting.
+#include "runtime/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace ss::runtime {
+namespace {
+
+Topology three_op_topology() {
+  Topology::Builder b;
+  b.add_operator("src", 1e-3);
+  b.add_operator("mid", 1e-3);
+  b.add_operator("out", 1e-3);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  return b.build();
+}
+
+TEST(StatsBoard, CountsAndSnapshots) {
+  StatsBoard board(3);
+  board.add_processed(0);
+  board.add_processed(0);
+  board.add_emitted(0);
+  board.add_processed(2);
+  const CounterSnapshot snap = board.snapshot(1.5);
+  EXPECT_EQ(snap.processed[0], 2u);
+  EXPECT_EQ(snap.emitted[0], 1u);
+  EXPECT_EQ(snap.processed[1], 0u);
+  EXPECT_EQ(snap.processed[2], 1u);
+  EXPECT_DOUBLE_EQ(snap.at_seconds, 1.5);
+}
+
+TEST(StatsBoard, ConcurrentIncrementsAreExact) {
+  StatsBoard board(1);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 50000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&board] {
+      for (int i = 0; i < kPerThread; ++i) board.add_processed(0);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(board.snapshot(0.0).processed[0],
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(MakeRunStats, RatesComeFromTheMeasurementWindow) {
+  Topology t = three_op_topology();
+  CounterSnapshot begin;
+  begin.at_seconds = 1.0;
+  begin.processed = {100, 80, 60};
+  begin.emitted = {100, 80, 60};
+  CounterSnapshot end;
+  end.at_seconds = 3.0;
+  end.processed = {500, 380, 260};
+  end.emitted = {500, 380, 260};
+  CounterSnapshot totals;
+  totals.at_seconds = 3.5;
+  totals.processed = {550, 420, 300};
+  totals.emitted = {550, 420, 300};
+
+  const RunStats stats = make_run_stats(t, begin, end, totals, 3.5, 2);
+  EXPECT_DOUBLE_EQ(stats.measured_seconds, 2.0);
+  EXPECT_DOUBLE_EQ(stats.ops[0].departure_rate, 200.0);  // (500-100)/2
+  EXPECT_DOUBLE_EQ(stats.ops[1].arrival_rate, 150.0);    // (380-80)/2
+  EXPECT_EQ(stats.ops[2].processed, 300u);               // whole-run totals
+  EXPECT_DOUBLE_EQ(stats.source_rate, 200.0);
+  EXPECT_DOUBLE_EQ(stats.sink_rate, 100.0);  // sink departures (260-60)/2
+  EXPECT_EQ(stats.dropped, 2u);
+  EXPECT_DOUBLE_EQ(stats.total_seconds, 3.5);
+}
+
+TEST(MakeRunStats, DegenerateWindowDoesNotDivideByZero) {
+  Topology t = three_op_topology();
+  CounterSnapshot snap;
+  snap.at_seconds = 0.0;
+  snap.processed = {0, 0, 0};
+  snap.emitted = {0, 0, 0};
+  const RunStats stats = make_run_stats(t, snap, snap, snap, 0.0, 0);
+  EXPECT_DOUBLE_EQ(stats.source_rate, 0.0);
+}
+
+TEST(FormatStats, ContainsNamesRatesAndSummary) {
+  Topology t = three_op_topology();
+  CounterSnapshot begin;
+  begin.at_seconds = 0.0;
+  begin.processed = {0, 0, 0};
+  begin.emitted = {0, 0, 0};
+  CounterSnapshot end;
+  end.at_seconds = 2.0;
+  end.processed = {200, 200, 200};
+  end.emitted = {200, 200, 200};
+  const RunStats stats = make_run_stats(t, begin, end, end, 2.0, 0);
+  const std::string text = format_stats(t, stats);
+  EXPECT_NE(text.find("mid"), std::string::npos);
+  EXPECT_NE(text.find("100.0"), std::string::npos);  // 200/2s
+  EXPECT_NE(text.find("measured throughput"), std::string::npos);
+  EXPECT_NE(text.find("dropped 0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ss::runtime

@@ -1,0 +1,370 @@
+// Behavioural tests of the 20 real-world operators (paper §5.1), the
+// count-window utility, and the registry factories.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/error.hpp"
+#include "ops/join.hpp"
+#include "ops/keyed.hpp"
+#include "ops/registry.hpp"
+#include "ops/spatial.hpp"
+#include "ops/stateless.hpp"
+#include "ops/window.hpp"
+#include "ops/windowed.hpp"
+
+namespace ss::ops {
+namespace {
+
+using runtime::Tuple;
+
+/// Collects everything emitted.
+class Capture final : public runtime::Collector {
+ public:
+  void emit(const Tuple& t) override { items.push_back(t); }
+  void emit_to(OpIndex target, const Tuple& t) override {
+    targets.push_back(target);
+    items.push_back(t);
+  }
+  std::vector<Tuple> items;
+  std::vector<OpIndex> targets;
+};
+
+Tuple make_tuple(double f0, std::int64_t key = 0, std::int64_t id = 0) {
+  Tuple t;
+  t.id = id;
+  t.key = key;
+  t.f[0] = f0;
+  return t;
+}
+
+// ------------------------------------------------------------ CountWindow
+
+TEST(CountWindow, TriggersEverySlide) {
+  CountWindow w(5, 2);
+  Capture out;
+  int triggers = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (w.push(make_tuple(i))) ++triggers;
+  }
+  EXPECT_EQ(triggers, 5);
+  EXPECT_EQ(w.size(), 5u);  // bounded by the window length
+}
+
+TEST(CountWindow, KeepsLastLengthItems) {
+  CountWindow w(3, 1);
+  for (int i = 0; i < 7; ++i) w.push(make_tuple(i));
+  ASSERT_EQ(w.contents().size(), 3u);
+  EXPECT_DOUBLE_EQ(w.contents().front().f[0], 4.0);
+  EXPECT_DOUBLE_EQ(w.contents().back().f[0], 6.0);
+}
+
+TEST(CountWindow, PendingTracksPartialSlides) {
+  CountWindow w(10, 3);
+  w.push(make_tuple(1));
+  EXPECT_TRUE(w.has_pending());
+  w.push(make_tuple(2));
+  w.push(make_tuple(3));  // slide fires
+  EXPECT_FALSE(w.has_pending());
+  EXPECT_THROW(CountWindow(0, 1), Error);
+}
+
+// -------------------------------------------------------------- stateless
+
+TEST(Stateless, FilterDropsBelowThreshold) {
+  Filter filter(0.5);
+  Capture out;
+  filter.process(make_tuple(0.4), 0, out);
+  filter.process(make_tuple(0.6), 0, out);
+  filter.process(make_tuple(0.5), 0, out);  // boundary kept
+  ASSERT_EQ(out.items.size(), 2u);
+}
+
+TEST(Stateless, MapAffineTransforms) {
+  MapAffine map(3.0, -1.0);
+  Capture out;
+  map.process(make_tuple(2.0), 0, out);
+  ASSERT_EQ(out.items.size(), 1u);
+  EXPECT_DOUBLE_EQ(out.items[0].f[0], 5.0);
+}
+
+TEST(Stateless, MapMathIsDeterministicAndFinite) {
+  MapMath map(8);
+  Capture a;
+  Capture b;
+  map.process(make_tuple(0.7), 0, a);
+  MapMath map2(8);
+  map2.process(make_tuple(0.7), 0, b);
+  ASSERT_EQ(a.items.size(), 1u);
+  EXPECT_DOUBLE_EQ(a.items[0].f[1], b.items[0].f[1]);
+  EXPECT_TRUE(std::isfinite(a.items[0].f[1]));
+}
+
+TEST(Stateless, FlatMapExpandsWithOrdinals) {
+  FlatMapExpand expand(3);
+  Capture out;
+  expand.process(make_tuple(1.0), 0, out);
+  ASSERT_EQ(out.items.size(), 3u);
+  EXPECT_DOUBLE_EQ(out.items[0].f[2], 0.0);
+  EXPECT_DOUBLE_EQ(out.items[2].f[2], 2.0);
+}
+
+TEST(Stateless, ProjectionClearsAuxiliaryFields) {
+  Projection projection;
+  Tuple t = make_tuple(1.0);
+  t.f[1] = t.f[2] = t.f[3] = 9.0;
+  Capture out;
+  projection.process(t, 0, out);
+  EXPECT_DOUBLE_EQ(out.items[0].f[0], 1.0);
+  EXPECT_DOUBLE_EQ(out.items[0].f[1], 0.0);
+  EXPECT_DOUBLE_EQ(out.items[0].f[3], 0.0);
+}
+
+TEST(Stateless, SamplerRateConverges) {
+  Sampler sampler(0.3, 42);
+  Capture out;
+  constexpr int kItems = 20000;
+  for (int i = 0; i < kItems; ++i) sampler.process(make_tuple(1.0), 0, out);
+  EXPECT_NEAR(out.items.size() / static_cast<double>(kItems), 0.3, 0.02);
+}
+
+TEST(Stateless, EnrichIsDeterministicPerKey) {
+  Enrich enrich(64);
+  Capture out;
+  enrich.process(make_tuple(1.0, /*key=*/7), 0, out);
+  enrich.process(make_tuple(2.0, /*key=*/7), 0, out);
+  enrich.process(make_tuple(3.0, /*key=*/-7), 0, out);  // negative keys legal
+  ASSERT_EQ(out.items.size(), 3u);
+  EXPECT_DOUBLE_EQ(out.items[0].f[3], out.items[1].f[3]);
+  EXPECT_GE(out.items[2].f[3], 0.0);
+}
+
+TEST(Stateless, ClampBounds) {
+  Clamp clamp(0.0, 1.0);
+  Capture out;
+  clamp.process(make_tuple(-3.0), 0, out);
+  clamp.process(make_tuple(0.5), 0, out);
+  clamp.process(make_tuple(7.0), 0, out);
+  EXPECT_DOUBLE_EQ(out.items[0].f[0], 0.0);
+  EXPECT_DOUBLE_EQ(out.items[1].f[0], 0.5);
+  EXPECT_DOUBLE_EQ(out.items[2].f[0], 1.0);
+}
+
+// ------------------------------------------------------------------ keyed
+
+TEST(Keyed, CounterCountsPerKey) {
+  KeyedCounter counter;
+  Capture out;
+  counter.process(make_tuple(1.0, 1), 0, out);
+  counter.process(make_tuple(1.0, 2), 0, out);
+  counter.process(make_tuple(1.0, 1), 0, out);
+  EXPECT_DOUBLE_EQ(out.items[0].f[1], 1.0);
+  EXPECT_DOUBLE_EQ(out.items[1].f[1], 1.0);  // separate key
+  EXPECT_DOUBLE_EQ(out.items[2].f[1], 2.0);
+}
+
+TEST(Keyed, RunningSumAccumulatesPerKey) {
+  KeyedRunningSum sum;
+  Capture out;
+  sum.process(make_tuple(2.0, 5), 0, out);
+  sum.process(make_tuple(3.0, 5), 0, out);
+  sum.process(make_tuple(10.0, 6), 0, out);
+  EXPECT_DOUBLE_EQ(out.items[1].f[1], 5.0);
+  EXPECT_DOUBLE_EQ(out.items[2].f[1], 10.0);
+}
+
+TEST(Keyed, AverageTracksMeanPerKey) {
+  KeyedAverage avg;
+  Capture out;
+  avg.process(make_tuple(1.0, 9), 0, out);
+  avg.process(make_tuple(3.0, 9), 0, out);
+  EXPECT_DOUBLE_EQ(out.items[1].f[1], 2.0);
+}
+
+TEST(Keyed, DistinctSuppressesDuplicates) {
+  KeyedDistinct distinct(0.1);
+  Capture out;
+  distinct.process(make_tuple(0.51, 1), 0, out);
+  distinct.process(make_tuple(0.52, 1), 0, out);  // same bucket: suppressed
+  distinct.process(make_tuple(0.91, 1), 0, out);  // new bucket
+  distinct.process(make_tuple(0.51, 2), 0, out);  // same bucket, other key
+  EXPECT_EQ(out.items.size(), 3u);
+}
+
+TEST(Keyed, CloneStartsWithFreshState) {
+  KeyedCounter counter;
+  Capture out;
+  counter.process(make_tuple(1.0, 1), 0, out);
+  auto clone = counter.clone();
+  clone->process(make_tuple(1.0, 1), 0, out);
+  EXPECT_DOUBLE_EQ(out.items[1].f[1], 1.0);  // clone did not inherit counts
+}
+
+// --------------------------------------------------------------- windowed
+
+TEST(Windowed, WinSumAggregates) {
+  WinSum sum(4, 2);
+  Capture out;
+  for (int i = 1; i <= 6; ++i) sum.process(make_tuple(i), 0, out);
+  // Triggers after items 2 (1+2), 4 (1+2+3+4), 6 (3+4+5+6).
+  ASSERT_EQ(out.items.size(), 3u);
+  EXPECT_DOUBLE_EQ(out.items[0].f[1], 3.0);
+  EXPECT_DOUBLE_EQ(out.items[1].f[1], 10.0);
+  EXPECT_DOUBLE_EQ(out.items[2].f[1], 18.0);
+}
+
+TEST(Windowed, WinMaxMin) {
+  WinMax max(3, 3);
+  WinMin min(3, 3);
+  Capture max_out;
+  Capture min_out;
+  for (double v : {5.0, 1.0, 3.0}) {
+    max.process(make_tuple(v), 0, max_out);
+    min.process(make_tuple(v), 0, min_out);
+  }
+  ASSERT_EQ(max_out.items.size(), 1u);
+  EXPECT_DOUBLE_EQ(max_out.items[0].f[1], 5.0);
+  EXPECT_DOUBLE_EQ(min_out.items[0].f[1], 1.0);
+}
+
+TEST(Windowed, WmaWeightsRecentItemsHeavier) {
+  Wma wma(3, 3);
+  Capture out;
+  for (double v : {0.0, 0.0, 9.0}) wma.process(make_tuple(v), 0, out);
+  // Weights 1,2,3 -> (0*1 + 0*2 + 9*3) / 6 = 4.5 (> plain mean 3.0).
+  ASSERT_EQ(out.items.size(), 1u);
+  EXPECT_DOUBLE_EQ(out.items[0].f[1], 4.5);
+}
+
+TEST(Windowed, QuantileComputesPercentile) {
+  WinQuantile quantile(10, 10, 0.5);
+  Capture out;
+  for (int i = 1; i <= 10; ++i) quantile.process(make_tuple(i), 0, out);
+  ASSERT_EQ(out.items.size(), 1u);
+  // Median rank floor(0.5 * 9) = 4 -> value 5 of 1..10.
+  EXPECT_DOUBLE_EQ(out.items[0].f[1], 5.0);
+}
+
+TEST(Windowed, FinishFlushesPartialWindow) {
+  WinSum sum(10, 5);
+  Capture out;
+  sum.process(make_tuple(2.0), 0, out);
+  sum.process(make_tuple(3.0), 0, out);
+  EXPECT_TRUE(out.items.empty());
+  sum.on_finish(out);
+  ASSERT_EQ(out.items.size(), 1u);
+  EXPECT_DOUBLE_EQ(out.items[0].f[1], 5.0);
+}
+
+// ---------------------------------------------------------------- spatial
+
+TEST(Spatial, SkylineKeepsNonDominatedPoints) {
+  Skyline skyline(4, 4);
+  Capture out;
+  // (1,4) and (4,1) are incomparable; (2,2) dominated by (3,3); (3,3) kept.
+  const double points[][2] = {{1, 4}, {4, 1}, {2, 2}, {3, 3}};
+  for (const auto& p : points) {
+    Tuple t = make_tuple(p[0]);
+    t.f[1] = p[1];
+    skyline.process(t, 0, out);
+  }
+  ASSERT_EQ(out.items.size(), 3u);  // (1,4), (4,1), (3,3)
+  for (const Tuple& t : out.items) {
+    EXPECT_FALSE(t.f[0] == 2.0 && t.f[1] == 2.0);
+  }
+}
+
+TEST(Spatial, TopKEmitsDescending) {
+  TopK topk(5, 5, 3);
+  Capture out;
+  for (double v : {2.0, 9.0, 4.0, 7.0, 1.0}) topk.process(make_tuple(v), 0, out);
+  ASSERT_EQ(out.items.size(), 3u);
+  EXPECT_DOUBLE_EQ(out.items[0].f[0], 9.0);
+  EXPECT_DOUBLE_EQ(out.items[1].f[0], 7.0);
+  EXPECT_DOUBLE_EQ(out.items[2].f[0], 4.0);
+}
+
+// ------------------------------------------------------------------- join
+
+TEST(Join, BandJoinMatchesWithinBand) {
+  BandJoin join(8, 0.1);
+  Capture out;
+  join.process(make_tuple(1.00, 1), /*from=*/10, out);  // left side
+  join.process(make_tuple(1.05, 2), /*from=*/20, out);  // right: matches
+  ASSERT_EQ(out.items.size(), 1u);
+  EXPECT_DOUBLE_EQ(out.items[0].f[2], 1.00);
+  EXPECT_DOUBLE_EQ(out.items[0].f[3], 1.0);  // matched key
+  join.process(make_tuple(5.0, 3), /*from=*/10, out);  // left: no match
+  EXPECT_EQ(out.items.size(), 1u);
+}
+
+TEST(Join, WindowsEvictOldTuples) {
+  BandJoin join(2, 0.01);
+  Capture out;
+  join.process(make_tuple(1.0, 1), 10, out);
+  join.process(make_tuple(2.0, 2), 10, out);
+  join.process(make_tuple(3.0, 3), 10, out);  // evicts the 1.0 tuple
+  join.process(make_tuple(1.0, 4), 20, out);  // right probe: no match left
+  EXPECT_TRUE(out.items.empty());
+  join.process(make_tuple(3.0, 5), 20, out);  // matches the 3.0 tuple
+  EXPECT_EQ(out.items.size(), 1u);
+}
+
+TEST(Join, ManyToManyMatches) {
+  BandJoin join(8, 0.5);
+  Capture out;
+  join.process(make_tuple(1.0, 1), 10, out);
+  join.process(make_tuple(1.2, 2), 10, out);
+  join.process(make_tuple(1.1, 3), 20, out);  // matches both left tuples
+  EXPECT_EQ(out.items.size(), 2u);
+}
+
+// --------------------------------------------------------------- registry
+
+TEST(Registry, MakeLogicBuildsEveryCatalogEntry) {
+  for (const CatalogEntry& entry : catalog()) {
+    OperatorSpec spec;
+    spec.name = entry.impl;
+    spec.impl = entry.impl;
+    spec.service_time = 1e-3;
+    if (entry.windowed) spec.selectivity.input = 10.0;
+    auto logic = make_logic(0, spec);
+    ASSERT_NE(logic, nullptr) << entry.impl;
+    // Every logic must be cloneable for fission.
+    EXPECT_NE(logic->clone(), nullptr) << entry.impl;
+  }
+}
+
+TEST(Registry, EmptyImplFallsBackToSynthetic) {
+  OperatorSpec spec;
+  spec.name = "x";
+  spec.service_time = 1e-6;
+  EXPECT_NE(make_logic(0, spec), nullptr);
+  spec.impl = "synthetic";
+  EXPECT_NE(make_logic(0, spec), nullptr);
+}
+
+TEST(Registry, RejectsMetaAndUnknown) {
+  OperatorSpec spec;
+  spec.name = "x";
+  spec.service_time = 1e-3;
+  spec.impl = "meta";
+  EXPECT_THROW((void)make_logic(0, spec), Error);
+  spec.impl = "no_such_operator";
+  EXPECT_THROW((void)make_logic(0, spec), Error);
+}
+
+TEST(Registry, SinkAndIdentityForward) {
+  OperatorSpec spec;
+  spec.name = "sink";
+  spec.impl = "sink";
+  spec.service_time = 1e-3;
+  auto logic = make_logic(0, spec);
+  Capture out;
+  logic->process(make_tuple(3.5), 0, out);
+  ASSERT_EQ(out.items.size(), 1u);
+  EXPECT_DOUBLE_EQ(out.items[0].f[0], 3.5);
+}
+
+}  // namespace
+}  // namespace ss::ops

@@ -1,0 +1,116 @@
+// Tests of the path machinery behind Theorem 3.2 / Proposition 3.5:
+// arrival coefficients, explicit path enumeration, and their agreement.
+#include "core/paths.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+
+namespace ss {
+namespace {
+
+Topology diamond_with_chord() {
+  // src -> a (0.4), src -> b (0.6), a -> b (0.5), a -> sink (0.5), b -> sink
+  Topology::Builder builder;
+  builder.add_operator("src", 1e-3);
+  builder.add_operator("a", 1e-3);
+  builder.add_operator("b", 1e-3);
+  builder.add_operator("sink", 1e-3);
+  builder.add_edge(0, 1, 0.4);
+  builder.add_edge(0, 2, 0.6);
+  builder.add_edge(1, 2, 0.5);
+  builder.add_edge(1, 3, 0.5);
+  builder.add_edge(2, 3, 1.0);
+  return builder.build();
+}
+
+TEST(ArrivalCoefficients, MatchEquationOne) {
+  Topology t = diamond_with_chord();
+  const auto coeff = arrival_coefficients(t);
+  EXPECT_DOUBLE_EQ(coeff[0], 1.0);
+  EXPECT_DOUBLE_EQ(coeff[1], 0.4);
+  EXPECT_DOUBLE_EQ(coeff[2], 0.6 + 0.4 * 0.5);  // two ways to reach b
+  EXPECT_DOUBLE_EQ(coeff[3], 1.0);              // everything drains to the sink
+}
+
+TEST(ArrivalCoefficients, SinkCoefficientsSumToOne) {
+  // Proposition 3.5's combinatorial core: total path probability from the
+  // source to the sinks is 1 in any flow graph.
+  Topology t = diamond_with_chord();
+  const auto coeff = arrival_coefficients(t);
+  double total = 0.0;
+  for (OpIndex s : t.sinks()) total += coeff[s];
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(ArrivalCoefficients, SelectivityCompounds) {
+  Topology::Builder builder;
+  builder.add_operator("src", 1e-3);
+  builder.add_operator("flatmap", 1e-3, StateKind::kStateless, Selectivity{1.0, 3.0});
+  builder.add_operator("window", 1e-3, StateKind::kStateful, Selectivity{2.0, 1.0});
+  builder.add_operator("sink", 1e-3);
+  builder.add_edge(0, 1);
+  builder.add_edge(1, 2);
+  builder.add_edge(2, 3);
+  Topology t = builder.build();
+  const auto coeff = arrival_coefficients_with_selectivity(t);
+  EXPECT_DOUBLE_EQ(coeff[1], 1.0);
+  EXPECT_DOUBLE_EQ(coeff[2], 3.0);        // flatmap tripled the flow
+  EXPECT_DOUBLE_EQ(coeff[3], 1.5);        // window halved it
+}
+
+TEST(EnumeratePaths, FindsAllPaths) {
+  Topology t = diamond_with_chord();
+  const auto paths = enumerate_paths(t, t.source(), 3);
+  ASSERT_EQ(paths.size(), 3u);  // src-a-sink, src-a-b-sink, src-b-sink
+  double total_probability = 0.0;
+  for (const Path& path : paths) {
+    EXPECT_EQ(path.front(), t.source());
+    EXPECT_EQ(path.back(), 3u);
+    total_probability += path_probability(t, path);
+  }
+  EXPECT_NEAR(total_probability, 1.0, 1e-12);
+}
+
+TEST(EnumeratePaths, PathToSelfIsTrivial) {
+  Topology t = diamond_with_chord();
+  const auto paths = enumerate_paths(t, 2, 2);
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_EQ(paths[0], (Path{2}));
+  EXPECT_DOUBLE_EQ(path_probability(t, paths[0]), 1.0);
+}
+
+TEST(EnumeratePaths, NoPathYieldsEmpty) {
+  Topology t = diamond_with_chord();
+  EXPECT_TRUE(enumerate_paths(t, 2, 1).empty());  // b cannot reach a
+}
+
+TEST(EnumeratePaths, EnforcesLimit) {
+  // A ladder of diamonds has exponentially many paths.
+  Topology::Builder builder;
+  builder.add_operator("v0", 1e-3);
+  for (int layer = 0; layer < 8; ++layer) {
+    const OpIndex base = static_cast<OpIndex>(3 * layer);
+    builder.add_operator("l" + std::to_string(layer), 1e-3);
+    builder.add_operator("r" + std::to_string(layer), 1e-3);
+    builder.add_operator("j" + std::to_string(layer), 1e-3);
+    builder.add_edge(base, base + 1, 0.5);
+    builder.add_edge(base, base + 2, 0.5);
+    builder.add_edge(base + 1, base + 3);
+    builder.add_edge(base + 2, base + 3);
+  }
+  Topology t = builder.build();
+  EXPECT_EQ(enumerate_paths(t, 0, static_cast<OpIndex>(t.num_operators() - 1)).size(), 256u);
+  EXPECT_THROW(
+      (void)enumerate_paths(t, 0, static_cast<OpIndex>(t.num_operators() - 1), 100),
+      Error);
+}
+
+TEST(PathProbability, RejectsNonPaths) {
+  Topology t = diamond_with_chord();
+  EXPECT_THROW((void)path_probability(t, Path{}), Error);
+  EXPECT_THROW((void)path_probability(t, Path{2, 1}), Error);  // no such edge
+}
+
+}  // namespace
+}  // namespace ss

@@ -1,0 +1,108 @@
+// Tests of the PerKey adapter: per-key state isolation, flush-on-finish,
+// clone freshness, and the registry wiring that gives partitioned-stateful
+// windowed operators keyed windows.
+#include "ops/per_key.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ops/registry.hpp"
+#include "ops/windowed.hpp"
+
+namespace ss::ops {
+namespace {
+
+using runtime::Tuple;
+
+class Capture final : public runtime::Collector {
+ public:
+  void emit(const Tuple& t) override { items.push_back(t); }
+  void emit_to(OpIndex, const Tuple& t) override { items.push_back(t); }
+  std::vector<Tuple> items;
+};
+
+Tuple make_tuple(double f0, std::int64_t key) {
+  Tuple t;
+  t.key = key;
+  t.f[0] = f0;
+  return t;
+}
+
+TEST(PerKey, WindowsAreIsolatedPerKey) {
+  // Global WinSum(3,3) would mix keys; PerKey must not.
+  PerKey keyed([] { return std::make_unique<WinSum>(3, 3); });
+  Capture out;
+  // Interleave two keys; each key's window fills after 3 of ITS items.
+  for (int round = 0; round < 3; ++round) {
+    keyed.process(make_tuple(1.0, 7), 0, out);
+    keyed.process(make_tuple(10.0, 8), 0, out);
+  }
+  ASSERT_EQ(out.items.size(), 2u);
+  // Key 7 sums 1+1+1 = 3; key 8 sums 10+10+10 = 30.
+  EXPECT_DOUBLE_EQ(out.items[0].f[1], 3.0);
+  EXPECT_EQ(out.items[0].key, 7);
+  EXPECT_DOUBLE_EQ(out.items[1].f[1], 30.0);
+  EXPECT_EQ(out.items[1].key, 8);
+  EXPECT_EQ(keyed.keys_touched(), 2u);
+}
+
+TEST(PerKey, FinishFlushesEveryKey) {
+  PerKey keyed([] { return std::make_unique<WinSum>(10, 10); });
+  Capture out;
+  keyed.process(make_tuple(2.0, 1), 0, out);
+  keyed.process(make_tuple(3.0, 2), 0, out);
+  EXPECT_TRUE(out.items.empty());
+  keyed.on_finish(out);
+  EXPECT_EQ(out.items.size(), 2u);  // one partial window per key
+}
+
+TEST(PerKey, CloneStartsEmpty) {
+  PerKey keyed([] { return std::make_unique<WinSum>(2, 2); });
+  Capture out;
+  keyed.process(make_tuple(1.0, 5), 0, out);
+  auto clone = keyed.clone();
+  // The clone has no state for key 5: its first window needs 2 fresh items.
+  clone->process(make_tuple(4.0, 5), 0, out);
+  EXPECT_TRUE(out.items.empty());
+  clone->process(make_tuple(6.0, 5), 0, out);
+  ASSERT_EQ(out.items.size(), 1u);
+  EXPECT_DOUBLE_EQ(out.items[0].f[1], 10.0);
+}
+
+TEST(PerKey, RegistryLiftsPartitionedWindowedOperators) {
+  OperatorSpec spec;
+  spec.name = "agg";
+  spec.impl = "win_sum";
+  spec.service_time = 1e-3;
+  spec.state = StateKind::kPartitionedStateful;
+  spec.selectivity.input = 2.0;  // slide 2
+  spec.keys = KeyDistribution::uniform(4);
+  auto logic = make_logic(0, spec);
+
+  Capture out;
+  // Two items of key 0 and two of key 1: per-key windows trigger per key.
+  logic->process(make_tuple(1.0, 0), 0, out);
+  logic->process(make_tuple(2.0, 1), 0, out);
+  logic->process(make_tuple(3.0, 0), 0, out);
+  logic->process(make_tuple(4.0, 1), 0, out);
+  ASSERT_EQ(out.items.size(), 2u);
+  EXPECT_DOUBLE_EQ(out.items[0].f[1], 4.0);  // key 0: 1 + 3
+  EXPECT_DOUBLE_EQ(out.items[1].f[1], 6.0);  // key 1: 2 + 4
+}
+
+TEST(PerKey, RegistryKeepsGlobalWindowsForStatefulSpecs) {
+  OperatorSpec spec;
+  spec.name = "agg";
+  spec.impl = "win_sum";
+  spec.service_time = 1e-3;
+  spec.state = StateKind::kStateful;  // global window
+  spec.selectivity.input = 2.0;
+  auto logic = make_logic(0, spec);
+  Capture out;
+  logic->process(make_tuple(1.0, 0), 0, out);
+  logic->process(make_tuple(2.0, 1), 0, out);  // different key, same window
+  ASSERT_EQ(out.items.size(), 1u);
+  EXPECT_DOUBLE_EQ(out.items[0].f[1], 3.0);
+}
+
+}  // namespace
+}  // namespace ss::ops

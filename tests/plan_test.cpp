@@ -1,0 +1,197 @@
+// Unit tests for the topology -> actor-graph mapping: worker actors,
+// fission expansion (emitter/replicas/collector), fusion meta actors, and
+// the shutdown-channel bookkeeping.
+#include "runtime/plan.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+
+namespace ss::runtime {
+namespace {
+
+Topology pipeline4() {
+  Topology::Builder b;
+  b.add_operator("src", 1e-3);
+  b.add_operator("a", 1e-3);
+  b.add_operator("b", 1e-3);
+  b.add_operator("sink", 1e-3);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(2, 3);
+  return b.build();
+}
+
+int count_kind(const ActorGraph& g, ActorKind kind) {
+  int n = 0;
+  for (const ActorSpec& a : g.actors) {
+    if (a.kind == kind) ++n;
+  }
+  return n;
+}
+
+TEST(ActorGraph, SequentialPipelineIsOneActorPerOperator) {
+  Topology t = pipeline4();
+  ActorGraph g = ActorGraph::build(t, Deployment{});
+  EXPECT_EQ(g.num_actors(), 4u);
+  EXPECT_EQ(count_kind(g, ActorKind::kSource), 1);
+  EXPECT_EQ(count_kind(g, ActorKind::kWorker), 3);
+  EXPECT_EQ(g.source_actor, g.entry[0]);
+  for (OpIndex i = 0; i < 4; ++i) EXPECT_EQ(g.entry[i], g.exit[i]);
+}
+
+TEST(ActorGraph, ShutdownChannelCountsMatchEdges) {
+  Topology t = pipeline4();
+  ActorGraph g = ActorGraph::build(t, Deployment{});
+  // src -> a -> b -> sink: each non-source actor expects one token.
+  EXPECT_EQ(g.actors[static_cast<std::size_t>(g.entry[1])].incoming_channels, 1);
+  EXPECT_EQ(g.actors[static_cast<std::size_t>(g.entry[3])].incoming_channels, 1);
+  EXPECT_EQ(g.actors[static_cast<std::size_t>(g.exit[0])].downstream.size(), 1u);
+}
+
+TEST(ActorGraph, FissionExpandsToEmitterReplicasCollector) {
+  Topology t = pipeline4();
+  Deployment d;
+  d.replication.replicas = {1, 3, 1, 1};
+  ActorGraph g = ActorGraph::build(t, d);
+  // 3 plain + (1 emitter + 3 replicas + 1 collector) = 8 actors.
+  EXPECT_EQ(g.num_actors(), 8u);
+  EXPECT_EQ(count_kind(g, ActorKind::kEmitter), 1);
+  EXPECT_EQ(count_kind(g, ActorKind::kReplica), 3);
+  EXPECT_EQ(count_kind(g, ActorKind::kCollector), 1);
+
+  const ActorSpec& emitter = g.actors[static_cast<std::size_t>(g.entry[1])];
+  EXPECT_EQ(emitter.kind, ActorKind::kEmitter);
+  EXPECT_EQ(emitter.downstream.size(), 3u);  // one channel per replica
+  const ActorSpec& collector = g.actors[static_cast<std::size_t>(g.exit[1])];
+  EXPECT_EQ(collector.kind, ActorKind::kCollector);
+  EXPECT_EQ(collector.incoming_channels, 3);  // one per replica
+  // Each replica: one in-channel (emitter), one out-channel (collector).
+  for (const ActorSpec& a : g.actors) {
+    if (a.kind == ActorKind::kReplica) {
+      EXPECT_EQ(a.incoming_channels, 1);
+      ASSERT_EQ(a.downstream.size(), 1u);
+      EXPECT_EQ(a.downstream[0], g.exit[1]);
+    }
+  }
+}
+
+TEST(ActorGraph, FusionCollapsesMembersIntoOneMetaActor) {
+  Topology t = pipeline4();
+  Deployment d;
+  d.fusions.push_back(FusionSpec{{1, 2}, "fused"});
+  ActorGraph g = ActorGraph::build(t, d);
+  EXPECT_EQ(g.num_actors(), 3u);  // src, meta, sink
+  EXPECT_EQ(count_kind(g, ActorKind::kMeta), 1);
+  EXPECT_EQ(g.entry[1], g.entry[2]);
+  EXPECT_EQ(g.exit[1], g.exit[2]);
+  EXPECT_EQ(g.group_of[1], 0);
+  EXPECT_EQ(g.group_of[2], 0);
+  EXPECT_EQ(g.group_of[0], -1);
+  const ActorSpec& meta = g.actors[static_cast<std::size_t>(g.entry[1])];
+  EXPECT_EQ(meta.name, "fused");
+  EXPECT_EQ(meta.members, (std::vector<OpIndex>{1, 2}));  // topological order
+  // Channels: src->meta and meta->sink; the internal 1->2 edge vanishes.
+  EXPECT_EQ(meta.incoming_channels, 1);
+  EXPECT_EQ(meta.downstream.size(), 1u);
+}
+
+TEST(ActorGraph, MetaMembersSortedTopologically) {
+  Topology t = pipeline4();
+  Deployment d;
+  d.fusions.push_back(FusionSpec{{2, 1}, ""});  // deliberately reversed
+  ActorGraph g = ActorGraph::build(t, d);
+  const ActorSpec& meta = g.actors[static_cast<std::size_t>(g.entry[1])];
+  EXPECT_EQ(meta.members, (std::vector<OpIndex>{1, 2}));
+}
+
+TEST(ActorGraph, RejectsReplicatedSource) {
+  Topology t = pipeline4();
+  Deployment d;
+  d.replication.replicas = {2, 1, 1, 1};
+  EXPECT_THROW((void)ActorGraph::build(t, d), Error);
+}
+
+TEST(ActorGraph, RejectsReplicatedFusedMember) {
+  Topology t = pipeline4();
+  Deployment d;
+  d.fusions.push_back(FusionSpec{{1, 2}, ""});
+  d.replication.replicas = {1, 2, 1, 1};
+  EXPECT_THROW((void)ActorGraph::build(t, d), Error);
+}
+
+TEST(ActorGraph, RejectsOverlappingFusionGroups) {
+  Topology::Builder b;
+  b.add_operator("src", 1e-3);
+  b.add_operator("a", 1e-3);
+  b.add_operator("b", 1e-3);
+  b.add_operator("c", 1e-3);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(2, 3);
+  Topology t = b.build();
+  Deployment d;
+  d.fusions.push_back(FusionSpec{{1, 2}, ""});
+  d.fusions.push_back(FusionSpec{{2, 3}, ""});
+  EXPECT_THROW((void)ActorGraph::build(t, d), Error);
+}
+
+TEST(ActorGraph, AcceptsMultiEntryFusionGroups) {
+  // {a, b} has two front-ends (both receive from src): illegal under the
+  // §3.3 cost model but executable by the meta actor (Fig. 2 semantics),
+  // so the runtime accepts it.
+  Topology::Builder b;
+  b.add_operator("src", 1e-3);
+  b.add_operator("a", 1e-3);
+  b.add_operator("b", 1e-3);
+  b.add_operator("sink", 1e-3);
+  b.add_edge(0, 1, 0.5);
+  b.add_edge(0, 2, 0.5);
+  b.add_edge(1, 3);
+  b.add_edge(2, 3);
+  Topology t = b.build();
+  Deployment d;
+  d.fusions.push_back(FusionSpec{{1, 2}, ""});
+  ActorGraph g = ActorGraph::build(t, d);
+  EXPECT_EQ(g.num_actors(), 3u);
+  // Two channels into the meta actor (one per logical edge) and two out.
+  const ActorSpec& meta = g.actors[static_cast<std::size_t>(g.entry[1])];
+  EXPECT_EQ(meta.incoming_channels, 2);
+  EXPECT_EQ(meta.downstream.size(), 2u);
+}
+
+TEST(ActorGraph, RejectsIllegalFusion) {
+  // A group whose contraction would create a cycle (a -> x -> b with a, b
+  // fused) is illegal even under the relaxed multi-entry rule.
+  Topology::Builder b;
+  b.add_operator("src", 1e-3);
+  b.add_operator("a", 1e-3);
+  b.add_operator("x", 1e-3);
+  b.add_operator("b", 1e-3);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2, 0.5);
+  b.add_edge(1, 3, 0.5);
+  b.add_edge(2, 3);
+  Topology t = b.build();
+  Deployment d;
+  d.fusions.push_back(FusionSpec{{1, 3}, ""});
+  EXPECT_THROW((void)ActorGraph::build(t, d), Error);
+}
+
+TEST(ActorGraph, DiamondChannelsCountPerEdge) {
+  Topology::Builder b;
+  b.add_operator("src", 1e-3);
+  b.add_operator("a", 1e-3);
+  b.add_operator("b", 1e-3);
+  b.add_operator("sink", 1e-3);
+  b.add_edge(0, 1, 0.5);
+  b.add_edge(0, 2, 0.5);
+  b.add_edge(1, 3);
+  b.add_edge(2, 3);
+  ActorGraph g = ActorGraph::build(b.build(), Deployment{});
+  EXPECT_EQ(g.actors[static_cast<std::size_t>(g.entry[3])].incoming_channels, 2);
+  EXPECT_EQ(g.actors[static_cast<std::size_t>(g.exit[0])].downstream.size(), 2u);
+}
+
+}  // namespace
+}  // namespace ss::runtime

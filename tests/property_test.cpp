@@ -1,0 +1,145 @@
+// Property tests of the cost models over random testbed topologies:
+// monotonicity laws, invariant preservation under the optimizer's
+// transformations, and cross-checks between independent code paths.
+#include <gtest/gtest.h>
+
+#include "core/bottleneck.hpp"
+#include "core/fusion.hpp"
+#include "core/paths.hpp"
+#include "core/steady_state.hpp"
+#include "gen/workload.hpp"
+
+namespace ss {
+namespace {
+
+class ModelProperties : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  Topology random(std::uint64_t salt = 0) {
+    Rng rng(GetParam() ^ salt);
+    return random_topology(rng);
+  }
+};
+
+TEST_P(ModelProperties, SlowingAnOperatorNeverRaisesThroughput) {
+  Topology t = random();
+  const double base = steady_state(t).throughput();
+  for (OpIndex i = 1; i < t.num_operators(); ++i) {
+    Topology::Builder b;
+    for (OpIndex j = 0; j < t.num_operators(); ++j) {
+      OperatorSpec spec = t.op(j);
+      if (j == i) spec.service_time *= 3.0;
+      b.add_operator(std::move(spec));
+    }
+    for (const Edge& e : t.edges()) b.add_edge(e.from, e.to, e.probability);
+    const double slowed = steady_state(b.build()).throughput();
+    EXPECT_LE(slowed, base * (1.0 + 1e-9)) << "slowing op " << i << " raised throughput";
+  }
+}
+
+TEST_P(ModelProperties, AddingReplicasNeverLowersThroughput) {
+  Topology t = random(1);
+  double previous = steady_state(t).throughput();
+  for (int n = 2; n <= 8; n *= 2) {
+    ReplicationPlan plan;
+    plan.replicas.assign(t.num_operators(), n);
+    plan.replicas[t.source()] = 1;
+    // Partitioned operators: cap capacity by the achievable key split.
+    plan.max_share.assign(t.num_operators(), 0.0);
+    for (OpIndex i = 0; i < t.num_operators(); ++i) {
+      if (t.op(i).state == StateKind::kPartitionedStateful) {
+        KeyPartition part = partition_keys(t.op(i).keys, n);
+        plan.replicas[i] = part.replicas;
+        plan.max_share[i] = part.max_share;
+      }
+      if (t.op(i).state == StateKind::kStateful) plan.replicas[i] = 1;
+    }
+    const double now = steady_state(t, plan).throughput();
+    EXPECT_GE(now, previous * (1.0 - 1e-9)) << "n = " << n;
+    previous = now;
+  }
+}
+
+TEST_P(ModelProperties, BudgetMonotonicity) {
+  Topology t = random(2);
+  const int optimal = eliminate_bottlenecks(t).total_replicas;
+  double previous = 0.0;
+  for (int budget :
+       {static_cast<int>(t.num_operators()), optimal / 2 + 1, optimal, optimal + 10}) {
+    if (budget < static_cast<int>(t.num_operators())) continue;
+    BottleneckOptions options;
+    options.max_total_replicas = budget;
+    const double now = eliminate_bottlenecks(t, options).analysis.throughput();
+    EXPECT_GE(now, previous * (1.0 - 1e-6)) << "budget " << budget;
+    previous = now;
+  }
+}
+
+TEST_P(ModelProperties, EliminationNeverHurts) {
+  Topology t = random(3);
+  const double before = steady_state(t).throughput();
+  const BottleneckResult result = eliminate_bottlenecks(t);
+  EXPECT_GE(result.analysis.throughput(), before * (1.0 - 1e-9));
+  // And never exceeds the source's own pace.
+  EXPECT_LE(result.analysis.throughput(), ideal_source_rate(t) * (1.0 + 1e-9));
+}
+
+TEST_P(ModelProperties, SafeFusionPreservesThroughput) {
+  Topology t = random(4);
+  const SteadyStateResult rates = steady_state(t);
+  for (const FusionCandidate& candidate : suggest_fusion_candidates(t, rates, {})) {
+    const FusionResult result = apply_fusion(t, candidate.spec);
+    EXPECT_FALSE(result.introduces_bottleneck);
+    EXPECT_NEAR(result.throughput_after, result.throughput_before,
+                1e-6 * result.throughput_before)
+        << "candidate seeded at " << t.op(candidate.spec.members.front()).name;
+  }
+}
+
+TEST_P(ModelProperties, FusionPreservesExternalFlowSplit) {
+  // For every suggested fusion: the flow reaching each surviving operator
+  // must be identical before and after the rewrite (unit-selectivity
+  // members guaranteed by comparing arrival coefficients via the model).
+  Topology t = random(5);
+  const SteadyStateResult rates = steady_state(t);
+  for (const FusionCandidate& candidate : suggest_fusion_candidates(t, rates, {})) {
+    const FusionResult result = apply_fusion(t, candidate.spec);
+    const SteadyStateResult after = steady_state(result.topology);
+    for (OpIndex old_index = 0; old_index < t.num_operators(); ++old_index) {
+      const OpIndex new_index = result.remap[old_index];
+      if (new_index == result.fused_index) continue;  // member: identity changed
+      EXPECT_NEAR(after.rates[new_index].arrival, rates.rates[old_index].arrival,
+                  1e-6 * (1.0 + rates.rates[old_index].arrival))
+          << t.op(old_index).name;
+    }
+  }
+}
+
+TEST_P(ModelProperties, SteadyStateIsIdempotentAndPure) {
+  Topology t = random(6);
+  const SteadyStateResult a = steady_state(t);
+  const SteadyStateResult b = steady_state(t);
+  ASSERT_EQ(a.rates.size(), b.rates.size());
+  for (std::size_t i = 0; i < a.rates.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.rates[i].departure, b.rates[i].departure);
+    EXPECT_DOUBLE_EQ(a.rates[i].utilization, b.rates[i].utilization);
+  }
+}
+
+TEST_P(ModelProperties, ThroughputBoundedByEveryCut) {
+  // The corrected source rate can never exceed mu_i / coeff_i for any
+  // operator i (each operator is a capacity cut of the flow graph).
+  Topology t = random(7);
+  const SteadyStateResult rates = steady_state(t);
+  const auto coeff = arrival_coefficients_with_selectivity(t);
+  for (OpIndex i = 1; i < t.num_operators(); ++i) {
+    if (coeff[i] <= 0.0) continue;
+    EXPECT_LE(rates.source_rate, t.op(i).service_rate() / coeff[i] * (1.0 + 1e-6))
+        << t.op(i).name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ModelProperties,
+                         ::testing::Values(101u, 202u, 303u, 404u, 505u));
+
+}  // namespace
+}  // namespace ss

@@ -1,0 +1,108 @@
+// Unit tests for routing tables: probabilistic edge choice and replica
+// selection (round-robin, key-partition, share-weighted).
+#include "runtime/routing.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/error.hpp"
+
+namespace ss::runtime {
+namespace {
+
+Topology fan_out_topology() {
+  Topology::Builder b;
+  b.add_operator("src", 1e-3);
+  b.add_operator("a", 1e-3);
+  b.add_operator("b", 1e-3);
+  b.add_operator("c", 1e-3);
+  b.add_edge(0, 1, 0.2);
+  b.add_edge(0, 2, 0.5);
+  b.add_edge(0, 3, 0.3);
+  return b.build();
+}
+
+TEST(EdgeRouter, EmptyForSinks) {
+  Topology t = fan_out_topology();
+  EdgeRouter router(t, 1);
+  EXPECT_FALSE(router.has_destinations());
+  Rng rng(1);
+  EXPECT_EQ(router.choose(rng), kInvalidOp);
+}
+
+TEST(EdgeRouter, SingleEdgeIsDeterministic) {
+  Topology::Builder b;
+  b.add_operator("src", 1e-3);
+  b.add_operator("next", 1e-3);
+  b.add_edge(0, 1);
+  Topology t = b.build();
+  EdgeRouter router(t, 0);
+  Rng rng(7);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(router.choose(rng), 1u);
+}
+
+TEST(EdgeRouter, FrequenciesMatchProbabilities) {
+  Topology t = fan_out_topology();
+  EdgeRouter router(t, 0);
+  Rng rng(123);
+  std::map<OpIndex, int> counts;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) counts[router.choose(rng)]++;
+  EXPECT_NEAR(counts[1] / static_cast<double>(kDraws), 0.2, 0.01);
+  EXPECT_NEAR(counts[2] / static_cast<double>(kDraws), 0.5, 0.01);
+  EXPECT_NEAR(counts[3] / static_cast<double>(kDraws), 0.3, 0.01);
+}
+
+TEST(EdgeRouter, IsDestination) {
+  Topology t = fan_out_topology();
+  EdgeRouter router(t, 0);
+  EXPECT_TRUE(router.is_destination(1));
+  EXPECT_TRUE(router.is_destination(3));
+  EXPECT_FALSE(router.is_destination(0));
+}
+
+TEST(ReplicaSelector, RoundRobinCycles) {
+  ReplicaSelector s = ReplicaSelector::round_robin(3);
+  Rng rng(1);
+  EXPECT_EQ(s.select(0, rng), 0);
+  EXPECT_EQ(s.select(0, rng), 1);
+  EXPECT_EQ(s.select(0, rng), 2);
+  EXPECT_EQ(s.select(0, rng), 0);
+}
+
+TEST(ReplicaSelector, ByKeyUsesPartitionMap) {
+  KeyPartition p;
+  p.replica_of_key = {0, 1, 1, 0};
+  p.replicas = 2;
+  p.max_share = 0.5;
+  ReplicaSelector s = ReplicaSelector::by_key(p);
+  Rng rng(1);
+  EXPECT_EQ(s.select(0, rng), 0);
+  EXPECT_EQ(s.select(1, rng), 1);
+  EXPECT_EQ(s.select(2, rng), 1);
+  EXPECT_EQ(s.select(3, rng), 0);
+  EXPECT_EQ(s.select(5, rng), 1);   // 5 mod 4 = 1
+  EXPECT_EQ(s.select(-1, rng), 0);  // negative keys wrap positively: 3
+}
+
+TEST(ReplicaSelector, BySharePreservesLoadSplit) {
+  ReplicaSelector s = ReplicaSelector::by_share({0.7, 0.2, 0.1});
+  Rng rng(99);
+  int counts[3] = {0, 0, 0};
+  constexpr int kDraws = 50000;
+  for (int i = 0; i < kDraws; ++i) counts[s.select(0, rng)]++;
+  EXPECT_NEAR(counts[0] / static_cast<double>(kDraws), 0.7, 0.02);
+  EXPECT_NEAR(counts[1] / static_cast<double>(kDraws), 0.2, 0.02);
+  EXPECT_NEAR(counts[2] / static_cast<double>(kDraws), 0.1, 0.02);
+}
+
+TEST(ReplicaSelector, RejectsInvalidConfigs) {
+  EXPECT_THROW((void)ReplicaSelector::round_robin(0), Error);
+  EXPECT_THROW((void)ReplicaSelector::by_key(KeyPartition{}), Error);
+  EXPECT_THROW((void)ReplicaSelector::by_share({}), Error);
+  EXPECT_THROW((void)ReplicaSelector::by_share({0.0, 0.0}), Error);
+}
+
+}  // namespace
+}  // namespace ss::runtime

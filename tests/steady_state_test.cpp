@@ -1,0 +1,265 @@
+// Unit tests for Algorithm 1 (steady-state analysis under backpressure),
+// including the paper's Fig. 11 / Table 1-2 example, Theorem 3.2 corrections,
+// Proposition 3.5 flow conservation, and the §3.4 selectivity extensions.
+#include "core/steady_state.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/topology.hpp"
+
+namespace ss {
+namespace {
+
+constexpr double kMs = 1e-3;
+
+// The six-operator example of paper Fig. 11.  Edge probabilities are the
+// exact values reproducing every Table 1/2 cell (see DESIGN.md).
+Topology fig11_topology(const std::vector<double>& service_ms) {
+  Topology::Builder b;
+  const char* names[] = {"op1", "op2", "op3", "op4", "op5", "op6"};
+  for (int i = 0; i < 6; ++i) b.add_operator(names[i], service_ms[i] * kMs);
+  b.add_edge(0, 1, 0.7);
+  b.add_edge(0, 2, 0.3);
+  b.add_edge(1, 5, 1.0);
+  b.add_edge(2, 3, 2.0 / 3.0);
+  b.add_edge(2, 4, 1.0 / 3.0);
+  b.add_edge(3, 4, 0.25);
+  b.add_edge(3, 5, 0.75);
+  b.add_edge(4, 5, 1.0);
+  return b.build();
+}
+
+TEST(SteadyState, Table1OriginalTopologyRates) {
+  Topology t = fig11_topology({1.0, 1.2, 0.7, 2.0, 1.5, 0.2});
+  SteadyStateResult r = steady_state(t);
+
+  EXPECT_FALSE(r.has_bottleneck());
+  EXPECT_NEAR(r.throughput(), 1000.0, 1e-6);
+
+  // delta^-1 in ms, as reported in Table 1: 1.00, 1.42, 3.33, 5.0, 6.67, 1.00
+  EXPECT_NEAR(1e3 / r.rates[0].departure, 1.00, 0.01);
+  EXPECT_NEAR(1e3 / r.rates[1].departure, 1.0 / 0.7, 0.01);
+  EXPECT_NEAR(1e3 / r.rates[2].departure, 1.0 / 0.3, 0.01);
+  EXPECT_NEAR(1e3 / r.rates[3].departure, 5.00, 0.01);
+  EXPECT_NEAR(1e3 / r.rates[4].departure, 1.0 / 0.15, 0.01);
+  EXPECT_NEAR(1e3 / r.rates[5].departure, 1.00, 0.01);
+
+  // rho: 1.00, 0.84, 0.21, 0.40, 0.225, 0.20
+  EXPECT_NEAR(r.rates[0].utilization, 1.00, 1e-9);
+  EXPECT_NEAR(r.rates[1].utilization, 0.84, 1e-9);
+  EXPECT_NEAR(r.rates[2].utilization, 0.21, 1e-9);
+  EXPECT_NEAR(r.rates[3].utilization, 0.40, 1e-9);
+  EXPECT_NEAR(r.rates[4].utilization, 0.225, 1e-9);
+  EXPECT_NEAR(r.rates[5].utilization, 0.20, 1e-9);
+}
+
+TEST(SteadyState, Table2OriginalTopologyKeepsSameRates) {
+  // Table 2 changes service times of ops 3-5 but nothing saturates, so the
+  // departure rates stay identical to Table 1 (only rho changes).
+  Topology t = fig11_topology({1.0, 1.2, 1.5, 2.7, 2.2, 0.2});
+  SteadyStateResult r = steady_state(t);
+  EXPECT_FALSE(r.has_bottleneck());
+  EXPECT_NEAR(r.throughput(), 1000.0, 1e-6);
+  EXPECT_NEAR(r.rates[2].utilization, 0.45, 1e-9);
+  EXPECT_NEAR(r.rates[3].utilization, 0.54, 1e-9);
+  EXPECT_NEAR(r.rates[4].utilization, 0.33, 1e-9);
+}
+
+TEST(SteadyState, PipelineBottleneckCapsThroughput) {
+  // src(1ms) -> slow(4ms) -> sink(0.1ms): throughput = 250/s.
+  Topology::Builder b;
+  b.add_operator("src", 1.0 * kMs);
+  b.add_operator("slow", 4.0 * kMs);
+  b.add_operator("sink", 0.1 * kMs);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  SteadyStateResult r = steady_state(b.build());
+  EXPECT_TRUE(r.has_bottleneck());
+  ASSERT_EQ(r.bottlenecks.size(), 1u);
+  EXPECT_EQ(r.bottlenecks[0], 1u);
+  EXPECT_NEAR(r.throughput(), 250.0, 1e-6);
+  EXPECT_NEAR(r.rates[1].utilization, 1.0, 1e-9);
+  // Backpressure propagates to the source: it departs at 250/s.
+  EXPECT_NEAR(r.rates[0].departure, 250.0, 1e-6);
+}
+
+TEST(SteadyState, CorrectionFactorMatchesTheorem32) {
+  // Theorem 3.2: the corrective factor equals 1/rho of the bottleneck.
+  Topology::Builder b;
+  b.add_operator("src", 1.0 * kMs);
+  b.add_operator("a", 0.5 * kMs);
+  b.add_operator("slow", 2.5 * kMs);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  SteadyStateResult r = steady_state(b.build());
+  // rho of slow at full source rate = 1000/400 = 2.5 -> delta1 = 1000/2.5.
+  EXPECT_NEAR(r.throughput(), 400.0, 1e-6);
+  EXPECT_EQ(r.restarts, 1);
+}
+
+TEST(SteadyState, BottleneckBehindProbabilisticFanOut) {
+  // Only 20% of traffic reaches the slow operator, so the correction is
+  // milder than the raw service-rate ratio.
+  Topology::Builder b;
+  b.add_operator("src", 1.0 * kMs);
+  b.add_operator("fast", 0.2 * kMs);
+  b.add_operator("slow", 10.0 * kMs);
+  b.add_operator("sink", 0.1 * kMs);
+  b.add_edge(0, 1, 0.8);
+  b.add_edge(0, 2, 0.2);
+  b.add_edge(1, 3);
+  b.add_edge(2, 3);
+  SteadyStateResult r = steady_state(b.build());
+  // lambda_slow = 0.2 * delta1; saturation at delta1 = 100/0.2 = 500.
+  EXPECT_NEAR(r.throughput(), 500.0, 1e-6);
+  ASSERT_EQ(r.bottlenecks.size(), 1u);
+  EXPECT_EQ(r.bottlenecks[0], 2u);
+}
+
+TEST(SteadyState, CascadedBottlenecksConvergeToSlowest) {
+  // Two bottlenecks in sequence: final rate is set by the slowest.
+  Topology::Builder b;
+  b.add_operator("src", 1.0 * kMs);
+  b.add_operator("slow1", 2.0 * kMs);
+  b.add_operator("slow2", 5.0 * kMs);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  SteadyStateResult r = steady_state(b.build());
+  EXPECT_NEAR(r.throughput(), 200.0, 1e-6);
+  EXPECT_EQ(r.bottlenecks.size(), 2u);
+  EXPECT_GE(r.restarts, 2);
+}
+
+TEST(SteadyState, FlowConservationAtSinks) {
+  // Proposition 3.5: source departure equals total sink departure under
+  // unit selectivities, bottleneck or not.
+  Topology t = fig11_topology({1.0, 1.2, 9.5, 2.0, 1.5, 0.2});  // op3 saturates
+  SteadyStateResult r = steady_state(t);
+  EXPECT_TRUE(r.has_bottleneck());
+  EXPECT_NEAR(r.sink_rate, r.source_rate, 1e-6 * r.source_rate);
+}
+
+TEST(SteadyState, SourceUtilizationReflectsCorrection) {
+  Topology::Builder b;
+  b.add_operator("src", 1.0 * kMs);
+  b.add_operator("slow", 2.0 * kMs);
+  b.add_edge(0, 1);
+  SteadyStateResult r = steady_state(b.build());
+  EXPECT_NEAR(r.rates[0].utilization, 0.5, 1e-9);
+}
+
+TEST(SteadyState, InputSelectivitySlowsDownstreamArrivals) {
+  // Windowed operator consuming 10 items per result: downstream sees 1/10th.
+  Topology::Builder b;
+  b.add_operator("src", 1.0 * kMs);
+  b.add_operator("window", 0.5 * kMs, StateKind::kStateful, Selectivity{10.0, 1.0});
+  b.add_operator("sink", 0.2 * kMs);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  SteadyStateResult r = steady_state(b.build());
+  EXPECT_NEAR(r.throughput(), 1000.0, 1e-6);
+  EXPECT_NEAR(r.rates[1].departure, 100.0, 1e-6);
+  EXPECT_NEAR(r.rates[2].arrival, 100.0, 1e-6);
+}
+
+TEST(SteadyState, OutputSelectivityMultipliesDownstreamArrivals) {
+  // Flatmap producing 3 items per input can saturate a downstream operator
+  // even when nominal rates look fine.
+  Topology::Builder b;
+  b.add_operator("src", 1.0 * kMs);
+  b.add_operator("flatmap", 0.5 * kMs, StateKind::kStateless, Selectivity{1.0, 3.0});
+  b.add_operator("sink", 0.5 * kMs);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  SteadyStateResult r = steady_state(b.build());
+  // sink receives 3 * delta1 and serves 2000/s -> delta1 = 2000/3.
+  EXPECT_NEAR(r.throughput(), 2000.0 / 3.0, 1e-6);
+  ASSERT_EQ(r.bottlenecks.size(), 1u);
+  EXPECT_EQ(r.bottlenecks[0], 2u);
+}
+
+TEST(SteadyState, FilterSelectivityReducesDownstreamLoad) {
+  // A selective filter (output selectivity 0.1) shields a slow sink.
+  Topology::Builder b;
+  b.add_operator("src", 1.0 * kMs);
+  b.add_operator("filter", 0.1 * kMs, StateKind::kStateless, Selectivity{1.0, 0.1});
+  b.add_operator("slow_sink", 5.0 * kMs);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  SteadyStateResult r = steady_state(b.build());
+  EXPECT_FALSE(r.has_bottleneck());
+  EXPECT_NEAR(r.throughput(), 1000.0, 1e-6);
+  EXPECT_NEAR(r.rates[2].arrival, 100.0, 1e-6);
+}
+
+TEST(SteadyState, ReplicationPlanRaisesCapacity) {
+  Topology::Builder b;
+  b.add_operator("src", 1.0 * kMs);
+  b.add_operator("slow", 4.0 * kMs);
+  b.add_operator("sink", 0.1 * kMs);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  Topology t = b.build();
+
+  ReplicationPlan plan;
+  plan.replicas = {1, 4, 1};
+  SteadyStateResult r = steady_state(t, plan);
+  EXPECT_FALSE(r.has_bottleneck());
+  EXPECT_NEAR(r.throughput(), 1000.0, 1e-6);
+  EXPECT_NEAR(r.rates[1].capacity, 1000.0, 1e-6);
+}
+
+TEST(SteadyState, MaxShareLimitsPartitionedCapacity) {
+  // With p_max = 0.5, two replicas do not double capacity: the loaded one
+  // saturates at lambda * 0.5 = mu.
+  Topology::Builder b;
+  b.add_operator("src", 1.0 * kMs);
+  OperatorSpec agg;
+  agg.name = "agg";
+  agg.service_time = 4.0 * kMs;
+  agg.state = StateKind::kPartitionedStateful;
+  agg.keys = KeyDistribution({0.5, 0.25, 0.25});
+  b.add_operator(std::move(agg));
+  b.add_edge(0, 1);
+  Topology t = b.build();
+
+  ReplicationPlan plan;
+  plan.replicas = {1, 2};
+  plan.max_share = {0.0, 0.5};
+  SteadyStateResult r = steady_state(t, plan);
+  EXPECT_NEAR(r.rates[1].capacity, 500.0, 1e-6);
+  EXPECT_NEAR(r.throughput(), 500.0, 1e-6);
+}
+
+TEST(SteadyState, IdealSourceRate) {
+  Topology t = fig11_topology({1.0, 1.2, 0.7, 2.0, 1.5, 0.2});
+  EXPECT_NEAR(ideal_source_rate(t), 1000.0, 1e-9);
+}
+
+TEST(SteadyState, SingleOperatorTopology) {
+  Topology::Builder b;
+  b.add_operator("src", 2.0 * kMs);
+  SteadyStateResult r = steady_state(b.build());
+  EXPECT_NEAR(r.throughput(), 500.0, 1e-9);
+  EXPECT_NEAR(r.sink_rate, 500.0, 1e-9);
+  EXPECT_FALSE(r.has_bottleneck());
+}
+
+TEST(ReplicationPlan, Accessors) {
+  ReplicationPlan plan;
+  EXPECT_EQ(plan.replicas_of(3), 1);
+  EXPECT_DOUBLE_EQ(plan.max_share_of(3), 1.0);
+  plan.replicas = {2, 4};
+  EXPECT_EQ(plan.replicas_of(1), 4);
+  EXPECT_DOUBLE_EQ(plan.max_share_of(1), 0.25);
+  plan.max_share = {0.0, 0.4};
+  EXPECT_DOUBLE_EQ(plan.max_share_of(0), 0.5);  // <=0 falls back to 1/n
+  EXPECT_DOUBLE_EQ(plan.max_share_of(1), 0.4);
+  EXPECT_EQ(plan.total_replicas(3), 2 + 4 + 1);
+  EXPECT_EQ(ReplicationPlan::uniform(3, 2).total_replicas(3), 6);
+}
+
+}  // namespace
+}  // namespace ss

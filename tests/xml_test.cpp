@@ -1,0 +1,180 @@
+// Tests of the XML layer: the mini-DOM parser (well-formedness, entities,
+// comments, error reporting) and the topology description round trip.
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+#include "xmlio/topology_xml.hpp"
+#include "xmlio/xml.hpp"
+
+namespace ss::xml {
+namespace {
+
+TEST(XmlParser, ParsesElementsAttributesText) {
+  const XmlNode root = parse_xml(
+      "<app name=\"demo\"><item id=\"1\">hello</item><item id=\"2\"/></app>");
+  EXPECT_EQ(root.name, "app");
+  EXPECT_EQ(root.attr("name"), "demo");
+  ASSERT_EQ(root.children.size(), 2u);
+  EXPECT_EQ(root.children[0].text, "hello");
+  EXPECT_EQ(root.children[1].attr("id"), "2");
+}
+
+TEST(XmlParser, HandlesDeclarationCommentsWhitespace) {
+  const XmlNode root = parse_xml(
+      "<?xml version=\"1.0\"?>\n"
+      "<!-- top comment -->\n"
+      "<root>\n  <!-- inner -->\n  <leaf/>\n</root>\n"
+      "<!-- trailing -->");
+  EXPECT_EQ(root.name, "root");
+  ASSERT_EQ(root.children.size(), 1u);
+  EXPECT_EQ(root.children[0].name, "leaf");
+}
+
+TEST(XmlParser, DecodesEntities) {
+  const XmlNode root = parse_xml("<r a=\"&lt;x&gt; &amp; &quot;y&quot;\">1 &lt; 2 &#65;</r>");
+  EXPECT_EQ(root.attr("a"), "<x> & \"y\"");
+  EXPECT_EQ(root.text, "1 < 2 A");
+}
+
+TEST(XmlParser, SingleQuotedAttributes) {
+  const XmlNode root = parse_xml("<r a='one' b=\"two\"/>");
+  EXPECT_EQ(root.attr("a"), "one");
+  EXPECT_EQ(root.attr("b"), "two");
+}
+
+TEST(XmlParser, NestedStructure) {
+  const XmlNode root = parse_xml("<a><b><c><d/></c></b></a>");
+  EXPECT_EQ(root.children[0].children[0].children[0].name, "d");
+}
+
+TEST(XmlParser, RejectsMalformedInput) {
+  EXPECT_THROW((void)parse_xml(""), Error);
+  EXPECT_THROW((void)parse_xml("<a>"), Error);                    // unterminated
+  EXPECT_THROW((void)parse_xml("<a></b>"), Error);                // mismatched tags
+  EXPECT_THROW((void)parse_xml("<a x=1/>"), Error);               // unquoted attribute
+  EXPECT_THROW((void)parse_xml("<a x=\"1\" x=\"2\"/>"), Error);   // duplicate attribute
+  EXPECT_THROW((void)parse_xml("<a/><b/>"), Error);               // two roots
+  EXPECT_THROW((void)parse_xml("<a>&bogus;</a>"), Error);         // unknown entity
+}
+
+TEST(XmlParser, ErrorsCarryLineNumbers) {
+  try {
+    (void)parse_xml("<a>\n<b>\n</c>\n</a>");
+    FAIL() << "expected ss::Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos) << e.what();
+  }
+}
+
+TEST(XmlParser, NodeLookupHelpers) {
+  const XmlNode root = parse_xml("<r><x i=\"1\"/><y/><x i=\"2\"/></r>");
+  ASSERT_NE(root.child("x"), nullptr);
+  EXPECT_EQ(root.child("x")->attr("i"), "1");
+  EXPECT_EQ(root.child("nope"), nullptr);
+  EXPECT_EQ(root.children_named("x").size(), 2u);
+  EXPECT_EQ(root.child("y")->attr("missing", "dflt"), "dflt");
+  EXPECT_THROW((void)root.child("y")->require_attr("missing"), Error);
+  EXPECT_THROW((void)root.child("x")->attr_double("i2"), Error);
+  EXPECT_DOUBLE_EQ(root.child("x")->attr_double("i"), 1.0);
+  EXPECT_DOUBLE_EQ(root.child("y")->attr_double("nope", 7.5), 7.5);
+}
+
+TEST(XmlWriter, RoundTripsDom) {
+  const XmlNode original = parse_xml("<r a=\"1 &amp; 2\"><c>text &lt;b&gt;</c><d/></r>");
+  const XmlNode reparsed = parse_xml(write_xml(original));
+  EXPECT_EQ(reparsed.attr("a"), "1 & 2");
+  EXPECT_EQ(reparsed.child("c")->text, "text <b>");
+  EXPECT_NE(reparsed.child("d"), nullptr);
+}
+
+// ------------------------------------------------------- topology format
+
+constexpr const char* kValidTopology = R"(
+<topology name="t">
+  <operator name="src" impl="source" service-time="1" time-unit="ms"/>
+  <operator name="agg" impl="win_sum" service-time="2.5" time-unit="ms"
+            state="partitioned" input-selectivity="10" output-selectivity="1">
+    <keys distribution="zipf" count="10" alpha="1.5"/>
+  </operator>
+  <operator name="out" impl="sink" service-time="100" time-unit="us"/>
+  <edge from="src" to="agg"/>
+  <edge from="agg" to="out" probability="1.0"/>
+</topology>
+)";
+
+TEST(TopologyXml, LoadsAValidDescription) {
+  Topology t = load_topology(kValidTopology);
+  ASSERT_EQ(t.num_operators(), 3u);
+  EXPECT_EQ(t.op(0).name, "src");
+  EXPECT_DOUBLE_EQ(t.op(0).service_time, 1e-3);
+  EXPECT_DOUBLE_EQ(t.op(2).service_time, 100e-6);  // time-unit us
+  EXPECT_EQ(t.op(1).state, StateKind::kPartitionedStateful);
+  EXPECT_DOUBLE_EQ(t.op(1).selectivity.input, 10.0);
+  EXPECT_EQ(t.op(1).keys.num_keys(), 10u);
+  EXPECT_EQ(t.op(1).impl, "win_sum");
+}
+
+TEST(TopologyXml, ExplicitKeyValues) {
+  Topology t = load_topology(R"(
+<topology name="t">
+  <operator name="src" service-time="1"/>
+  <operator name="agg" service-time="1" state="partitioned">
+    <keys values="0.5 0.3 0.2"/>
+  </operator>
+  <edge from="src" to="agg"/>
+</topology>)");
+  ASSERT_EQ(t.op(1).keys.num_keys(), 3u);
+  EXPECT_DOUBLE_EQ(t.op(1).keys.probability(0), 0.5);
+}
+
+TEST(TopologyXml, RejectsBadDescriptions) {
+  EXPECT_THROW((void)load_topology("<nope/>"), Error);  // wrong root
+  EXPECT_THROW((void)load_topology(R"(
+<topology><operator name="a" service-time="1"/>
+<edge from="a" to="ghost"/></topology>)"),
+               Error);  // unknown endpoint
+  EXPECT_THROW((void)load_topology(R"(
+<topology><operator name="a" service-time="1" time-unit="weeks"/></topology>)"),
+               Error);  // bad unit
+  EXPECT_THROW((void)load_topology(R"(
+<topology>
+  <operator name="a" service-time="1"/>
+  <operator name="b" service-time="1"/>
+  <edge from="a" to="b" probability="0.5"/>
+</topology>)"),
+               Error);  // probabilities do not sum to 1
+}
+
+TEST(TopologyXml, SaveLoadRoundTrip) {
+  Topology original = load_topology(kValidTopology);
+  Topology reloaded = load_topology(save_topology(original, "t"));
+  ASSERT_EQ(reloaded.num_operators(), original.num_operators());
+  for (OpIndex i = 0; i < original.num_operators(); ++i) {
+    EXPECT_EQ(reloaded.op(i).name, original.op(i).name);
+    EXPECT_NEAR(reloaded.op(i).service_time, original.op(i).service_time, 1e-9);
+    EXPECT_EQ(reloaded.op(i).state, original.op(i).state);
+    EXPECT_NEAR(reloaded.op(i).selectivity.input, original.op(i).selectivity.input, 1e-9);
+    EXPECT_EQ(reloaded.op(i).impl, original.op(i).impl);
+  }
+  ASSERT_EQ(reloaded.num_edges(), original.num_edges());
+  for (const Edge& e : original.edges()) {
+    EXPECT_NEAR(reloaded.edge_probability(e.from, e.to), e.probability, 1e-6);
+  }
+  // Key distributions survive via explicit values.
+  ASSERT_EQ(reloaded.op(1).keys.num_keys(), original.op(1).keys.num_keys());
+  for (std::size_t k = 0; k < original.op(1).keys.num_keys(); ++k) {
+    EXPECT_NEAR(reloaded.op(1).keys.probability(k), original.op(1).keys.probability(k), 1e-6);
+  }
+}
+
+TEST(TopologyXml, FileRoundTrip) {
+  Topology original = load_topology(kValidTopology);
+  const std::string path = ::testing::TempDir() + "/ss_topology_test.xml";
+  save_topology_file(original, path, "t");
+  Topology reloaded = load_topology_file(path);
+  EXPECT_EQ(reloaded.num_operators(), original.num_operators());
+  EXPECT_THROW((void)load_topology_file("/nonexistent/nope.xml"), Error);
+}
+
+}  // namespace
+}  // namespace ss::xml

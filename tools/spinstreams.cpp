@@ -1,0 +1,7 @@
+// The spinstreams command-line tool; all logic lives in src/cli/cli.cpp so
+// it can be unit-tested.
+#include <iostream>
+
+#include "cli/cli.hpp"
+
+int main(int argc, char** argv) { return ss::cli::run_cli(argc, argv, std::cout, std::cerr); }
