@@ -8,7 +8,7 @@
 // The three topologies are the ones of the testbed that want the most
 // replicas, mirroring the paper's choice of bound-sensitive applications.
 //
-// Flags: --seed=S --engine=sim|threads --bounds=30,35,40
+// Flags: --seed=S --engine=sim|threads|pool --bounds=30,35,40
 //        --sim-duration=SEC --real-duration=SEC
 #include <algorithm>
 #include <iostream>
@@ -38,10 +38,8 @@ int main(int argc, char** argv) {
   const std::uint64_t seed = static_cast<std::uint64_t>(args.get_int("seed", 2018));
   const std::vector<int> bounds = parse_bounds(args.get("bounds", "30,35,40"));
 
-  ss::harness::MeasureOptions options;
-  options.engine = ss::harness::engine_from_string(args.get("engine", "sim"));
-  options.sim_duration = args.get_double("sim-duration", 200.0);
-  options.real_duration = args.get_double("real-duration", 2.0);
+  const ss::harness::MeasureOptions options =
+      ss::harness::measure_options_from_args(args, ss::harness::ExecutionBackend::kSim);
 
   std::cout << "== Figure 10: bounded parallelization (hold-off replication) ==\n\n";
 

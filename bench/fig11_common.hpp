@@ -67,10 +67,11 @@ inline void print_block(const char* title, const ss::Topology& t,
 inline int run(int argc, char** argv, const std::vector<double>& service_ms,
                const char* banner, const char* paper_note) {
   const ss::harness::Args args(argc, argv);
-  ss::harness::MeasureOptions options;
-  options.engine = ss::harness::engine_from_string(args.get("engine", "threads"));
-  options.sim_duration = args.get_double("sim-duration", 300.0);
-  options.real_duration = args.get_double("real-duration", 2.5);
+  ss::harness::MeasureOptions base;
+  base.sim_duration = 300.0;
+  base.real_duration = 2.5;
+  const ss::harness::MeasureOptions options = ss::harness::measure_options_from_args(
+      args, ss::harness::ExecutionBackend::kThreads, base);
 
   std::cout << banner << "\n\n";
   const ss::Topology original = topology(service_ms);

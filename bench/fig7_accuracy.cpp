@@ -8,7 +8,7 @@
 // --engine=threads to run the real actor runtime instead (wall-clock bound:
 // ~real-duration seconds per topology).
 //
-// Flags: --topologies=N --seed=S --engine=sim|threads --sim-duration=SEC
+// Flags: --topologies=N --seed=S --engine=sim|threads|pool --sim-duration=SEC
 //        --real-duration=SEC --law=exp|det|normal|lognormal
 #include <iostream>
 
@@ -36,17 +36,13 @@ int main(int argc, char** argv) {
   const int topologies = static_cast<int>(args.get_int("topologies", 50));
   const std::uint64_t seed = static_cast<std::uint64_t>(args.get_int("seed", 2018));
 
-  ss::harness::MeasureOptions options;
-  options.engine = ss::harness::engine_from_string(args.get("engine", "sim"));
-  options.sim_duration = args.get_double("sim-duration", 200.0);
-  options.real_duration = args.get_double("real-duration", 2.0);
+  ss::harness::MeasureOptions options =
+      ss::harness::measure_options_from_args(args, ss::harness::ExecutionBackend::kSim);
   options.law = law_from_string(args.get("law", "exp"));
 
   std::cout << "== Figure 7: accuracy of the SpinStreams backpressure model ==\n"
             << "testbed: " << topologies << " random topologies (Alg. 5), seed " << seed
-            << ", engine "
-            << (options.engine == ss::harness::Engine::kSim ? "sim (DES)" : "threads (actors)")
-            << "\n\n";
+            << ", engine " << ss::harness::backend_name(options.engine) << "\n\n";
 
   const auto testbed = ss::make_testbed(seed, topologies);
 

@@ -3,7 +3,7 @@
 // reports 678 operators, 6.14% mean error, 5% stddev, a few outliers above
 // 20% on low-probability paths that are slow to reach steady state).
 //
-// Flags: --topologies=N --seed=S --engine=sim|threads --sim-duration=SEC
+// Flags: --topologies=N --seed=S --engine=sim|threads|pool --sim-duration=SEC
 //        --real-duration=SEC --dump (print one row per operator)
 #include <algorithm>
 #include <iostream>
@@ -21,10 +21,8 @@ int main(int argc, char** argv) {
   const std::uint64_t seed = static_cast<std::uint64_t>(args.get_int("seed", 2018));
   const bool dump = args.has("dump");
 
-  ss::harness::MeasureOptions options;
-  options.engine = ss::harness::engine_from_string(args.get("engine", "sim"));
-  options.sim_duration = args.get_double("sim-duration", 200.0);
-  options.real_duration = args.get_double("real-duration", 2.0);
+  const ss::harness::MeasureOptions options =
+      ss::harness::measure_options_from_args(args, ss::harness::ExecutionBackend::kSim);
 
   std::cout << "== Figure 8: per-operator departure-rate prediction error ==\n"
             << "testbed: " << topologies << " topologies, seed " << seed << "\n\n";

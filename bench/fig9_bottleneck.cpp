@@ -8,7 +8,7 @@
 // throughput after parallelization while 7/50 stay limited by stateful
 // operators — the same breakdown is printed here for our testbed.
 //
-// Flags: --topologies=N --seed=S --engine=sim|threads --sim-duration=SEC
+// Flags: --topologies=N --seed=S --engine=sim|threads|pool --sim-duration=SEC
 //        --real-duration=SEC
 #include <iostream>
 
@@ -24,10 +24,8 @@ int main(int argc, char** argv) {
   const int topologies = static_cast<int>(args.get_int("topologies", 50));
   const std::uint64_t seed = static_cast<std::uint64_t>(args.get_int("seed", 2018));
 
-  ss::harness::MeasureOptions options;
-  options.engine = ss::harness::engine_from_string(args.get("engine", "sim"));
-  options.sim_duration = args.get_double("sim-duration", 200.0);
-  options.real_duration = args.get_double("real-duration", 2.0);
+  const ss::harness::MeasureOptions options =
+      ss::harness::measure_options_from_args(args, ss::harness::ExecutionBackend::kSim);
 
   std::cout << "== Figure 9: bottleneck elimination (operator fission) ==\n"
             << "testbed: " << topologies << " topologies, seed " << seed

@@ -51,6 +51,18 @@ void BM_MailboxPingPongThreads(benchmark::State& state) {
 }
 BENCHMARK(BM_MailboxPingPongThreads);
 
+void BM_MailboxTrySend(benchmark::State& state) {
+  // The pooled scheduler's fast path: no blocking machinery touched.
+  Mailbox box(64);
+  const Message m = Message::data(Tuple{}, 0, 1);
+  Message out;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(box.try_send(m));
+    benchmark::DoNotOptimize(box.try_receive(out));
+  }
+}
+BENCHMARK(BM_MailboxTrySend);
+
 void BM_EdgeRouterChoose(benchmark::State& state) {
   ss::Topology::Builder b;
   b.add_operator("src", 1e-3);
@@ -80,8 +92,10 @@ BENCHMARK(BM_ReplicaSelectorByKey);
 
 /// Full engine: N-stage pipeline of pass-through synthetic operators with
 /// near-zero service time; reports tuples/second through the whole chain,
-/// i.e. the per-hop actor overhead fusion removes.
-void BM_EnginePipelineHops(benchmark::State& state) {
+/// i.e. the per-hop actor overhead fusion removes.  Runs on both execution
+/// backends so the hop cost of the dedicated-thread and the pooled
+/// scheduler can be compared directly.
+void engine_pipeline_hops(benchmark::State& state, ss::runtime::SchedulerKind scheduler) {
   const auto stages = static_cast<int>(state.range(0));
   for (auto _ : state) {
     ss::Topology::Builder b;
@@ -92,14 +106,25 @@ void BM_EnginePipelineHops(benchmark::State& state) {
     }
     const ss::Topology t = b.build();
     constexpr std::int64_t kItems = 20000;
+    ss::runtime::EngineConfig config;
+    config.scheduler = scheduler;
     ss::runtime::Engine engine(t, ss::runtime::Deployment{},
-                               ss::runtime::synthetic_factory(0.0, kItems), {});
+                               ss::runtime::synthetic_factory(0.0, kItems), config);
     const auto stats = engine.run_until_complete(std::chrono::duration<double>(60.0));
     state.counters["tuples/s"] =
         benchmark::Counter(static_cast<double>(kItems) / stats.total_seconds);
   }
 }
+
+void BM_EnginePipelineHops(benchmark::State& state) {
+  engine_pipeline_hops(state, ss::runtime::SchedulerKind::kThreadPerActor);
+}
 BENCHMARK(BM_EnginePipelineHops)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+
+void BM_EnginePipelineHopsPooled(benchmark::State& state) {
+  engine_pipeline_hops(state, ss::runtime::SchedulerKind::kPooled);
+}
+BENCHMARK(BM_EnginePipelineHopsPooled)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -44,10 +44,11 @@ commands:
   candidates <file> [--threshold=R]  fusion suggestions ranked by utilization
   fuse <file> --members=a,b,c [--multi] [--name=F]
                                      evaluate a fusion (Alg. 3 / Fig. 2 ext.)
-  simulate <file> [--duration=S] [--optimize] [--shedding]
+  simulate <file> [--duration=S] [--optimize] [--shedding] [--engine=sim|threads|pool]
                                      discrete-event simulation vs the model
-  run <file> [--seconds=S] [--optimize]
-                                     execute on the actor runtime
+  run <file> [--seconds=S] [--optimize] [--engine=threads|pool] [--workers=K]
+                                     execute on the actor runtime (threads =
+                                     one thread per actor, pool = K workers)
   codegen <file> [--max-replicas=N] [--out=FILE] [--run-seconds=S]
                                      generate a C++ program for the deployment
   whatif <file> --set op=ms[,op=ms...] [--replicas=op=n,...]
@@ -216,7 +217,11 @@ int cmd_fuse(const Args& args, std::ostream& out) {
   return result.introduces_bottleneck ? 1 : 0;
 }
 
-int cmd_simulate(const Args& args, std::ostream& out) {
+/// The one execution path behind `run` and `simulate`: same topology
+/// loading and --optimize deployment, then a backend switch.  `run`
+/// defaults to the real runtime (threads), `simulate` to the DES; either
+/// can be redirected with --engine=sim|threads|pool.
+int cmd_execute(const Args& args, std::ostream& out, harness::ExecutionBackend backend) {
   const Topology t = load(args);
   runtime::Deployment deployment;
   if (args.has("optimize")) {
@@ -224,42 +229,50 @@ int cmd_simulate(const Args& args, std::ostream& out) {
     deployment.replication = result.plan;
     deployment.partitions = result.partitions;
   }
-  sim::SimOptions options;
-  options.duration = args.get_double("duration", 120.0);
-  options.shedding = args.has("shedding");
-  options.replication = deployment.replication;
-  options.partitions = deployment.partitions;
-  const sim::SimResult result = sim::simulate(t, options);
-  const double predicted = steady_state(t, deployment.replication).throughput();
+  if (args.has("engine")) backend = harness::engine_from_string(args.get("engine"));
 
-  Table table({"operator", "arrival/s", "departure/s", "busy", "sojourn (ms)", "shed"});
-  for (OpIndex i = 0; i < t.num_operators(); ++i) {
-    table.add_row({t.op(i).name, Table::num(result.ops[i].arrival_rate, 1),
-                   Table::num(result.ops[i].departure_rate, 1),
-                   Table::percent(result.ops[i].busy_fraction, 0),
-                   Table::num(result.ops[i].mean_sojourn * 1e3),
-                   std::to_string(result.ops[i].shed)});
-  }
-  table.print(out);
-  out << "simulated throughput: " << Table::num(result.throughput, 1)
-      << " tuples/s, model predicts " << Table::num(predicted, 1) << " (error "
-      << Table::percent(harness::relative_error(predicted, result.throughput)) << ")\n";
-  return 0;
-}
+  if (backend == harness::ExecutionBackend::kSim) {
+    sim::SimOptions options;
+    options.duration = args.get_double("duration", 120.0);
+    options.shedding = args.has("shedding");
+    options.replication = deployment.replication;
+    options.partitions = deployment.partitions;
+    const sim::SimResult result = sim::simulate(t, options);
+    const double predicted = steady_state(t, deployment.replication).throughput();
 
-int cmd_run(const Args& args, std::ostream& out) {
-  const Topology t = load(args);
-  runtime::Deployment deployment;
-  if (args.has("optimize")) {
-    const BottleneckResult result = eliminate_bottlenecks(t);
-    deployment.replication = result.plan;
-    deployment.partitions = result.partitions;
+    Table table({"operator", "arrival/s", "departure/s", "busy", "sojourn (ms)", "shed"});
+    for (OpIndex i = 0; i < t.num_operators(); ++i) {
+      table.add_row({t.op(i).name, Table::num(result.ops[i].arrival_rate, 1),
+                     Table::num(result.ops[i].departure_rate, 1),
+                     Table::percent(result.ops[i].busy_fraction, 0),
+                     Table::num(result.ops[i].mean_sojourn * 1e3),
+                     std::to_string(result.ops[i].shed)});
+    }
+    table.print(out);
+    out << "simulated throughput: " << Table::num(result.throughput, 1)
+        << " tuples/s, model predicts " << Table::num(predicted, 1) << " (error "
+        << Table::percent(harness::relative_error(predicted, result.throughput)) << ")\n";
+    return 0;
   }
-  runtime::Engine engine(t, deployment, ops::make_logic_factory(t), {});
+
+  runtime::EngineConfig config;
+  if (backend == harness::ExecutionBackend::kPool) {
+    config.scheduler = runtime::SchedulerKind::kPooled;
+    config.workers = static_cast<int>(args.get_int("workers", 0));
+  }
+  runtime::Engine engine(t, deployment, ops::make_logic_factory(t), config);
   const runtime::RunStats stats = engine.run_for(
       std::chrono::duration<double>(args.get_double("seconds", 5.0)));
   out << runtime::format_stats(t, stats);
   return 0;
+}
+
+int cmd_simulate(const Args& args, std::ostream& out) {
+  return cmd_execute(args, out, harness::ExecutionBackend::kSim);
+}
+
+int cmd_run(const Args& args, std::ostream& out) {
+  return cmd_execute(args, out, harness::ExecutionBackend::kThreads);
 }
 
 int cmd_codegen(const Args& args, std::ostream& out) {

@@ -41,4 +41,18 @@ double Args::get_double(const std::string& key, double fallback) const {
   return it == values_.end() ? fallback : std::strtod(it->second.c_str(), nullptr);
 }
 
+MeasureOptions measure_options_from_args(const Args& args, ExecutionBackend default_backend,
+                                         MeasureOptions base) {
+  MeasureOptions options = base;
+  options.engine = args.has("engine") ? engine_from_string(args.get("engine"))
+                                      : default_backend;
+  options.workers = static_cast<int>(args.get_int("workers", base.workers));
+  options.sim_duration = args.get_double("sim-duration", base.sim_duration);
+  options.real_duration = args.get_double("real-duration", base.real_duration);
+  options.buffer_capacity =
+      static_cast<std::size_t>(args.get_int("buffer-capacity", static_cast<long>(base.buffer_capacity)));
+  options.seed = static_cast<std::uint64_t>(args.get_int("seed", static_cast<long>(base.seed)));
+  return options;
+}
+
 }  // namespace ss::harness

@@ -9,6 +9,8 @@
 #include <string>
 #include <vector>
 
+#include "harness/experiment.hpp"
+
 namespace ss::harness {
 
 class Args {
@@ -27,5 +29,12 @@ class Args {
   std::map<std::string, std::string> values_;
   std::vector<std::string> positional_;
 };
+
+/// The measurement flags every bench and the CLI share, parsed in one
+/// place: --engine=sim|threads|pool, --workers=K, --sim-duration=SEC,
+/// --real-duration=SEC, --buffer-capacity=N, --seed=S.  `base` provides
+/// the per-binary defaults for flags the user did not pass.
+MeasureOptions measure_options_from_args(const Args& args, ExecutionBackend default_backend,
+                                         MeasureOptions base = {});
 
 }  // namespace ss::harness

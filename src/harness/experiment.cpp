@@ -6,16 +6,29 @@
 
 namespace ss::harness {
 
-Engine engine_from_string(const std::string& name) {
-  if (name == "sim") return Engine::kSim;
-  if (name == "threads") return Engine::kThreads;
-  throw Error("unknown engine '" + name + "' (expected 'sim' or 'threads')");
+ExecutionBackend engine_from_string(const std::string& name) {
+  if (name == "sim") return ExecutionBackend::kSim;
+  if (name == "threads") return ExecutionBackend::kThreads;
+  if (name == "pool") return ExecutionBackend::kPool;
+  throw Error("unknown engine '" + name + "' (expected 'sim', 'threads' or 'pool')");
+}
+
+const char* backend_name(ExecutionBackend backend) {
+  switch (backend) {
+    case ExecutionBackend::kSim:
+      return "sim";
+    case ExecutionBackend::kThreads:
+      return "threads";
+    case ExecutionBackend::kPool:
+      return "pool";
+  }
+  return "?";
 }
 
 Measured measure(const Topology& t, const runtime::Deployment& deployment,
                  const MeasureOptions& options) {
   Measured result;
-  if (options.engine == Engine::kSim) {
+  if (options.engine == ExecutionBackend::kSim) {
     sim::SimOptions sim_options;
     sim_options.duration = options.sim_duration;
     sim_options.buffer_capacity = options.buffer_capacity;
@@ -35,6 +48,10 @@ Measured measure(const Topology& t, const runtime::Deployment& deployment,
   runtime::EngineConfig config;
   config.mailbox_capacity = options.buffer_capacity;
   config.seed = options.seed;
+  if (options.engine == ExecutionBackend::kPool) {
+    config.scheduler = runtime::SchedulerKind::kPooled;
+    config.workers = options.workers;
+  }
   runtime::Engine engine(t, deployment, runtime::synthetic_factory(), config);
   const runtime::RunStats stats =
       engine.run_for(std::chrono::duration<double>(options.real_duration));

@@ -1,12 +1,15 @@
-// Predicted-vs-measured experiment plumbing shared by the fig* benches.
+// Predicted-vs-measured experiment plumbing shared by the fig* benches,
+// the ablations and the CLI.
 //
-// The "measured" side can come from either engine:
+// The "measured" side can come from any execution backend:
 //   * kSim     — the discrete-event BAS simulator (default; sweeps the
-//                whole 50-topology testbed in seconds on one core), or
-//   * kThreads — the real actor runtime with timed-wait operators (the
-//                configuration closest to the paper's Akka runs; wall-clock
-//                bound, used for spot validation).
-// See DESIGN.md §2 for why both are faithful stand-ins for the paper's
+//                whole 50-topology testbed in seconds on one core),
+//   * kThreads — the real actor runtime, one dedicated thread per actor
+//                (the configuration closest to the paper's Akka runs;
+//                wall-clock bound, used for spot validation), or
+//   * kPool    — the real actor runtime on the pooled scheduler: N actors
+//                multiplexed onto K workers (MeasureOptions::workers).
+// See DESIGN.md §2 for why these are faithful stand-ins for the paper's
 // 24-core Akka deployment.
 #pragma once
 
@@ -20,22 +23,31 @@
 
 namespace ss::harness {
 
-enum class Engine { kSim, kThreads };
+/// Which execution backend produces the "measured" side of an experiment.
+enum class ExecutionBackend { kSim, kThreads, kPool };
 
-/// Parses "sim"/"threads" (CLI --engine values).
-Engine engine_from_string(const std::string& name);
+/// Legacy alias kept for older bench code; new code should say
+/// ExecutionBackend.
+using Engine = ExecutionBackend;
+
+/// Parses "sim"/"threads"/"pool" (the CLI --engine values).
+ExecutionBackend engine_from_string(const std::string& name);
+const char* backend_name(ExecutionBackend backend);
 
 struct MeasureOptions {
-  Engine engine = Engine::kSim;
+  ExecutionBackend engine = ExecutionBackend::kSim;
   /// Simulated seconds (kSim).
   double sim_duration = 200.0;
   /// Service law for the simulator.
   sim::ServiceLaw law = sim::ServiceLaw::exponential();
-  /// Wall-clock seconds per topology (kThreads).
+  /// Wall-clock seconds per topology (kThreads/kPool).
   double real_duration = 2.0;
   /// Mailbox/buffer capacity.
   std::size_t buffer_capacity = 64;
   std::uint64_t seed = 7;
+  /// Worker threads of the pooled backend; <= 0 means one per hardware
+  /// thread.  Ignored by kSim/kThreads.
+  int workers = 0;
 };
 
 /// Measured steady-state rates of one run.

@@ -2,9 +2,10 @@
 
 #include <algorithm>
 #include <deque>
+#include <exception>
 #include <map>
 #include <set>
-#include <exception>
+#include <thread>
 #include <unordered_map>
 
 #include "core/error.hpp"
@@ -209,12 +210,24 @@ Engine::Engine(const Topology& t, Deployment deployment, AppFactory factory,
   }
 }
 
-Engine::~Engine() { join_threads(); }
+Engine::~Engine() { join_execution(); }
+
+// ------------------------------------------------- EngineCore (scheduler API)
+
+bool Engine::is_source(std::size_t id) const {
+  return actors_[id]->spec.kind == ActorKind::kSource;
+}
+
+int Engine::incoming_channels(std::size_t id) const {
+  return actors_[id]->spec.incoming_channels;
+}
+
+Mailbox& Engine::mailbox(std::size_t id) { return actors_[id]->mailbox; }
 
 bool Engine::send_to_actor(int actor_id, const Message& m) {
   const auto timeout =
       std::chrono::duration_cast<std::chrono::nanoseconds>(config_.send_timeout);
-  return actors_[static_cast<std::size_t>(actor_id)]->mailbox.send(m, timeout);
+  return scheduler_->deliver(static_cast<std::size_t>(actor_id), m, timeout);
 }
 
 bool Engine::route_result(OpIndex op, OpIndex target, const Tuple& tuple, Rng& rng) {
@@ -311,9 +324,68 @@ void Engine::finish_actor(std::size_t id) {
   }
 }
 
-void Engine::actor_loop(std::size_t id) {
+void Engine::process_message(std::size_t id, Message& msg) {
   ActorState& st = *actors_[id];
   const OpIndex op = st.spec.op;
+  switch (st.spec.kind) {
+    case ActorKind::kWorker: {
+      board_.add_processed(op);
+      RouteCollector out(*this, op, st.rng);
+      st.logic->process(msg.tuple, msg.from, out);
+      break;
+    }
+    case ActorKind::kReplica: {
+      board_.add_processed(op);
+      st.current_seq = msg.seq;
+      ReplicaCollector out(*this, op, st.collector_actor, msg.seq);
+      st.logic->process(msg.tuple, msg.from, out);
+      if (msg.seq >= 0) {
+        // Tell the collector this input is fully processed so it can
+        // release the next sequence number.
+        actors_[static_cast<std::size_t>(st.collector_actor)]->mailbox.send_unbounded(
+            Message::seq_mark(msg.seq));
+      }
+      break;
+    }
+    case ActorKind::kEmitter: {
+      if (!st.key_cdf.empty()) {
+        // Synthetic mode: draw the key this item carries from the
+        // operator's key distribution so replica loads realize the exact
+        // shares the cost model assumed.
+        const double u = st.rng.next_double();
+        auto it = std::lower_bound(st.key_cdf.begin(), st.key_cdf.end(), u);
+        if (it == st.key_cdf.end()) --it;
+        msg.tuple.key = static_cast<std::int64_t>(it - st.key_cdf.begin());
+      }
+      if (config_.preserve_replica_order) msg.seq = st.next_seq++;
+      const int r = st.selector.select(msg.tuple.key, st.rng);
+      send_to_actor(st.replica_targets[static_cast<std::size_t>(r)], msg);
+      break;
+    }
+    case ActorKind::kCollector: {
+      // msg carries an un-routed (or explicitly targeted) result of `op`,
+      // or a seq mark when order-preserving collection is on.
+      if (msg.kind == Message::Kind::kSeqMark) {
+        st.completed.insert(msg.seq);
+        release_ordered(st);
+      } else if (msg.seq < 0) {
+        if (route_result(op, msg.target, msg.tuple, st.rng)) board_.add_emitted(op);
+      } else {
+        st.held[msg.seq].push_back(msg);
+        release_ordered(st);
+      }
+      break;
+    }
+    case ActorKind::kMeta:
+      run_meta(id, msg.target, msg.tuple, msg.from);
+      break;
+    case ActorKind::kSource:
+      break;  // sources have no inbound data
+  }
+}
+
+void Engine::actor_loop(std::size_t id) {
+  ActorState& st = *actors_[id];
   int shutdowns = 0;
   Message msg;
   while (st.mailbox.receive(msg)) {
@@ -321,61 +393,7 @@ void Engine::actor_loop(std::size_t id) {
       if (++shutdowns >= st.spec.incoming_channels) break;
       continue;
     }
-    switch (st.spec.kind) {
-      case ActorKind::kWorker: {
-        board_.add_processed(op);
-        RouteCollector out(*this, op, st.rng);
-        st.logic->process(msg.tuple, msg.from, out);
-        break;
-      }
-      case ActorKind::kReplica: {
-        board_.add_processed(op);
-        st.current_seq = msg.seq;
-        ReplicaCollector out(*this, op, st.collector_actor, msg.seq);
-        st.logic->process(msg.tuple, msg.from, out);
-        if (msg.seq >= 0) {
-          // Tell the collector this input is fully processed so it can
-          // release the next sequence number.
-          actors_[static_cast<std::size_t>(st.collector_actor)]->mailbox.send_unbounded(
-              Message::seq_mark(msg.seq));
-        }
-        break;
-      }
-      case ActorKind::kEmitter: {
-        if (!st.key_cdf.empty()) {
-          // Synthetic mode: draw the key this item carries from the
-          // operator's key distribution so replica loads realize the exact
-          // shares the cost model assumed.
-          const double u = st.rng.next_double();
-          auto it = std::lower_bound(st.key_cdf.begin(), st.key_cdf.end(), u);
-          if (it == st.key_cdf.end()) --it;
-          msg.tuple.key = static_cast<std::int64_t>(it - st.key_cdf.begin());
-        }
-        if (config_.preserve_replica_order) msg.seq = st.next_seq++;
-        const int r = st.selector.select(msg.tuple.key, st.rng);
-        send_to_actor(st.replica_targets[static_cast<std::size_t>(r)], msg);
-        break;
-      }
-      case ActorKind::kCollector: {
-        // msg carries an un-routed (or explicitly targeted) result of `op`,
-        // or a seq mark when order-preserving collection is on.
-        if (msg.kind == Message::Kind::kSeqMark) {
-          st.completed.insert(msg.seq);
-          release_ordered(st);
-        } else if (msg.seq < 0) {
-          if (route_result(op, msg.target, msg.tuple, st.rng)) board_.add_emitted(op);
-        } else {
-          st.held[msg.seq].push_back(msg);
-          release_ordered(st);
-        }
-        break;
-      }
-      case ActorKind::kMeta:
-        run_meta(id, msg.target, msg.tuple, msg.from);
-        break;
-      case ActorKind::kSource:
-        break;  // sources have no inbound data
-    }
+    process_message(id, msg);
   }
   finish_actor(id);
 }
@@ -393,54 +411,78 @@ void Engine::source_loop(std::size_t id) {
   finish_actor(id);
 }
 
-void Engine::start_threads() {
+void Engine::run_actor(std::size_t id) {
+  if (is_source(id)) {
+    source_loop(id);
+  } else {
+    actor_loop(id);
+  }
+}
+
+bool Engine::pump_source(std::size_t id, int quantum) {
+  ActorState& st = *actors_[id];
+  const OpIndex op = st.spec.op;
+  RouteCollector out(*this, op, st.rng);
+  Tuple tuple;
+  for (int i = 0; i < quantum; ++i) {
+    if (stop_.load(std::memory_order_relaxed)) return false;
+    if (!st.source->next(tuple)) return false;
+    board_.add_processed(op);
+    out.emit(tuple);
+  }
+  return true;
+}
+
+void Engine::report_failure(std::size_t id, const std::string& what) {
+  {
+    std::lock_guard lock(failure_mutex_);
+    if (first_failure_.empty()) {
+      first_failure_ = "actor '" + actors_[id]->spec.name + "': " + what;
+    }
+  }
+  stop_.store(true);
+  actors_[id]->mailbox.close();
+  for (int target : actors_[id]->spec.downstream) {
+    actors_[static_cast<std::size_t>(target)]->mailbox.send_unbounded(Message::shutdown());
+  }
+}
+
+void Engine::actor_done() {
+  if (active_actors_.fetch_sub(1) == 1) {
+    std::lock_guard lock(done_mutex_);
+    done_cv_.notify_all();
+  }
+}
+
+// ------------------------------------------------------------------- running
+
+void Engine::start_execution() {
   require(!started_, "Engine: run() can only be called once per instance");
   started_ = true;
   run_start_ = Clock::now();
   active_actors_.store(static_cast<int>(actors_.size()));
-  threads_.reserve(actors_.size());
-  for (std::size_t id = 0; id < actors_.size(); ++id) {
-    threads_.emplace_back([this, id] {
-      try {
-        if (actors_[id]->spec.kind == ActorKind::kSource) {
-          source_loop(id);
-        } else {
-          actor_loop(id);
-        }
-      } catch (const std::exception& e) {
-        // No exception may cross a thread boundary: record the first
-        // failure, stop the run, and unblock neighbours so the drain
-        // completes; run_for()/run_until_complete() rethrow after join.
-        {
-          std::lock_guard lock(failure_mutex_);
-          if (first_failure_.empty()) {
-            first_failure_ = "actor '" + actors_[id]->spec.name + "': " + e.what();
-          }
-        }
-        stop_.store(true);
-        actors_[id]->mailbox.close();
-        for (int target : actors_[id]->spec.downstream) {
-          actors_[static_cast<std::size_t>(target)]->mailbox.send_unbounded(
-              Message::shutdown());
-        }
-      }
-      if (active_actors_.fetch_sub(1) == 1) {
-        std::lock_guard lock(done_mutex_);
-        done_cv_.notify_all();
-      }
-    });
-  }
+  scheduler_ = make_scheduler(config_.scheduler, config_.workers);
+  scheduler_->start(*this);
 }
 
-void Engine::join_threads() {
-  for (std::thread& thread : threads_) {
-    if (thread.joinable()) thread.join();
+void Engine::join_execution() {
+  if (scheduler_) scheduler_->join();
+}
+
+RunStats Engine::finalize_run() {
+  std::uint64_t dropped = 0;
+  for (const auto& actor : actors_) dropped += actor->mailbox.dropped();
+  {
+    std::lock_guard lock(failure_mutex_);
+    require(first_failure_.empty(), "engine run failed: " + first_failure_);
   }
-  threads_.clear();
+  RunStats stats;
+  stats.dropped = dropped;
+  return stats;
 }
 
 RunStats Engine::run_for(std::chrono::duration<double> duration) {
-  start_threads();
+  start_execution();
   const double total = duration.count();
   const double warmup = total * config_.warmup_fraction;
   std::this_thread::sleep_for(std::chrono::duration<double>(warmup));
@@ -448,20 +490,15 @@ RunStats Engine::run_for(std::chrono::duration<double> duration) {
   std::this_thread::sleep_for(std::chrono::duration<double>(total - warmup));
   const CounterSnapshot end = board_.snapshot(seconds_between(run_start_, Clock::now()));
   stop_.store(true);
-  join_threads();
+  join_execution();
   const double wall = seconds_between(run_start_, Clock::now());
   const CounterSnapshot final_totals = board_.snapshot(wall);
-  std::uint64_t dropped = 0;
-  for (const auto& actor : actors_) dropped += actor->mailbox.dropped();
-  {
-    std::lock_guard lock(failure_mutex_);
-    require(first_failure_.empty(), "engine run failed: " + first_failure_);
-  }
-  return make_run_stats(topology_, begin, end, final_totals, wall, dropped);
+  const RunStats partial = finalize_run();
+  return make_run_stats(topology_, begin, end, final_totals, wall, partial.dropped);
 }
 
 RunStats Engine::run_until_complete(std::chrono::duration<double> max_duration) {
-  start_threads();
+  start_execution();
   const CounterSnapshot begin = board_.snapshot(0.0);
   {
     std::unique_lock lock(done_mutex_);
@@ -469,16 +506,11 @@ RunStats Engine::run_until_complete(std::chrono::duration<double> max_duration) 
       stop_.store(true);
     }
   }
-  join_threads();
+  join_execution();
   const double wall = seconds_between(run_start_, Clock::now());
   const CounterSnapshot end = board_.snapshot(wall);
-  std::uint64_t dropped = 0;
-  for (const auto& actor : actors_) dropped += actor->mailbox.dropped();
-  {
-    std::lock_guard lock(failure_mutex_);
-    require(first_failure_.empty(), "engine run failed: " + first_failure_);
-  }
-  return make_run_stats(topology_, begin, end, end, wall, dropped);
+  const RunStats partial = finalize_run();
+  return make_run_stats(topology_, begin, end, end, wall, partial.dropped);
 }
 
 }  // namespace ss::runtime

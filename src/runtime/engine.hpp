@@ -1,6 +1,9 @@
-// The actor engine: builds the actor graph of a deployment, runs one thread
-// per actor (the configuration the paper evaluates in §5.1), measures
-// steady-state rates, and drains the topology deterministically on stop.
+// The actor core: builds the actor graph of a deployment, dispatches
+// messages to operator logic, measures steady-state rates, and drains the
+// topology deterministically on stop.  *How* actors get CPU time is
+// delegated to a Scheduler (scheduler.hpp): one dedicated thread per actor
+// (the configuration the paper evaluates in §5.1, the default) or a shared
+// worker pool multiplexing N actors onto K workers.
 #pragma once
 
 #include <atomic>
@@ -9,7 +12,6 @@
 #include <functional>
 #include <memory>
 #include <mutex>
-#include <thread>
 #include <vector>
 
 #include "core/topology.hpp"
@@ -19,6 +21,7 @@
 #include "runtime/operator.hpp"
 #include "runtime/plan.hpp"
 #include "runtime/routing.hpp"
+#include "runtime/scheduler.hpp"
 
 namespace ss::runtime {
 
@@ -45,6 +48,12 @@ struct EngineConfig {
   /// for item scheduling and collection, to preserve the sequential
   /// ordering").  Costs one marker message per input item.
   bool preserve_replica_order = false;
+  /// Execution backend: dedicated thread per actor (paper-faithful
+  /// default) or a shared worker pool.
+  SchedulerKind scheduler = SchedulerKind::kThreadPerActor;
+  /// Worker threads of the pooled scheduler; <= 0 means one per hardware
+  /// thread.  Ignored under kThreadPerActor.
+  int workers = 0;
 };
 
 /// Produces the processing logic of each logical operator.
@@ -58,10 +67,10 @@ struct AppFactory {
 /// unbounded source cut off by the run duration.
 AppFactory synthetic_factory(double time_scale = 1.0, std::int64_t max_items = -1);
 
-class Engine {
+class Engine final : public EngineCore {
  public:
   Engine(const Topology& t, Deployment deployment, AppFactory factory, EngineConfig config = {});
-  ~Engine();
+  ~Engine() override;
 
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
@@ -81,11 +90,24 @@ class Engine {
  private:
   struct ActorState;
 
-  void start_threads();
-  void join_threads();
+  // --- EngineCore: the surface the scheduler drives
+  std::size_t num_actors() const override { return actors_.size(); }
+  bool is_source(std::size_t id) const override;
+  int incoming_channels(std::size_t id) const override;
+  Mailbox& mailbox(std::size_t id) override;
+  void run_actor(std::size_t id) override;
+  bool pump_source(std::size_t id, int quantum) override;
+  void process_message(std::size_t id, Message& m) override;
+  void finish_actor(std::size_t id) override;
+  void report_failure(std::size_t id, const std::string& what) override;
+  void actor_done() override;
+  bool stop_requested() const override { return stop_.load(std::memory_order_relaxed); }
+
+  void start_execution();
+  void join_execution();
   void actor_loop(std::size_t id);
   void source_loop(std::size_t id);
-  void finish_actor(std::size_t id);
+  RunStats finalize_run();
   bool send_to_actor(int actor_id, const Message& m);
   /// Routes a result of logical operator `op` (explicit `target` or
   /// probabilistic when kInvalidOp) and delivers it; returns true when the
@@ -106,7 +128,7 @@ class Engine {
   StatsBoard board_;
   std::vector<EdgeRouter> routers_;  // per logical operator
   std::vector<std::unique_ptr<ActorState>> actors_;
-  std::vector<std::thread> threads_;
+  std::unique_ptr<Scheduler> scheduler_;
   std::atomic<bool> stop_{false};
   std::atomic<int> active_actors_{0};
   std::mutex failure_mutex_;

@@ -3,31 +3,58 @@
 namespace ss::runtime {
 
 bool Mailbox::send(const Message& m, std::chrono::nanoseconds timeout) {
-  std::unique_lock lock(mutex_);
-  if (policy_ == OverflowPolicy::kShedNewest) {
-    if (!closed_ && queue_.size() >= capacity_) {
-      ++dropped_;  // shedding: discard instead of exerting backpressure
+  bool was_empty = false;
+  {
+    std::unique_lock lock(mutex_);
+    if (policy_ == OverflowPolicy::kShedNewest) {
+      if (!closed_ && queue_.size() >= capacity_) {
+        ++dropped_;  // shedding: discard instead of exerting backpressure
+        return false;
+      }
+    } else if (!not_full_.wait_for(lock, timeout,
+                                   [&] { return closed_ || queue_.size() < capacity_; })) {
+      ++dropped_;  // timed out while full: the item is discarded (paper §5.1)
       return false;
     }
-  } else if (!not_full_.wait_for(lock, timeout,
-                                 [&] { return closed_ || queue_.size() < capacity_; })) {
-    ++dropped_;  // timed out while full: the item is discarded (paper §5.1)
-    return false;
+    if (closed_) return false;
+    was_empty = queue_.empty();
+    queue_.push_back(m);
   }
-  if (closed_) return false;
-  queue_.push_back(m);
-  lock.unlock();
   not_empty_.notify_one();
+  if (was_empty && on_ready_) on_ready_();
+  return true;
+}
+
+bool Mailbox::try_send(const Message& m) {
+  bool was_empty = false;
+  {
+    std::lock_guard lock(mutex_);
+    if (closed_) return false;
+    if (queue_.size() >= capacity_) {
+      if (policy_ == OverflowPolicy::kShedNewest) ++dropped_;  // shed, like send()
+      return false;
+    }
+    was_empty = queue_.empty();
+    queue_.push_back(m);
+  }
+  not_empty_.notify_one();
+  if (was_empty && on_ready_) on_ready_();
   return true;
 }
 
 void Mailbox::send_unbounded(const Message& m) {
+  bool was_empty = false;
   {
     std::lock_guard lock(mutex_);
-    if (closed_) return;
+    if (closed_) {
+      ++dropped_;  // the box will never be drained again: record the loss
+      return;
+    }
+    was_empty = queue_.empty();
     queue_.push_back(m);
   }
   not_empty_.notify_one();
+  if (was_empty && on_ready_) on_ready_();
 }
 
 bool Mailbox::receive(Message& out) {
@@ -64,6 +91,11 @@ void Mailbox::close() {
 std::size_t Mailbox::size() const {
   std::lock_guard lock(mutex_);
   return queue_.size();
+}
+
+bool Mailbox::closed() const {
+  std::lock_guard lock(mutex_);
+  return closed_;
 }
 
 std::uint64_t Mailbox::dropped() const {

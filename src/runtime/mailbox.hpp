@@ -12,6 +12,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <functional>
 #include <mutex>
 
 #include "runtime/message.hpp"
@@ -40,8 +41,16 @@ class Mailbox {
   /// under kShedNewest a full mailbox discards the item immediately.
   bool send(const Message& m, std::chrono::nanoseconds timeout);
 
+  /// Non-blocking fast path: enqueues if a slot is free right now and
+  /// returns true.  Returns false when the mailbox is closed or full; a
+  /// full kShedNewest mailbox counts the drop (the item is shed), a full
+  /// kBlockAfterService one does not — the caller decides whether to fall
+  /// back to the blocking send() or to retry later.
+  bool try_send(const Message& m);
+
   /// Enqueues bypassing the capacity bound (used for shutdown tokens so a
-  /// drain can never deadlock behind a full buffer).
+  /// drain can never deadlock behind a full buffer).  A closed mailbox
+  /// counts the item as dropped instead of enqueueing it.
   void send_unbounded(const Message& m);
 
   /// Dequeues into `out`, blocking while empty.  Returns false once the
@@ -54,8 +63,17 @@ class Mailbox {
   /// Wakes all waiters; send() starts failing, receive() drains then stops.
   void close();
 
+  /// Installs a readiness hook fired (outside the lock) whenever an enqueue
+  /// turns the mailbox from empty to non-empty.  Pooled schedulers use it
+  /// to learn that the owning actor has work without parking a worker on
+  /// this mailbox's condition variable.  Must be installed before any
+  /// concurrent sender exists; pass nullptr to clear.
+  void set_on_ready(std::function<void()> on_ready) { on_ready_ = std::move(on_ready); }
+
   [[nodiscard]] std::size_t size() const;
   [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] bool closed() const;
+  [[nodiscard]] OverflowPolicy policy() const { return policy_; }
 
   /// Items dropped on send timeout since construction.
   [[nodiscard]] std::uint64_t dropped() const;
@@ -69,6 +87,7 @@ class Mailbox {
   std::deque<Message> queue_;
   bool closed_ = false;
   std::uint64_t dropped_ = 0;
+  std::function<void()> on_ready_;  ///< empty→non-empty edge notification
 };
 
 }  // namespace ss::runtime

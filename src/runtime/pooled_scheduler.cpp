@@ -1,0 +1,269 @@
+// PooledScheduler: multiplexes the N actors of a deployment onto K worker
+// threads — the dispatcher-style execution production stream processors use
+// when the topology is larger than the thread budget (or the host smaller
+// than the topology).
+//
+// Design:
+//   * a shared ready-queue of actor ids; every mailbox notifies it on its
+//     empty→non-empty edge (Mailbox::set_on_ready), so workers park on one
+//     scheduler condvar, never on a per-mailbox one;
+//   * workers claim an actor (atomic flag — at most one worker runs an
+//     actor at any time, preserving the single-threaded-logic guarantee),
+//     drain a bounded batch via try_receive(), then release and re-check
+//     the mailbox so a message that raced the release is never stranded;
+//   * sources run as repeated bounded quanta and re-enqueue themselves
+//     until exhausted or stopped;
+//   * sends use the try_send() fast path; a full destination under BAS
+//     falls back to the blocking send wrapped in a BlockingSection;
+//   * BlockingSection implements cooperative blocking compensation (in the
+//     spirit of ForkJoinPool's ManagedBlocker): while a worker parks in a
+//     timed-wait service or a backpressure-blocked send, the pool may spawn
+//     or wake a spare worker so K *runnable* workers keep draining.  This
+//     both preserves the rate fidelity of wait-realized service times and
+//     makes the blocked-send path deadlock-free: some runnable worker can
+//     always claim the most-downstream ready actor (sinks never block on
+//     send), so every full mailbox eventually drains.  Worker threads are
+//     capped at num_actors + K — the same order as thread-per-actor in the
+//     worst all-blocked case, but only ~K threads are ever runnable.
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "runtime/scheduler.hpp"
+
+namespace ss::runtime {
+
+namespace {
+
+class PooledScheduler final : public Scheduler {
+ public:
+  explicit PooledScheduler(int workers) : target_(workers) {}
+
+  void start(EngineCore& core) override {
+    core_ = &core;
+    const std::size_t n = core.num_actors();
+    slots_ = std::vector<ActorSlot>(n);
+    if (target_ <= 0) target_ = static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
+    max_threads_ = static_cast<int>(n) + target_;
+    for (std::size_t id = 0; id < n; ++id) {
+      core.mailbox(id).set_on_ready([this, id] { enqueue(id); });
+    }
+    std::lock_guard lock(mu_);
+    remaining_ = n;
+    for (std::size_t id = 0; id < n; ++id) {
+      if (core.is_source(id)) ready_.push_back(id);
+    }
+    for (int i = 0; i < target_; ++i) spawn_locked();
+  }
+
+  bool deliver(std::size_t target, const Message& m,
+               std::chrono::nanoseconds timeout) override {
+    Mailbox& box = core_->mailbox(target);
+    if (box.try_send(m)) return true;
+    // Slow path: closed, or full.  Under shedding the drop was already
+    // counted by try_send; under BAS block honestly — the BlockingSection
+    // lends the core onward, so the pool keeps draining the destination
+    // and the send completes (backpressure without pool deadlock).
+    if (box.closed() || box.policy() == OverflowPolicy::kShedNewest) return false;
+    BlockingSection blocking;
+    return box.send(m, timeout);
+  }
+
+  void join() override {
+    if (joined_) return;
+    std::vector<std::thread> threads;
+    {
+      std::unique_lock lock(mu_);
+      drained_cv_.wait(lock, [&] { return remaining_ == 0; });
+      shutdown_ = true;
+      threads.swap(threads_);
+    }
+    work_cv_.notify_all();
+    for (std::thread& thread : threads) {
+      if (thread.joinable()) thread.join();
+    }
+    joined_ = true;
+  }
+
+  void blocking_begin() {
+    std::lock_guard lock(mu_);
+    ++blocked_;
+    if (!ready_.empty() && idle_ == 0) maybe_spawn_locked();
+  }
+
+  void blocking_end() {
+    std::lock_guard lock(mu_);
+    --blocked_;
+  }
+
+ private:
+  /// Bounded work per claim, for fairness across actors on few workers.
+  static constexpr int kBatch = 64;
+  static constexpr int kSourceQuantum = 64;
+
+  struct ActorSlot {
+    std::atomic<bool> running{false};  ///< claim: one worker per actor
+    std::atomic<bool> done{false};
+    int shutdowns = 0;  ///< tokens seen; touched only while claimed
+  };
+
+  void enqueue(std::size_t id) {
+    bool wake = false;
+    {
+      std::lock_guard lock(mu_);
+      if (shutdown_) return;
+      ready_.push_back(id);
+      if (idle_ > 0) {
+        wake = true;
+      } else {
+        maybe_spawn_locked();
+      }
+    }
+    if (wake) work_cv_.notify_one();
+  }
+
+  /// Compensation: keep `target_` runnable (non-blocked) workers as long
+  /// as ready work exists, up to the thread cap.
+  void maybe_spawn_locked() {
+    if (spawned_ - blocked_ < target_ && spawned_ < max_threads_) spawn_locked();
+  }
+
+  void spawn_locked() {
+    if (shutdown_) return;
+    ++spawned_;
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+
+  void worker_loop();
+  void run_actor_slot(std::size_t id);
+  void complete(std::size_t id, ActorSlot& slot, bool run_finish);
+
+  EngineCore* core_ = nullptr;
+  int target_;           ///< runnable-worker budget (K)
+  int max_threads_ = 0;  ///< hard cap including blocked compensated workers
+  std::vector<ActorSlot> slots_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;     ///< the one condvar workers park on
+  std::condition_variable drained_cv_;  ///< join() waits for remaining_ == 0
+  std::deque<std::size_t> ready_;       ///< actor-id hints (may hold stale ones)
+  std::vector<std::thread> threads_;
+  int spawned_ = 0;
+  int idle_ = 0;     ///< workers parked on work_cv_
+  int blocked_ = 0;  ///< workers inside a BlockingSection
+  std::size_t remaining_ = 0;
+  bool shutdown_ = false;
+  bool joined_ = false;
+};
+
+thread_local PooledScheduler* tls_pool = nullptr;
+
+void PooledScheduler::worker_loop() {
+  tls_pool = this;
+  for (;;) {
+    std::size_t id = 0;
+    {
+      std::unique_lock lock(mu_);
+      ++idle_;
+      work_cv_.wait(lock, [&] { return shutdown_ || !ready_.empty(); });
+      --idle_;
+      if (shutdown_) break;  // remaining hints are stale: all actors done
+      id = ready_.front();
+      ready_.pop_front();
+    }
+    run_actor_slot(id);
+  }
+  tls_pool = nullptr;
+}
+
+void PooledScheduler::run_actor_slot(std::size_t id) {
+  ActorSlot& slot = slots_[id];
+  if (slot.done.load(std::memory_order_acquire)) return;
+  if (slot.running.exchange(true, std::memory_order_acq_rel)) return;  // claimed elsewhere
+  if (slot.done.load(std::memory_order_relaxed)) {  // finished before our claim
+    slot.running.store(false, std::memory_order_release);
+    return;
+  }
+  bool requeue = false;
+  if (core_->is_source(id)) {
+    bool more = false;
+    try {
+      more = core_->pump_source(id, kSourceQuantum);
+    } catch (const std::exception& e) {
+      core_->report_failure(id, e.what());
+      complete(id, slot, /*run_finish=*/false);
+      return;
+    }
+    if (!more) {
+      complete(id, slot, /*run_finish=*/true);
+      return;
+    }
+    requeue = true;  // sources stay ready until exhausted
+  } else {
+    Message msg;
+    try {
+      for (int n = 0; n < kBatch && core_->mailbox(id).try_receive(msg); ++n) {
+        if (msg.kind == Message::Kind::kShutdown) {
+          // FIFO per channel puts each upstream's token after its data, so
+          // once all tokens arrived no data can be pending behind them.
+          if (++slot.shutdowns >= core_->incoming_channels(id)) {
+            complete(id, slot, /*run_finish=*/true);
+            return;
+          }
+          continue;
+        }
+        core_->process_message(id, msg);
+      }
+    } catch (const std::exception& e) {
+      core_->report_failure(id, e.what());
+      complete(id, slot, /*run_finish=*/false);
+      return;
+    }
+  }
+  slot.running.store(false, std::memory_order_release);
+  // A message that arrived during the batch fired its readiness hint while
+  // we still held the claim (the hint was discarded): re-check so nothing
+  // is stranded.
+  if (requeue || core_->mailbox(id).size() > 0) enqueue(id);
+}
+
+void PooledScheduler::complete(std::size_t id, ActorSlot& slot, bool run_finish) {
+  if (run_finish) {
+    try {
+      core_->finish_actor(id);  // flush logic, propagate shutdown tokens
+    } catch (const std::exception& e) {
+      core_->report_failure(id, e.what());
+    }
+  }
+  slot.done.store(true, std::memory_order_release);
+  slot.running.store(false, std::memory_order_release);
+  core_->actor_done();
+  bool drained = false;
+  {
+    std::lock_guard lock(mu_);
+    drained = (--remaining_ == 0);
+  }
+  if (drained) drained_cv_.notify_all();
+}
+
+}  // namespace
+
+BlockingSection::BlockingSection() noexcept : pool_(tls_pool) {
+  if (pool_ != nullptr) static_cast<PooledScheduler*>(pool_)->blocking_begin();
+}
+
+BlockingSection::~BlockingSection() {
+  if (pool_ != nullptr) static_cast<PooledScheduler*>(pool_)->blocking_end();
+}
+
+std::unique_ptr<Scheduler> make_pooled_scheduler(int workers);
+
+std::unique_ptr<Scheduler> make_pooled_scheduler(int workers) {
+  return std::make_unique<PooledScheduler>(workers);
+}
+
+}  // namespace ss::runtime

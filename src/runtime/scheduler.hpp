@@ -1,0 +1,128 @@
+// Execution scheduling behind the actor engine.
+//
+// The engine (engine.hpp) is the *actor core*: it owns the actor graph,
+// message dispatch, routing, metering and the drain protocol.  How actors
+// get CPU time is delegated to a Scheduler:
+//
+//   * ThreadPerActorScheduler — one dedicated thread per actor, blocking
+//     mailbox receive.  This is the configuration the paper evaluates
+//     (§5.1, one Akka actor per operator) and the default; its semantics
+//     are byte-for-byte those of the original monolithic engine.
+//   * PooledScheduler — multiplexes N actors onto K worker threads.
+//     Workers never park on a per-mailbox condition variable: each mailbox
+//     notifies a shared ready-queue on its empty→non-empty edge
+//     (Mailbox::set_on_ready) and workers drain ready actors in bounded
+//     batches through the non-blocking try_receive()/try_send() paths.
+//     Operator logic that parks its thread (timed-wait services, blocking
+//     sends under backpressure) wraps the park in a BlockingSection so the
+//     pool can lend the core to another worker meanwhile — K bounds the
+//     number of *runnable* workers, not the number of sleepers, which is
+//     what keeps wait-realized service times (clock.hpp) rate-faithful.
+//
+// Schedulers drive the engine through the narrow EngineCore interface so
+// new policies (work stealing, NUMA-pinned pools) can be added without
+// touching the actor core.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <memory>
+#include <string>
+
+#include "runtime/mailbox.hpp"
+
+namespace ss::runtime {
+
+/// Which execution backend runs the actors of an Engine.
+enum class SchedulerKind : std::uint8_t {
+  kThreadPerActor,  ///< paper-faithful default: one thread per actor
+  kPooled,          ///< N actors multiplexed onto K worker threads
+};
+
+/// Parses "threads"/"pool"; throws ss::Error otherwise.
+SchedulerKind scheduler_kind_from_string(const std::string& name);
+const char* to_string(SchedulerKind kind);
+
+/// What a Scheduler needs from the engine: actor-graph shape, the blocking
+/// per-actor loop (thread-per-actor mode) and the step-wise execution
+/// pieces (pooled mode).  Implemented by Engine.
+class EngineCore {
+ public:
+  virtual ~EngineCore() = default;
+
+  virtual std::size_t num_actors() const = 0;
+  virtual bool is_source(std::size_t id) const = 0;
+  /// Shutdown tokens expected before the actor may finish.
+  virtual int incoming_channels(std::size_t id) const = 0;
+  virtual Mailbox& mailbox(std::size_t id) = 0;
+
+  /// Runs one actor to completion: blocking receive loop (or source loop)
+  /// plus the finish/drain epilogue.  Thread-per-actor mode only.
+  virtual void run_actor(std::size_t id) = 0;
+
+  /// Emits up to `quantum` source items; returns false when the source
+  /// ended (or the run was stopped) and the finish epilogue is due.
+  virtual bool pump_source(std::size_t id, int quantum) = 0;
+
+  /// Dispatches one already-dequeued data/seq-mark message to the actor's
+  /// logic.  The caller guarantees single-threaded access per actor.
+  virtual void process_message(std::size_t id, Message& m) = 0;
+
+  /// Flushes logic state and propagates end-of-stream tokens downstream.
+  virtual void finish_actor(std::size_t id) = 0;
+
+  /// Records the first failure, stops the run and unblocks neighbours so
+  /// the drain completes; the engine rethrows after the run.
+  virtual void report_failure(std::size_t id, const std::string& what) = 0;
+
+  /// One actor fully finished (successfully or not); the engine's
+  /// active-actor accounting and completion signalling live here.
+  virtual void actor_done() = 0;
+
+  virtual bool stop_requested() const = 0;
+};
+
+/// Execution policy: owns the threads that run the actors.
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  /// Spawns execution resources.  Called exactly once; `core` outlives the
+  /// scheduler.
+  virtual void start(EngineCore& core) = 0;
+
+  /// Delivers a data message to `target`'s mailbox with the backpressure
+  /// behaviour appropriate to the scheduling model (blocking send for
+  /// dedicated threads; try_send fast path + cooperative blocking for the
+  /// pool).  Returns false when the item was dropped or the box closed.
+  virtual bool deliver(std::size_t target, const Message& m,
+                       std::chrono::nanoseconds timeout) = 0;
+
+  /// Waits until every actor finished (the drain completed), then stops
+  /// and joins all execution threads.  Idempotent.
+  virtual void join() = 0;
+};
+
+/// `workers <= 0` means one worker per hardware thread (pooled only).
+std::unique_ptr<Scheduler> make_scheduler(SchedulerKind kind, int workers);
+
+/// RAII marker around a thread-parking section (timed wait, blocking send,
+/// I/O) inside operator or engine code.  Under the pooled scheduler this
+/// releases the caller's worker slot so another worker can keep draining —
+/// the mechanism that makes K-worker pools throughput-equivalent to
+/// thread-per-actor on wait-bound workloads and that guarantees
+/// backpressure blocking can never deadlock the pool.  A no-op on
+/// non-pooled threads.
+class BlockingSection {
+ public:
+  BlockingSection() noexcept;
+  ~BlockingSection();
+
+  BlockingSection(const BlockingSection&) = delete;
+  BlockingSection& operator=(const BlockingSection&) = delete;
+
+ private:
+  void* pool_;  ///< the worker's PooledScheduler, or nullptr
+};
+
+}  // namespace ss::runtime

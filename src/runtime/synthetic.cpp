@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "runtime/clock.hpp"
+#include "runtime/scheduler.hpp"
 
 namespace ss::runtime {
 
@@ -16,7 +17,12 @@ SyntheticOperator::SyntheticOperator(const OperatorSpec& spec, std::uint64_t see
 
 void SyntheticOperator::process(const Tuple& item, OpIndex from, Collector& out) {
   (void)from;
-  waiter_.wait(service_time_);
+  {
+    // The timed wait parks this thread; under the pooled scheduler the
+    // BlockingSection lends the core to another worker meanwhile.
+    BlockingSection blocking;
+    waiter_.wait(service_time_);
+  }
   last_item_ = item;
   has_pending_ = true;
   // One production event per `input` items consumed (window-slide style).
@@ -64,7 +70,10 @@ SyntheticSource::SyntheticSource(const OperatorSpec& spec, std::uint64_t seed,
 
 bool SyntheticSource::next(Tuple& out) {
   if (max_items_ >= 0 && next_id_ >= max_items_) return false;
-  waiter_.wait(service_time_);
+  {
+    BlockingSection blocking;
+    waiter_.wait(service_time_);
+  }
   out.id = next_id_++;
   out.key = static_cast<std::int64_t>(rng_.next_u64() >> 1);
   out.ts = static_cast<double>(out.id) * service_time_;

@@ -198,6 +198,31 @@ TEST_F(CliTest, ProfileReplacesDeclaredTimes) {
   EXPECT_EQ(vcode, 0) << verr;
 }
 
+TEST_F(CliTest, RunExecutesOnBothRuntimeBackends) {
+  auto [code, out, err] = run({"run", "--seconds=0.4"});
+  EXPECT_EQ(code, 0) << err;
+  EXPECT_NE(out.find("src"), std::string::npos);
+
+  auto [pcode, pout, perr] = run({"run", "--engine=pool", "--workers=2", "--seconds=0.4"});
+  EXPECT_EQ(pcode, 0) << perr;
+  EXPECT_NE(pout.find("src"), std::string::npos);
+}
+
+TEST_F(CliTest, RunRejectsUnknownEngine) {
+  auto [code, out, err] = run({"run", "--engine=quantum", "--seconds=0.1"});
+  EXPECT_EQ(code, 1);
+  EXPECT_NE(err.find("unknown engine"), std::string::npos);
+}
+
+TEST_F(CliTest, SimulateRedirectsToRuntimeEngine) {
+  // The unified execution path: `simulate --engine=pool` runs the real
+  // runtime instead of the DES.
+  auto [code, out, err] = run({"simulate", "--engine=pool", "--workers=2", "--seconds=0.4"});
+  EXPECT_EQ(code, 0) << err;
+  EXPECT_EQ(out.find("simulated throughput"), std::string::npos);
+  EXPECT_NE(out.find("src"), std::string::npos);
+}
+
 TEST_F(CliTest, GenerateProducesLoadableXml) {
   const std::string out_path = ::testing::TempDir() + "/cli_random.xml";
   auto [code, out, err] = run({"generate", "--seed=9", "--out=" + out_path}, false);

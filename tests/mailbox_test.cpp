@@ -149,5 +149,74 @@ TEST(Mailbox, ZeroCapacityIsClampedToOne) {
   EXPECT_FALSE(box.send(data_msg(2), 10ms));
 }
 
+TEST(Mailbox, TrySendSucceedsWhileFree) {
+  Mailbox box(2);
+  EXPECT_TRUE(box.try_send(data_msg(1)));
+  EXPECT_TRUE(box.try_send(data_msg(2)));
+  EXPECT_EQ(box.size(), 2u);
+  EXPECT_EQ(box.dropped(), 0u);
+}
+
+TEST(Mailbox, TrySendFullUnderBasDoesNotCountADrop) {
+  // BAS: the caller is expected to fall back to the blocking send(), so a
+  // failed try_send is not a loss.
+  Mailbox box(1, OverflowPolicy::kBlockAfterService);
+  ASSERT_TRUE(box.try_send(data_msg(0)));
+  EXPECT_FALSE(box.try_send(data_msg(1)));
+  EXPECT_EQ(box.dropped(), 0u);
+  EXPECT_EQ(box.size(), 1u);
+}
+
+TEST(Mailbox, TrySendFullUnderSheddingCountsTheDrop) {
+  Mailbox box(1, OverflowPolicy::kShedNewest);
+  ASSERT_TRUE(box.try_send(data_msg(0)));
+  EXPECT_FALSE(box.try_send(data_msg(1)));  // shed, exactly like send()
+  EXPECT_EQ(box.dropped(), 1u);
+}
+
+TEST(Mailbox, TrySendClosedFailsWithoutCounting) {
+  Mailbox box(4);
+  box.close();
+  EXPECT_FALSE(box.try_send(data_msg(1)));
+  EXPECT_EQ(box.dropped(), 0u);
+}
+
+TEST(Mailbox, UnboundedSendOnClosedBoxCountsTheDrop) {
+  Mailbox box(4);
+  box.close();
+  box.send_unbounded(Message::shutdown());
+  EXPECT_EQ(box.size(), 0u);  // nothing enqueued behind a closed box
+  EXPECT_EQ(box.dropped(), 1u);
+}
+
+TEST(Mailbox, OnReadyFiresOnlyOnEmptyToNonEmptyEdge) {
+  Mailbox box(4);
+  int readies = 0;
+  box.set_on_ready([&] { ++readies; });
+  ASSERT_TRUE(box.send(data_msg(1), 1s));  // empty -> non-empty: fires
+  ASSERT_TRUE(box.try_send(data_msg(2)));  // non-empty: silent
+  box.send_unbounded(Message::shutdown());
+  EXPECT_EQ(readies, 1);
+  Message out;
+  ASSERT_TRUE(box.receive(out));
+  ASSERT_TRUE(box.receive(out));
+  ASSERT_TRUE(box.receive(out));  // drained again
+  ASSERT_TRUE(box.try_send(data_msg(3)));  // new edge: fires again
+  EXPECT_EQ(readies, 2);
+}
+
+TEST(Mailbox, OnReadyFiresForEveryEnqueuePath) {
+  Mailbox box(4);
+  int readies = 0;
+  box.set_on_ready([&] { ++readies; });
+  Message out;
+  ASSERT_TRUE(box.send(data_msg(1), 1s));
+  ASSERT_TRUE(box.receive(out));
+  ASSERT_TRUE(box.try_send(data_msg(2)));
+  ASSERT_TRUE(box.receive(out));
+  box.send_unbounded(Message::shutdown());
+  EXPECT_EQ(readies, 3);
+}
+
 }  // namespace
 }  // namespace ss::runtime
