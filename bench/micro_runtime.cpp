@@ -113,6 +113,9 @@ void engine_pipeline_hops(benchmark::State& state, ss::runtime::SchedulerKind sc
     const auto stats = engine.run_until_complete(std::chrono::duration<double>(60.0));
     state.counters["tuples/s"] =
         benchmark::Counter(static_cast<double>(kItems) / stats.total_seconds);
+    state.counters["lat_p50_us"] = benchmark::Counter(stats.end_to_end.p50 * 1e6);
+    state.counters["lat_p95_us"] = benchmark::Counter(stats.end_to_end.p95 * 1e6);
+    state.counters["lat_p99_us"] = benchmark::Counter(stats.end_to_end.p99 * 1e6);
   }
 }
 

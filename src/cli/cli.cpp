@@ -47,8 +47,9 @@ commands:
   simulate <file> [--duration=S] [--optimize] [--shedding] [--engine=sim|threads|pool]
                                      discrete-event simulation vs the model
   run <file> [--seconds=S] [--optimize] [--engine=threads|pool] [--workers=K]
-                                     execute on the actor runtime (threads =
-                                     one thread per actor, pool = K workers)
+             [--batch=N]             execute on the actor runtime (threads =
+                                     one thread per actor, pool = K work-
+                                     stealing workers draining N msgs/claim)
   codegen <file> [--max-replicas=N] [--out=FILE] [--run-seconds=S]
                                      generate a C++ program for the deployment
   whatif <file> --set op=ms[,op=ms...] [--replicas=op=n,...]
@@ -259,6 +260,7 @@ int cmd_execute(const Args& args, std::ostream& out, harness::ExecutionBackend b
   if (backend == harness::ExecutionBackend::kPool) {
     config.scheduler = runtime::SchedulerKind::kPooled;
     config.workers = static_cast<int>(args.get_int("workers", 0));
+    config.pool_batch = static_cast<int>(args.get_int("batch", 0));
   }
   runtime::Engine engine(t, deployment, ops::make_logic_factory(t), config);
   const runtime::RunStats stats = engine.run_for(

@@ -47,6 +47,7 @@ MeasureOptions measure_options_from_args(const Args& args, ExecutionBackend defa
   options.engine = args.has("engine") ? engine_from_string(args.get("engine"))
                                       : default_backend;
   options.workers = static_cast<int>(args.get_int("workers", base.workers));
+  options.pool_batch = static_cast<int>(args.get_int("batch", base.pool_batch));
   options.sim_duration = args.get_double("sim-duration", base.sim_duration);
   options.real_duration = args.get_double("real-duration", base.real_duration);
   options.buffer_capacity =

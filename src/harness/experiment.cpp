@@ -51,6 +51,7 @@ Measured measure(const Topology& t, const runtime::Deployment& deployment,
   if (options.engine == ExecutionBackend::kPool) {
     config.scheduler = runtime::SchedulerKind::kPooled;
     config.workers = options.workers;
+    config.pool_batch = options.pool_batch;
   }
   runtime::Engine engine(t, deployment, runtime::synthetic_factory(), config);
   const runtime::RunStats stats =
@@ -60,6 +61,10 @@ Measured measure(const Topology& t, const runtime::Deployment& deployment,
     result.departure_rates.push_back(op.departure_rate);
     result.arrival_rates.push_back(op.arrival_rate);
   }
+  result.latency_samples = stats.end_to_end.count;
+  result.latency_p50 = stats.end_to_end.p50;
+  result.latency_p95 = stats.end_to_end.p95;
+  result.latency_p99 = stats.end_to_end.p99;
   return result;
 }
 

@@ -48,6 +48,9 @@ struct MeasureOptions {
   /// Worker threads of the pooled backend; <= 0 means one per hardware
   /// thread.  Ignored by kSim/kThreads.
   int workers = 0;
+  /// Messages drained per pooled actor claim; <= 0 means the default
+  /// (Mailbox::drain batch of 64).  Ignored by kSim/kThreads.
+  int pool_batch = 0;
 };
 
 /// Measured steady-state rates of one run.
@@ -55,6 +58,12 @@ struct Measured {
   double throughput = 0.0;               ///< source departure rate (tuples/s)
   std::vector<double> departure_rates;   ///< per logical operator
   std::vector<double> arrival_rates;
+  /// End-to-end tuple latency over the steady-state window (seconds);
+  /// all zero under kSim, which does not model wall-clock delays yet.
+  std::uint64_t latency_samples = 0;
+  double latency_p50 = 0.0;
+  double latency_p95 = 0.0;
+  double latency_p99 = 0.0;
 };
 
 /// Runs `t` under `deployment` on the chosen engine and returns rates.

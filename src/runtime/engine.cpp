@@ -116,6 +116,7 @@ class Engine::MetaCollector final : public Collector {
  private:
   void deliver(OpIndex dest, const Tuple& t) {
     if (dest == kInvalidOp) {  // member is a sink: the result leaves the system
+      engine_.meter_exit(t);
       engine_.board_.add_emitted(member_);
       return;
     }
@@ -233,7 +234,10 @@ bool Engine::send_to_actor(int actor_id, const Message& m) {
 bool Engine::route_result(OpIndex op, OpIndex target, const Tuple& tuple, Rng& rng) {
   if (target == kInvalidOp) {
     target = routers_[op].choose(rng);
-    if (target == kInvalidOp) return true;  // sink: the result leaves the system
+    if (target == kInvalidOp) {  // sink: the result leaves the system
+      meter_exit(tuple);
+      return true;
+    }
   } else {
     require(routers_[op].is_destination(target),
             "emit_to: '" + topology_.op(target).name + "' is not a downstream neighbor of '" +
@@ -258,6 +262,24 @@ void Engine::release_ordered(ActorState& st) {
     st.completed.erase(st.expected_seq);
     ++st.expected_seq;
   }
+}
+
+// -------------------------------------------------------------- latency hooks
+
+// Sources stamp Tuple::ts with the time since the run started (run_seconds,
+// monotonic clock); these two hooks measure against the same base, so a
+// sample is exactly the tuple's age.  Recording is gated on the board's
+// steady-state window (run_for opens it after warmup) and every sample
+// costs one clock read plus a wait-free histogram increment.
+
+void Engine::meter_arrival(OpIndex op, const Message& msg) {
+  if (!board_.latency_enabled() || msg.kind != Message::Kind::kData) return;
+  board_.add_latency(op, run_seconds() - msg.tuple.ts);
+}
+
+void Engine::meter_exit(const Tuple& tuple) {
+  if (!board_.latency_enabled()) return;
+  board_.add_end_to_end(run_seconds() - tuple.ts);
 }
 
 void Engine::run_meta(std::size_t id, OpIndex member, const Tuple& tuple, OpIndex from) {
@@ -330,12 +352,14 @@ void Engine::process_message(std::size_t id, Message& msg) {
   switch (st.spec.kind) {
     case ActorKind::kWorker: {
       board_.add_processed(op);
+      meter_arrival(op, msg);
       RouteCollector out(*this, op, st.rng);
       st.logic->process(msg.tuple, msg.from, out);
       break;
     }
     case ActorKind::kReplica: {
       board_.add_processed(op);
+      meter_arrival(op, msg);
       st.current_seq = msg.seq;
       ReplicaCollector out(*this, op, st.collector_actor, msg.seq);
       st.logic->process(msg.tuple, msg.from, out);
@@ -377,6 +401,9 @@ void Engine::process_message(std::size_t id, Message& msg) {
       break;
     }
     case ActorKind::kMeta:
+      // The delay to the entry member; intra-group hand-offs are mailbox-
+      // free (Alg. 4) and add no queueing worth metering.
+      meter_arrival(msg.target, msg);
       run_meta(id, msg.target, msg.tuple, msg.from);
       break;
     case ActorKind::kSource:
@@ -405,6 +432,7 @@ void Engine::source_loop(std::size_t id) {
   Tuple tuple;
   while (!stop_.load(std::memory_order_relaxed)) {
     if (!st.source->next(tuple)) break;
+    tuple.ts = run_seconds();  // source stamp: the latency time base
     board_.add_processed(op);
     out.emit(tuple);
   }
@@ -427,6 +455,7 @@ bool Engine::pump_source(std::size_t id, int quantum) {
   for (int i = 0; i < quantum; ++i) {
     if (stop_.load(std::memory_order_relaxed)) return false;
     if (!st.source->next(tuple)) return false;
+    tuple.ts = run_seconds();  // source stamp: the latency time base
     board_.add_processed(op);
     out.emit(tuple);
   }
@@ -461,7 +490,7 @@ void Engine::start_execution() {
   started_ = true;
   run_start_ = Clock::now();
   active_actors_.store(static_cast<int>(actors_.size()));
-  scheduler_ = make_scheduler(config_.scheduler, config_.workers);
+  scheduler_ = make_scheduler(config_.scheduler, config_.workers, config_.pool_batch);
   scheduler_->start(*this);
 }
 
@@ -486,19 +515,23 @@ RunStats Engine::run_for(std::chrono::duration<double> duration) {
   const double total = duration.count();
   const double warmup = total * config_.warmup_fraction;
   std::this_thread::sleep_for(std::chrono::duration<double>(warmup));
+  board_.set_latency_enabled(true);
   const CounterSnapshot begin = board_.snapshot(seconds_between(run_start_, Clock::now()));
   std::this_thread::sleep_for(std::chrono::duration<double>(total - warmup));
   const CounterSnapshot end = board_.snapshot(seconds_between(run_start_, Clock::now()));
+  board_.set_latency_enabled(false);
   stop_.store(true);
   join_execution();
   const double wall = seconds_between(run_start_, Clock::now());
   const CounterSnapshot final_totals = board_.snapshot(wall);
   const RunStats partial = finalize_run();
-  return make_run_stats(topology_, begin, end, final_totals, wall, partial.dropped);
+  const LatencyReport latency = board_.latency_report();
+  return make_run_stats(topology_, begin, end, final_totals, wall, partial.dropped, &latency);
 }
 
 RunStats Engine::run_until_complete(std::chrono::duration<double> max_duration) {
   start_execution();
+  board_.set_latency_enabled(true);  // finite runs meter every tuple
   const CounterSnapshot begin = board_.snapshot(0.0);
   {
     std::unique_lock lock(done_mutex_);
@@ -510,7 +543,8 @@ RunStats Engine::run_until_complete(std::chrono::duration<double> max_duration) 
   const double wall = seconds_between(run_start_, Clock::now());
   const CounterSnapshot end = board_.snapshot(wall);
   const RunStats partial = finalize_run();
-  return make_run_stats(topology_, begin, end, end, wall, partial.dropped);
+  const LatencyReport latency = board_.latency_report();
+  return make_run_stats(topology_, begin, end, end, wall, partial.dropped, &latency);
 }
 
 }  // namespace ss::runtime

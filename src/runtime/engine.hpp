@@ -54,6 +54,10 @@ struct EngineConfig {
   /// Worker threads of the pooled scheduler; <= 0 means one per hardware
   /// thread.  Ignored under kThreadPerActor.
   int workers = 0;
+  /// Messages a pooled worker drains per actor claim — the whole batch
+  /// costs one mailbox lock acquisition (Mailbox::drain).  <= 0 means the
+  /// default of 64.  Ignored under kThreadPerActor.
+  int pool_batch = 0;
 };
 
 /// Produces the processing logic of each logical operator.
@@ -107,6 +111,13 @@ class Engine final : public EngineCore {
   void join_execution();
   void actor_loop(std::size_t id);
   void source_loop(std::size_t id);
+  /// Seconds since the run started (the time base of Tuple::ts stamps).
+  double run_seconds() const { return seconds_between(run_start_, Clock::now()); }
+  /// Records the source→operator delay of a data message about to be
+  /// processed (steady-state window only; no-op while metering is off).
+  void meter_arrival(OpIndex op, const Message& msg);
+  /// Records the end-to-end delay of a tuple leaving the system at a sink.
+  void meter_exit(const Tuple& tuple);
   RunStats finalize_run();
   bool send_to_actor(int actor_id, const Message& m);
   /// Routes a result of logical operator `op` (explicit `target` or

@@ -2,81 +2,132 @@
 
 namespace ss::runtime {
 
+// Producers append under mutex_ and bump size_; the 0→1 transition of
+// size_ is the empty→non-empty edge, and the hook is *captured* under the
+// lock (so set_on_ready can swap it concurrently) but *fired* outside it.
+
+std::function<void()> Mailbox::push_locked(const Message& m) {
+  inbox_.push_back(m);
+  const bool was_empty = size_.fetch_add(1, std::memory_order_acq_rel) == 0;
+  return was_empty ? on_ready_ : std::function<void()>{};
+}
+
 bool Mailbox::send(const Message& m, std::chrono::nanoseconds timeout) {
-  bool was_empty = false;
+  std::function<void()> ready;
   {
     std::unique_lock lock(mutex_);
     if (policy_ == OverflowPolicy::kShedNewest) {
-      if (!closed_ && queue_.size() >= capacity_) {
+      if (!closed_ && size_.load(std::memory_order_relaxed) >= capacity_) {
         ++dropped_;  // shedding: discard instead of exerting backpressure
         return false;
       }
-    } else if (!not_full_.wait_for(lock, timeout,
-                                   [&] { return closed_ || queue_.size() < capacity_; })) {
-      ++dropped_;  // timed out while full: the item is discarded (paper §5.1)
-      return false;
+    } else if (size_.load(std::memory_order_relaxed) >= capacity_ && !closed_) {
+      waiting_senders_.fetch_add(1, std::memory_order_acq_rel);
+      const bool freed = not_full_.wait_for(lock, timeout, [&] {
+        return closed_ || size_.load(std::memory_order_acquire) < capacity_;
+      });
+      waiting_senders_.fetch_sub(1, std::memory_order_acq_rel);
+      if (!freed) {
+        ++dropped_;  // timed out while full: the item is discarded (§5.1)
+        return false;
+      }
     }
     if (closed_) return false;
-    was_empty = queue_.empty();
-    queue_.push_back(m);
+    ready = push_locked(m);
   }
   not_empty_.notify_one();
-  if (was_empty && on_ready_) on_ready_();
+  fire(ready);
   return true;
 }
 
 bool Mailbox::try_send(const Message& m) {
-  bool was_empty = false;
+  std::function<void()> ready;
   {
     std::lock_guard lock(mutex_);
     if (closed_) return false;
-    if (queue_.size() >= capacity_) {
+    if (size_.load(std::memory_order_relaxed) >= capacity_) {
       if (policy_ == OverflowPolicy::kShedNewest) ++dropped_;  // shed, like send()
       return false;
     }
-    was_empty = queue_.empty();
-    queue_.push_back(m);
+    ready = push_locked(m);
   }
   not_empty_.notify_one();
-  if (was_empty && on_ready_) on_ready_();
+  fire(ready);
   return true;
 }
 
 void Mailbox::send_unbounded(const Message& m) {
-  bool was_empty = false;
+  std::function<void()> ready;
   {
     std::lock_guard lock(mutex_);
     if (closed_) {
       ++dropped_;  // the box will never be drained again: record the loss
       return;
     }
-    was_empty = queue_.empty();
-    queue_.push_back(m);
+    ready = push_locked(m);
   }
   not_empty_.notify_one();
-  if (was_empty && on_ready_) on_ready_();
+  fire(ready);
+}
+
+void Mailbox::release_slots(std::size_t n) {
+  size_.fetch_sub(n, std::memory_order_acq_rel);
+  if (waiting_senders_.load(std::memory_order_acquire) > 0) {
+    // A sender may be between its predicate check and the wait; taking the
+    // lock here orders our size_ decrement with that check so the notify
+    // cannot be lost.  The empty lock scope is intentional.
+    { std::lock_guard lock(mutex_); }
+    not_full_.notify_all();
+  }
+}
+
+bool Mailbox::consume(Message& out) {
+  if (outbox_.empty()) {
+    std::lock_guard lock(mutex_);
+    if (inbox_.empty()) return false;
+    outbox_.swap(inbox_);  // the whole backlog for one lock acquisition
+  }
+  out = outbox_.front();
+  outbox_.pop_front();
+  release_slots(1);
+  return true;
 }
 
 bool Mailbox::receive(Message& out) {
-  std::unique_lock lock(mutex_);
-  not_empty_.wait(lock, [&] { return closed_ || !queue_.empty(); });
-  if (queue_.empty()) return false;  // closed and drained
-  out = queue_.front();
-  queue_.pop_front();
-  lock.unlock();
-  not_full_.notify_one();
+  if (consume(out)) return true;
+  {
+    std::unique_lock lock(mutex_);
+    not_empty_.wait(lock, [&] { return closed_ || !inbox_.empty(); });
+    if (inbox_.empty()) return false;  // closed and drained
+    outbox_.swap(inbox_);
+  }
+  out = outbox_.front();
+  outbox_.pop_front();
+  release_slots(1);
   return true;
 }
 
-bool Mailbox::try_receive(Message& out) {
-  {
-    std::lock_guard lock(mutex_);
-    if (queue_.empty()) return false;
-    out = queue_.front();
-    queue_.pop_front();
+bool Mailbox::try_receive(Message& out) { return consume(out); }
+
+std::size_t Mailbox::drain(std::vector<Message>& out, std::size_t max, bool release_now) {
+  std::size_t taken = 0;
+  const auto take = [&] {
+    while (taken < max && !outbox_.empty()) {
+      out.push_back(outbox_.front());
+      outbox_.pop_front();
+      ++taken;
+    }
+  };
+  take();  // leftovers of an earlier swap first: FIFO across refills
+  if (taken < max) {
+    {
+      std::lock_guard lock(mutex_);
+      if (outbox_.empty() && !inbox_.empty()) outbox_.swap(inbox_);
+    }
+    take();
   }
-  not_full_.notify_one();
-  return true;
+  if (release_now && taken > 0) release_slots(taken);
+  return taken;
 }
 
 void Mailbox::close() {
@@ -88,9 +139,9 @@ void Mailbox::close() {
   not_empty_.notify_all();
 }
 
-std::size_t Mailbox::size() const {
+void Mailbox::set_on_ready(std::function<void()> on_ready) {
   std::lock_guard lock(mutex_);
-  return queue_.size();
+  on_ready_ = std::move(on_ready);
 }
 
 bool Mailbox::closed() const {

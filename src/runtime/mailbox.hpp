@@ -6,14 +6,25 @@
 // backpressure the cost models capture — and gives up after a timeout, in
 // which case the item is dropped (the paper sets the timeout high enough,
 // five seconds, that drops never happen in practice).
+//
+// Internally the queue is split in two (a producer inbox and a
+// consumer-private outbox): producers append to the inbox under the lock,
+// and the consumer refills its outbox by *swapping* the whole inbox in one
+// lock acquisition.  A pooled batch of 64 messages therefore costs one
+// lock acquisition instead of 64 — the hop-cost fix called out in ROADMAP.
+// The mailbox stays MPSC: many producers, one consumer *at a time* (the
+// pooled scheduler's actor claim serializes consumers across threads and
+// its acquire/release ordering publishes the outbox between them).
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <mutex>
+#include <vector>
 
 #include "runtime/message.hpp"
 
@@ -60,17 +71,39 @@ class Mailbox {
   /// Non-blocking variant; returns false when empty right now.
   bool try_receive(Message& out);
 
+  /// Batched dequeue: appends up to `max` messages to `out` in FIFO order
+  /// and returns how many were taken (0 when empty right now).  The whole
+  /// batch costs at most one lock acquisition.  With `release_now` (the
+  /// default) the taken messages free their capacity slots immediately,
+  /// exactly as if each had been try_receive()d before the batch ran; a
+  /// consumer that processes the batch over time should pass false and
+  /// call release() as each message enters service instead — releasing a
+  /// whole batch up front would hand senders up to `max` extra slots and
+  /// visibly weaken Blocking-After-Service backpressure (the cost models
+  /// assume capacity B, not B + batch).
+  std::size_t drain(std::vector<Message>& out, std::size_t max, bool release_now = true);
+
+  /// Frees `n` capacity slots taken by drain(..., release_now=false) and
+  /// wakes blocked senders if any — an atomic decrement unless senders are
+  /// actually waiting.
+  void release(std::size_t n) { release_slots(n); }
+
   /// Wakes all waiters; send() starts failing, receive() drains then stops.
   void close();
 
   /// Installs a readiness hook fired (outside the lock) whenever an enqueue
   /// turns the mailbox from empty to non-empty.  Pooled schedulers use it
   /// to learn that the owning actor has work without parking a worker on
-  /// this mailbox's condition variable.  Must be installed before any
-  /// concurrent sender exists; pass nullptr to clear.
-  void set_on_ready(std::function<void()> on_ready) { on_ready_ = std::move(on_ready); }
+  /// this mailbox's condition variable.  The installation is synchronized
+  /// with concurrent senders (the hook is read and written under the
+  /// mailbox lock), so it may be swapped while producers are live; an
+  /// enqueue concurrent with the swap fires either the old or the new
+  /// hook, never a torn one.  Pass nullptr to clear.
+  void set_on_ready(std::function<void()> on_ready);
 
-  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t size() const {
+    return size_.load(std::memory_order_acquire);
+  }
   [[nodiscard]] std::size_t capacity() const { return capacity_; }
   [[nodiscard]] bool closed() const;
   [[nodiscard]] OverflowPolicy policy() const { return policy_; }
@@ -79,12 +112,33 @@ class Mailbox {
   [[nodiscard]] std::uint64_t dropped() const;
 
  private:
+  /// Pops one message from the consumer side; refills the outbox from the
+  /// inbox (one lock) when needed.  Returns false when both are empty.
+  bool consume(Message& out);
+  /// Frees `n` capacity slots and wakes blocked senders if any.
+  void release_slots(std::size_t n);
+  /// Fires the readiness hook captured under the lock, if any.
+  static void fire(std::function<void()>& hook) {
+    if (hook) hook();
+  }
+  /// Under mutex_: enqueue to the inbox and capture the hook to fire when
+  /// this enqueue is the empty→non-empty edge.
+  std::function<void()> push_locked(const Message& m);
+
   const std::size_t capacity_;
   const OverflowPolicy policy_;
-  mutable std::mutex mutex_;
+  mutable std::mutex mutex_;  ///< guards inbox_, closed_, dropped_, on_ready_
   std::condition_variable not_full_;
   std::condition_variable not_empty_;
-  std::deque<Message> queue_;
+  std::deque<Message> inbox_;   ///< producer side, appended under mutex_
+  std::deque<Message> outbox_;  ///< consumer-private, refilled by swap
+  /// Unconsumed messages (inbox + outbox).  The empty→non-empty edge is a
+  /// 0→1 transition of this counter; producers see capacity through it.
+  std::atomic<std::size_t> size_{0};
+  /// Senders currently blocked in send(); consumers take the lock before
+  /// notifying not_full_ only when this is non-zero, keeping the consume
+  /// fast path lock-free.
+  std::atomic<int> waiting_senders_{0};
   bool closed_ = false;
   std::uint64_t dropped_ = 0;
   std::function<void()> on_ready_;  ///< empty→non-empty edge notification

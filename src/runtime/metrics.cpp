@@ -1,9 +1,93 @@
 #include "runtime/metrics.hpp"
 
+#include <bit>
+#include <cmath>
 #include <iomanip>
 #include <sstream>
 
 namespace ss::runtime {
+
+// ------------------------------------------------------------ LatencyHistogram
+
+namespace {
+
+/// Buckets 0..31 are exact microseconds; above that each power-of-two
+/// decade of microseconds splits into 32 linear sub-buckets.
+constexpr std::size_t num_buckets(int sub_bits, std::uint64_t max_micros) {
+  // decades from 2^sub_bits to max_micros, plus the linear head and a
+  // final overflow bucket
+  std::size_t n = std::size_t{1} << sub_bits;
+  for (std::uint64_t edge = std::uint64_t{1} << sub_bits; edge < max_micros; edge <<= 1) {
+    n += std::size_t{1} << sub_bits;
+  }
+  return n + 1;
+}
+
+}  // namespace
+
+LatencyHistogram::LatencyHistogram()
+    : buckets_(num_buckets(kSubBits, kMaxMicros)) {}
+
+std::size_t LatencyHistogram::bucket_of(std::uint64_t micros) {
+  if (micros < kSubBuckets) return static_cast<std::size_t>(micros);
+  if (micros >= kMaxMicros) micros = kMaxMicros - 1;
+  const int msb = std::bit_width(micros) - 1;  // >= kSubBits
+  const int shift = msb - kSubBits;
+  const std::size_t decade = static_cast<std::size_t>(msb - kSubBits + 1);
+  const std::size_t sub = static_cast<std::size_t>((micros >> shift) & (kSubBuckets - 1));
+  return (decade << kSubBits) + sub;
+}
+
+double LatencyHistogram::bucket_midpoint_seconds(std::size_t bucket) {
+  if (bucket < kSubBuckets) return (static_cast<double>(bucket) + 0.5) * 1e-6;
+  const std::size_t decade = bucket >> kSubBits;
+  const std::size_t sub = bucket & (kSubBuckets - 1);
+  const int shift = static_cast<int>(decade) - 1;
+  const double lo = static_cast<double>((std::uint64_t{1} << (shift + kSubBits)) +
+                                        (static_cast<std::uint64_t>(sub) << shift));
+  const double width = static_cast<double>(std::uint64_t{1} << shift);
+  return (lo + width * 0.5) * 1e-6;
+}
+
+void LatencyHistogram::record(double seconds) {
+  if (seconds < 0.0) seconds = 0.0;
+  const auto micros = static_cast<std::uint64_t>(seconds * 1e6);
+  buckets_[bucket_of(micros)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_nanos_.fetch_add(static_cast<std::uint64_t>(seconds * 1e9),
+                       std::memory_order_relaxed);
+}
+
+double LatencyHistogram::quantile(double q) const {
+  const std::uint64_t total = count();
+  if (total == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // rank of the q-th sample, 1-based, ceil(q * total) clamped to [1, total]
+  const auto rank = static_cast<std::uint64_t>(
+      std::min<double>(static_cast<double>(total),
+                       std::max(1.0, std::ceil(q * static_cast<double>(total)))));
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < buckets_.size(); ++b) {
+    seen += buckets_[b].load(std::memory_order_relaxed);
+    if (seen >= rank) return bucket_midpoint_seconds(b);
+  }
+  return bucket_midpoint_seconds(buckets_.size() - 1);
+}
+
+LatencySummary LatencyHistogram::summary() const {
+  LatencySummary s;
+  s.count = count();
+  if (s.count == 0) return s;
+  s.mean = static_cast<double>(sum_nanos_.load(std::memory_order_relaxed)) * 1e-9 /
+           static_cast<double>(s.count);
+  s.p50 = quantile(0.50);
+  s.p95 = quantile(0.95);
+  s.p99 = quantile(0.99);
+  return s;
+}
+
+// ------------------------------------------------------------------ StatsBoard
 
 CounterSnapshot StatsBoard::snapshot(double at_seconds) const {
   CounterSnapshot snap;
@@ -17,9 +101,18 @@ CounterSnapshot StatsBoard::snapshot(double at_seconds) const {
   return snap;
 }
 
+LatencyReport StatsBoard::latency_report() const {
+  LatencyReport report;
+  report.per_op.reserve(latency_.size());
+  for (const LatencyHistogram& h : latency_) report.per_op.push_back(h.summary());
+  report.end_to_end = end_to_end_.summary();
+  return report;
+}
+
 RunStats make_run_stats(const Topology& t, const CounterSnapshot& begin,
                         const CounterSnapshot& end, const CounterSnapshot& final_totals,
-                        double total_seconds, std::uint64_t dropped) {
+                        double total_seconds, std::uint64_t dropped,
+                        const LatencyReport* latency) {
   RunStats stats;
   stats.total_seconds = total_seconds;
   stats.dropped = dropped;
@@ -34,7 +127,11 @@ RunStats make_run_stats(const Topology& t, const CounterSnapshot& begin,
     op.arrival_rate =
         static_cast<double>(end.processed[i] - begin.processed[i]) / window;
     op.departure_rate = static_cast<double>(end.emitted[i] - begin.emitted[i]) / window;
+    if (latency != nullptr && i < latency->per_op.size()) {
+      op.latency = latency->per_op[i];
+    }
   }
+  if (latency != nullptr) stats.end_to_end = latency->end_to_end;
   // Ingest throughput is the source departure rate at steady state (§5.2).
   stats.source_rate = stats.ops[t.source()].departure_rate;
   for (OpIndex s : t.sinks()) stats.sink_rate += stats.ops[s].departure_rate;
@@ -43,19 +140,38 @@ RunStats make_run_stats(const Topology& t, const CounterSnapshot& begin,
 
 std::string format_stats(const Topology& t, const RunStats& stats) {
   std::ostringstream out;
+  const auto ms = [&out](const LatencySummary& s, double value) -> std::ostream& {
+    if (s.count == 0) return out << std::setw(10) << "-";
+    return out << std::setw(10) << value * 1e3;
+  };
   out << std::fixed << std::setprecision(1);
   out << std::setw(18) << std::left << "operator" << std::right << std::setw(12) << "processed"
       << std::setw(12) << "emitted" << std::setw(14) << "arrival/s" << std::setw(14)
-      << "departure/s" << '\n';
+      << "departure/s" << std::setw(10) << "p50 ms" << std::setw(10) << "p95 ms"
+      << std::setw(10) << "p99 ms" << '\n';
   for (OpIndex i = 0; i < t.num_operators(); ++i) {
     const OperatorStats& op = stats.ops[i];
     out << std::setw(18) << std::left << t.op(i).name << std::right << std::setw(12)
         << op.processed << std::setw(12) << op.emitted << std::setw(14) << op.arrival_rate
-        << std::setw(14) << op.departure_rate << '\n';
+        << std::setw(14) << op.departure_rate;
+    out << std::setprecision(2);
+    ms(op.latency, op.latency.p50);
+    ms(op.latency, op.latency.p95);
+    ms(op.latency, op.latency.p99);
+    out << std::setprecision(1) << '\n';
   }
   out << "measured throughput: " << stats.source_rate << " tuples/s over "
       << stats.measured_seconds << " s (total run " << stats.total_seconds << " s, dropped "
       << stats.dropped << ")\n";
+  out << std::setprecision(2);
+  if (stats.end_to_end.count > 0) {
+    out << "end-to-end latency: p50 " << stats.end_to_end.p50 * 1e3 << " ms / p95 "
+        << stats.end_to_end.p95 * 1e3 << " ms / p99 " << stats.end_to_end.p99 * 1e3
+        << " ms (mean " << stats.end_to_end.mean * 1e3 << " ms, "
+        << stats.end_to_end.count << " samples)\n";
+  } else {
+    out << "end-to-end latency: no samples in the measurement window\n";
+  }
   return out.str();
 }
 

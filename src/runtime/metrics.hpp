@@ -1,6 +1,9 @@
-// Measurement plumbing: per-logical-operator counters and the steady-state
+// Measurement plumbing: per-logical-operator counters, the steady-state
 // rate window used to report measured throughput (paper §5: throughput is
-// the source departure rate at steady state, after a warmup period).
+// the source departure rate at steady state, after a warmup period), and
+// latency histograms recording source→operator and end-to-end tuple delays
+// so execution backends can be compared on tail latency, not only rates
+// (the dimension the paper's Table 1 / Figure 11 arguments leave out).
 #pragma once
 
 #include <atomic>
@@ -26,12 +29,68 @@ struct CounterSnapshot {
   double at_seconds = 0.0;
 };
 
+/// Percentile summary of one latency distribution (seconds).
+struct LatencySummary {
+  std::uint64_t count = 0;
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
+/// Lock-free log-bucketed latency histogram (HDR style): 32 linear
+/// sub-buckets per power-of-two decade of microseconds, i.e. ~3% value
+/// resolution from 1 us to ~67 s.  record() is wait-free (one relaxed
+/// fetch_add per sample) so actors can meter every tuple; quantiles are
+/// derived from a snapshot of the bucket counts.
+class LatencyHistogram {
+ public:
+  LatencyHistogram();
+
+  LatencyHistogram(const LatencyHistogram&) = delete;
+  LatencyHistogram& operator=(const LatencyHistogram&) = delete;
+
+  /// Records one latency sample (seconds; negative values clamp to 0).
+  void record(double seconds);
+
+  /// Value at quantile `q` in [0, 1] (bucket midpoint); 0 when empty.
+  [[nodiscard]] double quantile(double q) const;
+
+  [[nodiscard]] std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+
+  /// count/mean/p50/p95/p99 in one pass.
+  [[nodiscard]] LatencySummary summary() const;
+
+ private:
+  static constexpr int kSubBits = 5;  ///< 32 sub-buckets: ~3% resolution
+  static constexpr int kSubBuckets = 1 << kSubBits;
+  static constexpr std::uint64_t kMaxMicros = 1ull << 26;  ///< ~67 s cap
+  static std::size_t bucket_of(std::uint64_t micros);
+  static double bucket_midpoint_seconds(std::size_t bucket);
+
+  std::vector<std::atomic<std::uint64_t>> buckets_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_nanos_{0};
+};
+
 /// Measured steady-state rates of one logical operator.
 struct OperatorStats {
   std::uint64_t processed = 0;  ///< total over the whole run
   std::uint64_t emitted = 0;
   double arrival_rate = 0.0;    ///< items/s inside the measurement window
   double departure_rate = 0.0;  ///< results/s inside the measurement window
+  /// Source→operator delay (source stamp to processing start) inside the
+  /// measurement window; count == 0 when the operator saw no metered item
+  /// (e.g. the source itself).
+  LatencySummary latency;
+};
+
+/// Per-op and end-to-end latency summaries extracted from a StatsBoard.
+struct LatencyReport {
+  std::vector<LatencySummary> per_op;
+  LatencySummary end_to_end;
 };
 
 /// Result of one engine run.
@@ -42,12 +101,14 @@ struct RunStats {
   double source_rate = 0.0;       ///< measured ingest throughput (tuples/s)
   double sink_rate = 0.0;         ///< combined sink departure rate
   std::uint64_t dropped = 0;      ///< items lost to send timeouts (should be 0)
+  /// Source stamp → leaving the system at a sink, steady-state window only.
+  LatencySummary end_to_end;
 };
 
 /// Shared counter board; one entry per logical operator.
 class StatsBoard {
  public:
-  explicit StatsBoard(std::size_t num_ops) : counters_(num_ops) {}
+  explicit StatsBoard(std::size_t num_ops) : counters_(num_ops), latency_(num_ops) {}
 
   void add_processed(OpIndex op) {
     counters_[op].processed.fetch_add(1, std::memory_order_relaxed);
@@ -56,18 +117,37 @@ class StatsBoard {
     counters_[op].emitted.fetch_add(1, std::memory_order_relaxed);
   }
 
+  /// Latency recording is gated so only the steady-state window is metered
+  /// (run_for opens it after warmup; run_until_complete for the whole run).
+  [[nodiscard]] bool latency_enabled() const {
+    return latency_enabled_.load(std::memory_order_relaxed);
+  }
+  void set_latency_enabled(bool enabled) {
+    latency_enabled_.store(enabled, std::memory_order_relaxed);
+  }
+
+  void add_latency(OpIndex op, double seconds) { latency_[op].record(seconds); }
+  void add_end_to_end(double seconds) { end_to_end_.record(seconds); }
+
   [[nodiscard]] CounterSnapshot snapshot(double at_seconds) const;
+  [[nodiscard]] LatencyReport latency_report() const;
   [[nodiscard]] std::size_t size() const { return counters_.size(); }
 
  private:
-  // deque-free fixed vector: OpCounters is non-movable, so construct in place
+  // deque-free fixed vectors: the entries hold atomics (non-movable), so
+  // construct in place and never resize
   std::vector<OpCounters> counters_;
+  std::vector<LatencyHistogram> latency_;
+  LatencyHistogram end_to_end_;
+  std::atomic<bool> latency_enabled_{false};
 };
 
-/// Derives steady-state rates from two snapshots.
+/// Derives steady-state rates from two snapshots; `latency` (when given)
+/// attaches the per-op and end-to-end percentile summaries.
 RunStats make_run_stats(const Topology& t, const CounterSnapshot& begin,
                         const CounterSnapshot& end, const CounterSnapshot& final_totals,
-                        double total_seconds, std::uint64_t dropped);
+                        double total_seconds, std::uint64_t dropped,
+                        const LatencyReport* latency = nullptr);
 
 /// Human-readable table of measured rates (mirrors core's format_analysis).
 std::string format_stats(const Topology& t, const RunStats& stats);

@@ -4,13 +4,20 @@
 // than the topology).
 //
 // Design:
-//   * a shared ready-queue of actor ids; every mailbox notifies it on its
-//     empty→non-empty edge (Mailbox::set_on_ready), so workers park on one
-//     scheduler condvar, never on a per-mailbox one;
+//   * work stealing: each worker owns a deque of actor-id hints
+//     (work_stealing.hpp).  A mailbox's empty→non-empty edge
+//     (Mailbox::set_on_ready) routes the hint to the worker that last ran
+//     the actor, so its state is still warm in that core's cache; the
+//     owner pops LIFO, idle workers steal FIFO from the front of other
+//     deques, and a worker that misses everywhere parks on one condition
+//     variable until the next push.  This replaces the single shared
+//     ready-queue whose one mutex was the hop bottleneck at high actor
+//     counts;
 //   * workers claim an actor (atomic flag — at most one worker runs an
 //     actor at any time, preserving the single-threaded-logic guarantee),
-//     drain a bounded batch via try_receive(), then release and re-check
-//     the mailbox so a message that raced the release is never stranded;
+//     drain a bounded batch in ONE mailbox lock acquisition
+//     (Mailbox::drain), then release and re-check the mailbox so a message
+//     that raced the release is never stranded;
 //   * sources run as repeated bounded quanta and re-enqueue themselves
 //     until exhausted or stopped;
 //   * sends use the try_send() fast path; a full destination under BAS
@@ -28,12 +35,13 @@
 #include <algorithm>
 #include <atomic>
 #include <condition_variable>
-#include <deque>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
 
 #include "runtime/scheduler.hpp"
+#include "runtime/work_stealing.hpp"
 
 namespace ss::runtime {
 
@@ -41,7 +49,8 @@ namespace {
 
 class PooledScheduler final : public Scheduler {
  public:
-  explicit PooledScheduler(int workers) : target_(workers) {}
+  PooledScheduler(int workers, int batch)
+      : target_(workers), batch_(batch > 0 ? batch : kDefaultBatch) {}
 
   void start(EngineCore& core) override {
     core_ = &core;
@@ -49,13 +58,21 @@ class PooledScheduler final : public Scheduler {
     slots_ = std::vector<ActorSlot>(n);
     if (target_ <= 0) target_ = static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
     max_threads_ = static_cast<int>(n) + target_;
+    queues_ = std::make_unique<WorkStealingQueues>(static_cast<std::size_t>(max_threads_));
+    last_worker_ = std::vector<std::atomic<std::size_t>>(n);
     for (std::size_t id = 0; id < n; ++id) {
+      // Spread initial affinity over the K primary workers; it converges to
+      // the worker that actually runs the actor after the first claim.
+      last_worker_[id].store(id % static_cast<std::size_t>(target_),
+                             std::memory_order_relaxed);
       core.mailbox(id).set_on_ready([this, id] { enqueue(id); });
     }
     std::lock_guard lock(mu_);
     remaining_ = n;
     for (std::size_t id = 0; id < n; ++id) {
-      if (core.is_source(id)) ready_.push_back(id);
+      if (core.is_source(id)) {
+        queues_->push(id, last_worker_[id].load(std::memory_order_relaxed));
+      }
     }
     for (int i = 0; i < target_; ++i) spawn_locked();
   }
@@ -82,7 +99,7 @@ class PooledScheduler final : public Scheduler {
       shutdown_ = true;
       threads.swap(threads_);
     }
-    work_cv_.notify_all();
+    queues_->shutdown();  // remaining hints are stale: all actors done
     for (std::thread& thread : threads) {
       if (thread.joinable()) thread.join();
     }
@@ -92,7 +109,7 @@ class PooledScheduler final : public Scheduler {
   void blocking_begin() {
     std::lock_guard lock(mu_);
     ++blocked_;
-    if (!ready_.empty() && idle_ == 0) maybe_spawn_locked();
+    if (queues_->pending() > 0 && queues_->idle() == 0) maybe_spawn_locked();
   }
 
   void blocking_end() {
@@ -101,8 +118,7 @@ class PooledScheduler final : public Scheduler {
   }
 
  private:
-  /// Bounded work per claim, for fairness across actors on few workers.
-  static constexpr int kBatch = 64;
+  static constexpr int kDefaultBatch = 64;
   static constexpr int kSourceQuantum = 64;
 
   struct ActorSlot {
@@ -112,18 +128,17 @@ class PooledScheduler final : public Scheduler {
   };
 
   void enqueue(std::size_t id) {
-    bool wake = false;
-    {
+    // Route the hint to the actor's last worker (warm cache); push wakes a
+    // parked worker itself, and any worker can steal the hint, so a busy
+    // preferred worker never delays the actor.
+    queues_->push(id, last_worker_[id].load(std::memory_order_relaxed));
+    if (queues_->idle() == 0) {
+      // Nobody parked: all workers are busy or blocked.  Compensate if the
+      // runnable budget has room (workers inside a BlockingSection don't
+      // count against K).
       std::lock_guard lock(mu_);
-      if (shutdown_) return;
-      ready_.push_back(id);
-      if (idle_ > 0) {
-        wake = true;
-      } else {
-        maybe_spawn_locked();
-      }
+      maybe_spawn_locked();
     }
-    if (wake) work_cv_.notify_one();
   }
 
   /// Compensation: keep `target_` runnable (non-blocked) workers as long
@@ -134,26 +149,26 @@ class PooledScheduler final : public Scheduler {
 
   void spawn_locked() {
     if (shutdown_) return;
-    ++spawned_;
-    threads_.emplace_back([this] { worker_loop(); });
+    const std::size_t self = static_cast<std::size_t>(spawned_++);
+    threads_.emplace_back([this, self] { worker_loop(self); });
   }
 
-  void worker_loop();
-  void run_actor_slot(std::size_t id);
+  void worker_loop(std::size_t self);
+  void run_actor_slot(std::size_t self, std::size_t id);
   void complete(std::size_t id, ActorSlot& slot, bool run_finish);
 
   EngineCore* core_ = nullptr;
   int target_;           ///< runnable-worker budget (K)
+  int batch_;            ///< messages drained per claim (EngineConfig::pool_batch)
   int max_threads_ = 0;  ///< hard cap including blocked compensated workers
   std::vector<ActorSlot> slots_;
+  std::unique_ptr<WorkStealingQueues> queues_;  ///< per-worker hint deques
+  std::vector<std::atomic<std::size_t>> last_worker_;  ///< affinity per actor
 
-  std::mutex mu_;
-  std::condition_variable work_cv_;     ///< the one condvar workers park on
+  std::mutex mu_;                       ///< spawn/blocked/drain bookkeeping
   std::condition_variable drained_cv_;  ///< join() waits for remaining_ == 0
-  std::deque<std::size_t> ready_;       ///< actor-id hints (may hold stale ones)
   std::vector<std::thread> threads_;
   int spawned_ = 0;
-  int idle_ = 0;     ///< workers parked on work_cv_
   int blocked_ = 0;  ///< workers inside a BlockingSection
   std::size_t remaining_ = 0;
   bool shutdown_ = false;
@@ -162,25 +177,14 @@ class PooledScheduler final : public Scheduler {
 
 thread_local PooledScheduler* tls_pool = nullptr;
 
-void PooledScheduler::worker_loop() {
+void PooledScheduler::worker_loop(std::size_t self) {
   tls_pool = this;
-  for (;;) {
-    std::size_t id = 0;
-    {
-      std::unique_lock lock(mu_);
-      ++idle_;
-      work_cv_.wait(lock, [&] { return shutdown_ || !ready_.empty(); });
-      --idle_;
-      if (shutdown_) break;  // remaining hints are stale: all actors done
-      id = ready_.front();
-      ready_.pop_front();
-    }
-    run_actor_slot(id);
-  }
+  std::size_t id = 0;
+  while (queues_->acquire(self, id)) run_actor_slot(self, id);
   tls_pool = nullptr;
 }
 
-void PooledScheduler::run_actor_slot(std::size_t id) {
+void PooledScheduler::run_actor_slot(std::size_t self, std::size_t id) {
   ActorSlot& slot = slots_[id];
   if (slot.done.load(std::memory_order_acquire)) return;
   if (slot.running.exchange(true, std::memory_order_acq_rel)) return;  // claimed elsewhere
@@ -188,6 +192,7 @@ void PooledScheduler::run_actor_slot(std::size_t id) {
     slot.running.store(false, std::memory_order_release);
     return;
   }
+  last_worker_[id].store(self, std::memory_order_relaxed);
   bool requeue = false;
   if (core_->is_source(id)) {
     bool more = false;
@@ -204,13 +209,27 @@ void PooledScheduler::run_actor_slot(std::size_t id) {
     }
     requeue = true;  // sources stay ready until exhausted
   } else {
-    Message msg;
+    // One lock acquisition hands the whole batch over (Mailbox::drain), but
+    // each message's capacity slot is released only as it enters service —
+    // freeing the whole batch up front would give senders capacity
+    // B + batch and visibly weaken the BAS backpressure the cost models
+    // assume.  Tokens and data stay in FIFO order inside the batch.
+    thread_local std::vector<Message> batch;
+    batch.clear();
+    Mailbox& box = core_->mailbox(id);
+    const std::size_t taken =
+        box.drain(batch, static_cast<std::size_t>(batch_), /*release_now=*/false);
+    std::size_t released = 0;
     try {
-      for (int n = 0; n < kBatch && core_->mailbox(id).try_receive(msg); ++n) {
+      for (Message& msg : batch) {
+        box.release(1);
+        ++released;
         if (msg.kind == Message::Kind::kShutdown) {
           // FIFO per channel puts each upstream's token after its data, so
-          // once all tokens arrived no data can be pending behind them.
+          // once all tokens arrived no data can be pending behind them —
+          // a completed actor cannot strand messages later in the batch.
           if (++slot.shutdowns >= core_->incoming_channels(id)) {
+            if (taken > released) box.release(taken - released);
             complete(id, slot, /*run_finish=*/true);
             return;
           }
@@ -219,6 +238,7 @@ void PooledScheduler::run_actor_slot(std::size_t id) {
         core_->process_message(id, msg);
       }
     } catch (const std::exception& e) {
+      if (taken > released) box.release(taken - released);
       core_->report_failure(id, e.what());
       complete(id, slot, /*run_finish=*/false);
       return;
@@ -260,10 +280,10 @@ BlockingSection::~BlockingSection() {
   if (pool_ != nullptr) static_cast<PooledScheduler*>(pool_)->blocking_end();
 }
 
-std::unique_ptr<Scheduler> make_pooled_scheduler(int workers);
+std::unique_ptr<Scheduler> make_pooled_scheduler(int workers, int batch);
 
-std::unique_ptr<Scheduler> make_pooled_scheduler(int workers) {
-  return std::make_unique<PooledScheduler>(workers);
+std::unique_ptr<Scheduler> make_pooled_scheduler(int workers, int batch) {
+  return std::make_unique<PooledScheduler>(workers, batch);
 }
 
 }  // namespace ss::runtime

@@ -8,11 +8,14 @@
 //     mailbox receive.  This is the configuration the paper evaluates
 //     (§5.1, one Akka actor per operator) and the default; its semantics
 //     are byte-for-byte those of the original monolithic engine.
-//   * PooledScheduler — multiplexes N actors onto K worker threads.
-//     Workers never park on a per-mailbox condition variable: each mailbox
-//     notifies a shared ready-queue on its empty→non-empty edge
-//     (Mailbox::set_on_ready) and workers drain ready actors in bounded
-//     batches through the non-blocking try_receive()/try_send() paths.
+//   * PooledScheduler — multiplexes N actors onto K worker threads with
+//     work stealing.  Workers never park on a per-mailbox condition
+//     variable: each mailbox routes its empty→non-empty readiness hint
+//     (Mailbox::set_on_ready) to the per-worker deque of the worker that
+//     last ran the actor (warm cache); owners pop LIFO, idle workers steal
+//     FIFO, and ready actors are drained in bounded batches — one mailbox
+//     lock acquisition per batch (Mailbox::drain) — through the
+//     non-blocking try_send() send path.
 //     Operator logic that parks its thread (timed-wait services, blocking
 //     sends under backpressure) wraps the park in a BlockingSection so the
 //     pool can lend the core to another worker meanwhile — K bounds the
@@ -103,8 +106,10 @@ class Scheduler {
   virtual void join() = 0;
 };
 
-/// `workers <= 0` means one worker per hardware thread (pooled only).
-std::unique_ptr<Scheduler> make_scheduler(SchedulerKind kind, int workers);
+/// `workers <= 0` means one worker per hardware thread; `batch` is the
+/// number of messages a pooled worker drains per actor claim (both pooled
+/// only, `batch <= 0` means the default of 64).
+std::unique_ptr<Scheduler> make_scheduler(SchedulerKind kind, int workers, int batch = 0);
 
 /// RAII marker around a thread-parking section (timed wait, blocking send,
 /// I/O) inside operator or engine code.  Under the pooled scheduler this

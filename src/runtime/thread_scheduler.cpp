@@ -63,14 +63,14 @@ const char* to_string(SchedulerKind kind) {
 }
 
 std::unique_ptr<Scheduler> make_thread_per_actor_scheduler();
-std::unique_ptr<Scheduler> make_pooled_scheduler(int workers);
+std::unique_ptr<Scheduler> make_pooled_scheduler(int workers, int batch);
 
 std::unique_ptr<Scheduler> make_thread_per_actor_scheduler() {
   return std::make_unique<ThreadPerActorScheduler>();
 }
 
-std::unique_ptr<Scheduler> make_scheduler(SchedulerKind kind, int workers) {
-  if (kind == SchedulerKind::kPooled) return make_pooled_scheduler(workers);
+std::unique_ptr<Scheduler> make_scheduler(SchedulerKind kind, int workers, int batch) {
+  if (kind == SchedulerKind::kPooled) return make_pooled_scheduler(workers, batch);
   return make_thread_per_actor_scheduler();
 }
 

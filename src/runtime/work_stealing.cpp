@@ -1,0 +1,80 @@
+#include "runtime/work_stealing.hpp"
+
+namespace ss::runtime {
+
+WorkStealingQueues::WorkStealingQueues(std::size_t num_queues)
+    : queues_(num_queues == 0 ? 1 : num_queues) {}
+
+void WorkStealingQueues::push(std::size_t item, std::size_t preferred) {
+  Queue& q = queues_[preferred % queues_.size()];
+  {
+    std::lock_guard lock(q.mu);
+    q.items.push_back(item);
+  }
+  pending_.fetch_add(1, std::memory_order_release);
+  // Wake a parked worker.  The check-then-notify is race-free: a worker
+  // only parks after re-evaluating `pending_ > 0` under park_mu_, and our
+  // fetch_add above is ordered before this load, so either the worker sees
+  // the item and stays awake or it registered as idle and we notify it.
+  if (idle_.load(std::memory_order_acquire) > 0) {
+    std::lock_guard lock(park_mu_);
+    park_cv_.notify_one();
+  }
+}
+
+bool WorkStealingQueues::pop_local(std::size_t self, std::size_t& out) {
+  Queue& q = queues_[self % queues_.size()];
+  std::lock_guard lock(q.mu);
+  if (q.items.empty()) return false;
+  out = q.items.back();  // LIFO: the hint this worker pushed most recently
+  q.items.pop_back();
+  return true;
+}
+
+bool WorkStealingQueues::steal_from(std::size_t victim, std::size_t& out) {
+  Queue& q = queues_[victim];
+  std::lock_guard lock(q.mu);
+  if (q.items.empty()) return false;
+  out = q.items.front();  // FIFO: the victim's oldest (coldest) hint
+  q.items.pop_front();
+  return true;
+}
+
+bool WorkStealingQueues::try_acquire(std::size_t self, std::size_t& out) {
+  if (pop_local(self, out)) {
+    pending_.fetch_sub(1, std::memory_order_release);
+    return true;
+  }
+  const std::size_t n = queues_.size();
+  for (std::size_t i = 1; i < n; ++i) {
+    if (steal_from((self + i) % n, out)) {
+      pending_.fetch_sub(1, std::memory_order_release);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool WorkStealingQueues::acquire(std::size_t self, std::size_t& out) {
+  for (;;) {
+    if (shutdown_.load(std::memory_order_acquire)) return false;
+    if (try_acquire(self, out)) return true;
+    // Steal-miss: park until the next push (or shutdown).  The predicate
+    // re-check under park_mu_ closes the lost-wakeup window with push().
+    std::unique_lock lock(park_mu_);
+    idle_.fetch_add(1, std::memory_order_release);
+    park_cv_.wait(lock, [&] {
+      return shutdown_.load(std::memory_order_acquire) ||
+             pending_.load(std::memory_order_acquire) > 0;
+    });
+    idle_.fetch_sub(1, std::memory_order_release);
+  }
+}
+
+void WorkStealingQueues::shutdown() {
+  shutdown_.store(true, std::memory_order_release);
+  std::lock_guard lock(park_mu_);
+  park_cv_.notify_all();
+}
+
+}  // namespace ss::runtime

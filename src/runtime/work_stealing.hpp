@@ -1,0 +1,87 @@
+// Per-worker work-stealing deques for the pooled scheduler.
+//
+// Each worker owns one deque of actor-id hints.  The owner pushes and pops
+// at the back (LIFO — the actor it just made ready is the one whose
+// messages are hot in cache), while thieves steal from the front (FIFO —
+// the oldest hint, the one least likely to be in anyone's cache and the
+// fairest to age out).  Producers route a hint to a *preferred* queue (the
+// worker that last ran the actor) so mailbox readiness notifications keep
+// actor state on a warm core; any idle worker can still steal it, so no
+// hint ever waits on a busy worker.
+//
+// Each deque has its own mutex: contention is spread over W locks instead
+// of the single shared ready-queue lock this replaces (the hop bottleneck
+// called out in ROADMAP).  Parking is centralized: a worker that misses on
+// its own deque and every steal target parks on one condition variable and
+// is woken by the next push — the steal-miss/wakeup protocol the unit
+// tests in tests/work_stealing_test.cpp pin down.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+namespace ss::runtime {
+
+class WorkStealingQueues {
+ public:
+  /// One deque per potential worker.  `num_queues` is fixed for the
+  /// lifetime of the object.
+  explicit WorkStealingQueues(std::size_t num_queues);
+
+  WorkStealingQueues(const WorkStealingQueues&) = delete;
+  WorkStealingQueues& operator=(const WorkStealingQueues&) = delete;
+
+  /// Enqueues `item` at the back of queue `preferred % num_queues()` and
+  /// wakes one parked worker if any.  Callable from any thread, including
+  /// non-workers (mailbox readiness hooks).
+  void push(std::size_t item, std::size_t preferred);
+
+  /// Non-blocking claim for worker `self`: pops the back of the own deque
+  /// (LIFO); on miss, steals the *front* of another deque (FIFO), scanning
+  /// victims round-robin from `self + 1`.  Returns false when every deque
+  /// is empty right now.
+  bool try_acquire(std::size_t self, std::size_t& out);
+
+  /// Blocking claim: try_acquire, then park until a push arrives or
+  /// shutdown() is called.  Returns false only on shutdown — remaining
+  /// items are considered stale and are discarded with the pool.
+  bool acquire(std::size_t self, std::size_t& out);
+
+  /// Wakes every parked worker; acquire() starts returning false.
+  void shutdown();
+
+  /// Items currently enqueued across all deques (approximate under
+  /// concurrency, exact when quiescent).
+  [[nodiscard]] std::size_t pending() const {
+    return pending_.load(std::memory_order_acquire);
+  }
+
+  /// Workers currently parked inside acquire().
+  [[nodiscard]] std::size_t idle() const {
+    return idle_.load(std::memory_order_acquire);
+  }
+
+  [[nodiscard]] std::size_t num_queues() const { return queues_.size(); }
+
+ private:
+  struct Queue {
+    mutable std::mutex mu;
+    std::deque<std::size_t> items;
+  };
+
+  bool pop_local(std::size_t self, std::size_t& out);    // back: LIFO
+  bool steal_from(std::size_t victim, std::size_t& out); // front: FIFO
+
+  std::vector<Queue> queues_;
+  std::atomic<std::size_t> pending_{0};
+  std::atomic<std::size_t> idle_{0};
+  std::atomic<bool> shutdown_{false};
+  std::mutex park_mu_;
+  std::condition_variable park_cv_;
+};
+
+}  // namespace ss::runtime

@@ -26,7 +26,11 @@ constexpr const char* kTopologyXml = R"(<?xml version="1.0"?>
 class CliTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    path_ = ::testing::TempDir() + "/cli_topology.xml";
+    // Unique per test: parallel ctest runs each test as its own process,
+    // and a shared path would let one SetUp truncate the XML while
+    // another test is still parsing it.
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    path_ = ::testing::TempDir() + "/cli_topology_" + info->name() + ".xml";
     std::ofstream file(path_);
     file << kTopologyXml;
   }
@@ -206,6 +210,15 @@ TEST_F(CliTest, RunExecutesOnBothRuntimeBackends) {
   auto [pcode, pout, perr] = run({"run", "--engine=pool", "--workers=2", "--seconds=0.4"});
   EXPECT_EQ(pcode, 0) << perr;
   EXPECT_NE(pout.find("src"), std::string::npos);
+}
+
+TEST_F(CliTest, PoolRunReportsLatencyColumns) {
+  auto [code, out, err] =
+      run({"run", "--engine=pool", "--workers=2", "--batch=16", "--seconds=0.5"});
+  EXPECT_EQ(code, 0) << err;
+  EXPECT_NE(out.find("p50 ms"), std::string::npos) << out;
+  EXPECT_NE(out.find("p99 ms"), std::string::npos) << out;
+  EXPECT_NE(out.find("end-to-end latency"), std::string::npos) << out;
 }
 
 TEST_F(CliTest, RunRejectsUnknownEngine) {

@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
 #include <thread>
 #include <vector>
@@ -189,6 +190,149 @@ TEST(Mailbox, UnboundedSendOnClosedBoxCountsTheDrop) {
   EXPECT_EQ(box.dropped(), 1u);
 }
 
+TEST(MailboxDrain, TakesUpToBatchInFifoOrder) {
+  Mailbox box(16);
+  for (int i = 0; i < 10; ++i) ASSERT_TRUE(box.send(data_msg(i), 1s));
+  std::vector<Message> batch;
+  EXPECT_EQ(box.drain(batch, 4), 4u);
+  EXPECT_EQ(box.drain(batch, 64), 6u);  // appends the remainder
+  ASSERT_EQ(batch.size(), 10u);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(batch[static_cast<std::size_t>(i)].tuple.id, i);
+  EXPECT_EQ(box.size(), 0u);
+}
+
+TEST(MailboxDrain, InterleavedWithSendsNeverReorders) {
+  // Producer bursts interleaved with partial drains: the two-queue swap
+  // must still present a single FIFO stream across refills.
+  Mailbox box(64);
+  std::vector<Message> batch;
+  std::int64_t next_in = 0;
+  std::int64_t next_out = 0;
+  for (int round = 0; round < 8; ++round) {
+    for (int i = 0; i < 5; ++i) ASSERT_TRUE(box.try_send(data_msg(next_in++)));
+    batch.clear();
+    box.drain(batch, 3);  // partial: leaves messages behind in the outbox
+    if ((round % 2) != 0) box.send_unbounded(Message::shutdown());
+    for (const Message& m : batch) {
+      if (m.kind == Message::Kind::kData) EXPECT_EQ(m.tuple.id, next_out++);
+    }
+  }
+  batch.clear();
+  box.drain(batch, 1024);
+  for (const Message& m : batch) {
+    if (m.kind == Message::Kind::kData) EXPECT_EQ(m.tuple.id, next_out++);
+  }
+  EXPECT_EQ(next_out, next_in);
+}
+
+TEST(MailboxDrain, EmptyBoxYieldsNothing) {
+  Mailbox box(4);
+  std::vector<Message> batch;
+  EXPECT_EQ(box.drain(batch, 64), 0u);
+  EXPECT_TRUE(batch.empty());
+}
+
+TEST(MailboxDrain, CloseThenDrainReturnsRemainderThenNothing) {
+  Mailbox box(8);
+  ASSERT_TRUE(box.send(data_msg(1), 1s));
+  ASSERT_TRUE(box.send(data_msg(2), 1s));
+  box.close();
+  std::vector<Message> batch;
+  EXPECT_EQ(box.drain(batch, 64), 2u);  // close drains, it does not discard
+  EXPECT_EQ(box.drain(batch, 64), 0u);
+  EXPECT_EQ(box.dropped(), 0u);
+}
+
+TEST(MailboxDrain, SendAfterCloseIsCountedNotDrained) {
+  Mailbox box(8);
+  box.close();
+  box.send_unbounded(Message::shutdown());  // exact closed-drop accounting
+  EXPECT_FALSE(box.try_send(data_msg(1)));
+  std::vector<Message> batch;
+  EXPECT_EQ(box.drain(batch, 64), 0u);
+  EXPECT_EQ(box.dropped(), 1u);  // only the unbounded send counts a loss
+}
+
+TEST(MailboxDrain, FreesCapacitySoBlockedSenderResumes) {
+  Mailbox box(2);
+  ASSERT_TRUE(box.send(data_msg(0), 1s));
+  ASSERT_TRUE(box.send(data_msg(1), 1s));
+  std::thread producer([&] { EXPECT_TRUE(box.send(data_msg(2), 5s)); });
+  std::this_thread::sleep_for(20ms);  // let the producer block (BAS)
+  std::vector<Message> batch;
+  EXPECT_EQ(box.drain(batch, 64), 2u);  // releases both slots at once
+  producer.join();
+  batch.clear();
+  ASSERT_EQ(box.drain(batch, 64), 1u);
+  EXPECT_EQ(batch[0].tuple.id, 2);
+  EXPECT_EQ(box.dropped(), 0u);
+}
+
+TEST(MailboxDrain, DeferredReleaseHoldsCapacityUntilReleased) {
+  Mailbox box(2);
+  ASSERT_TRUE(box.send(data_msg(0), 1s));
+  ASSERT_TRUE(box.send(data_msg(1), 1s));
+  std::vector<Message> batch;
+  // release_now=false: messages leave the queue but keep their slots, so
+  // BAS still sees a full box (capacity B, not B + batch).
+  EXPECT_EQ(box.drain(batch, 64, /*release_now=*/false), 2u);
+  EXPECT_EQ(box.size(), 2u);
+  EXPECT_FALSE(box.try_send(data_msg(2)));
+  box.release(1);  // first message enters service
+  EXPECT_EQ(box.size(), 1u);
+  EXPECT_TRUE(box.try_send(data_msg(3)));
+  EXPECT_FALSE(box.try_send(data_msg(4)));  // back at capacity
+  box.release(1);
+  EXPECT_EQ(box.size(), 1u);
+}
+
+TEST(MailboxDrain, ReleaseWakesSenderBlockedAcrossDeferredDrain) {
+  Mailbox box(1);
+  ASSERT_TRUE(box.send(data_msg(0), 1s));
+  std::thread producer([&] { EXPECT_TRUE(box.send(data_msg(1), 5s)); });
+  std::this_thread::sleep_for(20ms);  // let the producer block (BAS)
+  std::vector<Message> batch;
+  ASSERT_EQ(box.drain(batch, 64, /*release_now=*/false), 1u);
+  std::this_thread::sleep_for(20ms);
+  EXPECT_EQ(box.size(), 1u);  // still blocked: slot not freed yet
+  box.release(1);             // frees the slot and wakes the sender
+  producer.join();
+  batch.clear();
+  ASSERT_EQ(box.drain(batch, 64), 1u);
+  EXPECT_EQ(batch[0].tuple.id, 1);
+  EXPECT_EQ(box.dropped(), 0u);
+}
+
+TEST(MailboxDrain, ConcurrentProducersLoseNothing) {
+  Mailbox box(8);
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 500;
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&box, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(box.send(data_msg(p * kPerProducer + i), std::chrono::seconds(10)));
+      }
+    });
+  }
+  std::vector<bool> seen(kProducers * kPerProducer, false);
+  std::vector<Message> batch;
+  int received = 0;
+  while (received < kProducers * kPerProducer) {
+    batch.clear();
+    const std::size_t n = box.drain(batch, 16);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_FALSE(seen[static_cast<std::size_t>(batch[i].tuple.id)]) << "duplicate";
+      seen[static_cast<std::size_t>(batch[i].tuple.id)] = true;
+    }
+    received += static_cast<int>(n);
+    if (n == 0) std::this_thread::yield();
+  }
+  for (std::thread& t : producers) t.join();
+  for (bool b : seen) EXPECT_TRUE(b);
+  EXPECT_EQ(box.dropped(), 0u);
+}
+
 TEST(Mailbox, OnReadyFiresOnlyOnEmptyToNonEmptyEdge) {
   Mailbox box(4);
   int readies = 0;
@@ -216,6 +360,58 @@ TEST(Mailbox, OnReadyFiresForEveryEnqueuePath) {
   ASSERT_TRUE(box.receive(out));
   box.send_unbounded(Message::shutdown());
   EXPECT_EQ(readies, 3);
+}
+
+TEST(Mailbox, OnReadyEdgeFiresExactlyOnceAcrossQueueSwap) {
+  // After a partial drain the remaining messages sit in the consumer-side
+  // outbox; a new send must NOT look like an empty->non-empty edge (the
+  // box never emptied), and a full drain must re-arm the edge.
+  Mailbox box(8);
+  int readies = 0;
+  box.set_on_ready([&] { ++readies; });
+  for (int i = 0; i < 3; ++i) ASSERT_TRUE(box.send(data_msg(i), 1s));
+  EXPECT_EQ(readies, 1);
+  std::vector<Message> batch;
+  ASSERT_EQ(box.drain(batch, 1), 1u);  // 2 left, now held in the outbox
+  ASSERT_TRUE(box.try_send(data_msg(3)));  // inbox empty but box is not
+  EXPECT_EQ(readies, 1);
+  batch.clear();
+  ASSERT_EQ(box.drain(batch, 64), 3u);  // fully drained: edge re-armed
+  ASSERT_TRUE(box.try_send(data_msg(4)));
+  EXPECT_EQ(readies, 2);
+}
+
+TEST(Mailbox, SetOnReadyIsSafeWhileProducersAreLive) {
+  // The scheduler installs its hand-off hook while senders may already be
+  // running; swapping the hook mid-stream must never tear (the TSAN CI
+  // job runs this) and every edge must land on whichever hook is current.
+  Mailbox box(4096);
+  std::atomic<int> a_fires{0};
+  std::atomic<int> b_fires{0};
+  std::atomic<bool> stop{false};
+  std::thread producer([&] {
+    std::int64_t id = 0;
+    while (!stop.load(std::memory_order_acquire)) {
+      box.send_unbounded(data_msg(id++));
+      Message out;
+      (void)box.try_receive(out);  // keep crossing the empty edge
+    }
+  });
+  for (int i = 0; i < 20000; ++i) {
+    box.set_on_ready([&a_fires] { a_fires.fetch_add(1, std::memory_order_relaxed); });
+    box.set_on_ready([&b_fires] { b_fires.fetch_add(1, std::memory_order_relaxed); });
+  }
+  stop.store(true, std::memory_order_release);
+  producer.join();
+  // Deterministic tail: with the box drained and the hook settled, the
+  // next edge must land on exactly the current hook.
+  Message out;
+  while (box.try_receive(out)) {
+  }
+  const int before = b_fires.load();
+  box.send_unbounded(data_msg(-1));
+  EXPECT_EQ(b_fires.load(), before + 1);
+  EXPECT_EQ(box.dropped(), 0u);
 }
 
 }  // namespace

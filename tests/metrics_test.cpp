@@ -85,6 +85,88 @@ TEST(MakeRunStats, DegenerateWindowDoesNotDivideByZero) {
   EXPECT_DOUBLE_EQ(stats.source_rate, 0.0);
 }
 
+TEST(LatencyHistogram, QuantilesMatchKnownDistribution) {
+  // 1..1000 ms recorded once each: p50 ~ 500 ms, p95 ~ 950 ms, p99 ~ 990
+  // ms, all within the ~3% log-bucket resolution.
+  LatencyHistogram h;
+  for (int ms = 1; ms <= 1000; ++ms) h.record(ms * 1e-3);
+  EXPECT_EQ(h.count(), 1000u);
+  EXPECT_NEAR(h.quantile(0.50), 0.500, 0.500 * 0.05);
+  EXPECT_NEAR(h.quantile(0.95), 0.950, 0.950 * 0.05);
+  EXPECT_NEAR(h.quantile(0.99), 0.990, 0.990 * 0.05);
+  const LatencySummary s = h.summary();
+  EXPECT_NEAR(s.mean, 0.5005, 0.5005 * 0.01);  // mean is exact, not bucketed
+  EXPECT_NEAR(s.p50, 0.500, 0.500 * 0.05);
+}
+
+TEST(LatencyHistogram, SubMicrosecondAndExtremesAreClamped) {
+  LatencyHistogram h;
+  h.record(-1.0);    // clamps to 0
+  h.record(0.0);
+  h.record(5e-7);    // sub-microsecond lands in the first exact bucket
+  h.record(1000.0);  // above the ~67 s cap: clamps to the top bucket
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_LT(h.quantile(0.5), 2e-6);
+  EXPECT_GT(h.quantile(1.0), 30.0);  // the cap region, not a wrapped bucket
+}
+
+TEST(LatencyHistogram, EmptyHistogramReportsZeros) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 0.0);
+  const LatencySummary s = h.summary();
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.p99, 0.0);
+}
+
+TEST(LatencyHistogram, ConcurrentRecordsAreExact) {
+  LatencyHistogram h;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h] {
+      for (int i = 0; i < kPerThread; ++i) h.record(1e-3);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(h.count(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_NEAR(h.quantile(0.5), 1e-3, 1e-3 * 0.05);
+}
+
+TEST(StatsBoard, LatencyGateStartsClosedAndReportCollectsPerOp) {
+  StatsBoard board(2);
+  // The gate starts closed: engines open it only for the steady-state
+  // window (the board itself records whatever callers pass it).
+  EXPECT_FALSE(board.latency_enabled());
+  board.set_latency_enabled(true);
+  EXPECT_TRUE(board.latency_enabled());
+  board.add_latency(1, 2e-3);
+  board.add_end_to_end(5e-3);
+  const LatencyReport report = board.latency_report();
+  EXPECT_EQ(report.per_op[0].count, 0u);
+  EXPECT_EQ(report.per_op[1].count, 1u);
+  EXPECT_EQ(report.end_to_end.count, 1u);
+  EXPECT_NEAR(report.end_to_end.p50, 5e-3, 5e-3 * 0.05);
+}
+
+TEST(MakeRunStats, AttachesLatencyReportWhenGiven) {
+  Topology t = three_op_topology();
+  CounterSnapshot snap;
+  snap.at_seconds = 2.0;
+  snap.processed = {10, 10, 10};
+  snap.emitted = {10, 10, 10};
+  StatsBoard board(3);
+  board.add_latency(1, 4e-3);
+  board.add_end_to_end(9e-3);
+  const LatencyReport report = board.latency_report();
+  const RunStats stats = make_run_stats(t, snap, snap, snap, 2.0, 0, &report);
+  EXPECT_EQ(stats.ops[1].latency.count, 1u);
+  EXPECT_NEAR(stats.ops[1].latency.p50, 4e-3, 4e-3 * 0.05);
+  EXPECT_EQ(stats.end_to_end.count, 1u);
+  EXPECT_NEAR(stats.end_to_end.p99, 9e-3, 9e-3 * 0.05);
+}
+
 TEST(FormatStats, ContainsNamesRatesAndSummary) {
   Topology t = three_op_topology();
   CounterSnapshot begin;
@@ -101,6 +183,25 @@ TEST(FormatStats, ContainsNamesRatesAndSummary) {
   EXPECT_NE(text.find("100.0"), std::string::npos);  // 200/2s
   EXPECT_NE(text.find("measured throughput"), std::string::npos);
   EXPECT_NE(text.find("dropped 0"), std::string::npos);
+  EXPECT_NE(text.find("p50 ms"), std::string::npos);  // latency columns
+  EXPECT_NE(text.find("no samples"), std::string::npos);  // nothing metered
+}
+
+TEST(FormatStats, PrintsLatencyColumnsAndEndToEndLine) {
+  Topology t = three_op_topology();
+  CounterSnapshot snap;
+  snap.at_seconds = 2.0;
+  snap.processed = {200, 200, 200};
+  snap.emitted = {200, 200, 200};
+  StatsBoard board(3);
+  board.add_latency(1, 4e-3);
+  board.add_end_to_end(12e-3);
+  const LatencyReport report = board.latency_report();
+  const RunStats stats = make_run_stats(t, snap, snap, snap, 2.0, 0, &report);
+  const std::string text = format_stats(t, stats);
+  EXPECT_NE(text.find("end-to-end latency: p50"), std::string::npos);
+  EXPECT_NE(text.find("1 samples"), std::string::npos);
+  EXPECT_NE(text.find("p99 ms"), std::string::npos);
 }
 
 }  // namespace
