@@ -1,0 +1,163 @@
+// Ablation: elastic re-deployment under a ramping input rate.
+//
+// The static pipeline (Algorithms 1-3) sizes a deployment once, from the
+// profiled characteristics.  This bench ramps the workload mid-run: a
+// filter stage starts passing only a quarter of the stream (the profiled
+// behaviour, under which the sequential deployment is optimal) and then
+// jumps to passing everything — the arrival rate at the heavy downstream
+// stage ramps 4x and the sequential deployment saturates at the stage's
+// service rate.  The ramp is expressed through the filter's selectivity
+// because that is exactly the quantity the elastic controller measures and
+// feeds back into the model (the source anchor stays declared; see
+// core/optimizer with_measured_profile).
+//
+// Two runs of the same application:
+//   * static  — the engine keeps the initial sequential deployment and the
+//               source is backpressured to the bottleneck's service rate,
+//   * elastic — the ReconfigController notices the measured selectivity
+//               shift, re-runs Algorithms 1-3 on the observed topology and
+//               switches epochs mid-run (fence, drain, migrate, resume)
+//               without losing a tuple.
+//
+// Flags: --duration=SEC --ramp-at=SEC --engine=threads|pool [--workers=K]
+//        --reconfig-period=SEC --reconfig-threshold=R
+#include <iostream>
+#include <memory>
+
+#include "harness/args.hpp"
+#include "harness/table.hpp"
+#include "runtime/engine.hpp"
+#include "runtime/synthetic.hpp"
+
+namespace {
+
+using ss::OperatorSpec;
+using ss::OpIndex;
+
+/// Filter whose pass-rate ramps from `low` to `high` a fixed delay after
+/// construction (construction happens at engine build, so the delay is
+/// effectively "seconds into the run").
+class RampingFilter final : public ss::runtime::OperatorLogic {
+ public:
+  RampingFilter(double service_time, double low, double high, double ramp_after,
+                std::uint64_t seed)
+      : service_time_(service_time),
+        low_(low),
+        high_(high),
+        ramp_after_(ramp_after),
+        seed_(seed),
+        rng_(seed),
+        start_(ss::runtime::Clock::now()) {}
+
+  void process(const ss::runtime::Tuple& item, OpIndex from,
+               ss::runtime::Collector& out) override {
+    (void)from;
+    {
+      ss::runtime::BlockingSection blocking;
+      waiter_.wait(service_time_);
+    }
+    const double elapsed = ss::runtime::seconds_between(start_, ss::runtime::Clock::now());
+    if (rng_.bernoulli(elapsed < ramp_after_ ? low_ : high_)) out.emit(item);
+  }
+
+  [[nodiscard]] std::unique_ptr<OperatorLogic> clone() const override {
+    auto copy = std::make_unique<RampingFilter>(service_time_, low_, high_, ramp_after_,
+                                                seed_ ^ 0x9e3779b97f4a7c15ULL);
+    copy->start_ = start_;  // replicas share the ramp schedule
+    return copy;
+  }
+
+ private:
+  double service_time_;
+  double low_;
+  double high_;
+  double ramp_after_;
+  std::uint64_t seed_;
+  ss::Rng rng_;
+  ss::runtime::PacedWaiter waiter_;
+  ss::runtime::Clock::time_point start_;
+};
+
+ss::runtime::RunStats run_once(const ss::Topology& t, double ramp_at, double duration,
+                               ss::runtime::EngineConfig config,
+                               const ss::harness::Args& args) {
+  ss::runtime::AppFactory factory = ss::runtime::synthetic_factory();
+  factory.logic = [&t, ramp_at](OpIndex op, const OperatorSpec& spec)
+      -> std::unique_ptr<ss::runtime::OperatorLogic> {
+    if (t.op(op).name == "filter") {
+      return std::make_unique<RampingFilter>(spec.service_time, spec.selectivity.output,
+                                             1.0, ramp_at, 0xe1a5'71c0u + op);
+    }
+    return std::make_unique<ss::runtime::SyntheticOperator>(spec,
+                                                            0xa076'1d64'78bd'642fULL + op);
+  };
+  if (args.get("engine", "threads") == "pool") {
+    config.scheduler = ss::runtime::SchedulerKind::kPooled;
+    config.workers = static_cast<int>(args.get_int("workers", 0));
+  }
+  ss::runtime::Engine engine(t, ss::Deployment{}, std::move(factory), config);
+  ss::runtime::RunStats stats = engine.run_for(std::chrono::duration<double>(duration));
+  if (engine.controller() != nullptr) {
+    std::cout << "controller decisions (elastic run):\n";
+    for (const auto& d : engine.controller()->decisions()) {
+      std::cout << "  t=" << ss::harness::Table::num(d.at_seconds) << "s measured "
+                << ss::harness::Table::num(d.measured_throughput, 1)
+                << " tuples/s: " << d.reason << '\n';
+    }
+    std::cout << '\n';
+  }
+  return stats;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using ss::harness::Table;
+  const ss::harness::Args args(argc, argv);
+  const double duration = args.get_double("duration", 9.0);
+  const double ramp_at = args.get_double("ramp-at", duration / 3.0);
+
+  // Profiled at the pre-ramp workload: the filter passes a quarter of the
+  // 1000/s stream, so the 2.8 ms heavy stage runs at rho = 0.7 and the
+  // sequential deployment is what Algorithms 1-3 would pick.  Post-ramp the
+  // heavy stage sees the full 1000/s (rho = 2.8): the static run saturates
+  // at ~357/s while the controller's re-run recommends 3 replicas.
+  ss::Topology::Builder b;
+  b.add_operator("src", 1.0e-3);
+  b.add_operator("filter", 0.2e-3, ss::StateKind::kStateless, ss::Selectivity{1.0, 0.25});
+  b.add_operator("work", 2.8e-3);
+  b.add_operator("sink", 0.05e-3);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(2, 3);
+  const ss::Topology t = b.build();
+
+  std::cout << "== Ablation: elastic re-deployment under a ramping input rate ==\n"
+            << "ramp at t=" << Table::num(ramp_at) << "s of " << Table::num(duration)
+            << "s; the heavy stage's arrival rate jumps 250/s -> 1000/s\n\n";
+
+  ss::runtime::EngineConfig config;
+  config.reconfig_period = args.get_double("reconfig-period", 0.5);
+  config.reconfig_threshold = args.get_double("reconfig-threshold", 0.10);
+
+  const ss::runtime::RunStats fixed = run_once(t, ramp_at, duration, config, args);
+  config.elastic = true;
+  const ss::runtime::RunStats elastic = run_once(t, ramp_at, duration, config, args);
+
+  Table table({"mode", "source/s", "sink/s", "epochs", "re-deployments", "keys moved"});
+  table.add_row({"static", Table::num(fixed.source_rate, 1), Table::num(fixed.sink_rate, 1),
+                 std::to_string(fixed.epochs), std::to_string(fixed.reconfigurations),
+                 std::to_string(fixed.keys_migrated)});
+  table.add_row({"elastic", Table::num(elastic.source_rate, 1),
+                 Table::num(elastic.sink_rate, 1), std::to_string(elastic.epochs),
+                 std::to_string(elastic.reconfigurations),
+                 std::to_string(elastic.keys_migrated)});
+  table.print(std::cout);
+  std::cout << "\nreading: the static deployment is backpressured to the heavy stage's\n"
+               "service rate once the ramp hits; the elastic controller re-runs the\n"
+               "Alg. 1-3 pipeline on the measured selectivity, fences the graph at a\n"
+               "tuple boundary and resumes with the stage replicated — no tuple lost\n"
+               "(dropped: static " << fixed.dropped << ", elastic " << elastic.dropped
+            << ")\n";
+  return 0;
+}

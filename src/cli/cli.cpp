@@ -47,9 +47,13 @@ commands:
   simulate <file> [--duration=S] [--optimize] [--shedding] [--engine=sim|threads|pool]
                                      discrete-event simulation vs the model
   run <file> [--seconds=S] [--optimize] [--engine=threads|pool] [--workers=K]
-             [--batch=N]             execute on the actor runtime (threads =
+             [--batch=N] [--elastic] [--reconfig-period=S] [--reconfig-threshold=R]
+                                     execute on the actor runtime (threads =
                                      one thread per actor, pool = K work-
-                                     stealing workers draining N msgs/claim)
+                                     stealing workers draining N msgs/claim);
+                                     --elastic runs the online controller that
+                                     re-optimizes the live topology from
+                                     measured rates without losing tuples
   codegen <file> [--max-replicas=N] [--out=FILE] [--run-seconds=S]
                                      generate a C++ program for the deployment
   whatif <file> --set op=ms[,op=ms...] [--replicas=op=n,...]
@@ -233,39 +237,71 @@ int cmd_execute(const Args& args, std::ostream& out, harness::ExecutionBackend b
   if (args.has("engine")) backend = harness::engine_from_string(args.get("engine"));
 
   if (backend == harness::ExecutionBackend::kSim) {
+    require(!args.has("elastic"),
+            "--elastic needs a live runtime: use --engine=threads or --engine=pool");
     sim::SimOptions options;
     options.duration = args.get_double("duration", 120.0);
+    require(options.duration > 0.0, "--duration must be positive (seconds)");
     options.shedding = args.has("shedding");
     options.replication = deployment.replication;
     options.partitions = deployment.partitions;
     const sim::SimResult result = sim::simulate(t, options);
     const double predicted = steady_state(t, deployment.replication).throughput();
 
-    Table table({"operator", "arrival/s", "departure/s", "busy", "sojourn (ms)", "shed"});
+    Table table({"operator", "arrival/s", "departure/s", "busy", "sojourn (ms)",
+                 "p50 ms", "p95 ms", "p99 ms", "shed"});
     for (OpIndex i = 0; i < t.num_operators(); ++i) {
+      const auto& lat = result.ops[i].latency;
       table.add_row({t.op(i).name, Table::num(result.ops[i].arrival_rate, 1),
                      Table::num(result.ops[i].departure_rate, 1),
                      Table::percent(result.ops[i].busy_fraction, 0),
                      Table::num(result.ops[i].mean_sojourn * 1e3),
+                     lat.count > 0 ? Table::num(lat.p50 * 1e3) : "-",
+                     lat.count > 0 ? Table::num(lat.p95 * 1e3) : "-",
+                     lat.count > 0 ? Table::num(lat.p99 * 1e3) : "-",
                      std::to_string(result.ops[i].shed)});
     }
     table.print(out);
     out << "simulated throughput: " << Table::num(result.throughput, 1)
         << " tuples/s, model predicts " << Table::num(predicted, 1) << " (error "
         << Table::percent(harness::relative_error(predicted, result.throughput)) << ")\n";
+    if (result.end_to_end.count > 0) {
+      out << "simulated end-to-end latency: p50 " << Table::num(result.end_to_end.p50 * 1e3)
+          << " ms / p95 " << Table::num(result.end_to_end.p95 * 1e3) << " ms / p99 "
+          << Table::num(result.end_to_end.p99 * 1e3) << " ms ("
+          << result.end_to_end.count << " samples, virtual time)\n";
+    }
     return 0;
   }
 
   runtime::EngineConfig config;
+  require(!args.has("workers") || args.get_int("workers", 0) > 0,
+          "--workers must be a positive integer");
+  require(!args.has("batch") || args.get_int("batch", 0) > 0,
+          "--batch must be a positive integer");
   if (backend == harness::ExecutionBackend::kPool) {
     config.scheduler = runtime::SchedulerKind::kPooled;
     config.workers = static_cast<int>(args.get_int("workers", 0));
     config.pool_batch = static_cast<int>(args.get_int("batch", 0));
   }
+  config.elastic = args.has("elastic");
+  config.reconfig_period = args.get_double("reconfig-period", config.reconfig_period);
+  require(config.reconfig_period > 0.0, "--reconfig-period must be positive (seconds)");
+  config.reconfig_threshold =
+      args.get_double("reconfig-threshold", config.reconfig_threshold);
+  require(config.reconfig_threshold >= 0.0, "--reconfig-threshold must be >= 0");
+  const double seconds = args.get_double("seconds", 5.0);
+  require(seconds > 0.0, "--seconds must be positive");
   runtime::Engine engine(t, deployment, ops::make_logic_factory(t), config);
-  const runtime::RunStats stats = engine.run_for(
-      std::chrono::duration<double>(args.get_double("seconds", 5.0)));
+  const runtime::RunStats stats = engine.run_for(std::chrono::duration<double>(seconds));
   out << runtime::format_stats(t, stats);
+  if (engine.controller() != nullptr) {
+    out << "controller decisions:\n";
+    for (const auto& d : engine.controller()->decisions()) {
+      out << "  t=" << Table::num(d.at_seconds) << "s measured "
+          << Table::num(d.measured_throughput, 1) << " tuples/s: " << d.reason << '\n';
+    }
+  }
   return 0;
 }
 

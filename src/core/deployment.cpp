@@ -1,0 +1,75 @@
+#include "core/deployment.hpp"
+
+#include <algorithm>
+
+namespace ss {
+
+namespace {
+
+/// Fusion-group membership of every operator: the sorted member list of the
+/// group containing it, or empty when unfused.  Comparing memberships (not
+/// group indices) makes the diff insensitive to group ordering.
+std::vector<std::vector<OpIndex>> group_signature(std::size_t num_ops,
+                                                  const std::vector<FusionSpec>& fusions) {
+  std::vector<std::vector<OpIndex>> sig(num_ops);
+  for (const FusionSpec& group : fusions) {
+    std::vector<OpIndex> members = group.members;
+    std::sort(members.begin(), members.end());
+    for (OpIndex m : members) {
+      if (m < num_ops) sig[m] = members;
+    }
+  }
+  return sig;
+}
+
+const KeyPartition* partition_of(const Deployment& d, OpIndex i) {
+  if (i >= d.partitions.size() || d.partitions[i].replica_of_key.empty()) return nullptr;
+  return &d.partitions[i];
+}
+
+bool partitions_equal(const KeyPartition* a, const KeyPartition* b) {
+  if (a == nullptr || b == nullptr) return a == b;  // empty == "derive"
+  return a->replicas == b->replicas && a->replica_of_key == b->replica_of_key;
+}
+
+}  // namespace
+
+DeploymentDiff diff_deployments(std::size_t num_ops, const Deployment& from,
+                                const Deployment& to) {
+  DeploymentDiff diff;
+  diff.op_changed.assign(num_ops, false);
+  const auto from_groups = group_signature(num_ops, from.fusions);
+  const auto to_groups = group_signature(num_ops, to.fusions);
+  for (OpIndex i = 0; i < num_ops; ++i) {
+    const int n_from = from.replication.replicas_of(i);
+    const int n_to = to.replication.replicas_of(i);
+    bool changed = n_from != n_to;
+    // The key partition only matters while the operator is replicated: an
+    // unreplicated operator owns the whole key domain either way.
+    if (!changed && n_to > 1) {
+      changed = !partitions_equal(partition_of(from, i), partition_of(to, i));
+    }
+    if (!changed && from_groups[i] != to_groups[i]) {
+      changed = true;
+      diff.fusions_changed = true;
+    }
+    if (changed) {
+      diff.op_changed[i] = true;
+      ++diff.ops_changed;
+    }
+  }
+  if (diff.fusions_changed == false) {
+    // Membership comparison above only flags ops whose own group changed;
+    // surface the flag even when the only difference is group composition
+    // of already-flagged ops.
+    for (OpIndex i = 0; i < num_ops; ++i) {
+      if (from_groups[i] != to_groups[i]) {
+        diff.fusions_changed = true;
+        break;
+      }
+    }
+  }
+  return diff;
+}
+
+}  // namespace ss

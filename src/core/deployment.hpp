@@ -1,0 +1,54 @@
+// A deployment: everything the optimizer decided about how to run a
+// topology (replication plan, fusion groups, key partitions).  Lives in
+// core — not in the runtime — because the elastic controller needs to
+// compare and produce deployments without linking the actor engine.
+//
+// diff_deployments() computes which logical operators are affected by a
+// re-deployment.  The runtime uses the diff during an epoch switch-over to
+// keep the actors (mailboxes, logic state) of unchanged operators alive and
+// rebuild only what actually changed, and to know which partitioned
+// operators need key-state migration.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/fusion.hpp"
+#include "core/key_partitioning.hpp"
+#include "core/steady_state.hpp"
+
+namespace ss {
+
+/// Everything the optimizer decided about how to deploy a topology.
+struct Deployment {
+  ReplicationPlan replication;
+  std::vector<FusionSpec> fusions;
+  /// Key-to-replica maps for partitioned-stateful operators (indexed by
+  /// logical operator); missing/empty entries are derived automatically.
+  std::vector<KeyPartition> partitions;
+};
+
+/// Which logical operators a re-deployment touches.  An operator is
+/// *changed* when its replica count, its key partition (only meaningful
+/// while replicated), or its fusion-group membership differ between the two
+/// deployments.  Unchanged operators keep their actors — mailboxes and
+/// logic state — across the epoch switch.
+struct DeploymentDiff {
+  std::vector<bool> op_changed;
+  int ops_changed = 0;
+  bool fusions_changed = false;
+
+  [[nodiscard]] bool any() const { return ops_changed > 0; }
+  [[nodiscard]] bool changed(OpIndex i) const {
+    return i < op_changed.size() && op_changed[i];
+  }
+};
+
+/// Compares two deployments over a topology of `num_ops` operators.  A
+/// partition entry that is absent/empty means "derive automatically"; it
+/// compares equal only to another absent/empty entry (under the same
+/// replica count the derivation is deterministic).
+DeploymentDiff diff_deployments(std::size_t num_ops, const Deployment& from,
+                                const Deployment& to);
+
+}  // namespace ss

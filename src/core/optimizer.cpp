@@ -80,6 +80,60 @@ AutoOptimizeResult auto_optimize(const Topology& t, const AutoOptimizeOptions& o
   return result;
 }
 
+Deployment deployment_of(const AutoOptimizeResult& result) {
+  return Deployment{result.plan, result.fusions, result.partitions};
+}
+
+// ------------------------------------------- measured-rate re-optimization
+
+Topology with_measured_profile(const Topology& t,
+                               const std::vector<MeasuredOperator>& measured,
+                               std::uint64_t min_samples) {
+  if (min_samples == 0) min_samples = 1;
+  Topology::Builder builder;
+  for (OpIndex i = 0; i < t.num_operators(); ++i) {
+    OperatorSpec spec = t.op(i);
+    if (i < measured.size() && measured[i].samples >= min_samples) {
+      const MeasuredOperator& m = measured[i];
+      if (m.service_time > 0.0) spec.service_time = m.service_time;
+      // Measured selectivity: results per input.  The source keeps its
+      // declared selectivity — its "processed" count is its own generation,
+      // which already realizes the declared rate gain.
+      if (i != t.source() && m.processed_rate > 0.0 && m.emitted_rate > 0.0) {
+        spec.selectivity = Selectivity{1.0, m.emitted_rate / m.processed_rate};
+      }
+    }
+    builder.add_operator(std::move(spec));
+  }
+  for (const Edge& e : t.edges()) builder.add_edge(e.from, e.to, e.probability);
+  return builder.build();
+}
+
+ReoptimizeResult reoptimize(const Topology& declared, const Deployment& current,
+                            const std::vector<MeasuredOperator>& measured,
+                            const ReoptimizeOptions& options) {
+  ReoptimizeResult result;
+  const OpIndex source = declared.source();
+  result.enough_samples =
+      source < measured.size() && measured[source].samples >= options.min_samples;
+
+  const Topology observed = with_measured_profile(declared, measured, options.min_samples);
+  result.predicted_current = steady_state(observed, current.replication).throughput();
+
+  const AutoOptimizeResult optimized = auto_optimize(observed, options.optimize);
+  result.next = deployment_of(optimized);
+  result.analysis = optimized.analysis;
+  result.predicted_next = optimized.analysis.throughput();
+  result.diff = diff_deployments(declared.num_operators(), current, result.next);
+  result.gain = result.predicted_current > 0.0
+                    ? (result.predicted_next - result.predicted_current) /
+                          result.predicted_current
+                    : (result.predicted_next > 0.0 ? 1.0 : 0.0);
+  result.beneficial =
+      result.enough_samples && result.diff.any() && result.gain > options.min_gain;
+  return result;
+}
+
 std::string format_analysis(const Topology& t, const SteadyStateResult& rates,
                             const ReplicationPlan& plan) {
   std::ostringstream out;

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "core/bottleneck.hpp"
+#include "core/deployment.hpp"
 #include "core/fusion.hpp"
 #include "core/steady_state.hpp"
 #include "core/topology.hpp"
@@ -90,6 +91,72 @@ struct AutoOptimizeResult {
 };
 
 AutoOptimizeResult auto_optimize(const Topology& t, const AutoOptimizeOptions& options = {});
+
+/// The deployment an auto-optimization result describes.
+Deployment deployment_of(const AutoOptimizeResult& result);
+
+// --------------------------------------------------------------------------
+// Measured-rate re-optimization (elastic re-deployment).
+//
+// The static pipeline above consumes *profiled* characteristics.  At
+// runtime the StatsBoard measures the real processed/emitted rates per
+// operator; reoptimize() folds those measurements back into the topology
+// description, re-runs Algorithms 1-3 on it and compares the prediction
+// against the currently running deployment, so an online controller can
+// decide whether a re-deployment pays for itself.
+
+/// Measured behaviour of one logical operator over a sampling window.
+struct MeasuredOperator {
+  double processed_rate = 0.0;  ///< input items/s consumed in the window
+  double emitted_rate = 0.0;    ///< results/s produced in the window
+  /// Measured service time (seconds/item); <= 0 keeps the declared profile.
+  double service_time = 0.0;
+  /// Input items observed in the window; measurements below the caller's
+  /// min_samples threshold keep the declared profile (too noisy).
+  std::uint64_t samples = 0;
+};
+
+/// Returns a copy of `t` re-annotated with measured behaviour: the output
+/// selectivity of every operator with at least `min_samples` observed
+/// inputs becomes emitted_rate/processed_rate, and a positive measured
+/// service_time replaces the declared one.  Structure, routing
+/// probabilities and key distributions are preserved.
+Topology with_measured_profile(const Topology& t,
+                               const std::vector<MeasuredOperator>& measured,
+                               std::uint64_t min_samples = 1);
+
+struct ReoptimizeOptions {
+  AutoOptimizeOptions optimize{};
+  /// Minimum predicted relative throughput gain before a re-deployment is
+  /// declared beneficial (hysteresis; 0.10 = 10%).
+  double min_gain = 0.10;
+  /// Minimum source items observed in the window for the measurement to be
+  /// trusted at all.
+  std::uint64_t min_samples = 100;
+};
+
+struct ReoptimizeResult {
+  /// The deployment Algorithms 1-3 recommend for the measured topology.
+  Deployment next;
+  /// What would change relative to the currently running deployment.
+  DeploymentDiff diff;
+  /// Alg. 1 analysis of `next` on the measured topology.
+  SteadyStateResult analysis;
+  double predicted_current = 0.0;  ///< Alg. 1 throughput of the running deployment
+  double predicted_next = 0.0;     ///< Alg. 1 throughput of `next`
+  double gain = 0.0;               ///< (next - current) / current
+  bool enough_samples = false;
+  /// True when the measurement is trusted, something actually changes and
+  /// the predicted gain clears the hysteresis threshold.
+  bool beneficial = false;
+};
+
+/// Re-runs the Alg. 1/2/3 pipeline on `declared` re-annotated with
+/// `measured` (indexed by operator) and diffs the recommendation against
+/// `current`.
+ReoptimizeResult reoptimize(const Topology& declared, const Deployment& current,
+                            const std::vector<MeasuredOperator>& measured,
+                            const ReoptimizeOptions& options = {});
 
 /// Formats an analysis as the paper's Tables 1-2 do (mu^-1, delta^-1, rho per
 /// operator in milliseconds plus throughput in tuples/s).

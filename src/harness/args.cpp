@@ -1,6 +1,9 @@
 #include "harness/args.hpp"
 
+#include <cerrno>
 #include <cstdlib>
+
+#include "core/error.hpp"
 
 namespace ss::harness {
 
@@ -33,12 +36,26 @@ std::string Args::get(const std::string& key, const std::string& fallback) const
 
 long Args::get_int(const std::string& key, long fallback) const {
   auto it = values_.find(key);
-  return it == values_.end() ? fallback : std::strtol(it->second.c_str(), nullptr, 10);
+  if (it == values_.end()) return fallback;
+  const char* text = it->second.c_str();
+  char* end = nullptr;
+  errno = 0;
+  const long value = std::strtol(text, &end, 10);
+  require(end != text && *end == '\0' && errno != ERANGE,
+          "--" + key + ": expected an integer, got '" + it->second + "'");
+  return value;
 }
 
 double Args::get_double(const std::string& key, double fallback) const {
   auto it = values_.find(key);
-  return it == values_.end() ? fallback : std::strtod(it->second.c_str(), nullptr);
+  if (it == values_.end()) return fallback;
+  const char* text = it->second.c_str();
+  char* end = nullptr;
+  errno = 0;
+  const double value = std::strtod(text, &end);
+  require(end != text && *end == '\0' && errno != ERANGE,
+          "--" + key + ": expected a number, got '" + it->second + "'");
+  return value;
 }
 
 MeasureOptions measure_options_from_args(const Args& args, ExecutionBackend default_backend,
@@ -47,12 +64,26 @@ MeasureOptions measure_options_from_args(const Args& args, ExecutionBackend defa
   options.engine = args.has("engine") ? engine_from_string(args.get("engine"))
                                       : default_backend;
   options.workers = static_cast<int>(args.get_int("workers", base.workers));
+  require(!args.has("workers") || options.workers > 0,
+          "--workers must be a positive integer");
   options.pool_batch = static_cast<int>(args.get_int("batch", base.pool_batch));
+  require(!args.has("batch") || options.pool_batch > 0,
+          "--batch must be a positive integer");
   options.sim_duration = args.get_double("sim-duration", base.sim_duration);
+  require(options.sim_duration > 0.0, "--sim-duration must be positive (seconds)");
   options.real_duration = args.get_double("real-duration", base.real_duration);
-  options.buffer_capacity =
-      static_cast<std::size_t>(args.get_int("buffer-capacity", static_cast<long>(base.buffer_capacity)));
+  require(options.real_duration > 0.0, "--real-duration must be positive (seconds)");
+  const long buffer =
+      args.get_int("buffer-capacity", static_cast<long>(base.buffer_capacity));
+  require(buffer > 0, "--buffer-capacity must be a positive integer");
+  options.buffer_capacity = static_cast<std::size_t>(buffer);
   options.seed = static_cast<std::uint64_t>(args.get_int("seed", static_cast<long>(base.seed)));
+  options.elastic = base.elastic || args.has("elastic");
+  options.reconfig_period = args.get_double("reconfig-period", base.reconfig_period);
+  require(options.reconfig_period > 0.0, "--reconfig-period must be positive (seconds)");
+  options.reconfig_threshold =
+      args.get_double("reconfig-threshold", base.reconfig_threshold);
+  require(options.reconfig_threshold >= 0.0, "--reconfig-threshold must be >= 0");
   return options;
 }
 

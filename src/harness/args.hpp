@@ -32,8 +32,10 @@ class Args {
 
 /// The measurement flags every bench and the CLI share, parsed in one
 /// place: --engine=sim|threads|pool, --workers=K, --sim-duration=SEC,
-/// --real-duration=SEC, --buffer-capacity=N, --seed=S.  `base` provides
-/// the per-binary defaults for flags the user did not pass.
+/// --real-duration=SEC, --buffer-capacity=N, --seed=S, --elastic,
+/// --reconfig-period=SEC, --reconfig-threshold=R.  `base` provides the
+/// per-binary defaults for flags the user did not pass.  Malformed or
+/// non-positive values fail with a usable ss::Error naming the flag.
 MeasureOptions measure_options_from_args(const Args& args, ExecutionBackend default_backend,
                                          MeasureOptions base = {});
 

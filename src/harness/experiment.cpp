@@ -29,6 +29,8 @@ Measured measure(const Topology& t, const runtime::Deployment& deployment,
                  const MeasureOptions& options) {
   Measured result;
   if (options.engine == ExecutionBackend::kSim) {
+    require(!options.elastic,
+            "--elastic needs a live runtime: use --engine=threads or --engine=pool");
     sim::SimOptions sim_options;
     sim_options.duration = options.sim_duration;
     sim_options.buffer_capacity = options.buffer_capacity;
@@ -42,6 +44,10 @@ Measured measure(const Topology& t, const runtime::Deployment& deployment,
       result.departure_rates.push_back(op.departure_rate);
       result.arrival_rates.push_back(op.arrival_rate);
     }
+    result.latency_samples = sim.end_to_end.count;
+    result.latency_p50 = sim.end_to_end.p50;
+    result.latency_p95 = sim.end_to_end.p95;
+    result.latency_p99 = sim.end_to_end.p99;
     return result;
   }
 
@@ -53,6 +59,9 @@ Measured measure(const Topology& t, const runtime::Deployment& deployment,
     config.workers = options.workers;
     config.pool_batch = options.pool_batch;
   }
+  config.elastic = options.elastic;
+  config.reconfig_period = options.reconfig_period;
+  config.reconfig_threshold = options.reconfig_threshold;
   runtime::Engine engine(t, deployment, runtime::synthetic_factory(), config);
   const runtime::RunStats stats =
       engine.run_for(std::chrono::duration<double>(options.real_duration));
@@ -65,6 +74,9 @@ Measured measure(const Topology& t, const runtime::Deployment& deployment,
   result.latency_p50 = stats.end_to_end.p50;
   result.latency_p95 = stats.end_to_end.p95;
   result.latency_p99 = stats.end_to_end.p99;
+  result.epochs = stats.epochs;
+  result.reconfigurations = stats.reconfigurations;
+  result.keys_migrated = stats.keys_migrated;
   return result;
 }
 

@@ -51,6 +51,13 @@ struct MeasureOptions {
   /// Messages drained per pooled actor claim; <= 0 means the default
   /// (Mailbox::drain batch of 64).  Ignored by kSim/kThreads.
   int pool_batch = 0;
+  /// Elastic re-deployment (kThreads/kPool only): run a ReconfigController
+  /// that re-runs Algorithms 1-3 on measured rates every `reconfig_period`
+  /// seconds and switches epochs when the predicted gain exceeds
+  /// `reconfig_threshold`.  measure() rejects elastic under kSim.
+  bool elastic = false;
+  double reconfig_period = 0.5;
+  double reconfig_threshold = 0.10;
 };
 
 /// Measured steady-state rates of one run.
@@ -58,12 +65,18 @@ struct Measured {
   double throughput = 0.0;               ///< source departure rate (tuples/s)
   std::vector<double> departure_rates;   ///< per logical operator
   std::vector<double> arrival_rates;
-  /// End-to-end tuple latency over the steady-state window (seconds);
-  /// all zero under kSim, which does not model wall-clock delays yet.
+  /// End-to-end tuple latency over the steady-state window (seconds):
+  /// wall-clock under kThreads/kPool, virtual time under kSim (the DES
+  /// records per-tuple sojourn, so the percentile columns fill everywhere).
   std::uint64_t latency_samples = 0;
   double latency_p50 = 0.0;
   double latency_p95 = 0.0;
   double latency_p99 = 0.0;
+  /// Elastic re-deployment outcome (1 epoch / 0 reconfigurations when the
+  /// controller is off or never moved).
+  int epochs = 1;
+  int reconfigurations = 0;
+  std::uint64_t keys_migrated = 0;
 };
 
 /// Runs `t` under `deployment` on the chosen engine and returns rates.

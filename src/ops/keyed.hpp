@@ -1,12 +1,20 @@
 // Partitioned-stateful operators: per-key state, safely replicable by
 // splitting the key domain (paper §2, §3.2).  Each replica only ever sees a
 // subset of the keys, so per-replica hash maps are the state partitions.
+//
+// All four operators implement the elastic state-migration hooks
+// (OperatorLogic::owned_keys / migrate_key): when a re-deployment changes
+// the operator's replica count, the engine moves each key's map entry to
+// the replica that owns the key under the new partition, so running counts,
+// sums and distinct-sets survive the switch-over.
 #pragma once
 
 #include <cstdint>
 #include <memory>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
+#include <vector>
 
 #include "runtime/operator.hpp"
 
@@ -15,6 +23,31 @@ namespace ss::ops {
 using runtime::Collector;
 using runtime::OperatorLogic;
 using runtime::Tuple;
+
+namespace detail {
+
+/// Keys of one per-key state map, as the migration protocol wants them.
+template <typename Map>
+std::vector<std::int64_t> keys_of(const Map& map) {
+  std::vector<std::int64_t> keys;
+  keys.reserve(map.size());
+  for (const auto& entry : map) keys.push_back(entry.first);
+  return keys;
+}
+
+/// Moves `key`'s entry from `from` into the same-typed map of `to` (when
+/// `to` really is a `Logic`); returns false on type mismatch or absent key.
+template <typename Logic, typename Map>
+bool move_key(Map& from, std::int64_t key, OperatorLogic& to, Map Logic::* member) {
+  auto* dest = dynamic_cast<Logic*>(&to);
+  auto it = from.find(key);
+  if (dest == nullptr || it == from.end()) return false;
+  (dest->*member)[key] = std::move(it->second);
+  from.erase(it);
+  return true;
+}
+
+}  // namespace detail
 
 /// f[1] <- number of tuples seen for this key so far.
 class KeyedCounter final : public OperatorLogic {
@@ -26,6 +59,12 @@ class KeyedCounter final : public OperatorLogic {
   }
   [[nodiscard]] std::unique_ptr<OperatorLogic> clone() const override {
     return std::make_unique<KeyedCounter>();
+  }
+  [[nodiscard]] std::vector<std::int64_t> owned_keys() const override {
+    return detail::keys_of(counts_);
+  }
+  bool migrate_key(std::int64_t key, OperatorLogic& dest) override {
+    return detail::move_key<KeyedCounter>(counts_, key, dest, &KeyedCounter::counts_);
   }
 
  private:
@@ -42,6 +81,12 @@ class KeyedRunningSum final : public OperatorLogic {
   }
   [[nodiscard]] std::unique_ptr<OperatorLogic> clone() const override {
     return std::make_unique<KeyedRunningSum>();
+  }
+  [[nodiscard]] std::vector<std::int64_t> owned_keys() const override {
+    return detail::keys_of(sums_);
+  }
+  bool migrate_key(std::int64_t key, OperatorLogic& dest) override {
+    return detail::move_key<KeyedRunningSum>(sums_, key, dest, &KeyedRunningSum::sums_);
   }
 
  private:
@@ -61,6 +106,12 @@ class KeyedAverage final : public OperatorLogic {
   }
   [[nodiscard]] std::unique_ptr<OperatorLogic> clone() const override {
     return std::make_unique<KeyedAverage>();
+  }
+  [[nodiscard]] std::vector<std::int64_t> owned_keys() const override {
+    return detail::keys_of(state_);
+  }
+  bool migrate_key(std::int64_t key, OperatorLogic& dest) override {
+    return detail::move_key<KeyedAverage>(state_, key, dest, &KeyedAverage::state_);
   }
 
  private:
@@ -82,6 +133,12 @@ class KeyedDistinct final : public OperatorLogic {
   }
   [[nodiscard]] std::unique_ptr<OperatorLogic> clone() const override {
     return std::make_unique<KeyedDistinct>(bucket_width_);
+  }
+  [[nodiscard]] std::vector<std::int64_t> owned_keys() const override {
+    return detail::keys_of(seen_);
+  }
+  bool migrate_key(std::int64_t key, OperatorLogic& dest) override {
+    return detail::move_key<KeyedDistinct>(seen_, key, dest, &KeyedDistinct::seen_);
   }
 
  private:

@@ -8,9 +8,11 @@
 // operators are PerKey-lifted instances of the global aggregates.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <unordered_map>
+#include <vector>
 
 #include "runtime/operator.hpp"
 
@@ -39,6 +41,25 @@ class PerKey final : public runtime::OperatorLogic {
 
   [[nodiscard]] std::unique_ptr<runtime::OperatorLogic> clone() const override {
     return std::make_unique<PerKey>(factory_);  // fresh, empty key map
+  }
+
+  [[nodiscard]] std::vector<std::int64_t> owned_keys() const override {
+    std::vector<std::int64_t> keys;
+    keys.reserve(states_.size());
+    for (const auto& [key, logic] : states_) {
+      (void)logic;
+      keys.push_back(key);
+    }
+    return keys;
+  }
+
+  bool migrate_key(std::int64_t key, runtime::OperatorLogic& dest) override {
+    auto* target = dynamic_cast<PerKey*>(&dest);
+    auto it = states_.find(key);
+    if (target == nullptr || it == states_.end()) return false;
+    target->states_[key] = std::move(it->second);  // the whole inner logic moves
+    states_.erase(it);
+    return true;
   }
 
   /// Number of distinct keys touched so far (observability/testing).

@@ -1,0 +1,108 @@
+#include "runtime/controller.hpp"
+
+#include <chrono>
+#include <sstream>
+
+#include "runtime/engine.hpp"
+
+namespace ss::runtime {
+
+ReconfigController::ReconfigController(Engine& engine, ReconfigOptions options)
+    : engine_(engine), options_(std::move(options)) {
+  if (options_.period <= 0.0) options_.period = 0.5;
+  if (options_.threshold < 0.0) options_.threshold = 0.0;
+}
+
+ReconfigController::~ReconfigController() { stop(); }
+
+void ReconfigController::start() {
+  prev_ = engine_.sample();
+  thread_ = std::thread([this] { loop(); });
+}
+
+void ReconfigController::stop() {
+  {
+    std::lock_guard lock(mu_);
+    stop_.store(true);
+  }
+  stop_cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+std::vector<ReconfigDecision> ReconfigController::decisions() const {
+  std::lock_guard lock(mu_);
+  return decisions_;
+}
+
+void ReconfigController::loop() {
+  const auto period = std::chrono::duration<double>(options_.period);
+  while (true) {
+    {
+      std::unique_lock lock(mu_);
+      if (stop_cv_.wait_for(lock, period, [this] { return stop_.load(); })) return;
+    }
+    ReconfigDecision decision = evaluate_window();
+    std::lock_guard lock(mu_);
+    decisions_.push_back(std::move(decision));
+  }
+}
+
+ReconfigDecision ReconfigController::evaluate_window() {
+  const CounterSnapshot now = engine_.sample();
+  const Topology& topology = engine_.topology();
+  const double window = now.at_seconds - prev_.at_seconds;
+
+  // Counter deltas of the window -> measured per-operator behaviour.
+  std::vector<MeasuredOperator> measured(topology.num_operators());
+  for (OpIndex i = 0; i < topology.num_operators(); ++i) {
+    MeasuredOperator& m = measured[i];
+    m.samples = now.processed[i] - prev_.processed[i];
+    if (window > 0.0) {
+      m.processed_rate = static_cast<double>(m.samples) / window;
+      m.emitted_rate = static_cast<double>(now.emitted[i] - prev_.emitted[i]) / window;
+    }
+  }
+  prev_ = now;
+
+  ReoptimizeOptions reopt;
+  reopt.optimize = options_.optimize;
+  reopt.min_gain = options_.threshold;
+  reopt.min_samples = options_.min_samples;
+  const Deployment current = engine_.deployment();
+  const ReoptimizeResult result = reoptimize(topology, current, measured, reopt);
+
+  ReconfigDecision decision;
+  decision.at_seconds = now.at_seconds;
+  decision.measured_throughput = measured[topology.source()].emitted_rate;
+  decision.predicted_current = result.predicted_current;
+  decision.predicted_next = result.predicted_next;
+  decision.gain = result.gain;
+  decision.ops_changed = result.diff.ops_changed;
+
+  if (!result.enough_samples) {
+    decision.reason = "insufficient samples in window";
+  } else if (!result.diff.any()) {
+    decision.reason = "deployment already optimal";
+  } else if (!result.beneficial) {
+    std::ostringstream reason;
+    reason << "predicted gain " << result.gain * 100.0 << "% below threshold "
+           << options_.threshold * 100.0 << "%";
+    decision.reason = reason.str();
+  } else if (redeployments_.load(std::memory_order_relaxed) >= options_.max_redeployments) {
+    decision.reason = "max redeployments reached";
+  } else if (engine_.reconfigure(result.next)) {
+    decision.redeployed = true;
+    redeployments_.fetch_add(1, std::memory_order_relaxed);
+    std::ostringstream reason;
+    reason << "redeployed: " << result.diff.ops_changed << " operator(s) changed, predicted "
+           << decision.predicted_current << " -> " << decision.predicted_next << " tuples/s";
+    decision.reason = reason.str();
+    // The fence window is not a steady-state sample; restart the window.
+    prev_ = engine_.sample();
+  } else {
+    decision.reason = "engine declined (run stopping or source finished)";
+  }
+  return decision;
+}
+
+}  // namespace ss::runtime

@@ -1,0 +1,94 @@
+// The elastic re-deployment controller (the online closed loop over the
+// paper's static pipeline).
+//
+// SpinStreams is deliberately static: Algorithms 1-3 pick replica counts
+// and fusion groups once, from profiled characteristics, before the run.
+// The runtime's StatsBoard measures the real per-operator rates — so the
+// controller closes the loop: every `period` seconds it converts the
+// counter deltas of the last window into a measured topology annotation,
+// re-runs the Alg. 1/2/3 pipeline (core/optimizer reoptimize()), and when
+// the predicted throughput gain of the recommended deployment clears a
+// hysteresis threshold it asks the engine to switch epochs — fence, drain,
+// migrate partitioned key state, resume — without losing a tuple.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/optimizer.hpp"
+#include "runtime/metrics.hpp"
+
+namespace ss::runtime {
+
+class Engine;
+
+struct ReconfigOptions {
+  /// Seconds between StatsBoard samples (one decision per window).
+  double period = 0.5;
+  /// Minimum predicted relative throughput gain before re-deploying
+  /// (hysteresis; 0.10 = don't move for less than 10%).
+  double threshold = 0.10;
+  /// Minimum source items in a window for the measurement to be trusted.
+  std::uint64_t min_samples = 50;
+  /// Safety valve against oscillation: stop re-deploying after this many
+  /// switch-overs (sampling continues).
+  int max_redeployments = 16;
+  /// Optimizer options for the re-run of Algorithms 1-3.  Fusion is off by
+  /// default: re-fusing a live graph is legal but rarely worth a fence.
+  AutoOptimizeOptions optimize{.bottleneck = {}, .fusion = {}, .enable_fusion = false};
+};
+
+/// One sampling-window decision, kept for reporting and tests.
+struct ReconfigDecision {
+  double at_seconds = 0.0;            ///< window end, seconds since run start
+  double measured_throughput = 0.0;   ///< source departure rate in the window
+  double predicted_current = 0.0;     ///< Alg. 1 throughput of the running plan
+  double predicted_next = 0.0;        ///< Alg. 1 throughput of the recommended plan
+  double gain = 0.0;                  ///< predicted relative gain
+  int ops_changed = 0;                ///< size of the deployment diff
+  bool redeployed = false;            ///< the switch-over was executed
+  std::string reason;                 ///< why (not) — human-readable
+};
+
+/// Samples the engine's StatsBoard on a fixed period and triggers epoch
+/// switch-overs through Engine::reconfigure().  Owned by the engine when
+/// EngineConfig::elastic is set; start()/stop() bracket the run.
+class ReconfigController {
+ public:
+  ReconfigController(Engine& engine, ReconfigOptions options);
+  ~ReconfigController();
+
+  ReconfigController(const ReconfigController&) = delete;
+  ReconfigController& operator=(const ReconfigController&) = delete;
+
+  void start();
+  /// Stops and joins the sampling thread; an in-flight switch-over
+  /// completes first.  Idempotent.
+  void stop();
+
+  [[nodiscard]] std::vector<ReconfigDecision> decisions() const;
+  [[nodiscard]] int redeployments() const {
+    return redeployments_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void loop();
+  ReconfigDecision evaluate_window();
+
+  Engine& engine_;
+  ReconfigOptions options_;
+  std::thread thread_;
+  std::atomic<bool> stop_{false};
+  std::atomic<int> redeployments_{0};
+  mutable std::mutex mu_;           ///< guards decisions_ and the stop cv
+  std::condition_variable stop_cv_;
+  std::vector<ReconfigDecision> decisions_;
+  CounterSnapshot prev_;  ///< counters at the start of the current window
+};
+
+}  // namespace ss::runtime

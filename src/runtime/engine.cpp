@@ -6,6 +6,7 @@
 #include <map>
 #include <set>
 #include <thread>
+#include <tuple>
 #include <unordered_map>
 
 #include "core/error.hpp"
@@ -55,6 +56,13 @@ struct Engine::ActorState {
   std::int64_t expected_seq = 0;           // collector: next seq to release
   std::map<std::int64_t, std::vector<Message>> held;  // collector: buffered results
   std::set<std::int64_t> completed;        // collector: seq marks received
+  // --- epoch fence (reconfigure)
+  int fence_seen = 0;     ///< fence tokens received this barrier (actor thread only)
+  bool fence_counted = false;  ///< counted toward fence_passed_ (fence_mutex_)
+  bool finished = false;       ///< ran the shutdown epilogue (fence_mutex_)
+  /// Quiesced at a fence: the scheduler completes the actor WITHOUT the
+  /// finish epilogue; logic and mailbox carry into the next epoch.
+  std::atomic<bool> retired{false};
 };
 
 // ---------------------------------------------------------------- Collectors
@@ -120,8 +128,8 @@ class Engine::MetaCollector final : public Collector {
       engine_.board_.add_emitted(member_);
       return;
     }
-    const int group = engine_.graph_.group_of[member_];
-    if (engine_.graph_.group_of[dest] == group) {
+    const ActorGraph& graph = engine_.epoch_->graph;
+    if (graph.group_of[dest] == graph.group_of[member_]) {
       state_.pending.push_back(ActorState::PendingItem{dest, t, member_});
       engine_.board_.add_emitted(member_);
       return;
@@ -141,94 +149,223 @@ class Engine::MetaCollector final : public Collector {
 Engine::Engine(const Topology& t, Deployment deployment, AppFactory factory,
                EngineConfig config)
     : topology_(t),
-      deployment_(std::move(deployment)),
       factory_(std::move(factory)),
       config_(config),
-      graph_(ActorGraph::build(t, deployment_)),
-      board_(t.num_operators()) {
+      board_(t.num_operators()),
+      master_rng_(config.seed) {
   require(factory_.source != nullptr && factory_.logic != nullptr,
           "Engine: AppFactory must provide both source and logic factories");
-
   routers_.reserve(t.num_operators());
   for (OpIndex i = 0; i < t.num_operators(); ++i) routers_.emplace_back(t, i);
 
-  Rng master(config_.seed);
-  actors_.reserve(graph_.num_actors());
-  for (const ActorSpec& spec : graph_.actors) {
-    auto state = std::make_unique<ActorState>(spec, config_.mailbox_capacity,
-                                              config_.overflow, master.split());
-    const OperatorSpec& op = topology_.op(spec.op);
-    switch (spec.kind) {
-      case ActorKind::kSource:
-        state->source = factory_.source(spec.op, op);
-        break;
-      case ActorKind::kWorker:
-      case ActorKind::kReplica:
-        state->logic = factory_.logic(spec.op, op);
-        break;
-      case ActorKind::kEmitter: {
-        state->replica_targets = spec.downstream;  // exactly the replica ids
-        const int n = static_cast<int>(state->replica_targets.size());
-        if (op.state == StateKind::kPartitionedStateful) {
-          KeyPartition partition;
-          if (spec.op < deployment_.partitions.size() &&
-              !deployment_.partitions[spec.op].replica_of_key.empty()) {
-            partition = deployment_.partitions[spec.op];
-          } else {
-            partition = partition_keys(op.keys, n);
-          }
-          require(partition.replicas == n,
-                  "Engine: partition map of '" + op.name + "' disagrees with replica count");
-          state->selector = ReplicaSelector::by_key(std::move(partition));
-          if (config_.assign_keys_at_emitter) {
-            double running = 0.0;
-            for (std::size_t k = 0; k < op.keys.num_keys(); ++k) {
-              running += op.keys.probability(k);
-              state->key_cdf.push_back(running);
-            }
-            if (!state->key_cdf.empty()) state->key_cdf.back() = 1.0;
-          }
-        } else {
-          state->selector = ReplicaSelector::round_robin(n);
-        }
-        break;
-      }
-      case ActorKind::kCollector:
-        break;
-      case ActorKind::kMeta: {
-        for (std::size_t p = 0; p < spec.members.size(); ++p) {
-          const OpIndex m = spec.members[p];
-          state->member_logic.push_back(factory_.logic(m, topology_.op(m)));
-          state->member_pos.emplace(m, p);
-        }
-        break;
-      }
-    }
-    // Replica actors forward to the collector: by construction the single
-    // downstream entry of a replica is the collector actor.
-    if (spec.kind == ActorKind::kReplica) state->collector_actor = spec.downstream.front();
-    actors_.push_back(std::move(state));
-  }
+  ActorGraph graph = ActorGraph::build(t, deployment);
+  epoch_ = build_epoch(std::move(deployment), std::move(graph), nullptr, nullptr);
 }
 
-Engine::~Engine() { join_execution(); }
+Engine::~Engine() {
+  controller_.reset();  // joins the sampling thread; no reconfigure after this
+  join_execution();
+}
+
+// --------------------------------------------------------------- epoch build
+
+void Engine::init_actor_logic(ActorState& state, const ActorSpec& spec,
+                              const Deployment& deployment) {
+  const OperatorSpec& op = topology_.op(spec.op);
+  switch (spec.kind) {
+    case ActorKind::kSource:
+      state.source = factory_.source(spec.op, op);
+      break;
+    case ActorKind::kWorker:
+    case ActorKind::kReplica:
+      state.logic = factory_.logic(spec.op, op);
+      break;
+    case ActorKind::kEmitter: {
+      state.replica_targets = spec.downstream;  // exactly the replica ids
+      const int n = static_cast<int>(state.replica_targets.size());
+      if (op.state == StateKind::kPartitionedStateful) {
+        KeyPartition partition;
+        if (spec.op < deployment.partitions.size() &&
+            !deployment.partitions[spec.op].replica_of_key.empty()) {
+          partition = deployment.partitions[spec.op];
+        } else {
+          partition = partition_keys(op.keys, n);
+        }
+        require(partition.replicas == n,
+                "Engine: partition map of '" + op.name + "' disagrees with replica count");
+        state.selector = ReplicaSelector::by_key(std::move(partition));
+        if (config_.assign_keys_at_emitter) {
+          double running = 0.0;
+          for (std::size_t k = 0; k < op.keys.num_keys(); ++k) {
+            running += op.keys.probability(k);
+            state.key_cdf.push_back(running);
+          }
+          if (!state.key_cdf.empty()) state.key_cdf.back() = 1.0;
+        }
+      } else {
+        state.selector = ReplicaSelector::round_robin(n);
+      }
+      break;
+    }
+    case ActorKind::kCollector:
+      break;
+    case ActorKind::kMeta: {
+      for (std::size_t p = 0; p < spec.members.size(); ++p) {
+        const OpIndex m = spec.members[p];
+        state.member_logic.push_back(factory_.logic(m, topology_.op(m)));
+        state.member_pos.emplace(m, p);
+      }
+      break;
+    }
+  }
+  // Replica actors forward to the collector: by construction the single
+  // downstream entry of a replica is the collector actor.
+  if (spec.kind == ActorKind::kReplica) state.collector_actor = spec.downstream.front();
+}
+
+std::unique_ptr<Engine::EpochState> Engine::build_epoch(Deployment deployment,
+                                                        ActorGraph graph, EpochState* prev,
+                                                        const DeploymentDiff* diff) {
+  auto epoch = std::make_unique<EpochState>();
+  epoch->deployment = std::move(deployment);
+  epoch->graph = std::move(graph);
+
+  // Actors of operators the diff leaves untouched carry over whole from the
+  // quiesced previous epoch: mailbox contents, logic state, rng, counters.
+  // Identity is (operator, role, replica) — actor *ids* shift between
+  // epochs, so every id-bearing field is refreshed below.
+  std::map<std::tuple<OpIndex, int, int>, std::size_t> reusable;
+  if (prev != nullptr && diff != nullptr) {
+    for (std::size_t i = 0; i < prev->actors.size(); ++i) {
+      const ActorSpec& spec = prev->actors[i]->spec;
+      if (!diff->changed(spec.op)) {
+        reusable.emplace(std::make_tuple(spec.op, static_cast<int>(spec.kind), spec.replica),
+                         i);
+      }
+    }
+  }
+
+  epoch->actors.reserve(epoch->graph.num_actors());
+  for (const ActorSpec& spec : epoch->graph.actors) {
+    const auto it =
+        reusable.find(std::make_tuple(spec.op, static_cast<int>(spec.kind), spec.replica));
+    if (it != reusable.end() && prev->actors[it->second] != nullptr) {
+      std::unique_ptr<ActorState> state = std::move(prev->actors[it->second]);
+      state->spec = spec;
+      if (spec.kind == ActorKind::kEmitter) state->replica_targets = spec.downstream;
+      if (spec.kind == ActorKind::kReplica) state->collector_actor = spec.downstream.front();
+      state->mailbox.set_on_ready(nullptr);  // the new scheduler re-hooks
+      state->fence_seen = 0;
+      state->fence_counted = false;
+      state->finished = false;
+      state->retired.store(false, std::memory_order_relaxed);
+      epoch->actors.push_back(std::move(state));
+      continue;
+    }
+    auto state = std::make_unique<ActorState>(spec, config_.mailbox_capacity, config_.overflow,
+                                              master_rng_.split());
+    init_actor_logic(*state, spec, epoch->deployment);
+    epoch->actors.push_back(std::move(state));
+  }
+  if (prev != nullptr && diff != nullptr) migrate_state(*epoch, *prev, *diff);
+  return epoch;
+}
+
+void Engine::migrate_state(EpochState& next, EpochState& prev, const DeploymentDiff& diff) {
+  for (OpIndex op = 0; op < topology_.num_operators(); ++op) {
+    if (!diff.changed(op)) continue;
+    const OperatorSpec& spec = topology_.op(op);
+    if (spec.state != StateKind::kPartitionedStateful) continue;
+
+    // The operator's previous state holders.  Actors moved into the new
+    // epoch are nullptr here — but those belong to unchanged operators, so
+    // every holder of a *changed* operator is still present.
+    std::vector<OperatorLogic*> old_logics;
+    for (const auto& actor : prev.actors) {
+      if (actor == nullptr) continue;
+      const ActorSpec& a = actor->spec;
+      if (a.op == op &&
+          (a.kind == ActorKind::kWorker || a.kind == ActorKind::kReplica) &&
+          actor->logic != nullptr) {
+        old_logics.push_back(actor->logic.get());
+      } else if (a.kind == ActorKind::kMeta) {
+        for (std::size_t p = 0; p < a.members.size(); ++p) {
+          if (a.members[p] == op) old_logics.push_back(actor->member_logic[p].get());
+        }
+      }
+    }
+    if (old_logics.empty()) continue;
+
+    // The new owners, indexed by replica id (a lone worker or fused member
+    // is replica 0).
+    std::vector<OperatorLogic*> owners;
+    for (const auto& actor : next.actors) {
+      const ActorSpec& a = actor->spec;
+      if (a.op == op && a.kind == ActorKind::kWorker && actor->logic != nullptr) {
+        owners.assign(1, actor->logic.get());
+      } else if (a.op == op && a.kind == ActorKind::kReplica && actor->logic != nullptr) {
+        const auto r = static_cast<std::size_t>(a.replica);
+        if (owners.size() <= r) owners.resize(r + 1, nullptr);
+        owners[r] = actor->logic.get();
+      } else if (a.kind == ActorKind::kMeta) {
+        for (std::size_t p = 0; p < a.members.size(); ++p) {
+          if (a.members[p] == op) owners.assign(1, actor->member_logic[p].get());
+        }
+      }
+    }
+    if (owners.empty()) continue;
+
+    // Key -> replica exactly as the new emitter's ReplicaSelector maps it
+    // (routing.cpp), so migrated state lands where the data will go.
+    KeyPartition partition;
+    if (owners.size() > 1) {
+      if (op < next.deployment.partitions.size() &&
+          !next.deployment.partitions[op].replica_of_key.empty()) {
+        partition = next.deployment.partitions[op];
+      } else {
+        partition = partition_keys(spec.keys, static_cast<int>(owners.size()));
+      }
+    }
+
+    for (OperatorLogic* old_logic : old_logics) {
+      for (const std::int64_t key : old_logic->owned_keys()) {
+        std::size_t replica = 0;
+        if (owners.size() > 1) {
+          const auto n = static_cast<std::int64_t>(partition.replica_of_key.size());
+          std::int64_t k = key % n;
+          if (k < 0) k += n;
+          replica = static_cast<std::size_t>(
+              partition.replica_of_key[static_cast<std::size_t>(k)]);
+        }
+        OperatorLogic* dest = replica < owners.size() ? owners[replica] : nullptr;
+        if (dest != nullptr && dest != old_logic && old_logic->migrate_key(key, *dest)) {
+          keys_migrated_.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    }
+  }
+}
 
 // ------------------------------------------------- EngineCore (scheduler API)
 
 bool Engine::is_source(std::size_t id) const {
-  return actors_[id]->spec.kind == ActorKind::kSource;
+  return actor(id).spec.kind == ActorKind::kSource;
 }
 
 int Engine::incoming_channels(std::size_t id) const {
-  return actors_[id]->spec.incoming_channels;
+  return actor(id).spec.incoming_channels;
 }
 
-Mailbox& Engine::mailbox(std::size_t id) { return actors_[id]->mailbox; }
+Mailbox& Engine::mailbox(std::size_t id) { return actor(id).mailbox; }
+
+bool Engine::actor_retired(std::size_t id) const {
+  return actor(id).retired.load(std::memory_order_acquire);
+}
 
 bool Engine::send_to_actor(int actor_id, const Message& m) {
   const auto timeout =
       std::chrono::duration_cast<std::chrono::nanoseconds>(config_.send_timeout);
-  return scheduler_->deliver(static_cast<std::size_t>(actor_id), m, timeout);
+  return epoch_->scheduler->deliver(static_cast<std::size_t>(actor_id), m, timeout);
 }
 
 bool Engine::route_result(OpIndex op, OpIndex target, const Tuple& tuple, Rng& rng) {
@@ -244,7 +381,7 @@ bool Engine::route_result(OpIndex op, OpIndex target, const Tuple& tuple, Rng& r
                 topology_.op(op).name + "'");
   }
   const Message m = Message::data(tuple, op, target);
-  return send_to_actor(graph_.entry[target], m);
+  return send_to_actor(epoch_->graph.entry[target], m);
 }
 
 void Engine::release_ordered(ActorState& st) {
@@ -283,7 +420,7 @@ void Engine::meter_exit(const Tuple& tuple) {
 }
 
 void Engine::run_meta(std::size_t id, OpIndex member, const Tuple& tuple, OpIndex from) {
-  ActorState& st = *actors_[id];
+  ActorState& st = actor(id);
   st.pending.push_back(ActorState::PendingItem{member, tuple, from});
   while (!st.pending.empty()) {
     ActorState::PendingItem item = st.pending.front();
@@ -295,7 +432,7 @@ void Engine::run_meta(std::size_t id, OpIndex member, const Tuple& tuple, OpInde
 }
 
 void Engine::finish_actor(std::size_t id) {
-  ActorState& st = *actors_[id];
+  ActorState& st = actor(id);
   switch (st.spec.kind) {
     case ActorKind::kWorker: {
       RouteCollector out(*this, st.spec.op, st.rng);
@@ -342,12 +479,105 @@ void Engine::finish_actor(std::size_t id) {
   }
   // Propagate end-of-stream: one token per outgoing channel.
   for (int target : st.spec.downstream) {
-    actors_[static_cast<std::size_t>(target)]->mailbox.send_unbounded(Message::shutdown());
+    actor(static_cast<std::size_t>(target)).mailbox.send_unbounded(Message::shutdown());
+  }
+  std::lock_guard lock(fence_mutex_);
+  st.finished = true;
+}
+
+// ------------------------------------------------------- fence/drain barrier
+
+void Engine::on_fence_token(std::size_t id) {
+  ActorState& st = actor(id);
+  // One token per inbound channel, exactly like the shutdown protocol: FIFO
+  // per channel means every upstream's data precedes its token, so when the
+  // last token arrives the actor has processed everything this epoch will
+  // ever send it.
+  if (++st.fence_seen < st.spec.incoming_channels) return;
+  st.fence_seen = 0;
+  pass_fence(id);
+}
+
+void Engine::count_fence_locked(ActorState& st) {
+  if (st.fence_counted) return;
+  st.fence_counted = true;
+  ++fence_passed_;
+}
+
+void Engine::pass_fence(std::size_t id) {
+  ActorState& st = actor(id);
+  if (st.retired.exchange(true, std::memory_order_acq_rel)) return;
+  // Forward the fence before announcing passage so every downstream channel
+  // carries its token; the barrier completes only after the whole graph
+  // quiesced.
+  for (int target : st.spec.downstream) {
+    actor(static_cast<std::size_t>(target)).mailbox.send_unbounded(Message::fence());
+  }
+  bool complete = false;
+  {
+    std::lock_guard lock(fence_mutex_);
+    if (st.spec.kind != ActorKind::kSource) count_fence_locked(st);
+    complete = fence_passed_ >= fence_expected_;
+  }
+  if (complete) fence_cv_.notify_all();
+}
+
+bool Engine::next_source_item(ActorState& st, Tuple& tuple) {
+  {
+    std::lock_guard lock(fence_mutex_);
+    if (!fence_buffer_.empty()) {
+      // Replay what the previous epoch's source buffered during the fence;
+      // items keep their original timestamps so the switch-over delay shows
+      // up honestly in the latency percentiles.
+      tuple = fence_buffer_.front();
+      fence_buffer_.pop_front();
+      return true;
+    }
+    if (source_exhausted_) return false;  // SourceLogic ended mid-fence
+  }
+  if (!st.source->next(tuple)) return false;
+  tuple.ts = run_seconds();  // source stamp: the latency time base
+  return true;
+}
+
+void Engine::source_fence(std::size_t id) {
+  ActorState& st = actor(id);
+  if (st.retired.exchange(true, std::memory_order_acq_rel)) return;
+  // Announce the tuple boundary: beyond these tokens this epoch's source
+  // emits nothing; new items go to the bounded fence buffer instead of
+  // being dropped, and the next epoch's source replays them first.
+  for (int target : st.spec.downstream) {
+    actor(static_cast<std::size_t>(target)).mailbox.send_unbounded(Message::fence());
+  }
+  std::unique_lock lock(fence_mutex_);
+  while (!fence_release_sources_) {
+    if (!source_exhausted_ && fence_buffer_.size() < config_.mailbox_capacity) {
+      lock.unlock();
+      Tuple tuple;
+      const bool ok = st.source->next(tuple);
+      if (ok) tuple.ts = run_seconds();
+      lock.lock();
+      if (ok) {
+        fence_buffer_.push_back(tuple);
+      } else {
+        source_exhausted_ = true;
+      }
+      continue;
+    }
+    // Buffer full (or source dry): park until the switch-over releases us.
+    BlockingSection blocking;
+    fence_cv_.wait(lock);
   }
 }
 
+// ----------------------------------------------------------- message dispatch
+
 void Engine::process_message(std::size_t id, Message& msg) {
-  ActorState& st = *actors_[id];
+  if (msg.kind == Message::Kind::kFence) {
+    on_fence_token(id);
+    return;
+  }
+  ActorState& st = actor(id);
   const OpIndex op = st.spec.op;
   switch (st.spec.kind) {
     case ActorKind::kWorker: {
@@ -366,8 +596,8 @@ void Engine::process_message(std::size_t id, Message& msg) {
       if (msg.seq >= 0) {
         // Tell the collector this input is fully processed so it can
         // release the next sequence number.
-        actors_[static_cast<std::size_t>(st.collector_actor)]->mailbox.send_unbounded(
-            Message::seq_mark(msg.seq));
+        actor(static_cast<std::size_t>(st.collector_actor))
+            .mailbox.send_unbounded(Message::seq_mark(msg.seq));
       }
       break;
     }
@@ -412,7 +642,7 @@ void Engine::process_message(std::size_t id, Message& msg) {
 }
 
 void Engine::actor_loop(std::size_t id) {
-  ActorState& st = *actors_[id];
+  ActorState& st = actor(id);
   int shutdowns = 0;
   Message msg;
   while (st.mailbox.receive(msg)) {
@@ -421,18 +651,25 @@ void Engine::actor_loop(std::size_t id) {
       continue;
     }
     process_message(id, msg);
+    // Retired at a fence: exit WITHOUT the finish epilogue — logic state
+    // and mailbox carry into the next epoch.
+    if (st.retired.load(std::memory_order_relaxed)) return;
   }
   finish_actor(id);
 }
 
 void Engine::source_loop(std::size_t id) {
-  ActorState& st = *actors_[id];
+  ActorState& st = actor(id);
   const OpIndex op = st.spec.op;
   RouteCollector out(*this, op, st.rng);
   Tuple tuple;
   while (!stop_.load(std::memory_order_relaxed)) {
-    if (!st.source->next(tuple)) break;
-    tuple.ts = run_seconds();  // source stamp: the latency time base
+    if (fence_active_.load(std::memory_order_acquire)) {
+      source_fence(id);
+      if (st.retired.load(std::memory_order_relaxed)) return;
+      continue;
+    }
+    if (!next_source_item(st, tuple)) break;
     board_.add_processed(op);
     out.emit(tuple);
   }
@@ -448,14 +685,17 @@ void Engine::run_actor(std::size_t id) {
 }
 
 bool Engine::pump_source(std::size_t id, int quantum) {
-  ActorState& st = *actors_[id];
+  ActorState& st = actor(id);
   const OpIndex op = st.spec.op;
   RouteCollector out(*this, op, st.rng);
   Tuple tuple;
   for (int i = 0; i < quantum; ++i) {
     if (stop_.load(std::memory_order_relaxed)) return false;
-    if (!st.source->next(tuple)) return false;
-    tuple.ts = run_seconds();  // source stamp: the latency time base
+    if (fence_active_.load(std::memory_order_acquire)) {
+      source_fence(id);
+      return true;  // retired: the scheduler completes us without epilogue
+    }
+    if (!next_source_item(st, tuple)) return false;
     board_.add_processed(op);
     out.emit(tuple);
   }
@@ -466,41 +706,166 @@ void Engine::report_failure(std::size_t id, const std::string& what) {
   {
     std::lock_guard lock(failure_mutex_);
     if (first_failure_.empty()) {
-      first_failure_ = "actor '" + actors_[id]->spec.name + "': " + what;
+      first_failure_ = "actor '" + actor(id).spec.name + "': " + what;
     }
   }
   stop_.store(true);
-  actors_[id]->mailbox.close();
-  for (int target : actors_[id]->spec.downstream) {
-    actors_[static_cast<std::size_t>(target)]->mailbox.send_unbounded(Message::shutdown());
+  actor(id).mailbox.close();
+  for (int target : actor(id).spec.downstream) {
+    actor(static_cast<std::size_t>(target)).mailbox.send_unbounded(Message::shutdown());
   }
+  // A failed actor will never pass its fence token: forward the fence on
+  // its behalf so an in-flight barrier completes (reconfigure then aborts
+  // on the stop flag and the failure is rethrown after join).
+  if (fence_active_.load(std::memory_order_acquire)) pass_fence(id);
 }
 
-void Engine::actor_done() {
+void Engine::actor_done(std::size_t id) {
+  ActorState& st = actor(id);
+  bool complete = false;
+  {
+    std::lock_guard lock(fence_mutex_);
+    st.finished = true;
+    if (st.spec.kind == ActorKind::kSource && !st.retired.load(std::memory_order_relaxed)) {
+      // The source ran its natural end-of-stream, not a fence retirement:
+      // the run is completing and reconfigurations must stop.
+      source_finished_.store(true, std::memory_order_release);
+    }
+    if (fence_active_.load(std::memory_order_relaxed) &&
+        st.spec.kind != ActorKind::kSource) {
+      // Finished (or failed) during the fence: it will never pass a token;
+      // count it so the barrier completes.
+      count_fence_locked(st);
+      complete = fence_passed_ >= fence_expected_;
+    }
+  }
+  if (complete) fence_cv_.notify_all();
   if (active_actors_.fetch_sub(1) == 1) {
     std::lock_guard lock(done_mutex_);
     done_cv_.notify_all();
   }
 }
 
+// -------------------------------------------------------------- reconfigure
+
+bool Engine::reconfigure(const Deployment& next) {
+  // Validate before disturbing the run: a malformed deployment throws here,
+  // leaving the current epoch untouched.
+  ActorGraph next_graph = ActorGraph::build(topology_, next);
+
+  std::unique_lock epoch_lock(epoch_mutex_);
+  if (!started_.load(std::memory_order_acquire) || stop_.load() ||
+      source_finished_.load(std::memory_order_acquire)) {
+    return false;
+  }
+
+  const DeploymentDiff diff =
+      diff_deployments(topology_.num_operators(), epoch_->deployment, next);
+  swap_in_progress_.store(true, std::memory_order_release);
+
+  // Arm the fence.  Actors that already finished (natural end-of-stream
+  // racing the fence) are pre-counted: they will never pass a token.
+  {
+    std::lock_guard lock(fence_mutex_);
+    fence_passed_ = 0;
+    fence_expected_ = 0;
+    fence_release_sources_ = false;
+    for (const auto& st : epoch_->actors) {
+      if (st->spec.kind == ActorKind::kSource) continue;
+      ++fence_expected_;
+      st->fence_counted = false;
+      if (st->finished) count_fence_locked(*st);
+    }
+    fence_active_.store(true, std::memory_order_release);
+  }
+
+  // Sources see fence_active_ on their next item, inject the fence tokens
+  // and buffer; the tokens sweep the graph behind all in-flight data.  Wait
+  // for every non-source actor to quiesce at that tuple boundary.
+  {
+    std::unique_lock lock(fence_mutex_);
+    fence_cv_.wait(lock, [this] { return fence_passed_ >= fence_expected_; });
+    fence_release_sources_ = true;
+  }
+  fence_cv_.notify_all();
+
+  // Every actor retired or finished: the epoch's scheduler winds down.
+  epoch_->scheduler->join();
+
+  const bool aborted =
+      stop_.load() || source_finished_.load(std::memory_order_acquire);
+  if (!aborted) {
+    std::unique_ptr<EpochState> fresh =
+        build_epoch(next, std::move(next_graph), epoch_.get(), &diff);
+    // Actors being replaced die with the old epoch; fold their drop counts
+    // into the final accounting (reused actors keep counting on their own).
+    for (const auto& st : epoch_->actors) {
+      if (st != nullptr) dropped_prior_epochs_ += st->mailbox.dropped();
+    }
+    epoch_ = std::move(fresh);
+    epoch_counter_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  {
+    std::lock_guard lock(fence_mutex_);
+    fence_active_.store(false, std::memory_order_release);
+    if (aborted) fence_buffer_.clear();
+  }
+
+  if (!aborted) {
+    active_actors_.store(static_cast<int>(epoch_->actors.size()));
+    epoch_->scheduler = make_scheduler(config_.scheduler, config_.workers, config_.pool_batch);
+    epoch_->scheduler->start(*this);
+  }
+  swap_in_progress_.store(false, std::memory_order_release);
+  {
+    // run_until_complete may have observed active_actors_ == 0 during the
+    // swap; re-evaluate its predicate now that swap_in_progress_ cleared.
+    std::lock_guard lock(done_mutex_);
+    done_cv_.notify_all();
+  }
+  return !aborted;
+}
+
+Deployment Engine::deployment() const {
+  std::lock_guard lock(epoch_mutex_);
+  return epoch_->deployment;
+}
+
+CounterSnapshot Engine::sample() const { return board_.snapshot(run_seconds()); }
+
 // ------------------------------------------------------------------- running
 
 void Engine::start_execution() {
-  require(!started_, "Engine: run() can only be called once per instance");
-  started_ = true;
+  require(!started_.load(), "Engine: run() can only be called once per instance");
   run_start_ = Clock::now();
-  active_actors_.store(static_cast<int>(actors_.size()));
-  scheduler_ = make_scheduler(config_.scheduler, config_.workers, config_.pool_batch);
-  scheduler_->start(*this);
+  {
+    // reconfigure() gates on started_ under epoch_mutex_; publish it only
+    // after the scheduler is fully up so a concurrent reconfigure can never
+    // join() a scheduler whose worker threads are still being spawned.
+    std::lock_guard lock(epoch_mutex_);
+    active_actors_.store(static_cast<int>(epoch_->actors.size()));
+    epoch_->scheduler = make_scheduler(config_.scheduler, config_.workers, config_.pool_batch);
+    epoch_->scheduler->start(*this);
+    started_.store(true, std::memory_order_release);
+  }
+  if (config_.elastic) {
+    ReconfigOptions options;
+    options.period = config_.reconfig_period;
+    options.threshold = config_.reconfig_threshold;
+    controller_ = std::make_unique<ReconfigController>(*this, options);
+    controller_->start();
+  }
 }
 
 void Engine::join_execution() {
-  if (scheduler_) scheduler_->join();
+  std::lock_guard lock(epoch_mutex_);
+  if (epoch_ && epoch_->scheduler) epoch_->scheduler->join();
 }
 
 RunStats Engine::finalize_run() {
-  std::uint64_t dropped = 0;
-  for (const auto& actor : actors_) dropped += actor->mailbox.dropped();
+  std::uint64_t dropped = dropped_prior_epochs_;
+  for (const auto& actor : epoch_->actors) dropped += actor->mailbox.dropped();
   {
     std::lock_guard lock(failure_mutex_);
     require(first_failure_.empty(), "engine run failed: " + first_failure_);
@@ -508,6 +873,12 @@ RunStats Engine::finalize_run() {
   RunStats stats;
   stats.dropped = dropped;
   return stats;
+}
+
+void Engine::stop_run() {
+  if (controller_) controller_->stop();  // an in-flight switch-over completes
+  std::lock_guard lock(epoch_mutex_);
+  stop_.store(true);
 }
 
 RunStats Engine::run_for(std::chrono::duration<double> duration) {
@@ -520,13 +891,18 @@ RunStats Engine::run_for(std::chrono::duration<double> duration) {
   std::this_thread::sleep_for(std::chrono::duration<double>(total - warmup));
   const CounterSnapshot end = board_.snapshot(seconds_between(run_start_, Clock::now()));
   board_.set_latency_enabled(false);
-  stop_.store(true);
+  stop_run();
   join_execution();
   const double wall = seconds_between(run_start_, Clock::now());
   const CounterSnapshot final_totals = board_.snapshot(wall);
   const RunStats partial = finalize_run();
   const LatencyReport latency = board_.latency_report();
-  return make_run_stats(topology_, begin, end, final_totals, wall, partial.dropped, &latency);
+  RunStats stats =
+      make_run_stats(topology_, begin, end, final_totals, wall, partial.dropped, &latency);
+  stats.epochs = epochs();
+  stats.reconfigurations = stats.epochs - 1;
+  stats.keys_migrated = keys_migrated_.load(std::memory_order_relaxed);
+  return stats;
 }
 
 RunStats Engine::run_until_complete(std::chrono::duration<double> max_duration) {
@@ -535,16 +911,22 @@ RunStats Engine::run_until_complete(std::chrono::duration<double> max_duration) 
   const CounterSnapshot begin = board_.snapshot(0.0);
   {
     std::unique_lock lock(done_mutex_);
-    if (!done_cv_.wait_for(lock, max_duration, [this] { return active_actors_.load() == 0; })) {
-      stop_.store(true);
-    }
+    done_cv_.wait_for(lock, max_duration, [this] {
+      return active_actors_.load() == 0 &&
+             !swap_in_progress_.load(std::memory_order_acquire);
+    });
   }
+  stop_run();  // natural completion: a no-op beyond stopping the controller
   join_execution();
   const double wall = seconds_between(run_start_, Clock::now());
   const CounterSnapshot end = board_.snapshot(wall);
   const RunStats partial = finalize_run();
   const LatencyReport latency = board_.latency_report();
-  return make_run_stats(topology_, begin, end, end, wall, partial.dropped, &latency);
+  RunStats stats = make_run_stats(topology_, begin, end, end, wall, partial.dropped, &latency);
+  stats.epochs = epochs();
+  stats.reconfigurations = stats.epochs - 1;
+  stats.keys_migrated = keys_migrated_.load(std::memory_order_relaxed);
+  return stats;
 }
 
 }  // namespace ss::runtime

@@ -4,11 +4,23 @@
 // delegated to a Scheduler (scheduler.hpp): one dedicated thread per actor
 // (the configuration the paper evaluates in §5.1, the default) or a shared
 // worker pool multiplexing N actors onto K workers.
+//
+// A running actor graph is an *epoch*: the instantiation of one Deployment
+// (actors, mailboxes, routing targets, scheduler).  reconfigure() switches
+// epochs without losing a tuple — a fence token flows the channel barrier
+// (the generalization of the shutdown protocol), every actor quiesces at a
+// tuple boundary and retires with its state intact, the source buffers
+// (bounded) instead of stopping, unchanged actors carry over whole and the
+// key state of changed partitioned operators migrates to its new owners,
+// then a fresh scheduler resumes the graph.  EngineConfig::elastic runs a
+// ReconfigController (controller.hpp) that drives this loop from measured
+// rates.
 #pragma once
 
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -16,6 +28,7 @@
 
 #include "core/topology.hpp"
 #include "runtime/clock.hpp"
+#include "runtime/controller.hpp"
 #include "runtime/mailbox.hpp"
 #include "runtime/metrics.hpp"
 #include "runtime/operator.hpp"
@@ -58,6 +71,13 @@ struct EngineConfig {
   /// costs one mailbox lock acquisition (Mailbox::drain).  <= 0 means the
   /// default of 64.  Ignored under kThreadPerActor.
   int pool_batch = 0;
+  /// Elastic re-deployment: run a ReconfigController that samples measured
+  /// rates every `reconfig_period` seconds, re-runs Algorithms 1-3 on them
+  /// and switches epochs when the predicted throughput gain exceeds
+  /// `reconfig_threshold` (relative; 0.10 = 10%).
+  bool elastic = false;
+  double reconfig_period = 0.5;
+  double reconfig_threshold = 0.10;
 };
 
 /// Produces the processing logic of each logical operator.
@@ -89,13 +109,44 @@ class Engine final : public EngineCore {
   /// `max_duration` elapses; measures over the whole run.
   RunStats run_until_complete(std::chrono::duration<double> max_duration);
 
-  [[nodiscard]] const ActorGraph& graph() const { return graph_; }
+  /// Switches the running graph to `next` without losing a tuple: fence
+  /// tokens quiesce every actor at a tuple boundary (the source keeps
+  /// generating into a bounded buffer meanwhile), actors of unchanged
+  /// operators carry over with mailboxes and state untouched, the key
+  /// state of changed partitioned-stateful operators migrates to its new
+  /// owners, and a fresh scheduler resumes.  Returns false — without
+  /// switching — when the run has not started, is stopping, or the source
+  /// already finished.  Thread-safe against the run's own stop path; at
+  /// most one reconfiguration runs at a time.
+  bool reconfigure(const Deployment& next);
+
+  [[nodiscard]] const Topology& topology() const { return topology_; }
+  /// The deployment of the current epoch (by value: the epoch may swap).
+  [[nodiscard]] Deployment deployment() const;
+  [[nodiscard]] const ActorGraph& graph() const { return epoch_->graph; }
+  /// Counter totals right now — the controller's sampling hook.
+  [[nodiscard]] CounterSnapshot sample() const;
+  /// Epochs this engine has run (1 + completed reconfigurations).
+  [[nodiscard]] int epochs() const { return epoch_counter_.load(std::memory_order_relaxed); }
+  /// The elastic controller, when EngineConfig::elastic is set and the run
+  /// started; its decision log outlives the run.
+  [[nodiscard]] const ReconfigController* controller() const { return controller_.get(); }
 
  private:
   struct ActorState;
 
+  /// One instantiation of a Deployment: the actors and the scheduler that
+  /// runs them.  reconfigure() builds the next epoch from the previous one
+  /// (carrying unchanged actors over, migrating key state) and swaps.
+  struct EpochState {
+    Deployment deployment;
+    ActorGraph graph;
+    std::vector<std::unique_ptr<ActorState>> actors;
+    std::unique_ptr<Scheduler> scheduler;
+  };
+
   // --- EngineCore: the surface the scheduler drives
-  std::size_t num_actors() const override { return actors_.size(); }
+  std::size_t num_actors() const override { return epoch_->actors.size(); }
   bool is_source(std::size_t id) const override;
   int incoming_channels(std::size_t id) const override;
   Mailbox& mailbox(std::size_t id) override;
@@ -104,13 +155,43 @@ class Engine final : public EngineCore {
   void process_message(std::size_t id, Message& m) override;
   void finish_actor(std::size_t id) override;
   void report_failure(std::size_t id, const std::string& what) override;
-  void actor_done() override;
+  bool actor_retired(std::size_t id) const override;
+  void actor_done(std::size_t id) override;
   bool stop_requested() const override { return stop_.load(std::memory_order_relaxed); }
+
+  /// Instantiates `deployment` as a new epoch.  `prev` (when non-null) is
+  /// the quiesced previous epoch: actors of operators unchanged per `diff`
+  /// are moved over whole, changed partitioned-stateful operators get
+  /// fresh logic with per-key state migrated in.
+  std::unique_ptr<EpochState> build_epoch(Deployment deployment, ActorGraph graph,
+                                          EpochState* prev, const DeploymentDiff* diff);
+  /// Instantiates fresh logic (and emitter routing state) for one actor.
+  void init_actor_logic(ActorState& state, const ActorSpec& spec,
+                        const Deployment& deployment);
+  /// Moves per-key state of changed partitioned operators from `prev` into
+  /// the new epoch's logic instances.
+  void migrate_state(EpochState& next, EpochState& prev, const DeploymentDiff& diff);
 
   void start_execution();
   void join_execution();
+  /// Stops the controller (an in-flight switch-over completes first), then
+  /// raises the stop flag under the epoch lock so no new switch-over starts.
+  void stop_run();
   void actor_loop(std::size_t id);
   void source_loop(std::size_t id);
+  /// Next item for the source actor: replays the fence buffer of the
+  /// previous epoch first, then pulls from the SourceLogic.
+  bool next_source_item(ActorState& st, Tuple& tuple);
+  /// Source-side fence: forwards fence tokens downstream, keeps generating
+  /// into the bounded fence buffer while the rest of the graph drains, and
+  /// retires once the switch-over releases it.
+  void source_fence(std::size_t id);
+  /// A fence token arrived on one input channel of `id`.
+  void on_fence_token(std::size_t id);
+  /// `id` passed the fence: forward tokens downstream, retire, count.
+  void pass_fence(std::size_t id);
+  /// Counts `id` toward fence completion exactly once (fence_mutex_ held).
+  void count_fence_locked(ActorState& st);
   /// Seconds since the run started (the time base of Tuple::ts stamps).
   double run_seconds() const { return seconds_between(run_start_, Clock::now()); }
   /// Records the source→operator delay of a data message about to be
@@ -126,20 +207,21 @@ class Engine final : public EngineCore {
   bool route_result(OpIndex op, OpIndex target, const Tuple& tuple, Rng& rng);
   void run_meta(std::size_t id, OpIndex member, const Tuple& tuple, OpIndex from);
   void release_ordered(ActorState& st);
+  ActorState& actor(std::size_t id) { return *epoch_->actors[id]; }
+  const ActorState& actor(std::size_t id) const { return *epoch_->actors[id]; }
 
   class RouteCollector;
   class ReplicaCollector;
   class MetaCollector;
 
   Topology topology_;
-  Deployment deployment_;
   AppFactory factory_;
   EngineConfig config_;
-  ActorGraph graph_;
   StatsBoard board_;
-  std::vector<EdgeRouter> routers_;  // per logical operator
-  std::vector<std::unique_ptr<ActorState>> actors_;
-  std::unique_ptr<Scheduler> scheduler_;
+  std::vector<EdgeRouter> routers_;  // per logical operator (epoch-invariant)
+  Rng master_rng_;                   ///< split per actor at epoch build
+  std::unique_ptr<EpochState> epoch_;
+  std::unique_ptr<ReconfigController> controller_;
   std::atomic<bool> stop_{false};
   std::atomic<int> active_actors_{0};
   std::mutex failure_mutex_;
@@ -147,7 +229,32 @@ class Engine final : public EngineCore {
   std::mutex done_mutex_;
   std::condition_variable done_cv_;
   Clock::time_point run_start_{};
-  bool started_ = false;
+  std::atomic<bool> started_{false};
+
+  // --- epoch switch-over (reconfigure)
+  /// Serializes reconfigure() against the run's stop path: stop never
+  /// interrupts a switch-over halfway and a switch-over never starts once
+  /// the run is stopping.  Mutable: deployment() is a const observer.
+  mutable std::mutex epoch_mutex_;
+  /// True between "old epoch quiesced" and "new epoch started": tells
+  /// run_until_complete() that active_actors_ == 0 is not completion.
+  std::atomic<bool> swap_in_progress_{false};
+  std::atomic<int> epoch_counter_{1};
+  std::atomic<std::uint64_t> keys_migrated_{0};
+  std::uint64_t dropped_prior_epochs_ = 0;  ///< mailbox drops of replaced actors
+
+  // --- fence/drain barrier state
+  std::atomic<bool> fence_active_{false};
+  mutable std::mutex fence_mutex_;  ///< guards the fence counters below
+  std::condition_variable fence_cv_;
+  std::size_t fence_passed_ = 0;    ///< non-source actors quiesced so far
+  std::size_t fence_expected_ = 0;  ///< non-source actors this epoch
+  bool fence_release_sources_ = false;  ///< graph quiesced; sources may retire
+  /// Items the source generated while a fence was in flight; the next
+  /// epoch's source replays them first.  Bounded by mailbox_capacity.
+  std::deque<Tuple> fence_buffer_;
+  bool source_exhausted_ = false;   ///< SourceLogic::next() returned false mid-fence
+  std::atomic<bool> source_finished_{false};  ///< source completed normally
 };
 
 }  // namespace ss::runtime

@@ -1,5 +1,7 @@
-// Mailbox messages: data items routed between actors, plus the shutdown
-// control token used to drain the topology at the end of a run.
+// Mailbox messages: data items routed between actors, plus the control
+// tokens of the channel barrier protocol — shutdown (drain the topology at
+// the end of a run) and fence (quiesce the topology at a tuple boundary
+// for an elastic re-deployment).
 #pragma once
 
 #include <cstdint>
@@ -15,6 +17,9 @@ struct Message {
     kShutdown,  ///< end-of-stream marker counted per upstream channel
     kSeqMark,   ///< "input #seq fully processed" marker from a replica to
                 ///< its collector (order-preserving collection only)
+    kFence,     ///< epoch barrier counted per upstream channel: the actor
+                ///< forwards it once all inputs fenced, then retires with
+                ///< its state intact (elastic re-deployment)
   };
 
   Kind kind = Kind::kData;
@@ -41,6 +46,11 @@ struct Message {
   static Message shutdown() {
     Message m;
     m.kind = Kind::kShutdown;
+    return m;
+  }
+  static Message fence() {
+    Message m;
+    m.kind = Kind::kFence;
     return m;
   }
   static Message seq_mark(std::int64_t seq) {

@@ -172,6 +172,10 @@ std::string format_stats(const Topology& t, const RunStats& stats) {
   } else {
     out << "end-to-end latency: no samples in the measurement window\n";
   }
+  if (stats.reconfigurations > 0) {
+    out << "elastic: " << stats.epochs << " epochs, " << stats.reconfigurations
+        << " re-deployment(s), " << stats.keys_migrated << " key(s) migrated\n";
+  }
   return out.str();
 }
 

@@ -103,6 +103,10 @@ struct RunStats {
   std::uint64_t dropped = 0;      ///< items lost to send timeouts (should be 0)
   /// Source stamp → leaving the system at a sink, steady-state window only.
   LatencySummary end_to_end;
+  // --- elastic re-deployment (EngineConfig::elastic / Engine::reconfigure)
+  int epochs = 1;                  ///< actor-graph instantiations this run
+  int reconfigurations = 0;        ///< completed epoch switch-overs
+  std::uint64_t keys_migrated = 0; ///< per-key state moves across switch-overs
 };
 
 /// Shared counter board; one entry per logical operator.

@@ -7,7 +7,9 @@
 // synchronization — the same guarantee Akka gives actor state.
 #pragma once
 
+#include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "core/types.hpp"
 #include "runtime/tuple.hpp"
@@ -49,6 +51,28 @@ class OperatorLogic {
   /// Fresh instance with the same configuration and empty state; used to
   /// give every replica its own state partition.
   [[nodiscard]] virtual std::unique_ptr<OperatorLogic> clone() const = 0;
+
+  // --- key-state migration (elastic re-deployment) ----------------------
+  //
+  // When the controller changes the replica count or key partition of a
+  // partitioned-stateful operator, the engine fences the graph and moves
+  // each key's state from the replica that owned it to the one that owns
+  // it in the new deployment.  Both hooks are optional: logic that keeps
+  // no per-key state (or cannot move it) uses the defaults and the new
+  // owner simply starts the key from scratch.
+
+  /// Keys with live state in this instance.
+  [[nodiscard]] virtual std::vector<std::int64_t> owned_keys() const { return {}; }
+
+  /// Moves the state of `key` into `dest` — an instance of the same
+  /// concrete logic type owned by the replica taking the key over.
+  /// Returns false when this logic does not support migration (the key's
+  /// state is discarded and the new owner starts fresh).
+  virtual bool migrate_key(std::int64_t key, OperatorLogic& dest) {
+    (void)key;
+    (void)dest;
+    return false;
+  }
 };
 
 /// Source logics additionally produce the stream: the runtime calls next()

@@ -6,15 +6,20 @@
 //   * replicated operator (fission) -> emitter + N replicas + collector
 //   * fused sub-graph (fusion)      -> one meta actor running Alg. 4
 //
-// The actor graph also fixes the shutdown protocol: every actor knows how
-// many incoming channels it has and forwards one end-of-stream token per
-// outgoing channel once all of its inputs finished, so topologies drain
-// deterministically without losing in-flight items.
+// The actor graph also fixes the channel-token barrier protocol: every
+// actor knows how many incoming channels it has and forwards one token per
+// outgoing channel once it saw a token on all of its inputs.  Two token
+// kinds ride this barrier: the end-of-stream shutdown token (the actor
+// flushes its logic and exits — topologies drain deterministically without
+// losing in-flight items) and the *fence* token used by elastic
+// re-deployment (the actor quiesces at a tuple boundary and retires, its
+// state surviving for migration into the next epoch; see engine.hpp).
 #pragma once
 
 #include <string>
 #include <vector>
 
+#include "core/deployment.hpp"
 #include "core/fusion.hpp"
 #include "core/key_partitioning.hpp"
 #include "core/steady_state.hpp"
@@ -22,14 +27,10 @@
 
 namespace ss::runtime {
 
-/// Everything the optimizer decided about how to deploy a topology.
-struct Deployment {
-  ReplicationPlan replication;
-  std::vector<FusionSpec> fusions;
-  /// Key-to-replica maps for partitioned-stateful operators (indexed by
-  /// logical operator); missing/empty entries are derived automatically.
-  std::vector<KeyPartition> partitions;
-};
+/// The deployment description itself lives in core (core/deployment.hpp)
+/// so the optimizer can produce and diff deployments without linking the
+/// runtime; the runtime keeps the historical alias.
+using Deployment = ss::Deployment;
 
 enum class ActorKind : std::uint8_t {
   kSource,     ///< generates the stream (logical source operator)

@@ -203,6 +203,10 @@ void PooledScheduler::run_actor_slot(std::size_t self, std::size_t id) {
       complete(id, slot, /*run_finish=*/false);
       return;
     }
+    if (core_->actor_retired(id)) {  // epoch fence: no finish epilogue
+      complete(id, slot, /*run_finish=*/false);
+      return;
+    }
     if (!more) {
       complete(id, slot, /*run_finish=*/true);
       return;
@@ -236,6 +240,14 @@ void PooledScheduler::run_actor_slot(std::size_t self, std::size_t id) {
           continue;
         }
         core_->process_message(id, msg);
+        if (core_->actor_retired(id)) {
+          // The message was the actor's final fence token: it forwarded the
+          // fence and retired.  FIFO per channel puts every upstream's data
+          // before its token, so nothing can be pending later in the batch.
+          if (taken > released) box.release(taken - released);
+          complete(id, slot, /*run_finish=*/false);
+          return;
+        }
       }
     } catch (const std::exception& e) {
       if (taken > released) box.release(taken - released);
@@ -261,7 +273,7 @@ void PooledScheduler::complete(std::size_t id, ActorSlot& slot, bool run_finish)
   }
   slot.done.store(true, std::memory_order_release);
   slot.running.store(false, std::memory_order_release);
-  core_->actor_done();
+  core_->actor_done(id);
   bool drained = false;
   {
     std::lock_guard lock(mu_);

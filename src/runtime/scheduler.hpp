@@ -78,9 +78,15 @@ class EngineCore {
   /// the drain completes; the engine rethrows after the run.
   virtual void report_failure(std::size_t id, const std::string& what) = 0;
 
-  /// One actor fully finished (successfully or not); the engine's
-  /// active-actor accounting and completion signalling live here.
-  virtual void actor_done() = 0;
+  /// True when `id` passed an epoch fence and retired: the scheduler must
+  /// complete the actor WITHOUT the finish epilogue (no logic flush, no
+  /// shutdown tokens) — its state stays alive for migration into the next
+  /// epoch.  Checked after process_message()/pump_source() returns.
+  virtual bool actor_retired(std::size_t id) const = 0;
+
+  /// Actor `id` fully finished or retired; the engine's active-actor
+  /// accounting and completion signalling live here.
+  virtual void actor_done(std::size_t id) = 0;
 
   virtual bool stop_requested() const = 0;
 };

@@ -28,7 +28,7 @@ class ThreadPerActorScheduler final : public Scheduler {
           // run_for()/run_until_complete() rethrow after join.
           core_->report_failure(id, e.what());
         }
-        core_->actor_done();
+        core_->actor_done(id);
       });
     }
   }

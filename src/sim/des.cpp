@@ -13,15 +13,25 @@ namespace ss::sim {
 namespace {
 
 struct Server {
+  /// One produced result awaiting its push downstream: where it goes and
+  /// the virtual time its lineage left the source (the latency stamp the
+  /// runtime carries in Tuple::ts).
+  struct PendingResult {
+    int dest;
+    double birth;
+  };
+
   OpIndex op = kInvalidOp;
   bool is_source = false;
   std::size_t queue_len = 0;        ///< occupancy of the bounded input queue
+  std::deque<double> queue_birth;   ///< source stamp of each queued item
   double queue_integral = 0.0;      ///< time-weighted occupancy (Little's law)
   double queue_since = 0.0;         ///< last time queue_len changed
   bool busy = false;
   bool blocked = false;             ///< waiting for space downstream (BAS)
   double busy_since = 0.0;
-  std::vector<int> pending;         ///< destination servers awaiting the push
+  double service_birth = 0.0;       ///< stamp of the item in service
+  std::vector<PendingResult> pending;  ///< results awaiting the push
   std::size_t pending_pos = 0;
   double input_credit = 0.0;        ///< toward the next production event
   std::deque<int> waiters;          ///< servers blocked on THIS queue
@@ -39,7 +49,7 @@ struct Event {
 class Simulation {
  public:
   Simulation(const Topology& t, const SimOptions& options)
-      : topology_(t), options_(options), rng_(options.seed) {
+      : topology_(t), options_(options), rng_(options.seed), latency_(t.num_operators()) {
     build_servers();
     for (OpIndex i = 0; i < t.num_operators(); ++i) routers_.emplace_back(t, i);
   }
@@ -85,8 +95,17 @@ class Simulation {
   std::vector<std::uint64_t> warm_emitted_;
   std::vector<double> busy_time_;       // per op, inside the window
   std::vector<std::uint64_t> shed_;     // per op
+  // Per-tuple latency in virtual time, window-gated like the runtime's
+  // StatsBoard: one histogram per op (source stamp -> service start) plus
+  // the end-to-end distribution (source stamp -> leaving at a sink).
+  std::vector<runtime::LatencyHistogram> latency_;
+  runtime::LatencyHistogram end_to_end_;
   bool snapped_ = false;
   double warmup_at_ = 0.0;
+
+  bool in_window(double now) const {
+    return now >= warmup_at_ && now <= options_.duration;
+  }
 };
 
 void Simulation::build_servers() {
@@ -168,8 +187,11 @@ void Simulation::schedule_service(int sid, double now) {
 }
 
 void Simulation::produce(Server& s, double now) {
-  (void)now;
   const Selectivity& sel = topology_.op(s.op).selectivity;
+  // Results inherit the stamp of the item that produced them, exactly like
+  // the runtime copying Tuple::ts through an operator; source items are
+  // born now.
+  const double birth = s.is_source ? now : s.service_birth;
   s.input_credit += 1.0;
   while (s.input_credit >= sel.input) {
     s.input_credit -= sel.input;
@@ -181,8 +203,9 @@ void Simulation::produce(Server& s, double now) {
       const OpIndex dest = routers_[s.op].choose(rng_);
       if (dest == kInvalidOp) {
         count_emitted(s.op);  // sink: the result leaves the system
+        if (in_window(now)) end_to_end_.record(now - birth);
       } else {
-        s.pending.push_back(resolve_destination(dest));
+        s.pending.push_back(Server::PendingResult{resolve_destination(dest), birth});
       }
     }
   }
@@ -203,7 +226,7 @@ void Simulation::complete_service(int sid, double now) {
 void Simulation::attempt_flush(int sid, double now) {
   Server& s = servers_[static_cast<std::size_t>(sid)];
   while (s.pending_pos < s.pending.size()) {
-    const int dest_id = s.pending[s.pending_pos];
+    const int dest_id = s.pending[s.pending_pos].dest;
     Server& dest = servers_[static_cast<std::size_t>(dest_id)];
     if (dest.queue_len >= options_.buffer_capacity) {
       if (options_.shedding) {
@@ -221,6 +244,7 @@ void Simulation::attempt_flush(int sid, double now) {
     }
     account_queue(dest, now);
     ++dest.queue_len;
+    dest.queue_birth.push_back(s.pending[s.pending_pos].birth);
     count_emitted(s.op);
     ++s.pending_pos;
     try_start(dest_id, now);
@@ -240,6 +264,10 @@ void Simulation::try_start(int sid, double now) {
   if (s.busy || s.blocked || s.is_source || s.queue_len == 0) return;
   account_queue(s, now);
   --s.queue_len;
+  s.service_birth = s.queue_birth.front();
+  s.queue_birth.pop_front();
+  // Source stamp -> service start, the runtime's meter_arrival sample.
+  if (in_window(now)) latency_[s.op].record(now - s.service_birth);
   // Mark the server busy *before* admitting a waiter: the waiter's flush
   // can re-enter try_start on this very server, and the busy flag is what
   // stops it from starting a second concurrent service.
@@ -305,7 +333,9 @@ SimResult Simulation::run() {
     if (stats.arrival_rate > 0.0 && i != topology_.source()) {
       stats.mean_sojourn = in_system / stats.arrival_rate;
     }
+    stats.latency = latency_[i].summary();
   }
+  result.end_to_end = end_to_end_.summary();
   result.throughput = result.ops[topology_.source()].departure_rate;
   for (OpIndex s : topology_.sinks()) result.sink_rate += result.ops[s].departure_rate;
   result.sim_time = options_.duration;

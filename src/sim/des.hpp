@@ -25,6 +25,7 @@
 #include "core/key_partitioning.hpp"
 #include "core/steady_state.hpp"
 #include "core/topology.hpp"
+#include "runtime/metrics.hpp"
 #include "sim/distributions.hpp"
 
 namespace ss::sim {
@@ -68,6 +69,10 @@ struct SimOperatorStats {
   /// Mean time an item spends at this operator (queueing + service),
   /// derived from the queue integral via Little's law: W = L / lambda.
   double mean_sojourn = 0.0;
+  /// Per-tuple virtual-time delay from source emission to the start of
+  /// service at this operator (measurement window only) — the simulated
+  /// counterpart of the runtime's meter_arrival percentiles.
+  runtime::LatencySummary latency;
 };
 
 struct SimResult {
@@ -77,6 +82,9 @@ struct SimResult {
   double sim_time = 0.0;     ///< simulated seconds actually run
   std::uint64_t events = 0;  ///< processed simulation events
   std::uint64_t shed = 0;    ///< total items discarded by load shedding
+  /// Source emission to leaving the system at a sink, virtual time,
+  /// measurement window only (the runtime's end-to-end percentiles).
+  runtime::LatencySummary end_to_end;
 };
 
 /// Runs the simulation.  Deterministic for a given (topology, options).

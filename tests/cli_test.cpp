@@ -227,6 +227,51 @@ TEST_F(CliTest, RunRejectsUnknownEngine) {
   EXPECT_NE(err.find("unknown engine"), std::string::npos);
 }
 
+TEST_F(CliTest, RunRejectsNonPositiveWorkerAndBatchCounts) {
+  auto [wcode, wout, werr] = run({"run", "--engine=pool", "--workers=0", "--seconds=0.1"});
+  EXPECT_EQ(wcode, 1);
+  EXPECT_NE(werr.find("--workers"), std::string::npos) << werr;
+
+  auto [bcode, bout, berr] = run({"run", "--engine=pool", "--batch=-4", "--seconds=0.1"});
+  EXPECT_EQ(bcode, 1);
+  EXPECT_NE(berr.find("--batch"), std::string::npos) << berr;
+
+  // A bogus count fails even on a backend that would ignore the flag.
+  auto [tcode, tout, terr] = run({"run", "--workers=0", "--seconds=0.1"});
+  EXPECT_EQ(tcode, 1);
+  EXPECT_NE(terr.find("--workers"), std::string::npos) << terr;
+}
+
+TEST_F(CliTest, RunRejectsMalformedNumericFlags) {
+  auto [code, out, err] = run({"run", "--engine=pool", "--workers=many", "--seconds=0.1"});
+  EXPECT_EQ(code, 1);
+  EXPECT_NE(err.find("expected an integer"), std::string::npos) << err;
+
+  auto [pcode, pout, perr] = run({"run", "--reconfig-period=0", "--seconds=0.1"});
+  EXPECT_EQ(pcode, 1);
+  EXPECT_NE(perr.find("--reconfig-period"), std::string::npos) << perr;
+}
+
+TEST_F(CliTest, ElasticRejectedUnderSimBackend) {
+  auto [code, out, err] = run({"simulate", "--elastic", "--duration=1"});
+  EXPECT_EQ(code, 1);
+  EXPECT_NE(err.find("--elastic needs a live runtime"), std::string::npos) << err;
+}
+
+TEST_F(CliTest, ElasticRunPrintsControllerDecisions) {
+  auto [code, out, err] =
+      run({"run", "--elastic", "--reconfig-period=0.2", "--seconds=0.8"});
+  EXPECT_EQ(code, 0) << err;
+  EXPECT_NE(out.find("controller decisions:"), std::string::npos) << out;
+}
+
+TEST_F(CliTest, SimulateReportsVirtualTimeLatencyPercentiles) {
+  auto [code, out, err] = run({"simulate", "--duration=40"});
+  EXPECT_EQ(code, 0) << err;
+  EXPECT_NE(out.find("p99 ms"), std::string::npos) << out;
+  EXPECT_NE(out.find("simulated end-to-end latency"), std::string::npos) << out;
+}
+
 TEST_F(CliTest, SimulateRedirectsToRuntimeEngine) {
   // The unified execution path: `simulate --engine=pool` runs the real
   // runtime instead of the DES.

@@ -46,6 +46,25 @@ TEST(Des, SaturatedServerHasFullUtilization) {
   EXPECT_LT(sim.ops[2].busy_fraction, 0.2);
 }
 
+TEST(Des, VirtualTimeLatencyPercentilesAreFilledAndOrdered) {
+  Topology t = bottleneck_pipeline();
+  SimResult sim = simulate(t, quick());
+  // End-to-end: birth at the source to leaving the system at a sink.
+  ASSERT_GT(sim.end_to_end.count, 0u);
+  EXPECT_GT(sim.end_to_end.p50, 0.0);
+  EXPECT_LE(sim.end_to_end.p50, sim.end_to_end.p95);
+  EXPECT_LE(sim.end_to_end.p95, sim.end_to_end.p99);
+  // Per-op latency is source stamp -> service start (the runtime's metering
+  // convention), so it accumulates along the pipeline: the sink's delay
+  // includes the saturated stage's queueing plus its service time.
+  for (OpIndex i = 1; i < t.num_operators(); ++i) {
+    EXPECT_GT(sim.ops[i].latency.count, 0u) << "op " << i;
+  }
+  EXPECT_GT(sim.ops[2].latency.p50, sim.ops[1].latency.p50);
+  // End-to-end cannot be shorter than the delay to the bottleneck.
+  EXPECT_GE(sim.end_to_end.p50, sim.ops[1].latency.p50);
+}
+
 TEST(Des, NoBottleneckRunsAtSourceRate) {
   Topology::Builder b;
   b.add_operator("src", 2.0 * kMs);
