@@ -20,6 +20,7 @@
 #include "harness/table.hpp"
 #include "ops/registry.hpp"
 #include "runtime/engine.hpp"
+#include "runtime/trace.hpp"
 #include "sim/des.hpp"
 #include "xmlio/topology_xml.hpp"
 
@@ -48,12 +49,17 @@ commands:
                                      discrete-event simulation vs the model
   run <file> [--seconds=S] [--optimize] [--engine=threads|pool] [--workers=K]
              [--batch=N] [--elastic] [--reconfig-period=S] [--reconfig-threshold=R]
+             [--trace=FILE] [--metrics-out=FILE] [--metrics-period=S]
                                      execute on the actor runtime (threads =
                                      one thread per actor, pool = K work-
                                      stealing workers draining N msgs/claim);
                                      --elastic runs the online controller that
                                      re-optimizes the live topology from
-                                     measured rates without losing tuples
+                                     measured rates without losing tuples;
+                                     --trace writes a Chrome trace-event JSON
+                                     (open in Perfetto), --metrics-out appends
+                                     one JSON metrics snapshot per line every
+                                     --metrics-period seconds
   codegen <file> [--max-replicas=N] [--out=FILE] [--run-seconds=S]
                                      generate a C++ program for the deployment
   whatif <file> --set op=ms[,op=ms...] [--replicas=op=n,...]
@@ -239,6 +245,9 @@ int cmd_execute(const Args& args, std::ostream& out, harness::ExecutionBackend b
   if (backend == harness::ExecutionBackend::kSim) {
     require(!args.has("elastic"),
             "--elastic needs a live runtime: use --engine=threads or --engine=pool");
+    require(!args.has("trace") && !args.has("metrics-out"),
+            "--trace/--metrics-out need a live runtime: use --engine=threads or "
+            "--engine=pool");
     sim::SimOptions options;
     options.duration = args.get_double("duration", 120.0);
     require(options.duration > 0.0, "--duration must be positive (seconds)");
@@ -248,13 +257,15 @@ int cmd_execute(const Args& args, std::ostream& out, harness::ExecutionBackend b
     const sim::SimResult result = sim::simulate(t, options);
     const double predicted = steady_state(t, deployment.replication).throughput();
 
-    Table table({"operator", "arrival/s", "departure/s", "busy", "sojourn (ms)",
-                 "p50 ms", "p95 ms", "p99 ms", "shed"});
+    Table table({"operator", "arrival/s", "departure/s", "busy", "blocked", "q_hi",
+                 "sojourn (ms)", "p50 ms", "p95 ms", "p99 ms", "shed"});
     for (OpIndex i = 0; i < t.num_operators(); ++i) {
       const auto& lat = result.ops[i].latency;
       table.add_row({t.op(i).name, Table::num(result.ops[i].arrival_rate, 1),
                      Table::num(result.ops[i].departure_rate, 1),
                      Table::percent(result.ops[i].busy_fraction, 0),
+                     Table::percent(result.ops[i].blocked_fraction, 0),
+                     std::to_string(result.ops[i].queue_peak),
                      Table::num(result.ops[i].mean_sojourn * 1e3),
                      lat.count > 0 ? Table::num(lat.p50 * 1e3) : "-",
                      lat.count > 0 ? Table::num(lat.p95 * 1e3) : "-",
@@ -292,9 +303,47 @@ int cmd_execute(const Args& args, std::ostream& out, harness::ExecutionBackend b
   require(config.reconfig_threshold >= 0.0, "--reconfig-threshold must be >= 0");
   const double seconds = args.get_double("seconds", 5.0);
   require(seconds > 0.0, "--seconds must be positive");
+  config.metrics_path = args.get("metrics-out", "");
+  config.metrics_period = args.get_double("metrics-period", config.metrics_period);
+  require(config.metrics_period > 0.0, "--metrics-period must be positive (seconds)");
+  const std::string trace_path = args.get("trace", "");
+  if (!trace_path.empty()) {
+    // Probe writability now: fail with a usable error before the run, not
+    // after `seconds` of execution when the trace flushes.
+    std::ofstream probe(trace_path, std::ios::trunc);
+    require(probe.good(), "cannot write trace file: " + trace_path);
+  }
+  // The engine validates --metrics-out the same way (the exporter opens
+  // the file before any actor thread starts).
   runtime::Engine engine(t, deployment, ops::make_logic_factory(t), config);
-  const runtime::RunStats stats = engine.run_for(std::chrono::duration<double>(seconds));
+  const bool tracing =
+      !trace_path.empty() && runtime::trace::Tracer::instance().start();
+  runtime::RunStats stats;
+  try {
+    stats = engine.run_for(std::chrono::duration<double>(seconds));
+  } catch (...) {
+    // Disarm so a failed run never leaves the process-global tracer armed.
+    if (tracing) {
+      try {
+        runtime::trace::Tracer::instance().stop_and_flush(trace_path);
+      } catch (...) {
+      }
+    }
+    throw;
+  }
   out << runtime::format_stats(t, stats);
+  if (tracing) {
+    const std::size_t events = runtime::trace::Tracer::instance().stop_and_flush(trace_path);
+    out << "trace: " << events << " events written to " << trace_path;
+    if (runtime::trace::Tracer::instance().dropped() > 0) {
+      out << " (" << runtime::trace::Tracer::instance().dropped()
+          << " dropped to ring wrap-around)";
+    }
+    out << '\n';
+  }
+  if (!config.metrics_path.empty()) {
+    out << "metrics: JSONL snapshots written to " << config.metrics_path << '\n';
+  }
   if (engine.controller() != nullptr) {
     out << "controller decisions:\n";
     for (const auto& d : engine.controller()->decisions()) {

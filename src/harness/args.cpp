@@ -84,6 +84,9 @@ MeasureOptions measure_options_from_args(const Args& args, ExecutionBackend defa
   options.reconfig_threshold =
       args.get_double("reconfig-threshold", base.reconfig_threshold);
   require(options.reconfig_threshold >= 0.0, "--reconfig-threshold must be >= 0");
+  options.metrics_path = args.get("metrics-out", base.metrics_path);
+  options.metrics_period = args.get_double("metrics-period", base.metrics_period);
+  require(options.metrics_period > 0.0, "--metrics-period must be positive (seconds)");
   return options;
 }
 

@@ -38,11 +38,15 @@ Measured measure(const Topology& t, const runtime::Deployment& deployment,
     sim_options.seed = options.seed;
     sim_options.replication = deployment.replication;
     sim_options.partitions = deployment.partitions;
+    require(options.metrics_path.empty(),
+            "--metrics-out needs a live runtime: use --engine=threads or --engine=pool");
     const sim::SimResult sim = sim::simulate(t, sim_options);
     result.throughput = sim.throughput;
     for (const auto& op : sim.ops) {
       result.departure_rates.push_back(op.departure_rate);
       result.arrival_rates.push_back(op.arrival_rate);
+      result.busy_fractions.push_back(op.busy_fraction);
+      result.blocked_fractions.push_back(op.blocked_fraction);
     }
     result.latency_samples = sim.end_to_end.count;
     result.latency_p50 = sim.end_to_end.p50;
@@ -62,6 +66,8 @@ Measured measure(const Topology& t, const runtime::Deployment& deployment,
   config.elastic = options.elastic;
   config.reconfig_period = options.reconfig_period;
   config.reconfig_threshold = options.reconfig_threshold;
+  config.metrics_path = options.metrics_path;
+  config.metrics_period = options.metrics_period;
   runtime::Engine engine(t, deployment, runtime::synthetic_factory(), config);
   const runtime::RunStats stats =
       engine.run_for(std::chrono::duration<double>(options.real_duration));
@@ -69,6 +75,8 @@ Measured measure(const Topology& t, const runtime::Deployment& deployment,
   for (const auto& op : stats.ops) {
     result.departure_rates.push_back(op.departure_rate);
     result.arrival_rates.push_back(op.arrival_rate);
+    result.busy_fractions.push_back(op.busy_fraction);
+    result.blocked_fractions.push_back(op.blocked_fraction);
   }
   result.latency_samples = stats.end_to_end.count;
   result.latency_p50 = stats.end_to_end.p50;

@@ -58,6 +58,11 @@ struct MeasureOptions {
   bool elastic = false;
   double reconfig_period = 0.5;
   double reconfig_threshold = 0.10;
+  /// When non-empty (kThreads/kPool only), the engine's MetricsExporter
+  /// appends one JSON metrics snapshot per line to this file every
+  /// `metrics_period` seconds.  measure() rejects it under kSim.
+  std::string metrics_path;
+  double metrics_period = 0.5;
 };
 
 /// Measured steady-state rates of one run.
@@ -65,6 +70,12 @@ struct Measured {
   double throughput = 0.0;               ///< source departure rate (tuples/s)
   std::vector<double> departure_rates;   ///< per logical operator
   std::vector<double> arrival_rates;
+  /// Measured per-operator utilization ρ (busy time / window / replicas)
+  /// and blocked-on-send fraction — filled by every backend (virtual time
+  /// under kSim; -1 under kThreads/kPool runs without telemetry), so
+  /// predicted-vs-measured ρ comparisons work sim-vs-runtime alike.
+  std::vector<double> busy_fractions;
+  std::vector<double> blocked_fractions;
   /// End-to-end tuple latency over the steady-state window (seconds):
   /// wall-clock under kThreads/kPool, virtual time under kSim (the DES
   /// records per-tuple sojourn, so the percentile columns fill everywhere).

@@ -61,6 +61,15 @@ ReconfigDecision ReconfigController::evaluate_window() {
       m.processed_rate = static_cast<double>(m.samples) / window;
       m.emitted_rate = static_cast<double>(now.emitted[i] - prev_.emitted[i]) / window;
     }
+    // Measured service time from the busy-time telemetry: busy is summed
+    // across an operator's replicas, so busy / items is the per-item mean
+    // regardless of replication — exactly Alg. 1's 1/μ.  Backpressure waits
+    // are charged to blocked, never busy, so this stays pure service even
+    // for operators that spend the window blocked downstream.
+    if (m.samples > 0 && i < now.busy_ns.size() && i < prev_.busy_ns.size()) {
+      const std::uint64_t busy_delta = now.busy_ns[i] - prev_.busy_ns[i];
+      m.service_time = static_cast<double>(busy_delta) / 1e9 / static_cast<double>(m.samples);
+    }
   }
   prev_ = now;
 

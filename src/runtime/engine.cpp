@@ -4,6 +4,7 @@
 #include <deque>
 #include <exception>
 #include <map>
+#include <optional>
 #include <set>
 #include <thread>
 #include <tuple>
@@ -12,8 +13,45 @@
 #include "core/error.hpp"
 #include "runtime/clock.hpp"
 #include "runtime/synthetic.hpp"
+#include "runtime/trace.hpp"
 
 namespace ss::runtime {
+
+namespace {
+
+/// Times one slice of operator logic as busy-ns, with blocked-on-send time
+/// charged inside the slice subtracted out (busy is pure service; blocked
+/// is accounted separately by the mailbox through the pinned context).
+/// With the gate closed this is a single relaxed load.
+template <typename F>
+inline void run_timed(TelemetryBoard& telemetry, OpIndex op, F&& body) {
+  if (!telemetry.enabled()) {
+    body();
+    return;
+  }
+  ScopedActorContext ctx(telemetry, op);
+  const Clock::time_point from = metering_now();
+  body();
+  const auto elapsed = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(metering_now() - from).count());
+  const std::uint64_t blocked = ctx.blocked_ns();
+  telemetry.add_busy(op, elapsed > blocked ? elapsed - blocked : 0);
+}
+
+/// Open batch-granularity metering slice (begin/end_batch_meter): while a
+/// slice is open on this thread, process_message() skips its per-message
+/// busy metering and the whole drained batch is timed once — two clock
+/// reads per batch instead of two per message.  Thread-local because a
+/// pooled worker drains exactly one actor at a time.
+struct BatchMeterSlice {
+  std::optional<ScopedActorContext> ctx;  ///< pins blocked-charging to the op
+  OpIndex op = kInvalidOp;
+  Clock::time_point from;
+  bool active = false;
+};
+thread_local BatchMeterSlice tls_batch_slice;
+
+}  // namespace
 
 AppFactory synthetic_factory(double time_scale, std::int64_t max_items) {
   AppFactory factory;
@@ -152,9 +190,12 @@ Engine::Engine(const Topology& t, Deployment deployment, AppFactory factory,
       factory_(std::move(factory)),
       config_(config),
       board_(t.num_operators()),
+      telemetry_(t.num_operators()),
       master_rng_(config.seed) {
   require(factory_.source != nullptr && factory_.logic != nullptr,
           "Engine: AppFactory must provide both source and logic factories");
+  board_.attach_telemetry(&telemetry_);
+  queue_peak_prior_.assign(t.num_operators(), 0);
   routers_.reserve(t.num_operators());
   for (OpIndex i = 0; i < t.num_operators(); ++i) routers_.emplace_back(t, i);
 
@@ -414,6 +455,11 @@ void Engine::meter_arrival(OpIndex op, const Message& msg) {
   board_.add_latency(op, run_seconds() - msg.tuple.ts);
 }
 
+void Engine::meter_arrival(OpIndex op, const Message& msg, Clock::time_point now) {
+  if (!board_.latency_enabled() || msg.kind != Message::Kind::kData) return;
+  board_.add_latency(op, seconds_between(run_start_, now) - msg.tuple.ts);
+}
+
 void Engine::meter_exit(const Tuple& tuple) {
   if (!board_.latency_enabled()) return;
   board_.add_end_to_end(run_seconds() - tuple.ts);
@@ -427,7 +473,11 @@ void Engine::run_meta(std::size_t id, OpIndex member, const Tuple& tuple, OpInde
     st.pending.pop_front();
     board_.add_processed(item.member);
     MetaCollector out(*this, st, item.member);
-    st.member_logic[st.member_pos.at(item.member)]->process(item.tuple, item.from, out);
+    // Busy time is charged per *member*, so a fused group's ρ columns stay
+    // per logical operator exactly like its counters.
+    run_timed(telemetry_, item.member, [&] {
+      st.member_logic[st.member_pos.at(item.member)]->process(item.tuple, item.from, out);
+    });
   }
 }
 
@@ -507,6 +557,7 @@ void Engine::count_fence_locked(ActorState& st) {
 void Engine::pass_fence(std::size_t id) {
   ActorState& st = actor(id);
   if (st.retired.exchange(true, std::memory_order_acq_rel)) return;
+  trace::instant("fence_pass", "fence", "actor", static_cast<std::int64_t>(id));
   // Forward the fence before announcing passage so every downstream channel
   // carries its token; the barrier completes only after the whole graph
   // quiesced.
@@ -543,6 +594,7 @@ bool Engine::next_source_item(ActorState& st, Tuple& tuple) {
 void Engine::source_fence(std::size_t id) {
   ActorState& st = actor(id);
   if (st.retired.exchange(true, std::memory_order_acq_rel)) return;
+  trace::Span span("source_fence", "fence");
   // Announce the tuple boundary: beyond these tokens this epoch's source
   // emits nothing; new items go to the bounded fence buffer instead of
   // being dropped, and the next epoch's source replays them first.
@@ -579,20 +631,49 @@ void Engine::process_message(std::size_t id, Message& msg) {
   }
   ActorState& st = actor(id);
   const OpIndex op = st.spec.op;
+  // Telemetry: the worker/replica paths share one clock read between the
+  // arrival-latency sample and the busy-span start, so metering adds a
+  // single extra read per message over the pre-telemetry engine — and
+  // none at all when the scheduler opened a batch slice around us.
+  const bool meter = telemetry_.enabled() && !tls_batch_slice.active;
   switch (st.spec.kind) {
     case ActorKind::kWorker: {
       board_.add_processed(op);
-      meter_arrival(op, msg);
       RouteCollector out(*this, op, st.rng);
-      st.logic->process(msg.tuple, msg.from, out);
+      if (meter) {
+        ScopedActorContext ctx(telemetry_, op);
+        const Clock::time_point from = metering_now();
+        meter_arrival(op, msg, from);
+        st.logic->process(msg.tuple, msg.from, out);
+        const auto elapsed = static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(metering_now() - from)
+                .count());
+        const std::uint64_t blocked = ctx.blocked_ns();
+        telemetry_.add_busy(op, elapsed > blocked ? elapsed - blocked : 0);
+      } else {
+        meter_arrival(op, msg);
+        st.logic->process(msg.tuple, msg.from, out);
+      }
       break;
     }
     case ActorKind::kReplica: {
       board_.add_processed(op);
-      meter_arrival(op, msg);
       st.current_seq = msg.seq;
       ReplicaCollector out(*this, op, st.collector_actor, msg.seq);
-      st.logic->process(msg.tuple, msg.from, out);
+      if (meter) {
+        ScopedActorContext ctx(telemetry_, op);
+        const Clock::time_point from = metering_now();
+        meter_arrival(op, msg, from);
+        st.logic->process(msg.tuple, msg.from, out);
+        const auto elapsed = static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(metering_now() - from)
+                .count());
+        const std::uint64_t blocked = ctx.blocked_ns();
+        telemetry_.add_busy(op, elapsed > blocked ? elapsed - blocked : 0);
+      } else {
+        meter_arrival(op, msg);
+        st.logic->process(msg.tuple, msg.from, out);
+      }
       if (msg.seq >= 0) {
         // Tell the collector this input is fully processed so it can
         // release the next sequence number.
@@ -602,6 +683,11 @@ void Engine::process_message(std::size_t id, Message& msg) {
       break;
     }
     case ActorKind::kEmitter: {
+      // No busy timing (routing is overhead, not service), but pin the
+      // context so a backpressure-blocked send to a replica charges the
+      // operator's blocked gauge.
+      std::optional<ScopedActorContext> ctx;
+      if (meter) ctx.emplace(telemetry_, op);
       if (!st.key_cdf.empty()) {
         // Synthetic mode: draw the key this item carries from the
         // operator's key distribution so replica loads realize the exact
@@ -619,6 +705,8 @@ void Engine::process_message(std::size_t id, Message& msg) {
     case ActorKind::kCollector: {
       // msg carries an un-routed (or explicitly targeted) result of `op`,
       // or a seq mark when order-preserving collection is on.
+      std::optional<ScopedActorContext> ctx;
+      if (meter) ctx.emplace(telemetry_, op);
       if (msg.kind == Message::Kind::kSeqMark) {
         st.completed.insert(msg.seq);
         release_ordered(st);
@@ -641,19 +729,76 @@ void Engine::process_message(std::size_t id, Message& msg) {
   }
 }
 
+// Batch-granularity metering (pooled scheduler).  A drained batch is timed
+// as ONE busy slice charged to the actor's operator: two clock reads per
+// batch instead of two per message, which is what keeps armed-window
+// metering overhead flat on sub-microsecond operators.  The slice covers
+// dispatch (routing, try_send) as well as OperatorLogic::process — that
+// time is CPU the actor genuinely spends per item — while blocked-on-send
+// waits inside the slice are charged through the pinned context and
+// subtracted, exactly like the per-message path.  Only worker/replica
+// actors opt in: meta groups charge busy per logical member (run_meta) and
+// emitter/collector actors never charged busy per message either.
+bool Engine::begin_batch_meter(std::size_t id) {
+  if (!telemetry_.enabled()) return false;
+  const ActorState& st = actor(id);
+  if (st.spec.kind != ActorKind::kWorker && st.spec.kind != ActorKind::kReplica) {
+    return false;
+  }
+  BatchMeterSlice& slice = tls_batch_slice;
+  slice.op = st.spec.op;
+  slice.ctx.emplace(telemetry_, st.spec.op);
+  slice.from = metering_now();
+  slice.active = true;
+  return true;
+}
+
+void Engine::end_batch_meter(std::size_t /*id*/) {
+  BatchMeterSlice& slice = tls_batch_slice;
+  const auto elapsed = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(metering_now() - slice.from)
+          .count());
+  const std::uint64_t blocked = slice.ctx->blocked_ns();
+  telemetry_.add_busy(slice.op, elapsed > blocked ? elapsed - blocked : 0);
+  slice.active = false;
+  slice.ctx.reset();
+}
+
 void Engine::actor_loop(std::size_t id) {
+  // Messages are consumed in bounded bursts: one blocking receive, then
+  // non-blocking try_receive drains whatever arrived meanwhile.  FIFO order
+  // and semantics are identical to a plain receive loop; the burst exists
+  // so armed-window metering can time it as ONE busy slice (two clock
+  // reads per burst, as on the pooled drain path) — the blocking receive
+  // stays outside the slice, so idle wait never counts as busy.
+  static constexpr int kLoopBurst = 64;
   ActorState& st = actor(id);
   int shutdowns = 0;
   Message msg;
-  while (st.mailbox.receive(msg)) {
-    if (msg.kind == Message::Kind::kShutdown) {
-      if (++shutdowns >= st.spec.incoming_channels) break;
-      continue;
+  bool running = true;
+  while (running && st.mailbox.receive(msg)) {
+    struct SliceGuard {
+      Engine* engine;
+      std::size_t id;
+      bool armed;
+      ~SliceGuard() {
+        if (armed) engine->end_batch_meter(id);
+      }
+    } slice{this, id, begin_batch_meter(id)};
+    for (int n = 0;;) {
+      if (msg.kind == Message::Kind::kShutdown) {
+        if (++shutdowns >= st.spec.incoming_channels) {
+          running = false;
+          break;
+        }
+      } else {
+        process_message(id, msg);
+        // Retired at a fence: exit WITHOUT the finish epilogue — logic
+        // state and mailbox carry into the next epoch.
+        if (st.retired.load(std::memory_order_relaxed)) return;
+      }
+      if (++n >= kLoopBurst || !st.mailbox.try_receive(msg)) break;
     }
-    process_message(id, msg);
-    // Retired at a fence: exit WITHOUT the finish epilogue — logic state
-    // and mailbox carry into the next epoch.
-    if (st.retired.load(std::memory_order_relaxed)) return;
   }
   finish_actor(id);
 }
@@ -662,6 +807,10 @@ void Engine::source_loop(std::size_t id) {
   ActorState& st = actor(id);
   const OpIndex op = st.spec.op;
   RouteCollector out(*this, op, st.rng);
+  // Context pinned for the whole loop: generation time is busy, the
+  // downstream emit charges blocked when backpressured (the gate is
+  // re-checked per charge, so this is free while metering is off).
+  ScopedActorContext ctx(telemetry_, op);
   Tuple tuple;
   while (!stop_.load(std::memory_order_relaxed)) {
     if (fence_active_.load(std::memory_order_acquire)) {
@@ -669,9 +818,39 @@ void Engine::source_loop(std::size_t id) {
       if (st.retired.load(std::memory_order_relaxed)) return;
       continue;
     }
-    if (!next_source_item(st, tuple)) break;
-    board_.add_processed(op);
-    out.emit(tuple);
+    if (telemetry_.enabled()) {
+      // Batch-granularity metering, as in pump_source: a bounded run of
+      // items is ONE busy slice (generation + emit dispatch, blocked-on-
+      // send subtracted through the nested context) — two clock reads per
+      // slice instead of two per item.  Stop and fence flags are
+      // re-checked per item, so slices never delay a fence.
+      ScopedActorContext slice(telemetry_, op);
+      const Clock::time_point from = metering_now();
+      bool ended = false;
+      for (int n = 0; n < 64; ++n) {
+        if (stop_.load(std::memory_order_relaxed) ||
+            fence_active_.load(std::memory_order_acquire)) {
+          break;
+        }
+        if (!next_source_item(st, tuple)) {
+          ended = true;
+          break;
+        }
+        board_.add_processed(op);
+        out.emit(tuple);
+      }
+      const auto elapsed = static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(metering_now() - from)
+              .count());
+      const std::uint64_t blocked = slice.blocked_ns();
+      telemetry_.add_busy(op, elapsed > blocked ? elapsed - blocked : 0);
+      if (ended) break;
+    } else if (!next_source_item(st, tuple)) {
+      break;
+    } else {
+      board_.add_processed(op);
+      out.emit(tuple);
+    }
   }
   finish_actor(id);
 }
@@ -688,17 +867,40 @@ bool Engine::pump_source(std::size_t id, int quantum) {
   ActorState& st = actor(id);
   const OpIndex op = st.spec.op;
   RouteCollector out(*this, op, st.rng);
+  ScopedActorContext ctx(telemetry_, op);
+  // Batch-granularity metering, like begin/end_batch_meter on the drain
+  // side: the whole quantum is ONE busy slice (generation + emit dispatch,
+  // blocked-on-send subtracted through the pinned context) — two clock
+  // reads per quantum instead of two per generated item.
+  const bool meter = telemetry_.enabled();
+  const Clock::time_point from = meter ? metering_now() : Clock::time_point{};
+  const auto record = [&] {
+    if (!meter) return;
+    const auto elapsed = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(metering_now() - from)
+            .count());
+    const std::uint64_t blocked = ctx.blocked_ns();
+    telemetry_.add_busy(op, elapsed > blocked ? elapsed - blocked : 0);
+  };
   Tuple tuple;
   for (int i = 0; i < quantum; ++i) {
-    if (stop_.load(std::memory_order_relaxed)) return false;
+    if (stop_.load(std::memory_order_relaxed)) {
+      record();
+      return false;
+    }
     if (fence_active_.load(std::memory_order_acquire)) {
+      record();
       source_fence(id);
       return true;  // retired: the scheduler completes us without epilogue
     }
-    if (!next_source_item(st, tuple)) return false;
+    if (!next_source_item(st, tuple)) {
+      record();
+      return false;
+    }
     board_.add_processed(op);
     out.emit(tuple);
   }
+  record();
   return true;
 }
 
@@ -777,12 +979,15 @@ bool Engine::reconfigure(const Deployment& next) {
       if (st->finished) count_fence_locked(*st);
     }
     fence_active_.store(true, std::memory_order_release);
+    trace::instant("fence_arm", "fence", "expected",
+                   static_cast<std::int64_t>(fence_expected_));
   }
 
   // Sources see fence_active_ on their next item, inject the fence tokens
   // and buffer; the tokens sweep the graph behind all in-flight data.  Wait
   // for every non-source actor to quiesce at that tuple boundary.
   {
+    trace::Span drain_span("fence_drain", "fence");
     std::unique_lock lock(fence_mutex_);
     fence_cv_.wait(lock, [this] { return fence_passed_ >= fence_expected_; });
     fence_release_sources_ = true;
@@ -795,15 +1000,23 @@ bool Engine::reconfigure(const Deployment& next) {
   const bool aborted =
       stop_.load() || source_finished_.load(std::memory_order_acquire);
   if (!aborted) {
+    trace::Span swap_span("epoch_swap", "fence");
     std::unique_ptr<EpochState> fresh =
         build_epoch(next, std::move(next_graph), epoch_.get(), &diff);
     // Actors being replaced die with the old epoch; fold their drop counts
-    // into the final accounting (reused actors keep counting on their own).
+    // — and their telemetry: queue high-water marks and the retiring
+    // scheduler's counters — into the final accounting (reused actors keep
+    // counting on their own).
     for (const auto& st : epoch_->actors) {
-      if (st != nullptr) dropped_prior_epochs_ += st->mailbox.dropped();
+      if (st == nullptr) continue;
+      dropped_prior_epochs_ += st->mailbox.dropped();
+      const OpIndex op = st->spec.op;
+      queue_peak_prior_[op] = std::max(queue_peak_prior_[op], st->mailbox.depth_peak());
     }
+    sched_counters_prior_ += epoch_->scheduler->counters();
     epoch_ = std::move(fresh);
-    epoch_counter_.fetch_add(1, std::memory_order_relaxed);
+    const int e = epoch_counter_.fetch_add(1, std::memory_order_relaxed) + 1;
+    trace::instant("epoch", "fence", "epoch", e);
   }
 
   {
@@ -834,10 +1047,73 @@ Deployment Engine::deployment() const {
 
 CounterSnapshot Engine::sample() const { return board_.snapshot(run_seconds()); }
 
+void Engine::fill_queue_stats(CounterSnapshot& snap) const {
+  const std::size_t n = topology_.num_operators();
+  snap.queue_depth.assign(n, 0);
+  std::lock_guard lock(epoch_mutex_);
+  snap.queue_peak = queue_peak_prior_;
+  if (!epoch_) return;
+  for (const auto& st : epoch_->actors) {
+    if (st == nullptr) continue;
+    const OpIndex op = st->spec.op;
+    snap.queue_depth[op] += st->mailbox.size();
+    snap.queue_peak[op] = std::max(snap.queue_peak[op], st->mailbox.depth_peak());
+  }
+}
+
+void Engine::reset_queue_peaks() {
+  std::lock_guard lock(epoch_mutex_);
+  queue_peak_prior_.assign(topology_.num_operators(), 0);
+  if (!epoch_) return;
+  for (const auto& st : epoch_->actors) {
+    if (st != nullptr) st->mailbox.reset_depth_peak();
+  }
+}
+
+SchedulerCounters Engine::scheduler_counters() const {
+  std::lock_guard lock(epoch_mutex_);
+  SchedulerCounters c = sched_counters_prior_;
+  if (epoch_ && epoch_->scheduler) c += epoch_->scheduler->counters();
+  return c;
+}
+
+MetricsSample Engine::metrics_sample() const {
+  MetricsSample s;
+  s.counters = board_.snapshot(run_seconds());
+  fill_queue_stats(s.counters);
+  s.latency = board_.latency_report();
+  s.scheduler = scheduler_counters();
+  s.epoch = epochs();
+  std::lock_guard lock(epoch_mutex_);
+  s.dropped = dropped_prior_epochs_;
+  if (epoch_) {
+    for (const auto& st : epoch_->actors) {
+      if (st != nullptr) s.dropped += st->mailbox.dropped();
+    }
+  }
+  return s;
+}
+
 // ------------------------------------------------------------------- running
 
 void Engine::start_execution() {
   require(!started_.load(), "Engine: run() can only be called once per instance");
+  // Elastic runs feed the controller measured ρ from the first sample and
+  // metrics runs export it every period — both need metering from the
+  // start, not only inside the steady-state window.
+  if (config_.elastic || !config_.metrics_path.empty()) telemetry_.set_enabled(true);
+  if (!config_.metrics_path.empty()) {
+    // Construct before the scheduler starts: an unopenable path throws
+    // here, before any actor thread exists.
+    std::vector<std::string> names;
+    names.reserve(topology_.num_operators());
+    for (std::size_t i = 0; i < topology_.num_operators(); ++i) {
+      names.push_back(topology_.op(static_cast<OpIndex>(i)).name);
+    }
+    exporter_ = std::make_unique<MetricsExporter>(
+        [this] { return metrics_sample(); }, std::move(names),
+        config_.metrics_path, config_.metrics_period);
+  }
   run_start_ = Clock::now();
   {
     // reconfigure() gates on started_ under epoch_mutex_; publish it only
@@ -856,6 +1132,7 @@ void Engine::start_execution() {
     controller_ = std::make_unique<ReconfigController>(*this, options);
     controller_->start();
   }
+  if (exporter_) exporter_->start();
 }
 
 void Engine::join_execution() {
@@ -864,6 +1141,7 @@ void Engine::join_execution() {
 }
 
 RunStats Engine::finalize_run() {
+  if (exporter_) exporter_->stop();  // final sample while the epoch is alive
   std::uint64_t dropped = dropped_prior_epochs_;
   for (const auto& actor : epoch_->actors) dropped += actor->mailbox.dropped();
   {
@@ -881,34 +1159,46 @@ void Engine::stop_run() {
   stop_.store(true);
 }
 
+std::vector<int> Engine::replica_counts() const {
+  std::vector<int> replicas(topology_.num_operators(), 1);
+  std::lock_guard lock(epoch_mutex_);
+  if (!epoch_) return replicas;
+  for (std::size_t i = 0; i < replicas.size(); ++i) {
+    replicas[i] = epoch_->deployment.replication.replicas_of(static_cast<OpIndex>(i));
+  }
+  return replicas;
+}
+
 RunStats Engine::run_for(std::chrono::duration<double> duration) {
   start_execution();
   const double total = duration.count();
   const double warmup = total * config_.warmup_fraction;
   std::this_thread::sleep_for(std::chrono::duration<double>(warmup));
-  board_.set_latency_enabled(true);
-  const CounterSnapshot begin = board_.snapshot(seconds_between(run_start_, Clock::now()));
+  reset_queue_peaks();  // high-water marks measure the window, not warmup
+  const CounterSnapshot begin = board_.open_window(seconds_between(run_start_, Clock::now()));
   std::this_thread::sleep_for(std::chrono::duration<double>(total - warmup));
-  const CounterSnapshot end = board_.snapshot(seconds_between(run_start_, Clock::now()));
-  board_.set_latency_enabled(false);
+  CounterSnapshot end = board_.close_window(seconds_between(run_start_, Clock::now()));
+  fill_queue_stats(end);
   stop_run();
   join_execution();
   const double wall = seconds_between(run_start_, Clock::now());
   const CounterSnapshot final_totals = board_.snapshot(wall);
   const RunStats partial = finalize_run();
   const LatencyReport latency = board_.latency_report();
-  RunStats stats =
-      make_run_stats(topology_, begin, end, final_totals, wall, partial.dropped, &latency);
+  const std::vector<int> replicas = replica_counts();
+  RunStats stats = make_run_stats(topology_, begin, end, final_totals, wall,
+                                  partial.dropped, &latency, &replicas);
   stats.epochs = epochs();
   stats.reconfigurations = stats.epochs - 1;
   stats.keys_migrated = keys_migrated_.load(std::memory_order_relaxed);
+  stats.scheduler = scheduler_counters();
   return stats;
 }
 
 RunStats Engine::run_until_complete(std::chrono::duration<double> max_duration) {
   start_execution();
-  board_.set_latency_enabled(true);  // finite runs meter every tuple
-  const CounterSnapshot begin = board_.snapshot(0.0);
+  // Finite runs meter every tuple: the window spans the whole run.
+  const CounterSnapshot begin = board_.open_window(0.0);
   {
     std::unique_lock lock(done_mutex_);
     done_cv_.wait_for(lock, max_duration, [this] {
@@ -919,13 +1209,17 @@ RunStats Engine::run_until_complete(std::chrono::duration<double> max_duration) 
   stop_run();  // natural completion: a no-op beyond stopping the controller
   join_execution();
   const double wall = seconds_between(run_start_, Clock::now());
-  const CounterSnapshot end = board_.snapshot(wall);
+  CounterSnapshot end = board_.close_window(wall);
+  fill_queue_stats(end);
   const RunStats partial = finalize_run();
   const LatencyReport latency = board_.latency_report();
-  RunStats stats = make_run_stats(topology_, begin, end, end, wall, partial.dropped, &latency);
+  const std::vector<int> replicas = replica_counts();
+  RunStats stats =
+      make_run_stats(topology_, begin, end, end, wall, partial.dropped, &latency, &replicas);
   stats.epochs = epochs();
   stats.reconfigurations = stats.epochs - 1;
   stats.keys_migrated = keys_migrated_.load(std::memory_order_relaxed);
+  stats.scheduler = scheduler_counters();
   return stats;
 }
 

@@ -35,6 +35,7 @@
 #include "runtime/plan.hpp"
 #include "runtime/routing.hpp"
 #include "runtime/scheduler.hpp"
+#include "runtime/telemetry.hpp"
 
 namespace ss::runtime {
 
@@ -78,6 +79,13 @@ struct EngineConfig {
   bool elastic = false;
   double reconfig_period = 0.5;
   double reconfig_threshold = 0.10;
+  /// When non-empty, a MetricsExporter appends one JSON metrics snapshot
+  /// per line to this file every `metrics_period` seconds (rates, measured
+  /// ρ, blocked fraction, queue depths, latency percentiles, scheduler
+  /// counters).  Busy/blocked metering is then enabled for the whole run,
+  /// not only the steady-state window.
+  std::string metrics_path;
+  double metrics_period = 0.5;
 };
 
 /// Produces the processing logic of each logical operator.
@@ -124,8 +132,15 @@ class Engine final : public EngineCore {
   /// The deployment of the current epoch (by value: the epoch may swap).
   [[nodiscard]] Deployment deployment() const;
   [[nodiscard]] const ActorGraph& graph() const { return epoch_->graph; }
-  /// Counter totals right now — the controller's sampling hook.
+  /// Counter totals right now — the controller's sampling hook.  Carries
+  /// busy/blocked telemetry whenever metering is on (elastic runs and
+  /// metrics-exporting runs keep it on end to end).
   [[nodiscard]] CounterSnapshot sample() const;
+  /// Everything the metrics exporter writes per line, cumulative.
+  [[nodiscard]] MetricsSample metrics_sample() const;
+  /// Work-stealing / batching counters summed over every epoch so far
+  /// (all zero under thread-per-actor).
+  [[nodiscard]] SchedulerCounters scheduler_counters() const;
   /// Epochs this engine has run (1 + completed reconfigurations).
   [[nodiscard]] int epochs() const { return epoch_counter_.load(std::memory_order_relaxed); }
   /// The elastic controller, when EngineConfig::elastic is set and the run
@@ -153,6 +168,8 @@ class Engine final : public EngineCore {
   void run_actor(std::size_t id) override;
   bool pump_source(std::size_t id, int quantum) override;
   void process_message(std::size_t id, Message& m) override;
+  bool begin_batch_meter(std::size_t id) override;
+  void end_batch_meter(std::size_t id) override;
   void finish_actor(std::size_t id) override;
   void report_failure(std::size_t id, const std::string& what) override;
   bool actor_retired(std::size_t id) const override;
@@ -193,10 +210,22 @@ class Engine final : public EngineCore {
   /// Counts `id` toward fence completion exactly once (fence_mutex_ held).
   void count_fence_locked(ActorState& st);
   /// Seconds since the run started (the time base of Tuple::ts stamps).
-  double run_seconds() const { return seconds_between(run_start_, Clock::now()); }
+  // metering_now: this stamp feeds Tuple::ts and every latency/telemetry
+  // sample, so the cheap TSC clock keeps the per-tuple cost low (clock.hpp).
+  double run_seconds() const { return seconds_between(run_start_, metering_now()); }
   /// Records the source→operator delay of a data message about to be
   /// processed (steady-state window only; no-op while metering is off).
+  /// The overload taking `now` shares the caller's clock read (the busy
+  /// metering around the logic dispatch already read it).
   void meter_arrival(OpIndex op, const Message& msg);
+  void meter_arrival(OpIndex op, const Message& msg, Clock::time_point now);
+  /// Fills the per-op queue depth / high-water columns of a snapshot from
+  /// the live mailboxes (takes the epoch lock; peaks fold prior epochs).
+  void fill_queue_stats(CounterSnapshot& snap) const;
+  /// Per-op replica counts of the current epoch (ρ normalization).
+  std::vector<int> replica_counts() const;
+  /// Restarts every mailbox's high-water tracking (window open).
+  void reset_queue_peaks();
   /// Records the end-to-end delay of a tuple leaving the system at a sink.
   void meter_exit(const Tuple& tuple);
   RunStats finalize_run();
@@ -218,10 +247,16 @@ class Engine final : public EngineCore {
   AppFactory factory_;
   EngineConfig config_;
   StatsBoard board_;
+  /// Busy/blocked-time accumulators, attached to board_ so snapshots and
+  /// the window gate cover counters, latency and telemetry together.
+  TelemetryBoard telemetry_;
   std::vector<EdgeRouter> routers_;  // per logical operator (epoch-invariant)
   Rng master_rng_;                   ///< split per actor at epoch build
   std::unique_ptr<EpochState> epoch_;
   std::unique_ptr<ReconfigController> controller_;
+  /// JSONL metrics writer (EngineConfig::metrics_path); declared after
+  /// epoch_ so its stop() (final sample) runs before the epoch dies.
+  std::unique_ptr<MetricsExporter> exporter_;
   std::atomic<bool> stop_{false};
   std::atomic<int> active_actors_{0};
   std::mutex failure_mutex_;
@@ -242,6 +277,10 @@ class Engine final : public EngineCore {
   std::atomic<int> epoch_counter_{1};
   std::atomic<std::uint64_t> keys_migrated_{0};
   std::uint64_t dropped_prior_epochs_ = 0;  ///< mailbox drops of replaced actors
+  /// Telemetry folded in from epochs that already died (epoch_mutex_):
+  /// per-op queue high-water marks and the old schedulers' counters.
+  std::vector<std::size_t> queue_peak_prior_;
+  SchedulerCounters sched_counters_prior_;
 
   // --- fence/drain barrier state
   std::atomic<bool> fence_active_{false};

@@ -1,5 +1,8 @@
 #include "runtime/mailbox.hpp"
 
+#include "runtime/clock.hpp"
+#include "runtime/telemetry.hpp"
+
 namespace ss::runtime {
 
 // Producers append under mutex_ and bump size_; the 0→1 transition of
@@ -8,8 +11,11 @@ namespace ss::runtime {
 
 std::function<void()> Mailbox::push_locked(const Message& m) {
   inbox_.push_back(m);
-  const bool was_empty = size_.fetch_add(1, std::memory_order_acq_rel) == 0;
-  return was_empty ? on_ready_ : std::function<void()>{};
+  const std::size_t depth = size_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  if (depth > depth_peak_.load(std::memory_order_relaxed)) {
+    depth_peak_.store(depth, std::memory_order_relaxed);  // single-writer: lock held
+  }
+  return depth == 1 ? on_ready_ : std::function<void()>{};
 }
 
 bool Mailbox::send(const Message& m, std::chrono::nanoseconds timeout) {
@@ -22,11 +28,22 @@ bool Mailbox::send(const Message& m, std::chrono::nanoseconds timeout) {
         return false;
       }
     } else if (size_.load(std::memory_order_relaxed) >= capacity_ && !closed_) {
+      // Backpressure slow path: this wait *is* the blocked-on-send time the
+      // cost models capture, so charge it to the sending operator's
+      // telemetry context.  Clock reads happen only when actually blocking.
+      const bool meter = blocked_metering_enabled();
+      const auto blocked_from = meter ? metering_now() : Clock::time_point{};
       waiting_senders_.fetch_add(1, std::memory_order_acq_rel);
       const bool freed = not_full_.wait_for(lock, timeout, [&] {
         return closed_ || size_.load(std::memory_order_acquire) < capacity_;
       });
       waiting_senders_.fetch_sub(1, std::memory_order_acq_rel);
+      if (meter) {
+        charge_blocked(static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(metering_now() -
+                                                                 blocked_from)
+                .count()));
+      }
       if (!freed) {
         ++dropped_;  // timed out while full: the item is discarded (§5.1)
         return false;

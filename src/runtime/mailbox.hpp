@@ -111,6 +111,18 @@ class Mailbox {
   /// Items dropped on send timeout since construction.
   [[nodiscard]] std::uint64_t dropped() const;
 
+  /// Queue-depth high-water mark since construction or the last
+  /// reset_depth_peak() — the sampled backpressure gauge the telemetry
+  /// layer reports per steady-state window.
+  [[nodiscard]] std::size_t depth_peak() const {
+    return depth_peak_.load(std::memory_order_relaxed);
+  }
+  /// Restarts the high-water tracking at the current depth (window open).
+  void reset_depth_peak() {
+    depth_peak_.store(size_.load(std::memory_order_acquire),
+                      std::memory_order_relaxed);
+  }
+
  private:
   /// Pops one message from the consumer side; refills the outbox from the
   /// inbox (one lock) when needed.  Returns false when both are empty.
@@ -135,6 +147,9 @@ class Mailbox {
   /// Unconsumed messages (inbox + outbox).  The empty→non-empty edge is a
   /// 0→1 transition of this counter; producers see capacity through it.
   std::atomic<std::size_t> size_{0};
+  /// High-water mark of size_; written under mutex_ (enqueues are the only
+  /// growth), read lock-free by telemetry samplers.
+  std::atomic<std::size_t> depth_peak_{0};
   /// Senders currently blocked in send(); consumers take the lock before
   /// notifying not_full_ only when this is non-zero, keeping the consume
   /// fast path lock-free.

@@ -1,9 +1,12 @@
 #include "runtime/metrics.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <cmath>
 #include <iomanip>
 #include <sstream>
+
+#include "runtime/telemetry.hpp"
 
 namespace ss::runtime {
 
@@ -98,6 +101,30 @@ CounterSnapshot StatsBoard::snapshot(double at_seconds) const {
     snap.processed.push_back(c.processed.load(std::memory_order_relaxed));
     snap.emitted.push_back(c.emitted.load(std::memory_order_relaxed));
   }
+  // Telemetry rides in the same snapshot so the rate window and the ρ
+  // window can never disagree; runs without an attached board leave the
+  // vectors empty and make_run_stats reports -1 sentinels.
+  if (telemetry_ != nullptr) {
+    snap.busy_ns.reserve(telemetry_->size());
+    snap.blocked_ns.reserve(telemetry_->size());
+    for (OpIndex i = 0; i < static_cast<OpIndex>(telemetry_->size()); ++i) {
+      snap.busy_ns.push_back(telemetry_->busy_ns(i));
+      snap.blocked_ns.push_back(telemetry_->blocked_ns(i));
+    }
+  }
+  return snap;
+}
+
+CounterSnapshot StatsBoard::open_window(double at_seconds) {
+  set_latency_enabled(true);
+  if (telemetry_ != nullptr) telemetry_->set_enabled(true);
+  return snapshot(at_seconds);
+}
+
+CounterSnapshot StatsBoard::close_window(double at_seconds) {
+  CounterSnapshot snap = snapshot(at_seconds);
+  set_latency_enabled(false);
+  if (telemetry_ != nullptr) telemetry_->set_enabled(false);
   return snap;
 }
 
@@ -112,12 +139,16 @@ LatencyReport StatsBoard::latency_report() const {
 RunStats make_run_stats(const Topology& t, const CounterSnapshot& begin,
                         const CounterSnapshot& end, const CounterSnapshot& final_totals,
                         double total_seconds, std::uint64_t dropped,
-                        const LatencyReport* latency) {
+                        const LatencyReport* latency, const std::vector<int>* replicas) {
   RunStats stats;
   stats.total_seconds = total_seconds;
   stats.dropped = dropped;
   stats.measured_seconds = end.at_seconds - begin.at_seconds;
   const double window = stats.measured_seconds > 0.0 ? stats.measured_seconds : 1.0;
+  // Telemetry is all-or-nothing per run: both snapshots carry a busy/blocked
+  // entry per logical operator, or the run was metering-free.
+  stats.has_telemetry = begin.busy_ns.size() == t.num_operators() &&
+                        end.busy_ns.size() == t.num_operators();
 
   stats.ops.resize(t.num_operators());
   for (OpIndex i = 0; i < t.num_operators(); ++i) {
@@ -130,6 +161,19 @@ RunStats make_run_stats(const Topology& t, const CounterSnapshot& begin,
     if (latency != nullptr && i < latency->per_op.size()) {
       op.latency = latency->per_op[i];
     }
+    if (stats.has_telemetry) {
+      // Measured ρ of an operator with n replicas is busy time over
+      // n × window — per-replica utilization, Alg. 1's quantity.
+      const int n = replicas != nullptr && i < replicas->size()
+                        ? std::max(1, (*replicas)[i])
+                        : 1;
+      const double denom_ns = window * 1e9 * static_cast<double>(n);
+      op.busy_fraction =
+          static_cast<double>(end.busy_ns[i] - begin.busy_ns[i]) / denom_ns;
+      op.blocked_fraction =
+          static_cast<double>(end.blocked_ns[i] - begin.blocked_ns[i]) / denom_ns;
+    }
+    if (i < end.queue_peak.size()) op.queue_peak = end.queue_peak[i];
   }
   if (latency != nullptr) stats.end_to_end = latency->end_to_end;
   // Ingest throughput is the source departure rate at steady state (§5.2).
@@ -148,7 +192,13 @@ std::string format_stats(const Topology& t, const RunStats& stats) {
   out << std::setw(18) << std::left << "operator" << std::right << std::setw(12) << "processed"
       << std::setw(12) << "emitted" << std::setw(14) << "arrival/s" << std::setw(14)
       << "departure/s" << std::setw(10) << "p50 ms" << std::setw(10) << "p95 ms"
-      << std::setw(10) << "p99 ms" << '\n';
+      << std::setw(10) << "p99 ms";
+  if (stats.has_telemetry) {
+    // Measured counterparts of Algorithm 1's per-operator quantities:
+    // utilization ρ, blocked-on-send fraction, queue high-water mark.
+    out << std::setw(8) << "rho" << std::setw(8) << "blk" << std::setw(7) << "q_hi";
+  }
+  out << '\n';
   for (OpIndex i = 0; i < t.num_operators(); ++i) {
     const OperatorStats& op = stats.ops[i];
     out << std::setw(18) << std::left << t.op(i).name << std::right << std::setw(12)
@@ -158,6 +208,10 @@ std::string format_stats(const Topology& t, const RunStats& stats) {
     ms(op.latency, op.latency.p50);
     ms(op.latency, op.latency.p95);
     ms(op.latency, op.latency.p99);
+    if (stats.has_telemetry) {
+      out << std::setw(8) << op.busy_fraction << std::setw(8) << op.blocked_fraction
+          << std::setw(7) << op.queue_peak;
+    }
     out << std::setprecision(1) << '\n';
   }
   out << "measured throughput: " << stats.source_rate << " tuples/s over "
@@ -175,6 +229,14 @@ std::string format_stats(const Topology& t, const RunStats& stats) {
   if (stats.reconfigurations > 0) {
     out << "elastic: " << stats.epochs << " epochs, " << stats.reconfigurations
         << " re-deployment(s), " << stats.keys_migrated << " key(s) migrated\n";
+  }
+  if (stats.scheduler.batches > 0) {
+    const double avg_batch = static_cast<double>(stats.scheduler.batch_messages) /
+                             static_cast<double>(stats.scheduler.batches);
+    out << "scheduler: " << stats.scheduler.steals << " steals, " << stats.scheduler.parks
+        << " parks, " << stats.scheduler.wakeups << " wakeups, " << stats.scheduler.batches
+        << " batches (avg " << avg_batch << " msgs, max " << stats.scheduler.max_batch
+        << ")\n";
   }
   return out.str();
 }

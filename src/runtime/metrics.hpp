@@ -22,11 +22,49 @@ struct OpCounters {
   std::atomic<std::uint64_t> emitted{0};    ///< results produced
 };
 
-/// Snapshot of every operator's counters at one instant.
+/// Snapshot of every operator's counters at one instant.  The telemetry
+/// vectors (busy/blocked nanoseconds, attached TelemetryBoard required)
+/// and the queue columns (engine-filled: the board does not own the
+/// mailboxes) may be empty when the producer has no such data.
 struct CounterSnapshot {
   std::vector<std::uint64_t> processed;
   std::vector<std::uint64_t> emitted;
+  std::vector<std::uint64_t> busy_ns;     ///< cumulative in-service time
+  std::vector<std::uint64_t> blocked_ns;  ///< cumulative blocked-on-send time
+  std::vector<std::size_t> queue_depth;   ///< mailbox depth right now
+  std::vector<std::size_t> queue_peak;    ///< high-water mark since window open
   double at_seconds = 0.0;
+};
+
+/// Counters of the pooled scheduler's work-stealing machinery, surfaced in
+/// RunStats and the metrics export (all zero under thread-per-actor).
+/// `pushes/local_pops/steals/discarded` are queue-hint accounting —
+/// internally consistent: pushes == local_pops + steals + discarded once
+/// the pool is quiescent; `parks/wakeups` count the idle protocol;
+/// `batches/batch_messages/max_batch` describe mailbox drain batching.
+struct SchedulerCounters {
+  std::uint64_t pushes = 0;
+  std::uint64_t local_pops = 0;
+  std::uint64_t steals = 0;
+  std::uint64_t discarded = 0;  ///< hints still queued at shutdown
+  std::uint64_t parks = 0;
+  std::uint64_t wakeups = 0;
+  std::uint64_t batches = 0;
+  std::uint64_t batch_messages = 0;
+  std::uint64_t max_batch = 0;
+
+  SchedulerCounters& operator+=(const SchedulerCounters& o) {
+    pushes += o.pushes;
+    local_pops += o.local_pops;
+    steals += o.steals;
+    discarded += o.discarded;
+    parks += o.parks;
+    wakeups += o.wakeups;
+    batches += o.batches;
+    batch_messages += o.batch_messages;
+    max_batch = max_batch > o.max_batch ? max_batch : o.max_batch;
+    return *this;
+  }
 };
 
 /// Percentile summary of one latency distribution (seconds).
@@ -85,6 +123,16 @@ struct OperatorStats {
   /// measurement window; count == 0 when the operator saw no metered item
   /// (e.g. the source itself).
   LatencySummary latency;
+  // --- telemetry (measured counterparts of Algorithm 1's quantities)
+  /// Measured utilization ρ: busy time / (window × replicas).  The direct
+  /// check of Alg. 1's predicted ρ; -1 when the run carried no telemetry.
+  double busy_fraction = -1.0;
+  /// Fraction of the window spent blocked sending downstream (BAS
+  /// backpressure); -1 when the run carried no telemetry.
+  double blocked_fraction = -1.0;
+  /// Mailbox depth high-water mark inside the window (max over the
+  /// operator's actors; 0 for sources).
+  std::size_t queue_peak = 0;
 };
 
 /// Per-op and end-to-end latency summaries extracted from a StatsBoard.
@@ -107,7 +155,16 @@ struct RunStats {
   int epochs = 1;                  ///< actor-graph instantiations this run
   int reconfigurations = 0;        ///< completed epoch switch-overs
   std::uint64_t keys_migrated = 0; ///< per-key state moves across switch-overs
+  // --- telemetry (PR 4)
+  /// True when busy/blocked metering ran, i.e. the per-op busy_fraction /
+  /// blocked_fraction columns are meaningful.
+  bool has_telemetry = false;
+  /// Work-stealing / batching counters of the pooled scheduler (summed
+  /// over epochs; all zero under thread-per-actor).
+  SchedulerCounters scheduler;
 };
+
+class TelemetryBoard;  // telemetry.hpp; attached to a StatsBoard below
 
 /// Shared counter board; one entry per logical operator.
 class StatsBoard {
@@ -133,6 +190,20 @@ class StatsBoard {
   void add_latency(OpIndex op, double seconds) { latency_[op].record(seconds); }
   void add_end_to_end(double seconds) { end_to_end_.record(seconds); }
 
+  /// Attaches the busy/blocked-time board so snapshots carry telemetry and
+  /// the window helpers gate it together with latency.  Not owned; must
+  /// outlive the StatsBoard's use (the engine owns both).
+  void attach_telemetry(TelemetryBoard* telemetry) { telemetry_ = telemetry; }
+  [[nodiscard]] TelemetryBoard* telemetry() const { return telemetry_; }
+
+  /// Opens the steady-state measurement window: enables the latency gate
+  /// AND telemetry metering, then snapshots the counters — one helper so
+  /// the ρ window and the rate window can never disagree (they used to be
+  /// toggled independently by run_for).
+  CounterSnapshot open_window(double at_seconds);
+  /// Snapshots the counters, then closes both gates.
+  CounterSnapshot close_window(double at_seconds);
+
   [[nodiscard]] CounterSnapshot snapshot(double at_seconds) const;
   [[nodiscard]] LatencyReport latency_report() const;
   [[nodiscard]] std::size_t size() const { return counters_.size(); }
@@ -144,14 +215,19 @@ class StatsBoard {
   std::vector<LatencyHistogram> latency_;
   LatencyHistogram end_to_end_;
   std::atomic<bool> latency_enabled_{false};
+  TelemetryBoard* telemetry_ = nullptr;
 };
 
 /// Derives steady-state rates from two snapshots; `latency` (when given)
-/// attaches the per-op and end-to-end percentile summaries.
+/// attaches the per-op and end-to-end percentile summaries.  `replicas`
+/// (per-op replica counts, when given) normalizes the measured busy /
+/// blocked fractions — ρ of an operator with n replicas is busy time over
+/// n × window, matching Alg. 1's per-replica utilization.
 RunStats make_run_stats(const Topology& t, const CounterSnapshot& begin,
                         const CounterSnapshot& end, const CounterSnapshot& final_totals,
                         double total_seconds, std::uint64_t dropped,
-                        const LatencyReport* latency = nullptr);
+                        const LatencyReport* latency = nullptr,
+                        const std::vector<int>* replicas = nullptr);
 
 /// Human-readable table of measured rates (mirrors core's format_analysis).
 std::string format_stats(const Topology& t, const RunStats& stats);

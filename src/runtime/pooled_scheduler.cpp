@@ -41,6 +41,7 @@
 #include <vector>
 
 #include "runtime/scheduler.hpp"
+#include "runtime/trace.hpp"
 #include "runtime/work_stealing.hpp"
 
 namespace ss::runtime {
@@ -59,6 +60,7 @@ class PooledScheduler final : public Scheduler {
     if (target_ <= 0) target_ = static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
     max_threads_ = static_cast<int>(n) + target_;
     queues_ = std::make_unique<WorkStealingQueues>(static_cast<std::size_t>(max_threads_));
+    batch_stats_ = std::vector<BatchStats>(static_cast<std::size_t>(max_threads_));
     last_worker_ = std::vector<std::atomic<std::size_t>>(n);
     for (std::size_t id = 0; id < n; ++id) {
       // Spread initial affinity over the K primary workers; it converges to
@@ -117,6 +119,25 @@ class PooledScheduler final : public Scheduler {
     --blocked_;
   }
 
+  [[nodiscard]] SchedulerCounters counters() const override {
+    SchedulerCounters c;
+    if (queues_) {
+      const WorkStealingCounters q = queues_->counters();
+      c.pushes = q.pushes;
+      c.local_pops = q.local_pops;
+      c.steals = q.steals;
+      c.discarded = q.discarded;
+      c.parks = q.parks;
+      c.wakeups = q.wakeups;
+    }
+    for (const BatchStats& s : batch_stats_) {
+      c.batches += s.batches.load(std::memory_order_relaxed);
+      c.batch_messages += s.messages.load(std::memory_order_relaxed);
+      c.max_batch = std::max(c.max_batch, s.max_batch.load(std::memory_order_relaxed));
+    }
+    return c;
+  }
+
  private:
   static constexpr int kDefaultBatch = 64;
   static constexpr int kSourceQuantum = 64;
@@ -173,12 +194,23 @@ class PooledScheduler final : public Scheduler {
   std::size_t remaining_ = 0;
   bool shutdown_ = false;
   bool joined_ = false;
+
+  // telemetry: drain-batch statistics, sharded per worker and cache-line
+  // separated so the drain hot loop never bounces a shared counter line
+  // between workers (each shard has exactly one writer; counters() sums).
+  struct alignas(64) BatchStats {
+    std::atomic<std::uint64_t> batches{0};
+    std::atomic<std::uint64_t> messages{0};
+    std::atomic<std::uint64_t> max_batch{0};
+  };
+  std::vector<BatchStats> batch_stats_;
 };
 
 thread_local PooledScheduler* tls_pool = nullptr;
 
 void PooledScheduler::worker_loop(std::size_t self) {
   tls_pool = this;
+  trace::Tracer::instance().set_thread_name("worker-" + std::to_string(self));
   std::size_t id = 0;
   while (queues_->acquire(self, id)) run_actor_slot(self, id);
   tls_pool = nullptr;
@@ -195,6 +227,8 @@ void PooledScheduler::run_actor_slot(std::size_t self, std::size_t id) {
   last_worker_[id].store(self, std::memory_order_relaxed);
   bool requeue = false;
   if (core_->is_source(id)) {
+    trace::Span span("pump", "actor");
+    span.set_arg("actor", static_cast<std::int64_t>(id));
     bool more = false;
     try {
       more = core_->pump_source(id, kSourceQuantum);
@@ -220,9 +254,32 @@ void PooledScheduler::run_actor_slot(std::size_t self, std::size_t id) {
     // assume.  Tokens and data stay in FIFO order inside the batch.
     thread_local std::vector<Message> batch;
     batch.clear();
+    trace::Span span("batch", "actor");
     Mailbox& box = core_->mailbox(id);
     const std::size_t taken =
         box.drain(batch, static_cast<std::size_t>(batch_), /*release_now=*/false);
+    span.set_arg("n", static_cast<std::int64_t>(taken));
+    if (taken > 0) {
+      BatchStats& bs = batch_stats_[self];
+      bs.batches.fetch_add(1, std::memory_order_relaxed);
+      bs.messages.fetch_add(taken, std::memory_order_relaxed);
+      // Single writer per shard: a plain max needs no CAS loop.
+      if (taken > bs.max_batch.load(std::memory_order_relaxed)) {
+        bs.max_batch.store(taken, std::memory_order_relaxed);
+      }
+    }
+    // Time the whole batch as one busy slice (per-message metering inside
+    // process_message is suppressed while the slice is open); the guard
+    // closes the slice on every exit path, including completions and
+    // failures.
+    struct BatchMeterGuard {
+      EngineCore* core;
+      std::size_t id;
+      bool armed;
+      ~BatchMeterGuard() {
+        if (armed) core->end_batch_meter(id);
+      }
+    } meter{core_, id, taken > 0 && core_->begin_batch_meter(id)};
     std::size_t released = 0;
     try {
       for (Message& msg : batch) {

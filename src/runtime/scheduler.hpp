@@ -33,6 +33,7 @@
 #include <string>
 
 #include "runtime/mailbox.hpp"
+#include "runtime/metrics.hpp"
 
 namespace ss::runtime {
 
@@ -70,6 +71,17 @@ class EngineCore {
   /// Dispatches one already-dequeued data/seq-mark message to the actor's
   /// logic.  The caller guarantees single-threaded access per actor.
   virtual void process_message(std::size_t id, Message& m) = 0;
+
+  /// Batch-granularity utilization metering: a scheduler that hands an
+  /// actor a whole batch of messages brackets the batch with this pair so
+  /// the engine times the batch as ONE busy slice (two clock reads per
+  /// batch instead of two per message) and suppresses the per-message
+  /// metering inside process_message().  begin returns false — and the
+  /// scheduler must then skip the end call — when nothing was opened
+  /// (metering off, or the actor's busy time is charged per logical
+  /// member as for fused meta groups).  Default: per-message metering.
+  virtual bool begin_batch_meter(std::size_t /*id*/) { return false; }
+  virtual void end_batch_meter(std::size_t /*id*/) {}
 
   /// Flushes logic state and propagates end-of-stream tokens downstream.
   virtual void finish_actor(std::size_t id) = 0;
@@ -110,6 +122,11 @@ class Scheduler {
   /// Waits until every actor finished (the drain completed), then stops
   /// and joins all execution threads.  Idempotent.
   virtual void join() = 0;
+
+  /// Telemetry counters of this scheduler's machinery (steals, parks,
+  /// batch sizes).  All-zero for schedulers without such machinery (the
+  /// thread-per-actor default).  Exact once the scheduler is quiescent.
+  [[nodiscard]] virtual SchedulerCounters counters() const { return {}; }
 };
 
 /// `workers <= 0` means one worker per hardware thread; `batch` is the

@@ -1,0 +1,179 @@
+// Utilization & backpressure metering, and the machine-readable metrics
+// exporter.
+//
+// Algorithm 1 predicts per-operator utilization ρ and backpressure-limited
+// throughput; until this layer existed the runtime could only *report*
+// rates and latency percentiles, never measure ρ itself.  TelemetryBoard
+// closes that gap: every actor accumulates
+//
+//   busy-ns    — wall time inside OperatorLogic::process (for synthetic
+//                operators this is the wait-realized service time, i.e.
+//                exactly the model's 1/μ per item),
+//   blocked-ns — wall time spent blocked in Mailbox::send under
+//                Blocking-After-Service backpressure (charged to the
+//                *sending* operator and subtracted from its busy time, so
+//                busy is pure service),
+//
+// per steady-state window; idle is the remainder.  Measured ρ is then
+// busy / (window × replicas) — directly comparable to the predicted ρ of
+// steady_state(), which is what the new RunStats columns print.
+//
+// The blocked charge crosses a layer boundary (the mailbox does not know
+// which operator is sending), so the engine pins a thread-local
+// ActorContext around every slice of actor code it runs; the mailbox's
+// blocking slow path — and only the slow path — reads the clock and
+// charges the wait through it.  The fast path cost with metering enabled
+// is two thread-local stores per message plus two clock reads.
+//
+// MetricsExporter is the machine-readable side: a background thread
+// samples cumulative counters every period and appends one JSON object per
+// line (rates, ρ, blocked fraction, queue depths, latency percentiles,
+// scheduler counters) — the format bench/ and the harness reuse instead of
+// ad-hoc printouts.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/topology.hpp"
+#include "runtime/metrics.hpp"
+
+namespace ss::runtime {
+
+/// Per-operator busy/blocked nanosecond accumulators (lock-free; replicas
+/// and meta-group members of one logical operator share an entry, exactly
+/// like OpCounters).  Gated: accumulation only happens while enabled, so a
+/// closed gate costs one relaxed load per message.
+class TelemetryBoard {
+ public:
+  explicit TelemetryBoard(std::size_t num_ops) : cells_(num_ops) {}
+
+  TelemetryBoard(const TelemetryBoard&) = delete;
+  TelemetryBoard& operator=(const TelemetryBoard&) = delete;
+
+  [[nodiscard]] bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+  void set_enabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+
+  void add_busy(OpIndex op, std::uint64_t ns) {
+    cells_[op].busy.fetch_add(ns, std::memory_order_relaxed);
+  }
+  void add_blocked(OpIndex op, std::uint64_t ns) {
+    cells_[op].blocked.fetch_add(ns, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::uint64_t busy_ns(OpIndex op) const {
+    return cells_[op].busy.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t blocked_ns(OpIndex op) const {
+    return cells_[op].blocked.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::size_t size() const { return cells_.size(); }
+
+ private:
+  struct Cell {
+    std::atomic<std::uint64_t> busy{0};
+    std::atomic<std::uint64_t> blocked{0};
+  };
+  std::vector<Cell> cells_;  ///< fixed: atomics are not movable
+  std::atomic<bool> enabled_{false};
+};
+
+/// Pins "this thread is currently executing operator `op`" so that
+/// Mailbox::send can charge blocked-on-send time to the right operator.
+/// Scopes nest (a meta-group actor runs one member inside another's
+/// dispatch): the constructor saves and the destructor restores the outer
+/// context.  blocked_ns() reports the blocked time charged *within this
+/// scope* — the engine subtracts it from the elapsed service time so busy
+/// never double-counts backpressure waits.
+class ScopedActorContext {
+ public:
+  ScopedActorContext(TelemetryBoard& board, OpIndex op) noexcept;
+  ~ScopedActorContext();
+
+  ScopedActorContext(const ScopedActorContext&) = delete;
+  ScopedActorContext& operator=(const ScopedActorContext&) = delete;
+
+  /// Blocked-on-send nanoseconds accumulated inside this scope so far.
+  [[nodiscard]] std::uint64_t blocked_ns() const;
+
+ private:
+  struct Saved {
+    TelemetryBoard* board;
+    OpIndex op;
+    std::uint64_t blocked_in_scope;
+  } saved_;
+};
+
+/// True when the calling thread holds an ActorContext whose board is
+/// enabled — the mailbox's wait path checks this before reading clocks.
+[[nodiscard]] bool blocked_metering_enabled();
+
+/// Charges `ns` of blocked-on-send time to the calling thread's current
+/// actor context (no-op without one / with the gate closed).
+void charge_blocked(std::uint64_t ns);
+
+// ---------------------------------------------------------------- exporter
+
+/// One cumulative sample of everything the runtime measures; the exporter
+/// turns consecutive samples into rates and window fractions.
+struct MetricsSample {
+  CounterSnapshot counters;    ///< processed/emitted/busy/blocked/queues
+  LatencyReport latency;       ///< cumulative percentile summaries
+  SchedulerCounters scheduler;
+  std::uint64_t dropped = 0;
+  int epoch = 1;
+};
+
+/// Background JSONL metrics writer: calls `sampler` every `period`
+/// seconds and appends one JSON object per line to `path` — fields: t,
+/// epoch, dropped, per-op {name, processed, emitted, proc_rate, emit_rate,
+/// rho, blocked, queue, queue_peak, p50_ms, p95_ms, p99_ms}, e2e
+/// percentiles and sched counters.  Rates and fractions are deltas over
+/// the sampling period; percentiles are cumulative.  A final sample is
+/// written on stop().  Throws ss::Error from the constructor when `path`
+/// cannot be opened.
+class MetricsExporter {
+ public:
+  MetricsExporter(std::function<MetricsSample()> sampler,
+                  std::vector<std::string> op_names, const std::string& path,
+                  double period_seconds);
+  ~MetricsExporter();
+
+  MetricsExporter(const MetricsExporter&) = delete;
+  MetricsExporter& operator=(const MetricsExporter&) = delete;
+
+  void start();
+  /// Writes the final sample, flushes and joins.  Idempotent.
+  void stop();
+
+  [[nodiscard]] std::size_t lines_written() const { return lines_; }
+
+ private:
+  struct Impl;
+  void loop();
+  void write_sample(const MetricsSample& sample);
+
+  std::function<MetricsSample()> sampler_;
+  std::vector<std::string> op_names_;
+  double period_;
+  std::unique_ptr<Impl> impl_;  ///< the output stream (keeps <fstream> out)
+  MetricsSample prev_;
+  bool have_prev_ = false;
+  std::size_t lines_ = 0;
+  std::thread thread_;
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> started_{false};
+  // stop() wakes the sampling loop early through a condition variable in
+  // Impl so shutdown never waits out a full period.
+};
+
+}  // namespace ss::runtime

@@ -1,5 +1,7 @@
 #include "runtime/work_stealing.hpp"
 
+#include "runtime/trace.hpp"
+
 namespace ss::runtime {
 
 WorkStealingQueues::WorkStealingQueues(std::size_t num_queues)
@@ -10,6 +12,7 @@ void WorkStealingQueues::push(std::size_t item, std::size_t preferred) {
   {
     std::lock_guard lock(q.mu);
     q.items.push_back(item);
+    ++q.pushes;  // under q.mu: no shared counter line in the hot path
   }
   pending_.fetch_add(1, std::memory_order_release);
   // Wake a parked worker.  The check-then-notify is race-free: a worker
@@ -28,6 +31,7 @@ bool WorkStealingQueues::pop_local(std::size_t self, std::size_t& out) {
   if (q.items.empty()) return false;
   out = q.items.back();  // LIFO: the hint this worker pushed most recently
   q.items.pop_back();
+  ++q.local_pops;
   return true;
 }
 
@@ -37,6 +41,7 @@ bool WorkStealingQueues::steal_from(std::size_t victim, std::size_t& out) {
   if (q.items.empty()) return false;
   out = q.items.front();  // FIFO: the victim's oldest (coldest) hint
   q.items.pop_front();
+  ++q.steals;  // charged to the victim's queue; counters() sums them all
   return true;
 }
 
@@ -47,8 +52,10 @@ bool WorkStealingQueues::try_acquire(std::size_t self, std::size_t& out) {
   }
   const std::size_t n = queues_.size();
   for (std::size_t i = 1; i < n; ++i) {
-    if (steal_from((self + i) % n, out)) {
+    const std::size_t victim = (self + i) % n;
+    if (steal_from(victim, out)) {
       pending_.fetch_sub(1, std::memory_order_release);
+      trace::instant("steal", "sched", "victim", static_cast<std::int64_t>(victim));
       return true;
     }
   }
@@ -63,10 +70,18 @@ bool WorkStealingQueues::acquire(std::size_t self, std::size_t& out) {
     // re-check under park_mu_ closes the lost-wakeup window with push().
     std::unique_lock lock(park_mu_);
     idle_.fetch_add(1, std::memory_order_release);
-    park_cv_.wait(lock, [&] {
+    const auto runnable = [&] {
       return shutdown_.load(std::memory_order_acquire) ||
              pending_.load(std::memory_order_acquire) > 0;
-    });
+    };
+    if (!runnable()) {
+      parks_.fetch_add(1, std::memory_order_relaxed);
+      trace::Span span("park", "sched");
+      park_cv_.wait(lock, runnable);
+      if (!shutdown_.load(std::memory_order_acquire)) {
+        wakeups_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
     idle_.fetch_sub(1, std::memory_order_release);
   }
 }
@@ -75,6 +90,20 @@ void WorkStealingQueues::shutdown() {
   shutdown_.store(true, std::memory_order_release);
   std::lock_guard lock(park_mu_);
   park_cv_.notify_all();
+}
+
+WorkStealingCounters WorkStealingQueues::counters() const {
+  WorkStealingCounters c;
+  c.parks = parks_.load(std::memory_order_relaxed);
+  c.wakeups = wakeups_.load(std::memory_order_relaxed);
+  for (const Queue& q : queues_) {
+    std::lock_guard lock(q.mu);
+    c.pushes += q.pushes;
+    c.local_pops += q.local_pops;
+    c.steals += q.steals;
+    c.discarded += q.items.size();
+  }
+  return c;
 }
 
 }  // namespace ss::runtime

@@ -20,11 +20,24 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <mutex>
 #include <vector>
 
 namespace ss::runtime {
+
+/// Lifetime counters of the hint queues (telemetry; relaxed, so
+/// approximate under concurrency and exact once the pool is quiescent).
+/// Invariant after shutdown: pushes == local_pops + steals + discarded.
+struct WorkStealingCounters {
+  std::uint64_t pushes = 0;
+  std::uint64_t local_pops = 0;
+  std::uint64_t steals = 0;
+  std::uint64_t discarded = 0;  ///< hints still queued at shutdown
+  std::uint64_t parks = 0;      ///< times a worker went idle in acquire()
+  std::uint64_t wakeups = 0;    ///< times a parked worker resumed with work
+};
 
 class WorkStealingQueues {
  public:
@@ -67,10 +80,19 @@ class WorkStealingQueues {
 
   [[nodiscard]] std::size_t num_queues() const { return queues_.size(); }
 
+  /// Telemetry counters (see WorkStealingCounters for the invariant).
+  [[nodiscard]] WorkStealingCounters counters() const;
+
  private:
   struct Queue {
     mutable std::mutex mu;
     std::deque<std::size_t> items;
+    // per-queue telemetry, guarded by mu (already held on every hot-path
+    // touch, so counting costs no extra synchronization); steals are
+    // charged to the *victim's* queue and summed in counters().
+    std::uint64_t pushes = 0;
+    std::uint64_t local_pops = 0;
+    std::uint64_t steals = 0;
   };
 
   bool pop_local(std::size_t self, std::size_t& out);    // back: LIFO
@@ -82,6 +104,11 @@ class WorkStealingQueues {
   std::atomic<bool> shutdown_{false};
   std::mutex park_mu_;
   std::condition_variable park_cv_;
+  // park-path telemetry (relaxed; the park path is already slow)
+  std::atomic<std::uint64_t> parks_{0};
+  std::atomic<std::uint64_t> wakeups_{0};
+  // `discarded` is not a counter: counters() sums the items still queued,
+  // which is exact precisely when it matters (after the pool quiesced).
 };
 
 }  // namespace ss::runtime

@@ -30,6 +30,8 @@ struct Server {
   bool busy = false;
   bool blocked = false;             ///< waiting for space downstream (BAS)
   double busy_since = 0.0;
+  double blocked_since = 0.0;       ///< when the current BAS stall began
+  std::size_t queue_peak = 0;       ///< high-water occupancy in the window
   double service_birth = 0.0;       ///< stamp of the item in service
   std::vector<PendingResult> pending;  ///< results awaiting the push
   std::size_t pending_pos = 0;
@@ -74,6 +76,13 @@ class Simulation {
     if (hi > lo) s.queue_integral += (hi - lo) * static_cast<double>(s.queue_len);
     s.queue_since = now;
   }
+  /// Accrues window-clipped BAS stall time ending at `now`; call when a
+  /// blocked server is released (and once at the end for still-blocked).
+  void account_blocked(Server& s, double now) {
+    const double lo = std::max(s.blocked_since, warmup_at_);
+    const double hi = std::min(now, options_.duration);
+    if (hi > lo) blocked_time_[s.op] += hi - lo;
+  }
 
   const Topology& topology_;
   const SimOptions& options_;
@@ -94,6 +103,7 @@ class Simulation {
   std::vector<std::uint64_t> warm_consumed_;
   std::vector<std::uint64_t> warm_emitted_;
   std::vector<double> busy_time_;       // per op, inside the window
+  std::vector<double> blocked_time_;    // per op, inside the window (BAS)
   std::vector<std::uint64_t> shed_;     // per op
   // Per-tuple latency in virtual time, window-gated like the runtime's
   // StatsBoard: one histogram per op (source stamp -> service start) plus
@@ -117,6 +127,7 @@ void Simulation::build_servers() {
   consumed_.assign(n, 0);
   emitted_.assign(n, 0);
   busy_time_.assign(n, 0.0);
+  blocked_time_.assign(n, 0.0);
   shed_.assign(n, 0);
 
   for (OpIndex i = 0; i < n; ++i) {
@@ -238,12 +249,14 @@ void Simulation::attempt_flush(int sid, double now) {
       // BAS: block until the destination pops an item.
       if (!s.blocked) {
         s.blocked = true;
+        s.blocked_since = now;
         dest.waiters.push_back(sid);
       }
       return;
     }
     account_queue(dest, now);
     ++dest.queue_len;
+    if (snapped_ && dest.queue_len > dest.queue_peak) dest.queue_peak = dest.queue_len;
     dest.queue_birth.push_back(s.pending[s.pending_pos].birth);
     count_emitted(s.op);
     ++s.pending_pos;
@@ -276,7 +289,9 @@ void Simulation::try_start(int sid, double now) {
   if (!s.waiters.empty()) {
     const int waiter = s.waiters.front();
     s.waiters.pop_front();
-    servers_[static_cast<std::size_t>(waiter)].blocked = false;
+    Server& w = servers_[static_cast<std::size_t>(waiter)];
+    account_blocked(w, now);
+    w.blocked = false;
     attempt_flush(waiter, now);
   }
 }
@@ -285,6 +300,9 @@ void Simulation::maybe_snapshot(double now) {
   if (!snapped_ && now >= warmup_at_) {
     warm_consumed_ = consumed_;
     warm_emitted_ = emitted_;
+    // High-water tracking restarts at the window open, seeded with the
+    // current occupancy — the runtime's reset_depth_peak semantics.
+    for (Server& s : servers_) s.queue_peak = s.queue_len;
     snapped_ = true;
   }
 }
@@ -317,7 +335,6 @@ SimResult Simulation::run() {
         static_cast<double>(consumed_[i] - warm_consumed_[i]) / window;
     stats.departure_rate =
         static_cast<double>(emitted_[i] - warm_emitted_[i]) / window;
-    stats.busy_fraction = busy_time_[i] / (window * replica_count_[i]);
     stats.shed = shed_[i];
     result.shed += shed_[i];
     // Little's law: mean items in system (queued + in service) over the
@@ -326,8 +343,12 @@ SimResult Simulation::run() {
     for (int r = 0; r < replica_count_[i]; ++r) {
       Server& server = servers_[static_cast<std::size_t>(base_server_[i] + r)];
       account_queue(server, options_.duration);  // close the last interval
+      if (server.blocked) account_blocked(server, options_.duration);
       queue_integral += server.queue_integral;
+      stats.queue_peak = std::max(stats.queue_peak, server.queue_peak);
     }
+    stats.busy_fraction = busy_time_[i] / (window * replica_count_[i]);
+    stats.blocked_fraction = blocked_time_[i] / (window * replica_count_[i]);
     stats.mean_queue = queue_integral / window;
     const double in_system = stats.mean_queue + busy_time_[i] / window;
     if (stats.arrival_rate > 0.0 && i != topology_.source()) {

@@ -64,6 +64,11 @@ struct SimOperatorStats {
   double arrival_rate = 0.0;   ///< items/s in the measurement window
   double departure_rate = 0.0; ///< results/s in the measurement window
   double busy_fraction = 0.0;  ///< fraction of window time spent serving
+  /// Fraction of window time spent blocked pushing downstream (BAS) — the
+  /// virtual-time counterpart of the runtime's blocked-on-send metering.
+  double blocked_fraction = 0.0;
+  /// Input-queue high-water mark inside the window (max over replicas).
+  std::size_t queue_peak = 0;
   std::uint64_t shed = 0;      ///< results this operator lost to shedding
   double mean_queue = 0.0;     ///< time-averaged input-queue occupancy
   /// Mean time an item spends at this operator (queueing + service),

@@ -281,6 +281,73 @@ TEST_F(CliTest, SimulateRedirectsToRuntimeEngine) {
   EXPECT_NE(out.find("src"), std::string::npos);
 }
 
+TEST_F(CliTest, RunRejectsUnwritableTelemetryPaths) {
+  // Both sinks are probed before any tuple flows: a bad path must fail
+  // fast instead of discarding a completed run at flush time.
+  auto [tcode, tout, terr] =
+      run({"run", "--seconds=0.1", "--trace=/nonexistent-dir/trace.json"});
+  EXPECT_EQ(tcode, 1);
+  EXPECT_NE(terr.find("cannot write trace file"), std::string::npos) << terr;
+
+  auto [mcode, mout, merr] =
+      run({"run", "--seconds=0.1", "--metrics-out=/nonexistent-dir/m.jsonl"});
+  EXPECT_EQ(mcode, 1);
+  EXPECT_NE(merr.find("cannot write metrics file"), std::string::npos) << merr;
+}
+
+TEST_F(CliTest, RunRejectsNonPositiveMetricsPeriod) {
+  auto [code, out, err] = run({"run", "--seconds=0.1", "--metrics-out=" +
+                                   ::testing::TempDir() + "/cli_period.jsonl",
+                               "--metrics-period=0"});
+  EXPECT_EQ(code, 1);
+  EXPECT_NE(err.find("--metrics-period must be positive"), std::string::npos) << err;
+}
+
+TEST_F(CliTest, TelemetryFlagsRejectedUnderSimBackend) {
+  // The DES has no wall-clock threads to trace or sample.
+  auto [tcode, tout, terr] = run({"simulate", "--duration=1", "--trace=t.json"});
+  EXPECT_EQ(tcode, 1);
+  EXPECT_NE(terr.find("need a live runtime"), std::string::npos) << terr;
+
+  auto [mcode, mout, merr] =
+      run({"simulate", "--duration=1", "--metrics-out=m.jsonl"});
+  EXPECT_EQ(mcode, 1);
+  EXPECT_NE(merr.find("need a live runtime"), std::string::npos) << merr;
+}
+
+TEST_F(CliTest, TracedRunWritesChromeJsonAndMetricsJsonl) {
+  const std::string trace_path = ::testing::TempDir() + "/cli_trace.json";
+  const std::string metrics_path = ::testing::TempDir() + "/cli_metrics.jsonl";
+  auto [code, out, err] =
+      run({"run", "--engine=pool", "--workers=2", "--seconds=0.5",
+           "--trace=" + trace_path, "--metrics-out=" + metrics_path,
+           "--metrics-period=0.1"});
+  EXPECT_EQ(code, 0) << err;
+  EXPECT_NE(out.find("trace:"), std::string::npos) << out;
+  EXPECT_NE(out.find("metrics:"), std::string::npos) << out;
+  // The rho/blk/q_hi telemetry columns appear in the per-operator table.
+  EXPECT_NE(out.find("rho"), std::string::npos) << out;
+  EXPECT_NE(out.find("q_hi"), std::string::npos) << out;
+
+  std::ifstream trace_file(trace_path);
+  std::stringstream trace_buf;
+  trace_buf << trace_file.rdbuf();
+  EXPECT_NE(trace_buf.str().find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(trace_buf.str().find("thread_name"), std::string::npos);
+
+  std::ifstream metrics_file(metrics_path);
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(metrics_file, line)) {
+    if (line.empty()) continue;
+    ++lines;
+    EXPECT_EQ(line.front(), '{') << line;
+    EXPECT_EQ(line.back(), '}') << line;
+    EXPECT_NE(line.find("\"ops\":["), std::string::npos) << line;
+  }
+  EXPECT_GE(lines, 2u);  // >= 0.5s run at 0.1s period, plus the final sample
+}
+
 TEST_F(CliTest, GenerateProducesLoadableXml) {
   const std::string out_path = ::testing::TempDir() + "/cli_random.xml";
   auto [code, out, err] = run({"generate", "--seed=9", "--out=" + out_path}, false);

@@ -6,6 +6,8 @@
 
 #include <thread>
 
+#include "runtime/telemetry.hpp"
+
 namespace ss::runtime {
 namespace {
 
@@ -202,6 +204,124 @@ TEST(FormatStats, PrintsLatencyColumnsAndEndToEndLine) {
   EXPECT_NE(text.find("end-to-end latency: p50"), std::string::npos);
   EXPECT_NE(text.find("1 samples"), std::string::npos);
   EXPECT_NE(text.find("p99 ms"), std::string::npos);
+}
+
+TEST(StatsBoard, WindowHelpersGateLatencyAndTelemetryTogether) {
+  StatsBoard board(2);
+  TelemetryBoard telemetry(2);
+  board.attach_telemetry(&telemetry);
+  EXPECT_FALSE(board.latency_enabled());
+  EXPECT_FALSE(telemetry.enabled());
+
+  const CounterSnapshot begin = board.open_window(1.0);
+  EXPECT_TRUE(board.latency_enabled());
+  EXPECT_TRUE(telemetry.enabled());
+  EXPECT_DOUBLE_EQ(begin.at_seconds, 1.0);
+  ASSERT_EQ(begin.busy_ns.size(), 2u);  // telemetry rides in the snapshot
+
+  telemetry.add_busy(0, 500'000'000);  // 0.5 s inside a 1 s window
+  telemetry.add_blocked(1, 250'000'000);
+  const CounterSnapshot end = board.close_window(2.0);
+  EXPECT_FALSE(board.latency_enabled());
+  EXPECT_FALSE(telemetry.enabled());
+  ASSERT_EQ(end.busy_ns.size(), 2u);
+  EXPECT_EQ(end.busy_ns[0] - begin.busy_ns[0], 500'000'000u);
+  EXPECT_EQ(end.blocked_ns[1] - begin.blocked_ns[1], 250'000'000u);
+}
+
+TEST(StatsBoard, SnapshotWithoutTelemetryCarriesNoTelemetryVectors) {
+  StatsBoard board(2);
+  const CounterSnapshot snap = board.snapshot(0.5);
+  EXPECT_TRUE(snap.busy_ns.empty());
+  EXPECT_TRUE(snap.blocked_ns.empty());
+  // make_run_stats then reports the run as telemetry-free: -1 sentinels.
+  Topology::Builder b;
+  b.add_operator("a", 1e-3);
+  b.add_operator("b", 1e-3);
+  b.add_edge(0, 1);
+  const Topology t = b.build();
+  CounterSnapshot zero = snap;
+  zero.processed = {0, 0};
+  zero.emitted = {0, 0};
+  const RunStats stats = make_run_stats(t, zero, zero, zero, 1.0, 0);
+  EXPECT_FALSE(stats.has_telemetry);
+  EXPECT_DOUBLE_EQ(stats.ops[0].busy_fraction, -1.0);
+  EXPECT_DOUBLE_EQ(stats.ops[0].blocked_fraction, -1.0);
+}
+
+TEST(MakeRunStats, TelemetryFractionsNormalizeByReplicaCount) {
+  Topology t = three_op_topology();
+  CounterSnapshot begin;
+  begin.at_seconds = 0.0;
+  begin.processed = {0, 0, 0};
+  begin.emitted = {0, 0, 0};
+  begin.busy_ns = {0, 0, 0};
+  begin.blocked_ns = {0, 0, 0};
+  CounterSnapshot end = begin;
+  end.at_seconds = 2.0;
+  end.processed = {200, 200, 200};
+  end.emitted = {200, 200, 200};
+  // mid ran 3 replicas: 3 s of busy time in a 2 s window is rho = 0.5.
+  end.busy_ns = {1'000'000'000, 3'000'000'000, 400'000'000};
+  end.blocked_ns = {500'000'000, 0, 0};
+  end.queue_peak = {0, 7, 3};
+  const std::vector<int> replicas = {1, 3, 1};
+
+  const RunStats stats =
+      make_run_stats(t, begin, end, end, 2.0, 0, nullptr, &replicas);
+  EXPECT_TRUE(stats.has_telemetry);
+  EXPECT_DOUBLE_EQ(stats.ops[0].busy_fraction, 0.5);     // 1s / 2s
+  EXPECT_DOUBLE_EQ(stats.ops[0].blocked_fraction, 0.25); // 0.5s / 2s
+  EXPECT_DOUBLE_EQ(stats.ops[1].busy_fraction, 0.5);     // 3s / (2s x 3)
+  EXPECT_DOUBLE_EQ(stats.ops[2].busy_fraction, 0.2);  // 0.4s / 2s
+  EXPECT_EQ(stats.ops[1].queue_peak, 7u);
+  EXPECT_EQ(stats.ops[2].queue_peak, 3u);
+
+  // Without the replica vector every fraction divides by the window alone.
+  const RunStats flat = make_run_stats(t, begin, end, end, 2.0, 0);
+  EXPECT_DOUBLE_EQ(flat.ops[1].busy_fraction, 1.5);
+}
+
+TEST(FormatStats, PrintsTelemetryColumnsAndSchedulerLine) {
+  Topology t = three_op_topology();
+  CounterSnapshot begin;
+  begin.at_seconds = 0.0;
+  begin.processed = {0, 0, 0};
+  begin.emitted = {0, 0, 0};
+  begin.busy_ns = {0, 0, 0};
+  begin.blocked_ns = {0, 0, 0};
+  CounterSnapshot end = begin;
+  end.at_seconds = 2.0;
+  end.processed = {200, 200, 200};
+  end.emitted = {200, 200, 200};
+  end.busy_ns = {1'800'000'000, 900'000'000, 200'000'000};
+  end.blocked_ns = {100'000'000, 0, 0};
+  end.queue_peak = {0, 12, 4};
+  RunStats stats = make_run_stats(t, begin, end, end, 2.0, 0);
+  stats.scheduler.steals = 10;
+  stats.scheduler.parks = 20;
+  stats.scheduler.wakeups = 18;
+  stats.scheduler.batches = 40;
+  stats.scheduler.batch_messages = 120;
+  stats.scheduler.max_batch = 16;
+  const std::string text = format_stats(t, stats);
+  EXPECT_NE(text.find("rho"), std::string::npos) << text;
+  EXPECT_NE(text.find("blk"), std::string::npos) << text;
+  EXPECT_NE(text.find("q_hi"), std::string::npos) << text;
+  EXPECT_NE(text.find("12"), std::string::npos);  // mid's queue peak
+  EXPECT_NE(text.find("scheduler: 10 steals, 20 parks"), std::string::npos) << text;
+
+  // A telemetry-free run prints no rho/blk/q_hi columns at all.
+  CounterSnapshot bare_begin = begin, bare_end = end;
+  bare_begin.busy_ns.clear();
+  bare_begin.blocked_ns.clear();
+  bare_end.busy_ns.clear();
+  bare_end.blocked_ns.clear();
+  bare_end.queue_peak.clear();
+  const RunStats bare = make_run_stats(t, bare_begin, bare_end, bare_end, 2.0, 0);
+  const std::string bare_text = format_stats(t, bare);
+  EXPECT_EQ(bare_text.find("rho"), std::string::npos) << bare_text;
+  EXPECT_EQ(bare_text.find("q_hi"), std::string::npos) << bare_text;
 }
 
 }  // namespace

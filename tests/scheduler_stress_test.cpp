@@ -146,6 +146,31 @@ TEST(SchedulerStress, PoolMatchesThreadPerActorThroughputOnTable1) {
   EXPECT_GT(pool_stats.end_to_end.count, 0u);
 }
 
+TEST(SchedulerStress, SchedulerCountersAreConsistentAfterADrain) {
+  // Hint accounting invariant of the work-stealing queues once quiescent:
+  // every push was either popped locally, stolen, or discarded at shutdown
+  // — and the drain-batch counters agree with the work actually done.
+  Topology t = fast_random_topology(/*seed=*/42, /*vertices=*/10, /*edges=*/14);
+  Engine engine(t, Deployment{}, burst_factory(/*items=*/2000), pooled_config(4));
+  const RunStats stats = engine.run_until_complete(duration<double>(60.0));
+
+  const SchedulerCounters& c = stats.scheduler;
+  EXPECT_GT(c.pushes, 0u);
+  EXPECT_EQ(c.pushes, c.local_pops + c.steals + c.discarded);
+  // Every counted wakeup answers a park (shutdown wakeups are not counted).
+  EXPECT_LE(c.wakeups, c.parks);
+  // Batch statistics describe real drains.
+  EXPECT_GT(c.batches, 0u);
+  EXPECT_GE(c.batch_messages, c.batches);  // every batch drained >= 1 message
+  EXPECT_GE(c.max_batch, 1u);
+  EXPECT_LE(c.max_batch, 64u);  // the default drain quantum bounds a batch
+  // The thread-per-actor backend has no such machinery: all zero.
+  Engine plain(t, Deployment{}, burst_factory(/*items=*/100), EngineConfig{});
+  const RunStats plain_stats = plain.run_until_complete(duration<double>(60.0));
+  EXPECT_EQ(plain_stats.scheduler.pushes, 0u);
+  EXPECT_EQ(plain_stats.scheduler.batches, 0u);
+}
+
 TEST(StressTsan, RandomTopologySubsetStaysRaceFree) {
   // ThreadSanitizer target (see .github/workflows/ci.yml): a smaller slice
   // of the sweep — TSAN's ~10x slowdown rules out all 25 seeds — hitting

@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Validates a SpinStreams --trace output file against the Chrome
+trace-event JSON format (the subset Perfetto / chrome://tracing load).
+
+Checks:
+  * the file is valid JSON with a top-level "traceEvents" list,
+  * every event carries the required keys (name/ph/ts/pid/tid),
+  * complete events ('X') carry a non-negative "dur",
+  * instant events ('i') carry a scope "s",
+  * metadata events ('M') are thread_name records with an args.name,
+  * timestamps are non-negative and (optionally) at least N events exist.
+
+Exit code 0 on a valid trace, 1 with a diagnostic on the first violation.
+Stdlib only -- runs anywhere CI has a python3.
+
+Usage: trace_check.py TRACE.json [--min-events=N] [--require-span=NAME]
+"""
+
+import json
+import sys
+
+KNOWN_PHASES = {"X", "i", "I", "M", "B", "E", "b", "e", "n", "C"}
+
+
+def fail(message):
+    print(f"trace_check: FAIL: {message}", file=sys.stderr)
+    return 1
+
+
+def main(argv):
+    path = None
+    min_events = 1
+    required_spans = []
+    for arg in argv[1:]:
+        if arg.startswith("--min-events="):
+            min_events = int(arg.split("=", 1)[1])
+        elif arg.startswith("--require-span="):
+            required_spans.append(arg.split("=", 1)[1])
+        elif arg.startswith("--"):
+            return fail(f"unknown flag {arg}")
+        elif path is None:
+            path = arg
+        else:
+            return fail("exactly one trace file expected")
+    if path is None:
+        print(__doc__, file=sys.stderr)
+        return 2
+
+    try:
+        with open(path, encoding="utf-8") as handle:
+            document = json.load(handle)
+    except OSError as error:
+        return fail(f"cannot read {path}: {error}")
+    except json.JSONDecodeError as error:
+        return fail(f"{path} is not valid JSON: {error}")
+
+    if not isinstance(document, dict) or "traceEvents" not in document:
+        return fail('top level must be an object with a "traceEvents" list')
+    events = document["traceEvents"]
+    if not isinstance(events, list):
+        return fail('"traceEvents" must be a list')
+
+    seen_names = set()
+    threads_named = 0
+    for index, event in enumerate(events):
+        where = f"traceEvents[{index}]"
+        if not isinstance(event, dict):
+            return fail(f"{where} is not an object")
+        phase = event.get("ph")
+        if phase not in KNOWN_PHASES:
+            return fail(f"{where} has unknown phase {phase!r}")
+        # Metadata events carry no timestamp; everything else must.
+        required = ("name", "ph", "pid", "tid") if phase == "M" else (
+            "name", "ph", "ts", "pid", "tid")
+        for key in required:
+            if key not in event:
+                return fail(f"{where} is missing required key {key!r}")
+        if phase != "M":
+            if not isinstance(event["ts"], (int, float)) or event["ts"] < 0:
+                return fail(f"{where} has a negative or non-numeric ts")
+        if phase == "X":
+            if "dur" not in event:
+                return fail(f"{where} is a complete event without dur")
+            if not isinstance(event["dur"], (int, float)) or event["dur"] < 0:
+                return fail(f"{where} has a negative or non-numeric dur")
+        if phase == "i" and "s" not in event:
+            return fail(f"{where} is an instant event without scope 's'")
+        if phase == "M":
+            if event["name"] != "thread_name":
+                return fail(f"{where} metadata must be thread_name, got {event['name']!r}")
+            if not event.get("args", {}).get("name"):
+                return fail(f"{where} thread_name metadata lacks args.name")
+            threads_named += 1
+        else:
+            seen_names.add(event["name"])
+
+    if len(events) < min_events:
+        return fail(f"only {len(events)} events, expected >= {min_events}")
+    if threads_named == 0 and events:
+        return fail("no thread_name metadata: Perfetto would show bare tids")
+    for span in required_spans:
+        if span not in seen_names:
+            return fail(f"required span {span!r} absent (saw: {sorted(seen_names)})")
+
+    print(
+        f"trace_check: OK: {len(events)} events, {threads_named} named threads, "
+        f"{len(seen_names)} distinct event names"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
