@@ -1,0 +1,122 @@
+// Ablation: the throughput / tail-latency frontier of the latency-aware
+// optimizer (--objective=throughput|balanced|latency, optional SLO).
+//
+// The paper's pipeline maximizes throughput: fission to ceil(rho) leaves
+// the bottleneck at rho ~ 0.8-0.95, where queueing delay — and especially
+// its p99 — is steep.  The latency objective keeps adding replicas while
+// the predicted tail improves, buying latency with actors instead of
+// throughput.  This bench sweeps the objectives over bottlenecked
+// pipelines and measures each deployment in the DES (virtual time, same
+// seed), printing predicted and measured p99 plus the throughput cost.
+//
+// Expected shape: --objective=latency strictly below --objective=throughput
+// on measured p99, at <= 10% throughput cost (usually 0: the source stays
+// the limit).
+//
+// Flags: --duration=SEC --slo-p99=MS
+#include <iostream>
+
+#include "core/optimizer.hpp"
+#include "harness/args.hpp"
+#include "harness/experiment.hpp"
+#include "harness/table.hpp"
+
+namespace {
+
+ss::Topology heavy_pipeline() {
+  // src -> parse -> heavy -> enrich -> sink: `heavy` needs 4 replicas at
+  // rho ~ 0.83 under pure ceil(rho); overshoot drains its queueing tail.
+  ss::Topology::Builder b;
+  b.add_operator("src", 1.0e-3);
+  b.add_operator("parse", 0.5e-3);
+  b.add_operator("heavy", 3.3e-3);
+  b.add_operator("enrich", 0.6e-3);
+  b.add_operator("sink", 0.1e-3);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(2, 3);
+  b.add_edge(3, 4);
+  return b.build();
+}
+
+ss::Topology forked_pipeline() {
+  // A fork where one branch is near-critical after fission.
+  ss::Topology::Builder b;
+  b.add_operator("src", 0.8e-3);
+  b.add_operator("route", 0.3e-3);
+  b.add_operator("fast", 0.4e-3);
+  b.add_operator("slow", 2.9e-3);
+  b.add_operator("sink", 0.1e-3);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2, 0.6);
+  b.add_edge(1, 3, 0.4);
+  b.add_edge(2, 4);
+  b.add_edge(3, 4);
+  return b.build();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using ss::harness::Table;
+  const ss::harness::Args args(argc, argv);
+  const double duration = args.get_double("duration", 120.0);
+  const double slo_ms = args.get_double("slo-p99", 0.0);
+
+  const struct {
+    const char* name;
+    ss::Topology topology;
+  } cases[] = {{"heavy_pipeline", heavy_pipeline()}, {"forked_pipeline", forked_pipeline()}};
+
+  for (const auto& c : cases) {
+    std::cout << "== " << c.name << " ==\n";
+    Table table({"objective", "replicas", "pred p99 (ms)", "meas p99 (ms)",
+                 "throughput/s", "thr cost"});
+    double base_throughput = 0.0;
+    double base_p99 = 0.0;
+    for (const ss::Objective objective :
+         {ss::Objective::kThroughput, ss::Objective::kBalanced, ss::Objective::kLatency}) {
+      ss::AutoOptimizeOptions options;
+      options.enable_fusion = false;
+      options.objective = objective;
+      options.slo_p99 = slo_ms * 1e-3;
+      const ss::AutoOptimizeResult plan = ss::auto_optimize(c.topology, options);
+
+      ss::runtime::Deployment deployment;
+      deployment.replication = plan.plan;
+      deployment.partitions = plan.partitions;
+      ss::harness::MeasureOptions measure;
+      measure.engine = ss::harness::ExecutionBackend::kSim;
+      measure.sim_duration = duration;
+      const ss::harness::Measured measured =
+          ss::harness::measure(c.topology, deployment, measure);
+
+      int replicas = 0;
+      for (ss::OpIndex i = 0; i < c.topology.num_operators(); ++i) {
+        replicas += plan.plan.replicas_of(i);
+      }
+      if (objective == ss::Objective::kThroughput) {
+        base_throughput = measured.throughput;
+        base_p99 = measured.latency_p99;
+      }
+      const double cost = base_throughput > 0.0
+                              ? (base_throughput - measured.throughput) / base_throughput
+                              : 0.0;
+      table.add_row({ss::to_string(objective), std::to_string(replicas),
+                     Table::num(plan.predicted_p99 * 1e3), Table::num(measured.latency_p99 * 1e3),
+                     Table::num(measured.throughput, 1), Table::percent(cost)});
+      if (objective == ss::Objective::kLatency && base_p99 > 0.0) {
+        std::cout << "latency vs throughput objective: p99 "
+                  << Table::num(base_p99 * 1e3) << " -> "
+                  << Table::num(measured.latency_p99 * 1e3) << " ms, throughput cost "
+                  << Table::percent(cost) << "\n";
+      }
+    }
+    table.print(std::cout);
+    std::cout << '\n';
+  }
+  std::cout << "reading: the latency objective overshoots ceil(rho) on the bottleneck,\n"
+               "pulling the measured p99 down at little or no throughput cost — the\n"
+               "frontier the --slo-p99 constraint walks automatically.\n";
+  return 0;
+}

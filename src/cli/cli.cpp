@@ -41,21 +41,30 @@ commands:
   optimize <file> [--max-replicas=N] [--save-xml=OUT]
                                      bottleneck elimination (Alg. 2)
   auto <file> [--max-replicas=N] [--no-fusion] [--out=FILE]
-                                     fission + every safe fusion, optional codegen
+              [--slo-p99=MS] [--objective=throughput|latency|balanced]
+                                     fission + every safe fusion, optional codegen;
+                                     --slo-p99 constrains the predicted end-to-end
+                                     p99 (extra fission, fusion latency gate),
+                                     --objective trades throughput vs tail latency
   candidates <file> [--threshold=R]  fusion suggestions ranked by utilization
   fuse <file> --members=a,b,c [--multi] [--name=F]
                                      evaluate a fusion (Alg. 3 / Fig. 2 ext.)
   simulate <file> [--duration=S] [--optimize] [--shedding] [--engine=sim|threads|pool]
+                  [--slo-p99=MS] [--objective=NAME]
                                      discrete-event simulation vs the model
+                                     (tables print predicted next to measured)
   run <file> [--seconds=S] [--optimize] [--engine=threads|pool] [--workers=K]
              [--batch=N] [--elastic] [--reconfig-period=S] [--reconfig-threshold=R]
+             [--slo-p99=MS] [--objective=NAME]
              [--trace=FILE] [--metrics-out=FILE] [--metrics-period=S]
                                      execute on the actor runtime (threads =
                                      one thread per actor, pool = K work-
                                      stealing workers draining N msgs/claim);
                                      --elastic runs the online controller that
                                      re-optimizes the live topology from
-                                     measured rates without losing tuples;
+                                     measured rates without losing tuples
+                                     (with --slo-p99 it also re-deploys on
+                                     measured SLO breach);
                                      --trace writes a Chrome trace-event JSON
                                      (open in Perfetto), --metrics-out appends
                                      one JSON metrics snapshot per line every
@@ -75,6 +84,23 @@ commands:
 Topology load(const Args& args) {
   require(!args.positional().empty(), "expected a topology XML file argument");
   return xml::load_topology_file(args.positional().front());
+}
+
+/// "--slo-p99=MS" -> seconds; 0 when absent; rejects non-positive values.
+double parse_slo_flag(const Args& args) {
+  if (!args.has("slo-p99")) return 0.0;
+  const double ms = args.get_double("slo-p99", 0.0);
+  require(ms > 0.0, "--slo-p99 must be positive (milliseconds)");
+  return ms * 1e-3;
+}
+
+/// "--objective=NAME" -> Objective; rejects unknown names.
+Objective parse_objective_flag(const Args& args) {
+  const std::string name = args.get("objective", "throughput");
+  const auto objective = parse_objective(name);
+  require(objective.has_value(),
+          "--objective must be 'throughput', 'latency' or 'balanced', got '" + name + "'");
+  return *objective;
 }
 
 /// Resolves "--members=a,b,c" (names or indices) against the topology.
@@ -118,15 +144,19 @@ int cmd_analyze(const Args& args, std::ostream& out) {
   out << format_analysis(t, rates);
   if (args.has("latency")) {
     const LatencyEstimate latency = estimate_latency(t, rates);
-    Table table({"operator", "response (ms)", "window delay (ms)", "to sink (ms)"});
+    Table table({"operator", "response (ms)", "p99 (ms)", "window delay (ms)",
+                 "to sink (ms)"});
     for (OpIndex i = 0; i < t.num_operators(); ++i) {
       table.add_row({t.op(i).name, Table::num(latency.response[i] * 1e3),
+                     Table::num(latency.response_percentiles(i).p99 * 1e3),
                      Table::num(latency.window_delay[i] * 1e3),
                      Table::num(latency.to_sink[i] * 1e3)});
     }
     table.print(out);
     out << "estimated end-to-end latency: " << Table::num(latency.end_to_end * 1e3)
-        << " ms\n";
+        << " ms (tuple sojourn p50 " << Table::num(latency.sojourn.p50 * 1e3) << " / p95 "
+        << Table::num(latency.sojourn.p95 * 1e3) << " / p99 "
+        << Table::num(latency.sojourn.p99 * 1e3) << " ms)\n";
   }
   return 0;
 }
@@ -138,7 +168,8 @@ int cmd_optimize(const Args& args, std::ostream& out) {
     options.max_total_replicas = static_cast<int>(args.get_int("max-replicas", 0));
   }
   const BottleneckResult result = eliminate_bottlenecks(t, options);
-  out << format_analysis(t, result.analysis, result.plan);
+  const LatencyEstimate latency = estimate_latency(t, result.analysis, result.plan);
+  out << format_analysis(t, result.analysis, result.plan, &latency);
   out << "total replicas: " << result.total_replicas << " (+" << result.additional_replicas
       << "), " << (result.reaches_ideal ? "reaches the ideal throughput" : "still limited by: ");
   for (OpIndex op : result.unresolved) out << "'" << t.op(op).name << "' ";
@@ -158,12 +189,27 @@ int cmd_auto(const Args& args, std::ostream& out) {
     options.bottleneck.max_total_replicas = static_cast<int>(args.get_int("max-replicas", 0));
   }
   options.enable_fusion = !args.has("no-fusion");
+  options.slo_p99 = parse_slo_flag(args);
+  options.objective = parse_objective_flag(args);
   const AutoOptimizeResult result = auto_optimize(t, options);
 
-  out << format_analysis(t, result.analysis, result.plan);
+  out << format_analysis(t, result.analysis, result.plan, &result.latency);
   out << "replicas added: " << result.additional_replicas
       << (result.reaches_ideal ? " (reaches the ideal throughput)" : " (still limited)")
       << "\n";
+  if (result.overshoot_replicas > 0) {
+    out << "latency overshoot: " << result.overshoot_replicas
+        << " replica(s) beyond ceil(rho) to chase the tail\n";
+  }
+  if (result.fusions_rejected_by_latency > 0) {
+    out << "fusions vetoed by the latency gate: " << result.fusions_rejected_by_latency
+        << "\n";
+  }
+  if (options.slo_p99 > 0.0) {
+    out << "slo: p99 " << Table::num(result.predicted_p99 * 1e3) << " ms vs "
+        << Table::num(options.slo_p99 * 1e3) << " ms -> "
+        << (result.slo_feasible ? "met" : "INFEASIBLE (best effort deployed)") << "\n";
+  }
   if (result.fusions.empty()) {
     out << "no safe fusion found\n";
   } else {
@@ -234,11 +280,30 @@ int cmd_fuse(const Args& args, std::ostream& out) {
 /// can be redirected with --engine=sim|threads|pool.
 int cmd_execute(const Args& args, std::ostream& out, harness::ExecutionBackend backend) {
   const Topology t = load(args);
+  const double slo_p99 = parse_slo_flag(args);
+  const Objective objective = parse_objective_flag(args);
   runtime::Deployment deployment;
   if (args.has("optimize")) {
-    const BottleneckResult result = eliminate_bottlenecks(t);
-    deployment.replication = result.plan;
-    deployment.partitions = result.partitions;
+    if (slo_p99 > 0.0 || args.has("objective")) {
+      // Latency-aware pipeline: the SLO/objective shapes the plan (fission
+      // overshoot, fusion latency gate) instead of pure ceil(rho).
+      AutoOptimizeOptions options;
+      options.enable_fusion = false;  // run/simulate deploy plain replication
+      options.slo_p99 = slo_p99;
+      options.objective = objective;
+      const AutoOptimizeResult result = auto_optimize(t, options);
+      deployment.replication = result.plan;
+      deployment.partitions = result.partitions;
+      if (slo_p99 > 0.0 && !result.slo_feasible) {
+        out << "warning: predicted p99 " << Table::num(result.predicted_p99 * 1e3)
+            << " ms misses the " << Table::num(slo_p99 * 1e3)
+            << " ms SLO (best effort deployed)\n";
+      }
+    } else {
+      const BottleneckResult result = eliminate_bottlenecks(t);
+      deployment.replication = result.plan;
+      deployment.partitions = result.partitions;
+    }
   }
   if (args.has("engine")) backend = harness::engine_from_string(args.get("engine"));
 
@@ -255,10 +320,14 @@ int cmd_execute(const Args& args, std::ostream& out, harness::ExecutionBackend b
     options.replication = deployment.replication;
     options.partitions = deployment.partitions;
     const sim::SimResult result = sim::simulate(t, options);
-    const double predicted = steady_state(t, deployment.replication).throughput();
+    const SteadyStateResult rates = steady_state(t, deployment.replication);
+    const double predicted = rates.throughput();
+    const LatencyEstimate est =
+        estimate_latency(t, rates, deployment.replication, options.buffer_capacity);
 
     Table table({"operator", "arrival/s", "departure/s", "busy", "blocked", "q_hi",
-                 "sojourn (ms)", "p50 ms", "p95 ms", "p99 ms", "shed"});
+                 "sojourn (ms)", "pred (ms)", "p50 ms", "p95 ms", "p99 ms", "pred p99",
+                 "shed"});
     for (OpIndex i = 0; i < t.num_operators(); ++i) {
       const auto& lat = result.ops[i].latency;
       table.add_row({t.op(i).name, Table::num(result.ops[i].arrival_rate, 1),
@@ -267,9 +336,11 @@ int cmd_execute(const Args& args, std::ostream& out, harness::ExecutionBackend b
                      Table::percent(result.ops[i].blocked_fraction, 0),
                      std::to_string(result.ops[i].queue_peak),
                      Table::num(result.ops[i].mean_sojourn * 1e3),
+                     Table::num(est.response[i] * 1e3),
                      lat.count > 0 ? Table::num(lat.p50 * 1e3) : "-",
                      lat.count > 0 ? Table::num(lat.p95 * 1e3) : "-",
                      lat.count > 0 ? Table::num(lat.p99 * 1e3) : "-",
+                     Table::num(est.response_percentiles(i).p99 * 1e3),
                      std::to_string(result.ops[i].shed)});
     }
     table.print(out);
@@ -281,6 +352,15 @@ int cmd_execute(const Args& args, std::ostream& out, harness::ExecutionBackend b
           << " ms / p95 " << Table::num(result.end_to_end.p95 * 1e3) << " ms / p99 "
           << Table::num(result.end_to_end.p99 * 1e3) << " ms ("
           << result.end_to_end.count << " samples, virtual time)\n";
+    }
+    out << "predicted end-to-end latency: p50 " << Table::num(est.sojourn.p50 * 1e3)
+        << " ms / p95 " << Table::num(est.sojourn.p95 * 1e3) << " ms / p99 "
+        << Table::num(est.sojourn.p99 * 1e3) << " ms (mean "
+        << Table::num(est.sojourn_mean * 1e3) << " ms)\n";
+    if (slo_p99 > 0.0 && result.end_to_end.count > 0) {
+      out << "slo: measured p99 " << Table::num(result.end_to_end.p99 * 1e3) << " ms vs "
+          << Table::num(slo_p99 * 1e3) << " ms -> "
+          << (result.end_to_end.p99 <= slo_p99 ? "met" : "MISSED") << "\n";
     }
     return 0;
   }
@@ -296,6 +376,8 @@ int cmd_execute(const Args& args, std::ostream& out, harness::ExecutionBackend b
     config.pool_batch = static_cast<int>(args.get_int("batch", 0));
   }
   config.elastic = args.has("elastic");
+  config.slo_p99 = slo_p99;
+  config.objective = objective;
   config.reconfig_period = args.get_double("reconfig-period", config.reconfig_period);
   require(config.reconfig_period > 0.0, "--reconfig-period must be positive (seconds)");
   config.reconfig_threshold =
@@ -332,6 +414,11 @@ int cmd_execute(const Args& args, std::ostream& out, harness::ExecutionBackend b
     throw;
   }
   out << runtime::format_stats(t, stats);
+  if (slo_p99 > 0.0 && stats.end_to_end.count > 0) {
+    out << "slo: measured p99 " << Table::num(stats.end_to_end.p99 * 1e3) << " ms vs "
+        << Table::num(slo_p99 * 1e3) << " ms -> "
+        << (stats.end_to_end.p99 <= slo_p99 ? "met" : "MISSED") << "\n";
+  }
   if (tracing) {
     const std::size_t events = runtime::trace::Tracer::instance().stop_and_flush(trace_path);
     out << "trace: " << events << " events written to " << trace_path;

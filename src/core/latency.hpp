@@ -2,23 +2,52 @@
 //
 // The paper's models target throughput; its introduction names latency as
 // the other first-class metric.  This module derives per-operator response
-// times from the Alg. 1 rates with standard queueing approximations:
+// times from the Alg. 1 rates with queueing approximations calibrated
+// against the discrete-event simulator (tests/latency_model_test):
 //
-//   * non-saturated operator (rho < 1): M/M/1 response time per replica,
-//       W = 1 / (mu - lambda / n),
-//   * saturated operator (rho ~ 1): the buffer stays full under BAS, so an
-//       admitted item waits for a full buffer drain plus its own service,
-//       W = (B + 1) / mu.
+//   * open operator (rho < 1): per-replica M/M/1/K occupancy drained at
+//       the served rate, with the waiting portion scaled by the
+//       Allen-Cunneen arrival-variability factor (ca^2 + cs^2) / 2.
+//       Round-robin fission splits a Poisson-ish stream into n-way Erlang
+//       interarrivals (ca^2 = 1/n), so replicated stateless operators wait
+//       *less* than an independent M/M/1 would.  The standing queue a
+//       critically loaded fission replica can sustain shrinks with the
+//       replica count -- the occupancy is capped at (K/2) / n^(1/4).
+//   * pinned operator: a saturated operator -- and every major supplier of
+//       one, transitively up to the source -- holds a standing queue under
+//       BAS backpressure.  Its length interpolates from the damped
+//       critical occupancy to the full buffer with the overload ratio
+//       x = offered/served rate, and an admitted item drains it at the
+//       served per-replica throughput.
+//   * stalls: a push into a pinned child blocks for a drain interval with
+//       the conservation probability 1 - served/offered; a push into a
+//       busy open child blocks ~fill^3 of the time for ~one service
+//       completion.  Expected stalls inflate the parent's effective
+//       service time (BAS rate-matching).
 //
-// End-to-end latency follows the routing probabilities: the expected
-// remaining latency from operator i is
-//   L(i) = W(i) + sum_j p(i,j) L(j),
-// and the topology's expected source-to-sink latency is L(source).
+// Percentile model: an open response is ~exponential (the exact M/M/1
+// sojourn law; variance W^2), a pinned response tightens toward an
+// Erlang(len) drain as the overload grows.  Responses compose along
+// routing paths by the two-moment recursion
+//   m(i)  = W(i) + sum_j p(i,j) m(j)
+//   m2(i) = E[W(i)^2] + 2 W(i) sum_j p(i,j) m(j) + sum_j p(i,j) m2(j)
+// with each branch weighted by its *exit count* (results emitted per
+// routed item), and the end-to-end distribution is kept as a small
+// mixture of moment-matched gamma components per operator (adjacent
+// components merged moment-preservingly), so multimodal path mixes keep
+// their tails.  Quantiles come from bisection on the mixture CDF via the
+// Wilson-Hilferty gamma approximation (exact-ish for a single
+// exponential hop: p99 within 1%).
 //
-// These are *estimates*: the M/M/1 step assumes Poisson-ish arrivals and
-// exponential service, and windowed operators add buffering delay (items
-// wait for the slide boundary) that is reported separately as
-// window_delay = (input_selectivity - 1) / (2 * lambda) per such operator.
+// Two end-to-end figures are reported:
+//   * end_to_end: the analytic source-to-sink expectation including the
+//     source generation time and window buffering delay (legacy field), and
+//   * sojourn_*: the distribution of the *measured* tuple latency -- source
+//     emission to sink departure, excluding the source's own generation
+//     time and window buffering (an emitted result inherits the timestamp
+//     of the freshest contributing input, in both the runtime and the DES).
+// Validation against DES virtual-time latencies (tests/latency_model_test)
+// compares sojourn_mean / sojourn.p99.
 #pragma once
 
 #include <cstddef>
@@ -29,19 +58,55 @@
 
 namespace ss {
 
+/// Selected quantiles of a latency distribution, in seconds.
+struct LatencyPercentiles {
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
+/// Quantile `q` (in (0,1)) of a nonnegative distribution with the given
+/// mean and variance, via a moment-matched gamma and the Wilson-Hilferty
+/// cube approximation.  Returns `mean` for (near-)zero variance.
+double latency_quantile(double mean, double variance, double q);
+
+/// p50/p95/p99 of a moment-matched gamma distribution.
+LatencyPercentiles latency_percentiles(double mean, double variance);
+
 struct LatencyEstimate {
   /// Expected response time (queueing + service) per operator, seconds.
   std::vector<double> response;
+  /// Variance of the per-operator response (exponential for open queues,
+  /// Erlang(B+1) for congested ones).
+  std::vector<double> response_var;
+  /// True for operators predicted to run with a backpressure-full input
+  /// buffer: saturated operators and everything upstream of one.
+  std::vector<bool> congested;
   /// Expected window-buffering delay per operator (0 for non-windowed).
   std::vector<double> window_delay;
   /// Expected remaining latency from each operator to a sink.
   std::vector<double> to_sink;
-  /// Expected end-to-end latency of one item, source to sink, seconds.
+  /// Expected end-to-end latency of one item, source to sink, seconds
+  /// (includes source generation time and window delay; legacy figure).
   double end_to_end = 0.0;
+
+  /// Mean / variance / percentiles of the measured-comparable tuple
+  /// latency: source emission to sink departure (see file comment).
+  double sojourn_mean = 0.0;
+  double sojourn_var = 0.0;
+  LatencyPercentiles sojourn;
+
+  /// Percentiles of one operator's response time.
+  [[nodiscard]] LatencyPercentiles response_percentiles(OpIndex i) const {
+    return latency_percentiles(response.at(i), response_var.at(i));
+  }
 };
 
 /// Estimates latencies for `t` under the rates of a prior steady_state()
-/// run (which must come from the same topology and replication plan).
+/// run.  Utilizations are re-derived from `rates.arrival` and `plan`, so a
+/// different plan than the one `rates` was computed with answers the
+/// counterfactual "same arrivals, different replication" (used by the
+/// latency-aware optimizer and the monotonicity property tests).
 /// `buffer_capacity` is the mailbox bound B of the runtime configuration.
 LatencyEstimate estimate_latency(const Topology& t, const SteadyStateResult& rates,
                                  const ReplicationPlan& plan = {},

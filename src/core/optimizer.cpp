@@ -1,9 +1,26 @@
 #include "core/optimizer.hpp"
 
+#include <algorithm>
 #include <iomanip>
 #include <sstream>
 
 namespace ss {
+
+const char* to_string(Objective objective) {
+  switch (objective) {
+    case Objective::kThroughput: return "throughput";
+    case Objective::kLatency: return "latency";
+    case Objective::kBalanced: return "balanced";
+  }
+  return "?";
+}
+
+std::optional<Objective> parse_objective(std::string_view text) {
+  if (text == "throughput") return Objective::kThroughput;
+  if (text == "latency") return Objective::kLatency;
+  if (text == "balanced") return Objective::kBalanced;
+  return std::nullopt;
+}
 
 Optimizer::Optimizer(Topology topology, std::string label) {
   versions_.push_back(TopologyVersion{std::move(label), std::move(topology), {}});
@@ -44,8 +61,39 @@ std::string Optimizer::report() const {
   return format_analysis(current().topology, analyze(), current().plan);
 }
 
+namespace {
+
+/// Raises the replication of operator `i` by one step, refreshing the key
+/// partition for partitioned-stateful operators.  Returns false when the
+/// operator cannot absorb another replica (source, stateful, or the key
+/// domain does not split any further).
+bool add_replica(const Topology& t, OpIndex i, ReplicationPlan& plan,
+                 std::vector<KeyPartition>& partitions) {
+  const OperatorSpec& op = t.op(i);
+  if (i == t.source() || op.state == StateKind::kStateful) return false;
+  const int next = plan.replicas_of(i) + 1;
+  if (op.state == StateKind::kPartitionedStateful) {
+    if (op.keys.empty()) return false;
+    KeyPartition part = partition_keys(op.keys, next);
+    if (part.replicas <= plan.replicas_of(i)) return false;  // keys exhausted
+    plan.replicas[i] = part.replicas;
+    plan.max_share[i] = part.max_share;
+    partitions[i] = std::move(part);
+  } else {
+    plan.replicas[i] = next;
+    plan.max_share[i] = 0.0;
+  }
+  return true;
+}
+
+}  // namespace
+
 AutoOptimizeResult auto_optimize(const Topology& t, const AutoOptimizeOptions& options) {
   AutoOptimizeResult result;
+  const std::size_t n = t.num_operators();
+  const double slo = options.slo_p99;
+  const bool latency_objective = options.objective == Objective::kLatency;
+  const bool balanced_objective = options.objective == Objective::kBalanced;
 
   // Phase 1: fission (Alg. 2).
   const BottleneckResult fission = eliminate_bottlenecks(t, options.bottleneck);
@@ -54,29 +102,132 @@ AutoOptimizeResult auto_optimize(const Topology& t, const AutoOptimizeOptions& o
   result.analysis = fission.analysis;
   result.additional_replicas = fission.additional_replicas;
   result.reaches_ideal = fission.reaches_ideal;
-  if (!options.enable_fusion) return result;
+
+  // Phase 1b: latency-driven fission overshoot.  Alg. 2 sizes replication
+  // for throughput (n = ceil(rho)), which leaves hot replicas just below
+  // saturation -- long queues.  While the SLO is violated (or always,
+  // under the latency objective, until returns diminish), add the single
+  // replica that cuts the predicted end-to-end p99 the most, never
+  // trading predicted throughput away and respecting the replica budget.
+  result.latency = estimate_latency(t, result.analysis, result.plan,
+                                    options.buffer_capacity);
+  if (slo > 0.0 || latency_objective || balanced_objective) {
+    constexpr int kMaxOvershoot = 64;
+    // kLatency chases 1% tail improvements; kBalanced only takes replicas
+    // that each buy a >= 10% predicted-p99 cut.
+    const double min_rel_gain = latency_objective ? 0.01 : 0.10;
+    for (int round = 0; round < kMaxOvershoot; ++round) {
+      const bool violated = slo > 0.0 && result.latency.sojourn.p99 > slo;
+      if (!violated && !latency_objective && !balanced_objective) break;
+      if (options.bottleneck.max_total_replicas &&
+          result.plan.total_replicas(n) >= *options.bottleneck.max_total_replicas) {
+        break;
+      }
+      double best_p99 = result.latency.sojourn.p99;
+      OpIndex best_op = kInvalidOp;
+      ReplicationPlan best_plan;
+      std::vector<KeyPartition> best_parts;
+      SteadyStateResult best_rates;
+      LatencyEstimate best_est;
+      for (OpIndex i = 0; i < n; ++i) {
+        ReplicationPlan cand_plan = result.plan;
+        std::vector<KeyPartition> cand_parts = result.partitions;
+        if (!add_replica(t, i, cand_plan, cand_parts)) continue;
+        SteadyStateResult cand_rates = steady_state(t, cand_plan);
+        if (cand_rates.throughput() + 1e-9 < result.analysis.throughput()) continue;
+        LatencyEstimate cand_est =
+            estimate_latency(t, cand_rates, cand_plan, options.buffer_capacity);
+        if (cand_est.sojourn.p99 < best_p99) {
+          best_p99 = cand_est.sojourn.p99;
+          best_op = i;
+          best_plan = std::move(cand_plan);
+          best_parts = std::move(cand_parts);
+          best_rates = std::move(cand_rates);
+          best_est = std::move(cand_est);
+        }
+      }
+      if (best_op == kInvalidOp) break;  // no replica improves the tail
+      const double rel_gain =
+          (result.latency.sojourn.p99 - best_p99) /
+          std::max(result.latency.sojourn.p99, 1e-12);
+      // Diminishing returns.  An SLO violation lowers the bar to 1% per
+      // replica (any meaningful cut is worth an actor), but never below:
+      // when the tail floor is the path itself rather than queueing, more
+      // replicas cannot rescue the SLO -- stop and report infeasible
+      // instead of burning the replica budget.
+      if (rel_gain < (violated ? 0.01 : min_rel_gain)) break;
+      result.plan = std::move(best_plan);
+      result.partitions = std::move(best_parts);
+      result.analysis = std::move(best_rates);
+      result.latency = std::move(best_est);
+      ++result.overshoot_replicas;
+    }
+  }
 
   // Phase 2: fusion of what is still sequential and under-utilized.
   // Candidates come from the post-fission rates so utilizations reflect
   // the replicated capacities; a candidate is accepted when it is
   // throughput-safe and none of its members were replicated (fused members
   // must stay sequential, paper §4.2) or already taken by another group.
-  std::vector<bool> taken(t.num_operators(), false);
-  const auto candidates =
-      suggest_fusion_candidates(t, fission.analysis, options.fusion);
-  for (const FusionCandidate& candidate : candidates) {
-    bool eligible = true;
-    for (OpIndex m : candidate.spec.members) {
-      if (taken[m] || result.plan.replicas_of(m) > 1) {
-        eligible = false;
-        break;
+  // With an SLO or the latency objective, each candidate is additionally
+  // re-evaluated on the fused topology: a fusion whose meta-operator
+  // response pushes the predicted end-to-end tail past the SLO (or, under
+  // the latency objective, regresses it) is rejected even when
+  // throughput-safe.
+  if (options.enable_fusion) {
+    const double base_p99 = result.latency.sojourn.p99;
+    std::vector<bool> taken(n, false);
+    const auto candidates =
+        suggest_fusion_candidates(t, result.analysis, options.fusion);
+    for (const FusionCandidate& candidate : candidates) {
+      bool eligible = true;
+      for (OpIndex m : candidate.spec.members) {
+        if (taken[m] || result.plan.replicas_of(m) > 1) {
+          eligible = false;
+          break;
+        }
       }
+      if (!eligible || candidate.introduces_bottleneck) continue;
+      if (slo > 0.0 || latency_objective || balanced_objective) {
+        const FusionResult fused = apply_fusion(t, candidate.spec);
+        ReplicationPlan fused_plan;
+        fused_plan.replicas.assign(fused.topology.num_operators(), 1);
+        fused_plan.max_share.assign(fused.topology.num_operators(), 0.0);
+        for (OpIndex old = 0; old < n; ++old) {
+          const OpIndex now = fused.remap[old];
+          // Members are sequential (checked above), everything else maps
+          // one-to-one, so the max over collisions is exact.
+          fused_plan.replicas[now] =
+              std::max(fused_plan.replicas[now], result.plan.replicas_of(old));
+          fused_plan.max_share[now] = std::max(
+              fused_plan.max_share[now],
+              old < result.plan.max_share.size() ? result.plan.max_share[old] : 0.0);
+        }
+        const SteadyStateResult fused_rates = steady_state(fused.topology, fused_plan);
+        const LatencyEstimate fused_est = estimate_latency(
+            fused.topology, fused_rates, fused_plan, options.buffer_capacity);
+        const double fused_p99 = fused_est.sojourn.p99;
+        const bool pushes_past_slo = slo > 0.0 && fused_p99 > slo && base_p99 <= slo;
+        const bool worsens_breach =
+            slo > 0.0 && base_p99 > slo && fused_p99 > base_p99 * 1.001;
+        const bool regresses_tail =
+            (latency_objective && fused_p99 > base_p99 * 1.01) ||
+            (balanced_objective && fused_p99 > base_p99 * 1.10);
+        if (pushes_past_slo || worsens_breach || regresses_tail) {
+          ++result.fusions_rejected_by_latency;
+          continue;
+        }
+      }
+      for (OpIndex m : candidate.spec.members) taken[m] = true;
+      result.fusions.push_back(candidate.spec);
+      result.actors_saved_by_fusion +=
+          static_cast<int>(candidate.spec.members.size()) - 1;
     }
-    if (!eligible || candidate.introduces_bottleneck) continue;
-    for (OpIndex m : candidate.spec.members) taken[m] = true;
-    result.fusions.push_back(candidate.spec);
-    result.actors_saved_by_fusion += static_cast<int>(candidate.spec.members.size()) - 1;
   }
+
+  result.predicted_mean_latency = result.latency.sojourn_mean;
+  result.predicted_p99 = result.latency.sojourn.p99;
+  result.slo_feasible = slo <= 0.0 || result.predicted_p99 <= slo;
   return result;
 }
 
@@ -118,29 +269,48 @@ ReoptimizeResult reoptimize(const Topology& declared, const Deployment& current,
       source < measured.size() && measured[source].samples >= options.min_samples;
 
   const Topology observed = with_measured_profile(declared, measured, options.min_samples);
-  result.predicted_current = steady_state(observed, current.replication).throughput();
+  const SteadyStateResult current_rates = steady_state(observed, current.replication);
+  result.predicted_current = current_rates.throughput();
+  result.predicted_p99_current =
+      estimate_latency(observed, current_rates, current.replication,
+                       options.optimize.buffer_capacity)
+          .sojourn.p99;
 
   const AutoOptimizeResult optimized = auto_optimize(observed, options.optimize);
   result.next = deployment_of(optimized);
   result.analysis = optimized.analysis;
   result.predicted_next = optimized.analysis.throughput();
+  result.predicted_p99_next = optimized.predicted_p99;
   result.diff = diff_deployments(declared.num_operators(), current, result.next);
   result.gain = result.predicted_current > 0.0
                     ? (result.predicted_next - result.predicted_current) /
                           result.predicted_current
                     : (result.predicted_next > 0.0 ? 1.0 : 0.0);
-  result.beneficial =
-      result.enough_samples && result.diff.any() && result.gain > options.min_gain;
+
+  // SLO check: trust the measured tail when the caller has one, fall back
+  // to the model's prediction for the running deployment otherwise.
+  const double slo = options.optimize.slo_p99;
+  const double current_p99 =
+      options.measured_p99 > 0.0 ? options.measured_p99 : result.predicted_p99_current;
+  result.slo_breached = slo > 0.0 && current_p99 > slo;
+  result.slo_feasible = optimized.slo_feasible;
+  const bool repairs_tail =
+      result.slo_breached &&
+      (result.predicted_p99_next <= slo || result.predicted_p99_next < current_p99 * 0.9);
+  result.beneficial = result.enough_samples && result.diff.any() &&
+                      (result.gain > options.min_gain || repairs_tail);
   return result;
 }
 
 std::string format_analysis(const Topology& t, const SteadyStateResult& rates,
-                            const ReplicationPlan& plan) {
+                            const ReplicationPlan& plan, const LatencyEstimate* latency) {
   std::ostringstream out;
   out << std::fixed;
   out << std::setw(18) << std::left << "operator" << std::right << std::setw(12) << "mu^-1(ms)"
       << std::setw(15) << "delta^-1(ms)" << std::setw(8) << "rho" << std::setw(6) << "n"
-      << std::setw(14) << "state" << '\n';
+      << std::setw(14) << "state";
+  if (latency != nullptr) out << std::setw(12) << "pred W(ms)";
+  out << '\n';
   for (OpIndex i = 0; i < t.num_operators(); ++i) {
     const OperatorSpec& op = t.op(i);
     const OperatorRates& r = rates.rates[i];
@@ -148,11 +318,21 @@ std::string format_analysis(const Topology& t, const SteadyStateResult& rates,
         << std::setw(12) << op.service_time * 1e3 << std::setw(15)
         << (r.departure > 0.0 ? 1e3 / r.departure : 0.0) << std::setw(8) << r.utilization
         << std::setw(6) << plan.replicas_of(i) << std::setw(14) << to_string(op.state);
+    if (latency != nullptr) {
+      out << std::setw(12) << latency->response.at(i) * 1e3;
+      if (latency->congested.at(i)) out << "  <- congested";
+    }
     if (r.was_bottleneck) out << "  <- bottleneck";
     out << '\n';
   }
   out << std::setprecision(1) << "predicted throughput: " << rates.throughput()
       << " tuples/s (restarts: " << rates.restarts << ")\n";
+  if (latency != nullptr) {
+    const LatencyPercentiles& p = latency->sojourn;
+    out << std::setprecision(2) << "predicted latency: mean "
+        << latency->sojourn_mean * 1e3 << " ms, p50 " << p.p50 * 1e3 << " ms, p95 "
+        << p.p95 * 1e3 << " ms, p99 " << p.p99 * 1e3 << " ms\n";
+  }
   return out.str();
 }
 

@@ -8,16 +8,35 @@
 // orchestration and report formatting.
 #pragma once
 
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/bottleneck.hpp"
 #include "core/deployment.hpp"
 #include "core/fusion.hpp"
+#include "core/latency.hpp"
 #include "core/steady_state.hpp"
 #include "core/topology.hpp"
 
 namespace ss {
+
+/// What the automatic pipeline optimizes for.
+///   * kThroughput: the paper's objective -- fission to ceil(rho), fusion
+///     whenever throughput-safe.  An SLO, when set, still acts as a
+///     constraint (extra fission / fusion vetoes to meet it).
+///   * kLatency: minimize the predicted end-to-end p99 -- fission
+///     overshoots ceil(rho) while the tail keeps improving, fusions must
+///     not regress the tail.
+///   * kBalanced: throughput first, but take the cheap tail wins -- fission
+///     keeps overshooting only while one extra replica cuts the predicted
+///     p99 by >= 10%, and fusions may regress the tail by at most 10%.
+enum class Objective { kThroughput, kLatency, kBalanced };
+
+[[nodiscard]] const char* to_string(Objective objective);
+/// Parses "throughput" / "latency" / "balanced"; nullopt on anything else.
+[[nodiscard]] std::optional<Objective> parse_objective(std::string_view text);
 
 /// One prototyped version of the application kept by the tool.
 struct TopologyVersion {
@@ -74,6 +93,15 @@ struct AutoOptimizeOptions {
   FusionSuggestOptions fusion{};
   /// Skip the fusion phase entirely.
   bool enable_fusion = true;
+  /// End-to-end p99 latency SLO in seconds; 0 disables the constraint.
+  /// When set, fission may overshoot ceil(rho) to pull queueing delay
+  /// down, and fusions predicted to push the tail past the SLO are
+  /// rejected even when throughput-safe.
+  double slo_p99 = 0.0;
+  Objective objective = Objective::kThroughput;
+  /// Mailbox bound the latency model assumes (match the runtime's
+  /// EngineConfig::mailbox_capacity / the simulator's buffer_capacity).
+  std::size_t buffer_capacity = 64;
 };
 
 struct AutoOptimizeResult {
@@ -83,6 +111,20 @@ struct AutoOptimizeResult {
   /// Analysis of the deployment (replication capacities; fusion does not
   /// change predicted rates when every accepted fusion is safe).
   SteadyStateResult analysis;
+  /// Latency estimate of the final plan on the unfused topology, and its
+  /// headline figures (tuple sojourn, source emission to sink departure).
+  LatencyEstimate latency;
+  double predicted_mean_latency = 0.0;
+  double predicted_p99 = 0.0;
+  /// True when no SLO was requested or the final plan is predicted to meet
+  /// it; false = the SLO is infeasible for this topology (report, don't
+  /// silently drop the constraint).
+  bool slo_feasible = true;
+  /// Replicas added beyond the Alg. 2 ceil(rho) plan to chase the SLO /
+  /// latency objective.
+  int overshoot_replicas = 0;
+  /// Throughput-safe fusion candidates vetoed by the latency gate.
+  int fusions_rejected_by_latency = 0;
   /// Actors of the sequential topology minus actors after optimization
   /// (replicas and emitter/collector pairs added, fused members merged).
   int actors_saved_by_fusion = 0;
@@ -133,6 +175,10 @@ struct ReoptimizeOptions {
   /// Minimum source items observed in the window for the measurement to be
   /// trusted at all.
   std::uint64_t min_samples = 100;
+  /// Measured end-to-end p99 of the running deployment over the sampling
+  /// window, seconds; 0 = not measured (the SLO check then falls back to
+  /// the predicted p99 of the running deployment).
+  double measured_p99 = 0.0;
 };
 
 struct ReoptimizeResult {
@@ -145,9 +191,20 @@ struct ReoptimizeResult {
   double predicted_current = 0.0;  ///< Alg. 1 throughput of the running deployment
   double predicted_next = 0.0;     ///< Alg. 1 throughput of `next`
   double gain = 0.0;               ///< (next - current) / current
+  /// Predicted end-to-end p99 of the running deployment / of `next`, both
+  /// on the measured topology (options.optimize.buffer_capacity bound).
+  double predicted_p99_current = 0.0;
+  double predicted_p99_next = 0.0;
+  /// SLO set and the running deployment's p99 (measured when available,
+  /// predicted otherwise) exceeds it.
+  bool slo_breached = false;
+  /// No SLO, or `next` is predicted to meet it.
+  bool slo_feasible = true;
   bool enough_samples = false;
   /// True when the measurement is trusted, something actually changes and
-  /// the predicted gain clears the hysteresis threshold.
+  /// either the predicted throughput gain clears the hysteresis threshold
+  /// or the SLO is breached and `next` is predicted to repair (or at
+  /// least clearly improve) the tail.
   bool beneficial = false;
 };
 
@@ -159,8 +216,11 @@ ReoptimizeResult reoptimize(const Topology& declared, const Deployment& current,
                             const ReoptimizeOptions& options = {});
 
 /// Formats an analysis as the paper's Tables 1-2 do (mu^-1, delta^-1, rho per
-/// operator in milliseconds plus throughput in tuples/s).
+/// operator in milliseconds plus throughput in tuples/s).  With `latency`
+/// the table grows a predicted response-time column and a predicted
+/// end-to-end mean/p99 footer.
 std::string format_analysis(const Topology& t, const SteadyStateResult& rates,
-                            const ReplicationPlan& plan = {});
+                            const ReplicationPlan& plan = {},
+                            const LatencyEstimate* latency = nullptr);
 
 }  // namespace ss

@@ -28,6 +28,17 @@ const char* backend_name(ExecutionBackend backend) {
 Measured measure(const Topology& t, const runtime::Deployment& deployment,
                  const MeasureOptions& options) {
   Measured result;
+  {
+    // Predicted side (every backend): estimate_latency on the deployed
+    // plan — the figures the measured percentiles should land near.
+    const SteadyStateResult rates = steady_state(t, deployment.replication);
+    const LatencyEstimate est =
+        estimate_latency(t, rates, deployment.replication, options.buffer_capacity);
+    result.predicted_mean_latency = est.sojourn_mean;
+    result.predicted_p50 = est.sojourn.p50;
+    result.predicted_p95 = est.sojourn.p95;
+    result.predicted_p99 = est.sojourn.p99;
+  }
   if (options.engine == ExecutionBackend::kSim) {
     require(!options.elastic,
             "--elastic needs a live runtime: use --engine=threads or --engine=pool");
@@ -66,6 +77,8 @@ Measured measure(const Topology& t, const runtime::Deployment& deployment,
   config.elastic = options.elastic;
   config.reconfig_period = options.reconfig_period;
   config.reconfig_threshold = options.reconfig_threshold;
+  config.slo_p99 = options.slo_p99;
+  config.objective = options.objective;
   config.metrics_path = options.metrics_path;
   config.metrics_period = options.metrics_period;
   runtime::Engine engine(t, deployment, runtime::synthetic_factory(), config);

@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "core/optimizer.hpp"
 #include "core/steady_state.hpp"
 #include "core/topology.hpp"
 #include "runtime/plan.hpp"
@@ -58,6 +59,13 @@ struct MeasureOptions {
   bool elastic = false;
   double reconfig_period = 0.5;
   double reconfig_threshold = 0.10;
+  /// End-to-end p99 latency SLO in seconds (0 = none).  Under an elastic
+  /// runtime backend the controller re-deploys on measured SLO breach;
+  /// every backend reports predicted-vs-measured latency either way.
+  double slo_p99 = 0.0;
+  /// Objective of the controller's re-optimization ("throughput",
+  /// "latency" or "balanced"; see ss::Objective).
+  Objective objective = Objective::kThroughput;
   /// When non-empty (kThreads/kPool only), the engine's MetricsExporter
   /// appends one JSON metrics snapshot per line to this file every
   /// `metrics_period` seconds.  measure() rejects it under kSim.
@@ -83,6 +91,13 @@ struct Measured {
   double latency_p50 = 0.0;
   double latency_p95 = 0.0;
   double latency_p99 = 0.0;
+  /// Model-predicted end-to-end tuple latency of the same deployment
+  /// (estimate_latency on the final plan) — filled by every backend so
+  /// predicted-vs-measured tail comparisons need no extra plumbing.
+  double predicted_mean_latency = 0.0;
+  double predicted_p50 = 0.0;
+  double predicted_p95 = 0.0;
+  double predicted_p99 = 0.0;
   /// Elastic re-deployment outcome (1 epoch / 0 reconfigurations when the
   /// controller is off or never moved).
   int epochs = 1;

@@ -17,6 +17,7 @@ ReconfigController::~ReconfigController() { stop(); }
 
 void ReconfigController::start() {
   prev_ = engine_.sample();
+  e2e_prev_ = engine_.stats_board().end_to_end_snapshot();
   thread_ = std::thread([this] { loop(); });
 }
 
@@ -73,10 +74,18 @@ ReconfigDecision ReconfigController::evaluate_window() {
   }
   prev_ = now;
 
+  // Windowed measured end-to-end p99 (the SLO's quantity): delta of the
+  // latency histogram over the same window as the counter deltas above.
+  const LatencySummary window_latency = engine_.stats_board().end_to_end_since(e2e_prev_);
+  e2e_prev_ = engine_.stats_board().end_to_end_snapshot();
+
   ReoptimizeOptions reopt;
   reopt.optimize = options_.optimize;
   reopt.min_gain = options_.threshold;
   reopt.min_samples = options_.min_samples;
+  if (window_latency.count >= options_.min_samples) {
+    reopt.measured_p99 = window_latency.p99;
+  }
   const Deployment current = engine_.deployment();
   const ReoptimizeResult result = reoptimize(topology, current, measured, reopt);
 
@@ -87,11 +96,16 @@ ReconfigDecision ReconfigController::evaluate_window() {
   decision.predicted_next = result.predicted_next;
   decision.gain = result.gain;
   decision.ops_changed = result.diff.ops_changed;
+  decision.measured_p99 = reopt.measured_p99;
+  decision.predicted_p99_next = result.predicted_p99_next;
+  decision.slo_breached = result.slo_breached;
 
   if (!result.enough_samples) {
     decision.reason = "insufficient samples in window";
   } else if (!result.diff.any()) {
-    decision.reason = "deployment already optimal";
+    decision.reason = result.slo_breached
+                          ? "slo breached but no better deployment found (infeasible)"
+                          : "deployment already optimal";
   } else if (!result.beneficial) {
     std::ostringstream reason;
     reason << "predicted gain " << result.gain * 100.0 << "% below threshold "
@@ -105,9 +119,15 @@ ReconfigDecision ReconfigController::evaluate_window() {
     std::ostringstream reason;
     reason << "redeployed: " << result.diff.ops_changed << " operator(s) changed, predicted "
            << decision.predicted_current << " -> " << decision.predicted_next << " tuples/s";
+    if (result.slo_breached) {
+      reason << " (slo breach: p99 " << decision.measured_p99 * 1e3 << " ms > "
+             << options_.optimize.slo_p99 * 1e3 << " ms, predicted repair to "
+             << result.predicted_p99_next * 1e3 << " ms)";
+    }
     decision.reason = reason.str();
     // The fence window is not a steady-state sample; restart the window.
     prev_ = engine_.sample();
+    e2e_prev_ = engine_.stats_board().end_to_end_snapshot();
   } else {
     decision.reason = "engine declined (run stopping or source finished)";
   }

@@ -10,6 +10,12 @@
 // the predicted throughput gain of the recommended deployment clears a
 // hysteresis threshold it asks the engine to switch epochs — fence, drain,
 // migrate partitioned key state, resume — without losing a tuple.
+//
+// With a latency SLO (ReconfigOptions::optimize.slo_p99) the loop is also
+// latency-closed: the windowed measured end-to-end p99 from the StatsBoard
+// feeds reoptimize(), and a breach triggers a re-deployment toward a plan
+// predicted to repair the tail even when the throughput gain alone would
+// not justify the fence.
 #pragma once
 
 #include <atomic>
@@ -52,6 +58,12 @@ struct ReconfigDecision {
   double gain = 0.0;                  ///< predicted relative gain
   int ops_changed = 0;                ///< size of the deployment diff
   bool redeployed = false;            ///< the switch-over was executed
+  /// Measured end-to-end p99 of the window, seconds (0 = no samples).
+  double measured_p99 = 0.0;
+  /// Predicted end-to-end p99 of the recommended plan.
+  double predicted_p99_next = 0.0;
+  /// An SLO is set and the running deployment's p99 exceeded it.
+  bool slo_breached = false;
   std::string reason;                 ///< why (not) — human-readable
 };
 
@@ -89,6 +101,9 @@ class ReconfigController {
   std::condition_variable stop_cv_;
   std::vector<ReconfigDecision> decisions_;
   CounterSnapshot prev_;  ///< counters at the start of the current window
+  /// End-to-end histogram base at the start of the current window: the
+  /// windowed measured p99 the SLO check feeds into reoptimize().
+  HistogramSnapshot e2e_prev_;
 };
 
 }  // namespace ss::runtime

@@ -19,6 +19,30 @@ namespace ss::runtime {
 
 namespace {
 
+/// Model predictions for one deployment: Alg. 1 rates + estimate_latency
+/// on the replication plan, flattened into the report-friendly struct.
+/// Fusion does not change the predicted rates (only safe fusions deploy),
+/// so the unfused topology with the plan is the right model input.
+PredictedLatency make_predictions(const Topology& t, const Deployment& deployment,
+                                  std::size_t buffer_capacity) {
+  PredictedLatency pred;
+  const SteadyStateResult rates = steady_state(t, deployment.replication);
+  const LatencyEstimate est =
+      estimate_latency(t, rates, deployment.replication, buffer_capacity);
+  pred.valid = true;
+  pred.op_response = est.response;
+  pred.op_p99.reserve(t.num_operators());
+  for (OpIndex i = 0; i < t.num_operators(); ++i) {
+    pred.op_p99.push_back(est.response_percentiles(i).p99);
+  }
+  pred.mean = est.sojourn_mean;
+  pred.p50 = est.sojourn.p50;
+  pred.p95 = est.sojourn.p95;
+  pred.p99 = est.sojourn.p99;
+  pred.throughput = rates.throughput();
+  return pred;
+}
+
 /// Times one slice of operator logic as busy-ns, with blocked-on-send time
 /// charged inside the slice subtracted out (busy is pure service; blocked
 /// is accounted separately by the mailbox through the pinned context).
@@ -201,6 +225,7 @@ Engine::Engine(const Topology& t, Deployment deployment, AppFactory factory,
 
   ActorGraph graph = ActorGraph::build(t, deployment);
   epoch_ = build_epoch(std::move(deployment), std::move(graph), nullptr, nullptr);
+  predicted_ = make_predictions(topology_, epoch_->deployment, config_.mailbox_capacity);
 }
 
 Engine::~Engine() {
@@ -1015,6 +1040,7 @@ bool Engine::reconfigure(const Deployment& next) {
     }
     sched_counters_prior_ += epoch_->scheduler->counters();
     epoch_ = std::move(fresh);
+    predicted_ = make_predictions(topology_, epoch_->deployment, config_.mailbox_capacity);
     const int e = epoch_counter_.fetch_add(1, std::memory_order_relaxed) + 1;
     trace::instant("epoch", "fence", "epoch", e);
   }
@@ -1046,6 +1072,11 @@ Deployment Engine::deployment() const {
 }
 
 CounterSnapshot Engine::sample() const { return board_.snapshot(run_seconds()); }
+
+PredictedLatency Engine::predicted_latency() const {
+  std::lock_guard lock(epoch_mutex_);
+  return predicted_;
+}
 
 void Engine::fill_queue_stats(CounterSnapshot& snap) const {
   const std::size_t n = topology_.num_operators();
@@ -1091,6 +1122,7 @@ MetricsSample Engine::metrics_sample() const {
       if (st != nullptr) s.dropped += st->mailbox.dropped();
     }
   }
+  s.predicted = predicted_;
   return s;
 }
 
@@ -1102,6 +1134,11 @@ void Engine::start_execution() {
   // metrics runs export it every period — both need metering from the
   // start, not only inside the steady-state window.
   if (config_.elastic || !config_.metrics_path.empty()) telemetry_.set_enabled(true);
+  // An SLO-constrained elastic run meters end-to-end latency from the
+  // first tuple: the controller must see a breach before the steady-state
+  // window would have opened.  run_for's open_window later re-bases the
+  // report so the final stats still cover only the window.
+  if (config_.elastic && config_.slo_p99 > 0.0) board_.set_latency_enabled(true);
   if (!config_.metrics_path.empty()) {
     // Construct before the scheduler starts: an unopenable path throws
     // here, before any actor thread exists.
@@ -1129,6 +1166,9 @@ void Engine::start_execution() {
     ReconfigOptions options;
     options.period = config_.reconfig_period;
     options.threshold = config_.reconfig_threshold;
+    options.optimize.slo_p99 = config_.slo_p99;
+    options.optimize.objective = config_.objective;
+    options.optimize.buffer_capacity = config_.mailbox_capacity;
     controller_ = std::make_unique<ReconfigController>(*this, options);
     controller_->start();
   }
@@ -1192,6 +1232,7 @@ RunStats Engine::run_for(std::chrono::duration<double> duration) {
   stats.reconfigurations = stats.epochs - 1;
   stats.keys_migrated = keys_migrated_.load(std::memory_order_relaxed);
   stats.scheduler = scheduler_counters();
+  stats.predicted = predicted_latency();
   return stats;
 }
 
@@ -1220,6 +1261,7 @@ RunStats Engine::run_until_complete(std::chrono::duration<double> max_duration) 
   stats.reconfigurations = stats.epochs - 1;
   stats.keys_migrated = keys_migrated_.load(std::memory_order_relaxed);
   stats.scheduler = scheduler_counters();
+  stats.predicted = predicted_latency();
   return stats;
 }
 

@@ -79,6 +79,16 @@ struct EngineConfig {
   bool elastic = false;
   double reconfig_period = 0.5;
   double reconfig_threshold = 0.10;
+  /// End-to-end p99 latency SLO in seconds (0 = none).  With `elastic`
+  /// set, the controller meters end-to-end latency from the start of the
+  /// run, feeds the measured windowed p99 into reoptimize(), and
+  /// re-deploys on SLO breach even when the throughput gain alone would
+  /// not justify a fence (the repair path adds replicas past ceil(rho) to
+  /// drain queueing delay).
+  double slo_p99 = 0.0;
+  /// Objective handed to the controller's re-optimization (and recorded in
+  /// the predictions attached to RunStats / metrics lines).
+  Objective objective = Objective::kThroughput;
   /// When non-empty, a MetricsExporter appends one JSON metrics snapshot
   /// per line to this file every `metrics_period` seconds (rates, measured
   /// ρ, blocked fraction, queue depths, latency percentiles, scheduler
@@ -136,6 +146,12 @@ class Engine final : public EngineCore {
   /// busy/blocked telemetry whenever metering is on (elastic runs and
   /// metrics-exporting runs keep it on end to end).
   [[nodiscard]] CounterSnapshot sample() const;
+  /// The shared measurement board — the controller's latency hook
+  /// (end_to_end_snapshot / end_to_end_since for windowed p99).
+  [[nodiscard]] const StatsBoard& stats_board() const { return board_; }
+  /// Model predictions (Alg. 1 + estimate_latency) for the deployment of
+  /// the current epoch; recomputed at every switch-over.
+  [[nodiscard]] PredictedLatency predicted_latency() const;
   /// Everything the metrics exporter writes per line, cumulative.
   [[nodiscard]] MetricsSample metrics_sample() const;
   /// Work-stealing / batching counters summed over every epoch so far
@@ -253,6 +269,9 @@ class Engine final : public EngineCore {
   std::vector<EdgeRouter> routers_;  // per logical operator (epoch-invariant)
   Rng master_rng_;                   ///< split per actor at epoch build
   std::unique_ptr<EpochState> epoch_;
+  /// Predictions for epoch_'s deployment (epoch_mutex_; see
+  /// predicted_latency()).
+  PredictedLatency predicted_;
   std::unique_ptr<ReconfigController> controller_;
   /// JSONL metrics writer (EngineConfig::metrics_path); declared after
   /// epoch_ so its stop() (final sample) runs before the epoch dies.

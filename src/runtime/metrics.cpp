@@ -90,6 +90,54 @@ LatencySummary LatencyHistogram::summary() const {
   return s;
 }
 
+HistogramSnapshot LatencyHistogram::snapshot() const {
+  HistogramSnapshot snap;
+  snap.buckets.reserve(buckets_.size());
+  for (const auto& b : buckets_) {
+    snap.buckets.push_back(b.load(std::memory_order_relaxed));
+  }
+  snap.count = count_.load(std::memory_order_relaxed);
+  snap.sum_nanos = sum_nanos_.load(std::memory_order_relaxed);
+  return snap;
+}
+
+LatencySummary LatencyHistogram::summary_since(const HistogramSnapshot& base) const {
+  const auto base_bucket = [&base](std::size_t b) -> std::uint64_t {
+    return b < base.buckets.size() ? base.buckets[b] : 0;
+  };
+  // Delta bucket counts; clamp at 0 so a base from a *different* histogram
+  // (caller bug) degrades gracefully instead of wrapping.
+  std::vector<std::uint64_t> delta(buckets_.size());
+  std::uint64_t total = 0;
+  for (std::size_t b = 0; b < buckets_.size(); ++b) {
+    const std::uint64_t now = buckets_[b].load(std::memory_order_relaxed);
+    const std::uint64_t was = base_bucket(b);
+    delta[b] = now > was ? now - was : 0;
+    total += delta[b];
+  }
+  LatencySummary s;
+  s.count = total;
+  if (total == 0) return s;
+  const std::uint64_t sum_now = sum_nanos_.load(std::memory_order_relaxed);
+  const std::uint64_t sum_delta = sum_now > base.sum_nanos ? sum_now - base.sum_nanos : 0;
+  s.mean = static_cast<double>(sum_delta) * 1e-9 / static_cast<double>(total);
+  const auto quantile_of = [&](double q) {
+    const auto rank = static_cast<std::uint64_t>(
+        std::min<double>(static_cast<double>(total),
+                         std::max(1.0, std::ceil(q * static_cast<double>(total)))));
+    std::uint64_t seen = 0;
+    for (std::size_t b = 0; b < delta.size(); ++b) {
+      seen += delta[b];
+      if (seen >= rank) return bucket_midpoint_seconds(b);
+    }
+    return bucket_midpoint_seconds(delta.size() - 1);
+  };
+  s.p50 = quantile_of(0.50);
+  s.p95 = quantile_of(0.95);
+  s.p99 = quantile_of(0.99);
+  return s;
+}
+
 // ------------------------------------------------------------------ StatsBoard
 
 CounterSnapshot StatsBoard::snapshot(double at_seconds) const {
@@ -118,6 +166,13 @@ CounterSnapshot StatsBoard::snapshot(double at_seconds) const {
 CounterSnapshot StatsBoard::open_window(double at_seconds) {
   set_latency_enabled(true);
   if (telemetry_ != nullptr) telemetry_->set_enabled(true);
+  // Freeze the histogram bases: latency metered before the window (SLO
+  // controller runs keep the gate open from the start) stays out of the
+  // steady-state report.
+  window_base_.clear();
+  window_base_.reserve(latency_.size());
+  for (const LatencyHistogram& h : latency_) window_base_.push_back(h.snapshot());
+  e2e_base_ = end_to_end_.snapshot();
   return snapshot(at_seconds);
 }
 
@@ -131,8 +186,13 @@ CounterSnapshot StatsBoard::close_window(double at_seconds) {
 LatencyReport StatsBoard::latency_report() const {
   LatencyReport report;
   report.per_op.reserve(latency_.size());
-  for (const LatencyHistogram& h : latency_) report.per_op.push_back(h.summary());
-  report.end_to_end = end_to_end_.summary();
+  const bool windowed = window_base_.size() == latency_.size();
+  for (std::size_t i = 0; i < latency_.size(); ++i) {
+    report.per_op.push_back(windowed ? latency_[i].summary_since(window_base_[i])
+                                     : latency_[i].summary());
+  }
+  report.end_to_end =
+      windowed ? end_to_end_.summary_since(e2e_base_) : end_to_end_.summary();
   return report;
 }
 
@@ -188,11 +248,19 @@ std::string format_stats(const Topology& t, const RunStats& stats) {
     if (s.count == 0) return out << std::setw(10) << "-";
     return out << std::setw(10) << value * 1e3;
   };
+  const PredictedLatency& pred = stats.predicted;
+  const bool predicted = pred.valid && pred.op_response.size() == t.num_operators() &&
+                         pred.op_p99.size() == t.num_operators();
   out << std::fixed << std::setprecision(1);
   out << std::setw(18) << std::left << "operator" << std::right << std::setw(12) << "processed"
       << std::setw(12) << "emitted" << std::setw(14) << "arrival/s" << std::setw(14)
       << "departure/s" << std::setw(10) << "p50 ms" << std::setw(10) << "p95 ms"
       << std::setw(10) << "p99 ms";
+  if (predicted) {
+    // Model-side response time of the deployed plan (estimate_latency),
+    // printed right of the measured percentiles it should explain.
+    out << std::setw(10) << "pred ms" << std::setw(10) << "pred p99";
+  }
   if (stats.has_telemetry) {
     // Measured counterparts of Algorithm 1's per-operator quantities:
     // utilization ρ, blocked-on-send fraction, queue high-water mark.
@@ -208,15 +276,20 @@ std::string format_stats(const Topology& t, const RunStats& stats) {
     ms(op.latency, op.latency.p50);
     ms(op.latency, op.latency.p95);
     ms(op.latency, op.latency.p99);
+    if (predicted) {
+      out << std::setw(10) << pred.op_response[i] * 1e3 << std::setw(10)
+          << pred.op_p99[i] * 1e3;
+    }
     if (stats.has_telemetry) {
       out << std::setw(8) << op.busy_fraction << std::setw(8) << op.blocked_fraction
           << std::setw(7) << op.queue_peak;
     }
     out << std::setprecision(1) << '\n';
   }
-  out << "measured throughput: " << stats.source_rate << " tuples/s over "
-      << stats.measured_seconds << " s (total run " << stats.total_seconds << " s, dropped "
-      << stats.dropped << ")\n";
+  out << "measured throughput: " << stats.source_rate << " tuples/s";
+  if (predicted) out << " (predicted " << pred.throughput << ")";
+  out << " over " << stats.measured_seconds << " s (total run " << stats.total_seconds
+      << " s, dropped " << stats.dropped << ")\n";
   out << std::setprecision(2);
   if (stats.end_to_end.count > 0) {
     out << "end-to-end latency: p50 " << stats.end_to_end.p50 * 1e3 << " ms / p95 "
@@ -225,6 +298,11 @@ std::string format_stats(const Topology& t, const RunStats& stats) {
         << stats.end_to_end.count << " samples)\n";
   } else {
     out << "end-to-end latency: no samples in the measurement window\n";
+  }
+  if (predicted) {
+    out << "predicted end-to-end: p50 " << pred.p50 * 1e3 << " ms / p95 "
+        << pred.p95 * 1e3 << " ms / p99 " << pred.p99 * 1e3 << " ms (mean "
+        << pred.mean * 1e3 << " ms)\n";
   }
   if (stats.reconfigurations > 0) {
     out << "elastic: " << stats.epochs << " epochs, " << stats.reconfigurations

@@ -76,6 +76,17 @@ struct LatencySummary {
   double p99 = 0.0;
 };
 
+/// Frozen bucket counts of a LatencyHistogram at one instant.  Two uses:
+/// windowed percentiles (summary_since subtracts a base snapshot, giving
+/// the distribution of samples recorded *after* it — the SLO controller's
+/// per-window measured p99) and the StatsBoard's steady-state window
+/// (latency metered before the window opens never pollutes the report).
+struct HistogramSnapshot {
+  std::vector<std::uint64_t> buckets;
+  std::uint64_t count = 0;
+  std::uint64_t sum_nanos = 0;
+};
+
 /// Lock-free log-bucketed latency histogram (HDR style): 32 linear
 /// sub-buckets per power-of-two decade of microseconds, i.e. ~3% value
 /// resolution from 1 us to ~67 s.  record() is wait-free (one relaxed
@@ -100,6 +111,14 @@ class LatencyHistogram {
 
   /// count/mean/p50/p95/p99 in one pass.
   [[nodiscard]] LatencySummary summary() const;
+
+  /// Freezes the current bucket counts (relaxed loads; concurrent records
+  /// may or may not be included, like every other reader here).
+  [[nodiscard]] HistogramSnapshot snapshot() const;
+
+  /// Summary of the samples recorded since `base` was snapshot from this
+  /// histogram.  An empty/default base yields summary().
+  [[nodiscard]] LatencySummary summary_since(const HistogramSnapshot& base) const;
 
  private:
   static constexpr int kSubBits = 5;  ///< 32 sub-buckets: ~3% resolution
@@ -141,6 +160,21 @@ struct LatencyReport {
   LatencySummary end_to_end;
 };
 
+/// Model-side latency predictions riding next to the measurements
+/// (estimate_latency + Alg. 1 on the deployed plan; the engine computes
+/// them at epoch build so every report can print predicted-vs-measured
+/// without re-deriving the model).  `valid` gates all columns.
+struct PredictedLatency {
+  bool valid = false;
+  std::vector<double> op_response;  ///< per-op predicted mean response (s)
+  std::vector<double> op_p99;       ///< per-op predicted p99 response (s)
+  double mean = 0.0;                ///< predicted end-to-end tuple sojourn
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  double throughput = 0.0;  ///< Alg. 1 predicted throughput (tuples/s)
+};
+
 /// Result of one engine run.
 struct RunStats {
   std::vector<OperatorStats> ops;
@@ -162,6 +196,9 @@ struct RunStats {
   /// Work-stealing / batching counters of the pooled scheduler (summed
   /// over epochs; all zero under thread-per-actor).
   SchedulerCounters scheduler;
+  /// Model predictions for the deployment the run ended on (the engine
+  /// fills them; valid == false when the producer attached none).
+  PredictedLatency predicted;
 };
 
 class TelemetryBoard;  // telemetry.hpp; attached to a StatsBoard below
@@ -197,12 +234,24 @@ class StatsBoard {
   [[nodiscard]] TelemetryBoard* telemetry() const { return telemetry_; }
 
   /// Opens the steady-state measurement window: enables the latency gate
-  /// AND telemetry metering, then snapshots the counters — one helper so
-  /// the ρ window and the rate window can never disagree (they used to be
-  /// toggled independently by run_for).
+  /// AND telemetry metering, snapshots the latency histograms as the
+  /// window base (samples metered before the window — e.g. by an SLO
+  /// controller running from the start — stay out of the report), then
+  /// snapshots the counters — one helper so the ρ window and the rate
+  /// window can never disagree (they used to be toggled independently by
+  /// run_for).
   CounterSnapshot open_window(double at_seconds);
   /// Snapshots the counters, then closes both gates.
   CounterSnapshot close_window(double at_seconds);
+
+  /// Windowed end-to-end latency for online consumers (the SLO path of
+  /// the ReconfigController): freeze a base, measure, summarize the delta.
+  [[nodiscard]] HistogramSnapshot end_to_end_snapshot() const {
+    return end_to_end_.snapshot();
+  }
+  [[nodiscard]] LatencySummary end_to_end_since(const HistogramSnapshot& base) const {
+    return end_to_end_.summary_since(base);
+  }
 
   [[nodiscard]] CounterSnapshot snapshot(double at_seconds) const;
   [[nodiscard]] LatencyReport latency_report() const;
@@ -216,6 +265,9 @@ class StatsBoard {
   LatencyHistogram end_to_end_;
   std::atomic<bool> latency_enabled_{false};
   TelemetryBoard* telemetry_ = nullptr;
+  /// Histogram bases frozen at open_window (empty before the first open).
+  std::vector<HistogramSnapshot> window_base_;
+  HistogramSnapshot e2e_base_;
 };
 
 /// Derives steady-state rates from two snapshots; `latency` (when given)
@@ -230,6 +282,8 @@ RunStats make_run_stats(const Topology& t, const CounterSnapshot& begin,
                         const std::vector<int>* replicas = nullptr);
 
 /// Human-readable table of measured rates (mirrors core's format_analysis).
+/// When stats.predicted is valid, every latency column gets its model
+/// prediction next to it and a predicted end-to-end footer is appended.
 std::string format_stats(const Topology& t, const RunStats& stats);
 
 }  // namespace ss::runtime

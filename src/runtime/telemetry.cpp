@@ -166,6 +166,11 @@ void MetricsExporter::write_sample(const MetricsSample& s) {
       out << ",\"p50_ms\":" << l.p50 * 1e3 << ",\"p95_ms\":" << l.p95 * 1e3
           << ",\"p99_ms\":" << l.p99 * 1e3;
     }
+    if (s.predicted.valid && i < s.predicted.op_response.size() &&
+        i < s.predicted.op_p99.size()) {
+      out << ",\"pred_ms\":" << s.predicted.op_response[i] * 1e3
+          << ",\"pred_p99_ms\":" << s.predicted.op_p99[i] * 1e3;
+    }
     out << "}";
   }
   out << "],\"e2e\":{\"count\":" << s.latency.end_to_end.count;
@@ -173,6 +178,12 @@ void MetricsExporter::write_sample(const MetricsSample& s) {
     out << ",\"p50_ms\":" << s.latency.end_to_end.p50 * 1e3
         << ",\"p95_ms\":" << s.latency.end_to_end.p95 * 1e3
         << ",\"p99_ms\":" << s.latency.end_to_end.p99 * 1e3;
+  }
+  if (s.predicted.valid) {
+    out << ",\"pred_p50_ms\":" << s.predicted.p50 * 1e3
+        << ",\"pred_p95_ms\":" << s.predicted.p95 * 1e3
+        << ",\"pred_p99_ms\":" << s.predicted.p99 * 1e3
+        << ",\"pred_mean_ms\":" << s.predicted.mean * 1e3;
   }
   out << "},\"sched\":{\"steals\":" << s.scheduler.steals
       << ",\"parks\":" << s.scheduler.parks << ",\"wakeups\":" << s.scheduler.wakeups

@@ -131,14 +131,18 @@ struct MetricsSample {
   SchedulerCounters scheduler;
   std::uint64_t dropped = 0;
   int epoch = 1;
+  /// Model predictions of the current epoch's deployment — written next to
+  /// the measured percentiles (per-op pred_ms/pred_p99_ms, e2e pred_*).
+  PredictedLatency predicted;
 };
 
 /// Background JSONL metrics writer: calls `sampler` every `period`
 /// seconds and appends one JSON object per line to `path` — fields: t,
 /// epoch, dropped, per-op {name, processed, emitted, proc_rate, emit_rate,
-/// rho, blocked, queue, queue_peak, p50_ms, p95_ms, p99_ms}, e2e
-/// percentiles and sched counters.  Rates and fractions are deltas over
-/// the sampling period; percentiles are cumulative.  A final sample is
+/// rho, blocked, queue, queue_peak, p50_ms, p95_ms, p99_ms, pred_ms,
+/// pred_p99_ms}, e2e measured + predicted percentiles and sched counters.
+/// Rates and fractions are deltas over the sampling period; percentiles
+/// are cumulative.  A final sample is
 /// written on stop().  Throws ss::Error from the constructor when `path`
 /// cannot be opened.
 class MetricsExporter {

@@ -85,6 +85,150 @@ TEST(AutoOptimize, RespectsReplicaBudget) {
   EXPECT_LE(result.plan.total_replicas(4), 5);
 }
 
+// ---------------------------------------------------------------------------
+// Latency-aware optimization: objectives, the SLO constraint, and the
+// measured-tail route of reoptimize().
+
+TEST(AutoOptimize, LatencyObjectiveOvershootsWithoutTradingThroughput) {
+  AutoOptimizeOptions throughput;
+  throughput.enable_fusion = false;
+  AutoOptimizeOptions latency = throughput;
+  latency.objective = Objective::kLatency;
+
+  const AutoOptimizeResult base = auto_optimize(mixed_pipeline(), throughput);
+  const AutoOptimizeResult tail = auto_optimize(mixed_pipeline(), latency);
+  EXPECT_EQ(base.overshoot_replicas, 0);
+  EXPECT_GT(tail.overshoot_replicas, 0);
+  EXPECT_LT(tail.predicted_p99, base.predicted_p99);
+  // Overshoot buys latency with actors, never with throughput.
+  EXPECT_GE(tail.analysis.throughput(), base.analysis.throughput() * (1.0 - 1e-9));
+}
+
+TEST(AutoOptimize, BalancedObjectiveSitsBetweenThroughputAndLatency) {
+  AutoOptimizeOptions options;
+  options.enable_fusion = false;
+  const AutoOptimizeResult base = auto_optimize(mixed_pipeline(), options);
+  options.objective = Objective::kBalanced;
+  const AutoOptimizeResult balanced = auto_optimize(mixed_pipeline(), options);
+  options.objective = Objective::kLatency;
+  const AutoOptimizeResult tail = auto_optimize(mixed_pipeline(), options);
+
+  EXPECT_LE(balanced.predicted_p99, base.predicted_p99 * (1.0 + 1e-9));
+  EXPECT_LE(tail.predicted_p99, balanced.predicted_p99 * (1.0 + 1e-9));
+  EXPECT_LE(balanced.overshoot_replicas, tail.overshoot_replicas);
+}
+
+TEST(AutoOptimize, SloForcesOvershootAndReportsFeasibility) {
+  AutoOptimizeOptions options;
+  options.enable_fusion = false;
+  const AutoOptimizeResult base = auto_optimize(mixed_pipeline(), options);
+
+  // An SLO below the pure-fission tail but well above the bare service
+  // path: reachable by widening the near-saturated bottleneck.
+  options.slo_p99 = base.predicted_p99 * 0.5;
+  const AutoOptimizeResult constrained = auto_optimize(mixed_pipeline(), options);
+  EXPECT_TRUE(constrained.slo_feasible);
+  EXPECT_GT(constrained.overshoot_replicas, 0);
+  EXPECT_LE(constrained.predicted_p99, options.slo_p99);
+
+  // A sub-service-time SLO is impossible; best effort is reported as such.
+  options.slo_p99 = 1e-5;
+  const AutoOptimizeResult impossible = auto_optimize(mixed_pipeline(), options);
+  EXPECT_FALSE(impossible.slo_feasible);
+}
+
+TEST(AutoOptimize, FusionVetoedWhenItWouldBreachTheSlo) {
+  // The idle pair fuses into a rho ~ 0.9 meta-operator: throughput-safe,
+  // but its queueing tail is steep.  Without an SLO the fusion is applied;
+  // with one that the unfused plan meets, the latency gate rejects it.
+  Topology::Builder b;
+  b.add_operator("src", 1.0 * kMs);
+  b.add_operator("heavy", 2.6 * kMs);
+  b.add_operator("tail_a", 0.45 * kMs);
+  b.add_operator("tail_b", 0.45 * kMs);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(2, 3);
+  const Topology t = b.build();
+
+  const AutoOptimizeResult unconstrained = auto_optimize(t);
+  ASSERT_FALSE(unconstrained.fusions.empty());
+  EXPECT_EQ(unconstrained.fusions_rejected_by_latency, 0);
+
+  AutoOptimizeOptions options;
+  options.slo_p99 = 0.025;
+  const AutoOptimizeResult gated = auto_optimize(t, options);
+  EXPECT_TRUE(gated.slo_feasible);
+  EXPECT_GE(gated.fusions_rejected_by_latency, 1);
+  EXPECT_TRUE(gated.fusions.empty());
+}
+
+TEST(Reoptimize, MeasuredTailBreachJustifiesRedeployWithoutThroughputGain) {
+  // rho = 0.9 at the worker: Alg. 1 sees nothing to gain (the source is
+  // the limit), so only the measured p99 can justify a move.
+  Topology::Builder b;
+  b.add_operator("src", 1.0 * kMs);
+  b.add_operator("worker", 0.9 * kMs);
+  b.add_operator("sink", 0.05 * kMs);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  const Topology t = b.build();
+
+  std::vector<MeasuredOperator> measured(t.num_operators());
+  for (auto& m : measured) {
+    m.samples = 1000;
+    m.processed_rate = 1000.0;
+    m.emitted_rate = 1000.0;
+  }
+
+  ReoptimizeOptions options;
+  options.optimize.enable_fusion = false;
+  options.optimize.slo_p99 = 0.005;
+  options.measured_p99 = 0.050;  // the runtime's windowed p99: breached
+  const ReoptimizeResult r = reoptimize(t, runtime::Deployment{}, measured, options);
+  EXPECT_TRUE(r.slo_breached);
+  EXPECT_LT(r.gain, 0.05);  // no throughput story at all
+  ASSERT_TRUE(r.diff.any());
+  EXPECT_LE(r.predicted_p99_next, options.optimize.slo_p99);
+  EXPECT_TRUE(r.slo_feasible);
+  EXPECT_TRUE(r.beneficial) << "repairs_tail must make the move beneficial";
+
+  // Control: same measurements without an SLO stay put.
+  ReoptimizeOptions no_slo;
+  no_slo.optimize.enable_fusion = false;
+  const ReoptimizeResult idle = reoptimize(t, runtime::Deployment{}, measured, no_slo);
+  EXPECT_FALSE(idle.slo_breached);
+  EXPECT_FALSE(idle.beneficial);
+}
+
+TEST(Reoptimize, PredictedTailStandsInWhenNoMeasurementArrives) {
+  // Without a measured p99 the SLO check falls back to the model's view of
+  // the *running* deployment -- the controller can act before the first
+  // full latency window.
+  Topology::Builder b;
+  b.add_operator("src", 1.0 * kMs);
+  b.add_operator("worker", 0.9 * kMs);
+  b.add_operator("sink", 0.05 * kMs);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  const Topology t = b.build();
+
+  std::vector<MeasuredOperator> measured(t.num_operators());
+  for (auto& m : measured) {
+    m.samples = 1000;
+    m.processed_rate = 1000.0;
+    m.emitted_rate = 1000.0;
+  }
+
+  ReoptimizeOptions options;
+  options.optimize.enable_fusion = false;
+  options.optimize.slo_p99 = 0.005;
+  const ReoptimizeResult r = reoptimize(t, runtime::Deployment{}, measured, options);
+  EXPECT_GT(r.predicted_p99_current, options.optimize.slo_p99);
+  EXPECT_TRUE(r.slo_breached);
+  EXPECT_TRUE(r.beneficial);
+}
+
 TEST(AutoOptimize, DeploymentExecutesOnTheEngine) {
   Topology t = mixed_pipeline();
   const AutoOptimizeResult result = auto_optimize(t);

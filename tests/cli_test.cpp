@@ -348,6 +348,65 @@ TEST_F(CliTest, TracedRunWritesChromeJsonAndMetricsJsonl) {
   EXPECT_GE(lines, 2u);  // >= 0.5s run at 0.1s period, plus the final sample
 }
 
+// ---------------------------------------------------------------------------
+// Latency-aware optimization flags (--slo-p99, --objective).
+
+TEST_F(CliTest, AutoAcceptsSloAndObjectiveFlags) {
+  auto [code, out, err] = run({"auto", "--slo-p99=50", "--objective=latency"});
+  EXPECT_EQ(code, 0) << err;
+  EXPECT_NE(out.find("slo: p99"), std::string::npos) << out;
+  EXPECT_NE(out.find("-> met"), std::string::npos) << out;
+  // The latency objective overshoots ceil(rho) on this bottlenecked
+  // pipeline (slow at rho 2.5 is left near saturation by pure fission).
+  EXPECT_NE(out.find("latency overshoot:"), std::string::npos) << out;
+}
+
+TEST_F(CliTest, AutoReportsInfeasibleSlo) {
+  // 0.1 ms is below the pipeline's bare service time: no deployment can
+  // meet it and the CLI must say so rather than pretend.
+  auto [code, out, err] = run({"auto", "--slo-p99=0.1"});
+  EXPECT_EQ(code, 0) << err;
+  EXPECT_NE(out.find("INFEASIBLE (best effort deployed)"), std::string::npos) << out;
+}
+
+TEST_F(CliTest, RejectsNonPositiveSlo) {
+  auto [zcode, zout, zerr] = run({"auto", "--slo-p99=0"});
+  EXPECT_EQ(zcode, 1);
+  EXPECT_NE(zerr.find("--slo-p99 must be positive"), std::string::npos) << zerr;
+
+  auto [ncode, nout, nerr] = run({"run", "--seconds=0.1", "--slo-p99=-5"});
+  EXPECT_EQ(ncode, 1);
+  EXPECT_NE(nerr.find("--slo-p99 must be positive"), std::string::npos) << nerr;
+}
+
+TEST_F(CliTest, RejectsUnknownObjective) {
+  auto [code, out, err] = run({"auto", "--objective=speed"});
+  EXPECT_EQ(code, 1);
+  EXPECT_NE(err.find("--objective must be"), std::string::npos) << err;
+
+  auto [scode, sout, serr] = run({"simulate", "--duration=1", "--objective=speed"});
+  EXPECT_EQ(scode, 1);
+  EXPECT_NE(serr.find("--objective must be"), std::string::npos) << serr;
+}
+
+TEST_F(CliTest, SimulatePrintsPredictedLatencyNextToMeasured) {
+  auto [code, out, err] = run({"simulate", "--duration=40", "--slo-p99=100"});
+  EXPECT_EQ(code, 0) << err;
+  EXPECT_NE(out.find("pred (ms)"), std::string::npos) << out;
+  EXPECT_NE(out.find("pred p99"), std::string::npos) << out;
+  EXPECT_NE(out.find("predicted end-to-end latency:"), std::string::npos) << out;
+  EXPECT_NE(out.find("slo: measured p99"), std::string::npos) << out;
+}
+
+TEST_F(CliTest, RunPrintsPredictedLatencyNextToMeasured) {
+  auto [code, out, err] = run({"run", "--seconds=0.4", "--slo-p99=100"});
+  EXPECT_EQ(code, 0) << err;
+  EXPECT_NE(out.find("pred ms"), std::string::npos) << out;
+  EXPECT_NE(out.find("pred p99"), std::string::npos) << out;
+  EXPECT_NE(out.find("predicted end-to-end:"), std::string::npos) << out;
+  EXPECT_NE(out.find("slo: measured p99"), std::string::npos) << out;
+}
+
 TEST_F(CliTest, GenerateProducesLoadableXml) {
   const std::string out_path = ::testing::TempDir() + "/cli_random.xml";
   auto [code, out, err] = run({"generate", "--seed=9", "--out=" + out_path}, false);

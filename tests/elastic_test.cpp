@@ -140,6 +140,57 @@ TEST(Elastic, PostReconfigThroughputMatchesPrediction) {
   EXPECT_EQ(stats.dropped, 0u);
 }
 
+TEST(Elastic, SloBreachRedeploysAndLandsUnderTheSlo) {
+  // The SLO path of the controller, isolated from the throughput path: the
+  // gain threshold is set absurdly high (500%), so the only way this
+  // under-provisioned run may legally re-deploy is reoptimize()'s
+  // repairs_tail route -- the *measured* windowed p99 (a full mailbox at
+  // the worker: ~64 x 1.6 ms of standing queue) breaching config.slo_p99.
+  Topology::Builder b;
+  b.add_operator("src", 1.0e-3);
+  b.add_operator("worker", 1.6e-3);
+  b.add_operator("sink", 0.05e-3);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  const Topology t = b.build();
+
+  EngineConfig cfg;
+  cfg.elastic = true;
+  cfg.reconfig_period = 0.25;
+  cfg.reconfig_threshold = 5.0;  // rate path disabled: nothing gains 500%
+  cfg.slo_p99 = 0.025;           // 25 ms; the standing queue sits near 100 ms
+  cfg.scheduler = SchedulerKind::kPooled;
+  cfg.workers = 4;
+  Engine engine(t, Deployment{}, synthetic_factory(), cfg);
+  const RunStats stats = engine.run_for(duration<double>(4.0));
+
+  ASSERT_NE(engine.controller(), nullptr);
+  const ReconfigDecision* slo_redeploy = nullptr;
+  for (const ReconfigDecision& d : engine.controller()->decisions()) {
+    if (d.redeployed && d.slo_breached) {
+      slo_redeploy = &d;
+      break;
+    }
+  }
+  ASSERT_NE(slo_redeploy, nullptr) << "controller never re-deployed on the SLO breach";
+  EXPECT_GT(slo_redeploy->measured_p99, cfg.slo_p99);
+  EXPECT_NE(slo_redeploy->reason.find("slo breach"), std::string::npos)
+      << slo_redeploy->reason;
+  // The recommended plan must predict a repaired tail (that is what
+  // justified the move), and the predictions surface on the decision.
+  EXPECT_GT(slo_redeploy->predicted_p99_next, 0.0);
+  EXPECT_LT(slo_redeploy->predicted_p99_next, slo_redeploy->measured_p99);
+
+  // The steady-state window opens after the switch-over: the measured tail
+  // must land under the SLO, and the switch must not cost a tuple.
+  EXPECT_EQ(stats.dropped, 0u);
+  ASSERT_GT(stats.end_to_end.count, 0u);
+  EXPECT_LE(stats.end_to_end.p99, cfg.slo_p99);
+  // Predictions ride along in RunStats for every epoch.
+  EXPECT_TRUE(stats.predicted.valid);
+  EXPECT_GT(stats.predicted.p99, 0.0);
+}
+
 // ---------------------------------------------------------------------------
 // Key-state migration
 

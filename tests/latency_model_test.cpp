@@ -1,0 +1,215 @@
+// Validation of the percentile latency model against DES virtual time.
+//
+// Seed-pinned Algorithm-5 sweep: for each testbed topology we run Alg. 2
+// (fission), predict the end-to-end tuple latency (mean and p99) with
+// estimate_latency(), then measure the same quantity in the discrete-event
+// simulator (source emission to sink departure, virtual time) under the
+// same plan, buffer bound and exponential service law.  The relative
+// errors are pinned by a tightening-only golden baseline:
+// tests/golden/latency_model.txt records the per-topology errors at the
+// time the model landed, and the test fails if any error regresses past
+// the recorded value (+ a small float-stability slack).  Improvements are
+// landed by regenerating the file (LATENCY_MODEL_WRITE_GOLDEN=1).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/bottleneck.hpp"
+#include "core/latency.hpp"
+#include "gen/workload.hpp"
+#include "sim/des.hpp"
+
+#ifndef SS_GOLDEN_DIR
+#define SS_GOLDEN_DIR "tests/golden"
+#endif
+
+namespace ss {
+namespace {
+
+constexpr std::uint64_t kTestbedSeed = 2018;
+constexpr int kTopologies = 25;
+constexpr std::size_t kBuffer = 64;
+constexpr double kSimSeconds = 50.0;
+
+// Slack added on top of each golden error bound: the sweep is fully
+// deterministic for a given libm, but cross-platform math differences can
+// move a percentile by a bucket.
+constexpr double kGoldenSlack = 0.03;
+
+struct SweepPoint {
+  int index = 0;
+  double pred_mean = 0.0;
+  double meas_mean = 0.0;
+  double mean_err = 0.0;
+  double pred_p99 = 0.0;
+  double meas_p99 = 0.0;
+  double p99_err = 0.0;
+  std::uint64_t samples = 0;
+};
+
+double rel_err(double predicted, double measured) {
+  if (measured <= 0.0) return predicted <= 0.0 ? 0.0 : 1e9;
+  return std::abs(predicted - measured) / measured;
+}
+
+std::vector<SweepPoint> run_sweep(int count, double sim_seconds) {
+  const auto testbed = make_testbed(kTestbedSeed, count);
+  std::vector<SweepPoint> points;
+  points.reserve(testbed.size());
+  for (std::size_t i = 0; i < testbed.size(); ++i) {
+    const Topology& t = testbed[i];
+    const BottleneckResult opt = eliminate_bottlenecks(t);
+    const LatencyEstimate est = estimate_latency(t, opt.analysis, opt.plan, kBuffer);
+
+    sim::SimOptions so;
+    so.duration = sim_seconds;
+    so.buffer_capacity = kBuffer;
+    so.seed = 77 + i;
+    so.replication = opt.plan;
+    so.partitions = opt.partitions;
+    sim::SimResult sr = sim::simulate(t, so);
+    if (sr.end_to_end.count < 2000) {
+      // Heavily filtering topologies emit few results per simulated
+      // second; extend the virtual-time horizon until the percentile
+      // estimate has a usable sample count.
+      const double factor =
+          std::min(3000.0 / std::max<double>(sr.end_to_end.count, 1.0), 80.0);
+      so.duration = sim_seconds * factor;
+      sr = sim::simulate(t, so);
+    }
+
+    if (std::getenv("LATENCY_MODEL_DEBUG") != nullptr) {
+      std::printf("== topology %zu: ideal=%d unresolved=%zu\n", i, opt.reaches_ideal ? 1 : 0,
+                  opt.unresolved.size());
+      for (OpIndex j = 0; j < t.num_operators(); ++j) {
+        std::printf(
+            "   %-16s n=%d pmax=%.4f rho=%.3f cong=%d pred_W=%8.3fms sim_W=%8.3fms "
+            "simQ=%6.1f blk=%.2f sel_in=%.0f lam=%8.1f\n",
+            t.op(j).name.c_str(), opt.plan.replicas_of(j), opt.plan.max_share_of(j),
+            opt.analysis.rates[j].utilization, est.congested[j] ? 1 : 0,
+            est.response[j] * 1e3, sr.ops[j].mean_sojourn * 1e3, sr.ops[j].mean_queue,
+            sr.ops[j].blocked_fraction, t.op(j).selectivity.input,
+            opt.analysis.rates[j].arrival);
+      }
+    }
+
+    SweepPoint p;
+    p.index = static_cast<int>(i);
+    p.pred_mean = est.sojourn_mean;
+    p.meas_mean = sr.end_to_end.mean;
+    p.mean_err = rel_err(p.pred_mean, p.meas_mean);
+    p.pred_p99 = est.sojourn.p99;
+    p.meas_p99 = sr.end_to_end.p99;
+    p.p99_err = rel_err(p.pred_p99, p.meas_p99);
+    p.samples = sr.end_to_end.count;
+    points.push_back(p);
+  }
+  return points;
+}
+
+std::string golden_path() { return std::string(SS_GOLDEN_DIR) + "/latency_model.txt"; }
+
+struct GoldenEntry {
+  double mean_err = 0.0;
+  double p99_err = 0.0;
+};
+
+std::vector<GoldenEntry> load_golden() {
+  std::ifstream in(golden_path());
+  std::vector<GoldenEntry> entries;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    int index = 0;
+    GoldenEntry e;
+    if (ls >> index >> e.mean_err >> e.p99_err) entries.push_back(e);
+  }
+  return entries;
+}
+
+void write_golden(const std::vector<SweepPoint>& points) {
+  std::ofstream out(golden_path());
+  out << "# Tightening-only baseline of the latency-model validation sweep.\n"
+      << "# Columns: topology-index mean-rel-err p99-rel-err (fractions).\n"
+      << "# Regenerate with LATENCY_MODEL_WRITE_GOLDEN=1 ./latency_model_test\n"
+      << "# only when the model improves; the test fails on regression.\n";
+  char buf[96];
+  for (const SweepPoint& p : points) {
+    std::snprintf(buf, sizeof(buf), "%d %.4f %.4f\n", p.index, p.mean_err, p.p99_err);
+    out << buf;
+  }
+}
+
+void print_table(const std::vector<SweepPoint>& points) {
+  std::printf("  idx  pred_mean  meas_mean  err%%   pred_p99  meas_p99  err%%   samples\n");
+  for (const SweepPoint& p : points) {
+    std::printf("  %3d  %8.2fms %8.2fms %5.1f  %7.2fms %7.2fms %5.1f  %7llu\n", p.index,
+                p.pred_mean * 1e3, p.meas_mean * 1e3, p.mean_err * 100.0, p.pred_p99 * 1e3,
+                p.meas_p99 * 1e3, p.p99_err * 100.0,
+                static_cast<unsigned long long>(p.samples));
+  }
+}
+
+TEST(LatencyModel, SweepAgainstGolden) {
+  const std::vector<SweepPoint> points = run_sweep(kTopologies, kSimSeconds);
+  ASSERT_EQ(points.size(), static_cast<std::size_t>(kTopologies));
+  print_table(points);
+
+  for (const SweepPoint& p : points) {
+    EXPECT_GT(p.samples, 1000u) << "topology " << p.index << " produced too few tuples";
+  }
+
+  // Acceptance bar: predicted p99 within 25% of the DES for >= 90% of the
+  // testbed (the tail is what the SLO constraint optimizes against), and
+  // the mean within 25% for >= 84% (a handful of near-critical topologies
+  // sit just past the bar; the golden baseline below pins each one from
+  // regressing).
+  int p99_within = 0;
+  int mean_within = 0;
+  for (const SweepPoint& p : points) {
+    if (p.p99_err <= 0.25) ++p99_within;
+    if (p.mean_err <= 0.25) ++mean_within;
+  }
+  EXPECT_GE(p99_within * 10, kTopologies * 9)
+      << "predicted p99 within 25% on only " << p99_within << "/" << kTopologies;
+  EXPECT_GE(mean_within * 25, kTopologies * 21)
+      << "predicted mean within 25% on only " << mean_within << "/" << kTopologies;
+
+  if (std::getenv("LATENCY_MODEL_WRITE_GOLDEN") != nullptr) {
+    write_golden(points);
+    GTEST_SKIP() << "golden baseline rewritten at " << golden_path();
+  }
+
+  // Tightening-only per-topology regression gate.
+  const std::vector<GoldenEntry> golden = load_golden();
+  ASSERT_EQ(golden.size(), points.size())
+      << "golden baseline missing or stale: regenerate with "
+         "LATENCY_MODEL_WRITE_GOLDEN=1 ./latency_model_test";
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    EXPECT_LE(points[i].mean_err, golden[i].mean_err + kGoldenSlack)
+        << "mean error regressed on topology " << i;
+    EXPECT_LE(points[i].p99_err, golden[i].p99_err + kGoldenSlack)
+        << "p99 error regressed on topology " << i;
+  }
+}
+
+// Short subset exercised under TSAN in CI (the sweep itself is
+// single-threaded; this guards the model/DES pairing, not concurrency).
+TEST(LatencyModelTsan, SmokeSweep) {
+  const std::vector<SweepPoint> points = run_sweep(3, 10.0);
+  ASSERT_EQ(points.size(), 3u);
+  for (const SweepPoint& p : points) {
+    EXPECT_GT(p.samples, 100u);
+    EXPECT_LT(p.p99_err, 0.5) << "topology " << p.index;
+  }
+}
+
+}  // namespace
+}  // namespace ss

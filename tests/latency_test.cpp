@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "core/topology.hpp"
 
 namespace ss {
@@ -40,7 +42,10 @@ TEST(Latency, ResponseGrowsWithUtilization) {
 }
 
 TEST(Latency, SaturatedOperatorCappedByBuffer) {
-  // Bottleneck: rho = 1 after correction -> W = (B+1)/mu, not infinity.
+  // Bottleneck overdriven 4x: the buffer pins toward full and the response
+  // is the standing queue drained at the served rate -- bounded by the
+  // half-full critical queue below and the full buffer above, never
+  // infinity.
   Topology::Builder b;
   b.add_operator("src", 1.0 * kMs);
   b.add_operator("slow", 4.0 * kMs);
@@ -48,7 +53,10 @@ TEST(Latency, SaturatedOperatorCappedByBuffer) {
   Topology t = b.build();
   SteadyStateResult rates = steady_state(t);
   LatencyEstimate est = estimate_latency(t, rates, {}, /*buffer_capacity=*/16);
-  EXPECT_NEAR(est.response[1], 17.0 * 4.0 * kMs, 1e-9);
+  EXPECT_TRUE(est.congested[1]);
+  const double drain = 4.0 * kMs;  // per-item drain interval at mu
+  EXPECT_GE(est.response[1], 0.5 * 17.0 * drain);
+  EXPECT_LE(est.response[1], 17.0 * drain);
 }
 
 TEST(Latency, ReplicasReduceResponse) {
@@ -62,9 +70,52 @@ TEST(Latency, ReplicasReduceResponse) {
   plan.replicas = {1, 4};
   SteadyStateResult rates = steady_state(t, plan);
   LatencyEstimate est = estimate_latency(t, rates, plan);
-  // Per replica: lambda = 250/s, mu = 500/s -> W = 4 ms (vs saturation
-  // without fission).
-  EXPECT_NEAR(est.response[1], 4.0 * kMs, 1e-9);
+  // Per replica: lambda = 250/s, mu = 500/s.  Round-robin fission
+  // regularizes arrivals (ca^2 = 1/4), so the Allen-Cunneen wait is
+  // (1/4 + 1)/2 * 2 ms = 1.25 ms on top of the 2 ms service: 3.25 ms
+  // (vs saturation without fission, and vs 4 ms for an independent M/M/1).
+  EXPECT_NEAR(est.response[1], 3.25 * kMs, 1e-9);
+  EXPECT_NEAR(est.response_var[1], 3.25 * kMs * 3.25 * kMs, 1e-12);
+}
+
+TEST(Latency, PercentilesExactForSingleExponentialHop) {
+  // M/M/1 response is exponential: p99 = ln(100) * W.  The moment-matched
+  // gamma (shape 1) + Wilson-Hilferty quantile should land within 1%.
+  Topology::Builder b;
+  b.add_operator("src", 2.0 * kMs);
+  b.add_operator("q", 1.0 * kMs);
+  b.add_edge(0, 1);
+  Topology t = b.build();
+  LatencyEstimate est = estimate_latency(t, steady_state(t));
+  const double w = est.response[1];
+  EXPECT_NEAR(est.sojourn_mean, w, 1e-12);
+  EXPECT_NEAR(est.sojourn.p50, std::log(2.0) * w, 0.02 * w);
+  EXPECT_NEAR(est.sojourn.p99, std::log(100.0) * w, 0.02 * std::log(100.0) * w);
+}
+
+TEST(Latency, CongestionPropagatesUpstreamOfBottleneck) {
+  // src -> mid -> slow: slow saturates, so mid's buffer is also full under
+  // BAS even though mid's own utilization is low.
+  Topology::Builder b;
+  b.add_operator("src", 1.0 * kMs);
+  b.add_operator("mid", 0.5 * kMs);
+  b.add_operator("slow", 4.0 * kMs);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  Topology t = b.build();
+  SteadyStateResult rates = steady_state(t);
+  LatencyEstimate est = estimate_latency(t, rates, {}, /*buffer_capacity=*/16);
+  EXPECT_TRUE(est.congested[2]);
+  EXPECT_TRUE(est.congested[1]);
+  EXPECT_FALSE(est.congested[0]);
+  // mid holds a standing queue drained at the throttled throughput
+  // (250/s), not at its own mu (2000/s): far above its open-queue
+  // response, bounded by the full buffer.
+  const double drain = 1.0 / rates.rates[1].arrival;
+  EXPECT_GE(est.response[1], 0.5 * 17.0 * drain);
+  EXPECT_LE(est.response[1], 17.0 * drain);
+  // Standing-queue drain tail: variance well below the exponential mean^2.
+  EXPECT_LT(est.response_var[1], est.response[1] * est.response[1] / 2.0);
 }
 
 TEST(Latency, PathWeightedEndToEnd) {

@@ -3,8 +3,11 @@
 // transformations, and cross-checks between independent code paths.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "core/bottleneck.hpp"
 #include "core/fusion.hpp"
+#include "core/latency.hpp"
 #include "core/paths.hpp"
 #include "core/steady_state.hpp"
 #include "gen/workload.hpp"
@@ -135,6 +138,112 @@ TEST_P(ModelProperties, ThroughputBoundedByEveryCut) {
     if (coeff[i] <= 0.0) continue;
     EXPECT_LE(rates.source_rate, t.op(i).service_rate() / coeff[i] * (1.0 + 1e-6))
         << t.op(i).name;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Latency-model laws (core/latency).
+
+TEST_P(ModelProperties, AddingAReplicaNeverRaisesPredictedLatency) {
+  // Fixed-lambda counterfactual: estimate_latency(t, rates, plan) answers
+  // "same arrivals, different replication", so widening any stateless
+  // operator by one replica must not raise its predicted response nor the
+  // end-to-end figures (lower per-replica load, smoother arrivals).
+  Topology t = random(8);
+  const BottleneckResult base = eliminate_bottlenecks(t);
+  const LatencyEstimate before = estimate_latency(t, base.analysis, base.plan);
+  for (OpIndex i = 0; i < t.num_operators(); ++i) {
+    if (i == t.source()) continue;
+    if (t.op(i).state != StateKind::kStateless) continue;
+    ReplicationPlan widened = base.plan;
+    if (widened.replicas.empty()) widened.replicas.assign(t.num_operators(), 1);
+    ++widened.replicas[i];
+    const LatencyEstimate after = estimate_latency(t, base.analysis, widened);
+    EXPECT_LE(after.response[i], before.response[i] * (1.0 + 1e-6))
+        << "widening " << t.op(i).name << " raised its own response";
+    EXPECT_LE(after.sojourn_mean, before.sojourn_mean * (1.0 + 1e-6))
+        << "widening " << t.op(i).name << " raised the end-to-end mean";
+    // p99 comes from bisection on the mixture CDF: allow its resolution.
+    EXPECT_LE(after.sojourn.p99, before.sojourn.p99 * (1.0 + 1e-4))
+        << "widening " << t.op(i).name << " raised the end-to-end p99";
+  }
+}
+
+TEST_P(ModelProperties, RaisingTheLoadNeverLowersPredictedLatency) {
+  // Push the same topology toward saturation by speeding the source up:
+  // every predicted latency figure must be monotone non-decreasing in the
+  // offered load (queues only grow).
+  Topology t = random(9);
+  double previous_mean = 0.0;
+  double previous_p99 = 0.0;
+  for (const double slowdown : {4.0, 2.0, 1.4, 1.0, 0.8}) {
+    Topology::Builder b;
+    for (OpIndex j = 0; j < t.num_operators(); ++j) {
+      OperatorSpec spec = t.op(j);
+      if (j == t.source()) spec.service_time *= slowdown;
+      b.add_operator(std::move(spec));
+    }
+    for (const Edge& e : t.edges()) b.add_edge(e.from, e.to, e.probability);
+    const Topology loaded = b.build();
+    const SteadyStateResult rates = steady_state(loaded);
+    const LatencyEstimate est = estimate_latency(loaded, rates);
+    EXPECT_GE(est.sojourn_mean, previous_mean * (1.0 - 1e-6))
+        << "source slowdown " << slowdown << " lowered the mean";
+    EXPECT_GE(est.sojourn.p99, previous_p99 * (1.0 - 1e-6))
+        << "source slowdown " << slowdown << " lowered the p99";
+    previous_mean = est.sojourn_mean;
+    previous_p99 = est.sojourn.p99;
+  }
+}
+
+TEST_P(ModelProperties, FusedResponseBoundedByItsMembers) {
+  // Consistency of the fusion rewrite with the latency model.  The fused
+  // meta-operator serves the whole member path per entering item, so:
+  //   * its predicted response is at least every member's response
+  //     weighted by the member's conditional reach probability (a branch
+  //     visited 10% of the time contributes 10% of its cost);
+  //   * its *service time* never exceeds the member service times summed
+  //     along the path (fusion adds no work); and
+  //   * its response exceeds the *summed member responses* only through
+  //     the concentrated queue -- member utilizations pile onto one
+  //     station, and queueing delay is superadditive in utilization (the
+  //     very effect the optimizer's fusion latency gate rejects on).
+  Topology t = random(10);
+  const SteadyStateResult rates = steady_state(t);
+  const LatencyEstimate before = estimate_latency(t, rates);
+  for (const FusionCandidate& candidate : suggest_fusion_candidates(t, rates, {})) {
+    const FusionResult fused = apply_fusion(t, candidate.spec);
+    const SteadyStateResult after_rates = steady_state(fused.topology);
+    const LatencyEstimate after = estimate_latency(fused.topology, after_rates);
+    double entry_arrival = 0.0;
+    for (OpIndex m : candidate.spec.members) {
+      entry_arrival = std::max(entry_arrival, rates.rates[m].arrival);
+    }
+    if (entry_arrival <= 0.0) continue;
+    double weighted_max = 0.0;
+    double sum_responses = 0.0;
+    double sum_service = 0.0;
+    double max_rho = 0.0;
+    for (OpIndex m : candidate.spec.members) {
+      const double reach = rates.rates[m].arrival / entry_arrival;
+      weighted_max = std::max(weighted_max, before.response[m] * reach);
+      sum_responses += before.response[m];
+      sum_service += t.op(m).service_time;
+      max_rho = std::max(max_rho, rates.rates[m].utilization);
+    }
+    const char* seed_name = t.op(candidate.spec.members.front()).name.c_str();
+    const double fused_response = after.response[fused.fused_index];
+    const double fused_service = fused.topology.op(fused.fused_index).service_time;
+    EXPECT_GE(fused_response, weighted_max * (1.0 - 1e-6))
+        << "fusion seeded at " << seed_name;
+    EXPECT_LE(fused_service, sum_service * (1.0 + 1e-6))
+        << "fusion seeded at " << seed_name << " invented work";
+    if (fused_response > sum_responses * (1.0 + 1e-6)) {
+      EXPECT_GT(after_rates.rates[fused.fused_index].utilization,
+                max_rho * (1.0 - 1e-6))
+          << "fusion seeded at " << seed_name
+          << ": response above the member sum without a hotter queue";
+    }
   }
 }
 

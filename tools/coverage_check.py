@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Gate line coverage of an lcov tracefile.
+
+Reads an lcov .info file, computes line coverage over the source files
+matching --path-prefix (after normalization), prints a per-file table and
+fails (exit 1) when the aggregate falls below --min-percent.
+
+Usage:
+  python3 tools/coverage_check.py coverage.info --path-prefix=src/core/ \
+      --min-percent=90
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def parse_tracefile(path: str) -> dict[str, tuple[int, int]]:
+    """Returns {source_file: (covered_lines, instrumented_lines)}."""
+    per_file: dict[str, tuple[int, int]] = {}
+    current = None
+    covered = 0
+    total = 0
+    with open(path, encoding="utf-8") as handle:
+        for raw in handle:
+            line = raw.strip()
+            if line.startswith("SF:"):
+                current = line[3:]
+                covered = 0
+                total = 0
+            elif line.startswith("DA:") and current is not None:
+                # DA:<line>,<hit count>[,...]
+                parts = line[3:].split(",")
+                total += 1
+                if int(parts[1]) > 0:
+                    covered += 1
+            elif line == "end_of_record" and current is not None:
+                old = per_file.get(current, (0, 0))
+                per_file[current] = (old[0] + covered, old[1] + total)
+                current = None
+    return per_file
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("tracefile", help="lcov .info tracefile")
+    parser.add_argument("--path-prefix", default="src/core/",
+                        help="only count files whose path contains this")
+    parser.add_argument("--min-percent", type=float, required=True,
+                        help="fail when aggregate line coverage drops below")
+    args = parser.parse_args()
+
+    per_file = parse_tracefile(args.tracefile)
+    covered = 0
+    total = 0
+    rows = []
+    for source, (hit, lines) in sorted(per_file.items()):
+        if args.path_prefix not in source:
+            continue
+        covered += hit
+        total += lines
+        pct = 100.0 * hit / lines if lines else 100.0
+        rows.append((source, hit, lines, pct))
+
+    if not rows:
+        print(f"error: no files matching '{args.path_prefix}' in "
+              f"{args.tracefile}", file=sys.stderr)
+        return 1
+
+    for source, hit, lines, pct in rows:
+        print(f"{pct:6.1f}%  {hit:5d}/{lines:<5d}  {source}")
+    aggregate = 100.0 * covered / total
+    print(f"\n{args.path_prefix} line coverage: {aggregate:.2f}% "
+          f"({covered}/{total} lines), floor {args.min_percent:.2f}%")
+    if aggregate < args.min_percent:
+        print(f"FAIL: coverage dropped below the recorded floor "
+              f"({aggregate:.2f}% < {args.min_percent:.2f}%)", file=sys.stderr)
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
