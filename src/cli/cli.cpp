@@ -18,8 +18,10 @@
 #include "harness/experiment.hpp"
 #include "harness/profiler.hpp"
 #include "harness/table.hpp"
+#include "core/joint.hpp"
 #include "ops/registry.hpp"
 #include "runtime/engine.hpp"
+#include "runtime/tenants.hpp"
 #include "runtime/trace.hpp"
 #include "sim/des.hpp"
 #include "xmlio/topology_xml.hpp"
@@ -69,6 +71,20 @@ commands:
                                      (open in Perfetto), --metrics-out appends
                                      one JSON metrics snapshot per line every
                                      --metrics-period seconds
+  run --app A.xml --app B.xml [--workers=K] [--batch=N] [--seconds=S]
+      [--optimize] [--budget=N] [--weights=1,2,...] [--elastic]
+      [--reconfig-period=S] [--reconfig-threshold=R] [--slo-p99=MS]
+      [--objective=NAME] [--metrics-out=FILE]
+                                     multi-tenant: every --app topology runs as
+                                     a tenant of one shared worker pool;
+                                     --optimize splits the --budget global
+                                     replica budget across tenants jointly
+                                     (water-filling by weighted marginal gain,
+                                     SLO-breached tenants first), --elastic
+                                     keeps re-balancing the live tenants from
+                                     measured rates, --weights sets the CPU
+                                     share per tenant, --metrics-out writes one
+                                     JSONL file per tenant (FILE.<tenant>)
   codegen <file> [--max-replicas=N] [--out=FILE] [--run-seconds=S]
                                      generate a C++ program for the deployment
   whatif <file> --set op=ms[,op=ms...] [--replicas=op=n,...]
@@ -445,7 +461,147 @@ int cmd_simulate(const Args& args, std::ostream& out) {
   return cmd_execute(args, out, harness::ExecutionBackend::kSim);
 }
 
+/// `run --app a.xml --app b.xml`: every topology becomes a tenant of one
+/// shared SchedulerHost; --optimize splits the global --budget jointly and
+/// --elastic keeps re-balancing the live tenants from measured rates.
+int cmd_run_multi(const Args& args, std::ostream& out) {
+  const std::vector<std::string> paths = args.get_all("app");
+  const double slo_p99 = parse_slo_flag(args);
+  const Objective objective = parse_objective_flag(args);
+  const double seconds = args.get_double("seconds", 5.0);
+  require(seconds > 0.0, "--seconds must be positive");
+  require(!args.has("workers") || args.get_int("workers", 0) > 0,
+          "--workers must be a positive integer");
+  require(!args.has("batch") || args.get_int("batch", 0) > 0,
+          "--batch must be a positive integer");
+  require(!args.has("budget") || args.get_int("budget", 0) > 0,
+          "--budget must be a positive integer (global replica budget)");
+  const int budget = static_cast<int>(args.get_int("budget", 0));
+
+  std::vector<double> weights(paths.size(), 1.0);
+  if (args.has("weights")) {
+    std::istringstream in(args.get("weights"));
+    std::string token;
+    std::size_t i = 0;
+    while (std::getline(in, token, ',')) {
+      require(i < paths.size(), "--weights: more weights than --app topologies");
+      weights[i] = std::stod(token);
+      require(weights[i] > 0.0, "--weights: weights must be positive");
+      ++i;
+    }
+    require(i == paths.size(), "--weights: expected one weight per --app topology");
+  }
+
+  // Load every tenant; names derive from the file stem (de-duplicated by
+  // index) and tag that tenant's stats, metrics lines and trace events.
+  std::vector<Topology> topologies;
+  std::vector<std::string> names;
+  topologies.reserve(paths.size());
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    topologies.push_back(xml::load_topology_file(paths[i]));
+    std::string stem = paths[i];
+    if (const auto slash = stem.find_last_of('/'); slash != std::string::npos) {
+      stem.erase(0, slash + 1);
+    }
+    if (const auto dot = stem.rfind('.'); dot != std::string::npos) stem.erase(dot);
+    for (const std::string& taken : names) {
+      if (taken == stem) {
+        stem += "-" + std::to_string(i);
+        break;
+      }
+    }
+    names.push_back(std::move(stem));
+  }
+
+  std::vector<AutoOptimizeOptions> optimize(paths.size());
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    optimize[i].enable_fusion = false;  // run deploys plain replication
+    optimize[i].slo_p99 = slo_p99;
+    optimize[i].objective = objective;
+  }
+
+  std::vector<runtime::Deployment> deployments(paths.size());
+  if (args.has("optimize")) {
+    std::vector<TenantWorkload> workloads(paths.size());
+    for (std::size_t i = 0; i < paths.size(); ++i) {
+      workloads[i].topology = topologies[i];
+      workloads[i].options = optimize[i];
+      workloads[i].weight = weights[i];
+      workloads[i].name = names[i];
+    }
+    JointOptions joint_options;
+    joint_options.replica_budget = budget;
+    const JointResult joint = optimize_joint(workloads, joint_options);
+    Table table({"tenant", "weight", "desired", "granted", "pred tuples/s", "pred p99 ms"});
+    for (std::size_t i = 0; i < paths.size(); ++i) {
+      deployments[i] = joint.tenants[i].deployment;
+      table.add_row({names[i], Table::num(weights[i], 1),
+                     std::to_string(joint.tenants[i].desired_replicas),
+                     std::to_string(joint.tenants[i].granted_replicas),
+                     Table::num(joint.tenants[i].predicted_throughput, 1),
+                     Table::num(joint.tenants[i].predicted_p99 * 1e3)});
+    }
+    out << "joint allocation (" << joint.total_granted << "/" << joint.total_desired
+        << " replicas granted" << (joint.budget_binding ? ", budget binding" : "")
+        << "):\n";
+    table.print(out);
+  }
+
+  const std::string metrics_path = args.get("metrics-out", "");
+  runtime::TenantGroup group(static_cast<int>(args.get_int("workers", 0)),
+                             static_cast<int>(args.get_int("batch", 0)));
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    runtime::TenantSpec spec;
+    spec.name = names[i];
+    spec.topology = topologies[i];
+    spec.deployment = deployments[i];
+    spec.factory = ops::make_logic_factory(topologies[i]);
+    spec.weight = weights[i];
+    spec.optimize = optimize[i];
+    spec.max_duration = std::chrono::duration<double>(seconds);
+    if (!metrics_path.empty()) {
+      spec.config.metrics_path = metrics_path + "." + names[i];
+      spec.config.metrics_period =
+          args.get_double("metrics-period", spec.config.metrics_period);
+      require(spec.config.metrics_period > 0.0,
+              "--metrics-period must be positive (seconds)");
+    }
+    group.submit(std::move(spec));
+  }
+  if (args.has("elastic")) {
+    runtime::JointControllerOptions controller;
+    controller.period = args.get_double("reconfig-period", controller.period);
+    require(controller.period > 0.0, "--reconfig-period must be positive (seconds)");
+    controller.threshold = args.get_double("reconfig-threshold", controller.threshold);
+    require(controller.threshold >= 0.0, "--reconfig-threshold must be >= 0");
+    controller.replica_budget = budget;
+    group.start_controller(controller);
+  }
+  const std::vector<runtime::RunStats> stats = group.wait_all();
+
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    out << "== tenant " << names[i] << " ==\n"
+        << runtime::format_stats(topologies[i], stats[i]);
+    if (slo_p99 > 0.0 && stats[i].end_to_end.count > 0) {
+      out << "slo: measured p99 " << Table::num(stats[i].end_to_end.p99 * 1e3)
+          << " ms vs " << Table::num(slo_p99 * 1e3) << " ms -> "
+          << (stats[i].end_to_end.p99 <= slo_p99 ? "met" : "MISSED") << "\n";
+    }
+  }
+  if (!metrics_path.empty()) {
+    out << "metrics: one JSONL file per tenant at " << metrics_path << ".<tenant>\n";
+  }
+  if (group.controller() != nullptr) {
+    out << "joint controller decisions:\n";
+    for (const auto& d : group.controller()->decisions()) {
+      out << "  t=" << Table::num(d.at_seconds) << "s: " << d.reason << '\n';
+    }
+  }
+  return 0;
+}
+
 int cmd_run(const Args& args, std::ostream& out) {
+  if (args.has("app")) return cmd_run_multi(args, out);
   return cmd_execute(args, out, harness::ExecutionBackend::kThreads);
 }
 

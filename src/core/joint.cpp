@@ -1,0 +1,147 @@
+#include "core/joint.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "core/bottleneck.hpp"
+#include "core/latency.hpp"
+#include "core/steady_state.hpp"
+
+namespace ss {
+
+namespace {
+
+/// Cheap evaluation of one tenant at `share` total replicas: the desired
+/// plan scaled down by hold-off replication, analyzed by Alg. 1.  Used
+/// inside the water-filling loop; the final grant is re-solved exactly.
+struct ShareEval {
+  double throughput = 0.0;
+  double p99 = 0.0;
+};
+
+ShareEval evaluate_share(const TenantWorkload& w, const ReplicationPlan& desired,
+                         int share) {
+  const ReplicationPlan plan = apply_replica_budget(w.topology, desired, share);
+  const SteadyStateResult rates = steady_state(w.topology, plan);
+  ShareEval eval;
+  eval.throughput = rates.throughput();
+  if (w.options.slo_p99 > 0.0) {
+    const LatencyEstimate est =
+        estimate_latency(w.topology, rates, plan, w.options.buffer_capacity);
+    eval.p99 = est.sojourn.p99;
+  }
+  return eval;
+}
+
+/// Exact solve of one tenant capped at `share` replicas.
+TenantAllocation solve_share(const TenantWorkload& w, int share, int desired_total) {
+  TenantWorkload capped = w;
+  capped.options.bottleneck.max_total_replicas = share;
+  TenantAllocation alloc;
+  alloc.result = auto_optimize(capped.topology, capped.options);
+  alloc.deployment = deployment_of(alloc.result);
+  alloc.desired_replicas = desired_total;
+  alloc.granted_replicas =
+      alloc.result.plan.total_replicas(w.topology.num_operators());
+  alloc.predicted_throughput = alloc.result.analysis.throughput();
+  alloc.predicted_p99 = alloc.result.predicted_p99;
+  alloc.slo_feasible = alloc.result.slo_feasible;
+  return alloc;
+}
+
+}  // namespace
+
+JointResult optimize_joint(const std::vector<TenantWorkload>& workloads,
+                           const JointOptions& options) {
+  JointResult result;
+  const std::size_t n = workloads.size();
+  if (n == 0) return result;
+
+  // Step 1: every tenant's unconstrained desire.
+  std::vector<AutoOptimizeResult> desired(n);
+  std::vector<int> want(n, 0);
+  int total_want = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    desired[i] = auto_optimize(workloads[i].topology, workloads[i].options);
+    want[i] = desired[i].plan.total_replicas(workloads[i].topology.num_operators());
+    total_want += want[i];
+  }
+  result.total_desired = total_want;
+
+  // Step 2: budget slack (or no budget) — everyone gets their desire.
+  if (options.replica_budget <= 0 || total_want <= options.replica_budget) {
+    for (std::size_t i = 0; i < n; ++i) {
+      TenantAllocation alloc;
+      alloc.result = std::move(desired[i]);
+      alloc.deployment = deployment_of(alloc.result);
+      alloc.desired_replicas = want[i];
+      alloc.granted_replicas = want[i];
+      alloc.predicted_throughput = alloc.result.analysis.throughput();
+      alloc.predicted_p99 = alloc.result.predicted_p99;
+      alloc.slo_feasible = alloc.result.slo_feasible;
+      result.total_granted += want[i];
+      result.tenants.push_back(std::move(alloc));
+    }
+    return result;
+  }
+
+  // Step 3: water-filling.  Shares start at the sequential floor; each
+  // round grants one replica to the most deserving tenant.
+  result.budget_binding = true;
+  std::vector<int> share(n, 0);
+  std::vector<ShareEval> at_share(n);
+  int spent = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    share[i] = static_cast<int>(workloads[i].topology.num_operators());
+    share[i] = std::min(share[i], want[i]);  // desire below the floor: keep it
+    at_share[i] = evaluate_share(workloads[i], desired[i].plan, share[i]);
+    spent += share[i];
+  }
+  while (spent < options.replica_budget) {
+    // SLO-breached tenants outrank throughput seekers; among the breached
+    // the largest relative p99 excess wins, among the rest the largest
+    // weighted marginal throughput gain.
+    std::size_t best = n;
+    bool best_breached = false;
+    double best_key = 0.0;
+    std::vector<ShareEval> next_eval(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (share[i] >= want[i]) continue;  // satisfied: more buys nothing
+      next_eval[i] = evaluate_share(workloads[i], desired[i].plan, share[i] + 1);
+      const double slo = workloads[i].options.slo_p99;
+      const bool breached = slo > 0.0 && at_share[i].p99 > slo;
+      double key;
+      if (breached) {
+        // Grant only if the extra replica actually improves the tail.
+        if (next_eval[i].p99 >= at_share[i].p99 &&
+            next_eval[i].throughput <= at_share[i].throughput) {
+          continue;
+        }
+        key = (at_share[i].p99 - slo) / slo * workloads[i].weight;
+      } else {
+        key = workloads[i].weight * (next_eval[i].throughput - at_share[i].throughput);
+        if (key <= 0.0) continue;  // water level: no gain left here
+      }
+      if (best == n || (breached && !best_breached) ||
+          (breached == best_breached && key > best_key)) {
+        best = i;
+        best_breached = breached;
+        best_key = key;
+      }
+    }
+    if (best == n) break;  // nobody gains from another replica
+    ++share[best];
+    at_share[best] = next_eval[best];
+    ++spent;
+  }
+
+  // Step 4: exact solve at the granted shares.
+  for (std::size_t i = 0; i < n; ++i) {
+    TenantAllocation alloc = solve_share(workloads[i], share[i], want[i]);
+    result.total_granted += alloc.granted_replicas;
+    result.tenants.push_back(std::move(alloc));
+  }
+  return result;
+}
+
+}  // namespace ss

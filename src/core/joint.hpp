@@ -1,0 +1,80 @@
+// Joint replica allocation across concurrent applications (multi-tenant
+// extension of the paper's single-app pipeline).
+//
+// The paper sizes one topology at a time: Algorithms 1-3 choose replica
+// counts and fusions against one machine.  A multi-tenant runtime shares
+// one worker pool and one global replica budget between N topologies, so
+// the interesting problem — following Benoit et al. (arXiv:0903.0710) —
+// becomes the *joint* allocation: how many replicas does each app get?
+//
+// optimize_joint() solves it by water-filling on marginal gain:
+//   1. solve each app's Alg. 1-3 unconstrained → its *desired* plan;
+//   2. if the summed desire fits the budget, everyone gets what they want;
+//   3. otherwise start every app at the sequential floor (one replica per
+//      operator) and grant the remaining budget one replica at a time to
+//      the app with the highest marginal utility — SLO-breached apps
+//      first (ranked by predicted-p99 excess), then by weighted marginal
+//      throughput gain.  Granting stops when the budget is spent or no
+//      app gains from another replica (the water level).
+//   4. each app's final share is re-solved exactly (Alg. 1-3 under
+//      max_total_replicas = share), so partitions, fusions and latency
+//      predictions are consistent with the granted plan.
+//
+// Feeding measured topologies (with_measured_profile) makes this the
+// elastic claw-back step: an app whose measured load fell releases desire,
+// and a breached neighbor's marginal gain wins the freed replicas at the
+// next epoch.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/deployment.hpp"
+#include "core/optimizer.hpp"
+#include "core/topology.hpp"
+
+namespace ss {
+
+/// One application competing for the shared budget.
+struct TenantWorkload {
+  Topology topology;
+  AutoOptimizeOptions options{};
+  /// Relative importance in the marginal-gain ranking (> 0); mirrors the
+  /// runtime's stride-scheduling weight.
+  double weight = 1.0;
+  std::string name;
+};
+
+/// What one tenant was granted.
+struct TenantAllocation {
+  /// Full Alg. 1-3 solve under the granted share (plan, partitions,
+  /// fusions, analysis, latency — all consistent with `granted_replicas`).
+  AutoOptimizeResult result;
+  /// The deployment of `result`, ready for Engine/TenantGroup.
+  Deployment deployment;
+  int desired_replicas = 0;  ///< unconstrained Alg. 1-3 total
+  int granted_replicas = 0;  ///< total under the joint budget
+  double predicted_throughput = 0.0;
+  double predicted_p99 = 0.0;
+  /// No SLO requested, or the granted plan is predicted to meet it.
+  bool slo_feasible = true;
+};
+
+struct JointOptions {
+  /// Total replicas across every tenant; <= 0 means unbounded (everyone
+  /// gets their desired plan).
+  int replica_budget = 0;
+};
+
+struct JointResult {
+  std::vector<TenantAllocation> tenants;  ///< same order as the workloads
+  int total_desired = 0;
+  int total_granted = 0;
+  /// The budget actually constrained someone (granted < desired somewhere).
+  bool budget_binding = false;
+};
+
+JointResult optimize_joint(const std::vector<TenantWorkload>& workloads,
+                           const JointOptions& options = {});
+
+}  // namespace ss

@@ -18,11 +18,11 @@ Args::Args(int argc, const char* const* argv) {
     arg.erase(0, 2);
     const auto eq = arg.find('=');
     if (eq != std::string::npos) {
-      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      values_[arg.substr(0, eq)].push_back(arg.substr(eq + 1));
     } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
-      values_[arg] = argv[++i];
+      values_[arg].push_back(argv[++i]);
     } else {
-      values_[arg] = "true";
+      values_[arg].push_back("true");
     }
   }
 }
@@ -31,30 +31,37 @@ bool Args::has(const std::string& key) const { return values_.count(key) > 0; }
 
 std::string Args::get(const std::string& key, const std::string& fallback) const {
   auto it = values_.find(key);
-  return it == values_.end() ? fallback : it->second;
+  return it == values_.end() ? fallback : it->second.back();
+}
+
+std::vector<std::string> Args::get_all(const std::string& key) const {
+  auto it = values_.find(key);
+  return it == values_.end() ? std::vector<std::string>{} : it->second;
 }
 
 long Args::get_int(const std::string& key, long fallback) const {
   auto it = values_.find(key);
   if (it == values_.end()) return fallback;
-  const char* text = it->second.c_str();
+  const std::string& raw = it->second.back();
+  const char* text = raw.c_str();
   char* end = nullptr;
   errno = 0;
   const long value = std::strtol(text, &end, 10);
   require(end != text && *end == '\0' && errno != ERANGE,
-          "--" + key + ": expected an integer, got '" + it->second + "'");
+          "--" + key + ": expected an integer, got '" + raw + "'");
   return value;
 }
 
 double Args::get_double(const std::string& key, double fallback) const {
   auto it = values_.find(key);
   if (it == values_.end()) return fallback;
-  const char* text = it->second.c_str();
+  const std::string& raw = it->second.back();
+  const char* text = raw.c_str();
   char* end = nullptr;
   errno = 0;
   const double value = std::strtod(text, &end);
   require(end != text && *end == '\0' && errno != ERANGE,
-          "--" + key + ": expected a number, got '" + it->second + "'");
+          "--" + key + ": expected a number, got '" + raw + "'");
   return value;
 }
 

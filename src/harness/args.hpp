@@ -19,6 +19,10 @@ class Args {
 
   [[nodiscard]] bool has(const std::string& key) const;
   [[nodiscard]] std::string get(const std::string& key, const std::string& fallback = "") const;
+  /// Every value the flag was passed with, in command-line order — the
+  /// repeatable-flag accessor (`--app a.xml --app b.xml`).  Empty when the
+  /// flag is absent.  get() returns the last occurrence.
+  [[nodiscard]] std::vector<std::string> get_all(const std::string& key) const;
   [[nodiscard]] long get_int(const std::string& key, long fallback) const;
   [[nodiscard]] double get_double(const std::string& key, double fallback) const;
   [[nodiscard]] const std::vector<std::string>& positional() const { return positional_; }
@@ -26,7 +30,7 @@ class Args {
 
  private:
   std::string program_;
-  std::map<std::string, std::string> values_;
+  std::map<std::string, std::vector<std::string>> values_;
   std::vector<std::string> positional_;
 };
 

@@ -12,6 +12,7 @@
 
 #include "core/error.hpp"
 #include "runtime/clock.hpp"
+#include "runtime/scheduler_host.hpp"
 #include "runtime/synthetic.hpp"
 #include "runtime/trace.hpp"
 
@@ -218,6 +219,9 @@ Engine::Engine(const Topology& t, Deployment deployment, AppFactory factory,
       master_rng_(config.seed) {
   require(factory_.source != nullptr && factory_.logic != nullptr,
           "Engine: AppFactory must provide both source and logic factories");
+  // Interned here, before any thread exists: reconfigure() may read the tag
+  // from a joint-controller thread concurrently with the run thread.
+  if (!config_.tenant.empty()) tenant_tag_ = trace::intern_label(config_.tenant);
   board_.attach_telemetry(&telemetry_);
   queue_peak_prior_.assign(t.num_operators(), 0);
   routers_.reserve(t.num_operators());
@@ -976,6 +980,9 @@ void Engine::actor_done(std::size_t id) {
 // -------------------------------------------------------------- reconfigure
 
 bool Engine::reconfigure(const Deployment& next) {
+  // Tag the fence/epoch spans this switch-over records with the tenant,
+  // whichever thread drives it (per-engine controller or a joint one).
+  if (tenant_tag_ != nullptr) trace::set_thread_tenant(tenant_tag_);
   // Validate before disturbing the run: a malformed deployment throws here,
   // leaving the current epoch untouched.
   ActorGraph next_graph = ActorGraph::build(topology_, next);
@@ -1053,7 +1060,7 @@ bool Engine::reconfigure(const Deployment& next) {
 
   if (!aborted) {
     active_actors_.store(static_cast<int>(epoch_->actors.size()));
-    epoch_->scheduler = make_scheduler(config_.scheduler, config_.workers, config_.pool_batch);
+    epoch_->scheduler = make_epoch_scheduler();
     epoch_->scheduler->start(*this);
   }
   swap_in_progress_.store(false, std::memory_order_release);
@@ -1128,8 +1135,20 @@ MetricsSample Engine::metrics_sample() const {
 
 // ------------------------------------------------------------------- running
 
+std::unique_ptr<Scheduler> Engine::make_epoch_scheduler() {
+  if (config_.host != nullptr) {
+    return make_hosted_scheduler(*config_.host, config_.tenant, config_.tenant_weight);
+  }
+  return make_scheduler(config_.scheduler, config_.workers, config_.pool_batch);
+}
+
 void Engine::start_execution() {
   require(!started_.load(), "Engine: run() can only be called once per instance");
+  if (tenant_tag_ != nullptr) {
+    // Tag the run-driving thread (and everything it records) with the
+    // tenant; worker threads tag themselves per actor slot.
+    trace::set_thread_tenant(tenant_tag_);
+  }
   // Elastic runs feed the controller measured ρ from the first sample and
   // metrics runs export it every period — both need metering from the
   // start, not only inside the steady-state window.
@@ -1149,7 +1168,7 @@ void Engine::start_execution() {
     }
     exporter_ = std::make_unique<MetricsExporter>(
         [this] { return metrics_sample(); }, std::move(names),
-        config_.metrics_path, config_.metrics_period);
+        config_.metrics_path, config_.metrics_period, config_.tenant);
   }
   run_start_ = Clock::now();
   {
@@ -1158,7 +1177,7 @@ void Engine::start_execution() {
     // join() a scheduler whose worker threads are still being spawned.
     std::lock_guard lock(epoch_mutex_);
     active_actors_.store(static_cast<int>(epoch_->actors.size()));
-    epoch_->scheduler = make_scheduler(config_.scheduler, config_.workers, config_.pool_batch);
+    epoch_->scheduler = make_epoch_scheduler();
     epoch_->scheduler->start(*this);
     started_.store(true, std::memory_order_release);
   }
@@ -1197,6 +1216,14 @@ void Engine::stop_run() {
   if (controller_) controller_->stop();  // an in-flight switch-over completes
   std::lock_guard lock(epoch_mutex_);
   stop_.store(true);
+}
+
+void Engine::request_stop() {
+  // Raising stop before the run starts is legal: the run then drains
+  // immediately (sources see stop_requested on their first pump).  That
+  // closes the race between a hot retire and the tenant's runner thread
+  // still being inside start_execution().
+  stop_run();
 }
 
 std::vector<int> Engine::replica_counts() const {

@@ -39,6 +39,8 @@
 
 namespace ss::runtime {
 
+class SchedulerHost;
+
 struct EngineConfig {
   /// Mailbox capacity of every actor (Akka BoundedMailbox equivalent).
   std::size_t mailbox_capacity = 64;
@@ -96,6 +98,17 @@ struct EngineConfig {
   /// not only the steady-state window.
   std::string metrics_path;
   double metrics_period = 0.5;
+  /// Multi-tenant execution: when set, this engine does not own a worker
+  /// pool — every epoch registers its actors as a tenant of the shared
+  /// host (scheduler_host.hpp) and `scheduler`/`workers`/`pool_batch` are
+  /// ignored.  The host must outlive the engine's run.
+  SchedulerHost* host = nullptr;
+  /// Tenant label: tags this engine's trace events and metrics lines, and
+  /// names it in the host's telemetry.  Empty = untagged (single-tenant).
+  std::string tenant;
+  /// Stride-scheduling weight of this tenant on the shared host (> 0);
+  /// relative CPU share against the other tenants when all stay ready.
+  double tenant_weight = 1.0;
 };
 
 /// Produces the processing logic of each logical operator.
@@ -137,6 +150,13 @@ class Engine final : public EngineCore {
   /// already finished.  Thread-safe against the run's own stop path; at
   /// most one reconfiguration runs at a time.
   bool reconfigure(const Deployment& next);
+
+  /// Asks a running engine to stop: sources stop emitting, the pipeline
+  /// drains through the shutdown protocol (no tuple in flight is lost),
+  /// and the blocked run_until_complete() returns.  The hot-retire hook of
+  /// multi-tenant groups (tenants.hpp); safe from any thread, idempotent.
+  /// Called before the run starts, the run drains immediately on start.
+  void request_stop();
 
   [[nodiscard]] const Topology& topology() const { return topology_; }
   /// The deployment of the current epoch (by value: the epoch may swap).
@@ -205,6 +225,9 @@ class Engine final : public EngineCore {
   /// the new epoch's logic instances.
   void migrate_state(EpochState& next, EpochState& prev, const DeploymentDiff& diff);
 
+  /// The execution backend of one epoch: a scheduler of `config_.scheduler`
+  /// kind, or — multi-tenant — a tenant registration on `config_.host`.
+  std::unique_ptr<Scheduler> make_epoch_scheduler();
   void start_execution();
   void join_execution();
   /// Stops the controller (an in-flight switch-over completes first), then
@@ -284,6 +307,8 @@ class Engine final : public EngineCore {
   std::condition_variable done_cv_;
   Clock::time_point run_start_{};
   std::atomic<bool> started_{false};
+  /// Interned EngineConfig::tenant for trace tagging (nullptr = untagged).
+  const char* tenant_tag_ = nullptr;
 
   // --- epoch switch-over (reconfigure)
   /// Serializes reconfigure() against the run's stop path: stop never

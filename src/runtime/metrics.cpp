@@ -315,6 +315,21 @@ std::string format_stats(const Topology& t, const RunStats& stats) {
         << " parks, " << stats.scheduler.wakeups << " wakeups, " << stats.scheduler.batches
         << " batches (avg " << avg_batch << " msgs, max " << stats.scheduler.max_batch
         << ")\n";
+    // Ready-hint ledger invariant of the quiescent pool: every pushed hint
+    // was popped by its owner, stolen, or discarded at shutdown.  Checked
+    // in release builds too — drift here means a scheduler accounting bug
+    // (hints lost or double-counted), so surface it in the report instead
+    // of only in the unit tests.
+    const std::uint64_t accounted = stats.scheduler.local_pops + stats.scheduler.steals +
+                                    stats.scheduler.discarded;
+    if (stats.scheduler.pushes != accounted) {
+      const auto drift = static_cast<std::int64_t>(stats.scheduler.pushes) -
+                         static_cast<std::int64_t>(accounted);
+      out << "scheduler WARNING: ready-hint ledger drift " << drift << " (pushes "
+          << stats.scheduler.pushes << " != pops " << stats.scheduler.local_pops
+          << " + steals " << stats.scheduler.steals << " + discarded "
+          << stats.scheduler.discarded << ")\n";
+    }
   }
   return out.str();
 }

@@ -90,10 +90,12 @@ struct MetricsExporter::Impl {
 
 MetricsExporter::MetricsExporter(std::function<MetricsSample()> sampler,
                                  std::vector<std::string> op_names,
-                                 const std::string& path, double period_seconds)
+                                 const std::string& path, double period_seconds,
+                                 std::string tenant)
     : sampler_(std::move(sampler)),
       op_names_(std::move(op_names)),
       period_(period_seconds > 0.0 ? period_seconds : 0.5),
+      tenant_(std::move(tenant)),
       impl_(std::make_unique<Impl>()) {
   impl_->out.open(path, std::ios::trunc);
   require(impl_->out.good(), "cannot write metrics file: " + path);
@@ -143,7 +145,9 @@ void MetricsExporter::write_sample(const MetricsSample& s) {
 
   std::ofstream& out = impl_->out;
   out.precision(6);
-  out << "{\"t\":" << now.at_seconds << ",\"epoch\":" << s.epoch
+  out << "{\"t\":" << now.at_seconds;
+  if (!tenant_.empty()) out << ",\"tenant\":\"" << json_escape(tenant_) << "\"";
+  out << ",\"epoch\":" << s.epoch
       << ",\"dropped\":" << s.dropped << ",\"ops\":[";
   const std::size_t n = now.processed.size();
   for (std::size_t i = 0; i < n; ++i) {

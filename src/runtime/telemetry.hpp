@@ -147,9 +147,11 @@ struct MetricsSample {
 /// cannot be opened.
 class MetricsExporter {
  public:
+  /// `tenant`, when non-empty, is written as a "tenant" field into every
+  /// line so analysis scripts can separate apps sharing one host.
   MetricsExporter(std::function<MetricsSample()> sampler,
                   std::vector<std::string> op_names, const std::string& path,
-                  double period_seconds);
+                  double period_seconds, std::string tenant = {});
   ~MetricsExporter();
 
   MetricsExporter(const MetricsExporter&) = delete;
@@ -169,6 +171,7 @@ class MetricsExporter {
   std::function<MetricsSample()> sampler_;
   std::vector<std::string> op_names_;
   double period_;
+  std::string tenant_;  ///< tenant tag of every line; empty = untagged
   std::unique_ptr<Impl> impl_;  ///< the output stream (keeps <fstream> out)
   MetricsSample prev_;
   bool have_prev_ = false;

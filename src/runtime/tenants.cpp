@@ -1,0 +1,390 @@
+#include "runtime/tenants.hpp"
+
+#include <sstream>
+#include <utility>
+
+#include "core/deployment.hpp"
+#include "core/latency.hpp"
+#include "core/optimizer.hpp"
+#include "core/steady_state.hpp"
+
+namespace ss::runtime {
+
+// ---------------------------------------------------------------------------
+// TenantGroup
+
+TenantGroup::TenantGroup(int workers, int batch) : host_(workers, batch) {}
+
+TenantGroup::~TenantGroup() {
+  stop_controller();
+  // Hot-retire everything still running, swallowing tenant failures: a
+  // destructor cannot rethrow, and wait_all()/retire() already offered
+  // them to the caller.
+  std::size_t n;
+  {
+    std::lock_guard lock(mu_);
+    n = slots_.size();
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    Slot* slot;
+    {
+      std::lock_guard lock(mu_);
+      slot = slots_[i].get();
+    }
+    slot->engine->request_stop();
+    try {
+      collect(*slot);
+    } catch (...) {
+    }
+  }
+}
+
+std::size_t TenantGroup::submit(TenantSpec spec) {
+  auto owned = std::make_unique<Slot>();
+  // The group owns scheduling and elasticity; per-spec values of these
+  // config fields are overwritten by contract (tenants.hpp).
+  spec.config.host = &host_;
+  spec.config.tenant = spec.name;
+  spec.config.tenant_weight = spec.weight;
+  spec.config.elastic = false;
+  owned->spec = std::move(spec);
+  owned->engine = std::make_unique<Engine>(owned->spec.topology, owned->spec.deployment,
+                                           owned->spec.factory, owned->spec.config);
+  Slot* slot = owned.get();
+  std::size_t index;
+  {
+    std::lock_guard lock(mu_);
+    index = slots_.size();
+    slots_.push_back(std::move(owned));
+  }
+  // The runner thread is the tenant's driver: it blocks in
+  // run_until_complete while the actors execute on the shared host.  A
+  // request_stop() that wins the race and lands before run_until_complete
+  // starts still drains: the engine honors a pre-start stop immediately.
+  slot->runner = std::thread([slot] {
+    try {
+      slot->stats = slot->engine->run_until_complete(slot->spec.max_duration);
+    } catch (...) {
+      slot->error = std::current_exception();
+    }
+    slot->finished.store(true, std::memory_order_release);
+  });
+  return index;
+}
+
+RunStats TenantGroup::retire(std::size_t index) {
+  Slot* slot;
+  {
+    std::lock_guard lock(mu_);
+    slot = slots_.at(index).get();
+  }
+  slot->engine->request_stop();
+  return collect(*slot);
+}
+
+RunStats TenantGroup::collect(Slot& slot) {
+  std::thread runner;
+  {
+    std::lock_guard lock(mu_);
+    if (!slot.joined) {
+      slot.joined = true;
+      runner = std::move(slot.runner);
+    }
+  }
+  if (runner.joinable()) {
+    runner.join();
+  } else {
+    // Another collect() owns the join; its runner publishes stats/error
+    // before raising `finished`, so waiting on the flag is enough.
+    while (!slot.finished.load(std::memory_order_acquire)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  if (slot.error) std::rethrow_exception(slot.error);
+  return slot.stats;
+}
+
+std::vector<RunStats> TenantGroup::wait_all() {
+  std::size_t n;
+  {
+    std::lock_guard lock(mu_);
+    n = slots_.size();
+  }
+  std::vector<RunStats> stats;
+  stats.reserve(n);
+  std::exception_ptr first_error;
+  for (std::size_t i = 0; i < n; ++i) {
+    Slot* slot;
+    {
+      std::lock_guard lock(mu_);
+      slot = slots_[i].get();
+    }
+    try {
+      stats.push_back(collect(*slot));
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+      stats.push_back(slot->stats);
+    }
+  }
+  // Only now that every tenant drained: the joint loop must keep
+  // re-balancing while the tenants run, not die on entry to the wait.
+  stop_controller();
+  if (first_error) std::rethrow_exception(first_error);
+  return stats;
+}
+
+std::size_t TenantGroup::size() const {
+  std::lock_guard lock(mu_);
+  return slots_.size();
+}
+
+const std::string& TenantGroup::name(std::size_t index) const {
+  std::lock_guard lock(mu_);
+  return slots_.at(index)->spec.name;
+}
+
+Engine& TenantGroup::engine(std::size_t index) {
+  std::lock_guard lock(mu_);
+  return *slots_.at(index)->engine;
+}
+
+bool TenantGroup::finished(std::size_t index) const {
+  std::lock_guard lock(mu_);
+  return slots_.at(index)->finished.load(std::memory_order_acquire);
+}
+
+void TenantGroup::start_controller(JointControllerOptions options) {
+  stop_controller();
+  controller_ = std::make_unique<JointController>(*this, options);
+  controller_->start();
+}
+
+void TenantGroup::stop_controller() {
+  if (controller_) controller_->stop();
+}
+
+// ---------------------------------------------------------------------------
+// JointController
+
+JointController::JointController(TenantGroup& group, JointControllerOptions options)
+    : group_(group), options_(options) {
+  if (options_.period <= 0.0) options_.period = 0.5;
+  if (options_.threshold < 0.0) options_.threshold = 0.0;
+}
+
+JointController::~JointController() { stop(); }
+
+void JointController::start() {
+  thread_ = std::thread([this] { loop(); });
+}
+
+void JointController::stop() {
+  {
+    std::lock_guard lock(mu_);
+    stop_.store(true);
+  }
+  stop_cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+std::vector<JointDecision> JointController::decisions() const {
+  std::lock_guard lock(mu_);
+  return decisions_;
+}
+
+void JointController::loop() {
+  const auto period = std::chrono::duration<double>(options_.period);
+  while (true) {
+    {
+      std::unique_lock lock(mu_);
+      if (stop_cv_.wait_for(lock, period, [this] { return stop_.load(); })) return;
+    }
+    JointDecision decision = evaluate_window();
+    std::lock_guard lock(mu_);
+    decisions_.push_back(std::move(decision));
+  }
+}
+
+JointDecision JointController::evaluate_window() {
+  JointDecision decision;
+
+  // The slots a tenant occupies never move (unique_ptr), so raw pointers
+  // stay valid past the lock; submit() only appends.
+  std::vector<std::size_t> live;
+  std::vector<TenantGroup::Slot*> slots;
+  {
+    std::lock_guard lock(group_.mu_);
+    if (windows_.size() < group_.slots_.size()) windows_.resize(group_.slots_.size());
+    for (std::size_t i = 0; i < group_.slots_.size(); ++i) {
+      if (group_.slots_[i]->finished.load(std::memory_order_acquire)) continue;
+      live.push_back(i);
+      slots.push_back(group_.slots_[i].get());
+    }
+  }
+  if (live.empty()) {
+    decision.reason = "no live tenants";
+    return decision;
+  }
+
+  // Measure every live tenant's window.  The joint allocation is only
+  // meaningful on a consistent snapshot, so one unprimed or under-sampled
+  // tenant postpones the whole round (its window keeps accumulating).
+  struct Measured {
+    std::vector<MeasuredOperator> ops;
+    double source_rate = 0.0;
+    double measured_p99 = 0.0;  ///< 0 = not enough latency samples
+    std::uint64_t source_samples = 0;
+  };
+  std::vector<Measured> measures(live.size());
+  bool all_ready = true;
+  for (std::size_t k = 0; k < live.size(); ++k) {
+    Engine& engine = *slots[k]->engine;
+    TenantWindow& win = windows_[live[k]];
+    const CounterSnapshot now = engine.sample();
+    if (!win.primed) {
+      win.prev = now;
+      win.e2e_prev = engine.stats_board().end_to_end_snapshot();
+      win.primed = true;
+      all_ready = false;
+      continue;
+    }
+    const Topology& topology = engine.topology();
+    const double window = now.at_seconds - win.prev.at_seconds;
+    Measured& m = measures[k];
+    m.ops.resize(topology.num_operators());
+    for (OpIndex i = 0; i < topology.num_operators(); ++i) {
+      MeasuredOperator& op = m.ops[i];
+      op.samples = now.processed[i] - win.prev.processed[i];
+      if (window > 0.0) {
+        op.processed_rate = static_cast<double>(op.samples) / window;
+        op.emitted_rate =
+            static_cast<double>(now.emitted[i] - win.prev.emitted[i]) / window;
+      }
+      if (op.samples > 0 && i < now.busy_ns.size() && i < win.prev.busy_ns.size()) {
+        const std::uint64_t busy = now.busy_ns[i] - win.prev.busy_ns[i];
+        op.service_time =
+            static_cast<double>(busy) / 1e9 / static_cast<double>(op.samples);
+      }
+    }
+    m.source_rate = m.ops[topology.source()].emitted_rate;
+    m.source_samples =
+        now.emitted[topology.source()] - win.prev.emitted[topology.source()];
+    const LatencySummary window_latency =
+        engine.stats_board().end_to_end_since(win.e2e_prev);
+    if (window_latency.count >= options_.min_samples) {
+      m.measured_p99 = window_latency.p99;
+    }
+    win.prev = now;
+    win.e2e_prev = engine.stats_board().end_to_end_snapshot();
+    if (decision.at_seconds == 0.0) decision.at_seconds = now.at_seconds;
+    if (m.source_samples < options_.min_samples) all_ready = false;
+  }
+  for (std::size_t k = 0; k < live.size(); ++k) {
+    decision.names.push_back(slots[k]->spec.name);
+  }
+  // Every per-tenant column stays parallel to `names`, early returns
+  // included — consumers index them by position.
+  decision.granted.assign(live.size(), 0);
+  decision.current.assign(live.size(), 0);
+  decision.redeployed.assign(live.size(), false);
+  decision.slo_breached.assign(live.size(), false);
+  if (!all_ready) {
+    decision.reason = "insufficient samples in window";
+    return decision;
+  }
+
+  // Fold the measurements into each tenant's topology and allocate the
+  // global budget jointly.
+  std::vector<TenantWorkload> workloads;
+  workloads.reserve(live.size());
+  for (std::size_t k = 0; k < live.size(); ++k) {
+    Engine& engine = *slots[k]->engine;
+    TenantWorkload w;
+    w.topology =
+        with_measured_profile(engine.topology(), measures[k].ops, options_.min_samples);
+    w.options = slots[k]->spec.optimize;
+    w.weight = slots[k]->spec.weight;
+    w.name = slots[k]->spec.name;
+    workloads.push_back(std::move(w));
+  }
+  JointOptions joint_options;
+  joint_options.replica_budget = options_.replica_budget;
+  const JointResult joint = optimize_joint(workloads, joint_options);
+  decision.budget_binding = joint.budget_binding;
+
+  // Apply per tenant: the granted share redeploys when it clears the gain
+  // threshold or repairs an SLO breach.  An in-flight breach is judged on
+  // the measured windowed p99 when available, on the model otherwise.
+  std::ostringstream reason;
+  for (std::size_t k = 0; k < live.size(); ++k) {
+    Engine& engine = *slots[k]->engine;
+    const TenantAllocation& alloc = joint.tenants[k];
+    const Topology& measured_topology = workloads[k].topology;
+    const Deployment current = engine.deployment();
+    const std::size_t num_ops = measured_topology.num_operators();
+    const DeploymentDiff diff = diff_deployments(num_ops, current, alloc.deployment);
+
+    const SteadyStateResult current_rates =
+        steady_state(measured_topology, current.replication);
+    const double predicted_current = current_rates.throughput();
+    const double gain = predicted_current > 0.0
+                            ? (alloc.predicted_throughput - predicted_current) /
+                                  predicted_current
+                            : 0.0;
+    const double slo = slots[k]->spec.optimize.slo_p99;
+    double current_p99 = measures[k].measured_p99;
+    if (slo > 0.0 && current_p99 <= 0.0) {
+      const LatencyEstimate est =
+          estimate_latency(measured_topology, current_rates, current.replication,
+                           slots[k]->spec.optimize.buffer_capacity);
+      current_p99 = est.sojourn.p99;
+    }
+    const bool breached = slo > 0.0 && current_p99 > slo;
+    // A breach justifies the fence when the granted deployment is
+    // predicted to meet the SLO or at least clearly improve the tail.
+    const bool repairs =
+        breached && (alloc.slo_feasible || alloc.predicted_p99 < current_p99 * 0.999);
+    // Claw-back: with a budget in force the granted share IS the tenant's
+    // allowance — one deployed above it is over-provisioned and gives the
+    // replicas back, provided shrinking costs it (nearly) nothing.  That
+    // is where a breached neighbor's extra share comes from.
+    const int deployed = current.replication.total_replicas(num_ops);
+    const bool reclaims = options_.replica_budget > 0 &&
+                          alloc.granted_replicas < deployed && gain >= -0.02;
+    const bool beneficial =
+        diff.any() && (gain >= options_.threshold || repairs || reclaims);
+
+    decision.granted[k] = alloc.granted_replicas;
+    decision.current[k] = deployed;
+    decision.slo_breached[k] = breached;
+
+    bool redeployed = false;
+    if (beneficial &&
+        redeployments_.load(std::memory_order_relaxed) < options_.max_redeployments &&
+        engine.reconfigure(alloc.deployment)) {
+      redeployed = true;
+      redeployments_.fetch_add(1, std::memory_order_relaxed);
+      // The fence window is not a steady-state sample; restart the window.
+      TenantWindow& win = windows_[live[k]];
+      win.prev = engine.sample();
+      win.e2e_prev = engine.stats_board().end_to_end_snapshot();
+      reason << slots[k]->spec.name << ": redeployed to " << alloc.granted_replicas
+             << " replicas (" << diff.ops_changed << " op(s) changed, gain "
+             << gain * 100.0 << "%";
+      if (breached) {
+        reason << ", slo breach p99 " << current_p99 * 1e3 << " ms > " << slo * 1e3
+               << " ms";
+      }
+      reason << "); ";
+    }
+    decision.redeployed[k] = redeployed;
+  }
+  if (reason.str().empty()) {
+    decision.reason = "no beneficial change";
+  } else {
+    decision.reason = reason.str();
+  }
+  return decision;
+}
+
+}  // namespace ss::runtime

@@ -1,0 +1,180 @@
+// Multi-tenant execution: N topologies as tenants of one SchedulerHost.
+//
+// TenantGroup owns the shared host and one Engine per application.  Each
+// tenant runs on its own driver thread (run_until_complete), but every
+// actor of every tenant executes on the host's K workers under weighted
+// stride dispatch.  Tenants are hot: submit() registers a new application
+// while the others keep running (its actors fence into the host at their
+// own epoch boundary), and retire() drains one application — every tuple
+// its source emitted is processed — without pausing the neighbors.
+//
+// JointController is the multi-tenant generalization of the per-engine
+// ReconfigController: one sampling loop measures every tenant's window
+// (counter deltas → measured operator profiles, windowed e2e p99), feeds
+// the measured topologies into optimize_joint() under the global replica
+// budget, and re-deploys the tenants whose granted share changed — which
+// is exactly how an SLO-breached tenant claws replicas back from an
+// over-provisioned neighbor at the next elastic epoch.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/joint.hpp"
+#include "runtime/engine.hpp"
+#include "runtime/scheduler_host.hpp"
+
+namespace ss::runtime {
+
+/// One application to run as a tenant.
+struct TenantSpec {
+  std::string name;
+  Topology topology;
+  /// Initial deployment (typically deployment_of(auto_optimize(...)) or a
+  /// TenantAllocation::deployment from optimize_joint()).
+  Deployment deployment;
+  AppFactory factory;
+  /// Per-engine knobs (mailbox capacity, metrics path, ...).  The group
+  /// overwrites `host`, `tenant`, `tenant_weight` and disables the
+  /// per-engine elastic controller (the joint controller owns elasticity).
+  EngineConfig config{};
+  /// Stride-scheduling weight on the shared host and importance in the
+  /// joint allocation.
+  double weight = 1.0;
+  /// Optimizer options (SLO, objective, ...) the joint controller uses
+  /// for this tenant's workload.
+  AutoOptimizeOptions optimize{};
+  /// Give up on the run after this long even if the source never ends.
+  std::chrono::duration<double> max_duration{30.0};
+};
+
+struct JointControllerOptions {
+  double period = 0.5;        ///< seconds between joint evaluations
+  double threshold = 0.10;    ///< min predicted relative gain to re-deploy
+  std::uint64_t min_samples = 50;
+  int replica_budget = 0;     ///< global replica budget; <= 0 = unbounded
+  int max_redeployments = 16;
+};
+
+/// One joint evaluation window, kept for reporting and tests.
+struct JointDecision {
+  double at_seconds = 0.0;
+  /// Per live tenant, in group submission order.
+  std::vector<std::string> names;
+  std::vector<int> granted;     ///< replicas granted by optimize_joint
+  std::vector<int> current;     ///< replicas deployed before this window
+  std::vector<bool> redeployed;
+  std::vector<bool> slo_breached;
+  bool budget_binding = false;
+  std::string reason;
+};
+
+class JointController;
+
+class TenantGroup {
+ public:
+  /// `workers`/`batch` size the shared SchedulerHost.
+  explicit TenantGroup(int workers = 0, int batch = 0);
+  ~TenantGroup();
+
+  TenantGroup(const TenantGroup&) = delete;
+  TenantGroup& operator=(const TenantGroup&) = delete;
+
+  /// Registers the tenant and starts it immediately on the shared host;
+  /// running neighbors are not paused.  Returns the tenant's index.
+  std::size_t submit(TenantSpec spec);
+
+  /// Hot-retires tenant `index`: its source stops, the pipeline drains
+  /// through the shutdown protocol (zero tuples lost), the host drops its
+  /// actor-set.  Blocks until drained; neighbors keep running.  Returns
+  /// the tenant's final RunStats.  Rethrows the tenant's failure, if any.
+  RunStats retire(std::size_t index);
+
+  /// Waits for every still-running tenant to complete naturally (finite
+  /// sources) and returns all final stats in submission order.  Tenants
+  /// already retired keep the stats collected then.
+  std::vector<RunStats> wait_all();
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] const std::string& name(std::size_t index) const;
+  /// The tenant's engine (sampling, reconfigure).  Valid until the group
+  /// dies; the engine outlives its run.
+  [[nodiscard]] Engine& engine(std::size_t index);
+  [[nodiscard]] SchedulerHost& host() { return host_; }
+  /// True once the tenant's run returned (drained or failed).
+  [[nodiscard]] bool finished(std::size_t index) const;
+
+  /// Starts the joint elastic loop (stopped automatically on destruction
+  /// and by wait_all()).
+  void start_controller(JointControllerOptions options);
+  void stop_controller();
+  [[nodiscard]] const JointController* controller() const { return controller_.get(); }
+
+ private:
+  friend class JointController;
+
+  struct Slot {
+    TenantSpec spec;
+    std::unique_ptr<Engine> engine;
+    std::thread runner;
+    RunStats stats;
+    std::exception_ptr error;
+    std::atomic<bool> finished{false};
+    bool joined = false;  ///< runner thread collected (group mutex)
+  };
+
+  /// Joins the runner of `slot` (idempotent) and rethrows its failure.
+  RunStats collect(Slot& slot);
+
+  SchedulerHost host_;
+  mutable std::mutex mu_;  ///< guards slots_ growth and join bookkeeping
+  std::vector<std::unique_ptr<Slot>> slots_;
+  std::unique_ptr<JointController> controller_;
+};
+
+/// Samples every live tenant on a fixed period and drives joint
+/// re-deployments through optimize_joint().
+class JointController {
+ public:
+  JointController(TenantGroup& group, JointControllerOptions options);
+  ~JointController();
+
+  JointController(const JointController&) = delete;
+  JointController& operator=(const JointController&) = delete;
+
+  void start();
+  void stop();  ///< joins the loop; an in-flight switch-over completes
+
+  [[nodiscard]] std::vector<JointDecision> decisions() const;
+  [[nodiscard]] int redeployments() const {
+    return redeployments_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct TenantWindow {
+    CounterSnapshot prev;
+    HistogramSnapshot e2e_prev;
+    bool primed = false;
+  };
+
+  void loop();
+  JointDecision evaluate_window();
+
+  TenantGroup& group_;
+  JointControllerOptions options_;
+  std::thread thread_;
+  std::atomic<bool> stop_{false};
+  std::atomic<int> redeployments_{0};
+  mutable std::mutex mu_;  ///< guards decisions_ and the stop cv
+  std::condition_variable stop_cv_;
+  std::vector<JointDecision> decisions_;
+  std::vector<TenantWindow> windows_;  ///< per tenant index, grown lazily
+};
+
+}  // namespace ss::runtime

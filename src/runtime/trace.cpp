@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <deque>
 #include <fstream>
 #include <memory>
 #include <mutex>
@@ -87,7 +88,35 @@ Registry& registry() {
 
 thread_local std::shared_ptr<Tracer::Ring> tls_ring;
 
+thread_local const char* tls_tenant = nullptr;
+
+/// Interned tenant labels.  Deque: stable addresses across growth; the
+/// storage lives for the process (labels are few — one per tenant).
+struct LabelPool {
+  std::mutex mu;
+  std::deque<std::string> labels;
+};
+
+LabelPool& label_pool() {
+  static LabelPool p;
+  return p;
+}
+
 }  // namespace
+
+const char* intern_label(const std::string& label) {
+  LabelPool& pool = label_pool();
+  std::lock_guard<std::mutex> lock(pool.mu);
+  for (const std::string& existing : pool.labels) {
+    if (existing == label) return existing.c_str();
+  }
+  pool.labels.push_back(label);
+  return pool.labels.back().c_str();
+}
+
+void set_thread_tenant(const char* tenant) { tls_tenant = tenant; }
+
+const char* thread_tenant() { return tls_tenant; }
 
 Tracer& Tracer::instance() {
   static Tracer t;
@@ -123,6 +152,12 @@ std::uint64_t Tracer::now_ns() const {
 
 void Tracer::record(const Event& e) {
   if (!enabled()) return;
+  if (e.tenant == nullptr && tls_tenant != nullptr) {
+    Event tagged = e;
+    tagged.tenant = tls_tenant;
+    local_ring().write(tagged);
+    return;
+  }
   local_ring().write(e);
 }
 
@@ -193,8 +228,16 @@ std::size_t Tracer::stop_and_flush(const std::string& path) {
         << ",\"ts\":" << static_cast<double>(e.ts_ns) / 1e3;
     if (e.phase == 'X') out << ",\"dur\":" << static_cast<double>(e.dur_ns) / 1e3;
     if (e.phase == 'i') out << ",\"s\":\"t\"";
-    if (e.arg_name != nullptr) {
-      out << ",\"args\":{\"" << json_escape(e.arg_name) << "\":" << e.arg << "}";
+    if (e.arg_name != nullptr || e.tenant != nullptr) {
+      out << ",\"args\":{";
+      if (e.tenant != nullptr) {
+        out << "\"tenant\":\"" << json_escape(e.tenant) << "\"";
+        if (e.arg_name != nullptr) out << ",";
+      }
+      if (e.arg_name != nullptr) {
+        out << "\"" << json_escape(e.arg_name) << "\":" << e.arg;
+      }
+      out << "}";
     }
     out << "}";
   }

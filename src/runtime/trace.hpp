@@ -30,6 +30,10 @@ struct Event {
   const char* name = nullptr;      ///< string literal
   const char* cat = nullptr;       ///< string literal ("sched", "fence", ...)
   const char* arg_name = nullptr;  ///< optional numeric payload key
+  /// Tenant tag (multi-tenant runs): interned label (intern_label) or
+  /// nullptr.  Stamped automatically from the calling thread's tag
+  /// (set_thread_tenant) when record() sees it unset.
+  const char* tenant = nullptr;
   std::uint64_t ts_ns = 0;         ///< nanoseconds since Tracer start
   std::uint64_t dur_ns = 0;        ///< span length ('X' only)
   std::int64_t arg = 0;
@@ -86,6 +90,20 @@ class Tracer {
 /// True when the process-global tracer is armed (one relaxed load — the
 /// whole cost of an untraced call site).
 inline bool enabled() { return Tracer::instance().enabled(); }
+
+/// Interns `label` in process-lifetime storage and returns a stable
+/// pointer, so dynamically named tenants can tag Events (which store raw
+/// pointers).  Idempotent per distinct string.
+const char* intern_label(const std::string& label);
+
+/// Tags every event the calling thread records from now on with `tenant`
+/// (an interned label or a string literal); nullptr clears the tag.
+/// Scheduler workers set it around each tenant's actor slot; engine-owned
+/// threads (run loop, controller, exporter) set it once at entry.
+void set_thread_tenant(const char* tenant);
+
+/// The calling thread's current tenant tag (nullptr when untagged).
+const char* thread_tenant();
 
 /// Out-of-line armed path of instant() below.
 void instant_armed(const char* name, const char* cat, const char* arg_name,

@@ -1,0 +1,156 @@
+// Units of the joint allocator (core/joint.hpp): the global replica budget
+// split across tenant workloads by water-filling — slack grants every
+// desire, a binding budget goes to the highest weighted marginal gain,
+// SLO-breached tenants outrank throughput seekers, and the final per-tenant
+// deployments respect the granted shares exactly.
+#include "core/joint.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/steady_state.hpp"
+#include "core/topology.hpp"
+
+namespace ss {
+namespace {
+
+/// src at 1000/s, heavy stage at ~278/s: Alg. 2 wants four replicas of
+/// "heavy" (6 total replicas for the 3 operators).
+Topology under_provisioned() {
+  Topology::Builder b;
+  b.add_operator("src", 1.0e-3);
+  b.add_operator("heavy", 3.6e-3);
+  b.add_operator("sink", 0.05e-3);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  return b.build();
+}
+
+/// Fully provisioned: every stage keeps up sequentially, desire = 3.
+Topology balanced() {
+  Topology::Builder b;
+  b.add_operator("src", 1.0e-3);
+  b.add_operator("light", 0.2e-3);
+  b.add_operator("sink", 0.05e-3);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  return b.build();
+}
+
+TenantWorkload workload(Topology t, double weight = 1.0, double slo_p99 = 0.0) {
+  TenantWorkload w;
+  w.topology = std::move(t);
+  w.options.enable_fusion = false;
+  w.options.slo_p99 = slo_p99;
+  w.weight = weight;
+  return w;
+}
+
+int granted_of(const TenantAllocation& a, const TenantWorkload& w) {
+  return a.result.plan.total_replicas(w.topology.num_operators());
+}
+
+TEST(Joint, NoBudgetGrantsEveryDesire) {
+  std::vector<TenantWorkload> ws;
+  ws.push_back(workload(under_provisioned()));
+  ws.push_back(workload(balanced()));
+  const JointResult r = optimize_joint(ws);
+  ASSERT_EQ(r.tenants.size(), 2u);
+  EXPECT_FALSE(r.budget_binding);
+  EXPECT_EQ(r.total_granted, r.total_desired);
+  for (std::size_t i = 0; i < ws.size(); ++i) {
+    EXPECT_EQ(r.tenants[i].granted_replicas, r.tenants[i].desired_replicas);
+  }
+  // The hungry tenant's desire replicates the heavy stage past rho = 1.
+  EXPECT_GE(r.tenants[0].desired_replicas, 6);
+  EXPECT_EQ(r.tenants[1].desired_replicas, 3);
+}
+
+TEST(Joint, SlackBudgetEqualsUnbounded) {
+  std::vector<TenantWorkload> ws;
+  ws.push_back(workload(under_provisioned()));
+  ws.push_back(workload(balanced()));
+  const JointResult unbounded = optimize_joint(ws);
+  JointOptions options;
+  options.replica_budget = unbounded.total_desired + 5;
+  const JointResult r = optimize_joint(ws, options);
+  EXPECT_FALSE(r.budget_binding);
+  EXPECT_EQ(r.total_granted, unbounded.total_granted);
+}
+
+TEST(Joint, BindingBudgetIsRespectedExactly) {
+  std::vector<TenantWorkload> ws;
+  ws.push_back(workload(under_provisioned()));
+  ws.push_back(workload(under_provisioned()));
+  JointOptions options;
+  options.replica_budget = 8;  // each tenant alone wants >= 6
+  const JointResult r = optimize_joint(ws, options);
+  EXPECT_TRUE(r.budget_binding);
+  EXPECT_LE(r.total_granted, options.replica_budget);
+  // Nobody is starved below the sequential floor.
+  for (std::size_t i = 0; i < ws.size(); ++i) {
+    EXPECT_GE(r.tenants[i].granted_replicas, 3);
+    EXPECT_LE(r.tenants[i].granted_replicas, r.tenants[i].desired_replicas);
+    // The exact solve honored the share: the deployed plan never exceeds it.
+    EXPECT_EQ(granted_of(r.tenants[i], ws[i]), r.tenants[i].granted_replicas);
+  }
+  EXPECT_EQ(r.total_desired, 2 * r.tenants[0].desired_replicas);
+}
+
+TEST(Joint, WeightTiltsTheWaterFilling) {
+  // Two identical hungry tenants, one three times as important: under a
+  // budget that cannot satisfy both, the heavier tenant gets at least as
+  // many replicas and strictly more of the contested surplus.
+  std::vector<TenantWorkload> ws;
+  ws.push_back(workload(under_provisioned(), 3.0));
+  ws.push_back(workload(under_provisioned(), 1.0));
+  JointOptions options;
+  options.replica_budget = 9;  // floors 3 + 3, surplus of 3 contested
+  const JointResult r = optimize_joint(ws, options);
+  EXPECT_TRUE(r.budget_binding);
+  EXPECT_GT(r.tenants[0].granted_replicas, r.tenants[1].granted_replicas);
+}
+
+TEST(Joint, BreachedTenantOutranksThroughputSeeker) {
+  // Tenant 0 carries an SLO its sequential deployment cannot meet (the
+  // heavy stage's standing queue); tenant 1 only chases throughput.  Under
+  // a budget with a single contested replica, the breached tenant wins it
+  // even though the other tenant's marginal throughput gain is positive.
+  std::vector<TenantWorkload> ws;
+  ws.push_back(workload(under_provisioned(), 1.0, /*slo_p99=*/0.010));
+  ws.push_back(workload(under_provisioned(), 1.0));
+  JointOptions options;
+  options.replica_budget = 7;  // floors 3 + 3, one replica contested
+  const JointResult r = optimize_joint(ws, options);
+  EXPECT_TRUE(r.budget_binding);
+  EXPECT_EQ(r.tenants[0].granted_replicas, 4);
+  EXPECT_EQ(r.tenants[1].granted_replicas, 3);
+}
+
+TEST(Joint, GrantedShareImprovesPredictedThroughput) {
+  // Sanity of the marginal-gain machinery: granting the hungry tenant more
+  // of the budget must monotonically raise its predicted throughput up to
+  // its desire.
+  std::vector<TenantWorkload> ws;
+  ws.push_back(workload(under_provisioned()));
+  ws.push_back(workload(balanced()));
+  double last = 0.0;
+  for (int budget = 6; budget <= 9; ++budget) {
+    JointOptions options;
+    options.replica_budget = budget;
+    const JointResult r = optimize_joint(ws, options);
+    EXPECT_GE(r.tenants[0].predicted_throughput, last - 1e-9) << "budget " << budget;
+    last = r.tenants[0].predicted_throughput;
+  }
+  EXPECT_GT(last, optimize_joint(ws, JointOptions{6}).tenants[0].predicted_throughput);
+}
+
+TEST(Joint, EmptyWorkloadListIsANoop) {
+  const JointResult r = optimize_joint({});
+  EXPECT_TRUE(r.tenants.empty());
+  EXPECT_EQ(r.total_desired, 0);
+  EXPECT_EQ(r.total_granted, 0);
+  EXPECT_FALSE(r.budget_binding);
+}
+
+}  // namespace
+}  // namespace ss

@@ -1,0 +1,321 @@
+// Multi-tenant runtime end-to-end (runtime/tenants.hpp): N topologies as
+// tenants of one shared SchedulerHost.  Covers the ISSUE's acceptance
+// criteria: shared-pool throughput within 10% of dedicated pools, an
+// SLO-breached tenant clawing replicas back from an over-provisioned
+// neighbor through the joint controller, hot submit/retire losing zero
+// tuples through the fence, and keyed-state continuity across a tenant's
+// re-deployment while its neighbor keeps running.
+#include "runtime/tenants.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/optimizer.hpp"
+#include "ops/keyed.hpp"
+#include "runtime/engine.hpp"
+#include "runtime/scheduler.hpp"
+#include "runtime/synthetic.hpp"
+
+namespace ss::runtime {
+namespace {
+
+using std::chrono::duration;
+
+/// Low-utilization linear pipeline: the paced source bounds throughput at
+/// ~2000/s, every stage keeps up easily — contention-robust for the
+/// shared-vs-dedicated parity comparison.
+Topology light_pipeline() {
+  Topology::Builder b;
+  b.add_operator("src", 0.5e-3);
+  b.add_operator("mid", 0.2e-3);
+  b.add_operator("sink", 0.05e-3);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  return b.build();
+}
+
+TenantSpec light_spec(std::string name, std::int64_t items,
+                      double max_seconds = 60.0) {
+  TenantSpec spec;
+  spec.name = std::move(name);
+  spec.topology = light_pipeline();
+  spec.factory = synthetic_factory(1.0, items);
+  spec.max_duration = duration<double>(max_seconds);
+  return spec;
+}
+
+TEST(MultiTenant, SharedPoolThroughputWithinTenPercentOfDedicated) {
+  constexpr std::int64_t kItems = 3000;
+  const Topology t = light_pipeline();
+
+  // Baseline: each app back-to-back on its own dedicated 4-worker pool.
+  std::vector<double> dedicated;
+  for (int i = 0; i < 2; ++i) {
+    EngineConfig cfg;
+    cfg.scheduler = SchedulerKind::kPooled;
+    cfg.workers = 4;
+    Engine engine(t, Deployment{}, synthetic_factory(1.0, kItems), cfg);
+    const RunStats stats = engine.run_until_complete(duration<double>(60.0));
+    ASSERT_EQ(stats.ops[0].processed, static_cast<std::uint64_t>(kItems));
+    dedicated.push_back(stats.source_rate);
+  }
+
+  // Both tenants concurrently on one shared 4-worker host.
+  TenantGroup group(4);
+  group.submit(light_spec("a", kItems));
+  group.submit(light_spec("b", kItems));
+  const std::vector<RunStats> stats = group.wait_all();
+
+  ASSERT_EQ(stats.size(), 2u);
+  for (std::size_t i = 0; i < 2; ++i) {
+    EXPECT_EQ(stats[i].ops[0].processed, static_cast<std::uint64_t>(kItems));
+    EXPECT_EQ(stats[i].dropped, 0u);
+    EXPECT_NEAR(stats[i].source_rate, dedicated[i], 0.10 * dedicated[i])
+        << "tenant " << i << " lost more than 10% to sharing";
+  }
+}
+
+TEST(MultiTenant, BreachedTenantClawsBackReplicasFromNeighbor) {
+  // "hungry" carries a 25 ms p99 SLO its sequential deployment cannot meet
+  // (the 1.6 ms worker stage runs at rho = 1.6; its standing queue puts the
+  // measured tail near 100 ms).  "greedy" needs 3 replicas but deploys 6.
+  // Budget 7 < hungry's desire + greedy's floor + surplus: the joint
+  // controller must grow hungry past its floor and shrink greedy below its
+  // over-provisioned start — the claw-back.
+  Topology::Builder hb;
+  hb.add_operator("src", 1.0e-3);
+  hb.add_operator("worker", 1.6e-3);
+  hb.add_operator("sink", 0.05e-3);
+  hb.add_edge(0, 1);
+  hb.add_edge(1, 2);
+
+  TenantSpec hungry;
+  hungry.name = "hungry";
+  hungry.topology = hb.build();
+  hungry.factory = synthetic_factory();  // unbounded
+  hungry.optimize.enable_fusion = false;
+  hungry.optimize.slo_p99 = 0.025;
+  hungry.max_duration = duration<double>(6.0);
+
+  TenantSpec greedy = light_spec("greedy", -1, 6.0);
+  greedy.topology = [] {
+    Topology::Builder b;
+    b.add_operator("src", 1.0e-3);
+    b.add_operator("light", 0.2e-3);
+    b.add_operator("sink", 0.05e-3);
+    b.add_edge(0, 1);
+    b.add_edge(1, 2);
+    return b.build();
+  }();
+  greedy.factory = synthetic_factory();
+  greedy.deployment.replication.replicas = {1, 4, 1};  // over-provisioned
+  greedy.optimize.enable_fusion = false;
+
+  TenantGroup group(4);
+  const std::size_t h = group.submit(std::move(hungry));
+  const std::size_t g = group.submit(std::move(greedy));
+  JointControllerOptions controller;
+  controller.period = 0.25;
+  controller.threshold = 5.0;  // rate path disabled: breach/claw-back only
+  controller.replica_budget = 7;
+  group.start_controller(controller);
+  const std::vector<RunStats> stats = group.wait_all();
+
+  // The breached tenant re-deployed past its sequential floor...
+  EXPECT_GE(stats[h].reconfigurations, 1);
+  const int hungry_final =
+      group.engine(h).deployment().replication.total_replicas(3);
+  EXPECT_GE(hungry_final, 4) << "breached tenant never grew";
+  // ...and the over-provisioned neighbor gave replicas back.
+  EXPECT_GE(stats[g].reconfigurations, 1);
+  const int greedy_final =
+      group.engine(g).deployment().replication.total_replicas(3);
+  EXPECT_LT(greedy_final, 6) << "neighbor kept its over-provisioned share";
+  // A decision window recorded the breach that justified the move.
+  ASSERT_NE(group.controller(), nullptr);
+  bool breach_seen = false;
+  for (const JointDecision& d : group.controller()->decisions()) {
+    for (std::size_t k = 0; k < d.names.size(); ++k) {
+      if (d.names[k] == "hungry" && d.slo_breached[k] && d.redeployed[k]) {
+        breach_seen = true;
+        EXPECT_GT(d.granted[k], d.current[k]);
+      }
+    }
+  }
+  EXPECT_TRUE(breach_seen) << "no window re-deployed the breached tenant";
+  // The fences cost neither tenant a tuple.
+  EXPECT_EQ(stats[h].dropped, 0u);
+  EXPECT_EQ(stats[g].dropped, 0u);
+}
+
+TEST(MultiTenant, HotSubmitAndRetireLoseNothingThroughTheFence) {
+  constexpr std::int64_t kItemsB = 2000;
+  TenantGroup group(4);
+  // A runs an unbounded source; B arrives while A is mid-stream.
+  const std::size_t a = group.submit(light_spec("a", -1, 30.0));
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  ASSERT_FALSE(group.finished(a));
+  const std::size_t bi = group.submit(light_spec("b", kItemsB));
+
+  // B drains naturally (finite source) while A keeps running.
+  while (!group.finished(bi)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_FALSE(group.finished(a));
+  const RunStats stats_b = group.retire(bi);
+  // Exact count: every item B's source generated reached its sink.
+  EXPECT_EQ(stats_b.dropped, 0u);
+  EXPECT_EQ(stats_b.ops[0].processed, static_cast<std::uint64_t>(kItemsB));
+  EXPECT_EQ(stats_b.ops[1].processed, stats_b.ops[0].emitted);
+  EXPECT_EQ(stats_b.ops[2].processed, stats_b.ops[1].emitted);
+
+  // Hot-retire A mid-stream: the shutdown fence drains the pipeline, so
+  // everything the source emitted before stopping is accounted for.
+  const RunStats stats_a = group.retire(a);
+  EXPECT_EQ(stats_a.dropped, 0u);
+  EXPECT_GT(stats_a.ops[0].processed, 0u);
+  EXPECT_EQ(stats_a.ops[1].processed, stats_a.ops[0].emitted);
+  EXPECT_EQ(stats_a.ops[2].processed, stats_a.ops[1].emitted);
+
+  // The per-tenant ready-hint ledger balances (the release-mode invariant
+  // format_stats surfaces): pushes == pops + steals + discarded.
+  for (const std::size_t idx : {a, bi}) {
+    const SchedulerCounters c = group.engine(idx).scheduler_counters();
+    EXPECT_GT(c.pushes, 0u);
+    EXPECT_EQ(c.pushes, c.local_pops + c.steals + c.discarded) << "tenant " << idx;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Keyed-state continuity with a live neighbor
+
+/// Paced source cycling keys 0..keys-1 round-robin, f[0] = 1.
+class RoundRobinKeySource final : public SourceLogic {
+ public:
+  RoundRobinKeySource(std::int64_t count, int keys, double interval)
+      : count_(count), keys_(keys), interval_(interval) {}
+
+  bool next(Tuple& out) override {
+    if (next_id_ >= count_) return false;
+    {
+      BlockingSection blocking;
+      waiter_.wait(interval_);
+    }
+    out = Tuple{};
+    out.id = next_id_;
+    out.key = next_id_ % keys_;
+    out.f[0] = 1.0;
+    ++next_id_;
+    return true;
+  }
+
+ private:
+  std::int64_t count_;
+  int keys_;
+  double interval_;
+  PacedWaiter waiter_;
+  std::int64_t next_id_ = 0;
+};
+
+/// Terminal operator recording every tuple it sees.
+class CaptureSink final : public OperatorLogic {
+ public:
+  CaptureSink(std::mutex& mu, std::vector<Tuple>& out) : mu_(mu), out_(out) {}
+
+  void process(const Tuple& item, OpIndex, Collector&) override {
+    std::lock_guard lock(mu_);
+    out_.push_back(item);
+  }
+  [[nodiscard]] std::unique_ptr<OperatorLogic> clone() const override {
+    return std::make_unique<CaptureSink>(mu_, out_);
+  }
+
+ private:
+  std::mutex& mu_;
+  std::vector<Tuple>& out_;
+};
+
+TEST(MultiTenant, KeyedStateSurvivesRedeployWhileNeighborKeepsRunning) {
+  constexpr int kKeys = 16;
+  constexpr std::int64_t kItems = 3000;
+  Topology::Builder b;
+  b.add_operator("src", 0.1e-3);
+  OperatorSpec count;
+  count.name = "count";
+  count.service_time = 0.02e-3;
+  count.state = StateKind::kPartitionedStateful;
+  count.keys = KeyDistribution::uniform(kKeys);
+  b.add_operator(std::move(count));
+  b.add_operator("sink", 1e-6);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+
+  std::mutex mu;
+  std::vector<Tuple> captured;
+  TenantSpec keyed;
+  keyed.name = "keyed";
+  keyed.topology = b.build();
+  keyed.factory.source = [&](OpIndex, const OperatorSpec&) {
+    return std::make_unique<RoundRobinKeySource>(kItems, kKeys, 0.1e-3);
+  };
+  keyed.factory.logic = [&](OpIndex op,
+                            const OperatorSpec&) -> std::unique_ptr<OperatorLogic> {
+    if (op == 1) return std::make_unique<ops::KeyedCounter>();
+    return std::make_unique<CaptureSink>(mu, captured);
+  };
+  keyed.config.assign_keys_at_emitter = false;  // real keys drive the partition map
+  keyed.max_duration = duration<double>(60.0);
+
+  TenantGroup group(4);
+  const std::size_t k = group.submit(std::move(keyed));
+  const std::size_t n = group.submit(light_spec("neighbor", -1, 30.0));
+
+  // Widen the counter to two replicas mid-stream (the keyed run lasts
+  // ~0.3s of source time); the neighbor keeps running through the fence.
+  std::this_thread::sleep_for(std::chrono::milliseconds(120));
+  Deployment widened;
+  widened.replication.replicas = {1, 2, 1};
+  bool switched = false;
+  while (!switched && !group.finished(k)) {
+    switched = group.engine(k).reconfigure(widened);
+    if (!switched) std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  // The keyed source is finite: let it drain naturally so every item is
+  // captured, then collect (retire on a finished tenant only joins).
+  while (!group.finished(k)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  const RunStats keyed_stats = group.retire(k);
+  ASSERT_FALSE(group.finished(n)) << "the neighbor must outlive the switch-over";
+  const RunStats neighbor_stats = group.retire(n);
+
+  EXPECT_TRUE(switched);
+  EXPECT_EQ(keyed_stats.reconfigurations, 1);
+  EXPECT_GE(keyed_stats.keys_migrated, 1u);
+  EXPECT_EQ(keyed_stats.dropped, 0u);
+  EXPECT_EQ(neighbor_stats.dropped, 0u);
+
+  // Continuity: the running count of every key must reach the key's total
+  // tuple count — a reset at the switch-over would cap the maximum below it.
+  std::map<std::int64_t, double> max_count;
+  std::map<std::int64_t, std::uint64_t> total;
+  ASSERT_EQ(captured.size(), static_cast<std::size_t>(kItems));
+  for (const Tuple& tp : captured) {
+    max_count[tp.key] = std::max(max_count[tp.key], tp.f[1]);
+    ++total[tp.key];
+  }
+  ASSERT_EQ(total.size(), static_cast<std::size_t>(kKeys));
+  for (const auto& [key, count_of_key] : total) {
+    EXPECT_EQ(max_count[key], static_cast<double>(count_of_key))
+        << "key " << key << ": running count reset across the switch-over";
+  }
+}
+
+}  // namespace
+}  // namespace ss::runtime
