@@ -1,8 +1,10 @@
 #include "cli/cli.hpp"
 
 #include <chrono>
+#include <cstdint>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 
 #include "core/bottleneck.hpp"
@@ -57,7 +59,8 @@ commands:
                                      (tables print predicted next to measured)
   run <file> [--seconds=S] [--optimize] [--engine=threads|pool] [--workers=K]
              [--batch=N] [--elastic] [--reconfig-period=S] [--reconfig-threshold=R]
-             [--slo-p99=MS] [--objective=NAME]
+             [--slo-p99=MS] [--objective=NAME] [--items=N]
+             [--checkpoint-dir=D] [--checkpoint-period=S] [--recover]
              [--trace=FILE] [--metrics-out=FILE] [--metrics-period=S]
                                      execute on the actor runtime (threads =
                                      one thread per actor, pool = K work-
@@ -67,6 +70,14 @@ commands:
                                      measured rates without losing tuples
                                      (with --slo-p99 it also re-deploys on
                                      measured SLO breach);
+                                     --items bounds every source to N items and
+                                     runs to completion (--seconds caps it);
+                                     --checkpoint-dir snapshots the quiesced
+                                     graph every --checkpoint-period seconds
+                                     (epoch checkpointing), --recover restores
+                                     the newest valid checkpoint and rewinds
+                                     the sources so the resumed run produces
+                                     the exact uninterrupted stream;
                                      --trace writes a Chrome trace-event JSON
                                      (open in Perfetto), --metrics-out appends
                                      one JSON metrics snapshot per line every
@@ -74,7 +85,8 @@ commands:
   run --app A.xml --app B.xml [--workers=K] [--batch=N] [--seconds=S]
       [--optimize] [--budget=N] [--weights=1,2,...] [--elastic]
       [--reconfig-period=S] [--reconfig-threshold=R] [--slo-p99=MS]
-      [--objective=NAME] [--metrics-out=FILE]
+      [--objective=NAME] [--metrics-out=FILE] [--checkpoint-dir=D]
+      [--checkpoint-period=S] [--recover]
                                      multi-tenant: every --app topology runs as
                                      a tenant of one shared worker pool;
                                      --optimize splits the --budget global
@@ -329,6 +341,10 @@ int cmd_execute(const Args& args, std::ostream& out, harness::ExecutionBackend b
     require(!args.has("trace") && !args.has("metrics-out"),
             "--trace/--metrics-out need a live runtime: use --engine=threads or "
             "--engine=pool");
+    require(!args.has("checkpoint-dir") && !args.has("checkpoint-period") &&
+                !args.has("recover") && !args.has("items"),
+            "--checkpoint-dir/--checkpoint-period/--recover/--items need a live "
+            "runtime: use --engine=threads or --engine=pool");
     sim::SimOptions options;
     options.duration = args.get_double("duration", 120.0);
     require(options.duration > 0.0, "--duration must be positive (seconds)");
@@ -411,14 +427,50 @@ int cmd_execute(const Args& args, std::ostream& out, harness::ExecutionBackend b
     std::ofstream probe(trace_path, std::ios::trunc);
     require(probe.good(), "cannot write trace file: " + trace_path);
   }
+  // --items=N bounds every source and runs to completion: the deterministic
+  // finite mode the recovery tests compare byte-for-byte.
+  const auto items = static_cast<std::int64_t>(args.get_int("items", -1));
+  require(!args.has("items") || items > 0, "--items must be a positive integer");
+  // Epoch checkpointing flags (runtime/checkpoint.hpp).
+  config.checkpoint_dir = args.get("checkpoint-dir", "");
+  require(!args.has("checkpoint-period") || !config.checkpoint_dir.empty(),
+          "--checkpoint-period requires --checkpoint-dir");
+  config.checkpoint_period =
+      args.get_double("checkpoint-period", config.checkpoint_period);
+  require(config.checkpoint_period > 0.0,
+          "--checkpoint-period must be positive (seconds)");
+  require(!args.has("recover") || !config.checkpoint_dir.empty(),
+          "--recover requires --checkpoint-dir");
+  if (args.has("recover")) {
+    // The manager validates the directory and scans for the newest valid
+    // checkpoint, skipping torn/corrupt files.  An empty (or all-corrupt)
+    // directory is a fresh start, not an error: a crash before the first
+    // snapshot must still be restartable with the same command line.
+    runtime::CheckpointManager manager(config.checkpoint_dir);
+    auto cp = std::make_shared<runtime::Checkpoint>();
+    if (manager.load_latest(*cp)) {
+      out << "recover: restoring checkpoint " << cp->sequence << " (epoch " << cp->epoch
+          << ") from " << config.checkpoint_dir << "\n";
+      config.recover_from = std::move(cp);
+    } else {
+      out << "recover: no valid checkpoint in " << config.checkpoint_dir
+          << ", starting fresh\n";
+    }
+  }
   // The engine validates --metrics-out the same way (the exporter opens
   // the file before any actor thread starts).
-  runtime::Engine engine(t, deployment, ops::make_logic_factory(t), config);
+  runtime::Engine engine(t, deployment, ops::make_logic_factory(t, items), config);
   const bool tracing =
       !trace_path.empty() && runtime::trace::Tracer::instance().start();
   runtime::RunStats stats;
   try {
-    stats = engine.run_for(std::chrono::duration<double>(seconds));
+    if (items > 0) {
+      // Finite run: --seconds caps the wait for natural completion.
+      const double cap = args.has("seconds") ? seconds : 300.0;
+      stats = engine.run_until_complete(std::chrono::duration<double>(cap));
+    } else {
+      stats = engine.run_for(std::chrono::duration<double>(seconds));
+    }
   } catch (...) {
     // Disarm so a failed run never leaves the process-global tracer armed.
     if (tracing) {
@@ -548,6 +600,15 @@ int cmd_run_multi(const Args& args, std::ostream& out) {
   }
 
   const std::string metrics_path = args.get("metrics-out", "");
+  // Epoch checkpointing: one subdirectory per tenant under --checkpoint-dir
+  // so tenants sharing one host never clobber each other's snapshots.
+  const std::string checkpoint_dir = args.get("checkpoint-dir", "");
+  require(!args.has("checkpoint-period") || !checkpoint_dir.empty(),
+          "--checkpoint-period requires --checkpoint-dir");
+  const double checkpoint_period = args.get_double("checkpoint-period", 1.0);
+  require(checkpoint_period > 0.0, "--checkpoint-period must be positive (seconds)");
+  require(!args.has("recover") || !checkpoint_dir.empty(),
+          "--recover requires --checkpoint-dir");
   runtime::TenantGroup group(static_cast<int>(args.get_int("workers", 0)),
                              static_cast<int>(args.get_int("batch", 0)));
   for (std::size_t i = 0; i < paths.size(); ++i) {
@@ -565,6 +626,22 @@ int cmd_run_multi(const Args& args, std::ostream& out) {
           args.get_double("metrics-period", spec.config.metrics_period);
       require(spec.config.metrics_period > 0.0,
               "--metrics-period must be positive (seconds)");
+    }
+    if (!checkpoint_dir.empty()) {
+      spec.config.checkpoint_dir = checkpoint_dir + "/" + names[i];
+      spec.config.checkpoint_period = checkpoint_period;
+      if (args.has("recover")) {
+        runtime::CheckpointManager manager(spec.config.checkpoint_dir);
+        auto cp = std::make_shared<runtime::Checkpoint>();
+        if (manager.load_latest(*cp)) {
+          out << "recover: tenant " << names[i] << " restoring checkpoint "
+              << cp->sequence << " (epoch " << cp->epoch << ")\n";
+          spec.config.recover_from = std::move(cp);
+        } else {
+          out << "recover: tenant " << names[i] << " has no valid checkpoint, "
+              << "starting fresh\n";
+        }
+      }
     }
     group.submit(std::move(spec));
   }

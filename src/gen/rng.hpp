@@ -6,6 +6,7 @@
 // runs identical everywhere.
 #pragma once
 
+#include <array>
 #include <cstdint>
 
 namespace ss {
@@ -69,6 +70,23 @@ class Rng {
 
   /// Derives an independent child generator (for per-actor streams).
   Rng split() { return Rng(next_u64() ^ 0xd1b54a32d192ed03ULL); }
+
+  // --- state capture (checkpointing) ------------------------------------
+  //
+  // A checkpointed run must resume the exact random stream it would have
+  // produced uninterrupted: per-key routing draws at the emitter are rng
+  // driven, so exactly-once per-key accounting needs the generator state
+  // itself, not just its seed.
+
+  /// The four xoshiro256** lanes, for serialization.
+  [[nodiscard]] std::array<std::uint64_t, 4> state() const {
+    return {state_[0], state_[1], state_[2], state_[3]};
+  }
+
+  /// Restores lanes previously captured with state().
+  void set_state(const std::array<std::uint64_t, 4>& lanes) {
+    for (int i = 0; i < 4; ++i) state_[i] = lanes[static_cast<std::size_t>(i)];
+  }
 
  private:
   static std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }

@@ -9,14 +9,17 @@
 // sums and distinct-sets survive the switch-over.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <unordered_map>
 #include <unordered_set>
 #include <utility>
 #include <vector>
 
 #include "runtime/operator.hpp"
+#include "runtime/wire.hpp"
 
 namespace ss::ops {
 
@@ -47,6 +50,16 @@ bool move_key(Map& from, std::int64_t key, OperatorLogic& to, Map Logic::* membe
   return true;
 }
 
+/// Keys in ascending order: checkpoint blobs must be byte-stable across
+/// runs regardless of hash-map iteration order, so the recovery test can
+/// compare golden vs. recovered state byte-for-byte.
+template <typename Map>
+std::vector<std::int64_t> sorted_keys(const Map& map) {
+  std::vector<std::int64_t> keys = keys_of(map);
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
 }  // namespace detail
 
 /// f[1] <- number of tuples seen for this key so far.
@@ -65,6 +78,31 @@ class KeyedCounter final : public OperatorLogic {
   }
   bool migrate_key(std::int64_t key, OperatorLogic& dest) override {
     return detail::move_key<KeyedCounter>(counts_, key, dest, &KeyedCounter::counts_);
+  }
+  [[nodiscard]] bool save_state(std::string& out) const override {
+    namespace wire = runtime::wire;
+    wire::put_u64(out, counts_.size());
+    for (std::int64_t key : detail::sorted_keys(counts_)) {
+      wire::put_i64(out, key);
+      wire::put_u64(out, counts_.at(key));
+    }
+    return true;
+  }
+  bool restore_state(const std::string& bytes) override {
+    runtime::wire::Reader in(bytes);
+    std::uint64_t n = 0;
+    if (!in.u64(n)) return false;
+    std::unordered_map<std::int64_t, std::uint64_t> fresh;
+    fresh.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      std::int64_t key;
+      std::uint64_t count;
+      if (!in.i64(key) || !in.u64(count)) return false;
+      fresh[key] = count;
+    }
+    if (!in.ok() || in.remaining() != 0) return false;
+    counts_ = std::move(fresh);
+    return true;
   }
 
  private:
@@ -87,6 +125,31 @@ class KeyedRunningSum final : public OperatorLogic {
   }
   bool migrate_key(std::int64_t key, OperatorLogic& dest) override {
     return detail::move_key<KeyedRunningSum>(sums_, key, dest, &KeyedRunningSum::sums_);
+  }
+  [[nodiscard]] bool save_state(std::string& out) const override {
+    namespace wire = runtime::wire;
+    wire::put_u64(out, sums_.size());
+    for (std::int64_t key : detail::sorted_keys(sums_)) {
+      wire::put_i64(out, key);
+      wire::put_f64(out, sums_.at(key));
+    }
+    return true;
+  }
+  bool restore_state(const std::string& bytes) override {
+    runtime::wire::Reader in(bytes);
+    std::uint64_t n = 0;
+    if (!in.u64(n)) return false;
+    std::unordered_map<std::int64_t, double> fresh;
+    fresh.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      std::int64_t key;
+      double sum;
+      if (!in.i64(key) || !in.f64(sum)) return false;
+      fresh[key] = sum;
+    }
+    if (!in.ok() || in.remaining() != 0) return false;
+    sums_ = std::move(fresh);
+    return true;
   }
 
  private:
@@ -112,6 +175,33 @@ class KeyedAverage final : public OperatorLogic {
   }
   bool migrate_key(std::int64_t key, OperatorLogic& dest) override {
     return detail::move_key<KeyedAverage>(state_, key, dest, &KeyedAverage::state_);
+  }
+  [[nodiscard]] bool save_state(std::string& out) const override {
+    namespace wire = runtime::wire;
+    wire::put_u64(out, state_.size());
+    for (std::int64_t key : detail::sorted_keys(state_)) {
+      const State& s = state_.at(key);
+      wire::put_i64(out, key);
+      wire::put_f64(out, s.sum);
+      wire::put_u64(out, s.count);
+    }
+    return true;
+  }
+  bool restore_state(const std::string& bytes) override {
+    runtime::wire::Reader in(bytes);
+    std::uint64_t n = 0;
+    if (!in.u64(n)) return false;
+    std::unordered_map<std::int64_t, State> fresh;
+    fresh.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      std::int64_t key;
+      State s;
+      if (!in.i64(key) || !in.f64(s.sum) || !in.u64(s.count)) return false;
+      fresh[key] = s;
+    }
+    if (!in.ok() || in.remaining() != 0) return false;
+    state_ = std::move(fresh);
+    return true;
   }
 
  private:
@@ -139,6 +229,41 @@ class KeyedDistinct final : public OperatorLogic {
   }
   bool migrate_key(std::int64_t key, OperatorLogic& dest) override {
     return detail::move_key<KeyedDistinct>(seen_, key, dest, &KeyedDistinct::seen_);
+  }
+  [[nodiscard]] bool save_state(std::string& out) const override {
+    namespace wire = runtime::wire;
+    wire::put_u64(out, seen_.size());
+    for (std::int64_t key : detail::sorted_keys(seen_)) {
+      const auto& buckets = seen_.at(key);
+      std::vector<std::int64_t> sorted(buckets.begin(), buckets.end());
+      std::sort(sorted.begin(), sorted.end());
+      wire::put_i64(out, key);
+      wire::put_u64(out, sorted.size());
+      for (std::int64_t bucket : sorted) wire::put_i64(out, bucket);
+    }
+    return true;
+  }
+  bool restore_state(const std::string& bytes) override {
+    runtime::wire::Reader in(bytes);
+    std::uint64_t n = 0;
+    if (!in.u64(n)) return false;
+    std::unordered_map<std::int64_t, std::unordered_set<std::int64_t>> fresh;
+    fresh.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      std::int64_t key;
+      std::uint64_t buckets = 0;
+      if (!in.i64(key) || !in.u64(buckets)) return false;
+      auto& set = fresh[key];
+      set.reserve(buckets);
+      for (std::uint64_t b = 0; b < buckets; ++b) {
+        std::int64_t bucket;
+        if (!in.i64(bucket)) return false;
+        set.insert(bucket);
+      }
+    }
+    if (!in.ok() || in.remaining() != 0) return false;
+    seen_ = std::move(fresh);
+    return true;
   }
 
  private:

@@ -8,13 +8,17 @@
 // operators are PerKey-lifted instances of the global aggregates.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "runtime/operator.hpp"
+#include "runtime/wire.hpp"
 
 namespace ss::ops {
 
@@ -59,6 +63,48 @@ class PerKey final : public runtime::OperatorLogic {
     if (target == nullptr || it == states_.end()) return false;
     target->states_[key] = std::move(it->second);  // the whole inner logic moves
     states_.erase(it);
+    return true;
+  }
+
+  [[nodiscard]] bool save_state(std::string& out) const override {
+    namespace wire = runtime::wire;
+    // Keys ascending for byte-stable blobs; every inner logic must itself
+    // support save_state, else the whole keyed state is unserializable.
+    std::vector<std::int64_t> keys;
+    keys.reserve(states_.size());
+    for (const auto& [key, logic] : states_) {
+      (void)logic;
+      keys.push_back(key);
+    }
+    std::sort(keys.begin(), keys.end());
+    std::string body;
+    wire::put_u64(body, keys.size());
+    for (std::int64_t key : keys) {
+      std::string inner;
+      if (!states_.at(key)->save_state(inner)) return false;
+      wire::put_i64(body, key);
+      wire::put_bytes(body, inner);
+    }
+    out += body;
+    return true;
+  }
+
+  bool restore_state(const std::string& bytes) override {
+    runtime::wire::Reader in(bytes);
+    std::uint64_t n = 0;
+    if (!in.u64(n)) return false;
+    std::unordered_map<std::int64_t, std::unique_ptr<runtime::OperatorLogic>> fresh;
+    fresh.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      std::int64_t key;
+      std::string inner;
+      if (!in.i64(key) || !in.bytes(inner)) return false;
+      auto logic = factory_();
+      if (!logic->restore_state(inner)) return false;
+      fresh[key] = std::move(logic);
+    }
+    if (!in.ok() || in.remaining() != 0) return false;
+    states_ = std::move(fresh);
     return true;
   }
 

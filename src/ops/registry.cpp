@@ -187,11 +187,12 @@ std::unique_ptr<runtime::OperatorLogic> make_logic(OpIndex op, const OperatorSpe
   throw Error("unknown operator implementation '" + spec.impl + "'");
 }
 
-runtime::AppFactory make_logic_factory(const Topology& topology) {
+runtime::AppFactory make_logic_factory(const Topology& topology, std::int64_t max_items) {
   (void)topology;  // reserved: per-topology wiring (e.g. join side ids)
   runtime::AppFactory factory;
-  factory.source = [](OpIndex op, const OperatorSpec& spec) {
-    return std::make_unique<runtime::SyntheticSource>(spec, 0x51ed2701u + op);
+  factory.source = [max_items](OpIndex op, const OperatorSpec& spec) {
+    return std::make_unique<runtime::SyntheticSource>(spec, 0x51ed2701u + op,
+                                                      /*time_scale=*/1.0, max_items);
   };
   factory.logic = [](OpIndex op, const OperatorSpec& spec) { return make_logic(op, spec); };
   return factory;

@@ -4,6 +4,7 @@
 // to an executable OperatorLogic.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -54,6 +55,10 @@ std::unique_ptr<runtime::OperatorLogic> make_logic(OpIndex op, const OperatorSpe
 
 /// AppFactory for the engine: synthetic paced source + make_logic per
 /// operator (the code-generation target, cf. core/codegen.hpp).
-runtime::AppFactory make_logic_factory(const Topology& topology);
+/// `max_items >= 0` bounds every source to that many items (finite runs:
+/// CLI --items, the deterministic-completion mode recovery tests rely on);
+/// the default keeps sources unbounded, cut off by the run duration.
+runtime::AppFactory make_logic_factory(const Topology& topology,
+                                       std::int64_t max_items = -1);
 
 }  // namespace ss::ops

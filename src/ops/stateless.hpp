@@ -7,12 +7,15 @@
 // are trivially safe.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "gen/rng.hpp"
 #include "runtime/operator.hpp"
+#include "runtime/wire.hpp"
 
 namespace ss::ops {
 
@@ -110,6 +113,22 @@ class Sampler final : public OperatorLogic {
   }
   [[nodiscard]] std::unique_ptr<OperatorLogic> clone() const override {
     return std::make_unique<Sampler>(rate_, rng_.next_u64());
+  }
+  // The rng position is the Sampler's only state: a recovered instance must
+  // continue the exact Bernoulli stream for item counts to stay identical.
+  [[nodiscard]] bool save_state(std::string& out) const override {
+    for (std::uint64_t lane : rng_.state()) runtime::wire::put_u64(out, lane);
+    return true;
+  }
+  bool restore_state(const std::string& bytes) override {
+    runtime::wire::Reader in(bytes);
+    std::array<std::uint64_t, 4> lanes{};
+    for (auto& lane : lanes) {
+      if (!in.u64(lane)) return false;
+    }
+    if (!in.ok() || in.remaining() != 0) return false;
+    rng_.set_state(lanes);
+    return true;
   }
 
  private:

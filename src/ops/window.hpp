@@ -8,6 +8,7 @@
 
 #include <cstddef>
 #include <deque>
+#include <utility>
 
 #include "core/error.hpp"
 #include "runtime/tuple.hpp"
@@ -43,6 +44,15 @@ class CountWindow {
   /// True when items arrived after the last slide trigger (a partial tail
   /// worth flushing at end-of-stream).
   [[nodiscard]] bool has_pending() const { return since_slide_ > 0; }
+
+  /// Items since the last slide trigger (checkpointed with the contents).
+  [[nodiscard]] std::size_t since_slide() const { return since_slide_; }
+
+  /// Replaces buffer and slide phase wholesale (checkpoint restore).
+  void restore(std::deque<runtime::Tuple> buffer, std::size_t since_slide) {
+    buffer_ = std::move(buffer);
+    since_slide_ = since_slide;
+  }
 
   void clear() {
     buffer_.clear();

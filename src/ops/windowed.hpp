@@ -7,10 +7,15 @@
 // Aggregates write their value into f[1] of a copy of the latest tuple.
 #pragma once
 
+#include <cstdint>
+#include <deque>
 #include <memory>
+#include <string>
+#include <utility>
 
 #include "ops/window.hpp"
 #include "runtime/operator.hpp"
+#include "runtime/wire.hpp"
 
 namespace ss::ops {
 
@@ -31,6 +36,41 @@ class WindowedAggregate : public OperatorLogic {
     if (window_.has_pending() && !window_.empty()) {
       emit_aggregate(window_.contents().back(), out);
     }
+  }
+
+  // The window buffer and slide phase are the aggregate's only state (the
+  // length/slide/q parameters are configuration, reconstructed by the
+  // factory); serializing them in the base covers every subclass.
+  [[nodiscard]] bool save_state(std::string& out) const override {
+    namespace wire = runtime::wire;
+    wire::put_u64(out, window_.size());
+    for (const Tuple& t : window_.contents()) {
+      wire::put_i64(out, t.id);
+      wire::put_i64(out, t.key);
+      wire::put_f64(out, t.ts);
+      for (double f : t.f) wire::put_f64(out, f);
+    }
+    wire::put_u64(out, window_.since_slide());
+    return true;
+  }
+
+  bool restore_state(const std::string& bytes) override {
+    runtime::wire::Reader in(bytes);
+    std::uint64_t n = 0;
+    if (!in.u64(n)) return false;
+    std::deque<Tuple> buffer;
+    for (std::uint64_t i = 0; i < n; ++i) {
+      Tuple t;
+      if (!in.i64(t.id) || !in.i64(t.key) || !in.f64(t.ts)) return false;
+      for (double& f : t.f) {
+        if (!in.f64(f)) return false;
+      }
+      buffer.push_back(t);
+    }
+    std::uint64_t since_slide = 0;
+    if (!in.u64(since_slide) || !in.ok() || in.remaining() != 0) return false;
+    window_.restore(std::move(buffer), static_cast<std::size_t>(since_slide));
+    return true;
   }
 
  protected:

@@ -1,0 +1,228 @@
+// Epoch checkpointing & crash recovery (barrier-aligned snapshotting).
+//
+// The fence/drain barrier of elastic re-deployment (engine.hpp) quiesces
+// the whole actor graph at an exact tuple boundary: every mailbox is empty
+// and every in-flight item fully processed, while sources keep generating
+// into a bounded buffer.  That is precisely the consistent cut a checkpoint
+// needs, so checkpointing piggybacks on the same barrier — Engine::
+// checkpoint_now() arms a fence, and instead of swapping the epoch it
+// serializes the quiesced state and resumes the *same* epoch in place.
+//
+// A checkpoint captures everything required to resume the exact stream an
+// uninterrupted run would have produced:
+//   * the deployment (replication / partitions / fusions) of the epoch,
+//   * per-source offsets: items delivered into the graph so far (items
+//     sitting in the fence buffer are *not* counted — they have not been
+//     processed, and a rewound source regenerates them deterministically),
+//   * per-actor rng lanes (emitter key draws and probabilistic routing are
+//     rng-driven; exactly-once per-key accounting needs the generator
+//     state, not its seed) and the emitter's round-robin cursor,
+//   * the OperatorLogic state blobs (save_state/restore_state).
+//
+// On-disk format (one file per checkpoint, written to a tmp file and
+// atomically renamed):
+//
+//   "SSCK" | u32 version | u64 payload_len | payload | u32 crc32(payload)
+//
+// all little-endian (wire.hpp).  Loading scans the directory for the
+// newest file whose magic, length and CRC all check out, silently skipping
+// truncated or corrupt ones — a crash mid-write can never poison recovery,
+// it only loses the youngest snapshot.  The last `retain` checkpoints are
+// kept; older ones are pruned after each successful write.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "core/deployment.hpp"
+#include "core/types.hpp"
+
+namespace ss::runtime {
+
+class Engine;
+
+/// What produced an actor-state entry.  Values 0..5 mirror ActorKind
+/// (plan.hpp); kMember tags the per-member logic blobs of a fused meta
+/// actor, which has several logic instances behind one actor.
+enum class CheckpointRole : std::uint8_t {
+  kSource = 0,
+  kWorker = 1,
+  kEmitter = 2,
+  kReplica = 3,
+  kCollector = 4,
+  kMeta = 5,
+  kMember = 6,
+};
+
+/// Serialized state of one actor (or one fused member's logic).  Matched
+/// back on recovery by (op, role, replica).
+struct CheckpointActorEntry {
+  OpIndex op = kInvalidOp;
+  CheckpointRole role = CheckpointRole::kWorker;
+  std::int32_t replica = -1;
+  std::array<std::uint64_t, 4> rng{};  ///< actor rng lanes (zero for kMember)
+  std::int32_t rr_cursor = -1;         ///< emitter round-robin cursor; -1 = n/a
+  bool has_state = false;              ///< logic supported save_state()
+  std::string state;                   ///< OperatorLogic::save_state bytes
+};
+
+/// Items one source delivered into the graph before the cut.
+struct CheckpointSourceEntry {
+  OpIndex op = kInvalidOp;
+  std::uint64_t offset = 0;
+};
+
+struct Checkpoint {
+  std::uint64_t sequence = 0;  ///< monotonic within the directory (file name)
+  std::uint64_t epoch = 0;     ///< engine epoch the cut was taken in
+  std::string tenant;          ///< EngineConfig::tenant tag ("" = untagged)
+  Deployment deployment;       ///< deployment of the checkpointed epoch
+  std::vector<CheckpointSourceEntry> sources;
+  std::vector<CheckpointActorEntry> actors;
+};
+
+// --- codec -----------------------------------------------------------------
+
+/// CRC-32 (reflected, poly 0xEDB88320) of `data`.
+[[nodiscard]] std::uint32_t crc32(std::string_view data, std::uint32_t seed = 0);
+
+/// Serializes `cp` into the bare payload (no header/CRC framing).
+[[nodiscard]] std::string encode_checkpoint(const Checkpoint& cp);
+
+/// Decodes a payload produced by encode_checkpoint(); false on any
+/// truncation, trailing garbage or malformed field.
+[[nodiscard]] bool decode_checkpoint(std::string_view payload, Checkpoint& out);
+
+/// Full file image: magic + version + length-prefixed payload + CRC footer.
+[[nodiscard]] std::string checkpoint_file_bytes(const Checkpoint& cp);
+
+/// Validates framing + CRC and decodes; false for torn/corrupt files.
+[[nodiscard]] bool parse_checkpoint_file(std::string_view bytes, Checkpoint& out);
+
+// --- fault injection -------------------------------------------------------
+
+/// Deterministic failure seam for the checkpoint write path.  Tests arm it
+/// programmatically; child-process recovery tests arm it through the
+/// environment (read once, at first use):
+///   SS_CHECKPOINT_FAIL_WRITE=N  the Nth snapshot write throws ss::Error
+///   SS_CHECKPOINT_TORN_WRITE=N  the Nth snapshot is silently truncated
+///                               mid-payload (torn-write simulation)
+///   SS_CRASH_AFTER_CHECKPOINTS=N  hard process exit (status 42) right
+///                               after the Nth successful write — a
+///                               deterministic stand-in for kill -9 at a
+///                               known checkpoint boundary
+class FaultInjector {
+ public:
+  /// Exit status of the injected hard crash (distinguishable from normal
+  /// failure paths in the recovery test's waitpid).
+  static constexpr int kCrashExitCode = 42;
+
+  static FaultInjector& instance();
+
+  /// Disarms everything (tests reset between cases).
+  void reset();
+
+  void fail_write_on(int nth);       ///< 1-based: the nth write() throws
+  void tear_write_on(int nth);       ///< 1-based: the nth write() is truncated
+  void crash_after_writes(int nth);  ///< hard exit after the nth success
+
+  // Hooks consumed by CheckpointManager::write().
+  [[nodiscard]] bool take_fail_write();
+  [[nodiscard]] bool take_torn_write();
+  void note_write_success();
+
+ private:
+  FaultInjector();
+
+  std::atomic<int> fail_write_in_{0};  // 0 = disarmed; fires when it hits 0
+  std::atomic<int> torn_write_in_{0};
+  std::atomic<int> crash_in_{0};
+};
+
+// --- manager ---------------------------------------------------------------
+
+/// Owns one checkpoint directory: atomic writes, retention, recovery scan.
+/// Construction creates the directory and probes writability, so an
+/// unusable --checkpoint-dir fails at startup rather than at the first
+/// fence.  Sequence numbering continues from existing files, so a
+/// recovered run never reuses (and thus never clobbers) a live snapshot.
+class CheckpointManager {
+ public:
+  static constexpr int kDefaultRetain = 3;
+
+  /// Throws ss::Error when the directory cannot be created or written.
+  explicit CheckpointManager(std::string dir, int retain = kDefaultRetain);
+
+  /// Stamps cp.sequence, writes dir/ckpt-<seq>.bin via tmp-file + rename,
+  /// prunes beyond the retention limit.  Throws ss::Error on I/O failure
+  /// (or injected write failure).  Returns the final path.
+  std::string write(Checkpoint& cp);
+
+  /// Writes dir/final.bin — the complete state at a *successful* end of
+  /// run, outside the retention rotation.  Recovery treats it like any
+  /// other checkpoint (it carries the next sequence number), so
+  /// re-running a completed run with --recover is a no-op rather than a
+  /// replay.  Not subject to fault injection: the injector targets the
+  /// periodic snapshot path.
+  std::string write_final(Checkpoint& cp);
+
+  /// Newest checkpoint in the directory that passes framing + CRC +
+  /// decode; skips torn or corrupt files.  False when none is valid.
+  [[nodiscard]] bool load_latest(Checkpoint& out) const;
+
+  /// Parses one checkpoint file; false on missing/torn/corrupt.
+  static bool read_file(const std::string& path, Checkpoint& out);
+
+  /// Checkpoint files currently on disk (full paths, unordered).
+  [[nodiscard]] std::vector<std::string> list() const;
+
+  [[nodiscard]] const std::string& dir() const { return dir_; }
+  [[nodiscard]] std::uint64_t next_sequence() const { return next_sequence_; }
+  [[nodiscard]] int retain() const { return retain_; }
+
+ private:
+  std::string write_file(const std::string& name, Checkpoint& cp, bool injectable);
+  void prune() const;
+
+  std::string dir_;
+  int retain_;
+  std::uint64_t next_sequence_ = 1;
+};
+
+// --- periodic driver -------------------------------------------------------
+
+/// Background thread calling Engine::checkpoint_now() every `period`
+/// seconds, same shape as ReconfigController/MetricsExporter: started by
+/// the engine when EngineConfig::checkpoint_dir is set, stopped (joined)
+/// before the run's stop flag is raised so an in-flight snapshot always
+/// completes or aborts cleanly.
+class CheckpointController {
+ public:
+  CheckpointController(Engine& engine, double period);
+  ~CheckpointController();
+
+  CheckpointController(const CheckpointController&) = delete;
+  CheckpointController& operator=(const CheckpointController&) = delete;
+
+  void start();
+  void stop();
+
+ private:
+  void loop();
+
+  Engine& engine_;
+  double period_;
+  std::thread thread_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace ss::runtime

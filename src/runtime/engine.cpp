@@ -227,12 +227,29 @@ Engine::Engine(const Topology& t, Deployment deployment, AppFactory factory,
   routers_.reserve(t.num_operators());
   for (OpIndex i = 0; i < t.num_operators(); ++i) routers_.emplace_back(t, i);
 
+  if (!config_.checkpoint_dir.empty()) {
+    require(config_.checkpoint_period > 0.0,
+            "Engine: checkpoint_period must be positive");
+    // Creates the directory and probes writability: an unusable
+    // --checkpoint-dir fails here, before any thread exists.
+    checkpoint_mgr_ = std::make_unique<CheckpointManager>(config_.checkpoint_dir,
+                                                          config_.checkpoint_retain);
+  }
+  source_base_offset_.assign(t.num_operators(), 0);
+  if (config_.recover_from != nullptr) {
+    // Resume the checkpointed deployment whatever the caller passed in:
+    // the captured actor state only fits the graph shape it was cut from.
+    deployment = config_.recover_from->deployment;
+  }
+
   ActorGraph graph = ActorGraph::build(t, deployment);
   epoch_ = build_epoch(std::move(deployment), std::move(graph), nullptr, nullptr);
   predicted_ = make_predictions(topology_, epoch_->deployment, config_.mailbox_capacity);
+  if (config_.recover_from != nullptr) apply_recovery(*config_.recover_from);
 }
 
 Engine::~Engine() {
+  checkpoint_controller_.reset();  // joins; no checkpoint_now after this
   controller_.reset();  // joins the sampling thread; no reconfigure after this
   join_execution();
 }
@@ -841,7 +858,21 @@ void Engine::source_loop(std::size_t id) {
   // re-checked per charge, so this is free while metering is off).
   ScopedActorContext ctx(telemetry_, op);
   Tuple tuple;
-  while (!stop_.load(std::memory_order_relaxed)) {
+  while (true) {
+    if (stop_.load(std::memory_order_relaxed)) {
+      // A stop raised between a fence and its resume (e.g. a snapshot
+      // write failure aborting the run) leaves already-generated items in
+      // the fence buffer; deliver them before finishing — a bad disk must
+      // never lose an in-flight tuple.
+      std::unique_lock lock(fence_mutex_);
+      if (fence_buffer_.empty()) break;
+      tuple = fence_buffer_.front();
+      fence_buffer_.pop_front();
+      lock.unlock();
+      board_.add_processed(op);
+      out.emit(tuple);
+      continue;
+    }
     if (fence_active_.load(std::memory_order_acquire)) {
       source_fence(id);
       if (st.retired.load(std::memory_order_relaxed)) return;
@@ -914,6 +945,17 @@ bool Engine::pump_source(std::size_t id, int quantum) {
   Tuple tuple;
   for (int i = 0; i < quantum; ++i) {
     if (stop_.load(std::memory_order_relaxed)) {
+      // Same contract as source_loop: a stop must not strand items the
+      // source already generated into the fence buffer.
+      while (true) {
+        std::unique_lock lock(fence_mutex_);
+        if (fence_buffer_.empty()) break;
+        tuple = fence_buffer_.front();
+        fence_buffer_.pop_front();
+        lock.unlock();
+        board_.add_processed(op);
+        out.emit(tuple);
+      }
       record();
       return false;
     }
@@ -1073,6 +1115,214 @@ bool Engine::reconfigure(const Deployment& next) {
   return !aborted;
 }
 
+// ------------------------------------------------------------- checkpointing
+
+bool Engine::checkpoint_now() {
+  if (checkpoint_mgr_ == nullptr) return false;
+  if (tenant_tag_ != nullptr) trace::set_thread_tenant(tenant_tag_);
+
+  std::unique_lock epoch_lock(epoch_mutex_);
+  if (!started_.load(std::memory_order_acquire) || stop_.load() ||
+      source_finished_.load(std::memory_order_acquire)) {
+    return false;
+  }
+  swap_in_progress_.store(true, std::memory_order_release);
+
+  // Arm the fence, exactly as reconfigure() does: the barrier quiesces
+  // every actor at a tuple boundary while sources buffer — mailboxes empty,
+  // no item half-processed.  That quiesced graph is the consistent cut.
+  {
+    std::lock_guard lock(fence_mutex_);
+    fence_passed_ = 0;
+    fence_expected_ = 0;
+    fence_release_sources_ = false;
+    for (const auto& st : epoch_->actors) {
+      if (st->spec.kind == ActorKind::kSource) continue;
+      ++fence_expected_;
+      st->fence_counted = false;
+      if (st->finished) count_fence_locked(*st);
+    }
+    fence_active_.store(true, std::memory_order_release);
+    trace::instant("fence_arm", "fence", "expected",
+                   static_cast<std::int64_t>(fence_expected_));
+  }
+  {
+    trace::Span drain_span("fence_drain", "fence");
+    std::unique_lock lock(fence_mutex_);
+    fence_cv_.wait(lock, [this] { return fence_passed_ >= fence_expected_; });
+    fence_release_sources_ = true;
+  }
+  fence_cv_.notify_all();
+  epoch_->scheduler->join();
+
+  const bool aborted =
+      stop_.load() || source_finished_.load(std::memory_order_acquire);
+  bool written = false;
+  if (!aborted) {
+    // Serialize and persist the cut.  A write failure is surfaced exactly
+    // like an operator exception — recorded as the run's first failure and
+    // rethrown by finalize_run() on the caller's thread — but the epoch
+    // still resumes below so the pipeline drains: a bad disk never stalls
+    // the fence barrier and never loses an in-flight tuple.
+    trace::Span ckpt_span("checkpoint", "fence");
+    Checkpoint cp = capture_checkpoint();
+    try {
+      checkpoint_mgr_->write(cp);
+      written = true;
+      checkpoints_written_.fetch_add(1, std::memory_order_relaxed);
+      last_epoch_persisted_.store(cp.epoch, std::memory_order_relaxed);
+      trace::instant("checkpoint_write", "fence", "sequence",
+                     static_cast<std::int64_t>(cp.sequence));
+    } catch (const std::exception& e) {
+      {
+        std::lock_guard lock(failure_mutex_);
+        if (first_failure_.empty()) first_failure_ = e.what();
+      }
+      stop_.store(true);
+    }
+  }
+
+  {
+    std::lock_guard lock(fence_mutex_);
+    fence_active_.store(false, std::memory_order_release);
+    if (aborted) fence_buffer_.clear();
+  }
+
+  if (!aborted) {
+    // Resume the SAME epoch in place: no deployment change, no epoch bump,
+    // actors keep their mailboxes and state.  Only the joined scheduler is
+    // replaced (a scheduler cannot restart after join) and the per-actor
+    // fence latches reset; the sources replay the fence buffer first.
+    for (const auto& st : epoch_->actors) {
+      st->mailbox.set_on_ready(nullptr);  // the new scheduler re-hooks
+      st->fence_seen = 0;
+      st->fence_counted = false;
+      st->retired.store(false, std::memory_order_relaxed);
+    }
+    sched_counters_prior_ += epoch_->scheduler->counters();
+    active_actors_.store(static_cast<int>(epoch_->actors.size()));
+    epoch_->scheduler = make_epoch_scheduler();
+    epoch_->scheduler->start(*this);
+  }
+  swap_in_progress_.store(false, std::memory_order_release);
+  {
+    std::lock_guard lock(done_mutex_);
+    done_cv_.notify_all();
+  }
+  return written && !stop_.load();
+}
+
+Checkpoint Engine::capture_checkpoint() {
+  Checkpoint cp;
+  cp.epoch = static_cast<std::uint64_t>(epoch_counter_.load(std::memory_order_relaxed));
+  cp.tenant = config_.tenant;
+  cp.deployment = epoch_->deployment;
+  const CounterSnapshot counts = board_.snapshot(0.0);
+  for (const auto& actor_ptr : epoch_->actors) {
+    const ActorState& st = *actor_ptr;
+    const ActorSpec& spec = st.spec;
+    if (spec.kind == ActorKind::kSource) {
+      // Items delivered into the graph so far.  Fence-buffered items are
+      // deliberately NOT counted: nothing downstream has seen them, and a
+      // rewound source regenerates them deterministically on recovery.
+      CheckpointSourceEntry src;
+      src.op = spec.op;
+      src.offset = source_base_offset_[spec.op] + counts.processed[spec.op];
+      cp.sources.push_back(src);
+    }
+    CheckpointActorEntry e;
+    e.op = spec.op;
+    e.role = static_cast<CheckpointRole>(spec.kind);  // values mirror ActorKind
+    e.replica = spec.replica;
+    // Every actor's rng matters: emitters draw keys and routing picks, the
+    // source/collector rngs drive probabilistic edge selection.  The seq
+    // ordering counters need no capture — at a quiesced cut every stamped
+    // sequence is released, and both sides restart from zero together.
+    e.rng = st.rng.state();
+    if (spec.kind == ActorKind::kEmitter) e.rr_cursor = st.selector.cursor();
+    if (st.logic != nullptr) e.has_state = st.logic->save_state(e.state);
+    cp.actors.push_back(std::move(e));
+    // A fused meta actor carries one logic instance per member; each gets
+    // its own entry so recovery can restore them individually.
+    for (std::size_t p = 0; p < st.member_logic.size(); ++p) {
+      CheckpointActorEntry m;
+      m.op = spec.members[p];
+      m.role = CheckpointRole::kMember;
+      m.replica = 0;
+      m.has_state = st.member_logic[p]->save_state(m.state);
+      cp.actors.push_back(std::move(m));
+    }
+  }
+  return cp;
+}
+
+void Engine::apply_recovery(const Checkpoint& cp) {
+  recovered_from_epoch_ = cp.epoch;
+  std::map<std::tuple<OpIndex, int, int>, const CheckpointActorEntry*> entries;
+  for (const CheckpointActorEntry& e : cp.actors) {
+    entries[std::make_tuple(e.op, static_cast<int>(e.role), static_cast<int>(e.replica))] =
+        &e;
+  }
+  std::map<OpIndex, std::uint64_t> offsets;
+  for (const CheckpointSourceEntry& s : cp.sources) offsets[s.op] = s.offset;
+
+  for (const auto& actor_ptr : epoch_->actors) {
+    ActorState& st = *actor_ptr;
+    const ActorSpec& spec = st.spec;
+    const auto it = entries.find(
+        std::make_tuple(spec.op, static_cast<int>(spec.kind), spec.replica));
+    if (it != entries.end()) {
+      const CheckpointActorEntry& e = *it->second;
+      st.rng.set_state(e.rng);
+      if (spec.kind == ActorKind::kEmitter && e.rr_cursor >= 0) {
+        st.selector.set_cursor(e.rr_cursor);
+      }
+      if (e.has_state && st.logic != nullptr) {
+        require(st.logic->restore_state(e.state),
+                "recovery: operator '" + topology_.op(spec.op).name +
+                    "' rejected its checkpointed state");
+      }
+    }
+    for (std::size_t p = 0; p < st.member_logic.size(); ++p) {
+      const auto mit = entries.find(std::make_tuple(
+          spec.members[p], static_cast<int>(CheckpointRole::kMember), 0));
+      if (mit != entries.end() && mit->second->has_state) {
+        require(st.member_logic[p]->restore_state(mit->second->state),
+                "recovery: fused member '" + topology_.op(spec.members[p]).name +
+                    "' rejected its checkpointed state");
+      }
+    }
+    if (spec.kind == ActorKind::kSource) {
+      const auto oit = offsets.find(spec.op);
+      if (oit != offsets.end() && oit->second > 0) {
+        // Rewind: fast-forward the source past everything the checkpoint
+        // already accounts for, so the resumed stream continues item
+        // offset+1 with the exact rng draws an uninterrupted run made.
+        st.source->skip(oit->second);
+        source_base_offset_[spec.op] = oit->second;
+      }
+    }
+  }
+}
+
+void Engine::write_final_checkpoint() {
+  if (checkpoint_mgr_ == nullptr) return;
+  {
+    std::lock_guard lock(failure_mutex_);
+    if (!first_failure_.empty()) return;  // failed runs keep the last snapshot
+  }
+  std::lock_guard lock(epoch_mutex_);
+  Checkpoint cp = capture_checkpoint();
+  try {
+    checkpoint_mgr_->write_final(cp);
+    checkpoints_written_.fetch_add(1, std::memory_order_relaxed);
+    last_epoch_persisted_.store(cp.epoch, std::memory_order_relaxed);
+  } catch (const std::exception& e) {
+    std::lock_guard flock(failure_mutex_);
+    if (first_failure_.empty()) first_failure_ = e.what();
+  }
+}
+
 Deployment Engine::deployment() const {
   std::lock_guard lock(epoch_mutex_);
   return epoch_->deployment;
@@ -1122,6 +1372,9 @@ MetricsSample Engine::metrics_sample() const {
   s.latency = board_.latency_report();
   s.scheduler = scheduler_counters();
   s.epoch = epochs();
+  s.checkpoints_written = checkpoints_written_.load(std::memory_order_relaxed);
+  s.last_epoch_persisted = last_epoch_persisted_.load(std::memory_order_relaxed);
+  s.recovered_from_epoch = recovered_from_epoch_;
   std::lock_guard lock(epoch_mutex_);
   s.dropped = dropped_prior_epochs_;
   if (epoch_) {
@@ -1191,6 +1444,11 @@ void Engine::start_execution() {
     controller_ = std::make_unique<ReconfigController>(*this, options);
     controller_->start();
   }
+  if (checkpoint_mgr_ != nullptr) {
+    checkpoint_controller_ =
+        std::make_unique<CheckpointController>(*this, config_.checkpoint_period);
+    checkpoint_controller_->start();
+  }
   if (exporter_) exporter_->start();
 }
 
@@ -1214,6 +1472,10 @@ RunStats Engine::finalize_run() {
 
 void Engine::stop_run() {
   if (controller_) controller_->stop();  // an in-flight switch-over completes
+  // Joined before the stop flag rises (and before epoch_mutex_ is taken —
+  // its thread may be inside checkpoint_now holding it): an in-flight
+  // snapshot always completes or aborts cleanly.
+  if (checkpoint_controller_) checkpoint_controller_->stop();
   std::lock_guard lock(epoch_mutex_);
   stop_.store(true);
 }
@@ -1248,6 +1510,7 @@ RunStats Engine::run_for(std::chrono::duration<double> duration) {
   fill_queue_stats(end);
   stop_run();
   join_execution();
+  write_final_checkpoint();
   const double wall = seconds_between(run_start_, Clock::now());
   const CounterSnapshot final_totals = board_.snapshot(wall);
   const RunStats partial = finalize_run();
@@ -1260,6 +1523,9 @@ RunStats Engine::run_for(std::chrono::duration<double> duration) {
   stats.keys_migrated = keys_migrated_.load(std::memory_order_relaxed);
   stats.scheduler = scheduler_counters();
   stats.predicted = predicted_latency();
+  stats.checkpoints_written = checkpoints_written();
+  stats.last_epoch_persisted = last_epoch_persisted();
+  stats.recovered_from_epoch = recovered_from_epoch_;
   return stats;
 }
 
@@ -1276,6 +1542,7 @@ RunStats Engine::run_until_complete(std::chrono::duration<double> max_duration) 
   }
   stop_run();  // natural completion: a no-op beyond stopping the controller
   join_execution();
+  write_final_checkpoint();
   const double wall = seconds_between(run_start_, Clock::now());
   CounterSnapshot end = board_.close_window(wall);
   fill_queue_stats(end);
@@ -1289,6 +1556,9 @@ RunStats Engine::run_until_complete(std::chrono::duration<double> max_duration) 
   stats.keys_migrated = keys_migrated_.load(std::memory_order_relaxed);
   stats.scheduler = scheduler_counters();
   stats.predicted = predicted_latency();
+  stats.checkpoints_written = checkpoints_written();
+  stats.last_epoch_persisted = last_epoch_persisted();
+  stats.recovered_from_epoch = recovered_from_epoch_;
   return stats;
 }
 

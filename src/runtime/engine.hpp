@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "core/topology.hpp"
+#include "runtime/checkpoint.hpp"
 #include "runtime/clock.hpp"
 #include "runtime/controller.hpp"
 #include "runtime/mailbox.hpp"
@@ -98,6 +99,21 @@ struct EngineConfig {
   /// not only the steady-state window.
   std::string metrics_path;
   double metrics_period = 0.5;
+  /// Epoch checkpointing (checkpoint.hpp): when `checkpoint_dir` is
+  /// non-empty, a CheckpointController snapshots the quiesced graph every
+  /// `checkpoint_period` seconds through the fence barrier, keeping the
+  /// last `checkpoint_retain` snapshots.  The directory is created and
+  /// probed at construction — an unusable path throws before the run
+  /// starts.  A successful run additionally writes `final.bin` with the
+  /// complete end-of-run state.
+  std::string checkpoint_dir;
+  double checkpoint_period = 1.0;
+  int checkpoint_retain = CheckpointManager::kDefaultRetain;
+  /// Crash recovery: restore this checkpoint before the run starts — the
+  /// deployment argument is replaced by the checkpoint's, operator state
+  /// and rng lanes are restored, and sources rewind (skip) to the recorded
+  /// offsets so the run resumes the exact uninterrupted stream.
+  std::shared_ptr<const Checkpoint> recover_from;
   /// Multi-tenant execution: when set, this engine does not own a worker
   /// pool — every epoch registers its actors as a tenant of the shared
   /// host (scheduler_host.hpp) and `scheduler`/`workers`/`pool_batch` are
@@ -151,6 +167,17 @@ class Engine final : public EngineCore {
   /// most one reconfiguration runs at a time.
   bool reconfigure(const Deployment& next);
 
+  /// Takes one checkpoint now: arms the fence barrier, waits for the graph
+  /// to quiesce at a tuple boundary, serializes the cut to the checkpoint
+  /// directory and resumes the *same* epoch in place (no deployment
+  /// change, no epoch bump).  Returns false — without snapshotting — when
+  /// checkpointing is off, the run has not started, is stopping, or the
+  /// source already finished; also false when the snapshot write failed
+  /// (the failure is recorded and surfaces from the run like an operator
+  /// exception, but the graph still resumes and drains — a bad disk never
+  /// stalls the stream).  Thread-safe, same serialization as reconfigure().
+  bool checkpoint_now();
+
   /// Asks a running engine to stop: sources stop emitting, the pipeline
   /// drains through the shutdown protocol (no tuple in flight is lost),
   /// and the blocked run_until_complete() returns.  The hot-retire hook of
@@ -182,6 +209,20 @@ class Engine final : public EngineCore {
   /// The elastic controller, when EngineConfig::elastic is set and the run
   /// started; its decision log outlives the run.
   [[nodiscard]] const ReconfigController* controller() const { return controller_.get(); }
+  /// Snapshots persisted this run (zero with checkpointing off).
+  [[nodiscard]] std::uint64_t checkpoints_written() const {
+    return checkpoints_written_.load(std::memory_order_relaxed);
+  }
+  /// Engine epoch of the newest persisted snapshot (0 = none yet).
+  [[nodiscard]] std::uint64_t last_epoch_persisted() const {
+    return last_epoch_persisted_.load(std::memory_order_relaxed);
+  }
+  /// Epoch the run was restored from (EngineConfig::recover_from; 0 = fresh).
+  [[nodiscard]] std::uint64_t recovered_from_epoch() const { return recovered_from_epoch_; }
+  /// The checkpoint directory manager (null with checkpointing off).
+  [[nodiscard]] const CheckpointManager* checkpoint_manager() const {
+    return checkpoint_mgr_.get();
+  }
 
  private:
   struct ActorState;
@@ -267,6 +308,15 @@ class Engine final : public EngineCore {
   void reset_queue_peaks();
   /// Records the end-to-end delay of a tuple leaving the system at a sink.
   void meter_exit(const Tuple& tuple);
+  /// Serializes the quiesced graph (epoch_mutex_ held, scheduler joined or
+  /// never started): deployment, source offsets, rng lanes, logic blobs.
+  Checkpoint capture_checkpoint();
+  /// Restores `cp` into the freshly built epoch (constructor only): rng
+  /// lanes, emitter cursors, logic state, source rewind to the offsets.
+  void apply_recovery(const Checkpoint& cp);
+  /// End-of-run state snapshot (dir/final.bin) after a clean drain; no-op
+  /// with checkpointing off or after a failure.
+  void write_final_checkpoint();
   RunStats finalize_run();
   bool send_to_actor(int actor_id, const Message& m);
   /// Routes a result of logical operator `op` (explicit `target` or
@@ -296,6 +346,15 @@ class Engine final : public EngineCore {
   /// predicted_latency()).
   PredictedLatency predicted_;
   std::unique_ptr<ReconfigController> controller_;
+  // --- epoch checkpointing (EngineConfig::checkpoint_dir)
+  std::unique_ptr<CheckpointManager> checkpoint_mgr_;
+  std::unique_ptr<CheckpointController> checkpoint_controller_;
+  /// Per-source items already replayed before this run (recovery rewind);
+  /// the checkpointed offset is base + items delivered this run.
+  std::vector<std::uint64_t> source_base_offset_;
+  std::atomic<std::uint64_t> checkpoints_written_{0};
+  std::atomic<std::uint64_t> last_epoch_persisted_{0};
+  std::uint64_t recovered_from_epoch_ = 0;
   /// JSONL metrics writer (EngineConfig::metrics_path); declared after
   /// epoch_ so its stop() (final sample) runs before the epoch dies.
   std::unique_ptr<MetricsExporter> exporter_;

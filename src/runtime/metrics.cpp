@@ -308,6 +308,14 @@ std::string format_stats(const Topology& t, const RunStats& stats) {
     out << "elastic: " << stats.epochs << " epochs, " << stats.reconfigurations
         << " re-deployment(s), " << stats.keys_migrated << " key(s) migrated\n";
   }
+  if (stats.checkpoints_written > 0 || stats.recovered_from_epoch > 0) {
+    out << "checkpoints: " << stats.checkpoints_written << " written (last epoch "
+        << stats.last_epoch_persisted << ")";
+    if (stats.recovered_from_epoch > 0) {
+      out << ", recovered from epoch " << stats.recovered_from_epoch;
+    }
+    out << "\n";
+  }
   if (stats.scheduler.batches > 0) {
     const double avg_batch = static_cast<double>(stats.scheduler.batch_messages) /
                              static_cast<double>(stats.scheduler.batches);

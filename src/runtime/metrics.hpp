@@ -189,6 +189,11 @@ struct RunStats {
   int epochs = 1;                  ///< actor-graph instantiations this run
   int reconfigurations = 0;        ///< completed epoch switch-overs
   std::uint64_t keys_migrated = 0; ///< per-key state moves across switch-overs
+  // --- epoch checkpointing (runtime/checkpoint.hpp)
+  std::uint64_t checkpoints_written = 0;   ///< snapshots persisted this run
+  std::uint64_t last_epoch_persisted = 0;  ///< epoch id of the newest snapshot
+  /// Epoch id the run was restored from (`--recover`); 0 = fresh start.
+  std::uint64_t recovered_from_epoch = 0;
   // --- telemetry (PR 4)
   /// True when busy/blocked metering ran, i.e. the per-op busy_fraction /
   /// blocked_fraction columns are meaningful.

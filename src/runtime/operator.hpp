@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "core/types.hpp"
@@ -73,6 +74,30 @@ class OperatorLogic {
     (void)dest;
     return false;
   }
+
+  // --- state serialization (epoch checkpointing) ------------------------
+  //
+  // At a checkpoint fence the engine asks every logic instance to encode
+  // its full state into a byte string; crash recovery decodes it into a
+  // fresh instance of the same concrete type.  Both hooks are optional:
+  // logic returning false from save_state() is checkpointed as stateless
+  // (a recovered instance starts empty, which is exact for genuinely
+  // stateless operators and a documented loss for unsupported ones).
+
+  /// Serializes the complete operator state into `out` (appended).
+  /// Returns false when this logic does not support checkpointing.
+  [[nodiscard]] virtual bool save_state(std::string& out) const {
+    (void)out;
+    return false;
+  }
+
+  /// Restores state previously produced by save_state() on an instance of
+  /// the same concrete type.  Returns false on unsupported or undecodable
+  /// input (the instance is left default-initialized).
+  virtual bool restore_state(const std::string& bytes) {
+    (void)bytes;
+    return false;
+  }
 };
 
 /// Source logics additionally produce the stream: the runtime calls next()
@@ -85,6 +110,18 @@ class SourceLogic {
   /// (infinite sources simply always return true and are cut off by the
   /// run duration).
   virtual bool next(Tuple& out) = 0;
+
+  /// Fast-forwards the source past its first `n` items, as if they had
+  /// been produced and discarded.  Recovery rewinds a restarted source to
+  /// the checkpointed offset with this; the default pulls and drops, which
+  /// is exact for any deterministic source but pays full production cost
+  /// (paced sources override to skip without sleeping).
+  virtual void skip(std::uint64_t n) {
+    Tuple scratch{};
+    for (std::uint64_t i = 0; i < n; ++i) {
+      if (!next(scratch)) break;
+    }
+  }
 };
 
 }  // namespace ss::runtime

@@ -57,6 +57,13 @@ class ReplicaSelector {
   /// Picks a replica for a tuple with key `key`.
   int select(std::int64_t key, Rng& rng);
 
+  // Round-robin position, checkpointed with the emitter actor: which
+  // replica receives the next item decides whose rng performs the
+  // selectivity draws, so a recovered run must resume the rotation where
+  // the cut left it.
+  [[nodiscard]] int cursor() const { return next_; }
+  void set_cursor(int cursor) { next_ = cursor; }
+
  private:
   enum class Mode { kRoundRobin, kByKey, kByShare };
   Mode mode_ = Mode::kRoundRobin;

@@ -4,6 +4,7 @@
 
 #include "runtime/clock.hpp"
 #include "runtime/scheduler.hpp"
+#include "runtime/wire.hpp"
 
 namespace ss::runtime {
 
@@ -54,6 +55,40 @@ void SyntheticOperator::on_finish(Collector& out) {
   }
 }
 
+bool SyntheticOperator::save_state(std::string& out) const {
+  // Everything the selectivity machinery accumulated: the Bernoulli rng
+  // stream position, the input credit toward the next production, and the
+  // pending tail item on_finish() would flush.
+  for (std::uint64_t lane : rng_.state()) wire::put_u64(out, lane);
+  wire::put_f64(out, input_credit_);
+  wire::put_u8(out, has_pending_ ? 1 : 0);
+  wire::put_i64(out, last_item_.id);
+  wire::put_i64(out, last_item_.key);
+  wire::put_f64(out, last_item_.ts);
+  for (double f : last_item_.f) wire::put_f64(out, f);
+  return true;
+}
+
+bool SyntheticOperator::restore_state(const std::string& bytes) {
+  wire::Reader in(bytes);
+  std::array<std::uint64_t, 4> lanes{};
+  for (auto& lane : lanes) {
+    if (!in.u64(lane)) return false;
+  }
+  std::uint8_t pending = 0;
+  if (!in.f64(input_credit_) || !in.u8(pending)) return false;
+  if (!in.i64(last_item_.id) || !in.i64(last_item_.key) || !in.f64(last_item_.ts)) {
+    return false;
+  }
+  for (double& f : last_item_.f) {
+    if (!in.f64(f)) return false;
+  }
+  if (!in.ok() || in.remaining() != 0) return false;
+  rng_.set_state(lanes);
+  has_pending_ = pending != 0;
+  return true;
+}
+
 std::unique_ptr<OperatorLogic> SyntheticOperator::clone() const {
   OperatorSpec spec;
   spec.name = "synthetic";
@@ -79,6 +114,18 @@ bool SyntheticSource::next(Tuple& out) {
   out.ts = static_cast<double>(out.id) * service_time_;
   for (double& f : out.f) f = rng_.next_double();
   return true;
+}
+
+void SyntheticSource::skip(std::uint64_t n) {
+  // Recovery rewind: consume exactly the rng draws next() makes per item
+  // (one u64 for the key, four doubles for the attributes) without the
+  // paced wait, so the (n+1)-th item matches an uninterrupted run's.
+  for (std::uint64_t i = 0; i < n; ++i) {
+    if (max_items_ >= 0 && next_id_ >= max_items_) return;
+    ++next_id_;
+    rng_.next_u64();
+    for (int k = 0; k < 4; ++k) rng_.next_double();
+  }
 }
 
 }  // namespace ss::runtime

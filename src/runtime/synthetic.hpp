@@ -27,6 +27,8 @@ class SyntheticOperator final : public OperatorLogic {
   void process(const Tuple& item, OpIndex from, Collector& out) override;
   void on_finish(Collector& out) override;
   [[nodiscard]] std::unique_ptr<OperatorLogic> clone() const override;
+  [[nodiscard]] bool save_state(std::string& out) const override;
+  bool restore_state(const std::string& bytes) override;
 
  private:
   void produce(const Tuple& item, Collector& out);
@@ -49,6 +51,7 @@ class SyntheticSource final : public SourceLogic {
                   std::int64_t max_items = -1);
 
   bool next(Tuple& out) override;
+  void skip(std::uint64_t n) override;
 
  private:
   double service_time_;

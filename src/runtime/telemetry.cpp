@@ -189,7 +189,13 @@ void MetricsExporter::write_sample(const MetricsSample& s) {
         << ",\"pred_p99_ms\":" << s.predicted.p99 * 1e3
         << ",\"pred_mean_ms\":" << s.predicted.mean * 1e3;
   }
-  out << "},\"sched\":{\"steals\":" << s.scheduler.steals
+  out << "}";
+  if (s.checkpoints_written > 0 || s.recovered_from_epoch > 0) {
+    out << ",\"ckpt\":{\"written\":" << s.checkpoints_written
+        << ",\"last_epoch\":" << s.last_epoch_persisted
+        << ",\"recovered_from\":" << s.recovered_from_epoch << "}";
+  }
+  out << ",\"sched\":{\"steals\":" << s.scheduler.steals
       << ",\"parks\":" << s.scheduler.parks << ",\"wakeups\":" << s.scheduler.wakeups
       << ",\"batches\":" << s.scheduler.batches
       << ",\"batch_messages\":" << s.scheduler.batch_messages

@@ -131,6 +131,10 @@ struct MetricsSample {
   SchedulerCounters scheduler;
   std::uint64_t dropped = 0;
   int epoch = 1;
+  // --- epoch checkpointing (zero when checkpointing is off)
+  std::uint64_t checkpoints_written = 0;
+  std::uint64_t last_epoch_persisted = 0;
+  std::uint64_t recovered_from_epoch = 0;
   /// Model predictions of the current epoch's deployment — written next to
   /// the measured percentiles (per-op pred_ms/pred_p99_ms, e2e pred_*).
   PredictedLatency predicted;

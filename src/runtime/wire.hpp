@@ -1,0 +1,136 @@
+// Little-endian binary primitives shared by the checkpoint codec and the
+// operator state serialization hooks (OperatorLogic::save_state /
+// restore_state).
+//
+// Every multi-byte value is encoded explicitly byte-by-byte, so the bytes
+// are identical across platforms and compilers — checkpoints written by one
+// build must decode in another, and the recovery tests compare state blobs
+// byte-for-byte.  The Reader never reads past its input: a truncated or
+// corrupt buffer flips ok() and every subsequent get returns false, which
+// is what lets the checkpoint loader reject torn files instead of crashing.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace ss::runtime::wire {
+
+inline void put_u8(std::string& out, std::uint8_t v) {
+  out.push_back(static_cast<char>(v));
+}
+
+inline void put_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+inline void put_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+inline void put_i64(std::string& out, std::int64_t v) {
+  put_u64(out, static_cast<std::uint64_t>(v));
+}
+
+inline void put_i32(std::string& out, std::int32_t v) {
+  put_u32(out, static_cast<std::uint32_t>(v));
+}
+
+inline void put_f64(std::string& out, double v) {
+  put_u64(out, std::bit_cast<std::uint64_t>(v));
+}
+
+/// Length-prefixed byte string (u64 length + raw bytes).
+inline void put_bytes(std::string& out, std::string_view bytes) {
+  put_u64(out, bytes.size());
+  out.append(bytes.data(), bytes.size());
+}
+
+/// Bounds-checked sequential decoder over one buffer.  All getters return
+/// false (and leave the output untouched) once the input is exhausted; a
+/// single failed get poisons the reader, so callers can decode a whole
+/// record and check ok() once at the end.
+class Reader {
+ public:
+  explicit Reader(std::string_view data) : data_(data) {}
+
+  [[nodiscard]] bool ok() const { return ok_; }
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+
+  bool u8(std::uint8_t& v) {
+    if (!take(1)) return false;
+    v = static_cast<std::uint8_t>(data_[pos_ - 1]);
+    return true;
+  }
+
+  bool u32(std::uint32_t& v) {
+    if (!take(4)) return false;
+    v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(static_cast<std::uint8_t>(data_[pos_ - 4 + i]))
+           << (8 * i);
+    }
+    return true;
+  }
+
+  bool u64(std::uint64_t& v) {
+    if (!take(8)) return false;
+    v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(static_cast<std::uint8_t>(data_[pos_ - 8 + i]))
+           << (8 * i);
+    }
+    return true;
+  }
+
+  bool i64(std::int64_t& v) {
+    std::uint64_t raw;
+    if (!u64(raw)) return false;
+    v = static_cast<std::int64_t>(raw);
+    return true;
+  }
+
+  bool i32(std::int32_t& v) {
+    std::uint32_t raw;
+    if (!u32(raw)) return false;
+    v = static_cast<std::int32_t>(raw);
+    return true;
+  }
+
+  bool f64(double& v) {
+    std::uint64_t raw;
+    if (!u64(raw)) return false;
+    v = std::bit_cast<double>(raw);
+    return true;
+  }
+
+  bool bytes(std::string& v) {
+    std::uint64_t len;
+    if (!u64(len)) return false;
+    if (len > remaining()) {
+      ok_ = false;
+      return false;
+    }
+    v.assign(data_.data() + pos_, static_cast<std::size_t>(len));
+    pos_ += static_cast<std::size_t>(len);
+    return true;
+  }
+
+ private:
+  bool take(std::size_t n) {
+    if (!ok_ || n > remaining()) {
+      ok_ = false;
+      return false;
+    }
+    pos_ += n;
+    return true;
+  }
+
+  std::string_view data_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace ss::runtime::wire

@@ -1,0 +1,334 @@
+// Tests of the checkpoint codec, the directory manager (atomic writes,
+// retention, recovery scan) and the fault-injection seam: corrupt or torn
+// files must never poison recovery — load_latest() falls back to the newest
+// checkpoint that still passes framing + CRC + decode.
+#include "runtime/checkpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "core/error.hpp"
+
+namespace ss::runtime {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Fresh per-test directory (parallel ctest runs each test in its own
+/// process, but a stale dir from a previous run would skew retention and
+/// sequence-continuation assertions).
+class CheckpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = ::testing::TempDir() + "/ckpt_" + info->name();
+    fs::remove_all(dir_);
+    FaultInjector::instance().reset();
+  }
+  void TearDown() override {
+    FaultInjector::instance().reset();
+    // Keep the directory on failure: CI uploads /tmp/ckpt_* as artifacts.
+    if (!HasFailure()) fs::remove_all(dir_);
+  }
+
+  std::string dir_;
+};
+
+Checkpoint rich_checkpoint() {
+  Checkpoint cp;
+  cp.sequence = 7;
+  cp.epoch = 3;
+  cp.tenant = "tenant-a";  // multi-tenant runs tag per-tenant subdirectories
+  cp.deployment.replication.replicas = {1, 3, 1, 2};
+  cp.deployment.replication.max_share = {1.0, 0.4, 1.0, 0.55};
+  KeyPartition part;
+  part.replica_of_key = {0, 1, 2, 0, 1};
+  part.replicas = 3;
+  part.max_share = 0.4;
+  cp.deployment.partitions = {KeyPartition{}, part};
+  FusionSpec fusion;
+  fusion.members = {2, 3};
+  fusion.fused_name = "F(tail)";
+  cp.deployment.fusions = {fusion};
+  cp.sources = {{0, 123456}};
+
+  CheckpointActorEntry source;
+  source.op = 0;
+  source.role = CheckpointRole::kSource;
+  source.rng = {1, 2, 3, 4};
+  cp.actors.push_back(source);
+
+  CheckpointActorEntry emitter;
+  emitter.op = 1;
+  emitter.role = CheckpointRole::kEmitter;
+  emitter.rng = {0x1111, 0x2222, 0x3333, 0x4444};
+  emitter.rr_cursor = 2;
+  cp.actors.push_back(emitter);
+
+  // A replica with a large keyed-state blob (binary-safe: embedded NULs).
+  CheckpointActorEntry replica;
+  replica.op = 1;
+  replica.role = CheckpointRole::kReplica;
+  replica.replica = 1;
+  replica.has_state = true;
+  replica.state.reserve(64 * 1024);
+  for (int i = 0; i < 64 * 1024; ++i) {
+    replica.state.push_back(static_cast<char>(i * 31 % 256));
+  }
+  cp.actors.push_back(replica);
+
+  // A fused member's logic blob rides as a separate kMember entry.
+  CheckpointActorEntry member;
+  member.op = 3;
+  member.role = CheckpointRole::kMember;
+  member.replica = 0;
+  member.has_state = true;
+  member.state = std::string("\x00\x01state\xff", 8);
+  cp.actors.push_back(member);
+  return cp;
+}
+
+void expect_equal(const Checkpoint& a, const Checkpoint& b) {
+  EXPECT_EQ(a.sequence, b.sequence);
+  EXPECT_EQ(a.epoch, b.epoch);
+  EXPECT_EQ(a.tenant, b.tenant);
+  EXPECT_EQ(a.deployment.replication.replicas, b.deployment.replication.replicas);
+  EXPECT_EQ(a.deployment.replication.max_share, b.deployment.replication.max_share);
+  ASSERT_EQ(a.deployment.partitions.size(), b.deployment.partitions.size());
+  for (std::size_t i = 0; i < a.deployment.partitions.size(); ++i) {
+    EXPECT_EQ(a.deployment.partitions[i].replica_of_key,
+              b.deployment.partitions[i].replica_of_key);
+    EXPECT_EQ(a.deployment.partitions[i].replicas, b.deployment.partitions[i].replicas);
+    EXPECT_EQ(a.deployment.partitions[i].max_share, b.deployment.partitions[i].max_share);
+  }
+  ASSERT_EQ(a.deployment.fusions.size(), b.deployment.fusions.size());
+  for (std::size_t i = 0; i < a.deployment.fusions.size(); ++i) {
+    EXPECT_EQ(a.deployment.fusions[i].members, b.deployment.fusions[i].members);
+    EXPECT_EQ(a.deployment.fusions[i].fused_name, b.deployment.fusions[i].fused_name);
+  }
+  ASSERT_EQ(a.sources.size(), b.sources.size());
+  for (std::size_t i = 0; i < a.sources.size(); ++i) {
+    EXPECT_EQ(a.sources[i].op, b.sources[i].op);
+    EXPECT_EQ(a.sources[i].offset, b.sources[i].offset);
+  }
+  ASSERT_EQ(a.actors.size(), b.actors.size());
+  for (std::size_t i = 0; i < a.actors.size(); ++i) {
+    EXPECT_EQ(a.actors[i].op, b.actors[i].op);
+    EXPECT_EQ(a.actors[i].role, b.actors[i].role);
+    EXPECT_EQ(a.actors[i].replica, b.actors[i].replica);
+    EXPECT_EQ(a.actors[i].rng, b.actors[i].rng);
+    EXPECT_EQ(a.actors[i].rr_cursor, b.actors[i].rr_cursor);
+    EXPECT_EQ(a.actors[i].has_state, b.actors[i].has_state);
+    EXPECT_EQ(a.actors[i].state, b.actors[i].state);
+  }
+}
+
+std::size_t count_periodic(const CheckpointManager& mgr) {
+  std::size_t n = 0;
+  for (const auto& path : mgr.list()) {
+    if (fs::path(path).filename().string() != "final.bin") ++n;
+  }
+  return n;
+}
+
+// --- codec -----------------------------------------------------------------
+
+TEST_F(CheckpointTest, CodecRoundTripsEmptyCheckpoint) {
+  const Checkpoint cp;  // zero actors, zero sources, empty deployment
+  Checkpoint back;
+  ASSERT_TRUE(decode_checkpoint(encode_checkpoint(cp), back));
+  expect_equal(cp, back);
+  ASSERT_TRUE(parse_checkpoint_file(checkpoint_file_bytes(cp), back));
+  expect_equal(cp, back);
+}
+
+TEST_F(CheckpointTest, CodecRoundTripsRichCheckpoint) {
+  const Checkpoint cp = rich_checkpoint();
+  Checkpoint back;
+  ASSERT_TRUE(decode_checkpoint(encode_checkpoint(cp), back));
+  expect_equal(cp, back);
+  ASSERT_TRUE(parse_checkpoint_file(checkpoint_file_bytes(cp), back));
+  expect_equal(cp, back);
+}
+
+TEST_F(CheckpointTest, DecodeRejectsTruncationAtEveryLength) {
+  const std::string payload = encode_checkpoint(rich_checkpoint());
+  Checkpoint out;
+  // Chop at a spread of points including the large state blob's middle.
+  for (std::size_t cut : {std::size_t{0}, std::size_t{1}, std::size_t{8},
+                          payload.size() / 2, payload.size() - 1}) {
+    EXPECT_FALSE(decode_checkpoint(std::string_view(payload).substr(0, cut), out))
+        << "cut=" << cut;
+  }
+  EXPECT_FALSE(decode_checkpoint(payload + "garbage", out));  // trailing bytes
+}
+
+TEST_F(CheckpointTest, ParseRejectsBadMagicVersionAndCrc) {
+  std::string bytes = checkpoint_file_bytes(rich_checkpoint());
+  Checkpoint out;
+  ASSERT_TRUE(parse_checkpoint_file(bytes, out));
+
+  std::string bad_magic = bytes;
+  bad_magic[0] = 'X';
+  EXPECT_FALSE(parse_checkpoint_file(bad_magic, out));
+
+  std::string bad_version = bytes;
+  bad_version[4] = static_cast<char>(0x7f);
+  EXPECT_FALSE(parse_checkpoint_file(bad_version, out));
+
+  std::string bit_flip = bytes;
+  bit_flip[bytes.size() / 2] ^= 0x01;  // payload corruption: CRC must catch it
+  EXPECT_FALSE(parse_checkpoint_file(bit_flip, out));
+
+  EXPECT_FALSE(parse_checkpoint_file(std::string_view(bytes).substr(0, bytes.size() - 3), out));
+  EXPECT_FALSE(parse_checkpoint_file(bytes + "x", out));
+}
+
+TEST_F(CheckpointTest, Crc32MatchesKnownVector) {
+  // The standard check value of reflected CRC-32/ISO-HDLC.
+  EXPECT_EQ(crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(crc32(""), 0u);
+}
+
+// --- manager ---------------------------------------------------------------
+
+TEST_F(CheckpointTest, ManagerWritesLoadsAndRetainsLastK) {
+  CheckpointManager mgr(dir_, /*retain=*/3);
+  for (int i = 1; i <= 5; ++i) {
+    Checkpoint cp = rich_checkpoint();
+    cp.epoch = static_cast<std::uint64_t>(i);
+    mgr.write(cp);
+    EXPECT_EQ(cp.sequence, static_cast<std::uint64_t>(i));  // write() stamps it
+  }
+  EXPECT_EQ(count_periodic(mgr), 3u);  // 1 and 2 pruned
+  EXPECT_FALSE(fs::exists(fs::path(dir_) / "ckpt-00000001.bin"));
+  EXPECT_TRUE(fs::exists(fs::path(dir_) / "ckpt-00000005.bin"));
+
+  Checkpoint latest;
+  ASSERT_TRUE(mgr.load_latest(latest));
+  EXPECT_EQ(latest.sequence, 5u);
+  EXPECT_EQ(latest.epoch, 5u);
+  Checkpoint expected = rich_checkpoint();
+  expected.sequence = 5;
+  expected.epoch = 5;
+  expect_equal(expected, latest);
+}
+
+TEST_F(CheckpointTest, SequenceContinuesAcrossManagerInstances) {
+  {
+    CheckpointManager mgr(dir_);
+    Checkpoint cp;
+    mgr.write(cp);
+    mgr.write(cp);
+  }
+  // A recovered run opens the same directory: it must never clobber the
+  // snapshot it was just restored from.
+  CheckpointManager again(dir_);
+  EXPECT_EQ(again.next_sequence(), 3u);
+  Checkpoint cp;
+  again.write(cp);
+  EXPECT_EQ(cp.sequence, 3u);
+  EXPECT_TRUE(fs::exists(fs::path(dir_) / "ckpt-00000003.bin"));
+}
+
+TEST_F(CheckpointTest, LoadLatestSkipsCorruptAndTruncatedFiles) {
+  CheckpointManager mgr(dir_);
+  Checkpoint cp;
+  cp.epoch = 1;
+  mgr.write(cp);
+  cp.epoch = 2;
+  const std::string newest = mgr.write(cp);
+
+  // Flip a payload bit in the newest file: CRC fails, fall back to seq 1.
+  {
+    std::fstream f(newest, std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(20);
+    f.put(static_cast<char>(0xff));
+  }
+  Checkpoint out;
+  ASSERT_TRUE(mgr.load_latest(out));
+  EXPECT_EQ(out.sequence, 1u);
+  EXPECT_EQ(out.epoch, 1u);
+
+  // Truncate the survivor too: nothing valid remains.
+  fs::resize_file(fs::path(dir_) / "ckpt-00000001.bin", 10);
+  EXPECT_FALSE(mgr.load_latest(out));
+}
+
+TEST_F(CheckpointTest, FinalCheckpointOutranksPeriodicAndSurvivesRotation) {
+  CheckpointManager mgr(dir_, /*retain=*/2);
+  Checkpoint cp;
+  cp.epoch = 4;
+  mgr.write_final(cp);  // sequence 1
+  for (int i = 0; i < 4; ++i) {
+    Checkpoint periodic;
+    mgr.write(periodic);
+  }
+  EXPECT_TRUE(fs::exists(fs::path(dir_) / "final.bin"));  // outside rotation
+  EXPECT_EQ(count_periodic(mgr), 2u);
+
+  Checkpoint again;
+  again.epoch = 9;
+  mgr.write_final(again);  // sequence 6: newest overall
+  Checkpoint out;
+  ASSERT_TRUE(mgr.load_latest(out));
+  EXPECT_EQ(out.sequence, 6u);
+  EXPECT_EQ(out.epoch, 9u);
+}
+
+TEST_F(CheckpointTest, ConstructorRejectsUnwritableDirectory) {
+  // A plain file where the directory should be: create_directories fails.
+  const std::string blocker = dir_ + "-file";
+  std::ofstream(blocker) << "not a directory";
+  EXPECT_THROW(CheckpointManager{blocker}, Error);
+  fs::remove(blocker);
+}
+
+// --- fault injection -------------------------------------------------------
+
+TEST_F(CheckpointTest, InjectedWriteFailureThrowsAndLeavesNoFile) {
+  CheckpointManager mgr(dir_);
+  FaultInjector::instance().fail_write_on(2);
+  Checkpoint cp;
+  mgr.write(cp);  // 1st write unaffected
+  EXPECT_THROW(mgr.write(cp), Error);
+  // The failed write left nothing behind — neither final nor tmp file.
+  EXPECT_EQ(count_periodic(mgr), 1u);
+  EXPECT_FALSE(fs::exists(fs::path(dir_) / "ckpt-00000002.bin.tmp"));
+  // Disarmed after firing: the next write goes through.
+  mgr.write(cp);
+  EXPECT_EQ(count_periodic(mgr), 2u);
+}
+
+TEST_F(CheckpointTest, InjectedTornWriteIsSkippedByRecoveryScan) {
+  CheckpointManager mgr(dir_);
+  Checkpoint cp;
+  cp.epoch = 1;
+  mgr.write(cp);
+  FaultInjector::instance().tear_write_on(1);
+  cp.epoch = 2;
+  mgr.write(cp);  // lands under its final name, but truncated mid-payload
+  Checkpoint out;
+  ASSERT_TRUE(mgr.load_latest(out));
+  EXPECT_EQ(out.epoch, 1u);  // the torn snapshot only loses itself
+}
+
+TEST_F(CheckpointTest, FinalWriteIsNotInjectable) {
+  CheckpointManager mgr(dir_);
+  FaultInjector::instance().fail_write_on(1);
+  Checkpoint cp;
+  cp.epoch = 5;
+  mgr.write_final(cp);  // injector targets the periodic path only
+  Checkpoint out;
+  ASSERT_TRUE(mgr.load_latest(out));
+  EXPECT_EQ(out.epoch, 5u);
+  // The armed failure is still pending and hits the next periodic write.
+  EXPECT_THROW(mgr.write(cp), Error);
+}
+
+}  // namespace
+}  // namespace ss::runtime

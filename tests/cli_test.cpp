@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <vector>
@@ -405,6 +406,82 @@ TEST_F(CliTest, RunPrintsPredictedLatencyNextToMeasured) {
   EXPECT_NE(out.find("pred p99"), std::string::npos) << out;
   EXPECT_NE(out.find("predicted end-to-end:"), std::string::npos) << out;
   EXPECT_NE(out.find("slo: measured p99"), std::string::npos) << out;
+}
+
+// ---------------------------------------------------------------------------
+// Checkpointing & recovery flags (--checkpoint-dir, --checkpoint-period,
+// --recover, --items).
+
+TEST_F(CliTest, RunRejectsUnwritableCheckpointDir) {
+  // A plain file where the directory should go: validated at startup, not
+  // at the first fence.
+  const std::string blocker = ::testing::TempDir() + "/cli_ckpt_blocker";
+  std::ofstream(blocker) << "not a directory";
+  auto [code, out, err] =
+      run({"run", "--seconds=0.1", "--checkpoint-dir=" + blocker});
+  EXPECT_EQ(code, 1);
+  EXPECT_NE(err.find("checkpoint: cannot create directory"), std::string::npos) << err;
+}
+
+TEST_F(CliTest, RunRejectsNonPositiveCheckpointPeriod) {
+  const std::string dir = ::testing::TempDir() + "/cli_ckpt_period";
+  auto [code, out, err] = run({"run", "--seconds=0.1", "--checkpoint-dir=" + dir,
+                               "--checkpoint-period=0"});
+  EXPECT_EQ(code, 1);
+  EXPECT_NE(err.find("--checkpoint-period must be positive"), std::string::npos) << err;
+}
+
+TEST_F(CliTest, CheckpointPeriodAndRecoverRequireDir) {
+  auto [pcode, pout, perr] = run({"run", "--seconds=0.1", "--checkpoint-period=1"});
+  EXPECT_EQ(pcode, 1);
+  EXPECT_NE(perr.find("--checkpoint-period requires --checkpoint-dir"),
+            std::string::npos)
+      << perr;
+
+  auto [rcode, rout, rerr] = run({"run", "--seconds=0.1", "--recover"});
+  EXPECT_EQ(rcode, 1);
+  EXPECT_NE(rerr.find("--recover requires --checkpoint-dir"), std::string::npos) << rerr;
+}
+
+TEST_F(CliTest, CheckpointFlagsRejectedUnderSimBackend) {
+  // The DES has no live actor graph to fence or restore.
+  for (const std::string flag :
+       {std::string("--checkpoint-dir=/tmp/x"), std::string("--checkpoint-period=1"),
+        std::string("--recover"), std::string("--items=100")}) {
+    auto [code, out, err] = run({"simulate", "--duration=1", flag});
+    EXPECT_EQ(code, 1) << flag;
+    EXPECT_NE(err.find("need a live runtime"), std::string::npos) << flag << ": " << err;
+  }
+}
+
+TEST_F(CliTest, RunRejectsNonPositiveItems) {
+  auto [code, out, err] = run({"run", "--items=0"});
+  EXPECT_EQ(code, 1);
+  EXPECT_NE(err.find("--items must be a positive integer"), std::string::npos) << err;
+}
+
+TEST_F(CliTest, CheckpointedRunPrintsFooterAndWritesFinalSnapshot) {
+  const std::string dir = ::testing::TempDir() + "/cli_ckpt_run_" +
+                          ::testing::UnitTest::GetInstance()->current_test_info()->name();
+  std::filesystem::remove_all(dir);
+  auto [code, out, err] = run({"run", "--items=1500", "--seconds=20",
+                               "--checkpoint-dir=" + dir, "--checkpoint-period=0.1"});
+  EXPECT_EQ(code, 0) << err;
+  EXPECT_NE(out.find("checkpoints:"), std::string::npos) << out;
+  std::ifstream final_file(dir + "/final.bin", std::ios::binary);
+  EXPECT_TRUE(final_file.good());
+}
+
+TEST_F(CliTest, RecoverOnEmptyDirStartsFresh) {
+  // A crash before the first snapshot must be restartable with the exact
+  // same command line: an empty directory is a fresh start, not an error.
+  const std::string dir = ::testing::TempDir() + "/cli_ckpt_fresh_" +
+                          ::testing::UnitTest::GetInstance()->current_test_info()->name();
+  std::filesystem::remove_all(dir);
+  auto [code, out, err] = run({"run", "--items=500", "--seconds=20", "--recover",
+                               "--checkpoint-dir=" + dir});
+  EXPECT_EQ(code, 0) << err;
+  EXPECT_NE(out.find("recover: no valid checkpoint"), std::string::npos) << out;
 }
 
 TEST_F(CliTest, GenerateProducesLoadableXml) {

@@ -1,0 +1,333 @@
+// End-to-end crash-recovery tests: the spinstreams CLI is launched as a
+// child process, killed mid-run — either via the deterministic
+// SS_CRASH_AFTER_CHECKPOINTS injection (exit 42 at a known checkpoint
+// boundary) or a real SIGKILL at a randomized point — and restarted with
+// --recover.  The proof of exactly-once per-key accounting: the final
+// consistent cut (dir/final.bin) of the recovered run must be identical to
+// the cut of an uninterrupted golden run over the same finite stream —
+// same source offsets, same operator state blobs (the per-key counts),
+// same rng lanes — for three topology shapes on both live engines.
+//
+// The sequence numbers inside the two final.bin files legitimately differ
+// (a recovered run continues the directory's numbering), so the comparison
+// decodes both checkpoints and compares the cut, not the raw bytes.
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "runtime/checkpoint.hpp"
+
+namespace ss::runtime {
+namespace {
+
+namespace fs = std::filesystem;
+
+// --- topology shapes (the Alg. 5 testbed structures: pipeline, diamond
+// with probabilistic routing, replicated keyed bottleneck) ----------------
+
+constexpr const char* kChainXml = R"(<?xml version="1.0"?>
+<topology name="rchain">
+  <operator name="src" impl="source" service-time="0.1" time-unit="ms"/>
+  <operator name="stage" impl="map_affine" service-time="0.04" time-unit="ms"/>
+  <operator name="counts" impl="keyed_counter" state="partitioned"
+            service-time="0.05" time-unit="ms">
+    <keys count="64" distribution="zipf" alpha="1.2"/>
+  </operator>
+  <operator name="sink" impl="sink" service-time="0.01" time-unit="ms"/>
+  <edge from="src" to="stage"/>
+  <edge from="stage" to="counts"/>
+  <edge from="counts" to="sink"/>
+</topology>
+)";
+
+constexpr const char* kDiamondXml = R"(<?xml version="1.0"?>
+<topology name="rdiamond">
+  <operator name="src" impl="source" service-time="0.1" time-unit="ms"/>
+  <operator name="fan" impl="map_affine" service-time="0.03" time-unit="ms"/>
+  <operator name="counts" impl="keyed_counter" state="partitioned"
+            service-time="0.05" time-unit="ms">
+    <keys count="48" distribution="zipf" alpha="1.1"/>
+  </operator>
+  <operator name="sums" impl="keyed_running_sum" state="partitioned"
+            service-time="0.05" time-unit="ms">
+    <keys count="48" distribution="uniform"/>
+  </operator>
+  <operator name="sink" impl="sink" service-time="0.01" time-unit="ms"/>
+  <edge from="src" to="fan"/>
+  <edge from="fan" to="counts" probability="0.5"/>
+  <edge from="fan" to="sums" probability="0.5"/>
+  <edge from="counts" to="sink"/>
+  <edge from="sums" to="sink"/>
+</topology>
+)";
+
+// keyed_counter at rho 2.5: --optimize replicates it, so the recovered cut
+// must also restore the emitter's rng/cursor and per-replica key state.
+constexpr const char* kReplicatedXml = R"(<?xml version="1.0"?>
+<topology name="rsplit">
+  <operator name="src" impl="source" service-time="0.1" time-unit="ms"/>
+  <operator name="heavy" impl="keyed_counter" state="partitioned"
+            service-time="0.25" time-unit="ms">
+    <keys count="96" distribution="zipf" alpha="1.1"/>
+  </operator>
+  <operator name="sink" impl="sink" service-time="0.01" time-unit="ms"/>
+  <edge from="src" to="heavy"/>
+  <edge from="heavy" to="sink"/>
+</topology>
+)";
+
+constexpr std::int64_t kItems = 6000;  // ~0.6 s at the 0.1 ms source pace
+
+// --- child-process plumbing ------------------------------------------------
+
+pid_t spawn_cli(const std::vector<std::string>& args,
+                const std::vector<std::pair<std::string, std::string>>& env,
+                const std::string& log_path) {
+  const pid_t pid = ::fork();
+  if (pid != 0) return pid;
+  const int fd = ::open(log_path.c_str(), O_CREAT | O_WRONLY | O_TRUNC, 0644);
+  if (fd >= 0) {
+    ::dup2(fd, STDOUT_FILENO);
+    ::dup2(fd, STDERR_FILENO);
+    ::close(fd);
+  }
+  for (const auto& [key, value] : env) ::setenv(key.c_str(), value.c_str(), 1);
+  std::vector<char*> argv;
+  argv.push_back(const_cast<char*>(SS_CLI_BIN));
+  for (const auto& a : args) argv.push_back(const_cast<char*>(a.c_str()));
+  argv.push_back(nullptr);
+  ::execv(SS_CLI_BIN, argv.data());
+  std::_Exit(127);  // exec failed
+}
+
+int wait_child(pid_t pid) {
+  int status = 0;
+  ::waitpid(pid, &status, 0);
+  return status;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+// --- cut comparison --------------------------------------------------------
+
+using ActorKey = std::tuple<OpIndex, int, std::int32_t>;
+
+std::map<ActorKey, const CheckpointActorEntry*> index_actors(const Checkpoint& cp) {
+  std::map<ActorKey, const CheckpointActorEntry*> by_key;
+  for (const auto& a : cp.actors) {
+    by_key[{a.op, static_cast<int>(a.role), a.replica}] = &a;
+  }
+  return by_key;
+}
+
+/// The exactly-once assertion: same source offsets, same deployment, and
+/// byte-identical state blobs + rng lanes per actor.  `sequence` (and only
+/// it) may differ between the golden and the recovered run.
+void expect_same_cut(const Checkpoint& golden, const Checkpoint& recovered) {
+  ASSERT_EQ(golden.sources.size(), recovered.sources.size());
+  for (std::size_t i = 0; i < golden.sources.size(); ++i) {
+    EXPECT_EQ(golden.sources[i].op, recovered.sources[i].op);
+    EXPECT_EQ(golden.sources[i].offset, recovered.sources[i].offset)
+        << "source " << golden.sources[i].op << " delivered a different item count";
+  }
+  EXPECT_EQ(golden.deployment.replication.replicas,
+            recovered.deployment.replication.replicas);
+
+  const auto golden_actors = index_actors(golden);
+  const auto recovered_actors = index_actors(recovered);
+  ASSERT_EQ(golden_actors.size(), recovered_actors.size());
+  for (const auto& [key, g] : golden_actors) {
+    const auto it = recovered_actors.find(key);
+    ASSERT_NE(it, recovered_actors.end())
+        << "actor (op=" << std::get<0>(key) << ", role=" << std::get<1>(key)
+        << ", replica=" << std::get<2>(key) << ") missing from recovered cut";
+    const CheckpointActorEntry* r = it->second;
+    EXPECT_EQ(g->rng, r->rng) << "rng lanes diverged for op " << g->op;
+    EXPECT_EQ(g->rr_cursor, r->rr_cursor);
+    EXPECT_EQ(g->has_state, r->has_state);
+    EXPECT_EQ(g->state, r->state)
+        << "per-key state diverged for op " << g->op << " replica " << g->replica;
+  }
+}
+
+// --- fixture ---------------------------------------------------------------
+
+class RecoveryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    base_ = ::testing::TempDir() + "/recovery_" + info->name();
+    fs::remove_all(base_);
+    fs::create_directories(base_);
+  }
+  void TearDown() override {
+    // Keep the evidence (child logs + checkpoint dirs) on failure: CI
+    // uploads /tmp/recovery_* as artifacts.
+    if (!HasFailure()) fs::remove_all(base_);
+  }
+
+  std::string write_topology(const char* xml) {
+    const std::string path = base_ + "/topology.xml";
+    std::ofstream(path) << xml;
+    return path;
+  }
+
+  std::vector<std::string> run_args(const std::string& xml, const std::string& engine,
+                                    bool optimize, const std::string& dir,
+                                    double period, bool recover) {
+    std::vector<std::string> args = {"run", xml, "--engine=" + engine,
+                                     "--items=" + std::to_string(kItems),
+                                     "--seconds=30",  // watchdog cap, not a pace
+                                     "--checkpoint-dir=" + dir,
+                                     "--checkpoint-period=" + std::to_string(period)};
+    if (engine == "pool") args.push_back("--workers=2");
+    if (optimize) args.push_back("--optimize");
+    if (recover) args.push_back("--recover");
+    return args;
+  }
+
+  Checkpoint load_final(const std::string& dir) {
+    Checkpoint cp;
+    const std::string path = dir + "/final.bin";
+    EXPECT_TRUE(CheckpointManager::read_file(path, cp)) << "unreadable: " << path;
+    return cp;
+  }
+
+  /// Golden run (uninterrupted) + crash run (exit 42 after `crash_after`
+  /// checkpoints) + --recover run, then the cut comparison.
+  void run_crash_scenario(const char* xml_text, const std::string& engine,
+                          bool optimize, int crash_after) {
+    const std::string xml = write_topology(xml_text);
+    const std::string golden_dir = base_ + "/golden";
+    const std::string crash_dir = base_ + "/crash";
+
+    int status = wait_child(spawn_cli(
+        run_args(xml, engine, optimize, golden_dir, 30.0, false), {},
+        base_ + "/golden.log"));
+    ASSERT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0)
+        << slurp(base_ + "/golden.log");
+
+    status = wait_child(spawn_cli(
+        run_args(xml, engine, optimize, crash_dir, 0.08, false),
+        {{"SS_CRASH_AFTER_CHECKPOINTS", std::to_string(crash_after)}},
+        base_ + "/crash.log"));
+    ASSERT_TRUE(WIFEXITED(status)) << slurp(base_ + "/crash.log");
+    ASSERT_EQ(WEXITSTATUS(status), FaultInjector::kCrashExitCode)
+        << slurp(base_ + "/crash.log");
+    EXPECT_FALSE(fs::exists(crash_dir + "/final.bin"));  // it really died mid-run
+    char name[32];
+    std::snprintf(name, sizeof(name), "ckpt-%08d.bin", crash_after);
+    EXPECT_TRUE(fs::exists(crash_dir + "/" + name));
+
+    status = wait_child(spawn_cli(
+        run_args(xml, engine, optimize, crash_dir, 30.0, true), {},
+        base_ + "/recover.log"));
+    ASSERT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0)
+        << slurp(base_ + "/recover.log");
+    const std::string log = slurp(base_ + "/recover.log");
+    EXPECT_NE(log.find("recover: restoring checkpoint"), std::string::npos) << log;
+    EXPECT_NE(log.find("recovered from epoch"), std::string::npos) << log;
+
+    expect_same_cut(load_final(golden_dir), load_final(crash_dir));
+  }
+
+  /// Golden run + SIGKILL at a randomized (seed-derived) point + --recover.
+  /// The kill can land before the first checkpoint (recovery starts fresh)
+  /// or even after completion — the final cut must match the golden run in
+  /// every case, which is exactly the crash-anywhere guarantee.
+  void run_sigkill_scenario(const char* xml_text, const std::string& engine,
+                            bool optimize, unsigned seed) {
+    const std::string xml = write_topology(xml_text);
+    const std::string golden_dir = base_ + "/golden";
+    const std::string crash_dir = base_ + "/crash";
+
+    int status = wait_child(spawn_cli(
+        run_args(xml, engine, optimize, golden_dir, 30.0, false), {},
+        base_ + "/golden.log"));
+    ASSERT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0)
+        << slurp(base_ + "/golden.log");
+
+    const int delay_ms = 120 + static_cast<int>((seed * 97u) % 300u);
+    const pid_t pid = spawn_cli(run_args(xml, engine, optimize, crash_dir, 0.06, false),
+                                {}, base_ + "/crash.log");
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+    ::kill(pid, SIGKILL);
+    status = wait_child(pid);
+    const bool killed = WIFSIGNALED(status) && WTERMSIG(status) == SIGKILL;
+    const bool finished = WIFEXITED(status) && WEXITSTATUS(status) == 0;
+    ASSERT_TRUE(killed || finished) << "status=" << status << "\n"
+                                    << slurp(base_ + "/crash.log");
+
+    status = wait_child(spawn_cli(
+        run_args(xml, engine, optimize, crash_dir, 30.0, true), {},
+        base_ + "/recover.log"));
+    ASSERT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0)
+        << slurp(base_ + "/recover.log");
+    EXPECT_NE(slurp(base_ + "/recover.log").find("recover:"), std::string::npos);
+
+    expect_same_cut(load_final(golden_dir), load_final(crash_dir));
+  }
+
+  std::string base_;
+};
+
+// --- deterministic crash at a checkpoint boundary: 3 shapes x 2 engines ----
+
+TEST_F(RecoveryTest, ChainExactlyOnceOnThreads) {
+  run_crash_scenario(kChainXml, "threads", false, 1);
+}
+
+TEST_F(RecoveryTest, ChainExactlyOnceOnPool) {
+  run_crash_scenario(kChainXml, "pool", false, 2);
+}
+
+TEST_F(RecoveryTest, DiamondExactlyOnceOnThreads) {
+  run_crash_scenario(kDiamondXml, "threads", false, 2);
+}
+
+TEST_F(RecoveryTest, DiamondExactlyOnceOnPool) {
+  run_crash_scenario(kDiamondXml, "pool", false, 1);
+}
+
+TEST_F(RecoveryTest, ReplicatedExactlyOnceOnThreads) {
+  run_crash_scenario(kReplicatedXml, "threads", true, 2);
+}
+
+TEST_F(RecoveryTest, ReplicatedExactlyOnceOnPool) {
+  run_crash_scenario(kReplicatedXml, "pool", true, 1);
+}
+
+// --- real SIGKILL at a randomized point ------------------------------------
+
+TEST_F(RecoveryTest, SigkillMidRunRecoversOnThreads) {
+  run_sigkill_scenario(kChainXml, "threads", false, /*seed=*/1);
+}
+
+TEST_F(RecoveryTest, SigkillMidRunRecoversOnPool) {
+  run_sigkill_scenario(kDiamondXml, "pool", false, /*seed=*/2);
+}
+
+}  // namespace
+}  // namespace ss::runtime
