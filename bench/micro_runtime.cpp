@@ -1,10 +1,22 @@
 // Micro-benchmarks of the runtime substrate: mailbox operations (the cost
 // of one actor hop), routing decisions, and end-to-end pipeline hops
 // through the engine — the overheads operator fusion exists to remove.
+//
+// --mailbox=mutex|ring selects the inbox engine every benchmark runs on
+// (default ring); --mailbox=both skips Google Benchmark entirely and runs
+// the dedicated A/B comparison: the pooled engine's pipeline-hop benchmark
+// once per mailbox kind, printing per-hop nanoseconds for each and a
+// machine-parseable throughput delta line (the CI perf-smoke job greps
+// "ring vs mutex:" and fails the build if the ratio drops below 1.0).
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
 #include <thread>
+#include <vector>
 
 #include "runtime/engine.hpp"
 #include "runtime/mailbox.hpp"
@@ -15,11 +27,16 @@ namespace {
 
 using namespace std::chrono_literals;
 using ss::runtime::Mailbox;
+using ss::runtime::MailboxKind;
 using ss::runtime::Message;
+using ss::runtime::OverflowPolicy;
 using ss::runtime::Tuple;
 
+/// Inbox engine under test, set once by --mailbox before any benchmark runs.
+MailboxKind g_mailbox = MailboxKind::kRing;
+
 void BM_MailboxSendReceive(benchmark::State& state) {
-  Mailbox box(64);
+  Mailbox box(64, OverflowPolicy::kBlockAfterService, g_mailbox);
   const Message m = Message::data(Tuple{}, 0, 1);
   Message out;
   for (auto _ : state) {
@@ -31,8 +48,8 @@ BENCHMARK(BM_MailboxSendReceive);
 
 void BM_MailboxPingPongThreads(benchmark::State& state) {
   // Producer thread + benchmark thread: the cross-thread hop cost.
-  Mailbox request(64);
-  Mailbox response(64);
+  Mailbox request(64, OverflowPolicy::kBlockAfterService, g_mailbox);
+  Mailbox response(64, OverflowPolicy::kBlockAfterService, g_mailbox);
   std::thread echo([&] {
     Message m;
     while (request.receive(m)) {
@@ -53,7 +70,7 @@ BENCHMARK(BM_MailboxPingPongThreads);
 
 void BM_MailboxTrySend(benchmark::State& state) {
   // The pooled scheduler's fast path: no blocking machinery touched.
-  Mailbox box(64);
+  Mailbox box(64, OverflowPolicy::kBlockAfterService, g_mailbox);
   const Message m = Message::data(Tuple{}, 0, 1);
   Message out;
   for (auto _ : state) {
@@ -62,6 +79,22 @@ void BM_MailboxTrySend(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_MailboxTrySend);
+
+void BM_MailboxTrySendBatch(benchmark::State& state) {
+  // The output-staging hand-off: one credit reservation moves a whole
+  // MessageBatch worth of messages.
+  Mailbox box(64, OverflowPolicy::kBlockAfterService, g_mailbox);
+  Message msgs[ss::runtime::MessageBatch::kCapacity];
+  for (auto& m : msgs) m = Message::data(Tuple{}, 0, 1);
+  Message out;
+  for (auto _ : state) {
+    const std::size_t n =
+        box.try_send_batch(msgs, ss::runtime::MessageBatch::kCapacity);
+    for (std::size_t i = 0; i < n; ++i) box.try_receive(out);
+    benchmark::DoNotOptimize(n);
+  }
+}
+BENCHMARK(BM_MailboxTrySendBatch);
 
 void BM_EdgeRouterChoose(benchmark::State& state) {
   ss::Topology::Builder b;
@@ -90,32 +123,49 @@ void BM_ReplicaSelectorByKey(benchmark::State& state) {
 }
 BENCHMARK(BM_ReplicaSelectorByKey);
 
-/// Full engine: N-stage pipeline of pass-through synthetic operators with
-/// near-zero service time; reports tuples/second through the whole chain,
-/// i.e. the per-hop actor overhead fusion removes.  Runs on both execution
-/// backends so the hop cost of the dedicated-thread and the pooled
-/// scheduler can be compared directly.
+/// One run of the pipeline-hop workload: a `stages`-hop chain of
+/// pass-through synthetic operators with near-zero service time pushes
+/// `items` tuples end to end.  Returns the wall-clock seconds of the run.
+double run_pipeline_hops(ss::runtime::SchedulerKind scheduler, MailboxKind mailbox,
+                         int stages, std::int64_t items, int workers) {
+  ss::Topology::Builder b;
+  b.add_operator("src", 1e-6);
+  for (int i = 0; i < stages; ++i) {
+    b.add_operator("s" + std::to_string(i), 1e-7);
+    b.add_edge(static_cast<ss::OpIndex>(i), static_cast<ss::OpIndex>(i + 1));
+  }
+  const ss::Topology t = b.build();
+  ss::runtime::EngineConfig config;
+  config.scheduler = scheduler;
+  config.mailbox = mailbox;
+  config.workers = workers;
+  ss::runtime::Engine engine(t, ss::runtime::Deployment{},
+                             ss::runtime::synthetic_factory(0.0, items), config);
+  const auto stats = engine.run_until_complete(std::chrono::duration<double>(60.0));
+  if (std::getenv("AB_DEBUG") != nullptr) {
+    const auto c = engine.scheduler_counters();
+    std::printf("  [dbg] pushes=%llu pops=%llu steals=%llu parks=%llu wakes=%llu batches=%llu bmsgs=%llu maxb=%llu ringe=%llu spills=%llu\n",
+      (unsigned long long)c.pushes,(unsigned long long)c.local_pops,(unsigned long long)c.steals,
+      (unsigned long long)c.parks,(unsigned long long)c.wakeups,(unsigned long long)c.batches,
+      (unsigned long long)c.batch_messages,(unsigned long long)c.max_batch,
+      (unsigned long long)c.ring_enqueues,(unsigned long long)c.ring_spills);
+  }
+  return stats.total_seconds;
+}
+
+/// Full engine: N-stage pipeline; reports tuples/second through the whole
+/// chain, i.e. the per-hop actor overhead fusion removes.  Runs on both
+/// execution backends so the hop cost of the dedicated-thread and the
+/// pooled scheduler can be compared directly.
 void engine_pipeline_hops(benchmark::State& state, ss::runtime::SchedulerKind scheduler) {
   const auto stages = static_cast<int>(state.range(0));
+  constexpr std::int64_t kItems = 20000;
   for (auto _ : state) {
-    ss::Topology::Builder b;
-    b.add_operator("src", 1e-6);
-    for (int i = 0; i < stages; ++i) {
-      b.add_operator("s" + std::to_string(i), 1e-7);
-      b.add_edge(static_cast<ss::OpIndex>(i), static_cast<ss::OpIndex>(i + 1));
-    }
-    const ss::Topology t = b.build();
-    constexpr std::int64_t kItems = 20000;
-    ss::runtime::EngineConfig config;
-    config.scheduler = scheduler;
-    ss::runtime::Engine engine(t, ss::runtime::Deployment{},
-                               ss::runtime::synthetic_factory(0.0, kItems), config);
-    const auto stats = engine.run_until_complete(std::chrono::duration<double>(60.0));
+    const double seconds = run_pipeline_hops(scheduler, g_mailbox, stages, kItems, 0);
     state.counters["tuples/s"] =
-        benchmark::Counter(static_cast<double>(kItems) / stats.total_seconds);
-    state.counters["lat_p50_us"] = benchmark::Counter(stats.end_to_end.p50 * 1e6);
-    state.counters["lat_p95_us"] = benchmark::Counter(stats.end_to_end.p95 * 1e6);
-    state.counters["lat_p99_us"] = benchmark::Counter(stats.end_to_end.p99 * 1e6);
+        benchmark::Counter(static_cast<double>(kItems) / seconds);
+    state.counters["hop_ns"] = benchmark::Counter(
+        seconds * 1e9 / (static_cast<double>(kItems) * stages));
   }
 }
 
@@ -129,6 +179,83 @@ void BM_EnginePipelineHopsPooled(benchmark::State& state) {
 }
 BENCHMARK(BM_EnginePipelineHopsPooled)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
 
+/// The --mailbox=both comparison: the pooled pipeline-hop workload run as
+/// `kReps` mutex/ring pairs (median of per-pair ratios, so a stray scheduler
+/// hiccup cannot fake a regression), then the delta line CI parses.
+int run_mailbox_ab() {
+  // AB_STAGES / AB_WORKERS / AB_ITEMS env overrides support local
+  // experimentation (cost decomposition); CI runs the defaults.
+  const char* stages_env = std::getenv("AB_STAGES");
+  const int kStages = stages_env != nullptr ? std::atoi(stages_env) : 4;
+  const char* workers_env = std::getenv("AB_WORKERS");
+  const int kWorkers = workers_env != nullptr ? std::atoi(workers_env) : 4;
+  // Long enough that one run is ~0.1 s: 20k-item runs are dominated by
+  // scheduler noise on small/oversubscribed hosts and the ratio swings
+  // +-25% run to run; 60k with best-of-5 keeps the gate stable.
+  constexpr std::int64_t kDefaultItems = 60000;
+  const char* items_env = std::getenv("AB_ITEMS");
+  const std::int64_t kItems = items_env != nullptr ? std::atoll(items_env) : kDefaultItems;
+  constexpr int kReps = 5;
+  // Paired reps: one mutex run immediately followed by one ring run, the
+  // reported ratio is the *median* of the per-pair ratios.  Host-load
+  // drift (noisy neighbors, frequency scaling) hits both halves of a pair
+  // alike and cancels; an unpaired best-of lets a slow phase land on one
+  // engine only and fake a regression either way.
+  const auto one = [&](MailboxKind kind) {
+    return run_pipeline_hops(ss::runtime::SchedulerKind::kPooled, kind, kStages,
+                             kItems, kWorkers);
+  };
+  double mutex_best = 1e300;
+  double ring_best = 1e300;
+  std::vector<double> ratios;
+  for (int r = 0; r < kReps; ++r) {
+    const double m = one(MailboxKind::kMutex);
+    const double g = one(MailboxKind::kRing);
+    mutex_best = std::min(mutex_best, m);
+    ring_best = std::min(ring_best, g);
+    ratios.push_back(m / g);
+  }
+  std::sort(ratios.begin(), ratios.end());
+  const double ratio = ratios[ratios.size() / 2];
+  const double hops = static_cast<double>(kItems) * kStages;
+  const double mutex_hop_ns = mutex_best * 1e9 / hops;
+  const double ring_hop_ns = ring_best * 1e9 / hops;
+  std::printf(
+      "mailbox A/B: pool engine, %d workers, %d-stage pipeline, %lld items, "
+      "median of %d pairs\n",
+      kWorkers, kStages, static_cast<long long>(kItems), kReps);
+  std::printf("  mutex: %8.1f ns/hop  %12.0f tuples/s\n", mutex_hop_ns,
+              static_cast<double>(kItems) / mutex_best);
+  std::printf("  ring:  %8.1f ns/hop  %12.0f tuples/s\n", ring_hop_ns,
+              static_cast<double>(kItems) / ring_best);
+  std::printf("ring vs mutex: %.2fx throughput (per-hop %.1f ns -> %.1f ns)\n",
+              ratio, mutex_hop_ns, ring_hop_ns);
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::vector<char*> args;
+  bool both = false;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--mailbox=", 0) == 0) {
+      const std::string value = arg.substr(10);
+      if (value == "both") {
+        both = true;
+      } else {
+        g_mailbox = ss::runtime::mailbox_kind_from_string(value);  // throws on junk
+      }
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  if (both) return run_mailbox_ab();
+  int count = static_cast<int>(args.size());
+  benchmark::Initialize(&count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(count, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -58,13 +58,21 @@ commands:
                                      discrete-event simulation vs the model
                                      (tables print predicted next to measured)
   run <file> [--seconds=S] [--optimize] [--engine=threads|pool] [--workers=K]
-             [--batch=N] [--elastic] [--reconfig-period=S] [--reconfig-threshold=R]
+             [--batch=N] [--mailbox=mutex|ring] [--pin=none|cores|sockets]
+             [--elastic] [--reconfig-period=S] [--reconfig-threshold=R]
              [--slo-p99=MS] [--objective=NAME] [--items=N]
              [--checkpoint-dir=D] [--checkpoint-period=S] [--recover]
              [--trace=FILE] [--metrics-out=FILE] [--metrics-period=S]
                                      execute on the actor runtime (threads =
                                      one thread per actor, pool = K work-
                                      stealing workers draining N msgs/claim);
+                                     --mailbox picks the inbox engine (ring =
+                                     lock-free MPSC fast path, the default;
+                                     mutex = the two-queue baseline), --pin
+                                     maps pool workers onto CPUs (cores =
+                                     round-robin, sockets = spread across
+                                     packages; warns and continues unpinned
+                                     where CPU affinity is unavailable);
                                      --elastic runs the online controller that
                                      re-optimizes the live topology from
                                      measured rates without losing tuples
@@ -83,6 +91,7 @@ commands:
                                      one JSON metrics snapshot per line every
                                      --metrics-period seconds
   run --app A.xml --app B.xml [--workers=K] [--batch=N] [--seconds=S]
+      [--mailbox=mutex|ring] [--pin=none|cores|sockets]
       [--optimize] [--budget=N] [--weights=1,2,...] [--elastic]
       [--reconfig-period=S] [--reconfig-threshold=R] [--slo-p99=MS]
       [--objective=NAME] [--metrics-out=FILE] [--checkpoint-dir=D]
@@ -345,6 +354,9 @@ int cmd_execute(const Args& args, std::ostream& out, harness::ExecutionBackend b
                 !args.has("recover") && !args.has("items"),
             "--checkpoint-dir/--checkpoint-period/--recover/--items need a live "
             "runtime: use --engine=threads or --engine=pool");
+    require(!args.has("pin") && !args.has("mailbox"),
+            "--pin/--mailbox configure the live runtime: use --engine=threads or "
+            "--engine=pool");
     sim::SimOptions options;
     options.duration = args.get_double("duration", 120.0);
     require(options.duration > 0.0, "--duration must be positive (seconds)");
@@ -406,6 +418,22 @@ int cmd_execute(const Args& args, std::ostream& out, harness::ExecutionBackend b
     config.scheduler = runtime::SchedulerKind::kPooled;
     config.workers = static_cast<int>(args.get_int("workers", 0));
     config.pool_batch = static_cast<int>(args.get_int("batch", 0));
+  }
+  if (args.has("mailbox")) {
+    const std::string kind = args.get("mailbox");
+    require(kind == "mutex" || kind == "ring",
+            "unknown mailbox kind '" + kind + "' (expected 'mutex' or 'ring')");
+    config.mailbox = runtime::mailbox_kind_from_string(kind);
+  }
+  if (args.has("pin")) {
+    // Pinning maps *pool workers* onto CPUs; the thread-per-actor engine
+    // has no worker set to map (one thread per actor, placement is the
+    // OS's call).  pin_mode_from_string rejects unknown values, and a
+    // kernel without sched_setaffinity degrades to a one-time warning at
+    // run time rather than an error here.
+    require(backend == harness::ExecutionBackend::kPool,
+            "--pin maps pool workers onto CPUs: use --engine=pool");
+    config.pin = runtime::pin_mode_from_string(args.get("pin"));
   }
   config.elastic = args.has("elastic");
   config.slo_p99 = slo_p99;
@@ -609,8 +637,17 @@ int cmd_run_multi(const Args& args, std::ostream& out) {
   require(checkpoint_period > 0.0, "--checkpoint-period must be positive (seconds)");
   require(!args.has("recover") || !checkpoint_dir.empty(),
           "--recover requires --checkpoint-dir");
+  runtime::PinMode pin = runtime::PinMode::kNone;
+  if (args.has("pin")) pin = runtime::pin_mode_from_string(args.get("pin"));
+  runtime::MailboxKind mailbox = runtime::MailboxKind::kRing;
+  if (args.has("mailbox")) {
+    const std::string kind = args.get("mailbox");
+    require(kind == "mutex" || kind == "ring",
+            "unknown mailbox kind '" + kind + "' (expected 'mutex' or 'ring')");
+    mailbox = runtime::mailbox_kind_from_string(kind);
+  }
   runtime::TenantGroup group(static_cast<int>(args.get_int("workers", 0)),
-                             static_cast<int>(args.get_int("batch", 0)));
+                             static_cast<int>(args.get_int("batch", 0)), pin);
   for (std::size_t i = 0; i < paths.size(); ++i) {
     runtime::TenantSpec spec;
     spec.name = names[i];
@@ -619,6 +656,7 @@ int cmd_run_multi(const Args& args, std::ostream& out) {
     spec.factory = ops::make_logic_factory(topologies[i]);
     spec.weight = weights[i];
     spec.optimize = optimize[i];
+    spec.config.mailbox = mailbox;
     spec.max_duration = std::chrono::duration<double>(seconds);
     if (!metrics_path.empty()) {
       spec.config.metrics_path = metrics_path + "." + names[i];

@@ -78,6 +78,24 @@ thread_local BatchMeterSlice tls_batch_slice;
 
 }  // namespace
 
+/// Per-thread output stage: while an actor slice runs (pooled drain,
+/// source pump, or a dedicated-thread burst), consecutive data results
+/// bound for the same destination coalesce into one cache-line-aligned
+/// MessageBatch and reach the target mailbox as a unit
+/// (Mailbox::try_send_batch) instead of one try_send per message.
+/// `owner` scopes the stage to the engine that armed it — a hosted worker
+/// interleaves slices of several tenant engines on one thread, and a stage
+/// armed by one engine must never absorb another engine's sends.
+namespace {
+struct OutputStage {
+  Engine* owner = nullptr;
+  int target = -1;  ///< destination actor of the staged batch
+  bool armed = false;
+  MessageBatch batch;
+};
+thread_local OutputStage tls_output_stage;
+}  // namespace
+
 AppFactory synthetic_factory(double time_scale, std::int64_t max_items) {
   AppFactory factory;
   factory.source = [time_scale, max_items](OpIndex op, const OperatorSpec& spec) {
@@ -92,8 +110,9 @@ AppFactory synthetic_factory(double time_scale, std::int64_t max_items) {
 // ---------------------------------------------------------------- ActorState
 
 struct Engine::ActorState {
-  ActorState(ActorSpec s, std::size_t mailbox_capacity, OverflowPolicy policy, Rng r)
-      : spec(std::move(s)), mailbox(mailbox_capacity, policy), rng(r) {}
+  ActorState(ActorSpec s, std::size_t mailbox_capacity, OverflowPolicy policy,
+             MailboxKind kind, Rng r)
+      : spec(std::move(s)), mailbox(mailbox_capacity, policy, kind), rng(r) {}
 
   struct PendingItem {
     OpIndex member;
@@ -163,6 +182,13 @@ class Engine::ReplicaCollector final : public Collector {
   void forward(OpIndex target, const Tuple& t) {
     Message m = Message::data(t, op_, target);
     m.seq = seq_;  // results inherit the seq of the input that produced them
+    // Un-sequenced results may stage; sequenced ones must not — the seq
+    // mark the replica sends right after processing is capacity-exempt and
+    // would overtake a staged result, wedging the collector's release
+    // cursor past a seq whose data it never held.
+    if (seq_ < 0 && engine_.stage_message(collector_actor_, m, /*count_emit=*/false)) {
+      return;
+    }
     engine_.send_to_actor(collector_actor_, m);
   }
 
@@ -350,7 +376,7 @@ std::unique_ptr<Engine::EpochState> Engine::build_epoch(Deployment deployment,
       continue;
     }
     auto state = std::make_unique<ActorState>(spec, config_.mailbox_capacity, config_.overflow,
-                                              master_rng_.split());
+                                              config_.mailbox, master_rng_.split());
     init_actor_logic(*state, spec, epoch->deployment);
     epoch->actors.push_back(std::move(state));
   }
@@ -455,6 +481,62 @@ bool Engine::send_to_actor(int actor_id, const Message& m) {
   return epoch_->scheduler->deliver(static_cast<std::size_t>(actor_id), m, timeout);
 }
 
+// ------------------------------------------------------------ output staging
+
+void Engine::begin_output_batch(std::size_t /*id*/) {
+  // Staging exists to feed the ring's batched slot reservation; under
+  // --mailbox=mutex the engine runs the original per-message delivery so
+  // the A/B in bench/micro_runtime compares the whole hot path against the
+  // true baseline, not a hybrid.
+  if (config_.mailbox != MailboxKind::kRing) return;
+  OutputStage& stage = tls_output_stage;
+  stage.owner = this;
+  stage.target = -1;
+  stage.armed = true;
+  stage.batch.clear();
+}
+
+void Engine::flush_output_batch(std::size_t /*id*/) {
+  flush_stage();
+  OutputStage& stage = tls_output_stage;
+  stage.armed = false;
+  stage.owner = nullptr;
+}
+
+bool Engine::stage_message(int actor_id, const Message& m, bool count_emit) {
+  OutputStage& stage = tls_output_stage;
+  if (!stage.armed || stage.owner != this || m.kind != Message::Kind::kData) {
+    return false;
+  }
+  if (stage.target != actor_id) flush_stage();  // destination changed
+  stage.target = actor_id;
+  stage.batch.push(m, count_emit);
+  if (stage.batch.full()) flush_stage();
+  return true;
+}
+
+void Engine::flush_stage() {
+  OutputStage& stage = tls_output_stage;
+  if (stage.owner != this || stage.batch.empty()) return;
+  MessageBatch& b = stage.batch;
+  const int target = stage.target;
+  Mailbox& box = actor(static_cast<std::size_t>(target)).mailbox;
+  const std::size_t accepted = box.try_send_batch(b.items, b.count);
+  for (std::size_t i = 0; i < accepted; ++i) {
+    if ((b.emit_mask & (1u << i)) != 0) board_.add_emitted(b.items[i].from);
+  }
+  // Remainder: the destination is full (or closed).  Fall back to the
+  // scheduler's per-message delivery, which applies the usual BAS / shed
+  // semantics and charges blocked time exactly like an unstaged send.
+  for (std::size_t i = accepted; i < b.count; ++i) {
+    if (send_to_actor(target, b.items[i]) && (b.emit_mask & (1u << i)) != 0) {
+      board_.add_emitted(b.items[i].from);
+    }
+  }
+  b.clear();
+  stage.target = -1;
+}
+
 bool Engine::route_result(OpIndex op, OpIndex target, const Tuple& tuple, Rng& rng) {
   if (target == kInvalidOp) {
     target = routers_[op].choose(rng);
@@ -468,7 +550,11 @@ bool Engine::route_result(OpIndex op, OpIndex target, const Tuple& tuple, Rng& r
                 topology_.op(op).name + "'");
   }
   const Message m = Message::data(tuple, op, target);
-  return send_to_actor(epoch_->graph.entry[target], m);
+  const int entry = epoch_->graph.entry[target];
+  // Staged: the emission is counted at flush time (emit_mask), so report
+  // false here — the caller must not count it a second time.
+  if (stage_message(entry, m, /*count_emit=*/true)) return false;
+  return send_to_actor(entry, m);
 }
 
 void Engine::release_ordered(ActorState& st) {
@@ -528,6 +614,10 @@ void Engine::run_meta(std::size_t id, OpIndex member, const Tuple& tuple, OpInde
 }
 
 void Engine::finish_actor(std::size_t id) {
+  // The epilogue below and the shutdown tokens at the end must not overtake
+  // data this thread still has staged (pooled slots flush via their guard
+  // before complete(); this covers the dedicated-thread loops).
+  flush_stage();
   ActorState& st = actor(id);
   switch (st.spec.kind) {
     case ActorKind::kWorker: {
@@ -601,6 +691,10 @@ void Engine::count_fence_locked(ActorState& st) {
 }
 
 void Engine::pass_fence(std::size_t id) {
+  // Results staged earlier in this slice must reach their mailboxes before
+  // the fence tokens below — a token overtaking data would let a channel
+  // quiesce with tuples still in flight behind it.
+  flush_stage();
   ActorState& st = actor(id);
   if (st.retired.exchange(true, std::memory_order_acq_rel)) return;
   trace::instant("fence_pass", "fence", "actor", static_cast<std::int64_t>(id));
@@ -638,6 +732,7 @@ bool Engine::next_source_item(ActorState& st, Tuple& tuple) {
 }
 
 void Engine::source_fence(std::size_t id) {
+  flush_stage();  // staged items precede the fence tokens, as on every path
   ActorState& st = actor(id);
   if (st.retired.exchange(true, std::memory_order_acq_rel)) return;
   trace::Span span("source_fence", "fence");
@@ -745,7 +840,10 @@ void Engine::process_message(std::size_t id, Message& msg) {
       }
       if (config_.preserve_replica_order) msg.seq = st.next_seq++;
       const int r = st.selector.select(msg.tuple.key, st.rng);
-      send_to_actor(st.replica_targets[static_cast<std::size_t>(r)], msg);
+      const int dest = st.replica_targets[static_cast<std::size_t>(r)];
+      // A forward, not an emission (the collector counts the operator's
+      // output): staged when a slice is open, delivered directly otherwise.
+      if (!stage_message(dest, msg, /*count_emit=*/false)) send_to_actor(dest, msg);
       break;
     }
     case ActorKind::kCollector: {
@@ -831,6 +929,16 @@ void Engine::actor_loop(std::size_t id) {
         if (armed) engine->end_batch_meter(id);
       }
     } slice{this, id, begin_batch_meter(id)};
+    // Stage outputs for the burst.  Declared after `slice` so the flush
+    // (destructor order) lands inside the busy slice, and runs before the
+    // next blocking receive so staged results never outwait an idle
+    // mailbox.  Covers the mid-burst `return` on fence retirement too.
+    struct StageGuard {
+      Engine* engine;
+      std::size_t id;
+      ~StageGuard() { engine->flush_output_batch(id); }
+    } stage{this, id};
+    begin_output_batch(id);
     for (int n = 0;;) {
       if (msg.kind == Message::Kind::kShutdown) {
         if (++shutdowns >= st.spec.incoming_channels) {
@@ -887,6 +995,7 @@ void Engine::source_loop(std::size_t id) {
       ScopedActorContext slice(telemetry_, op);
       const Clock::time_point from = metering_now();
       bool ended = false;
+      begin_output_batch(id);
       for (int n = 0; n < 64; ++n) {
         if (stop_.load(std::memory_order_relaxed) ||
             fence_active_.load(std::memory_order_acquire)) {
@@ -898,18 +1007,41 @@ void Engine::source_loop(std::size_t id) {
         }
         board_.add_processed(op);
         out.emit(tuple);
+        // A paced source holding a half-filled batch would charge every
+        // staged item the pace gaps of its successors — visible directly
+        // in the percentiles.  While latency is being measured, hand each
+        // item over as it is produced; batching a rate-limited source
+        // buys nothing anyway (the win is back-to-back emission).
+        if (board_.latency_enabled()) flush_stage();
       }
+      flush_output_batch(id);  // inside the slice: dispatch time is busy
       const auto elapsed = static_cast<std::uint64_t>(
           std::chrono::duration_cast<std::chrono::nanoseconds>(metering_now() - from)
               .count());
       const std::uint64_t blocked = slice.blocked_ns();
       telemetry_.add_busy(op, elapsed > blocked ? elapsed - blocked : 0);
       if (ended) break;
-    } else if (!next_source_item(st, tuple)) {
-      break;
     } else {
-      board_.add_processed(op);
-      out.emit(tuple);
+      // Same bounded burst without the metering: emissions stage into
+      // MessageBatch hand-offs, and the stop/fence flags are re-checked
+      // per item so staging never delays a fence.
+      bool ended = false;
+      begin_output_batch(id);
+      for (int n = 0; n < 64; ++n) {
+        if (stop_.load(std::memory_order_relaxed) ||
+            fence_active_.load(std::memory_order_acquire)) {
+          break;
+        }
+        if (!next_source_item(st, tuple)) {
+          ended = true;
+          break;
+        }
+        board_.add_processed(op);
+        out.emit(tuple);
+        if (board_.latency_enabled()) flush_stage();  // see the metered twin
+      }
+      flush_output_batch(id);
+      if (ended) break;
     }
   }
   finish_actor(id);
@@ -970,12 +1102,17 @@ bool Engine::pump_source(std::size_t id, int quantum) {
     }
     board_.add_processed(op);
     out.emit(tuple);
+    // Paced sources hand items over as produced while latency percentiles
+    // are live — a half-filled staged batch would charge every staged item
+    // its successors' pace gaps (see source_loop).
+    if (board_.latency_enabled()) flush_stage();
   }
   record();
   return true;
 }
 
 void Engine::report_failure(std::size_t id, const std::string& what) {
+  flush_stage();  // deliver what the failed slice already routed
   {
     std::lock_guard lock(failure_mutex_);
     if (first_failure_.empty()) {
@@ -1084,6 +1221,8 @@ bool Engine::reconfigure(const Deployment& next) {
     for (const auto& st : epoch_->actors) {
       if (st == nullptr) continue;
       dropped_prior_epochs_ += st->mailbox.dropped();
+      ring_enqueues_prior_ += st->mailbox.ring_enqueues();
+      ring_spills_prior_ += st->mailbox.ring_spills();
       const OpIndex op = st->spec.op;
       queue_peak_prior_[op] = std::max(queue_peak_prior_[op], st->mailbox.depth_peak());
     }
@@ -1362,6 +1501,19 @@ SchedulerCounters Engine::scheduler_counters() const {
   std::lock_guard lock(epoch_mutex_);
   SchedulerCounters c = sched_counters_prior_;
   if (epoch_ && epoch_->scheduler) c += epoch_->scheduler->counters();
+  // Ring traffic lives in the mailboxes, not the scheduler: fold the live
+  // actors' counters in here (replaced actors fold into the prior sums at
+  // reconfigure) so the report shows enqueue volume next to the hint
+  // ledger it fed.
+  c.ring_enqueues += ring_enqueues_prior_;
+  c.ring_spills += ring_spills_prior_;
+  if (epoch_) {
+    for (const auto& st : epoch_->actors) {
+      if (st == nullptr) continue;
+      c.ring_enqueues += st->mailbox.ring_enqueues();
+      c.ring_spills += st->mailbox.ring_spills();
+    }
+  }
   return c;
 }
 
@@ -1392,7 +1544,7 @@ std::unique_ptr<Scheduler> Engine::make_epoch_scheduler() {
   if (config_.host != nullptr) {
     return make_hosted_scheduler(*config_.host, config_.tenant, config_.tenant_weight);
   }
-  return make_scheduler(config_.scheduler, config_.workers, config_.pool_batch);
+  return make_scheduler(config_.scheduler, config_.workers, config_.pool_batch, config_.pin);
 }
 
 void Engine::start_execution() {

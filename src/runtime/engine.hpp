@@ -60,6 +60,14 @@ struct EngineConfig {
   /// Full-mailbox behaviour: backpressure (default, what the cost models
   /// assume) or load shedding (drop-newest; an alternative §2 discusses).
   OverflowPolicy overflow = OverflowPolicy::kBlockAfterService;
+  /// Queue engine behind every mailbox: the lock-free MPSC ring fast path
+  /// (default) or the mutex-guarded two-queue baseline (--mailbox=mutex,
+  /// kept for A/B comparison).  Semantics are identical either way.
+  MailboxKind mailbox = MailboxKind::kRing;
+  /// Worker-to-CPU pinning of the pooled scheduler (--pin).  Ignored under
+  /// kThreadPerActor; best-effort (warns and continues unpinned when CPU
+  /// affinity is unavailable).
+  PinMode pin = PinMode::kNone;
   /// When true, collectors of replicated operators release results in the
   /// order the inputs entered the emitter (paper §2: "proper approaches
   /// for item scheduling and collection, to preserve the sequential
@@ -245,6 +253,8 @@ class Engine final : public EngineCore {
   void run_actor(std::size_t id) override;
   bool pump_source(std::size_t id, int quantum) override;
   void process_message(std::size_t id, Message& m) override;
+  void begin_output_batch(std::size_t id) override;
+  void flush_output_batch(std::size_t id) override;
   bool begin_batch_meter(std::size_t id) override;
   void end_batch_meter(std::size_t id) override;
   void finish_actor(std::size_t id) override;
@@ -319,6 +329,16 @@ class Engine final : public EngineCore {
   void write_final_checkpoint();
   RunStats finalize_run();
   bool send_to_actor(int actor_id, const Message& m);
+  /// Appends a data message to the calling thread's output stage when one
+  /// is armed for this engine (consecutive same-destination messages leave
+  /// as one MessageBatch).  `count_emit` marks deliveries that should be
+  /// counted as emissions of `m.from` at flush time.  Returns false when
+  /// no stage is armed — the caller delivers directly.
+  bool stage_message(int actor_id, const Message& m, bool count_emit);
+  /// Delivers the calling thread's staged batch (Mailbox::try_send_batch
+  /// fast path, per-message blocking deliver for the remainder).  Called
+  /// on every path that sends a control token so data never overtakes.
+  void flush_stage();
   /// Routes a result of logical operator `op` (explicit `target` or
   /// probabilistic when kInvalidOp) and delivers it; returns true when the
   /// result was delivered (or absorbed at a sink edge).
@@ -384,6 +404,8 @@ class Engine final : public EngineCore {
   /// per-op queue high-water marks and the old schedulers' counters.
   std::vector<std::size_t> queue_peak_prior_;
   SchedulerCounters sched_counters_prior_;
+  std::uint64_t ring_enqueues_prior_ = 0;  ///< ring traffic of replaced actors
+  std::uint64_t ring_spills_prior_ = 0;
 
   // --- fence/drain barrier state
   std::atomic<bool> fence_active_{false};

@@ -4,6 +4,7 @@
 // for an elastic re-deployment).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 
 #include "core/types.hpp"
@@ -58,6 +59,36 @@ struct Message {
     m.kind = Kind::kSeqMark;
     m.seq = seq;
     return m;
+  }
+};
+
+/// A cache-line-aligned run of messages moved as one unit per hop.  Sources
+/// and fused replicas stage consecutive same-destination emissions here and
+/// hand the whole batch to Mailbox::try_send_batch — one credit CAS and one
+/// ring-slot reservation instead of per-Message enqueues.  The capacity is
+/// deliberately smaller than the scheduler's drain batch (--batch=N,
+/// default 64): staging only delays *visibility*, never capacity, and a
+/// small batch keeps the added in-stage latency bounded to a fraction of a
+/// scheduling quantum.
+struct alignas(64) MessageBatch {
+  static constexpr std::size_t kCapacity = 16;
+
+  std::uint32_t count = 0;
+  /// Bit i set: message i's delivery should be counted as an emission by
+  /// `items[i].from` when the batch flushes (set for freshly routed
+  /// results, clear for forwards that were already counted upstream).
+  std::uint32_t emit_mask = 0;
+  Message items[kCapacity];
+
+  [[nodiscard]] bool full() const { return count == kCapacity; }
+  [[nodiscard]] bool empty() const { return count == 0; }
+  void push(const Message& m, bool count_emit) {
+    if (count_emit) emit_mask |= (1u << count);
+    items[count++] = m;
+  }
+  void clear() {
+    count = 0;
+    emit_mask = 0;
   }
 };
 

@@ -322,7 +322,15 @@ std::string format_stats(const Topology& t, const RunStats& stats) {
     out << "scheduler: " << stats.scheduler.steals << " steals, " << stats.scheduler.parks
         << " parks, " << stats.scheduler.wakeups << " wakeups, " << stats.scheduler.batches
         << " batches (avg " << avg_batch << " msgs, max " << stats.scheduler.max_batch
-        << ")\n";
+        << ")";
+    if (stats.scheduler.ring_enqueues > 0) {
+      // Ring fast-path volume next to the hint ledger it feeds: many
+      // enqueues per ready hint is the design working (edge-triggered
+      // hints), not lost hints.
+      out << ", " << stats.scheduler.ring_enqueues << " ring enqueues ("
+          << stats.scheduler.ring_spills << " spilled)";
+    }
+    out << "\n";
     // Ready-hint ledger invariant of the quiescent pool: every pushed hint
     // was popped by its owner, stolen, or discarded at shutdown.  Checked
     // in release builds too — drift here means a scheduler accounting bug

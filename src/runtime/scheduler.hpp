@@ -47,6 +47,23 @@ enum class SchedulerKind : std::uint8_t {
 SchedulerKind scheduler_kind_from_string(const std::string& name);
 const char* to_string(SchedulerKind kind);
 
+/// Worker-to-CPU pinning (--pin): extends the pool's last_worker_ affinity
+/// hints (warm caches via hint routing) down to the hardware.  kCores pins
+/// each worker to one CPU round-robin; kSockets confines each worker to
+/// the CPUs of one physical package (cache locality without giving up
+/// intra-socket migration).  When sched_setaffinity is unavailable (non-
+/// Linux, or restricted CI containers) the runtime warns once and
+/// continues unpinned.
+enum class PinMode : std::uint8_t {
+  kNone,
+  kCores,
+  kSockets,
+};
+
+/// Parses "none"/"cores"/"sockets"; throws ss::Error otherwise.
+PinMode pin_mode_from_string(const std::string& name);
+const char* to_string(PinMode mode);
+
 /// What a Scheduler needs from the engine: actor-graph shape, the blocking
 /// per-actor loop (thread-per-actor mode) and the step-wise execution
 /// pieces (pooled mode).  Implemented by Engine.
@@ -71,6 +88,17 @@ class EngineCore {
   /// Dispatches one already-dequeued data/seq-mark message to the actor's
   /// logic.  The caller guarantees single-threaded access per actor.
   virtual void process_message(std::size_t id, Message& m) = 0;
+
+  /// Output staging: a scheduler that hands an actor a whole batch
+  /// brackets it with this pair so the engine may coalesce consecutive
+  /// same-destination emissions into a cache-aligned MessageBatch and hand
+  /// them to the destination mailbox as one unit (Mailbox::try_send_batch).
+  /// flush is mandatory on every exit path *before* the actor is marked
+  /// complete — staged messages must reach their mailboxes while the slice
+  /// is still live, or tokens sent by the finish/fence epilogues would
+  /// overtake data.  Default: no staging (per-message delivery).
+  virtual void begin_output_batch(std::size_t /*id*/) {}
+  virtual void flush_output_batch(std::size_t /*id*/) {}
 
   /// Batch-granularity utilization metering: a scheduler that hands an
   /// actor a whole batch of messages brackets the batch with this pair so
@@ -131,8 +159,10 @@ class Scheduler {
 
 /// `workers <= 0` means one worker per hardware thread; `batch` is the
 /// number of messages a pooled worker drains per actor claim (both pooled
-/// only, `batch <= 0` means the default of 64).
-std::unique_ptr<Scheduler> make_scheduler(SchedulerKind kind, int workers, int batch = 0);
+/// only, `batch <= 0` means the default of 64); `pin` maps pooled workers
+/// to CPUs (kNone for the thread-per-actor backend).
+std::unique_ptr<Scheduler> make_scheduler(SchedulerKind kind, int workers, int batch = 0,
+                                          PinMode pin = PinMode::kNone);
 
 /// RAII marker around a thread-parking section (timed wait, blocking send,
 /// I/O) inside operator or engine code.  Under the pooled scheduler this

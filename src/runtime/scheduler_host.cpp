@@ -8,7 +8,13 @@
 #include "runtime/scheduler_host.hpp"
 
 #include <algorithm>
+#include <cstdio>
+#include <fstream>
 #include <utility>
+
+#if defined(__linux__)
+#include <sched.h>
+#endif
 
 #include "runtime/trace.hpp"
 
@@ -23,6 +29,70 @@ constexpr int kSourceQuantum = 64;
 constexpr std::uint64_t kStrideScale = 1 << 20;
 
 thread_local SchedulerHost* tls_host = nullptr;
+
+/// Best-effort degradation (--pin in restricted environments, e.g. CI
+/// containers without CAP_SYS_NICE-adjacent affinity rights): warn once on
+/// stderr, keep running unpinned.
+void warn_pin_unavailable() {
+  static std::atomic<bool> warned{false};
+  if (!warned.exchange(true, std::memory_order_relaxed)) {
+    std::fprintf(stderr,
+                 "spinstreams: warning: --pin requested but CPU affinity is "
+                 "unavailable here; continuing unpinned\n");
+  }
+}
+
+#if defined(__linux__)
+/// physical_package_id per CPU from sysfs; empty when the topology cannot
+/// be read (then kSockets degrades to an all-CPU mask).
+std::vector<int> cpu_packages(unsigned ncpu) {
+  std::vector<int> packages(ncpu, -1);
+  for (unsigned cpu = 0; cpu < ncpu; ++cpu) {
+    std::ifstream in("/sys/devices/system/cpu/cpu" + std::to_string(cpu) +
+                     "/topology/physical_package_id");
+    if (!(in >> packages[cpu])) return {};
+  }
+  return packages;
+}
+#endif
+
+/// Pins the calling worker thread per `mode`: kCores assigns worker
+/// `self` → CPU (self mod N) round-robin — the hardware analogue of the
+/// last_worker_ hint routing; kSockets confines the worker to every CPU of
+/// one physical package (round-robin over packages), keeping the shared
+/// L3 warm without forbidding intra-socket migration.
+void apply_pinning(PinMode mode, std::size_t self) {
+#if defined(__linux__)
+  const unsigned ncpu = std::thread::hardware_concurrency();
+  if (ncpu == 0) {
+    warn_pin_unavailable();
+    return;
+  }
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  if (mode == PinMode::kCores) {
+    CPU_SET(self % ncpu, &set);
+  } else {
+    static const std::vector<int> packages = cpu_packages(ncpu);
+    const int npkg =
+        packages.empty() ? 0 : *std::max_element(packages.begin(), packages.end()) + 1;
+    if (npkg <= 1) {
+      // Single socket (or unreadable topology): every CPU is "the" socket.
+      for (unsigned cpu = 0; cpu < ncpu; ++cpu) CPU_SET(cpu, &set);
+    } else {
+      const int pkg = static_cast<int>(self % static_cast<std::size_t>(npkg));
+      for (unsigned cpu = 0; cpu < ncpu; ++cpu) {
+        if (packages[cpu] == pkg) CPU_SET(cpu, &set);
+      }
+    }
+  }
+  if (sched_setaffinity(0, sizeof(set), &set) != 0) warn_pin_unavailable();
+#else
+  (void)mode;
+  (void)self;
+  warn_pin_unavailable();
+#endif
+}
 }  // namespace
 
 struct SchedulerHost::Tenant {
@@ -55,8 +125,8 @@ struct SchedulerHost::Tenant {
   std::atomic<std::uint64_t> max_batch{0};
 };
 
-SchedulerHost::SchedulerHost(int workers, int batch)
-    : target_(workers), batch_(batch > 0 ? batch : kDefaultBatch) {
+SchedulerHost::SchedulerHost(int workers, int batch, PinMode pin)
+    : target_(workers), batch_(batch > 0 ? batch : kDefaultBatch), pin_(pin) {
   if (target_ <= 0) {
     target_ = static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
   }
@@ -241,6 +311,10 @@ void SchedulerHost::wake_or_spawn() {
 void SchedulerHost::worker_loop(std::size_t self) {
   tls_host = this;
   trace::Tracer::instance().set_thread_name("worker-" + std::to_string(self));
+  // Compensation workers (self >= target_) pin by the same modulo: they
+  // substitute for a blocked worker, so they inherit a blocked worker's
+  // placement rather than landing on an arbitrary core.
+  if (pin_ != PinMode::kNone) apply_pinning(pin_, self);
   for (;;) {
     if (shutdown_.load(std::memory_order_acquire)) break;
     if (run_one(self)) continue;
@@ -326,17 +400,38 @@ void SchedulerHost::run_actor_slot(const TenantId& t, std::size_t self, std::siz
   EngineCore* core = t->core;
   t->last_worker[id].store(self, std::memory_order_relaxed);
   bool requeue = false;
+  // Output staging: the engine coalesces a slice's consecutive
+  // same-destination emissions into a MessageBatch handed over with one
+  // try_send_batch.  Staged messages MUST flush before complete() — the
+  // finish/fence epilogues send tokens that may not overtake data, and the
+  // moment complete() drops the tenant's last `remaining` the engine may be
+  // destroyed under us.  close() covers the completion paths; the
+  // destructor covers normal exit and exceptions thrown before complete().
+  struct OutputStageGuard {
+    EngineCore* core;
+    std::size_t id;
+    bool armed;
+    void close() {
+      if (armed) core->flush_output_batch(id);
+      armed = false;
+    }
+    ~OutputStageGuard() { close(); }
+  };
   if (core->is_source(id)) {
     trace::Span span("pump", "actor");
     span.set_arg("actor", static_cast<std::int64_t>(id));
     bool more = false;
+    OutputStageGuard stage{core, id, true};
+    core->begin_output_batch(id);
     try {
       more = core->pump_source(id, kSourceQuantum);
     } catch (const std::exception& e) {
+      stage.close();
       core->report_failure(id, e.what());
       complete(*t, id, /*run_finish=*/false);
       return;
     }
+    stage.close();
     if (core->actor_retired(id)) {  // epoch fence: no finish epilogue
       complete(*t, id, /*run_finish=*/false);
       return;
@@ -386,6 +481,11 @@ void SchedulerHost::run_actor_slot(const TenantId& t, std::size_t self, std::siz
       }
       ~BatchMeterGuard() { close(); }
     } meter{core, id, taken > 0 && core->begin_batch_meter(id)};
+    // Staging, declared after `meter` so the destructor (normal exit,
+    // exceptions before complete()) flushes first, then closes the slice —
+    // dispatch time lands in the busy slice.
+    OutputStageGuard stage{core, id, taken > 0};
+    if (stage.armed) core->begin_output_batch(id);
     std::size_t released = 0;
     try {
       for (Message& msg : batch) {
@@ -397,6 +497,7 @@ void SchedulerHost::run_actor_slot(const TenantId& t, std::size_t self, std::siz
           // a completed actor cannot strand messages later in the batch.
           if (++slot.shutdowns >= core->incoming_channels(id)) {
             if (taken > released) box.release(taken - released);
+            stage.close();
             meter.close();
             complete(*t, id, /*run_finish=*/true);
             return;
@@ -409,6 +510,7 @@ void SchedulerHost::run_actor_slot(const TenantId& t, std::size_t self, std::siz
           // fence and retired.  FIFO per channel puts every upstream's data
           // before its token, so nothing can be pending later in the batch.
           if (taken > released) box.release(taken - released);
+          stage.close();
           meter.close();
           complete(*t, id, /*run_finish=*/false);
           return;
@@ -416,6 +518,7 @@ void SchedulerHost::run_actor_slot(const TenantId& t, std::size_t self, std::siz
       }
     } catch (const std::exception& e) {
       if (taken > released) box.release(taken - released);
+      stage.close();
       meter.close();
       core->report_failure(id, e.what());
       complete(*t, id, /*run_finish=*/false);
@@ -525,10 +628,10 @@ std::unique_ptr<Scheduler> make_hosted_scheduler(SchedulerHost& host, std::strin
   return std::make_unique<HostedScheduler>(&host, nullptr, std::move(label), weight);
 }
 
-std::unique_ptr<Scheduler> make_pooled_scheduler(int workers, int batch);
+std::unique_ptr<Scheduler> make_pooled_scheduler(int workers, int batch, PinMode pin);
 
-std::unique_ptr<Scheduler> make_pooled_scheduler(int workers, int batch) {
-  auto host = std::make_unique<SchedulerHost>(workers, batch);
+std::unique_ptr<Scheduler> make_pooled_scheduler(int workers, int batch, PinMode pin) {
+  auto host = std::make_unique<SchedulerHost>(workers, batch, pin);
   SchedulerHost* raw = host.get();
   return std::make_unique<HostedScheduler>(raw, std::move(host), std::string(), 1.0);
 }

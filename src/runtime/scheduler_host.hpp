@@ -56,8 +56,11 @@ class SchedulerHost {
   using TenantId = std::shared_ptr<Tenant>;
 
   /// `workers <= 0` means one per hardware thread; `batch <= 0` means the
-  /// default drain batch of 64 messages per actor claim.
-  explicit SchedulerHost(int workers = 0, int batch = 0);
+  /// default drain batch of 64 messages per actor claim; `pin` maps worker
+  /// threads to CPUs (best-effort: warns once and continues unpinned when
+  /// sched_setaffinity is unavailable).
+  explicit SchedulerHost(int workers = 0, int batch = 0,
+                         PinMode pin = PinMode::kNone);
   ~SchedulerHost();
 
   SchedulerHost(const SchedulerHost&) = delete;
@@ -107,6 +110,7 @@ class SchedulerHost {
 
   int target_;           ///< runnable-worker budget (K)
   int batch_;            ///< messages drained per actor claim
+  PinMode pin_;          ///< worker-to-CPU mapping (--pin)
   int max_threads_ = 0;  ///< cap: target_ + sum of active tenants' actors
 
   /// Guards the tenant list.  Workers scan under a shared lock; attach/

@@ -18,9 +18,11 @@ SyntheticOperator::SyntheticOperator(const OperatorSpec& spec, std::uint64_t see
 
 void SyntheticOperator::process(const Tuple& item, OpIndex from, Collector& out) {
   (void)from;
-  {
+  if (service_time_ > 0.0) {
     // The timed wait parks this thread; under the pooled scheduler the
-    // BlockingSection lends the core to another worker meanwhile.
+    // BlockingSection lends the core to another worker meanwhile.  A
+    // zero-cost operator skips the section entirely: blocking_begin/end
+    // take the host's global mutex, which would dominate the hop cost.
     BlockingSection blocking;
     waiter_.wait(service_time_);
   }
@@ -105,7 +107,7 @@ SyntheticSource::SyntheticSource(const OperatorSpec& spec, std::uint64_t seed,
 
 bool SyntheticSource::next(Tuple& out) {
   if (max_items_ >= 0 && next_id_ >= max_items_) return false;
-  {
+  if (service_time_ > 0.0) {
     BlockingSection blocking;
     waiter_.wait(service_time_);
   }

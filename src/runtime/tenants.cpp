@@ -13,7 +13,8 @@ namespace ss::runtime {
 // ---------------------------------------------------------------------------
 // TenantGroup
 
-TenantGroup::TenantGroup(int workers, int batch) : host_(workers, batch) {}
+TenantGroup::TenantGroup(int workers, int batch, PinMode pin)
+    : host_(workers, batch, pin) {}
 
 TenantGroup::~TenantGroup() {
   stop_controller();

@@ -79,8 +79,9 @@ class JointController;
 
 class TenantGroup {
  public:
-  /// `workers`/`batch` size the shared SchedulerHost.
-  explicit TenantGroup(int workers = 0, int batch = 0);
+  /// `workers`/`batch` size the shared SchedulerHost; `pin` maps its
+  /// workers onto CPUs (cores/sockets) or leaves placement to the OS.
+  explicit TenantGroup(int workers = 0, int batch = 0, PinMode pin = PinMode::kNone);
   ~TenantGroup();
 
   TenantGroup(const TenantGroup&) = delete;

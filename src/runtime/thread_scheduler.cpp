@@ -62,15 +62,35 @@ const char* to_string(SchedulerKind kind) {
   return kind == SchedulerKind::kThreadPerActor ? "threads" : "pool";
 }
 
+PinMode pin_mode_from_string(const std::string& name) {
+  if (name == "none") return PinMode::kNone;
+  if (name == "cores") return PinMode::kCores;
+  if (name == "sockets") return PinMode::kSockets;
+  throw Error("unknown pin mode '" + name +
+              "' (expected 'none', 'cores' or 'sockets')");
+}
+
+const char* to_string(PinMode mode) {
+  switch (mode) {
+    case PinMode::kCores:
+      return "cores";
+    case PinMode::kSockets:
+      return "sockets";
+    default:
+      return "none";
+  }
+}
+
 std::unique_ptr<Scheduler> make_thread_per_actor_scheduler();
-std::unique_ptr<Scheduler> make_pooled_scheduler(int workers, int batch);
+std::unique_ptr<Scheduler> make_pooled_scheduler(int workers, int batch, PinMode pin);
 
 std::unique_ptr<Scheduler> make_thread_per_actor_scheduler() {
   return std::make_unique<ThreadPerActorScheduler>();
 }
 
-std::unique_ptr<Scheduler> make_scheduler(SchedulerKind kind, int workers, int batch) {
-  if (kind == SchedulerKind::kPooled) return make_pooled_scheduler(workers, batch);
+std::unique_ptr<Scheduler> make_scheduler(SchedulerKind kind, int workers, int batch,
+                                          PinMode pin) {
+  if (kind == SchedulerKind::kPooled) return make_pooled_scheduler(workers, batch, pin);
   return make_thread_per_actor_scheduler();
 }
 

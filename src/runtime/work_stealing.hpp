@@ -84,7 +84,11 @@ class WorkStealingQueues {
   [[nodiscard]] WorkStealingCounters counters() const;
 
  private:
-  struct Queue {
+  /// Cache-line aligned so neighbouring workers' deques (and their locks)
+  /// never false-share: a push to worker i's queue must not bounce the
+  /// line under worker i±1's pop — the queues exist precisely to spread
+  /// hot-path contention over W locks.
+  struct alignas(64) Queue {
     mutable std::mutex mu;
     std::deque<std::size_t> items;
     // per-queue telemetry, guarded by mu (already held on every hot-path
@@ -99,8 +103,10 @@ class WorkStealingQueues {
   bool steal_from(std::size_t victim, std::size_t& out); // front: FIFO
 
   std::vector<Queue> queues_;
-  std::atomic<std::size_t> pending_{0};
-  std::atomic<std::size_t> idle_{0};
+  /// pending_ is touched by every push and every claim; keep it off the
+  /// park-path lines below (same false-sharing argument as Queue).
+  alignas(64) std::atomic<std::size_t> pending_{0};
+  alignas(64) std::atomic<std::size_t> idle_{0};
   std::atomic<bool> shutdown_{false};
   std::mutex park_mu_;
   std::condition_variable park_cv_;

@@ -157,6 +157,12 @@ TEST(SchedulerStress, SchedulerCountersAreConsistentAfterADrain) {
   const SchedulerCounters& c = stats.scheduler;
   EXPECT_GT(c.pushes, 0u);
   EXPECT_EQ(c.pushes, c.local_pops + c.steals + c.discarded);
+  // The default mailbox is the lock-free ring: the traffic volume that fed
+  // the ready hints must show up as fast-path enqueues, and the ledger
+  // above must keep balancing with the ring in the loop.  Hints are
+  // edge-triggered, so enqueues dominate pushes.
+  EXPECT_GT(c.ring_enqueues, 0u);
+  EXPECT_GE(c.ring_enqueues, c.pushes);
   // Every counted wakeup answers a park (shutdown wakeups are not counted).
   EXPECT_LE(c.wakeups, c.parks);
   // Batch statistics describe real drains.
