@@ -63,6 +63,7 @@ commands:
              [--slo-p99=MS] [--objective=NAME] [--items=N]
              [--checkpoint-dir=D] [--checkpoint-period=S] [--recover]
              [--trace=FILE] [--metrics-out=FILE] [--metrics-period=S]
+             [--stats-port=N] [--profile=on|off]
                                      execute on the actor runtime (threads =
                                      one thread per actor, pool = K work-
                                      stealing workers draining N msgs/claim);
@@ -89,13 +90,21 @@ commands:
                                      --trace writes a Chrome trace-event JSON
                                      (open in Perfetto), --metrics-out appends
                                      one JSON metrics snapshot per line every
-                                     --metrics-period seconds
+                                     --metrics-period seconds;
+                                     --stats-port serves live stats on
+                                     127.0.0.1:N for the duration of the run
+                                     (/ or /stats.json = JSON snapshot,
+                                     /metrics = Prometheus text);
+                                     --profile=off disables the online
+                                     sub-saturation profiler (service-rate
+                                     estimation + backpressure attribution;
+                                     on by default)
   run --app A.xml --app B.xml [--workers=K] [--batch=N] [--seconds=S]
       [--mailbox=mutex|ring] [--pin=none|cores|sockets]
       [--optimize] [--budget=N] [--weights=1,2,...] [--elastic]
       [--reconfig-period=S] [--reconfig-threshold=R] [--slo-p99=MS]
       [--objective=NAME] [--metrics-out=FILE] [--checkpoint-dir=D]
-      [--checkpoint-period=S] [--recover]
+      [--checkpoint-period=S] [--recover] [--profile=on|off]
                                      multi-tenant: every --app topology runs as
                                      a tenant of one shared worker pool;
                                      --optimize splits the --budget global
@@ -357,6 +366,9 @@ int cmd_execute(const Args& args, std::ostream& out, harness::ExecutionBackend b
     require(!args.has("pin") && !args.has("mailbox"),
             "--pin/--mailbox configure the live runtime: use --engine=threads or "
             "--engine=pool");
+    require(!args.has("stats-port") && !args.has("profile"),
+            "--stats-port/--profile need a live runtime: use --engine=threads or "
+            "--engine=pool");
     sim::SimOptions options;
     options.duration = args.get_double("duration", 120.0);
     require(options.duration > 0.0, "--duration must be positive (seconds)");
@@ -448,6 +460,19 @@ int cmd_execute(const Args& args, std::ostream& out, harness::ExecutionBackend b
   config.metrics_path = args.get("metrics-out", "");
   config.metrics_period = args.get_double("metrics-period", config.metrics_period);
   require(config.metrics_period > 0.0, "--metrics-period must be positive (seconds)");
+  // Live stats endpoint + online profiler toggle.  The port range check
+  // repeats in the StatsServer constructor (which also fails early when the
+  // port is taken); rejecting malformed values here keeps the error message
+  // a flag error, not a socket error.
+  config.stats_port = static_cast<int>(args.get_int("stats-port", 0));
+  require(!args.has("stats-port") || (config.stats_port > 0 && config.stats_port <= 65535),
+          "--stats-port must be a port number (1-65535)");
+  if (args.has("profile")) {
+    const std::string mode = args.get("profile");
+    require(mode == "on" || mode == "off",
+            "--profile must be 'on' or 'off', got '" + mode + "'");
+    config.profile = mode == "on";
+  }
   const std::string trace_path = args.get("trace", "");
   if (!trace_path.empty()) {
     // Probe writability now: fail with a usable error before the run, not
@@ -527,11 +552,19 @@ int cmd_execute(const Args& args, std::ostream& out, harness::ExecutionBackend b
   if (!config.metrics_path.empty()) {
     out << "metrics: JSONL snapshots written to " << config.metrics_path << '\n';
   }
+  if (config.stats_port > 0) {
+    out << "stats: served http://127.0.0.1:" << config.stats_port
+        << "/ (JSON) and /metrics (Prometheus) during the run\n";
+  }
   if (engine.controller() != nullptr) {
     out << "controller decisions:\n";
     for (const auto& d : engine.controller()->decisions()) {
       out << "  t=" << Table::num(d.at_seconds) << "s measured "
-          << Table::num(d.measured_throughput, 1) << " tuples/s: " << d.reason << '\n';
+          << Table::num(d.measured_throughput, 1) << " tuples/s: " << d.reason;
+      if (d.ops_estimated > 0) {
+        out << " [" << d.ops_estimated << " op(s) from profiler estimates]";
+      }
+      out << '\n';
     }
   }
   return 0;
@@ -557,6 +590,18 @@ int cmd_run_multi(const Args& args, std::ostream& out) {
   require(!args.has("budget") || args.get_int("budget", 0) > 0,
           "--budget must be a positive integer (global replica budget)");
   const int budget = static_cast<int>(args.get_int("budget", 0));
+  // One port cannot serve N engines; metrics JSONL is the multi-tenant
+  // observability path (one file per tenant).
+  require(!args.has("stats-port"),
+          "--stats-port serves a single engine: run one app per process to "
+          "expose live stats");
+  bool profile_on = true;
+  if (args.has("profile")) {
+    const std::string mode = args.get("profile");
+    require(mode == "on" || mode == "off",
+            "--profile must be 'on' or 'off', got '" + mode + "'");
+    profile_on = mode == "on";
+  }
 
   std::vector<double> weights(paths.size(), 1.0);
   if (args.has("weights")) {
@@ -657,6 +702,7 @@ int cmd_run_multi(const Args& args, std::ostream& out) {
     spec.weight = weights[i];
     spec.optimize = optimize[i];
     spec.config.mailbox = mailbox;
+    spec.config.profile = profile_on;
     spec.max_duration = std::chrono::duration<double>(seconds);
     if (!metrics_path.empty()) {
       spec.config.metrics_path = metrics_path + "." + names[i];

@@ -145,9 +145,22 @@ LatencyPercentiles latency_percentiles(double mean, double variance) {
 }
 
 LatencyEstimate estimate_latency(const Topology& t, const SteadyStateResult& rates,
-                                 const ReplicationPlan& plan, std::size_t buffer_capacity) {
+                                 const ReplicationPlan& plan, std::size_t buffer_capacity,
+                                 const LatencyModelInputs* inputs) {
   const std::size_t n = t.num_operators();
   assert(rates.rates.size() == n);
+
+  // Profiler-fitted variability terms (negative / absent = use the
+  // closed-form default, so a null `inputs` reproduces the original model
+  // bit-for-bit).
+  const auto fitted_ca2 = [&](OpIndex i) {
+    if (inputs == nullptr || i >= inputs->ca2.size()) return -1.0;
+    return inputs->ca2[i];
+  };
+  const auto fitted_stall = [&](OpIndex i) {
+    if (inputs == nullptr || i >= inputs->stall_p.size()) return -1.0;
+    return std::min(inputs->stall_p[i], 1.0);
+  };
 
   LatencyEstimate estimate;
   estimate.response.assign(n, 0.0);
@@ -315,14 +328,19 @@ LatencyEstimate estimate_latency(const Topology& t, const SteadyStateResult& rat
         stall2 += e.probability * hit * p_full * 2.0 * wait * wait;  // ~exp stalls
         const double supply = r.arrival * results_per_input * e.probability / arr_j;
         chain_feed += e.probability * hit * std::min(supply, 1.0);
-      } else if (fill[j] > 0.0) {
+      } else {
         // Transient blocking on a busy open child: the target replica's
         // buffer is full ~fill^3 of the time, freeing a slot takes ~one
-        // service completion.
-        const double p_full = fill[j] * fill[j] * fill[j];
-        const double wait = s_eff_v[j];
-        stall += e.probability * p_full * wait;
-        stall2 += e.probability * p_full * 2.0 * wait * wait;
+        // service completion.  A profiler-measured full-buffer fraction
+        // (queue-occupancy sampling) replaces the fill^3 heuristic.
+        const double measured = fitted_stall(j);
+        const double p_full =
+            measured >= 0.0 ? measured : fill[j] * fill[j] * fill[j];
+        if (p_full > 0.0) {
+          const double wait = s_eff_v[j];
+          stall += e.probability * p_full * wait;
+          stall2 += e.probability * p_full * 2.0 * wait * wait;
+        }
       }
     }
     const double s_eff = op.service_time + results_per_input * stall;
@@ -336,9 +354,14 @@ LatencyEstimate estimate_latency(const Topology& t, const SteadyStateResult& rat
 
     const double damp =
         replicas > 1 ? std::pow(static_cast<double>(replicas), 0.25) : 1.0;
+    // Arrival variability: the fitted base ca^2 when the profiler measured
+    // one, exponential (1.0) otherwise; round-robin fission divides either
+    // by the replica count (n-way splitting of any renewal stream).
+    const double measured_ca2 = fitted_ca2(i);
+    const double base_ca2 = measured_ca2 >= 0.0 ? measured_ca2 : 1.0;
     const double ca2 = (op.state == StateKind::kStateless && replicas > 1)
-                           ? 1.0 / static_cast<double>(replicas)
-                           : 1.0;
+                           ? base_ca2 / static_cast<double>(replicas)
+                           : base_ca2;
     const double overload =
         pinned[i] ? std::max(offered[i] / std::max(r.arrival, 1e-9), 1.0) : 0.0;
     const Response hot = replica_response(lambda_hot[i], s_eff, ca2, damp, overload);

@@ -102,14 +102,40 @@ struct LatencyEstimate {
   }
 };
 
+/// Measured variability terms that replace the model's closed-form
+/// defaults when an online profiler has fitted them (Beard & Chamberlain
+/// style run-time approximation).  Both vectors are indexed by OpIndex and
+/// may be empty; a negative (or missing) entry means "no measurement, keep
+/// the default".
+///
+///   * ca2[i]: squared coefficient of variation of operator i's *arrival*
+///     process.  The default assumes exponential arrivals (ca² = 1);
+///     fitted values feed the Allen-Cunneen waiting term directly, so
+///     bursty (ca² > 1) or smoothed (ca² < 1) streams predict their tails
+///     honestly.  Round-robin fission still divides the base ca² by the
+///     replica count (n-way splitting of any renewal stream).
+///   * stall_p[i]: measured probability that a push *into* operator i
+///     finds its buffer full (queue-occupancy sampling).  Replaces the
+///     fill³ heuristic for open children when present.
+struct LatencyModelInputs {
+  std::vector<double> ca2;
+  std::vector<double> stall_p;
+
+  [[nodiscard]] bool empty() const { return ca2.empty() && stall_p.empty(); }
+};
+
 /// Estimates latencies for `t` under the rates of a prior steady_state()
 /// run.  Utilizations are re-derived from `rates.arrival` and `plan`, so a
 /// different plan than the one `rates` was computed with answers the
 /// counterfactual "same arrivals, different replication" (used by the
 /// latency-aware optimizer and the monotonicity property tests).
 /// `buffer_capacity` is the mailbox bound B of the runtime configuration.
+/// `inputs`, when non-null, overrides the closed-form variability terms
+/// with profiler-fitted ones (see LatencyModelInputs); passing nullptr
+/// reproduces the original model exactly.
 LatencyEstimate estimate_latency(const Topology& t, const SteadyStateResult& rates,
                                  const ReplicationPlan& plan = {},
-                                 std::size_t buffer_capacity = 64);
+                                 std::size_t buffer_capacity = 64,
+                                 const LatencyModelInputs* inputs = nullptr);
 
 }  // namespace ss

@@ -94,6 +94,10 @@ AutoOptimizeResult auto_optimize(const Topology& t, const AutoOptimizeOptions& o
   const double slo = options.slo_p99;
   const bool latency_objective = options.objective == Objective::kLatency;
   const bool balanced_objective = options.objective == Objective::kBalanced;
+  // Fitted variability terms apply to every unfused-topology estimate;
+  // fused-graph evaluations keep the closed-form defaults (indices remap).
+  const LatencyModelInputs* vary =
+      options.variability.empty() ? nullptr : &options.variability;
 
   // Phase 1: fission (Alg. 2).
   const BottleneckResult fission = eliminate_bottlenecks(t, options.bottleneck);
@@ -110,7 +114,7 @@ AutoOptimizeResult auto_optimize(const Topology& t, const AutoOptimizeOptions& o
   // replica that cuts the predicted end-to-end p99 the most, never
   // trading predicted throughput away and respecting the replica budget.
   result.latency = estimate_latency(t, result.analysis, result.plan,
-                                    options.buffer_capacity);
+                                    options.buffer_capacity, vary);
   if (slo > 0.0 || latency_objective || balanced_objective) {
     constexpr int kMaxOvershoot = 64;
     // kLatency chases 1% tail improvements; kBalanced only takes replicas
@@ -136,7 +140,7 @@ AutoOptimizeResult auto_optimize(const Topology& t, const AutoOptimizeOptions& o
         SteadyStateResult cand_rates = steady_state(t, cand_plan);
         if (cand_rates.throughput() + 1e-9 < result.analysis.throughput()) continue;
         LatencyEstimate cand_est =
-            estimate_latency(t, cand_rates, cand_plan, options.buffer_capacity);
+            estimate_latency(t, cand_rates, cand_plan, options.buffer_capacity, vary);
         if (cand_est.sojourn.p99 < best_p99) {
           best_p99 = cand_est.sojourn.p99;
           best_op = i;
@@ -260,6 +264,54 @@ Topology with_measured_profile(const Topology& t,
   return builder.build();
 }
 
+LatencyModelInputs fit_variability(const Topology& t, const SteadyStateResult& rates,
+                                   const std::vector<MeasuredOperator>& measured) {
+  const std::size_t n = t.num_operators();
+  LatencyModelInputs inputs;
+  bool any_cv2 = false;
+  bool any_stall = false;
+  for (std::size_t i = 0; i < std::min(n, measured.size()); ++i) {
+    any_cv2 = any_cv2 || measured[i].cv2 >= 0.0;
+    any_stall = any_stall || measured[i].queue_full_fraction >= 0.0;
+  }
+  if (any_stall) {
+    inputs.stall_p.assign(n, -1.0);
+    for (std::size_t i = 0; i < std::min(n, measured.size()); ++i) {
+      if (measured[i].queue_full_fraction >= 0.0) {
+        inputs.stall_p[i] = std::min(measured[i].queue_full_fraction, 1.0);
+      }
+    }
+  }
+  if (!any_cv2) return inputs;
+
+  // QNA linking pass (Whitt's approximation, Marshall's formula): one
+  // forward topological sweep propagates squared coefficients of variation
+  // from each operator's measured *service* SCV to its children's
+  // *arrival* SCV.  Departure: cd² = rho²·cs² + (1 − rho²)·ca².  A
+  // probabilistic split with probability p thins to p·cd² + (1 − p); merged
+  // inputs combine weighted by the arrival rate each edge carries.
+  inputs.ca2.assign(n, -1.0);
+  std::vector<double> num(n, 0.0);  // rate-weighted ca² numerators
+  std::vector<double> den(n, 0.0);
+  for (const OpIndex i : t.topological_order()) {
+    const double ca2 =
+        i == t.source() ? 1.0 : (den[i] > 0.0 ? num[i] / den[i] : 1.0);
+    inputs.ca2[i] = ca2;
+    const double cs2 = (i < measured.size() && measured[i].cv2 >= 0.0)
+                           ? measured[i].cv2
+                           : 1.0;
+    const double rho = std::clamp(rates.rates[i].utilization, 0.0, 1.0);
+    const double cd2 = rho * rho * cs2 + (1.0 - rho * rho) * ca2;
+    const double out_rate = std::max(rates.rates[i].departure, 0.0);
+    for (const Edge& e : t.out_edges(i)) {
+      const double split = e.probability * cd2 + (1.0 - e.probability);
+      num[e.to] += e.probability * out_rate * split;
+      den[e.to] += e.probability * out_rate;
+    }
+  }
+  return inputs;
+}
+
 ReoptimizeResult reoptimize(const Topology& declared, const Deployment& current,
                             const std::vector<MeasuredOperator>& measured,
                             const ReoptimizeOptions& options) {
@@ -271,12 +323,24 @@ ReoptimizeResult reoptimize(const Topology& declared, const Deployment& current,
   const Topology observed = with_measured_profile(declared, measured, options.min_samples);
   const SteadyStateResult current_rates = steady_state(observed, current.replication);
   result.predicted_current = current_rates.throughput();
+
+  // Fit the model's variability terms to the measurements (when the caller
+  // provided none explicitly): measured service SCVs and full-buffer
+  // fractions sharpen both the running deployment's predicted tail and the
+  // candidate search below.
+  ReoptimizeOptions fitted = options;
+  if (fitted.optimize.variability.empty()) {
+    fitted.optimize.variability = fit_variability(observed, current_rates, measured);
+  }
+  const LatencyModelInputs* vary =
+      fitted.optimize.variability.empty() ? nullptr : &fitted.optimize.variability;
+
   result.predicted_p99_current =
       estimate_latency(observed, current_rates, current.replication,
-                       options.optimize.buffer_capacity)
+                       options.optimize.buffer_capacity, vary)
           .sojourn.p99;
 
-  const AutoOptimizeResult optimized = auto_optimize(observed, options.optimize);
+  const AutoOptimizeResult optimized = auto_optimize(observed, fitted.optimize);
   result.next = deployment_of(optimized);
   result.analysis = optimized.analysis;
   result.predicted_next = optimized.analysis.throughput();

@@ -102,6 +102,11 @@ struct AutoOptimizeOptions {
   /// Mailbox bound the latency model assumes (match the runtime's
   /// EngineConfig::mailbox_capacity / the simulator's buffer_capacity).
   std::size_t buffer_capacity = 64;
+  /// Profiler-fitted variability terms (per-op arrival ca², measured
+  /// full-buffer stall probabilities) applied to every latency estimate on
+  /// the *unfused* topology.  Empty = the model's closed-form defaults.
+  /// Fused-graph evaluations ignore it (member indices are remapped).
+  LatencyModelInputs variability{};
 };
 
 struct AutoOptimizeResult {
@@ -156,6 +161,14 @@ struct MeasuredOperator {
   /// Input items observed in the window; measurements below the caller's
   /// min_samples threshold keep the declared profile (too noisy).
   std::uint64_t samples = 0;
+  /// Measured squared coefficient of variation of the operator's service
+  /// time (profiler slice statistics); < 0 = not measured.  Feeds the QNA
+  /// linking equations that fit downstream arrival ca² terms.
+  double cv2 = -1.0;
+  /// Measured fraction of time this operator's input buffer was observed
+  /// full (queue-occupancy sampling); < 0 = not measured.  Feeds the
+  /// latency model's stall-probability override.
+  double queue_full_fraction = -1.0;
 };
 
 /// Returns a copy of `t` re-annotated with measured behaviour: the output
@@ -166,6 +179,19 @@ struct MeasuredOperator {
 Topology with_measured_profile(const Topology& t,
                                const std::vector<MeasuredOperator>& measured,
                                std::uint64_t min_samples = 1);
+
+/// Fits the latency model's variability terms to profiler measurements via
+/// the QNA linking equations (Whitt): in topological order, each
+/// operator's departure SCV is cd² = rho²·cs² + (1 − rho²)·ca², a
+/// probabilistic split onto edge (i,j) with probability p thins it to
+/// p·cd² + (1 − p), and merged inputs combine arrival-rate-weighted.
+/// Operators without a measured cv2 contribute cs² = 1 (exponential);
+/// the source's arrival ca² anchors at 1.  queue_full_fraction
+/// measurements map straight onto stall_p.  `rates` must describe the
+/// same topology the measurements were taken on (fission thinning of the
+/// base ca² happens inside estimate_latency, not here).
+LatencyModelInputs fit_variability(const Topology& t, const SteadyStateResult& rates,
+                                   const std::vector<MeasuredOperator>& measured);
 
 struct ReoptimizeOptions {
   AutoOptimizeOptions optimize{};

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "runtime/engine.hpp"
+#include "runtime/profiler.hpp"
 
 namespace ss::runtime {
 
@@ -74,6 +75,26 @@ ReconfigDecision ReconfigController::evaluate_window() {
   }
   prev_ = now;
 
+  // Sub-saturation overlay: the busy-time quotient above under-estimates the
+  // non-blocking rate of operators with headroom (slice overhead amortized
+  // over few items per activation).  When the online profiler has a confident
+  // estimate for an operator, trust it instead, and carry the fitted
+  // variability terms (cv², queue-full fraction) into the optimizer so the
+  // latency model runs on measured inputs rather than exponential defaults.
+  int ops_estimated = 0;
+  if (const ProfileEstimator* prof = engine_.profiler(); prof != nullptr) {
+    const std::vector<ProfileEstimate> estimates = prof->snapshot();
+    for (OpIndex i = 0; i < topology.num_operators() && i < estimates.size(); ++i) {
+      const ProfileEstimate& p = estimates[i];
+      if (p.estimated_rate <= 0.0 || p.confidence < options_.estimate_confidence) continue;
+      MeasuredOperator& m = measured[i];
+      m.service_time = 1.0 / p.estimated_rate;
+      m.cv2 = p.cv2;
+      m.queue_full_fraction = p.queue_full_fraction;
+      ++ops_estimated;
+    }
+  }
+
   // Windowed measured end-to-end p99 (the SLO's quantity): delta of the
   // latency histogram over the same window as the counter deltas above.
   const LatencySummary window_latency = engine_.stats_board().end_to_end_since(e2e_prev_);
@@ -96,6 +117,7 @@ ReconfigDecision ReconfigController::evaluate_window() {
   decision.predicted_next = result.predicted_next;
   decision.gain = result.gain;
   decision.ops_changed = result.diff.ops_changed;
+  decision.ops_estimated = ops_estimated;
   decision.measured_p99 = reopt.measured_p99;
   decision.predicted_p99_next = result.predicted_p99_next;
   decision.slo_breached = result.slo_breached;

@@ -47,6 +47,11 @@ struct ReconfigOptions {
   /// Optimizer options for the re-run of Algorithms 1-3.  Fusion is off by
   /// default: re-fusing a live graph is legal but rarely worth a fence.
   AutoOptimizeOptions optimize{.bottleneck = {}, .fusion = {}, .enable_fusion = false};
+  /// Minimum ProfileEstimator confidence before an estimated non-blocking
+  /// service rate overrides the busy-time measurement of a window.  Below
+  /// saturation busy-time rates under-estimate capacity (slice overhead
+  /// amortized over few items), so confident estimates take precedence.
+  double estimate_confidence = 0.5;
 };
 
 /// One sampling-window decision, kept for reporting and tests.
@@ -57,6 +62,9 @@ struct ReconfigDecision {
   double predicted_next = 0.0;        ///< Alg. 1 throughput of the recommended plan
   double gain = 0.0;                  ///< predicted relative gain
   int ops_changed = 0;                ///< size of the deployment diff
+  /// Operators whose window measurement was overridden by a confident
+  /// sub-saturation profiler estimate (see ReconfigOptions).
+  int ops_estimated = 0;
   bool redeployed = false;            ///< the switch-over was executed
   /// Measured end-to-end p99 of the window, seconds (0 = no samples).
   double measured_p99 = 0.0;

@@ -12,7 +12,9 @@
 
 #include "core/error.hpp"
 #include "runtime/clock.hpp"
+#include "runtime/profiler.hpp"
 #include "runtime/scheduler_host.hpp"
+#include "runtime/stats_server.hpp"
 #include "runtime/synthetic.hpp"
 #include "runtime/trace.hpp"
 
@@ -73,6 +75,10 @@ struct BatchMeterSlice {
   OpIndex op = kInvalidOp;
   Clock::time_point from;
   bool active = false;
+  /// Data messages fully processed inside this slice — the profiler's
+  /// inter-departure denominator (items >= 2 means the slice drained
+  /// backlog, i.e. ns/items samples the non-blocking service time).
+  std::uint64_t items = 0;
 };
 thread_local BatchMeterSlice tls_batch_slice;
 
@@ -368,6 +374,7 @@ std::unique_ptr<Engine::EpochState> Engine::build_epoch(Deployment deployment,
       if (spec.kind == ActorKind::kEmitter) state->replica_targets = spec.downstream;
       if (spec.kind == ActorKind::kReplica) state->collector_actor = spec.downstream.front();
       state->mailbox.set_on_ready(nullptr);  // the new scheduler re-hooks
+      state->mailbox.set_owner_op(spec.op);  // blocked-edge attribution
       state->fence_seen = 0;
       state->fence_counted = false;
       state->finished = false;
@@ -377,6 +384,7 @@ std::unique_ptr<Engine::EpochState> Engine::build_epoch(Deployment deployment,
     }
     auto state = std::make_unique<ActorState>(spec, config_.mailbox_capacity, config_.overflow,
                                               config_.mailbox, master_rng_.split());
+    state->mailbox.set_owner_op(spec.op);  // blocked-edge attribution
     init_actor_logic(*state, spec, epoch->deployment);
     epoch->actors.push_back(std::move(state));
   }
@@ -790,11 +798,14 @@ void Engine::process_message(std::size_t id, Message& msg) {
             std::chrono::duration_cast<std::chrono::nanoseconds>(metering_now() - from)
                 .count());
         const std::uint64_t blocked = ctx.blocked_ns();
-        telemetry_.add_busy(op, elapsed > blocked ? elapsed - blocked : 0);
+        const std::uint64_t busy = elapsed > blocked ? elapsed - blocked : 0;
+        telemetry_.add_busy(op, busy);
+        if (profiler_ != nullptr) profiler_->record_slice(op, busy, 1);
       } else {
         meter_arrival(op, msg);
         st.logic->process(msg.tuple, msg.from, out);
       }
+      if (tls_batch_slice.active) ++tls_batch_slice.items;
       break;
     }
     case ActorKind::kReplica: {
@@ -810,11 +821,14 @@ void Engine::process_message(std::size_t id, Message& msg) {
             std::chrono::duration_cast<std::chrono::nanoseconds>(metering_now() - from)
                 .count());
         const std::uint64_t blocked = ctx.blocked_ns();
-        telemetry_.add_busy(op, elapsed > blocked ? elapsed - blocked : 0);
+        const std::uint64_t busy = elapsed > blocked ? elapsed - blocked : 0;
+        telemetry_.add_busy(op, busy);
+        if (profiler_ != nullptr) profiler_->record_slice(op, busy, 1);
       } else {
         meter_arrival(op, msg);
         st.logic->process(msg.tuple, msg.from, out);
       }
+      if (tls_batch_slice.active) ++tls_batch_slice.items;
       if (msg.seq >= 0) {
         // Tell the collector this input is fully processed so it can
         // release the next sequence number.
@@ -894,6 +908,7 @@ bool Engine::begin_batch_meter(std::size_t id) {
   slice.ctx.emplace(telemetry_, st.spec.op);
   slice.from = metering_now();
   slice.active = true;
+  slice.items = 0;
   return true;
 }
 
@@ -903,8 +918,15 @@ void Engine::end_batch_meter(std::size_t /*id*/) {
       std::chrono::duration_cast<std::chrono::nanoseconds>(metering_now() - slice.from)
           .count());
   const std::uint64_t blocked = slice.ctx->blocked_ns();
-  telemetry_.add_busy(slice.op, elapsed > blocked ? elapsed - blocked : 0);
+  const std::uint64_t busy = elapsed > blocked ? elapsed - blocked : 0;
+  telemetry_.add_busy(slice.op, busy);
+  // The whole drained batch is one profiler slice: items >= 2 slices are
+  // the backlog bursts whose per-item gap is the non-blocking service time.
+  if (profiler_ != nullptr && slice.items > 0) {
+    profiler_->record_slice(slice.op, busy, slice.items);
+  }
   slice.active = false;
+  slice.items = 0;
   slice.ctx.reset();
 }
 
@@ -1535,6 +1557,10 @@ MetricsSample Engine::metrics_sample() const {
     }
   }
   s.predicted = predicted_;
+  if (profiler_) {
+    s.profile = profiler_->snapshot();
+    s.bottlenecks = profiler_->bottlenecks();
+  }
   return s;
 }
 
@@ -1554,10 +1580,13 @@ void Engine::start_execution() {
     // tenant; worker threads tag themselves per actor slot.
     trace::set_thread_tenant(tenant_tag_);
   }
-  // Elastic runs feed the controller measured ρ from the first sample and
-  // metrics runs export it every period — both need metering from the
-  // start, not only inside the steady-state window.
-  if (config_.elastic || !config_.metrics_path.empty()) telemetry_.set_enabled(true);
+  // Elastic runs feed the controller measured ρ from the first sample,
+  // metrics runs export it every period, and a live stats endpoint must
+  // serve real numbers from the first request — all three need metering
+  // from the start, not only inside the steady-state window.
+  if (config_.elastic || !config_.metrics_path.empty() || config_.stats_port > 0) {
+    telemetry_.set_enabled(true);
+  }
   // An SLO-constrained elastic run meters end-to-end latency from the
   // first tuple: the controller must see a breach before the steady-state
   // window would have opened.  run_for's open_window later re-bases the
@@ -1574,6 +1603,49 @@ void Engine::start_execution() {
     exporter_ = std::make_unique<MetricsExporter>(
         [this] { return metrics_sample(); }, std::move(names),
         config_.metrics_path, config_.metrics_period, config_.tenant);
+  }
+  if (config_.profile) {
+    // The estimator is the telemetry board's blocked-edge sink for the
+    // whole run; its fold loop probes queue occupancy through the same
+    // epoch-locked path fill_queue_stats uses.  Co-hosted engines stretch
+    // the cadence by the tenant count (SchedulerHost::sampling_period_scale).
+    ProfilerConfig pc;
+    pc.period_seconds = config_.profile_period *
+                        (config_.host != nullptr
+                             ? config_.host->sampling_period_scale()
+                             : 1.0);
+    profiler_ = std::make_unique<ProfileEstimator>(
+        topology_.num_operators(), &telemetry_, &board_, pc,
+        [this](std::vector<QueueProbe>& probes) {
+          std::lock_guard lock(epoch_mutex_);
+          if (!epoch_) return;
+          for (const auto& st : epoch_->actors) {
+            if (st == nullptr) continue;
+            QueueProbe& q = probes[st->spec.op];
+            q.valid = true;
+            // An op's push stalls when the entry actor's buffer is full;
+            // over several actors (emitter/replicas) report the fullest.
+            const std::size_t depth = st->mailbox.size();
+            const std::size_t cap = st->mailbox.capacity();
+            if (q.capacity == 0 ||
+                depth * q.capacity > q.depth * cap) {  // depth/cap > q.depth/q.cap
+              q.depth = depth;
+              q.capacity = cap;
+            }
+          }
+        });
+    telemetry_.set_blocked_sink(profiler_.get());
+  }
+  if (config_.stats_port > 0) {
+    // Bind before the scheduler starts: a taken or invalid port throws
+    // here, before any actor thread exists.
+    std::vector<std::string> names;
+    names.reserve(topology_.num_operators());
+    for (std::size_t i = 0; i < topology_.num_operators(); ++i) {
+      names.push_back(topology_.op(static_cast<OpIndex>(i)).name);
+    }
+    stats_server_ = std::make_unique<StatsServer>(
+        config_.stats_port, [this] { return metrics_sample(); }, std::move(names));
   }
   run_start_ = Clock::now();
   {
@@ -1601,6 +1673,8 @@ void Engine::start_execution() {
         std::make_unique<CheckpointController>(*this, config_.checkpoint_period);
     checkpoint_controller_->start();
   }
+  if (profiler_) profiler_->start();
+  if (stats_server_) stats_server_->start();
   if (exporter_) exporter_->start();
 }
 
@@ -1610,6 +1684,8 @@ void Engine::join_execution() {
 }
 
 RunStats Engine::finalize_run() {
+  if (stats_server_) stats_server_->stop();
+  if (profiler_) profiler_->stop();  // final fold before the exporter's last line
   if (exporter_) exporter_->stop();  // final sample while the epoch is alive
   std::uint64_t dropped = dropped_prior_epochs_;
   for (const auto& actor : epoch_->actors) dropped += actor->mailbox.dropped();
@@ -1678,6 +1754,11 @@ RunStats Engine::run_for(std::chrono::duration<double> duration) {
   stats.checkpoints_written = checkpoints_written();
   stats.last_epoch_persisted = last_epoch_persisted();
   stats.recovered_from_epoch = recovered_from_epoch_;
+  if (profiler_) {
+    stats.has_profile = true;
+    stats.profile = profiler_->snapshot();
+    stats.bottlenecks = profiler_->bottlenecks();
+  }
   return stats;
 }
 
@@ -1711,6 +1792,11 @@ RunStats Engine::run_until_complete(std::chrono::duration<double> max_duration) 
   stats.checkpoints_written = checkpoints_written();
   stats.last_epoch_persisted = last_epoch_persisted();
   stats.recovered_from_epoch = recovered_from_epoch_;
+  if (profiler_) {
+    stats.has_profile = true;
+    stats.profile = profiler_->snapshot();
+    stats.bottlenecks = profiler_->bottlenecks();
+  }
   return stats;
 }
 

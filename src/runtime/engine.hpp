@@ -41,6 +41,8 @@
 namespace ss::runtime {
 
 class SchedulerHost;
+class ProfileEstimator;  // profiler.hpp
+class StatsServer;       // stats_server.hpp
 
 struct EngineConfig {
   /// Mailbox capacity of every actor (Akka BoundedMailbox equivalent).
@@ -122,6 +124,20 @@ struct EngineConfig {
   /// and rng lanes are restored, and sources rewind (skip) to the recorded
   /// offsets so the run resumes the exact uninterrupted stream.
   std::shared_ptr<const Checkpoint> recover_from;
+  /// Online profile estimation (runtime/profiler.hpp): when telemetry is
+  /// on (elastic runs, metrics-exporting runs, --stats-port runs), a
+  /// ProfileEstimator reconstructs non-blocking service rates from busy
+  /// slices and queue-occupancy probes and attributes backpressure to its
+  /// root cause.  `profile = false` turns the estimator off (A/B
+  /// baseline; the elastic controller then falls back to busy-time rates).
+  bool profile = true;
+  /// Fold cadence of the estimator, seconds; multiplied by the tenant
+  /// count when several engines share one SchedulerHost.
+  double profile_period = 0.25;
+  /// Live stats endpoint: serve Prometheus text (/metrics) and a JSON
+  /// snapshot (/stats.json) on 127.0.0.1:<stats_port> for the duration of
+  /// the run.  0 = off; an unusable port throws before the run starts.
+  int stats_port = 0;
   /// Multi-tenant execution: when set, this engine does not own a worker
   /// pool — every epoch registers its actors as a tenant of the shared
   /// host (scheduler_host.hpp) and `scheduler`/`workers`/`pool_batch` are
@@ -231,6 +247,9 @@ class Engine final : public EngineCore {
   [[nodiscard]] const CheckpointManager* checkpoint_manager() const {
     return checkpoint_mgr_.get();
   }
+  /// The online profile estimator (null when EngineConfig::profile is off
+  /// or the run carries no telemetry); the controller's estimate hook.
+  [[nodiscard]] const ProfileEstimator* profiler() const { return profiler_.get(); }
 
  private:
   struct ActorState;
@@ -378,6 +397,12 @@ class Engine final : public EngineCore {
   /// JSONL metrics writer (EngineConfig::metrics_path); declared after
   /// epoch_ so its stop() (final sample) runs before the epoch dies.
   std::unique_ptr<MetricsExporter> exporter_;
+  /// Online profile estimator (EngineConfig::profile + telemetry on);
+  /// registered as the telemetry board's BlockedEdgeSink while running.
+  std::unique_ptr<ProfileEstimator> profiler_;
+  /// Live stats endpoint (EngineConfig::stats_port); declared after the
+  /// members its request sampler reads.
+  std::unique_ptr<StatsServer> stats_server_;
   std::atomic<bool> stop_{false};
   std::atomic<int> active_actors_{0};
   std::mutex failure_mutex_;

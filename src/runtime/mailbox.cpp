@@ -208,9 +208,10 @@ bool Mailbox::send_ring(const Message& m, std::chrono::nanoseconds timeout) {
     }
     if (meter) {
       charge_blocked(static_cast<std::uint64_t>(
-          std::chrono::duration_cast<std::chrono::nanoseconds>(metering_now() -
-                                                               blocked_from)
-              .count()));
+                         std::chrono::duration_cast<std::chrono::nanoseconds>(
+                             metering_now() - blocked_from)
+                             .count()),
+                     owner_op_);
     }
     if (!freed) {
       dropped_.fetch_add(1, std::memory_order_relaxed);  // timed out (§5.1)
@@ -250,9 +251,10 @@ bool Mailbox::send_mutex(const Message& m, std::chrono::nanoseconds timeout) {
       waiting_senders_.fetch_sub(1, std::memory_order_acq_rel);
       if (meter) {
         charge_blocked(static_cast<std::uint64_t>(
-            std::chrono::duration_cast<std::chrono::nanoseconds>(
-                metering_now() - blocked_from)
-                .count()));
+                           std::chrono::duration_cast<std::chrono::nanoseconds>(
+                               metering_now() - blocked_from)
+                               .count()),
+                       owner_op_);
       }
       if (!freed) {
         dropped_.fetch_add(1, std::memory_order_relaxed);  // timed out (§5.1)

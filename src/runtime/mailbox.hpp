@@ -182,6 +182,14 @@ class Mailbox {
                       std::memory_order_relaxed);
   }
 
+  /// Logical operator that consumes from this mailbox.  The engine tags
+  /// every actor's mailbox at epoch build; the blocking slow path passes
+  /// it to charge_blocked so blocked-on-send time can be attributed per
+  /// *edge* (sender → this op), not just per sender.  kInvalidOp (the
+  /// default) degrades to the plain per-sender charge.
+  void set_owner_op(OpIndex op) { owner_op_ = op; }
+  [[nodiscard]] OpIndex owner_op() const { return owner_op_; }
+
  private:
   /// One ring slot: the per-cell sequence number is the publication
   /// protocol (seq == pos: free for the producer claiming pos; seq ==
@@ -278,6 +286,9 @@ class Mailbox {
   std::atomic<std::uint64_t> dropped_{0};
   std::atomic<std::uint64_t> ring_enqueues_{0};
   std::atomic<std::uint64_t> ring_spills_{0};
+  /// Consumer operator of this mailbox (set once at epoch build, before
+  /// producers run; plain member, read from the blocking slow path only).
+  OpIndex owner_op_ = kInvalidOp;
   std::function<void()> on_ready_;  ///< empty→non-empty edge notification
 };
 

@@ -316,6 +316,42 @@ std::string format_stats(const Topology& t, const RunStats& stats) {
     }
     out << "\n";
   }
+  if (stats.has_profile && !stats.profile.empty()) {
+    // Online profiler block: the inferred non-blocking service rate next
+    // to the naive busy-time rate it corrects.  Only operators with an
+    // estimate print a row (sources and never-sampled ops stay silent).
+    bool header = false;
+    for (OpIndex i = 0; i < t.num_operators() && i < stats.profile.size(); ++i) {
+      const ProfileEstimate& p = stats.profile[i];
+      if (p.estimated_rate <= 0.0) continue;
+      if (!header) {
+        out << "profiler: estimated non-blocking service rates (vs busy-time)\n";
+        header = true;
+      }
+      out << "  " << std::setw(16) << std::left << t.op(i).name << std::right
+          << std::setprecision(1) << std::setw(12) << p.estimated_rate << " /s (busy "
+          << std::setw(10) << p.busy_rate << " /s, conf " << std::setprecision(2)
+          << p.confidence << ", " << p.samples << " samples";
+      if (p.cv2 >= 0.0) out << ", cv2 " << p.cv2;
+      if (p.queue_full_fraction > 0.0) out << ", q_full " << p.queue_full_fraction;
+      out << ")\n";
+    }
+  }
+  if (!stats.bottlenecks.empty()) {
+    // Backpressure attribution: blocked-on-send time charged to senders,
+    // propagated along blocked edges to the root-cause operator.
+    out << "backpressure: ";
+    bool first = true;
+    for (const BottleneckEntry& b : stats.bottlenecks) {
+      if (b.share <= 0.0) continue;
+      if (!first) out << ", ";
+      out << t.op(b.op).name << " " << std::setprecision(0) << b.share * 100.0 << "%"
+          << std::setprecision(2) << " (" << b.blame_seconds << " s blamed)";
+      first = false;
+    }
+    if (first) out << "none (no blocked time attributed)";
+    out << "\n";
+  }
   if (stats.scheduler.batches > 0) {
     const double avg_batch = static_cast<double>(stats.scheduler.batch_messages) /
                              static_cast<double>(stats.scheduler.batches);

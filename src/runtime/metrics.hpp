@@ -164,6 +164,38 @@ struct OperatorStats {
   std::size_t queue_peak = 0;
 };
 
+/// One operator's online profile estimate (runtime/profiler.hpp): the
+/// inferred *non-blocking* service rate reconstructed from micro
+/// observations — inter-departure gaps inside multi-item busy slices,
+/// queue-occupancy sampling and profiler-armed burst windows (Beard &
+/// Chamberlain style) — next to the naive busy-time rate for comparison.
+struct ProfileEstimate {
+  /// Estimated non-blocking service rate, items/s; 0 = no estimate yet.
+  double estimated_rate = 0.0;
+  /// Naive busy-time rate (processed / busy seconds) over the same
+  /// horizon; 0 when the operator processed nothing.
+  double busy_rate = 0.0;
+  /// Estimated service-time squared coefficient of variation (slice
+  /// statistics); < 0 = not measured.
+  double cv2 = -1.0;
+  /// Fraction of occupancy samples that found the input buffer full.
+  double queue_full_fraction = 0.0;
+  /// Confidence in estimated_rate in [0, 1]: grows with multi-item slice
+  /// coverage, decays when only singleton slices are seen.
+  double confidence = 0.0;
+  /// Items that contributed inter-departure gap observations.
+  std::uint64_t samples = 0;
+};
+
+/// One entry of the backpressure-attribution ranking: `blame_seconds` of
+/// upstream blocked-on-send time attributed (transitively) to this
+/// operator as the root cause, `share` of the total blocked time.
+struct BottleneckEntry {
+  OpIndex op = 0;
+  double blame_seconds = 0.0;
+  double share = 0.0;  ///< blame / total blocked time, in [0, 1]
+};
+
 /// Per-op and end-to-end latency summaries extracted from a StatsBoard.
 struct LatencyReport {
   std::vector<LatencySummary> per_op;
@@ -214,6 +246,13 @@ struct RunStats {
   /// Model predictions for the deployment the run ended on (the engine
   /// fills them; valid == false when the producer attached none).
   PredictedLatency predicted;
+  // --- online profiler (PR 9; runtime/profiler.hpp)
+  /// True when the ProfileEstimator ran; gates the two vectors below.
+  bool has_profile = false;
+  /// Per-op non-blocking service-rate estimates (indexed by OpIndex).
+  std::vector<ProfileEstimate> profile;
+  /// Backpressure-attribution ranking, most-blamed operator first.
+  std::vector<BottleneckEntry> bottlenecks;
 };
 
 class TelemetryBoard;  // telemetry.hpp; attached to a StatsBoard below

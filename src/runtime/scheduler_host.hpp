@@ -91,6 +91,15 @@ class SchedulerHost {
   /// Tenants currently attached.
   [[nodiscard]] std::size_t num_tenants() const;
 
+  /// Sampling-cadence scale for per-tenant background samplers (the
+  /// online profiler's fold loop): with N tenants sharing the pool, each
+  /// tenant stretches its period N× so the combined probe pressure on
+  /// the workers stays what a single tenant would generate.
+  [[nodiscard]] double sampling_period_scale() const {
+    const std::size_t n = num_tenants();
+    return n > 1 ? static_cast<double>(n) : 1.0;
+  }
+
   /// Cooperative blocking compensation (BlockingSection): a worker about
   /// to park inside operator/engine code reports in so the host can keep K
   /// *runnable* workers draining.

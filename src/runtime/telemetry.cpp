@@ -51,6 +51,16 @@ void charge_blocked(std::uint64_t ns) {
   tls_context.blocked_in_scope += ns;
 }
 
+void charge_blocked(std::uint64_t ns, OpIndex dest_op) {
+  if (tls_context.board == nullptr) return;
+  tls_context.board->add_blocked(tls_context.op, ns);
+  tls_context.blocked_in_scope += ns;
+  if (dest_op == kInvalidOp) return;
+  if (BlockedEdgeSink* sink = tls_context.board->blocked_sink(); sink != nullptr) {
+    sink->record_blocked_edge(tls_context.op, dest_op, ns);
+  }
+}
+
 // ---------------------------------------------------------------- exporter
 
 namespace {
@@ -195,11 +205,44 @@ void MetricsExporter::write_sample(const MetricsSample& s) {
         << ",\"last_epoch\":" << s.last_epoch_persisted
         << ",\"recovered_from\":" << s.recovered_from_epoch << "}";
   }
+  if (!s.profile.empty()) {
+    // Profiler estimates ride next to the measurements they correct; only
+    // operators with an estimate get an entry (op index keys the join).
+    out << ",\"profile\":[";
+    bool first = true;
+    for (std::size_t i = 0; i < s.profile.size(); ++i) {
+      const ProfileEstimate& p = s.profile[i];
+      if (p.estimated_rate <= 0.0) continue;
+      if (!first) out << ",";
+      out << "{\"op\":" << i << ",\"est_rate\":" << p.estimated_rate
+          << ",\"busy_rate\":" << p.busy_rate << ",\"confidence\":" << p.confidence
+          << ",\"samples\":" << p.samples;
+      if (p.cv2 >= 0.0) out << ",\"cv2\":" << p.cv2;
+      if (p.queue_full_fraction > 0.0) {
+        out << ",\"queue_full\":" << p.queue_full_fraction;
+      }
+      out << "}";
+      first = false;
+    }
+    out << "]";
+  }
+  if (!s.bottlenecks.empty()) {
+    out << ",\"bottlenecks\":[";
+    for (std::size_t i = 0; i < s.bottlenecks.size(); ++i) {
+      if (i > 0) out << ",";
+      out << "{\"op\":" << s.bottlenecks[i].op
+          << ",\"blame_s\":" << s.bottlenecks[i].blame_seconds
+          << ",\"share\":" << s.bottlenecks[i].share << "}";
+    }
+    out << "]";
+  }
   out << ",\"sched\":{\"steals\":" << s.scheduler.steals
       << ",\"parks\":" << s.scheduler.parks << ",\"wakeups\":" << s.scheduler.wakeups
       << ",\"batches\":" << s.scheduler.batches
       << ",\"batch_messages\":" << s.scheduler.batch_messages
-      << ",\"max_batch\":" << s.scheduler.max_batch << "}}\n";
+      << ",\"max_batch\":" << s.scheduler.max_batch
+      << ",\"ring_enqueues\":" << s.scheduler.ring_enqueues
+      << ",\"ring_spills\":" << s.scheduler.ring_spills << "}}\n";
   prev_ = s;
   have_prev_ = true;
   ++lines_;

@@ -45,6 +45,18 @@
 
 namespace ss::runtime {
 
+/// Receives per-edge blocked-on-send observations from the mailbox slow
+/// path: `from` spent `ns` blocked pushing into `to`'s input buffer.  The
+/// ProfileEstimator implements this to build the backpressure-attribution
+/// graph without telemetry/mailbox depending on the profiler headers.
+/// Implementations must be lock-free-ish: calls come from actor threads
+/// that were already stalled, but still on the hot(ish) path.
+class BlockedEdgeSink {
+ public:
+  virtual ~BlockedEdgeSink() = default;
+  virtual void record_blocked_edge(OpIndex from, OpIndex to, std::uint64_t ns) = 0;
+};
+
 /// Per-operator busy/blocked nanosecond accumulators (lock-free; replicas
 /// and meta-group members of one logical operator share an entry, exactly
 /// like OpCounters).  Gated: accumulation only happens while enabled, so a
@@ -78,6 +90,17 @@ class TelemetryBoard {
   }
   [[nodiscard]] std::size_t size() const { return cells_.size(); }
 
+  /// Attaches the per-edge blocked-time listener (the profiler).  Not
+  /// owned; must outlive its registration (the engine clears it before
+  /// destroying the profiler).  Atomic so registration can race the
+  /// mailbox slow path safely.
+  void set_blocked_sink(BlockedEdgeSink* sink) {
+    sink_.store(sink, std::memory_order_release);
+  }
+  [[nodiscard]] BlockedEdgeSink* blocked_sink() const {
+    return sink_.load(std::memory_order_acquire);
+  }
+
  private:
   struct Cell {
     std::atomic<std::uint64_t> busy{0};
@@ -85,6 +108,7 @@ class TelemetryBoard {
   };
   std::vector<Cell> cells_;  ///< fixed: atomics are not movable
   std::atomic<bool> enabled_{false};
+  std::atomic<BlockedEdgeSink*> sink_{nullptr};
 };
 
 /// Pins "this thread is currently executing operator `op`" so that
@@ -121,6 +145,13 @@ class ScopedActorContext {
 /// actor context (no-op without one / with the gate closed).
 void charge_blocked(std::uint64_t ns);
 
+/// Like charge_blocked(ns), and additionally reports the blocked *edge*
+/// (current actor context → `dest_op`) to the board's BlockedEdgeSink so
+/// backpressure can be attributed to its root cause.  `dest_op` is the
+/// logical owner of the mailbox the send stalled on; kInvalidOp degrades
+/// to the plain charge.
+void charge_blocked(std::uint64_t ns, OpIndex dest_op);
+
 // ---------------------------------------------------------------- exporter
 
 /// One cumulative sample of everything the runtime measures; the exporter
@@ -138,6 +169,10 @@ struct MetricsSample {
   /// Model predictions of the current epoch's deployment — written next to
   /// the measured percentiles (per-op pred_ms/pred_p99_ms, e2e pred_*).
   PredictedLatency predicted;
+  /// Online profiler output (empty when no ProfileEstimator is attached):
+  /// per-op non-blocking rate estimates and the backpressure ranking.
+  std::vector<ProfileEstimate> profile;
+  std::vector<BottleneckEntry> bottlenecks;
 };
 
 /// Background JSONL metrics writer: calls `sampler` every `period`

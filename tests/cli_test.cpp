@@ -4,9 +4,15 @@
 
 #include <gtest/gtest.h>
 
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <thread>
 #include <vector>
 
 namespace ss::cli {
@@ -542,6 +548,154 @@ TEST_F(CliTest, PinnedPoolRunExecutes) {
     EXPECT_EQ(code, 0) << "--pin=" << mode << ": " << err;
     EXPECT_NE(out.find("src"), std::string::npos);
   }
+}
+
+// ---------------------------------------------------------------------------
+// Online profiler + live stats endpoint flags
+
+/// Asks the kernel for a free loopback port (bind 0, read back, close).
+int free_loopback_port() {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  EXPECT_EQ(::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  socklen_t len = sizeof(addr);
+  EXPECT_EQ(::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len), 0);
+  const int port = ntohs(addr.sin_port);
+  ::close(fd);
+  return port;
+}
+
+/// Minimal HTTP/1.0 GET against 127.0.0.1:`port`; whole response or "".
+std::string loopback_get(int port, const std::string& path) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return {};
+  }
+  const std::string req = "GET " + path + " HTTP/1.0\r\n\r\n";
+  (void)!::send(fd, req.data(), req.size(), 0);
+  std::string response;
+  char buf[4096];
+  for (;;) {
+    const auto n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+TEST_F(CliTest, RunRejectsMalformedStatsPort) {
+  auto [zcode, zout, zerr] = run({"run", "--stats-port=0", "--seconds=0.1"});
+  EXPECT_EQ(zcode, 1);
+  EXPECT_NE(zerr.find("--stats-port must be a port number"), std::string::npos) << zerr;
+
+  auto [hcode, hout, herr] = run({"run", "--stats-port=99999", "--seconds=0.1"});
+  EXPECT_EQ(hcode, 1);
+  EXPECT_NE(herr.find("--stats-port must be a port number"), std::string::npos) << herr;
+}
+
+TEST_F(CliTest, RunFailsFastWhenStatsPortIsTaken) {
+  // Occupy a port, then ask the run to serve on it: the server binds in
+  // its constructor, before any actor thread starts, so the run must fail
+  // up front with a bind error instead of executing without the endpoint.
+  const int port = free_loopback_port();
+  const int holder = ::socket(AF_INET, SOCK_STREAM, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  ASSERT_EQ(::bind(holder, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  ASSERT_EQ(::listen(holder, 1), 0);
+
+  auto [code, out, err] =
+      run({"run", "--stats-port=" + std::to_string(port), "--seconds=0.1"});
+  EXPECT_EQ(code, 1);
+  EXPECT_NE(err.find("cannot bind 127.0.0.1:" + std::to_string(port)),
+            std::string::npos)
+      << err;
+  ::close(holder);
+}
+
+TEST_F(CliTest, StatsPortAndProfileRejectedUnderSimBackend) {
+  auto [scode, sout, serr] =
+      run({"simulate", "--duration=1", "--stats-port=19876"});
+  EXPECT_EQ(scode, 1);
+  EXPECT_NE(serr.find("need a live runtime"), std::string::npos) << serr;
+
+  auto [pcode, pout, perr] = run({"simulate", "--duration=1", "--profile=off"});
+  EXPECT_EQ(pcode, 1);
+  EXPECT_NE(perr.find("need a live runtime"), std::string::npos) << perr;
+}
+
+TEST_F(CliTest, RunRejectsUnknownProfileMode) {
+  auto [code, out, err] = run({"run", "--profile=banana", "--seconds=0.1"});
+  EXPECT_EQ(code, 1);
+  EXPECT_NE(err.find("--profile must be 'on' or 'off'"), std::string::npos) << err;
+}
+
+TEST_F(CliTest, ProfileToggleControlsTheEstimatorBlock) {
+  // On (the default): the pooled run prints estimated service rates.
+  auto [code, out, err] =
+      run({"run", "--engine=pool", "--workers=2", "--seconds=0.6"});
+  EXPECT_EQ(code, 0) << err;
+  EXPECT_NE(out.find("profiler: estimated non-blocking service rates"),
+            std::string::npos)
+      << out;
+
+  // Off: the estimator is never constructed, so the block cannot appear.
+  auto [ocode, oout, oerr] =
+      run({"run", "--engine=pool", "--workers=2", "--seconds=0.6", "--profile=off"});
+  EXPECT_EQ(ocode, 0) << oerr;
+  EXPECT_EQ(oout.find("profiler:"), std::string::npos) << oout;
+}
+
+TEST_F(CliTest, StatsPortServesJsonAndPrometheusDuringTheRun) {
+  const int port = free_loopback_port();
+  std::tuple<int, std::string, std::string> result;
+  std::thread runner([&] {
+    result = run({"run", "--engine=pool", "--workers=2", "--seconds=1.5",
+                  "--stats-port=" + std::to_string(port)});
+  });
+  // Poll until the endpoint answers (the server starts with the engine).
+  std::string json;
+  for (int i = 0; i < 40 && json.find("\"ops\":[") == std::string::npos; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    json = loopback_get(port, "/stats.json");
+  }
+  const std::string prom = loopback_get(port, "/metrics");
+  const std::string missing = loopback_get(port, "/bogus");
+  runner.join();
+
+  EXPECT_EQ(std::get<0>(result), 0) << std::get<2>(result);
+  EXPECT_NE(std::get<1>(result).find("stats: served http://127.0.0.1:"),
+            std::string::npos);
+  EXPECT_NE(json.find("200 OK"), std::string::npos) << json.substr(0, 200);
+  EXPECT_NE(json.find("\"name\":\"src\""), std::string::npos);
+  EXPECT_NE(json.find("\"sched\":{"), std::string::npos);
+  EXPECT_NE(prom.find("ss_op_processed_total{op=\"src\"}"), std::string::npos);
+  EXPECT_NE(prom.find("# TYPE ss_epoch gauge"), std::string::npos);
+  EXPECT_NE(missing.find("404"), std::string::npos);
+
+  // After the run the socket is closed: the endpoint must not outlive it.
+  EXPECT_TRUE(loopback_get(port, "/stats.json").empty());
+}
+
+TEST_F(CliTest, MultiTenantRunRejectsStatsPort) {
+  auto [code, out, err] =
+      run({"run", "--app=" + path_, "--app=" + path_, "--seconds=0.1",
+           "--stats-port=19321"},
+          false);
+  EXPECT_EQ(code, 1);
+  EXPECT_NE(err.find("--stats-port serves a single engine"), std::string::npos)
+      << err;
 }
 
 TEST_F(CliTest, GenerateProducesLoadableXml) {

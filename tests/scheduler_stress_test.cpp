@@ -158,11 +158,14 @@ TEST(SchedulerStress, SchedulerCountersAreConsistentAfterADrain) {
   EXPECT_GT(c.pushes, 0u);
   EXPECT_EQ(c.pushes, c.local_pops + c.steals + c.discarded);
   // The default mailbox is the lock-free ring: the traffic volume that fed
-  // the ready hints must show up as fast-path enqueues, and the ledger
-  // above must keep balancing with the ring in the loop.  Hints are
-  // edge-triggered, so enqueues dominate pushes.
+  // the ready hints must show up in the ring ledger, and the ledger above
+  // must keep balancing with the ring in the loop.  Hints are
+  // edge-triggered, so messages dominate pushes — but a stalled consumer
+  // (CPU steal on a shared host) fills the ring and diverts messages to
+  // the spill queue, so the bound holds for the two paths together, not
+  // for fast-path enqueues alone.
   EXPECT_GT(c.ring_enqueues, 0u);
-  EXPECT_GE(c.ring_enqueues, c.pushes);
+  EXPECT_GE(c.ring_enqueues + c.ring_spills, c.pushes);
   // Every counted wakeup answers a park (shutdown wakeups are not counted).
   EXPECT_LE(c.wakeups, c.parks);
   // Batch statistics describe real drains.
